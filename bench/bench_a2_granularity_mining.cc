@@ -1,0 +1,144 @@
+// A2 — ablation of the §3.2 claim that a static hierarchy "enables the
+// identification of certain types of movement patterns at the 'room'
+// level ... and at the same time of other types of patterns at the
+// 'floor' level, from the same trajectory dataset". The bench mines the
+// same simulated visits at zone, floor, and wing granularity and shows
+// how the pattern vocabulary changes.
+#include "bench/bench_util.h"
+#include "core/builder.h"
+#include "core/projection.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "mining/floor_switch.h"
+#include "mining/patterns.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+std::vector<core::SemanticTrajectory> Visits() {
+  louvre::VisitSimulator simulator(&Map());
+  louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+  dataset.FilterZeroDuration();
+  core::TrajectoryBuilder builder;
+  return Unwrap(builder.Build(dataset.ToRawDetections()));
+}
+
+std::vector<std::vector<CellId>> SequencesAt(
+    const std::vector<core::SemanticTrajectory>& visits,
+    const indoor::LayerHierarchy& hierarchy, int level) {
+  std::vector<std::vector<CellId>> out;
+  out.reserve(visits.size());
+  for (const core::SemanticTrajectory& t : visits) {
+    if (level == louvre::kLevelZone) {
+      out.push_back(mining::CellSequenceOf(t));
+    } else {
+      out.push_back(mining::CellSequenceOf(
+          Unwrap(core::ProjectTrajectory(t, hierarchy, level))));
+    }
+  }
+  return out;
+}
+
+void Report() {
+  Banner("A2", "ablation: mining the same dataset at zone / floor / wing "
+               "granularity");
+  const auto visits = Visits();
+  const indoor::LayerHierarchy hierarchy = Unwrap(Map().BuildHierarchy());
+  mining::PatternOptions options;
+  options.min_support = visits.size() / 20;  // 5% support
+  options.max_length = 3;
+  options.contiguous = true;
+
+  struct LevelSpec {
+    int level;
+    const char* name;
+  };
+  for (const LevelSpec spec :
+       {LevelSpec{louvre::kLevelZone, "Zone"},
+        LevelSpec{louvre::kLevelFloor, "Floor"},
+        LevelSpec{louvre::kLevelWing, "Wing"}}) {
+    const auto sequences = SequencesAt(visits, hierarchy, spec.level);
+    std::size_t total_length = 0;
+    for (const auto& s : sequences) total_length += s.size();
+    const auto patterns = Unwrap(mining::MinePatterns(sequences, options));
+    std::size_t multi = 0;
+    for (const auto& p : patterns) multi += p.cells.size() >= 2 ? 1 : 0;
+    char measured[128];
+    std::snprintf(measured, sizeof(measured),
+                  "%zu patterns (%zu multi-cell), avg seq len %.1f",
+                  patterns.size(), multi,
+                  static_cast<double>(total_length) / sequences.size());
+    Row(std::string(spec.name) + "-level mining", "distinct vocabulary",
+        measured);
+    // The strongest multi-cell pattern at this level.
+    for (const auto& p : patterns) {
+      if (p.cells.size() < 2) continue;
+      std::string path;
+      for (CellId c : p.cells) {
+        if (!path.empty()) path += " -> ";
+        path += Unwrap(Map().CellName(c));
+      }
+      std::printf("    top path [support %zu]: %s\n", p.support,
+                  path.c_str());
+      break;
+    }
+  }
+
+  // Floor-switching histogram — the paper's closing example of coarse
+  // insight.
+  const auto floor_stats = Unwrap(mining::AnalyzeFloorSwitching(
+      visits, hierarchy, louvre::kLevelFloor));
+  std::printf("\n  floor switches per visit (the paper's coarse-granularity "
+              "example):\n");
+  for (const auto& [switches, count] : floor_stats.switches_per_visit) {
+    if (switches > 6) break;
+    std::printf("    %zu switches: %5zu visits\n", switches, count);
+  }
+}
+
+void BM_MineZoneLevel(benchmark::State& state) {
+  const auto visits = Visits();
+  const indoor::LayerHierarchy hierarchy = Unwrap(Map().BuildHierarchy());
+  const auto sequences = SequencesAt(visits, hierarchy, louvre::kLevelZone);
+  mining::PatternOptions options;
+  options.min_support = visits.size() / 20;
+  options.max_length = 3;
+  options.contiguous = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::MinePatterns(sequences, options));
+  }
+}
+BENCHMARK(BM_MineZoneLevel)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectAllVisitsToFloors(benchmark::State& state) {
+  const auto visits = Visits();
+  const indoor::LayerHierarchy hierarchy = Unwrap(Map().BuildHierarchy());
+  for (auto _ : state) {
+    for (const core::SemanticTrajectory& t : visits) {
+      benchmark::DoNotOptimize(
+          core::ProjectTrajectory(t, hierarchy, louvre::kLevelFloor));
+    }
+  }
+}
+BENCHMARK(BM_ProjectAllVisitsToFloors)->Unit(benchmark::kMillisecond);
+
+void BM_FloorSwitchAnalysis(benchmark::State& state) {
+  const auto visits = Visits();
+  const indoor::LayerHierarchy hierarchy = Unwrap(Map().BuildHierarchy());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::AnalyzeFloorSwitching(
+        visits, hierarchy, louvre::kLevelFloor));
+  }
+}
+BENCHMARK(BM_FloorSwitchAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

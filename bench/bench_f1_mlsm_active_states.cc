@@ -1,0 +1,145 @@
+// F1 — Figure 1: the 2-level hierarchical graph of the central 1st
+// floor of the Denon wing. A visitor in hall 5 (layer i+1) can only be
+// in 5a, 5b or 5c (layer i); room 4 (Salle des États) is exit-only
+// toward room 2. The bench rebuilds that exact graph, prints the
+// active-state sets and the one-way reachability asymmetry, then times
+// the queries.
+#include "bench/bench_util.h"
+#include "indoor/multilayer.h"
+
+namespace {
+
+using namespace sitm;          // NOLINT
+using namespace sitm::bench;   // NOLINT
+using indoor::CellClass;
+using indoor::CellSpace;
+using indoor::EdgeType;
+using indoor::LayerKind;
+using indoor::MultiLayerGraph;
+using indoor::SpaceLayer;
+
+// Layer i+1 cells: rooms 1, 2, 3, 4 (Salle des États) and hall 5.
+// Layer i replicates 1-4 (ids 11, 12, 13, 14, "equal" joint edges) and
+// splits the hall into 5a=15, 5b=16, 5c=17.
+MultiLayerGraph BuildFig1() {
+  MultiLayerGraph g;
+  SpaceLayer upper(LayerId(1), "layer i+1", LayerKind::kTopographic);
+  for (int id : {1, 2, 3, 4, 5}) {
+    Check(upper.mutable_graph().AddCell(
+        CellSpace(CellId(id),
+                  id == 4 ? "Salle des Etats" : "node " + std::to_string(id),
+                  id == 5 ? CellClass::kHall : CellClass::kRoom)));
+  }
+  indoor::Nrg& up = upper.mutable_graph();
+  // Accessibility at the coarse level: 1-2, 2-3, 3-5, 2-5 symmetric;
+  // 4 (Salle des États) exits into 2 but cannot be entered from 2; it
+  // is entered from the hall 5.
+  Check(up.AddSymmetricEdge(CellId(1), CellId(2), EdgeType::kAccessibility));
+  Check(up.AddSymmetricEdge(CellId(2), CellId(3), EdgeType::kAccessibility));
+  Check(up.AddSymmetricEdge(CellId(3), CellId(5), EdgeType::kAccessibility));
+  Check(up.AddSymmetricEdge(CellId(2), CellId(5), EdgeType::kAccessibility));
+  Check(up.AddEdge(CellId(4), CellId(2), EdgeType::kAccessibility));
+  Check(up.AddSymmetricEdge(CellId(5), CellId(4), EdgeType::kAccessibility));
+
+  SpaceLayer lower(LayerId(0), "layer i", LayerKind::kTopographic);
+  for (int id : {11, 12, 13, 14, 15, 16, 17}) {
+    Check(lower.mutable_graph().AddCell(CellSpace(
+        CellId(id),
+        id >= 15 ? std::string("5") + static_cast<char>('a' + id - 15)
+                 : "node " + std::to_string(id - 10) + "'",
+        id >= 15 ? CellClass::kHall : CellClass::kRoom)));
+  }
+  indoor::Nrg& low = lower.mutable_graph();
+  Check(low.AddSymmetricEdge(CellId(11), CellId(12), EdgeType::kAccessibility));
+  Check(low.AddSymmetricEdge(CellId(12), CellId(13), EdgeType::kAccessibility));
+  Check(low.AddSymmetricEdge(CellId(13), CellId(15), EdgeType::kAccessibility));
+  Check(low.AddSymmetricEdge(CellId(12), CellId(15), EdgeType::kAccessibility));
+  Check(low.AddEdge(CellId(14), CellId(12), EdgeType::kAccessibility));
+  // Hall subdivision chain 5a - 5b - 5c; the Salle connects to 5b.
+  Check(low.AddSymmetricEdge(CellId(15), CellId(16), EdgeType::kAccessibility));
+  Check(low.AddSymmetricEdge(CellId(16), CellId(17), EdgeType::kAccessibility));
+  Check(low.AddSymmetricEdge(CellId(16), CellId(14), EdgeType::kAccessibility));
+
+  Check(g.AddLayer(std::move(upper)));
+  Check(g.AddLayer(std::move(lower)));
+  // Replicated nodes: equal joint edges.
+  for (int id : {1, 2, 3, 4}) {
+    Check(g.AddJointEdge(CellId(id), CellId(id + 10),
+                         qsr::TopologicalRelation::kEqual));
+  }
+  // The hall subdivision: 5 covers 5a, 5b, 5c.
+  for (int id : {15, 16, 17}) {
+    Check(g.AddJointEdge(CellId(5), CellId(id),
+                         qsr::TopologicalRelation::kCovers));
+  }
+  Check(g.Validate());
+  return g;
+}
+
+void Report() {
+  Banner("F1",
+         "Figure 1: 2-level MLSM of the Denon wing (active states + "
+         "one-way Salle des Etats)");
+  const MultiLayerGraph g = BuildFig1();
+
+  // Active states of hall 5 in the finer layer.
+  const std::vector<CellId> active = g.CandidateStates(CellId(5), LayerId(0));
+  std::string names;
+  for (CellId c : active) {
+    if (!names.empty()) names += ", ";
+    names += Unwrap(g.FindCell(c))->name();
+  }
+  Row("active states of hall 5 in layer i", "{5a, 5b, 5c}",
+      "{" + names + "}");
+
+  // Equal-replicated node 2 maps to exactly its copy.
+  const std::vector<CellId> copies = g.CandidateStates(CellId(2), LayerId(0));
+  Row("active states of room 2 (replicated)", "{2}",
+      copies.size() == 1 && copies[0] == CellId(12) ? "{2'}" : "UNEXPECTED");
+
+  // One-way Salle des États: exiting toward 2 works, entering does not.
+  const indoor::Nrg& up = Unwrap(g.FindLayer(LayerId(1)))->graph();
+  Row("Salle des Etats -> room 2 (exit)", "allowed",
+      up.HasEdge(CellId(4), CellId(2), EdgeType::kAccessibility)
+          ? "edge present"
+          : "MISSING");
+  Row("room 2 -> Salle des Etats (entry)", "prohibited",
+      up.HasEdge(CellId(2), CellId(4), EdgeType::kAccessibility)
+          ? "UNEXPECTED EDGE"
+          : "no edge");
+  // Directionality shows up in paths: from 2 the Salle is reachable only
+  // through the hall (3 hops), not directly.
+  const auto path =
+      up.ShortestPath(CellId(2), CellId(4), EdgeType::kAccessibility);
+  Row("shortest entry path 2 -> 4", "2 -> 5 -> 4 (via hall)",
+      path.ok() ? std::to_string(path->size() - 1) + " hops" : "none");
+}
+
+void BM_CandidateStates(benchmark::State& state) {
+  const MultiLayerGraph g = BuildFig1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.CandidateStates(CellId(5), LayerId(0)));
+  }
+}
+BENCHMARK(BM_CandidateStates);
+
+void BM_DirectedShortestPath(benchmark::State& state) {
+  const MultiLayerGraph g = BuildFig1();
+  const indoor::Nrg& up = Unwrap(g.FindLayer(LayerId(1)))->graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        up.ShortestPath(CellId(2), CellId(4), EdgeType::kAccessibility));
+  }
+}
+BENCHMARK(BM_DirectedShortestPath);
+
+void BM_BuildFig1Graph(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildFig1());
+  }
+}
+BENCHMARK(BM_BuildFig1Graph);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

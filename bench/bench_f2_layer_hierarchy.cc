@@ -1,0 +1,102 @@
+// F2 — Figure 2: the required core layer hierarchy (Building Complex ->
+// Building -> Floor -> Room -> RoI) extended with the Louvre's thematic
+// Zone layer between Floor and Room (§4.2). The bench builds the full
+// Louvre graph, validates the 6-level hierarchy, prints its inventory,
+// and times construction and multi-granularity roll-up.
+#include "bench/bench_util.h"
+#include "louvre/museum.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+void Report() {
+  Banner("F2",
+         "Figure 2: core layer hierarchy + Building Complex root, RoI "
+         "leaf, and the Louvre's Zone layer");
+  const louvre::LouvreMap& map = Map();
+  const indoor::LayerHierarchy hierarchy = Unwrap(map.BuildHierarchy());
+
+  Row("hierarchy depth", "5 core + 1 case-specific = 6",
+      std::to_string(hierarchy.depth()));
+  const char* paper_counts[] = {
+      "1 (Louvre Museum)", "4 (3 wings + Napoleon)",
+      "5 per historic wing", "52 thematic zones", "hundreds",
+      "several hundreds"};
+  int level = 0;
+  for (const indoor::SpaceLayer& layer : map.graph().layers()) {
+    Row("layer '" + layer.name() + "' (" +
+            std::string(indoor::LayerKindName(layer.kind())) + ")",
+        paper_counts[level],
+        std::to_string(layer.graph().num_cells()) + " cells, " +
+            std::to_string(layer.graph().num_edges()) + " edges");
+    ++level;
+  }
+  Row("joint edges (all parthood, no skips)", "n/a",
+      std::to_string(map.graph().joint_edges().size()));
+
+  // Multi-granularity inference: one RoI rolled to every level.
+  const auto* roi_layer =
+      Unwrap(map.graph().FindLayer(map.roi_layer()));
+  CellId mona_lisa;
+  for (const indoor::CellSpace& roi : roi_layer->graph().cells()) {
+    if (roi.name() == "Mona Lisa") mona_lisa = roi.id();
+  }
+  std::string chain = "Mona Lisa";
+  for (int target = louvre::kLevelRoom; target >= louvre::kLevelMuseum;
+       --target) {
+    const CellId up = Unwrap(hierarchy.RollUp(mona_lisa, target));
+    chain += " -> " + Unwrap(map.CellName(up));
+  }
+  Row("roll-up chain of the Mona Lisa RoI",
+      "RoI -> Room -> Zone -> Floor -> Wing -> Museum", chain);
+}
+
+void BM_BuildLouvreMap(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(louvre::LouvreMap::Build());
+  }
+}
+BENCHMARK(BM_BuildLouvreMap)->Unit(benchmark::kMillisecond);
+
+void BM_BuildHierarchy(benchmark::State& state) {
+  const louvre::LouvreMap& map = Map();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.BuildHierarchy());
+  }
+}
+BENCHMARK(BM_BuildHierarchy)->Unit(benchmark::kMillisecond);
+
+void BM_RollUpRoiToMuseum(benchmark::State& state) {
+  const louvre::LouvreMap& map = Map();
+  const indoor::LayerHierarchy hierarchy = Unwrap(map.BuildHierarchy());
+  const auto* roi_layer = Unwrap(map.graph().FindLayer(map.roi_layer()));
+  std::vector<CellId> rois;
+  for (const indoor::CellSpace& roi : roi_layer->graph().cells()) {
+    rois.push_back(roi.id());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hierarchy.RollUp(rois[i++ % rois.size()], louvre::kLevelMuseum));
+  }
+}
+BENCHMARK(BM_RollUpRoiToMuseum);
+
+void BM_ValidateWholeGraph(benchmark::State& state) {
+  const louvre::LouvreMap& map = Map();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.graph().Validate());
+  }
+}
+BENCHMARK(BM_ValidateWholeGraph)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

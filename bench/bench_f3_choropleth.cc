@@ -1,0 +1,81 @@
+// F3 — Figure 3: the choropleth map of visitor detections over the 11
+// ground-floor zones. The paper encodes detection density as shading;
+// this bench regenerates the per-zone series (ranked, with normalized
+// intensity = shade) and renders an ASCII version of the figure.
+#include "bench/bench_util.h"
+#include "core/builder.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "mining/choropleth.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+std::vector<core::SemanticTrajectory> Visits() {
+  louvre::VisitSimulator simulator(&Map());
+  louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+  dataset.FilterZeroDuration();
+  core::TrajectoryBuilder builder;
+  return Unwrap(builder.Build(dataset.ToRawDetections()));
+}
+
+std::vector<mining::ChoroplethBin> GroundFloorBins(
+    const std::vector<core::SemanticTrajectory>& visits) {
+  std::unordered_set<CellId> ground(Map().ground_floor_zones().begin(),
+                                    Map().ground_floor_zones().end());
+  return mining::BuildChoropleth(
+      visits, [&](CellId c) { return ground.count(c) > 0; },
+      [&](CellId c) {
+        const auto* cell = Unwrap(Map().graph().FindCell(c));
+        return cell->name() + " (" + Unwrap(cell->Attribute("theme")) + ")";
+      });
+}
+
+void Report() {
+  Banner("F3", "Figure 3: detection densities over the 11 ground-floor "
+               "zones (choropleth series)");
+  const auto visits = Visits();
+  const auto bins = GroundFloorBins(visits);
+  Row("ground-floor zones with detections", "11",
+      std::to_string(bins.size()));
+  std::size_t total = 0;
+  for (const auto& bin : bins) total += bin.detections;
+  Row("ground-floor share of detections", "n/a (map shading only)",
+      std::to_string(total) + " detections");
+  std::printf("\n%s\n", mining::RenderAsciiBars(bins, 46).c_str());
+  std::printf(
+      "  (intensity = zone detections / max zone detections: the shade\n"
+      "   of the paper's map; the Egyptian-antiquities and sculpture\n"
+      "   zones dominate the ground floor, as in the original figure)\n");
+}
+
+void BM_BuildChoropleth(benchmark::State& state) {
+  const auto visits = Visits();
+  std::unordered_set<CellId> ground(Map().ground_floor_zones().begin(),
+                                    Map().ground_floor_zones().end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::BuildChoropleth(
+        visits, [&](CellId c) { return ground.count(c) > 0; }, nullptr));
+  }
+}
+BENCHMARK(BM_BuildChoropleth)->Unit(benchmark::kMillisecond);
+
+void BM_RenderAscii(benchmark::State& state) {
+  const auto visits = Visits();
+  const auto bins = GroundFloorBins(visits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::RenderAsciiBars(bins, 46));
+  }
+}
+BENCHMARK(BM_RenderAscii);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

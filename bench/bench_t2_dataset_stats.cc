@@ -1,0 +1,108 @@
+// T2 — the §4.1 dataset statistics (the paper's implicit table): visit,
+// visitor, detection and transition counts, duration ranges, error rate.
+// The simulator is calibrated to the published marginals; the builder
+// with error-filtering disabled must reproduce the raw numbers, and the
+// standard cleaning pipeline shows the filtered view.
+#include "bench/bench_util.h"
+#include "core/builder.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "mining/stats.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+void Report() {
+  Banner("T2", "§4.1 dataset statistics (simulated stand-in, raw + cleaned)");
+  louvre::VisitSimulator simulator(&Map());
+  louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+
+  // Raw statistics (the paper reports the unfiltered dataset: the
+  // minimum durations are 0 s "potential error").
+  core::BuilderOptions raw_options;
+  raw_options.drop_zero_duration = false;
+  raw_options.same_cell_merge_gap = Duration::Zero();
+  core::TrajectoryBuilder raw_builder(raw_options);
+  const auto raw_visits =
+      Unwrap(raw_builder.Build(dataset.ToRawDetections()));
+  const mining::DatasetStats raw = mining::ComputeDatasetStats(raw_visits);
+
+  Row("visits", "4,945", std::to_string(raw.num_visits));
+  Row("visitors", "3,228", std::to_string(raw.num_visitors));
+  Row("returning visitors", "1,227", std::to_string(raw.num_returning));
+  Row("second/third visits", "1,717", std::to_string(raw.num_revisits));
+  Row("zone detections", "20,245", std::to_string(raw.num_detections));
+  Row("intra-visit zone transitions", "15,300",
+      std::to_string(raw.num_transitions));
+  Row("zones in the dataset", "30 (of 52)",
+      std::to_string(raw.num_distinct_cells));
+  Row("min visit duration", "0:00:00 (error)",
+      raw.visit_duration.min.ToString());
+  Row("max visit duration", "7:41:37", raw.visit_duration.max.ToString());
+  Row("min detection duration", "0:00:00 (error)",
+      raw.detection_duration.min.ToString());
+  Row("max detection duration", "5:39:20",
+      raw.detection_duration.max.ToString());
+  const double error_rate =
+      static_cast<double>(dataset.CountZeroDuration()) / dataset.size();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", error_rate * 100);
+  Row("zero-duration detections", "~10%", buf);
+
+  // Cleaned view (the paper filters the errors out).
+  louvre::VisitDataset cleaned = dataset;
+  const std::size_t dropped = cleaned.FilterZeroDuration();
+  core::TrajectoryBuilder clean_builder;
+  const auto clean_visits =
+      Unwrap(clean_builder.Build(cleaned.ToRawDetections()));
+  const mining::DatasetStats clean = mining::ComputeDatasetStats(clean_visits);
+  std::printf("\n  after filtering %zu detection errors:\n", dropped);
+  Row("visits (cleaned)", "n/a", std::to_string(clean.num_visits));
+  Row("detections (cleaned)", "n/a", std::to_string(clean.num_detections));
+  Row("median visit duration", "n/a",
+      clean.visit_duration.median.ToString());
+  Row("median detection duration", "n/a",
+      clean.detection_duration.median.ToString());
+}
+
+void BM_SimulateFullDataset(benchmark::State& state) {
+  for (auto _ : state) {
+    louvre::VisitSimulator simulator(&Map());
+    benchmark::DoNotOptimize(simulator.Generate());
+  }
+}
+BENCHMARK(BM_SimulateFullDataset)->Unit(benchmark::kMillisecond);
+
+void BM_BuildTrajectories20k(benchmark::State& state) {
+  louvre::VisitSimulator simulator(&Map());
+  const louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+  const auto raw = dataset.ToRawDetections();
+  for (auto _ : state) {
+    core::TrajectoryBuilder builder;
+    auto copy = raw;
+    benchmark::DoNotOptimize(builder.Build(std::move(copy)));
+  }
+}
+BENCHMARK(BM_BuildTrajectories20k)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeDatasetStats(benchmark::State& state) {
+  louvre::VisitSimulator simulator(&Map());
+  const louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+  core::TrajectoryBuilder builder;
+  const auto visits = Unwrap(builder.Build(dataset.ToRawDetections()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputeDatasetStats(visits));
+  }
+}
+BENCHMARK(BM_ComputeDatasetStats)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

@@ -1,0 +1,201 @@
+// End-to-end Louvre pipeline (the paper's §4 case study): reconstruct
+// the museum's multi-layered space, simulate the visitor-movement
+// dataset, clean it, extract semantic trajectories, and run the
+// analytics the model is designed to support.
+//
+// Build & run:  cmake --build build && ./build/examples/louvre_visit_analysis
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/builder.h"
+#include "core/enrichment.h"
+#include "core/inference.h"
+#include "core/projection.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "mining/association.h"
+#include "mining/choropleth.h"
+#include "mining/floor_switch.h"
+#include "mining/flow.h"
+#include "mining/markov.h"
+#include "mining/patterns.h"
+#include "mining/stats.h"
+
+namespace {
+
+using namespace sitm;  // NOLINT
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "FATAL: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  Check(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. The indoor space (Fig. 2 instantiated).
+  const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  const indoor::LayerHierarchy hierarchy = Unwrap(map.BuildHierarchy());
+  std::size_t total_cells = 0;
+  for (const indoor::SpaceLayer& layer : map.graph().layers()) {
+    std::printf("layer %-8s: %4zu cells, %4zu intra-layer edges\n",
+                layer.name().c_str(), layer.graph().num_cells(),
+                layer.graph().num_edges());
+    total_cells += layer.graph().num_cells();
+  }
+  std::printf("total: %zu cells, %zu joint edges, hierarchy depth %d\n\n",
+              total_cells, map.graph().joint_edges().size(),
+              hierarchy.depth());
+
+  // ---- 2. The dataset (simulated stand-in for the proprietary one).
+  louvre::VisitSimulator simulator(&map);
+  louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+  std::printf("simulated %zu zone detections (%zu zero-duration errors)\n",
+              dataset.size(), dataset.CountZeroDuration());
+  const std::size_t dropped = dataset.FilterZeroDuration();
+  std::printf("filtered %zu detection errors (~%.1f%%)\n\n", dropped,
+              100.0 * static_cast<double>(dropped) /
+                  static_cast<double>(dropped + dataset.size()));
+
+  // ---- 3. Raw detections -> semantic trajectories.
+  core::BuilderOptions options;
+  options.default_annotations =
+      core::AnnotationSet{{core::AnnotationKind::kActivity, "museum visit"}};
+  const indoor::SpaceLayer* zone_layer =
+      Unwrap(map.graph().FindLayer(map.zone_layer()));
+  options.graph = &zone_layer->graph();
+  core::TrajectoryBuilder builder(options);
+  const std::vector<core::SemanticTrajectory> visits =
+      Unwrap(builder.Build(dataset.ToRawDetections()));
+
+  // ---- 4. Dataset statistics (§4.1).
+  const mining::DatasetStats stats = mining::ComputeDatasetStats(visits);
+  std::printf("visits: %zu   visitors: %zu   returning: %zu (+%zu revisits)\n",
+              stats.num_visits, stats.num_visitors, stats.num_returning,
+              stats.num_revisits);
+  std::printf("detections: %zu   transitions: %zu   zones seen: %zu\n",
+              stats.num_detections, stats.num_transitions,
+              stats.num_distinct_cells);
+  std::printf("visit duration:     min %s  median %s  max %s\n",
+              stats.visit_duration.min.ToString().c_str(),
+              stats.visit_duration.median.ToString().c_str(),
+              stats.visit_duration.max.ToString().c_str());
+  std::printf("detection duration: min %s  median %s  max %s\n\n",
+              stats.detection_duration.min.ToString().c_str(),
+              stats.detection_duration.median.ToString().c_str(),
+              stats.detection_duration.max.ToString().c_str());
+
+  // ---- 5. Ground-floor choropleth (Fig. 3).
+  std::unordered_set<CellId> ground(map.ground_floor_zones().begin(),
+                                    map.ground_floor_zones().end());
+  const std::vector<mining::ChoroplethBin> bins = mining::BuildChoropleth(
+      visits, [&](CellId c) { return ground.count(c) > 0; },
+      [&](CellId c) {
+        const indoor::CellSpace* cell = Unwrap(map.graph().FindCell(c));
+        return cell->name() + " (" + Unwrap(cell->Attribute("theme")) + ")";
+      });
+  std::cout << "Ground-floor detection densities:\n"
+            << mining::RenderAsciiBars(bins, 40) << "\n";
+
+  // ---- 6. Top zone-to-zone flows and frequent paths.
+  const mining::FlowMatrix flows = mining::FlowMatrix::Build(visits);
+  std::cout << "Top 5 zone-to-zone flows:\n";
+  for (const mining::Flow& f : flows.Top(5)) {
+    std::printf("  %s -> %s : %zu\n", Unwrap(map.CellName(f.from)).c_str(),
+                Unwrap(map.CellName(f.to)).c_str(), f.count);
+  }
+  std::vector<std::vector<CellId>> sequences;
+  sequences.reserve(visits.size());
+  for (const core::SemanticTrajectory& t : visits) {
+    sequences.push_back(mining::CellSequenceOf(t));
+  }
+  mining::PatternOptions pattern_options;
+  pattern_options.min_support = visits.size() / 20;
+  pattern_options.max_length = 4;
+  pattern_options.contiguous = true;
+  const std::vector<mining::SequentialPattern> patterns =
+      Unwrap(mining::MinePatterns(sequences, pattern_options));
+  std::cout << "\nTop contiguous path patterns (support >= 5% of visits):\n";
+  int shown = 0;
+  for (const mining::SequentialPattern& p : patterns) {
+    if (p.cells.size() < 2 || shown >= 5) continue;
+    std::string path;
+    for (CellId c : p.cells) {
+      if (!path.empty()) path += " -> ";
+      path += Unwrap(map.CellName(c));
+    }
+    std::printf("  [%zu] %s\n", p.support, path.c_str());
+    ++shown;
+  }
+
+  // ---- 7. Floor-switching patterns (the paper's closing example).
+  const mining::FloorSwitchStats floor_stats = Unwrap(
+      mining::AnalyzeFloorSwitching(visits, hierarchy, louvre::kLevelFloor));
+  std::cout << "\nFloor switches per visit:\n";
+  for (const auto& [switches, count] : floor_stats.switches_per_visit) {
+    if (switches > 8) break;
+    std::printf("  %zu switches: %zu visits\n", switches, count);
+  }
+
+  // ---- 8. Semantic enrichment: place semantics flow onto stays.
+  std::vector<core::SemanticTrajectory> enriched = visits;
+  const std::vector<core::EnrichmentRule> rules = {
+      core::AnnotateWhereAttribute(
+          "requiresTicket", "true",
+          {core::AnnotationKind::kOther, "ticketed area"}),
+      core::AnnotateStopsAndMoves(
+          Duration::Minutes(5), {core::AnnotationKind::kBehavior, "stop"},
+          {core::AnnotationKind::kBehavior, "move"}),
+      core::AnnotateFinalExit(map.exit_zones(),
+                              {core::AnnotationKind::kGoal, "museumExit"})};
+  std::size_t total_added = 0;
+  for (core::SemanticTrajectory& t : enriched) {
+    total_added +=
+        Unwrap(core::EnrichTrajectory(&t, zone_layer->graph(), rules))
+            .annotations_added;
+  }
+  std::printf("\nenrichment added %zu annotations across %zu visits\n",
+              total_added, enriched.size());
+
+  // ---- 9. Association rules over co-visited zones.
+  mining::AssociationOptions assoc;
+  assoc.min_support = visits.size() / 10;
+  assoc.min_confidence = 0.6;
+  assoc.max_set_size = 2;
+  const auto assoc_rules = Unwrap(mining::MineAssociationRules(visits, assoc));
+  std::cout << "\nTop co-visitation rules (confidence >= 0.6):\n";
+  int printed = 0;
+  for (const mining::AssociationRule& rule : assoc_rules) {
+    if (printed++ >= 5) break;
+    std::printf("  %s => %s  (conf %.2f, lift %.2f, support %zu)\n",
+                Unwrap(map.CellName(rule.antecedent[0])).c_str(),
+                Unwrap(map.CellName(rule.consequent[0])).c_str(),
+                rule.confidence, rule.lift, rule.support);
+  }
+
+  // ---- 10. A Markov mobility model: where do visitors go next?
+  const mining::MarkovModel markov = Unwrap(mining::MarkovModel::Fit(visits));
+  std::printf("\nMarkov model over %zu zones; after the entrance hall:\n",
+              markov.num_states());
+  for (const auto& [zone, p] :
+       markov.TopSuccessors(CellId(louvre::kZoneEntranceHall), 3)) {
+    std::printf("  %-42s %.0f%%\n", Unwrap(map.CellName(zone)).c_str(),
+                p * 100);
+  }
+  const auto stationary = markov.StationaryDistribution();
+  std::printf("busiest zones in the long run: %s (%.1f%%), %s (%.1f%%)\n",
+              Unwrap(map.CellName(stationary[0].first)).c_str(),
+              stationary[0].second * 100,
+              Unwrap(map.CellName(stationary[1].first)).c_str(),
+              stationary[1].second * 100);
+  return 0;
+}

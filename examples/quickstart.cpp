@@ -1,0 +1,134 @@
+// Quickstart: build a tiny two-floor gallery, record one annotated
+// visit, and exercise the core SITM operations — subtrajectories,
+// event-based splits, episodes, multi-granularity roll-up, and
+// topology-based inference.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/builder.h"
+#include "core/episode.h"
+#include "core/inference.h"
+#include "core/projection.h"
+#include "indoor/hierarchy.h"
+#include "indoor/multilayer.h"
+
+namespace {
+
+using namespace sitm;           // NOLINT
+using namespace sitm::indoor;   // NOLINT
+using namespace sitm::core;     // NOLINT
+
+// Dies with a message if a Status is not OK (fine for an example).
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "FATAL: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  Check(result.status());
+  return std::move(result).value();
+}
+
+Timestamp At(int hour, int minute, int second) {
+  return Unwrap(Timestamp::FromCivil(2026, 6, 9, hour, minute, second));
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. Indoor space: a gallery with two floors of rooms.
+  // Room layer: four rooms chained A - B - C on floor 0, D on floor 1.
+  SpaceLayer rooms(LayerId(1), "Room", LayerKind::kTopographic);
+  Nrg& g = rooms.mutable_graph();
+  for (auto [id, name, floor] :
+       {std::tuple{1, "Entrance Hall A", 0}, {2, "Gallery B", 0},
+        {3, "Gallery C", 0}, {4, "Upper Gallery D", 1}}) {
+    CellSpace cell(CellId(id), name, CellClass::kRoom);
+    cell.set_floor_level(floor);
+    Check(g.AddCell(std::move(cell)));
+  }
+  Check(g.AddBoundary({BoundaryId(101), "door101", BoundaryType::kDoor}));
+  Check(g.AddBoundary({BoundaryId(102), "door102", BoundaryType::kDoor}));
+  Check(g.AddBoundary(
+      {BoundaryId(103), "stairs103", BoundaryType::kStaircase}));
+  Check(g.AddSymmetricEdge(CellId(1), CellId(2), EdgeType::kAccessibility,
+                           BoundaryId(101)));
+  Check(g.AddSymmetricEdge(CellId(2), CellId(3), EdgeType::kAccessibility,
+                           BoundaryId(102)));
+  Check(g.AddSymmetricEdge(CellId(3), CellId(4), EdgeType::kAccessibility,
+                           BoundaryId(103)));
+
+  // Floor layer above it, plus joint edges (covers) forming a hierarchy.
+  SpaceLayer floors(LayerId(2), "Floor", LayerKind::kTopographic);
+  Check(floors.mutable_graph().AddCell(
+      CellSpace(CellId(10), "Floor 0", CellClass::kFloor)));
+  Check(floors.mutable_graph().AddCell(
+      CellSpace(CellId(11), "Floor 1", CellClass::kFloor)));
+
+  MultiLayerGraph graph;
+  Check(graph.AddLayer(std::move(floors)));
+  Check(graph.AddLayer(std::move(rooms)));
+  for (auto [floor, room] : {std::pair{10, 1}, {10, 2}, {10, 3}, {11, 4}}) {
+    Check(graph.AddJointEdge(CellId(floor), CellId(room),
+                             qsr::TopologicalRelation::kCovers));
+  }
+  const LayerHierarchy hierarchy =
+      Unwrap(LayerHierarchy::Build(&graph, {LayerId(2), LayerId(1)}));
+
+  // ---- 2. A visit, from raw detections to a semantic trajectory.
+  // The visitor lingers in B, skips C's sensor, and reappears in D.
+  std::vector<RawDetection> raw = {
+      {ObjectId(7), CellId(1), At(11, 30, 0), At(11, 32, 35)},
+      {ObjectId(7), CellId(2), At(11, 32, 40), At(11, 58, 0)},
+      {ObjectId(7), CellId(4), At(12, 1, 0), At(12, 20, 0)},
+  };
+  BuilderOptions options;
+  options.graph = &Unwrap(graph.FindLayer(LayerId(1)))->graph();
+  options.default_annotations =
+      AnnotationSet{{AnnotationKind::kActivity, "visit"}};
+  TrajectoryBuilder builder(options);
+  std::vector<SemanticTrajectory> trajectories =
+      Unwrap(builder.Build(std::move(raw)));
+  SemanticTrajectory& visit = trajectories.front();
+  std::cout << "Built trajectory:\n" << visit.ToString() << "\n\n";
+
+  // ---- 3. Topology-based inference: the visitor must have crossed C.
+  auto [completed, report] =
+      Unwrap(InferHiddenPassages(visit, *options.graph));
+  std::cout << "After inference (" << report.inserted
+            << " hidden passage inserted):\n"
+            << completed.trace().ToString() << "\n\n";
+
+  // ---- 4. Event-based split: the goal changes while still in D.
+  Check(completed.SplitIntervalAt(
+      completed.trace().size() - 1, At(12, 10, 0),
+      AnnotationSet{{AnnotationKind::kActivity, "visit"},
+                    {AnnotationKind::kGoal, "buy"}}));
+  std::cout << "After the in-cell goal change:\n"
+            << completed.trace().ToString() << "\n\n";
+
+  // ---- 5. Episodes: where did the visitor actually stop?
+  const std::vector<Episode> stops = ExtractMaximalEpisodes(
+      completed, StayAtLeast(Duration::Minutes(5)), "stop",
+      AnnotationSet{{AnnotationKind::kBehavior, "stopping"}});
+  std::cout << stops.size() << " stop episode(s):\n";
+  for (const Episode& ep : stops) {
+    const qsr::TimeInterval iv = Unwrap(ep.IntervalIn(completed));
+    std::cout << "  [" << iv.start().TimeOfDayString() << " - "
+              << iv.end().TimeOfDayString() << "] tuples " << ep.begin
+              << ".." << ep.end - 1 << "\n";
+  }
+  std::cout << "\n";
+
+  // ---- 6. Roll-up: the same visit at floor granularity.
+  const SemanticTrajectory by_floor =
+      Unwrap(ProjectTrajectory(completed, hierarchy, /*target_level=*/0));
+  std::cout << "Floor-level view:\n" << by_floor.trace().ToString() << "\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef SITM_BASE_RESULT_H_
+#define SITM_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace sitm {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// The value-or-error idiom used across the library for fallible
+/// constructors and queries (see Arrow's arrow::Result). Accessing the
+/// value of an errored Result is a programming error and asserts in
+/// debug builds.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs an OK result holding a value (implicit on purpose, so
+  /// `return value;` works in functions returning Result<T>).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an errored result (implicit on purpose, so
+  /// `return Status::NotFound(...);` works).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK iff a value is held).
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result-returning expression, or assigns the
+/// unwrapped value to `lhs`. Usable in functions returning Status or
+/// Result<U>.
+#define SITM_ASSIGN_OR_RETURN(lhs, expr)            \
+  SITM_ASSIGN_OR_RETURN_IMPL_(                      \
+      SITM_CONCAT_(_sitm_result_, __LINE__), lhs, expr)
+
+#define SITM_CONCAT_INNER_(a, b) a##b
+#define SITM_CONCAT_(a, b) SITM_CONCAT_INNER_(a, b)
+#define SITM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace sitm
+
+#endif  // SITM_BASE_RESULT_H_

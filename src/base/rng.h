@@ -1,0 +1,117 @@
+#ifndef SITM_BASE_RNG_H_
+#define SITM_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sitm {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// The standard library's distributions are not reproducible across
+/// implementations, while the experiments in bench/ must print identical
+/// rows on every platform; this class owns both the generator and the
+/// distribution transforms so a given seed always yields the same stream.
+class Rng {
+ public:
+  /// Seeds the generator; two Rng instances with equal seeds produce
+  /// identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0).
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded sampling without the rejection
+    // loop; bias is < 2^-64 * bound, negligible for simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (lo <= hi).
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Exponential with the given mean (> 0).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Samples an index from a discrete distribution proportional to
+  /// `weights` (weights need not be normalized; non-positive total yields
+  /// index 0).
+  std::size_t NextWeighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w > 0 ? w : 0;
+    if (total <= 0) return 0;
+    double r = NextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double w = weights[i] > 0 ? weights[i] : 0;
+      if (r < w) return i;
+      r -= w;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace sitm
+
+#endif  // SITM_BASE_RNG_H_

@@ -1,0 +1,121 @@
+#ifndef SITM_BASE_STATUS_H_
+#define SITM_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sitm {
+
+/// \brief Machine-readable category of a Status.
+///
+/// Modeled after the status idiom used by database engines (RocksDB,
+/// Arrow): fallible operations return a Status (or Result<T>) instead of
+/// throwing, so error propagation is explicit at every call site.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kCorruption = 6,
+  kIOError = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code
+/// (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief The result of an operation that can fail.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Status is cheap to copy (small string optimization covers the
+/// common short messages) and is [[nodiscard]] so ignored failures are
+/// compile-time visible.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// True iff the status has the given code.
+  bool Is(StatusCode code) const { return code_ == code; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context, keeping the code.
+  /// OK statuses are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller. Usable only in functions
+/// returning Status.
+#define SITM_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::sitm::Status _sitm_status = (expr);       \
+    if (!_sitm_status.ok()) return _sitm_status; \
+  } while (false)
+
+}  // namespace sitm
+
+#endif  // SITM_BASE_STATUS_H_

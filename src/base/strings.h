@@ -1,0 +1,35 @@
+#ifndef SITM_BASE_STRINGS_H_
+#define SITM_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace sitm {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view text);
+
+/// True iff `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Parses a whole string as a decimal integer / floating point value.
+Result<std::int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// Lowercases ASCII letters.
+std::string AsciiLower(std::string_view text);
+
+}  // namespace sitm
+
+#endif  // SITM_BASE_STRINGS_H_

@@ -1,0 +1,143 @@
+#include "base/time.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sitm {
+namespace {
+
+constexpr std::array<int, 12> kDaysInMonth = {31, 28, 31, 30, 31, 30,
+                                              31, 31, 30, 31, 30, 31};
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDaysInMonth[month - 1];
+}
+
+// Days from 1970-01-01 to year-month-day, via the days-from-civil
+// algorithm (Howard Hinnant), valid for the proleptic Gregorian calendar.
+std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);          // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;         // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(std::int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;     // [0, 399]
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned dd = doy - (153 * mp + 2) / 5 + 1;              // [1, 31]
+  const unsigned mm = mp + (mp < 10 ? 3 : -9);                   // [1, 12]
+  *y = static_cast<int>(yy + (mm <= 2));
+  *m = static_cast<int>(mm);
+  *d = static_cast<int>(dd);
+}
+
+}  // namespace
+
+std::string Duration::ToString() const {
+  std::int64_t s = seconds_;
+  const char* sign = "";
+  if (s < 0) {
+    sign = "-";
+    s = -s;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02d:%02d", sign,
+                static_cast<long long>(s / 3600),
+                static_cast<int>((s % 3600) / 60), static_cast<int>(s % 60));
+  return buf;
+}
+
+Result<Timestamp> Timestamp::FromCivil(int year, int month, int day, int hour,
+                                       int minute, int second) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59) {
+    return Status::InvalidArgument("time of day out of range");
+  }
+  const std::int64_t days = DaysFromCivil(year, month, day);
+  return Timestamp(days * 86400 + hour * 3600 + minute * 60 + second);
+}
+
+Result<Timestamp> Timestamp::Parse(std::string_view text) {
+  // Expected: YYYY-MM-DD hh:mm:ss (the separator may also be 'T').
+  if (text.size() != 19 || text[4] != '-' || text[7] != '-' ||
+      (text[10] != ' ' && text[10] != 'T') || text[13] != ':' ||
+      text[16] != ':') {
+    return Status::InvalidArgument("unparseable timestamp: '" +
+                                   std::string(text) + "'");
+  }
+  auto digits = [&](int pos, int len, int* out) -> bool {
+    int v = 0;
+    for (int i = pos; i < pos + len; ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      v = v * 10 + (text[i] - '0');
+    }
+    *out = v;
+    return true;
+  };
+  int y, mo, d, h, mi, s;
+  if (!digits(0, 4, &y) || !digits(5, 2, &mo) || !digits(8, 2, &d) ||
+      !digits(11, 2, &h) || !digits(14, 2, &mi) || !digits(17, 2, &s)) {
+    return Status::InvalidArgument("non-digit in timestamp: '" +
+                                   std::string(text) + "'");
+  }
+  return FromCivil(y, mo, d, h, mi, s);
+}
+
+std::string Timestamp::ToString() const {
+  std::int64_t days = seconds_ / 86400;
+  std::int64_t sod = seconds_ % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    days -= 1;
+  }
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", y, m, d,
+                static_cast<int>(sod / 3600), static_cast<int>((sod % 3600) / 60),
+                static_cast<int>(sod % 60));
+  return buf;
+}
+
+std::string Timestamp::TimeOfDayString() const {
+  std::int64_t sod = seconds_ % 86400;
+  if (sod < 0) sod += 86400;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d",
+                static_cast<int>(sod / 3600), static_cast<int>((sod % 3600) / 60),
+                static_cast<int>(sod % 60));
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, Timestamp t) {
+  return os << t.ToString();
+}
+
+}  // namespace sitm

@@ -1,0 +1,126 @@
+#ifndef SITM_BASE_TIME_H_
+#define SITM_BASE_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+
+namespace sitm {
+
+/// \brief Signed duration in whole seconds.
+///
+/// Indoor positioning produces second-granularity detections (the Louvre
+/// dataset reports durations such as "7 h 41 min 37 s"), so one second is
+/// the model's native resolution.
+class Duration {
+ public:
+  constexpr Duration() : seconds_(0) {}
+  constexpr explicit Duration(std::int64_t seconds) : seconds_(seconds) {}
+
+  static constexpr Duration Seconds(std::int64_t s) { return Duration(s); }
+  static constexpr Duration Minutes(std::int64_t m) { return Duration(m * 60); }
+  static constexpr Duration Hours(std::int64_t h) { return Duration(h * 3600); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr std::int64_t seconds() const { return seconds_; }
+  constexpr double minutes() const { return seconds_ / 60.0; }
+  constexpr double hours() const { return seconds_ / 3600.0; }
+
+  /// Formats as "h:mm:ss" (e.g. "7:41:37"); negative durations get a
+  /// leading '-'.
+  std::string ToString() const;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.seconds_ + b.seconds_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+  friend constexpr bool operator==(Duration a, Duration b) {
+    return a.seconds_ == b.seconds_;
+  }
+  friend constexpr bool operator!=(Duration a, Duration b) {
+    return a.seconds_ != b.seconds_;
+  }
+  friend constexpr bool operator<(Duration a, Duration b) {
+    return a.seconds_ < b.seconds_;
+  }
+  friend constexpr bool operator>(Duration a, Duration b) {
+    return a.seconds_ > b.seconds_;
+  }
+  friend constexpr bool operator<=(Duration a, Duration b) {
+    return a.seconds_ <= b.seconds_;
+  }
+  friend constexpr bool operator>=(Duration a, Duration b) {
+    return a.seconds_ >= b.seconds_;
+  }
+
+ private:
+  std::int64_t seconds_;
+};
+
+/// \brief A point in time: whole seconds since the Unix epoch (UTC).
+class Timestamp {
+ public:
+  constexpr Timestamp() : seconds_(0) {}
+  constexpr explicit Timestamp(std::int64_t seconds_since_epoch)
+      : seconds_(seconds_since_epoch) {}
+
+  constexpr std::int64_t seconds_since_epoch() const { return seconds_; }
+
+  /// Builds a timestamp from a UTC civil date-time. Validates ranges
+  /// (month 1-12, day fits the month incl. leap years, hms in range).
+  static Result<Timestamp> FromCivil(int year, int month, int day, int hour,
+                                     int minute, int second);
+
+  /// Parses "YYYY-MM-DD hh:mm:ss" or "YYYY-MM-DDThh:mm:ss" (UTC).
+  static Result<Timestamp> Parse(std::string_view text);
+
+  /// Formats as "YYYY-MM-DD hh:mm:ss" (UTC).
+  std::string ToString() const;
+
+  /// Formats just the time-of-day as "hh:mm:ss" (UTC), the notation the
+  /// paper uses for trace tuples.
+  std::string TimeOfDayString() const;
+
+  friend constexpr Duration operator-(Timestamp a, Timestamp b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+  friend constexpr Timestamp operator+(Timestamp t, Duration d) {
+    return Timestamp(t.seconds_ + d.seconds());
+  }
+  friend constexpr Timestamp operator-(Timestamp t, Duration d) {
+    return Timestamp(t.seconds_ - d.seconds());
+  }
+  friend constexpr bool operator==(Timestamp a, Timestamp b) {
+    return a.seconds_ == b.seconds_;
+  }
+  friend constexpr bool operator!=(Timestamp a, Timestamp b) {
+    return a.seconds_ != b.seconds_;
+  }
+  friend constexpr bool operator<(Timestamp a, Timestamp b) {
+    return a.seconds_ < b.seconds_;
+  }
+  friend constexpr bool operator>(Timestamp a, Timestamp b) {
+    return a.seconds_ > b.seconds_;
+  }
+  friend constexpr bool operator<=(Timestamp a, Timestamp b) {
+    return a.seconds_ <= b.seconds_;
+  }
+  friend constexpr bool operator>=(Timestamp a, Timestamp b) {
+    return a.seconds_ >= b.seconds_;
+  }
+
+ private:
+  std::int64_t seconds_;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Timestamp t);
+
+}  // namespace sitm
+
+#endif  // SITM_BASE_TIME_H_

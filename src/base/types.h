@@ -1,0 +1,96 @@
+#ifndef SITM_BASE_TYPES_H_
+#define SITM_BASE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace sitm {
+
+/// \brief A zero-cost strongly typed integer id.
+///
+/// Ids of different entity kinds (cells, layers, boundaries, moving
+/// objects, ...) must not be interchangeable; the Tag parameter makes
+/// each instantiation a distinct type. Value -1 is reserved as
+/// "invalid/unset".
+template <typename Tag>
+class TypedId {
+ public:
+  using underlying_type = std::int64_t;
+
+  /// Constructs an invalid id.
+  constexpr TypedId() : value_(-1) {}
+
+  /// Constructs an id with the given raw value.
+  constexpr explicit TypedId(underlying_type value) : value_(value) {}
+
+  /// The raw integer value.
+  constexpr underlying_type value() const { return value_; }
+
+  /// True iff the id is not the reserved invalid value.
+  constexpr bool valid() const { return value_ >= 0; }
+
+  /// The reserved invalid id.
+  static constexpr TypedId Invalid() { return TypedId(); }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(TypedId a, TypedId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator<=(TypedId a, TypedId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(TypedId a, TypedId b) {
+    return a.value_ >= b.value_;
+  }
+
+ private:
+  underlying_type value_;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TypedId<Tag> id) {
+  if (!id.valid()) return os << "#invalid";
+  return os << '#' << id.value();
+}
+
+struct CellIdTag {};
+struct LayerIdTag {};
+struct BoundaryIdTag {};
+struct ObjectIdTag {};
+struct TrajectoryIdTag {};
+
+/// Identifies a spatial cell (IndoorGML "cellspace"; a node/state of the
+/// indoor space graph).
+using CellId = TypedId<CellIdTag>;
+/// Identifies a layer of the multi-layered space graph.
+using LayerId = TypedId<LayerIdTag>;
+/// Identifies a cell boundary (an intra-layer edge/transition: door,
+/// wall opening, staircase, checkpoint, ...).
+using BoundaryId = TypedId<BoundaryIdTag>;
+/// Identifies a moving object (visitor, staff member, wheeled asset, ...).
+using ObjectId = TypedId<ObjectIdTag>;
+/// Identifies a semantic trajectory.
+using TrajectoryId = TypedId<TrajectoryIdTag>;
+
+}  // namespace sitm
+
+namespace std {
+template <typename Tag>
+struct hash<sitm::TypedId<Tag>> {
+  size_t operator()(sitm::TypedId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // SITM_BASE_TYPES_H_

@@ -1,0 +1,141 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sitm::core {
+namespace {
+
+// Fills in the transition boundary for a cell change when the graph has
+// exactly one accessibility edge between the cells.
+BoundaryId InferTransition(const indoor::Nrg* graph, CellId from, CellId to) {
+  if (graph == nullptr) return BoundaryId::Invalid();
+  BoundaryId found = BoundaryId::Invalid();
+  int matches = 0;
+  for (const indoor::NrgEdge& e :
+       graph->OutEdges(from, indoor::EdgeType::kAccessibility)) {
+    if (e.to != to) continue;
+    ++matches;
+    found = e.boundary;
+  }
+  return matches == 1 ? found : BoundaryId::Invalid();
+}
+
+}  // namespace
+
+Result<std::vector<SemanticTrajectory>> TrajectoryBuilder::Build(
+    std::vector<RawDetection> detections) {
+  report_ = BuildReport{};
+  report_.records_in = detections.size();
+  if (options_.default_annotations.empty()) {
+    return Status::InvalidArgument(
+        "TrajectoryBuilder: default_annotations must be non-empty "
+        "(Def. 3.1 requires a non-empty A_traj)");
+  }
+
+  // Group by object, ordered for deterministic output.
+  std::map<ObjectId, std::vector<RawDetection>> by_object;
+  for (RawDetection& d : detections) {
+    if (!d.object.valid() || !d.cell.valid()) {
+      return Status::InvalidArgument(
+          "TrajectoryBuilder: detection with invalid object or cell id");
+    }
+    by_object[d.object].push_back(std::move(d));
+  }
+  report_.objects_seen = by_object.size();
+
+  std::vector<SemanticTrajectory> out;
+  TrajectoryId next_id = options_.first_trajectory_id;
+
+  for (auto& [object, records] : by_object) {
+    std::sort(records.begin(), records.end(),
+              [](const RawDetection& a, const RawDetection& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.end < b.end;
+              });
+
+    // Cleaning pass: zero-duration, overlap clipping, graph filtering.
+    std::vector<RawDetection> clean;
+    for (const RawDetection& d : records) {
+      RawDetection cur = d;
+      if (options_.drop_zero_duration && cur.end <= cur.start) {
+        ++report_.zero_duration_dropped;
+        continue;
+      }
+      if (!clean.empty()) {
+        const RawDetection& prev = clean.back();
+        if (cur.end <= prev.end) {
+          // Entirely inside the previous detection: redundant.
+          ++report_.contained_dropped;
+          continue;
+        }
+        if (cur.start <= prev.end) {
+          // Sensor hand-over overlap: clip the start just past the
+          // previous end to keep presence intervals monotone.
+          cur.start = prev.end + Duration::Seconds(1);
+          ++report_.overlaps_clipped;
+          if (cur.start > cur.end) {
+            ++report_.zero_duration_dropped;
+            continue;
+          }
+        }
+        if (options_.drop_graph_inconsistent && options_.graph != nullptr &&
+            cur.cell != prev.cell) {
+          const std::vector<CellId> reach = options_.graph->Reachable(
+              prev.cell, indoor::EdgeType::kAccessibility);
+          if (std::find(reach.begin(), reach.end(), cur.cell) == reach.end()) {
+            ++report_.graph_inconsistent_dropped;
+            continue;
+          }
+        }
+      }
+      clean.push_back(cur);
+    }
+    if (clean.empty()) continue;
+
+    // Visit splitting + same-cell merging + trace assembly.
+    Trace trace;
+    auto flush = [&]() -> Status {
+      if (trace.empty()) return Status::OK();
+      SemanticTrajectory traj(next_id, object, std::move(trace),
+                              options_.default_annotations);
+      next_id = TrajectoryId(next_id.value() + 1);
+      SITM_RETURN_IF_ERROR(traj.Validate());
+      out.push_back(std::move(traj));
+      trace = Trace();
+      return Status::OK();
+    };
+
+    for (const RawDetection& d : clean) {
+      if (!trace.empty()) {
+        const PresenceInterval& last = trace.intervals().back();
+        const Duration gap = d.start - last.end();
+        if (gap > options_.session_gap) {
+          SITM_RETURN_IF_ERROR(flush());
+        } else if (d.cell == last.cell &&
+                   gap <= options_.same_cell_merge_gap) {
+          // Extend the ongoing presence in the same cell.
+          PresenceInterval merged = last;
+          merged.interval = *qsr::TimeInterval::Make(last.start(), d.end);
+          trace.mutable_intervals().back() = std::move(merged);
+          ++report_.merged_same_cell;
+          continue;
+        }
+      }
+      PresenceInterval p;
+      p.cell = d.cell;
+      p.interval = *qsr::TimeInterval::Make(d.start, d.end);
+      if (!trace.empty() && trace.intervals().back().cell != d.cell) {
+        p.transition =
+            InferTransition(options_.graph, trace.intervals().back().cell,
+                            d.cell);
+      }
+      trace.Append(std::move(p));
+    }
+    SITM_RETURN_IF_ERROR(flush());
+  }
+  report_.trajectories_out = out.size();
+  return out;
+}
+
+}  // namespace sitm::core

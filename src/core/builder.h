@@ -1,0 +1,101 @@
+#ifndef SITM_CORE_BUILDER_H_
+#define SITM_CORE_BUILDER_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+#include "indoor/nrg.h"
+
+namespace sitm::core {
+
+/// \brief One raw symbolic detection: the moving object's device was
+/// observed inside `cell` over [start, end].
+///
+/// This is the shape of the Louvre dataset's "zone detections" (§4.1):
+/// raw geometric positions already aggregated into symbolic cells by the
+/// positioning pipeline.
+struct RawDetection {
+  ObjectId object;
+  CellId cell;
+  Timestamp start;
+  Timestamp end;
+
+  RawDetection() = default;
+  RawDetection(ObjectId o, CellId c, Timestamp s, Timestamp e)
+      : object(o), cell(c), start(s), end(e) {}
+};
+
+/// Options controlling raw-detection cleaning and trace assembly.
+struct BuilderOptions {
+  /// Drop detections with end <= start ("around 10% of the zone
+  /// detections have a duration of zero value, forcing us to filter them
+  /// out as detection errors", §4.1).
+  bool drop_zero_duration = true;
+  /// Merge consecutive detections of the same cell into one presence
+  /// interval when the gap between them is at most this long.
+  Duration same_cell_merge_gap = Duration::Minutes(5);
+  /// Start a new trajectory when two consecutive detections of the same
+  /// object are separated by more than this (session splitting: the
+  /// Louvre's returning visitors made second/third visits, "although not
+  /// necessarily on different days", so wall-clock grouping by day is
+  /// wrong — gaps define visits).
+  Duration session_gap = Duration::Hours(2);
+  /// Trajectory-level annotations attached to every built trajectory
+  /// (Def. 3.1 requires a non-empty A_traj; callers refine later).
+  AnnotationSet default_annotations =
+      AnnotationSet{{AnnotationKind::kActivity, "visit"}};
+  /// First id to assign to built trajectories (sequential from here).
+  TrajectoryId first_trajectory_id = TrajectoryId(1);
+  /// Optional accessibility graph: when set, transition boundary ids are
+  /// filled in for cell changes served by exactly one accessibility
+  /// edge, and detections are kept even if not graph-consistent (the
+  /// graph "can assist in filtering out data errors", §4.2 — see
+  /// `drop_graph_inconsistent`).
+  const indoor::Nrg* graph = nullptr;
+  /// With a graph set: drop detections whose cell is not reachable from
+  /// the previous detection's cell by one accessibility edge or by any
+  /// path (teleports — localization glitches).
+  bool drop_graph_inconsistent = false;
+};
+
+/// Counters describing what the builder did.
+struct BuildReport {
+  std::size_t records_in = 0;
+  std::size_t zero_duration_dropped = 0;
+  std::size_t overlaps_clipped = 0;
+  std::size_t contained_dropped = 0;
+  std::size_t graph_inconsistent_dropped = 0;
+  std::size_t merged_same_cell = 0;
+  std::size_t objects_seen = 0;
+  std::size_t trajectories_out = 0;
+};
+
+/// \brief Assembles semantic trajectories from raw symbolic detections.
+///
+/// Pipeline per moving object: sort by start time; drop zero-duration
+/// errors; clip overlapping detections (sensor hand-over overlap) to
+/// make time monotonic; split into visits at session gaps; merge
+/// consecutive same-cell detections; emit one SemanticTrajectory per
+/// visit with sequential ids.
+class TrajectoryBuilder {
+ public:
+  explicit TrajectoryBuilder(BuilderOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Builds all trajectories from the detection set. The input need not
+  /// be sorted. Returns trajectories ordered by (object, start time).
+  Result<std::vector<SemanticTrajectory>> Build(
+      std::vector<RawDetection> detections);
+
+  /// The counters of the last Build() call.
+  const BuildReport& report() const { return report_; }
+
+ private:
+  BuilderOptions options_;
+  BuildReport report_;
+};
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_BUILDER_H_

@@ -1,0 +1,108 @@
+#include "core/enrichment.h"
+
+namespace sitm::core {
+
+EnrichmentRule AnnotateWhereAttribute(std::string key, std::string value,
+                                      SemanticAnnotation annotation) {
+  EnrichmentRule rule;
+  rule.name = "attribute:" + key + "=" + value;
+  rule.apply = [key = std::move(key), value = std::move(value),
+                annotation = std::move(annotation)](
+                   const SemanticTrajectory& trajectory, std::size_t index,
+                   const indoor::Nrg& graph) {
+    AnnotationSet out;
+    const Result<const indoor::CellSpace*> cell =
+        graph.FindCell(trajectory.trace().at(index).cell);
+    if (cell.ok() && (*cell)->AttributeEquals(key, value)) {
+      out.Add(annotation);
+    }
+    return out;
+  };
+  return rule;
+}
+
+EnrichmentRule AnnotateWhereClass(indoor::CellClass cell_class,
+                                  SemanticAnnotation annotation) {
+  EnrichmentRule rule;
+  rule.name = "class:" + std::string(indoor::CellClassName(cell_class));
+  rule.apply = [cell_class, annotation = std::move(annotation)](
+                   const SemanticTrajectory& trajectory, std::size_t index,
+                   const indoor::Nrg& graph) {
+    AnnotationSet out;
+    const Result<const indoor::CellSpace*> cell =
+        graph.FindCell(trajectory.trace().at(index).cell);
+    if (cell.ok() && (*cell)->cell_class() == cell_class) {
+      out.Add(annotation);
+    }
+    return out;
+  };
+  return rule;
+}
+
+EnrichmentRule AnnotateStopsAndMoves(Duration min_stay,
+                                     SemanticAnnotation stop_annotation,
+                                     SemanticAnnotation move_annotation) {
+  EnrichmentRule rule;
+  rule.name = "stops-and-moves";
+  rule.apply = [min_stay, stop_annotation = std::move(stop_annotation),
+                move_annotation = std::move(move_annotation)](
+                   const SemanticTrajectory& trajectory, std::size_t index,
+                   const indoor::Nrg&) {
+    AnnotationSet out;
+    out.Add(trajectory.trace().at(index).duration() >= min_stay
+                ? stop_annotation
+                : move_annotation);
+    return out;
+  };
+  return rule;
+}
+
+EnrichmentRule AnnotateFinalExit(std::unordered_set<CellId> exit_cells,
+                                 SemanticAnnotation annotation) {
+  EnrichmentRule rule;
+  rule.name = "final-exit";
+  rule.apply = [exit_cells = std::move(exit_cells),
+                annotation = std::move(annotation)](
+                   const SemanticTrajectory& trajectory, std::size_t index,
+                   const indoor::Nrg&) {
+    AnnotationSet out;
+    if (index + 1 == trajectory.trace().size() &&
+        exit_cells.count(trajectory.trace().at(index).cell) > 0) {
+      out.Add(annotation);
+    }
+    return out;
+  };
+  return rule;
+}
+
+Result<EnrichmentReport> EnrichTrajectory(
+    SemanticTrajectory* trajectory, const indoor::Nrg& graph,
+    const std::vector<EnrichmentRule>& rules) {
+  if (trajectory == nullptr) {
+    return Status::InvalidArgument(
+        "EnrichTrajectory: trajectory must not be null");
+  }
+  SITM_RETURN_IF_ERROR(trajectory->Validate());
+  EnrichmentReport report;
+  for (std::size_t i = 0; i < trajectory->trace().size(); ++i) {
+    AnnotationSet additions;
+    for (const EnrichmentRule& rule : rules) {
+      if (!rule.apply) {
+        return Status::InvalidArgument("EnrichTrajectory: rule '" +
+                                       rule.name + "' has no apply function");
+      }
+      additions = additions.Union(rule.apply(*trajectory, i, graph));
+    }
+    if (additions.empty()) continue;
+    PresenceInterval& tuple = trajectory->mutable_trace().mutable_intervals()[i];
+    const std::size_t before = tuple.annotations.size();
+    tuple.annotations = tuple.annotations.Union(additions);
+    if (tuple.annotations.size() != before) {
+      ++report.tuples_touched;
+      report.annotations_added += tuple.annotations.size() - before;
+    }
+  }
+  return report;
+}
+
+}  // namespace sitm::core

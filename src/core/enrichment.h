@@ -1,0 +1,71 @@
+#ifndef SITM_CORE_ENRICHMENT_H_
+#define SITM_CORE_ENRICHMENT_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+#include "indoor/nrg.h"
+
+namespace sitm::core {
+
+/// \brief A semantic enrichment rule: inspects one presence tuple in its
+/// spatial context and returns the annotations it contributes.
+///
+/// This realizes the enrichment layer the paper builds on (§2.2,
+/// SeMiTri's "semantic places" and [3]'s threshold-based stops): the
+/// semantics of *places* — cell classes and attributes — flow onto the
+/// trajectory as per-stay annotations. Rules are pure functions; the
+/// engine below applies a rule set over a trajectory.
+struct EnrichmentRule {
+  std::string name;
+  /// Returns the annotations this rule adds for tuple `index` of
+  /// `trajectory` (empty set = rule does not fire). `graph` resolves
+  /// cell metadata.
+  std::function<AnnotationSet(const SemanticTrajectory& trajectory,
+                              std::size_t index, const indoor::Nrg& graph)>
+      apply;
+};
+
+/// Rule: cells whose attribute `key` equals `value` contribute
+/// `annotation` to every stay there (e.g. theme="Italian Paintings" ->
+/// activity:"art viewing"; requiresTicket="true" -> other:"ticketed").
+EnrichmentRule AnnotateWhereAttribute(std::string key, std::string value,
+                                      SemanticAnnotation annotation);
+
+/// Rule: cells of the given class contribute `annotation` (e.g. every
+/// staircase stay is behavior:"transit").
+EnrichmentRule AnnotateWhereClass(indoor::CellClass cell_class,
+                                  SemanticAnnotation annotation);
+
+/// Rule: the stop/move dichotomy of [3]: stays of at least `min_stay`
+/// are annotated `stop_annotation`, shorter ones `move_annotation`.
+EnrichmentRule AnnotateStopsAndMoves(Duration min_stay,
+                                     SemanticAnnotation stop_annotation,
+                                     SemanticAnnotation move_annotation);
+
+/// Rule: a final stay inside `exit_cells` contributes `annotation`
+/// (the Zone60890 reading: disappearing at an exit is leaving).
+EnrichmentRule AnnotateFinalExit(std::unordered_set<CellId> exit_cells,
+                                 SemanticAnnotation annotation);
+
+/// Counters of one enrichment pass.
+struct EnrichmentReport {
+  std::size_t tuples_touched = 0;
+  std::size_t annotations_added = 0;
+};
+
+/// \brief Applies the rules to every tuple of the trajectory, merging
+/// the contributed annotations into each stay's set (event-based
+/// integrity is preserved: annotations only grow, and equal consecutive
+/// tuples cannot arise since cells/timestamps are untouched).
+Result<EnrichmentReport> EnrichTrajectory(
+    SemanticTrajectory* trajectory, const indoor::Nrg& graph,
+    const std::vector<EnrichmentRule>& rules);
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_ENRICHMENT_H_

@@ -1,0 +1,155 @@
+#include "core/episode.h"
+
+namespace sitm::core {
+
+Result<qsr::TimeInterval> Episode::IntervalIn(
+    const SemanticTrajectory& parent) const {
+  if (begin >= end || end > parent.trace().size()) {
+    return Status::OutOfRange("Episode: range [" + std::to_string(begin) +
+                              ", " + std::to_string(end) +
+                              ") is outside the parent trace");
+  }
+  return qsr::TimeInterval::Make(parent.trace().at(begin).start(),
+                                 parent.trace().at(end - 1).end());
+}
+
+EpisodePredicate ForAllTuples(TupleCondition condition) {
+  return [condition = std::move(condition)](const SemanticTrajectory& parent,
+                                            std::size_t begin,
+                                            std::size_t end) {
+    if (begin >= end || end > parent.trace().size()) return false;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!condition(parent, i)) return false;
+    }
+    return true;
+  };
+}
+
+TupleCondition StayAtLeast(Duration min_stay) {
+  return [min_stay](const SemanticTrajectory& parent, std::size_t index) {
+    return parent.trace().at(index).duration() >= min_stay;
+  };
+}
+
+TupleCondition InCells(std::unordered_set<CellId> cells) {
+  return [cells = std::move(cells)](const SemanticTrajectory& parent,
+                                    std::size_t index) {
+    return cells.count(parent.trace().at(index).cell) > 0;
+  };
+}
+
+TupleCondition HasAnnotation(AnnotationKind kind, std::string value) {
+  return [kind, value = std::move(value)](const SemanticTrajectory& parent,
+                                          std::size_t index) {
+    return parent.trace().at(index).annotations.Contains(kind, value);
+  };
+}
+
+Status ValidateEpisode(const SemanticTrajectory& parent,
+                       const Episode& episode,
+                       const EpisodePredicate& predicate) {
+  SITM_RETURN_IF_ERROR(parent.Validate());
+  // (1) Proper subtrajectory: Subtrajectory() enforces the range and the
+  // proper-bounds condition of Def. 3.3.
+  SITM_RETURN_IF_ERROR(
+      parent.Subtrajectory(episode.begin, episode.end, episode.annotations)
+          .status());
+  // (2) A' != A.
+  if (episode.annotations == parent.annotations()) {
+    return Status::FailedPrecondition(
+        "Episode '" + episode.label +
+        "': annotations equal the parent trajectory's (Def. 3.4 requires "
+        "A' != A)");
+  }
+  // (3) P_ep holds.
+  if (predicate && !predicate(parent, episode.begin, episode.end)) {
+    return Status::FailedPrecondition("Episode '" + episode.label +
+                                      "': predicate not satisfied");
+  }
+  return Status::OK();
+}
+
+std::vector<Episode> ExtractMaximalEpisodes(const SemanticTrajectory& parent,
+                                            const TupleCondition& condition,
+                                            const std::string& label,
+                                            const AnnotationSet& annotations) {
+  std::vector<Episode> out;
+  const std::size_t n = parent.trace().size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!condition(parent, i)) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < n && condition(parent, j)) ++j;
+    // Maximal run [i, j). An episode must be a *proper* subtrajectory:
+    // shrink a whole-trace run from the right.
+    if (i == 0 && j == n) {
+      if (n == 1) {
+        i = j;
+        continue;  // cannot make a proper part of a single tuple
+      }
+      --j;
+    }
+    out.emplace_back(label, i, j, annotations);
+    i = j + 1;
+  }
+  return out;
+}
+
+Result<EpisodicSegmentation> EpisodicSegmentation::Make(
+    const SemanticTrajectory* parent, std::vector<Episode> episodes) {
+  if (parent == nullptr) {
+    return Status::InvalidArgument(
+        "EpisodicSegmentation: parent must not be null");
+  }
+  SITM_RETURN_IF_ERROR(parent->Validate());
+  if (episodes.empty()) {
+    return Status::InvalidArgument(
+        "EpisodicSegmentation: at least one episode is required");
+  }
+  // "Covers it time-wise" is checked over the *observed* presence: every
+  // tuple of the parent's trace must belong to at least one episode. A
+  // trace with sensing holes has unobservable wall-clock stretches that
+  // no episode could meaningfully assert anything about, so wall-clock
+  // coverage would make segmentation of any gappy trajectory impossible.
+  std::vector<bool> covered(parent->trace().size(), false);
+  for (const Episode& ep : episodes) {
+    SITM_RETURN_IF_ERROR(
+        ValidateEpisode(*parent, ep, /*predicate=*/nullptr));
+    for (std::size_t i = ep.begin; i < ep.end; ++i) covered[i] = true;
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    if (!covered[i]) {
+      return Status::FailedPrecondition(
+          "EpisodicSegmentation: the episodes do not cover the trajectory "
+          "time-wise (§3.3): tuple " + std::to_string(i) +
+          " belongs to no episode");
+    }
+  }
+  EpisodicSegmentation seg;
+  seg.parent_ = parent;
+  seg.episodes_ = std::move(episodes);
+  return seg;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+EpisodicSegmentation::OverlappingPairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::vector<qsr::TimeInterval> intervals;
+  intervals.reserve(episodes_.size());
+  for (const Episode& ep : episodes_) {
+    intervals.push_back(*ep.IntervalIn(*parent_));
+  }
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    for (std::size_t j = i + 1; j < intervals.size(); ++j) {
+      if (intervals[i].InteriorsIntersect(intervals[j])) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sitm::core

@@ -1,0 +1,121 @@
+#ifndef SITM_CORE_EPISODE_H_
+#define SITM_CORE_EPISODE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+
+namespace sitm::core {
+
+/// \brief An episode of a semantic trajectory (Def. 3.4): a semantic
+/// subtrajectory whose annotation set differs from the parent's and that
+/// satisfies a domain-dependent, user-defined predicate P_ep.
+///
+/// Episodes are stored by interval index range [begin, end) into the
+/// parent's trace, plus their own annotations and a human-readable label
+/// naming the predicate that produced them ("exit museum",
+/// "buy souvenir", ...).
+struct Episode {
+  std::string label;
+  std::size_t begin = 0;  ///< first interval index (inclusive)
+  std::size_t end = 0;    ///< one past the last interval index
+  AnnotationSet annotations;
+
+  Episode() = default;
+  Episode(std::string l, std::size_t b, std::size_t e, AnnotationSet a)
+      : label(std::move(l)), begin(b), end(e), annotations(std::move(a)) {}
+
+  /// The episode's time interval within `parent`.
+  Result<qsr::TimeInterval> IntervalIn(const SemanticTrajectory& parent) const;
+};
+
+/// \brief The user-defined episode predicate P_ep : T' -> {true, false},
+/// evaluated on a candidate range of the parent's trace.
+using EpisodePredicate = std::function<bool(
+    const SemanticTrajectory& parent, std::size_t begin, std::size_t end)>;
+
+/// A per-tuple condition, lifted to ranges by requiring it on every
+/// tuple of the range (the common shape of episode predicates).
+using TupleCondition =
+    std::function<bool(const SemanticTrajectory& parent, std::size_t index)>;
+
+/// Lifts a per-tuple condition to an EpisodePredicate (true iff the
+/// condition holds on every tuple in [begin, end)).
+EpisodePredicate ForAllTuples(TupleCondition condition);
+
+/// Predicate factories for common episode definitions:
+
+/// Every tuple's stay lasts at least `min_stay` (stop/move segmentation
+/// in the style of [3], via temporal stay thresholds).
+TupleCondition StayAtLeast(Duration min_stay);
+
+/// Every tuple's cell is in the given set (spatial episodes).
+TupleCondition InCells(std::unordered_set<CellId> cells);
+
+/// Every tuple carries the given annotation (goal-related episodes, as
+/// in the paper's Fig. 5 example).
+TupleCondition HasAnnotation(AnnotationKind kind, std::string value);
+
+/// \brief Checks Def. 3.4 for one episode: (1) [begin, end) is a proper
+/// subtrajectory range of `parent`; (2) the episode's annotations differ
+/// from the parent's (A' != A); (3) the predicate holds on the range.
+Status ValidateEpisode(const SemanticTrajectory& parent,
+                       const Episode& episode,
+                       const EpisodePredicate& predicate);
+
+/// \brief Extracts all *maximal* ranges on which `condition` holds on
+/// every tuple, as episodes labeled `label` carrying `annotations`.
+/// Ranges equal to the whole trace are shrunk by dropping the last tuple
+/// if possible (an episode must be a proper subtrajectory); whole-trace
+/// single-tuple candidates are skipped.
+std::vector<Episode> ExtractMaximalEpisodes(const SemanticTrajectory& parent,
+                                            const TupleCondition& condition,
+                                            const std::string& label,
+                                            const AnnotationSet& annotations);
+
+/// \brief An episodic segmentation (§3.3): a set of episodes of one
+/// trajectory that covers it time-wise.
+///
+/// Contrary to typical practice ([26]), episodes *may overlap in time*:
+/// "the exact same movement part may have multiple meanings depending on
+/// the broader context" — the paper's E→P→S→C part carries both the
+/// "exit museum" and "buy souvenir" goals (Fig. 5).
+class EpisodicSegmentation {
+ public:
+  /// Builds and validates a segmentation: every episode must be a
+  /// structurally valid sub-range with annotations differing from the
+  /// parent's, and together they must cover the trajectory time-wise —
+  /// interpreted over the observed presence: every tuple of the parent's
+  /// trace belongs to at least one episode. (Wall-clock coverage would be
+  /// unsatisfiable for traces with sensing holes; no episode can assert
+  /// meaning about unobserved stretches. Predicate satisfaction is
+  /// checked at extraction time — predicates are user-defined and not
+  /// stored.)
+  static Result<EpisodicSegmentation> Make(const SemanticTrajectory* parent,
+                                           std::vector<Episode> episodes);
+
+  const std::vector<Episode>& episodes() const { return episodes_; }
+  const SemanticTrajectory& parent() const { return *parent_; }
+
+  /// Index pairs (i, j), i < j, of episodes whose time intervals'
+  /// interiors intersect.
+  std::vector<std::pair<std::size_t, std::size_t>> OverlappingPairs() const;
+
+  /// True iff at least one pair of episodes overlaps in time.
+  bool HasOverlaps() const { return !OverlappingPairs().empty(); }
+
+ private:
+  EpisodicSegmentation() = default;
+
+  const SemanticTrajectory* parent_ = nullptr;
+  std::vector<Episode> episodes_;
+};
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_EPISODE_H_

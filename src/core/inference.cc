@@ -1,0 +1,98 @@
+#include "core/inference.h"
+
+namespace sitm::core {
+
+Result<std::pair<SemanticTrajectory, InferenceReport>> InferHiddenPassages(
+    const SemanticTrajectory& trajectory, const indoor::Nrg& graph,
+    const InferenceOptions& options) {
+  SITM_RETURN_IF_ERROR(trajectory.Validate());
+  InferenceReport report;
+  Trace completed;
+  const auto& intervals = trajectory.trace().intervals();
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (i == 0) {
+      completed.Append(intervals[i]);
+      continue;
+    }
+    const PresenceInterval& prev = intervals[i - 1];
+    const PresenceInterval& cur = intervals[i];
+    if (cur.cell == prev.cell ||
+        graph.HasEdge(prev.cell, cur.cell,
+                      indoor::EdgeType::kAccessibility)) {
+      ++report.already_consistent;
+      completed.Append(cur);
+      continue;
+    }
+    const Result<std::vector<CellId>> chain = graph.UniqueShortestPathBetween(
+        prev.cell, cur.cell, indoor::EdgeType::kAccessibility);
+    if (!chain.ok()) {
+      if (chain.status().Is(StatusCode::kNotFound)) {
+        ++report.disconnected;
+      } else {
+        ++report.ambiguous;
+      }
+      completed.Append(cur);
+      continue;
+    }
+    // Split the observation gap evenly among the inferred stays.
+    const std::int64_t gap_start = prev.end().seconds_since_epoch();
+    const std::int64_t gap_len =
+        cur.start().seconds_since_epoch() - gap_start;
+    const std::int64_t k = static_cast<std::int64_t>(chain->size());
+    for (std::int64_t j = 0; j < k; ++j) {
+      PresenceInterval inferred;
+      inferred.cell = (*chain)[static_cast<std::size_t>(j)];
+      inferred.transition = BoundaryId::Invalid();
+      inferred.interval = *qsr::TimeInterval::Make(
+          Timestamp(gap_start + gap_len * j / k),
+          Timestamp(gap_start + gap_len * (j + 1) / k));
+      inferred.annotations = options.inferred_annotations;
+      inferred.inferred = true;
+      completed.Append(std::move(inferred));
+      ++report.inserted;
+    }
+    completed.Append(cur);
+  }
+  SemanticTrajectory result(trajectory.id(), trajectory.object(),
+                            std::move(completed), trajectory.annotations());
+  SITM_RETURN_IF_ERROR(result.Validate().WithContext("InferHiddenPassages"));
+  return std::make_pair(std::move(result), report);
+}
+
+std::vector<GapInfo> ClassifyGaps(
+    const Trace& trace, Duration sampling_period,
+    const std::unordered_set<CellId>& exit_cells) {
+  std::vector<GapInfo> out;
+  const auto& intervals = trace.intervals();
+  for (std::size_t i = 0; i + 1 < intervals.size(); ++i) {
+    const Duration gap = intervals[i + 1].start() - intervals[i].end();
+    if (gap <= sampling_period) continue;
+    GapInfo info;
+    info.after_index = i;
+    info.gap =
+        *qsr::TimeInterval::Make(intervals[i].end(), intervals[i + 1].start());
+    const bool at_exit = exit_cells.count(intervals[i].cell) > 0 ||
+                         exit_cells.count(intervals[i + 1].cell) > 0;
+    info.kind = at_exit ? GapKind::kSemanticGap : GapKind::kHole;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::vector<CellId>> CandidateCellsAt(
+    const indoor::MultiLayerGraph& graph, CellId observed_cell,
+    LayerId target_layer) {
+  SITM_RETURN_IF_ERROR(graph.FindCell(observed_cell).status());
+  SITM_RETURN_IF_ERROR(graph.FindLayer(target_layer).status());
+  std::vector<CellId> candidates =
+      graph.CandidateStates(observed_cell, target_layer);
+  if (candidates.empty()) {
+    return Status::NotFound(
+        "CandidateCellsAt: no joint edge links cell #" +
+        std::to_string(observed_cell.value()) + " to layer #" +
+        std::to_string(target_layer.value()));
+  }
+  return candidates;
+}
+
+}  // namespace sitm::core

@@ -1,0 +1,91 @@
+#ifndef SITM_CORE_INFERENCE_H_
+#define SITM_CORE_INFERENCE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+#include "indoor/multilayer.h"
+#include "indoor/nrg.h"
+
+namespace sitm::core {
+
+/// Options for topology-based trace completion.
+struct InferenceOptions {
+  /// Annotations attached to every inserted (inferred) presence tuple,
+  /// mirroring the paper's Fig. 6 example where the inferred Zone 60888
+  /// stay carries goals like "cloakroomPickup".
+  AnnotationSet inferred_annotations =
+      AnnotationSet{{AnnotationKind::kOther, "inferred-passage"}};
+};
+
+/// Counters describing an inference pass.
+struct InferenceReport {
+  /// Presence tuples inserted (cells the object certainly traversed).
+  int inserted = 0;
+  /// Consecutive pairs already linked by an accessibility edge.
+  int already_consistent = 0;
+  /// Pairs with several shortest chains: no certain inference.
+  int ambiguous = 0;
+  /// Pairs with no path at all (data error or map error).
+  int disconnected = 0;
+};
+
+/// \brief Completes a trajectory with the cells it *must* have traversed
+/// (the paper's Fig. 6: "although never detected there, the visitor must
+/// have passed from Zone60888").
+///
+/// For every consecutive pair of presence tuples whose cells are not
+/// linked by a direct accessibility edge, the unique shortest
+/// accessibility chain between them — when it exists and is unique — is
+/// inserted as inferred presence tuples. The time gap between the two
+/// observations is split evenly among the inserted tuples; with no gap
+/// the inserted stays are zero-length (the passage was instantaneous at
+/// the model's granularity). Inserted tuples are flagged `inferred` and
+/// annotated per the options. Ambiguous or disconnected pairs are left
+/// untouched and counted.
+Result<std::pair<SemanticTrajectory, InferenceReport>> InferHiddenPassages(
+    const SemanticTrajectory& trajectory, const indoor::Nrg& graph,
+    const InferenceOptions& options = {});
+
+/// \brief Kind of a temporal gap in a movement track (§2.2, after [21]):
+/// accidental gaps are "holes"; intentional ones are "semantic gaps".
+enum class GapKind : int {
+  kHole = 0,
+  kSemanticGap = 1,
+};
+
+/// One detected gap between consecutive presence tuples.
+struct GapInfo {
+  /// Index i: the gap lies between tuples i and i+1.
+  std::size_t after_index = 0;
+  qsr::TimeInterval gap;
+  GapKind kind = GapKind::kHole;
+};
+
+/// \brief Finds and classifies the temporal gaps of a trace.
+///
+/// A gap is any inter-tuple pause longer than `sampling_period` (gaps at
+/// or under the sampling rate are ordinary sensing cadence, §2.2). A gap
+/// is classified as a *semantic gap* when the cell before or after it
+/// belongs to `exit_cells` — interruption at an exit is intentional
+/// (the paper's Zone 60890/Carrousel example: "the visitor disappearing
+/// after Zone60890 is normal because it is one of the Louvre's exit
+/// zones"); all other gaps are holes.
+std::vector<GapInfo> ClassifyGaps(
+    const Trace& trace, Duration sampling_period,
+    const std::unordered_set<CellId>& exit_cells);
+
+/// \brief Where could the object be at finer granularity? Given a cell
+/// at a coarse layer of `graph` and a target layer, returns the valid
+/// active-state candidates (the MLSM joint-edge constraint of Fig. 1).
+/// Thin convenience wrapper over MultiLayerGraph::CandidateStates that
+/// fails when there are no candidates.
+Result<std::vector<CellId>> CandidateCellsAt(
+    const indoor::MultiLayerGraph& graph, CellId observed_cell,
+    LayerId target_layer);
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_INFERENCE_H_

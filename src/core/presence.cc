@@ -1,0 +1,17 @@
+#include "core/presence.h"
+
+namespace sitm::core {
+
+std::string PresenceInterval::ToString() const {
+  std::string out = "(";
+  out += transition.valid() ? "e#" + std::to_string(transition.value()) : "_";
+  out += ", cell#" + std::to_string(cell.value());
+  out += ", " + interval.start().TimeOfDayString();
+  out += ", " + interval.end().TimeOfDayString();
+  out += ", " + annotations.ToString();
+  if (inferred) out += ", inferred";
+  out += ")";
+  return out;
+}
+
+}  // namespace sitm::core

@@ -1,0 +1,59 @@
+#ifndef SITM_CORE_PRESENCE_H_
+#define SITM_CORE_PRESENCE_H_
+
+#include <string>
+
+#include "base/types.h"
+#include "core/annotation.h"
+#include "qsr/interval.h"
+
+namespace sitm::core {
+
+/// \brief One tuple (e_i, v_i, t_start_i, t_end_i, A_i) of a semantic
+/// trajectory trace (Def. 3.2).
+///
+/// The moving object crossed transition `transition` (a boundary: door,
+/// staircase, checkpoint...) into state `cell`, where it stayed over
+/// `interval`, with per-stay annotations `annotations`. The transition is
+/// optional (the paper writes "_" for the first tuple or when unknown);
+/// `transition_annotations` realizes footnote 2's extension
+/// (e_i^sem = (e_i, A_i^trans)) for transitions bearing dynamic semantic
+/// load. `inferred` marks tuples inserted by topology-based inference
+/// rather than observed by a sensor (§4.2, Fig. 6).
+struct PresenceInterval {
+  BoundaryId transition;  ///< invalid id = unknown ("_")
+  CellId cell;
+  qsr::TimeInterval interval;
+  AnnotationSet annotations;
+  AnnotationSet transition_annotations;
+  bool inferred = false;
+
+  PresenceInterval() = default;
+  PresenceInterval(BoundaryId t, CellId c, qsr::TimeInterval iv,
+                   AnnotationSet a = {})
+      : transition(t), cell(c), interval(iv), annotations(std::move(a)) {}
+
+  Timestamp start() const { return interval.start(); }
+  Timestamp end() const { return interval.end(); }
+  Duration duration() const { return interval.length(); }
+
+  /// "(door012, #3, 11:32:31, 11:40:00, {goals:[visit]})" rendering,
+  /// close to the paper's notation.
+  std::string ToString() const;
+
+  friend bool operator==(const PresenceInterval& a,
+                         const PresenceInterval& b) {
+    return a.transition == b.transition && a.cell == b.cell &&
+           a.interval == b.interval && a.annotations == b.annotations &&
+           a.transition_annotations == b.transition_annotations &&
+           a.inferred == b.inferred;
+  }
+  friend bool operator!=(const PresenceInterval& a,
+                         const PresenceInterval& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_PRESENCE_H_

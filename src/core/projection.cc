@@ -1,0 +1,44 @@
+#include "core/projection.h"
+
+namespace sitm::core {
+
+Result<Trace> ProjectTrace(const Trace& trace,
+                           const indoor::LayerHierarchy& hierarchy,
+                           int target_level) {
+  SITM_RETURN_IF_ERROR(trace.Validate().WithContext("ProjectTrace"));
+  Trace projected;
+  for (const PresenceInterval& p : trace.intervals()) {
+    SITM_ASSIGN_OR_RETURN(const CellId parent_cell,
+                          hierarchy.RollUp(p.cell, target_level));
+    if (!projected.empty() &&
+        projected.intervals().back().cell == parent_cell) {
+      // Same ancestor: extend the ongoing presence, absorbing any gap.
+      PresenceInterval& last = projected.mutable_intervals().back();
+      last.interval = *qsr::TimeInterval::Make(last.start(), p.end());
+      last.annotations = last.annotations.Union(p.annotations);
+      last.inferred = last.inferred && p.inferred;
+      continue;
+    }
+    PresenceInterval q;
+    q.cell = parent_cell;
+    q.interval = p.interval;
+    q.annotations = p.annotations;
+    q.transition = p.transition;
+    q.inferred = p.inferred;
+    projected.Append(std::move(q));
+  }
+  return projected;
+}
+
+Result<SemanticTrajectory> ProjectTrajectory(
+    const SemanticTrajectory& trajectory,
+    const indoor::LayerHierarchy& hierarchy, int target_level) {
+  SITM_RETURN_IF_ERROR(trajectory.Validate());
+  SITM_ASSIGN_OR_RETURN(
+      Trace projected,
+      ProjectTrace(trajectory.trace(), hierarchy, target_level));
+  return SemanticTrajectory(trajectory.id(), trajectory.object(),
+                            std::move(projected), trajectory.annotations());
+}
+
+}  // namespace sitm::core

@@ -1,0 +1,40 @@
+#ifndef SITM_CORE_PROJECTION_H_
+#define SITM_CORE_PROJECTION_H_
+
+#include "base/result.h"
+#include "core/trajectory.h"
+#include "indoor/hierarchy.h"
+
+namespace sitm::core {
+
+/// \brief Projects a trace recorded at some hierarchy level onto a
+/// coarser level (§3.2: "only allowing 'proper part' types of
+/// relationships ... allows inference of a MO's location at all levels
+/// of granularity above the detection data level").
+///
+/// Every presence cell is rolled up to its ancestor at `target_level`;
+/// consecutive tuples mapping to the same ancestor merge into a single
+/// presence interval spanning from the first tuple's start to the last
+/// tuple's end. Intra-parent gaps are absorbed: leaving the parent cell
+/// would have required an observable transition through a *different*
+/// parent cell, so continuity within the parent is the sound inference.
+/// Per-stay annotations of merged tuples are unioned; a merged tuple is
+/// marked inferred iff all its sources were inferred. The transition of
+/// each merged tuple is the transition of its first source tuple (which
+/// crossed into the new parent).
+///
+/// Fails if any cell is not in the hierarchy or sits above
+/// `target_level`.
+Result<Trace> ProjectTrace(const Trace& trace,
+                           const indoor::LayerHierarchy& hierarchy,
+                           int target_level);
+
+/// Trajectory-level wrapper: projects the trace, keeping id, object and
+/// A_traj ("the same trajectory dataset" read at another granularity).
+Result<SemanticTrajectory> ProjectTrajectory(
+    const SemanticTrajectory& trajectory,
+    const indoor::LayerHierarchy& hierarchy, int target_level);
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_PROJECTION_H_

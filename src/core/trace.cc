@@ -1,0 +1,126 @@
+#include "core/trace.h"
+
+#include <unordered_set>
+
+namespace sitm::core {
+
+Duration Trace::TotalPresence() const {
+  Duration total = Duration::Zero();
+  for (const PresenceInterval& p : intervals_) total = total + p.duration();
+  return total;
+}
+
+Duration Trace::Span() const {
+  if (intervals_.empty()) return Duration::Zero();
+  return end() - start();
+}
+
+std::vector<CellId> Trace::VisitedCells() const {
+  std::vector<CellId> out;
+  std::unordered_set<CellId> seen;
+  for (const PresenceInterval& p : intervals_) {
+    if (seen.insert(p.cell).second) out.push_back(p.cell);
+  }
+  return out;
+}
+
+std::size_t Trace::NumTransitions() const {
+  std::size_t count = 0;
+  for (std::size_t i = 1; i < intervals_.size(); ++i) {
+    if (intervals_[i].cell != intervals_[i - 1].cell) ++count;
+  }
+  return count;
+}
+
+Result<Trace> Trace::Slice(std::size_t begin, std::size_t end) const {
+  if (begin >= end || end > intervals_.size()) {
+    return Status::OutOfRange("Trace::Slice: bad range [" +
+                              std::to_string(begin) + ", " +
+                              std::to_string(end) + ")");
+  }
+  return Trace(std::vector<PresenceInterval>(intervals_.begin() + begin,
+                                             intervals_.begin() + end));
+}
+
+Status Trace::Validate() const {
+  if (intervals_.empty()) {
+    return Status::FailedPrecondition("Trace: empty trace");
+  }
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const PresenceInterval& p = intervals_[i];
+    if (!p.cell.valid()) {
+      return Status::FailedPrecondition("Trace: tuple " + std::to_string(i) +
+                                        " has an invalid cell id");
+    }
+    if (p.start() > p.end()) {
+      return Status::FailedPrecondition("Trace: tuple " + std::to_string(i) +
+                                        " has a reversed interval");
+    }
+    if (i > 0) {
+      const PresenceInterval& prev = intervals_[i - 1];
+      if (p.start() < prev.end()) {
+        return Status::FailedPrecondition(
+            "Trace: tuple " + std::to_string(i) + " starts at " +
+            p.start().ToString() + ", before the previous tuple ends at " +
+            prev.end().ToString());
+      }
+      // Event-based property: a new tuple marks a change of cell or of
+      // semantic information (§3.3).
+      if (p.cell == prev.cell && p.annotations == prev.annotations &&
+          p.start() == prev.end()) {
+        return Status::FailedPrecondition(
+            "Trace: tuples " + std::to_string(i - 1) + " and " +
+            std::to_string(i) +
+            " are contiguous in the same cell with equal annotations; the "
+            "event-based model requires one tuple per event");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Trace::ValidateAgainstGraph(const indoor::Nrg& graph) const {
+  SITM_RETURN_IF_ERROR(Validate());
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const PresenceInterval& p = intervals_[i];
+    if (!graph.HasCell(p.cell)) {
+      return Status::NotFound("Trace: cell #" +
+                              std::to_string(p.cell.value()) +
+                              " is not in the graph");
+    }
+    if (i == 0) continue;
+    const PresenceInterval& prev = intervals_[i - 1];
+    if (p.cell == prev.cell) continue;
+    bool edge_found = false;
+    for (const indoor::NrgEdge& e :
+         graph.OutEdges(prev.cell, indoor::EdgeType::kAccessibility)) {
+      if (e.to != p.cell) continue;
+      if (!p.transition.valid() || e.boundary == p.transition) {
+        edge_found = true;
+        break;
+      }
+    }
+    if (!edge_found) {
+      return Status::FailedPrecondition(
+          "Trace: transition from cell #" + std::to_string(prev.cell.value()) +
+          " to cell #" + std::to_string(p.cell.value()) + " at tuple " +
+          std::to_string(i) +
+          (p.transition.valid()
+               ? " does not match any accessibility edge with boundary #" +
+                     std::to_string(p.transition.value())
+               : " has no accessibility edge"));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Trace::ToString() const {
+  std::string out = "{\n";
+  for (const PresenceInterval& p : intervals_) {
+    out += "  " + p.ToString() + ",\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sitm::core

@@ -1,0 +1,77 @@
+#ifndef SITM_CORE_TRACE_H_
+#define SITM_CORE_TRACE_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "core/presence.h"
+#include "indoor/nrg.h"
+
+namespace sitm::core {
+
+/// \brief The spatiotemporal aspect of a semantic trajectory: a sequence
+/// of presence intervals at states of the indoor space graph (Def. 3.2).
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<PresenceInterval> intervals)
+      : intervals_(std::move(intervals)) {}
+
+  const std::vector<PresenceInterval>& intervals() const { return intervals_; }
+  std::vector<PresenceInterval>& mutable_intervals() { return intervals_; }
+
+  std::size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+  const PresenceInterval& at(std::size_t i) const { return intervals_[i]; }
+
+  /// Appends an interval (no validation; call Validate() when done).
+  void Append(PresenceInterval interval) {
+    intervals_.push_back(std::move(interval));
+  }
+
+  /// Trace start / end timestamps. Precondition: non-empty.
+  Timestamp start() const { return intervals_.front().start(); }
+  Timestamp end() const { return intervals_.back().end(); }
+
+  /// Total time covered by presence intervals (excludes gaps).
+  Duration TotalPresence() const;
+
+  /// End-to-end span including gaps. Zero for empty traces.
+  Duration Span() const;
+
+  /// Distinct cells visited, in first-visit order.
+  std::vector<CellId> VisitedCells() const;
+
+  /// Number of transitions, i.e. consecutive interval pairs with
+  /// different cells.
+  std::size_t NumTransitions() const;
+
+  /// The sub-sequence [begin, end) as a new trace.
+  Result<Trace> Slice(std::size_t begin, std::size_t end) const;
+
+  /// \brief Intrinsic validity (Def. 3.2 well-formedness):
+  ///  - non-empty, all cell ids valid;
+  ///  - time monotonicity: each interval starts no earlier than the
+  ///    previous ends (gaps are allowed — they are holes or semantic
+  ///    gaps, §2.2), and no interval is reversed;
+  ///  - the event-based property: consecutive intervals must differ in
+  ///    cell or in annotations (otherwise they describe a single event
+  ///    and should be one tuple).
+  Status Validate() const;
+
+  /// \brief Consistency against an accessibility NRG: every transition
+  /// between different cells must follow a directed accessibility edge,
+  /// and when a tuple names its transition boundary, an edge with that
+  /// boundary must exist between the two cells.
+  Status ValidateAgainstGraph(const indoor::Nrg& graph) const;
+
+  /// Multi-line rendering in the paper's notation.
+  std::string ToString() const;
+
+ private:
+  std::vector<PresenceInterval> intervals_;
+};
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_TRACE_H_

@@ -1,0 +1,114 @@
+#include "core/trajectory.h"
+
+namespace sitm::core {
+
+Status SemanticTrajectory::Validate() const {
+  if (!id_.valid()) {
+    return Status::FailedPrecondition("SemanticTrajectory: invalid id");
+  }
+  if (!object_.valid()) {
+    return Status::FailedPrecondition(
+        "SemanticTrajectory: invalid moving-object id");
+  }
+  SITM_RETURN_IF_ERROR(trace_.Validate().WithContext(
+      "SemanticTrajectory #" + std::to_string(id_.value())));
+  if (annotations_.empty()) {
+    return Status::FailedPrecondition(
+        "SemanticTrajectory: A_traj must be a non-empty set of semantic "
+        "annotations (Def. 3.1)");
+  }
+  return Status::OK();
+}
+
+Result<SemanticTrajectory> SemanticTrajectory::Subtrajectory(
+    std::size_t begin, std::size_t end, AnnotationSet annotations) const {
+  SITM_RETURN_IF_ERROR(Validate());
+  SITM_ASSIGN_OR_RETURN(Trace sub, trace_.Slice(begin, end));
+  // Proper subsequence requirement (Def. 3.3): at least one time bound
+  // strictly inside the parent's bounds.
+  const bool same_start = sub.start() == start();
+  const bool same_end = sub.end() == this->end();
+  if (same_start && same_end) {
+    return Status::InvalidArgument(
+        "Subtrajectory: the slice spans the whole trajectory; a "
+        "subtrajectory must be a proper subsequence (Def. 3.3)");
+  }
+  if (annotations.empty()) {
+    return Status::InvalidArgument(
+        "Subtrajectory: a subtrajectory is itself a semantic trajectory "
+        "and needs a non-empty annotation set");
+  }
+  return SemanticTrajectory(id_, object_, std::move(sub),
+                            std::move(annotations));
+}
+
+bool SemanticTrajectory::IsSubtrajectoryOf(
+    const SemanticTrajectory& parent) const {
+  if (object_ != parent.object_) return false;
+  if (trace_.empty() || parent.trace_.empty()) return false;
+  const auto& sub = trace_.intervals();
+  const auto& full = parent.trace_.intervals();
+  if (sub.size() >= full.size()) return false;  // proper
+  for (std::size_t offset = 0; offset + sub.size() <= full.size(); ++offset) {
+    bool match = true;
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+      if (!(sub[i] == full[offset + i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+Status SemanticTrajectory::SplitIntervalAt(std::size_t index, Timestamp at,
+                                           AnnotationSet annotations_after) {
+  if (index >= trace_.size()) {
+    return Status::OutOfRange("SplitIntervalAt: index out of range");
+  }
+  PresenceInterval& first = trace_.mutable_intervals()[index];
+  const Timestamp second_start = at + Duration::Seconds(1);
+  if (at < first.start() || second_start > first.end()) {
+    return Status::InvalidArgument(
+        "SplitIntervalAt: split point " + at.ToString() +
+        " does not leave two non-reversed parts of [" +
+        first.start().ToString() + ", " + first.end().ToString() + "]");
+  }
+  if (annotations_after == first.annotations) {
+    return Status::InvalidArgument(
+        "SplitIntervalAt: the annotations do not change at the split "
+        "point; the event-based model only opens a new tuple on a change "
+        "of cell or of semantic information");
+  }
+  PresenceInterval second;
+  second.transition = BoundaryId::Invalid();  // "_": the object stayed put
+  second.cell = first.cell;
+  second.interval = *qsr::TimeInterval::Make(second_start, first.end());
+  second.annotations = std::move(annotations_after);
+  second.inferred = first.inferred;
+  first.interval = *qsr::TimeInterval::Make(first.start(), at);
+  trace_.mutable_intervals().insert(
+      trace_.mutable_intervals().begin() + index + 1, std::move(second));
+  return Status::OK();
+}
+
+Status SemanticTrajectory::AnnotateInterval(std::size_t index,
+                                            AnnotationSet annotations) {
+  if (index >= trace_.size()) {
+    return Status::OutOfRange("AnnotateInterval: index out of range");
+  }
+  trace_.mutable_intervals()[index].annotations = std::move(annotations);
+  return Status::OK();
+}
+
+std::string SemanticTrajectory::ToString() const {
+  std::string out = "T{id=" + std::to_string(id_.value()) +
+                    ", mo=" + std::to_string(object_.value()) +
+                    ", A=" + annotations_.ToString() + ", trace=";
+  out += trace_.ToString();
+  out += "}";
+  return out;
+}
+
+}  // namespace sitm::core

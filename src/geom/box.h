@@ -1,0 +1,65 @@
+#ifndef SITM_GEOM_BOX_H_
+#define SITM_GEOM_BOX_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace sitm::geom {
+
+/// \brief An axis-aligned bounding box.
+///
+/// A default-constructed Box is empty; extending it with points grows it
+/// to the tightest enclosing rectangle.
+struct Box {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  Box() = default;
+  Box(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  /// True iff no point has been added.
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  /// Grows the box to include p.
+  void Extend(Point p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows the box to include another box.
+  void Extend(const Box& other) {
+    if (other.empty()) return;
+    min_x = std::min(min_x, other.min_x);
+    min_y = std::min(min_y, other.min_y);
+    max_x = std::max(max_x, other.max_x);
+    max_y = std::max(max_y, other.max_y);
+  }
+
+  /// True iff p lies inside or on the box.
+  bool Contains(Point p) const {
+    return !empty() && p.x >= min_x - kEpsilon && p.x <= max_x + kEpsilon &&
+           p.y >= min_y - kEpsilon && p.y <= max_y + kEpsilon;
+  }
+
+  /// True iff the boxes share at least one point.
+  bool Intersects(const Box& other) const {
+    return !empty() && !other.empty() && min_x <= other.max_x + kEpsilon &&
+           other.min_x <= max_x + kEpsilon && min_y <= other.max_y + kEpsilon &&
+           other.min_y <= max_y + kEpsilon;
+  }
+
+  double width() const { return empty() ? 0 : max_x - min_x; }
+  double height() const { return empty() ? 0 : max_y - min_y; }
+  Point center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+};
+
+}  // namespace sitm::geom
+
+#endif  // SITM_GEOM_BOX_H_

@@ -1,0 +1,47 @@
+#include "geom/coverage.h"
+
+namespace sitm::geom {
+
+Result<CoverageReport> EstimateCoverage(const Polygon& parent,
+                                        const std::vector<Polygon>& children,
+                                        int samples, Rng* rng) {
+  SITM_RETURN_IF_ERROR(parent.Validate().WithContext("EstimateCoverage"));
+  if (samples < 1) {
+    return Status::InvalidArgument("EstimateCoverage: samples must be >= 1");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("EstimateCoverage: rng must not be null");
+  }
+  const Box box = parent.bounds();
+  CoverageReport report;
+  int covered = 0;
+  int overlapped = 0;
+  int drawn = 0;
+  // Rejection-sample points uniformly from the parent's interior.
+  int attempts_left = samples * 64;  // guards against near-degenerate rings
+  while (drawn < samples && attempts_left-- > 0) {
+    const Point p{box.min_x + rng->NextDouble() * box.width(),
+                  box.min_y + rng->NextDouble() * box.height()};
+    if (parent.Locate(p) != Location::kInside) continue;
+    ++drawn;
+    int hits = 0;
+    for (const Polygon& child : children) {
+      if (child.Contains(p)) {
+        ++hits;
+        if (hits >= 2) break;
+      }
+    }
+    if (hits >= 1) ++covered;
+    if (hits >= 2) ++overlapped;
+  }
+  if (drawn == 0) {
+    return Status::Internal(
+        "EstimateCoverage: could not sample the parent interior");
+  }
+  report.samples = drawn;
+  report.coverage_ratio = static_cast<double>(covered) / drawn;
+  report.overlap_ratio = static_cast<double>(overlapped) / drawn;
+  return report;
+}
+
+}  // namespace sitm::geom

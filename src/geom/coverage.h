@@ -1,0 +1,40 @@
+#ifndef SITM_GEOM_COVERAGE_H_
+#define SITM_GEOM_COVERAGE_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "geom/polygon.h"
+
+namespace sitm::geom {
+
+/// \brief Result of a region-coverage audit.
+struct CoverageReport {
+  /// Fraction of sampled interior points of the parent covered by at
+  /// least one child region, in [0, 1].
+  double coverage_ratio = 0;
+  /// Fraction of sampled points covered by two or more children; in a
+  /// valid IndoorGML layer same-layer cells must not overlap, so this
+  /// should be ~0 for sibling cells.
+  double overlap_ratio = 0;
+  /// Number of interior samples drawn.
+  int samples = 0;
+};
+
+/// \brief Estimates how much of `parent`'s interior is covered by the
+/// union of `children`, by rejection-sampling interior points.
+///
+/// The paper (§4.2, Fig. 4) questions the "full-coverage hypothesis" —
+/// whether the region of a node at layer i+1 equals the union of its
+/// children at layer i. Exact polygon union is unnecessary for this
+/// audit: a seeded Monte-Carlo estimate gives the coverage ratio with
+/// standard error ~ 1/(2*sqrt(samples)) and is deterministic for a fixed
+/// seed. Fails if the parent is invalid or `samples` < 1.
+Result<CoverageReport> EstimateCoverage(const Polygon& parent,
+                                        const std::vector<Polygon>& children,
+                                        int samples, Rng* rng);
+
+}  // namespace sitm::geom
+
+#endif  // SITM_GEOM_COVERAGE_H_

@@ -1,0 +1,93 @@
+#include "geom/grid_index.h"
+
+#include <algorithm>
+
+namespace sitm::geom {
+
+Result<GridIndex> GridIndex::Build(std::vector<Polygon> polygons,
+                                   int resolution) {
+  if (polygons.empty()) {
+    return Status::InvalidArgument("GridIndex: no polygons");
+  }
+  if (resolution < 1) {
+    return Status::InvalidArgument("GridIndex: resolution must be >= 1");
+  }
+  GridIndex index;
+  for (std::size_t i = 0; i < polygons.size(); ++i) {
+    SITM_RETURN_IF_ERROR(polygons[i].Validate().WithContext(
+        "GridIndex: polygon " + std::to_string(i)));
+    index.bounds_.Extend(polygons[i].bounds());
+  }
+  index.resolution_ = resolution;
+  index.polygons_ = std::move(polygons);
+  index.buckets_.assign(
+      static_cast<std::size_t>(resolution) * resolution, {});
+  for (std::size_t i = 0; i < index.polygons_.size(); ++i) {
+    const Box b = index.polygons_[i].bounds();
+    const int x0 = index.CellX(b.min_x);
+    const int x1 = index.CellX(b.max_x);
+    const int y0 = index.CellY(b.min_y);
+    const int y1 = index.CellY(b.max_y);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        index.buckets_[static_cast<std::size_t>(cy) * resolution + cx]
+            .push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  return index;
+}
+
+int GridIndex::CellX(double x) const {
+  const double w = bounds_.width();
+  if (w <= 0) return 0;
+  int c = static_cast<int>((x - bounds_.min_x) / w * resolution_);
+  return std::clamp(c, 0, resolution_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  const double h = bounds_.height();
+  if (h <= 0) return 0;
+  int c = static_cast<int>((y - bounds_.min_y) / h * resolution_);
+  return std::clamp(c, 0, resolution_ - 1);
+}
+
+std::vector<std::size_t> GridIndex::Locate(Point p) const {
+  std::vector<std::size_t> hits;
+  if (!bounds_.Contains(p)) return hits;
+  for (std::uint32_t idx : Bucket(CellX(p.x), CellY(p.y))) {
+    if (polygons_[idx].Contains(p)) hits.push_back(idx);
+  }
+  return hits;
+}
+
+Result<std::size_t> GridIndex::LocateFirst(Point p) const {
+  const std::vector<std::size_t> hits = Locate(p);
+  if (hits.empty()) {
+    return Status::NotFound("no polygon contains the query point");
+  }
+  return hits.front();
+}
+
+std::vector<std::size_t> GridIndex::Candidates(const Box& box) const {
+  std::vector<std::size_t> out;
+  if (box.empty() || !bounds_.Intersects(box)) return out;
+  const int x0 = CellX(box.min_x);
+  const int x1 = CellX(box.max_x);
+  const int y0 = CellY(box.min_y);
+  const int y1 = CellY(box.max_y);
+  std::vector<bool> seen(polygons_.size(), false);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (std::uint32_t idx : Bucket(cx, cy)) {
+        if (seen[idx]) continue;
+        seen[idx] = true;
+        if (polygons_[idx].bounds().Intersects(box)) out.push_back(idx);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sitm::geom

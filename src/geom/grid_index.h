@@ -1,0 +1,59 @@
+#ifndef SITM_GEOM_GRID_INDEX_H_
+#define SITM_GEOM_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/result.h"
+#include "geom/polygon.h"
+
+namespace sitm::geom {
+
+/// \brief A uniform-grid spatial index over a set of polygons.
+///
+/// Supports the hot query of symbolic localization: map a raw (x, y)
+/// position to the polygon(s) containing it (e.g. a beacon fix to a
+/// thematic zone). Build is O(total cells covered); Locate probes one
+/// grid cell and tests only the polygons whose bounding boxes cover it.
+class GridIndex {
+ public:
+  /// Builds an index over `polygons` with a `resolution` x `resolution`
+  /// grid covering their joint bounding box. The entries keep their
+  /// vector index as identifier. Fails on empty input, invalid polygons,
+  /// or resolution < 1.
+  static Result<GridIndex> Build(std::vector<Polygon> polygons,
+                                 int resolution = 64);
+
+  /// Indices of all polygons whose closed region contains p (cells may
+  /// not overlap in a single IndoorGML layer, but the index also serves
+  /// multi-layer lookups where nesting is expected).
+  std::vector<std::size_t> Locate(Point p) const;
+
+  /// Index of the first polygon containing p, or NotFound.
+  Result<std::size_t> LocateFirst(Point p) const;
+
+  /// Indices of all polygons whose bounding box intersects `box`
+  /// (candidate set; callers refine with exact predicates).
+  std::vector<std::size_t> Candidates(const Box& box) const;
+
+  const std::vector<Polygon>& polygons() const { return polygons_; }
+  const Box& bounds() const { return bounds_; }
+
+ private:
+  GridIndex() = default;
+
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const std::vector<std::uint32_t>& Bucket(int cx, int cy) const {
+    return buckets_[static_cast<std::size_t>(cy) * resolution_ + cx];
+  }
+
+  std::vector<Polygon> polygons_;
+  Box bounds_;
+  int resolution_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+};
+
+}  // namespace sitm::geom
+
+#endif  // SITM_GEOM_GRID_INDEX_H_

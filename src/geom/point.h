@@ -1,0 +1,76 @@
+#ifndef SITM_GEOM_POINT_H_
+#define SITM_GEOM_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace sitm::geom {
+
+/// Absolute tolerance used by the boundary / collinearity predicates.
+/// Indoor floor plans are modeled in meters; a nanometer-scale tolerance
+/// is far below any architectural feature while absorbing double rounding.
+inline constexpr double kEpsilon = 1e-9;
+
+/// \brief A point (or vector) in the 2D primal space.
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point p, double s) {
+    return {p.x * s, p.y * s};
+  }
+  friend constexpr Point operator*(double s, Point p) { return p * s; }
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(Point a, Point b) { return !(a == b); }
+};
+
+/// Dot product.
+constexpr double Dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// 2D cross product (z-component of the 3D cross product).
+constexpr double Cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean distance.
+constexpr double DistanceSquared(Point a, Point b) {
+  return Dot(a - b, a - b);
+}
+
+/// Euclidean distance.
+inline double Distance(Point a, Point b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+/// True iff the points coincide within kEpsilon in both coordinates.
+inline bool NearlyEqual(Point a, Point b) {
+  return std::fabs(a.x - b.x) <= kEpsilon && std::fabs(a.y - b.y) <= kEpsilon;
+}
+
+/// \brief Sign of the signed area of triangle (a, b, c).
+///
+/// Returns +1 if c is left of the directed line a->b (counter-clockwise
+/// turn), -1 if right (clockwise), 0 if collinear within tolerance.
+inline int Orientation(Point a, Point b, Point c) {
+  const double v = Cross(b - a, c - a);
+  if (v > kEpsilon) return 1;
+  if (v < -kEpsilon) return -1;
+  return 0;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace sitm::geom
+
+#endif  // SITM_GEOM_POINT_H_

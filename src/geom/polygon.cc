@@ -1,0 +1,210 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sitm::geom {
+
+Polygon Polygon::Rectangle(double x0, double y0, double x1, double y1) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  return Polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+Result<Polygon> Polygon::MakeValid(std::vector<Point> vertices) {
+  Polygon poly(std::move(vertices));
+  SITM_RETURN_IF_ERROR(poly.Validate());
+  if (!poly.IsCounterClockwise()) poly.Reverse();
+  return poly;
+}
+
+double Polygon::SignedArea() const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return 0;
+  double twice_area = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % n];
+    twice_area += Cross(p, q);
+  }
+  return twice_area / 2;
+}
+
+double Polygon::Area() const { return std::fabs(SignedArea()); }
+
+double Polygon::Perimeter() const {
+  const std::size_t n = vertices_.size();
+  if (n < 2) return 0;
+  double len = 0;
+  for (std::size_t i = 0; i < n; ++i) len += edge(i).Length();
+  return len;
+}
+
+Point Polygon::Centroid() const {
+  const std::size_t n = vertices_.size();
+  if (n == 0) return {};
+  const double a = SignedArea();
+  if (std::fabs(a) <= kEpsilon) {
+    // Degenerate ring: fall back to the vertex average.
+    Point sum;
+    for (const Point& p : vertices_) sum = sum + p;
+    return sum * (1.0 / static_cast<double>(n));
+  }
+  double cx = 0;
+  double cy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % n];
+    const double w = Cross(p, q);
+    cx += (p.x + q.x) * w;
+    cy += (p.y + q.y) * w;
+  }
+  return {cx / (6 * a), cy / (6 * a)};
+}
+
+Box Polygon::bounds() const {
+  Box box;
+  for (const Point& p : vertices_) box.Extend(p);
+  return box;
+}
+
+void Polygon::Reverse() {
+  std::reverse(vertices_.begin(), vertices_.end());
+}
+
+bool Polygon::IsConvex() const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return false;
+  int sign = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int o = Orientation(vertices_[i], vertices_[(i + 1) % n],
+                              vertices_[(i + 2) % n]);
+    if (o == 0) continue;
+    if (sign == 0) {
+      sign = o;
+    } else if (o != sign) {
+      return false;
+    }
+  }
+  return sign != 0;
+}
+
+bool Polygon::IsSimple() const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment si = edge(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Segment sj = edge(j);
+      const bool adjacent = (j == i + 1) || (i == 0 && j == n - 1);
+      const SegmentIntersection kind = ClassifyIntersection(si, sj);
+      if (kind == SegmentIntersection::kNone) continue;
+      if (kind == SegmentIntersection::kCrossing) return false;
+      if (!adjacent) return false;  // non-adjacent edges may not touch
+      // Adjacent edges must share exactly their common endpoint; a
+      // collinear overlap (spike) is a self-intersection.
+      if (CollinearOverlap(si, sj)) return false;
+    }
+  }
+  return true;
+}
+
+Status Polygon::Validate() const {
+  if (vertices_.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 vertices, got " +
+                                   std::to_string(vertices_.size()));
+  }
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % vertices_.size()];
+    if (NearlyEqual(p, q)) {
+      return Status::InvalidArgument("duplicate consecutive vertex at index " +
+                                     std::to_string(i));
+    }
+  }
+  if (Area() <= kEpsilon) {
+    return Status::InvalidArgument("polygon is degenerate (zero area)");
+  }
+  if (!IsSimple()) {
+    return Status::InvalidArgument("polygon is self-intersecting");
+  }
+  return Status::OK();
+}
+
+Location Polygon::Locate(Point p) const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return Location::kOutside;
+  // Boundary check first (the crossing-number test below is undefined on
+  // the boundary).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (OnSegment(p, edge(i))) return Location::kBoundary;
+  }
+  // Crossing-number test with the standard half-open rule on edge
+  // endpoints, so vertices on the ray are counted exactly once.
+  bool inside = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (!straddles) continue;
+    const double x_at_y = a.x + (b.x - a.x) * (p.y - a.y) / (b.y - a.y);
+    if (p.x < x_at_y) inside = !inside;
+  }
+  return inside ? Location::kInside : Location::kOutside;
+}
+
+Result<Point> Polygon::InteriorPoint() const {
+  SITM_RETURN_IF_ERROR(Validate());
+  const Box box = bounds();
+  // Pick a horizontal scanline that avoids all vertex heights, then the
+  // midpoint of the first crossing span is strictly interior.
+  double y = (box.min_y + box.max_y) / 2;
+  const double step = (box.max_y - box.min_y) / 257.0;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    bool hits_vertex = false;
+    for (const Point& v : vertices_) {
+      if (std::fabs(v.y - y) <= kEpsilon * 10) {
+        hits_vertex = true;
+        break;
+      }
+    }
+    if (!hits_vertex) {
+      std::vector<double> xs;
+      const std::size_t n = vertices_.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const Point& a = vertices_[i];
+        const Point& b = vertices_[(i + 1) % n];
+        if ((a.y > y) != (b.y > y)) {
+          xs.push_back(a.x + (b.x - a.x) * (y - a.y) / (b.y - a.y));
+        }
+      }
+      std::sort(xs.begin(), xs.end());
+      if (xs.size() >= 2) {
+        const Point candidate{(xs[0] + xs[1]) / 2, y};
+        if (Locate(candidate) == Location::kInside) return candidate;
+      }
+    }
+    // Perturb the scanline and retry.
+    y = box.min_y + step * (attempt + 1);
+  }
+  return Status::Internal("could not find an interior point");
+}
+
+Polygon Polygon::Translated(double dx, double dy) const {
+  std::vector<Point> vs = vertices_;
+  for (Point& p : vs) {
+    p.x += dx;
+    p.y += dy;
+  }
+  return Polygon(std::move(vs));
+}
+
+Polygon Polygon::ScaledAboutCentroid(double factor) const {
+  const Point c = Centroid();
+  std::vector<Point> vs = vertices_;
+  for (Point& p : vs) p = c + (p - c) * factor;
+  return Polygon(std::move(vs));
+}
+
+}  // namespace sitm::geom

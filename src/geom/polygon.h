@@ -1,0 +1,111 @@
+#ifndef SITM_GEOM_POLYGON_H_
+#define SITM_GEOM_POLYGON_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace sitm::geom {
+
+/// Classification of a point relative to a closed region.
+enum class Location {
+  kOutside = 0,
+  kBoundary = 1,
+  kInside = 2,
+};
+
+/// \brief A simple polygon (single ring, no holes).
+///
+/// Vertices are stored without ring closure (the edge from the last
+/// vertex back to the first is implicit). Cells in indoor floor plans are
+/// simple regions; holes are modeled by cell subdivision at the space
+/// model level, not at the geometry level.
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Constructs from a vertex ring. Use Validate() or MakeValid() to
+  /// check simplicity.
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  /// Convenience: the axis-aligned rectangle [x0,x1] x [y0,y1].
+  static Polygon Rectangle(double x0, double y0, double x1, double y1);
+
+  /// Validating constructor: requires >= 3 vertices, non-degenerate
+  /// (nonzero area) and simple (no self-intersection); normalizes
+  /// orientation to counter-clockwise.
+  static Result<Polygon> MakeValid(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// The i-th boundary edge (from vertex i to vertex (i+1) % n).
+  Segment edge(std::size_t i) const {
+    return Segment(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+  }
+
+  /// Signed area: positive for counter-clockwise rings.
+  double SignedArea() const;
+
+  /// Absolute area.
+  double Area() const;
+
+  /// Boundary length.
+  double Perimeter() const;
+
+  /// Area centroid. For non-convex polygons the centroid may fall
+  /// outside; use InteriorPoint() for a guaranteed interior sample.
+  Point Centroid() const;
+
+  /// Tightest axis-aligned bounding box.
+  Box bounds() const;
+
+  /// True iff the ring is counter-clockwise.
+  bool IsCounterClockwise() const { return SignedArea() > 0; }
+
+  /// Reverses the vertex order in place.
+  void Reverse();
+
+  /// True iff every interior angle turns the same way.
+  bool IsConvex() const;
+
+  /// True iff the ring has no self-intersections (adjacent edges may
+  /// share their common vertex).
+  bool IsSimple() const;
+
+  /// OK iff the polygon has >= 3 vertices, nonzero area, and is simple.
+  Status Validate() const;
+
+  /// Classifies p as inside, on the boundary of, or outside the polygon
+  /// (crossing-number test with explicit boundary detection).
+  Location Locate(Point p) const;
+
+  /// True iff p is strictly inside or on the boundary.
+  bool Contains(Point p) const { return Locate(p) != Location::kOutside; }
+
+  /// \brief A point strictly inside the polygon.
+  ///
+  /// Uses the horizontal-scanline method at a vertex-free height: the
+  /// midpoint of the first crossing span is interior for any simple
+  /// polygon, including non-convex ones whose centroid falls outside.
+  /// Fails only for degenerate (zero-area) input.
+  Result<Point> InteriorPoint() const;
+
+  /// The polygon translated by (dx, dy).
+  Polygon Translated(double dx, double dy) const;
+
+  /// The polygon scaled about its centroid by `factor`.
+  Polygon ScaledAboutCentroid(double factor) const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+}  // namespace sitm::geom
+
+#endif  // SITM_GEOM_POLYGON_H_

@@ -1,0 +1,97 @@
+#include "geom/relate.h"
+
+#include <vector>
+
+namespace sitm::geom {
+namespace {
+
+// Vertices + edge midpoints + one guaranteed interior point.
+Result<std::vector<Point>> SamplePoints(const Polygon& poly) {
+  std::vector<Point> samples;
+  samples.reserve(poly.size() * 2 + 1);
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    samples.push_back(poly.vertices()[i]);
+    samples.push_back(poly.edge(i).Midpoint());
+  }
+  SITM_ASSIGN_OR_RETURN(const Point interior, poly.InteriorPoint());
+  samples.push_back(interior);
+  return samples;
+}
+
+}  // namespace
+
+Result<RelateEvidence> Relate(const Polygon& a, const Polygon& b) {
+  SITM_RETURN_IF_ERROR(a.Validate().WithContext("Relate: polygon A"));
+  SITM_RETURN_IF_ERROR(b.Validate().WithContext("Relate: polygon B"));
+
+  RelateEvidence ev;
+
+  // Boundary-boundary pass. A bounding-box pre-filter keeps the common
+  // disjoint case cheap.
+  if (a.bounds().Intersects(b.bounds())) {
+    for (std::size_t i = 0; i < a.size() && !ev.boundaries_cross; ++i) {
+      const Segment sa = a.edge(i);
+      const Box sa_bounds = sa.bounds();
+      for (std::size_t j = 0; j < b.size(); ++j) {
+        const Segment sb = b.edge(j);
+        if (!sa_bounds.Intersects(sb.bounds())) continue;
+        switch (ClassifyIntersection(sa, sb)) {
+          case SegmentIntersection::kNone:
+            break;
+          case SegmentIntersection::kCrossing:
+            ev.boundaries_intersect = true;
+            ev.boundaries_cross = true;
+            break;
+          case SegmentIntersection::kTouching:
+            ev.boundaries_intersect = true;
+            break;
+        }
+        if (ev.boundaries_cross) break;
+      }
+    }
+  }
+
+  // Sample-point passes.
+  SITM_ASSIGN_OR_RETURN(const std::vector<Point> a_samples, SamplePoints(a));
+  for (const Point& p : a_samples) {
+    switch (b.Locate(p)) {
+      case Location::kInside:
+        ev.a_point_inside_b = true;
+        break;
+      case Location::kOutside:
+        ev.a_point_outside_b = true;
+        break;
+      case Location::kBoundary:
+        ev.boundaries_intersect = true;
+        break;
+    }
+  }
+  SITM_ASSIGN_OR_RETURN(const std::vector<Point> b_samples, SamplePoints(b));
+  for (const Point& p : b_samples) {
+    switch (a.Locate(p)) {
+      case Location::kInside:
+        ev.b_point_inside_a = true;
+        break;
+      case Location::kOutside:
+        ev.b_point_outside_a = true;
+        break;
+      case Location::kBoundary:
+        ev.boundaries_intersect = true;
+        break;
+    }
+  }
+  return ev;
+}
+
+Result<bool> Intersects(const Polygon& a, const Polygon& b) {
+  SITM_ASSIGN_OR_RETURN(const RelateEvidence ev, Relate(a, b));
+  return ev.boundaries_intersect || ev.a_point_inside_b ||
+         ev.b_point_inside_a;
+}
+
+Result<bool> ContainsRegion(const Polygon& a, const Polygon& b) {
+  SITM_ASSIGN_OR_RETURN(const RelateEvidence ev, Relate(a, b));
+  return !ev.b_point_outside_a && !ev.boundaries_cross;
+}
+
+}  // namespace sitm::geom

@@ -1,0 +1,56 @@
+#ifndef SITM_GEOM_RELATE_H_
+#define SITM_GEOM_RELATE_H_
+
+#include "base/result.h"
+#include "geom/polygon.h"
+
+namespace sitm::geom {
+
+/// \brief Raw point-set intersection evidence between two simple
+/// polygons (regions) A and B.
+///
+/// This is the geometric core of a DE-9IM / 4-intersection computation:
+/// enough boolean facts about interior/boundary/exterior intersections to
+/// classify the pair into one of the eight binary topological relations
+/// of RCC-8 / the n-intersection model (done in sitm::qsr, which owns the
+/// relation vocabulary).
+struct RelateEvidence {
+  /// ∂A ∩ ∂B ≠ ∅ (any contact between the boundaries, including
+  /// single-point touches and collinear overlaps).
+  bool boundaries_intersect = false;
+  /// The boundaries properly cross (transversally), which implies both
+  /// int(A) ∩ int(B) ≠ ∅ and int(A) ⊄ B, int(B) ⊄ A.
+  bool boundaries_cross = false;
+  /// Some sampled point of A (vertex, edge midpoint, or interior
+  /// representative) lies strictly inside / strictly outside B.
+  bool a_point_inside_b = false;
+  bool a_point_outside_b = false;
+  /// Symmetric evidence for B against A.
+  bool b_point_inside_a = false;
+  bool b_point_outside_a = false;
+};
+
+/// \brief Computes intersection evidence for two simple polygons.
+///
+/// Requires both polygons to be valid (simple, nonzero area); returns
+/// InvalidArgument otherwise. The sample set per polygon is its vertices,
+/// its edge midpoints, and one guaranteed-interior representative point.
+/// This is sufficient to classify all eight topological relations for
+/// simple polygons whose overlaps (if any) involve at least one proper
+/// boundary crossing or are witnessed by the sample set: once crossings
+/// are excluded, a simple polygon's connected interior lies entirely
+/// inside or entirely outside the other region unless the other's
+/// boundary threads through tangent vertices only — a degenerate
+/// configuration indoor floor plans do not produce, and the documented
+/// limit of this sampled evidence.
+Result<RelateEvidence> Relate(const Polygon& a, const Polygon& b);
+
+/// True iff the closed regions share at least one point.
+Result<bool> Intersects(const Polygon& a, const Polygon& b);
+
+/// True iff A contains B (B ⊆ closure of A), tangentially or not.
+Result<bool> ContainsRegion(const Polygon& a, const Polygon& b);
+
+}  // namespace sitm::geom
+
+#endif  // SITM_GEOM_RELATE_H_

@@ -1,0 +1,69 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sitm::geom {
+
+bool OnSegment(Point p, const Segment& s) {
+  if (Orientation(s.a, s.b, p) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - kEpsilon &&
+         p.x <= std::max(s.a.x, s.b.x) + kEpsilon &&
+         p.y >= std::min(s.a.y, s.b.y) - kEpsilon &&
+         p.y <= std::max(s.a.y, s.b.y) + kEpsilon;
+}
+
+SegmentIntersection ClassifyIntersection(const Segment& s1,
+                                         const Segment& s2) {
+  const int o1 = Orientation(s1.a, s1.b, s2.a);
+  const int o2 = Orientation(s1.a, s1.b, s2.b);
+  const int o3 = Orientation(s2.a, s2.b, s1.a);
+  const int o4 = Orientation(s2.a, s2.b, s1.b);
+
+  // Proper crossing: each segment strictly straddles the other's line.
+  if (o1 * o2 < 0 && o3 * o4 < 0) return SegmentIntersection::kCrossing;
+
+  // Any endpoint lying on the other closed segment is a touch (this also
+  // covers collinear overlaps, whose extremes are always endpoints).
+  if (OnSegment(s2.a, s1) || OnSegment(s2.b, s1) || OnSegment(s1.a, s2) ||
+      OnSegment(s1.b, s2)) {
+    return SegmentIntersection::kTouching;
+  }
+  return SegmentIntersection::kNone;
+}
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) {
+  return ClassifyIntersection(s1, s2) != SegmentIntersection::kNone;
+}
+
+bool SegmentsCross(const Segment& s1, const Segment& s2) {
+  return ClassifyIntersection(s1, s2) == SegmentIntersection::kCrossing;
+}
+
+bool CollinearOverlap(const Segment& s1, const Segment& s2) {
+  if (Orientation(s1.a, s1.b, s2.a) != 0 ||
+      Orientation(s1.a, s1.b, s2.b) != 0) {
+    return false;
+  }
+  // Project on the dominant axis and require the closed intervals to
+  // overlap in more than a single point.
+  const bool horizontal =
+      std::fabs(s1.b.x - s1.a.x) >= std::fabs(s1.b.y - s1.a.y);
+  auto coord = [&](Point p) { return horizontal ? p.x : p.y; };
+  const double lo1 = std::min(coord(s1.a), coord(s1.b));
+  const double hi1 = std::max(coord(s1.a), coord(s1.b));
+  const double lo2 = std::min(coord(s2.a), coord(s2.b));
+  const double hi2 = std::max(coord(s2.a), coord(s2.b));
+  return std::min(hi1, hi2) - std::max(lo1, lo2) > kEpsilon;
+}
+
+double DistanceSquaredToSegment(Point p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = Dot(d, d);
+  if (len2 <= kEpsilon * kEpsilon) return DistanceSquared(p, s.a);
+  double t = Dot(p - s.a, d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return DistanceSquared(p, s.a + d * t);
+}
+
+}  // namespace sitm::geom

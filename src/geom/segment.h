@@ -1,0 +1,58 @@
+#ifndef SITM_GEOM_SEGMENT_H_
+#define SITM_GEOM_SEGMENT_H_
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace sitm::geom {
+
+/// \brief A closed line segment between two endpoints.
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(Point pa, Point pb) : a(pa), b(pb) {}
+
+  Box bounds() const {
+    Box box;
+    box.Extend(a);
+    box.Extend(b);
+    return box;
+  }
+
+  double Length() const { return Distance(a, b); }
+  Point Midpoint() const { return (a + b) * 0.5; }
+};
+
+/// True iff p lies on the closed segment within kEpsilon.
+bool OnSegment(Point p, const Segment& s);
+
+/// \brief How two segments intersect.
+enum class SegmentIntersection {
+  kNone = 0,       ///< Closed segments share no point.
+  kCrossing,       ///< Proper transversal crossing at one interior point.
+  kTouching,       ///< Share point(s) but do not properly cross
+                   ///< (endpoint contact or collinear overlap).
+};
+
+/// Classifies the intersection of two closed segments.
+SegmentIntersection ClassifyIntersection(const Segment& s1, const Segment& s2);
+
+/// True iff the closed segments share at least one point.
+bool SegmentsIntersect(const Segment& s1, const Segment& s2);
+
+/// True iff the segments properly cross (one interior point each,
+/// transversal). Endpoint contacts and collinear overlaps are not
+/// crossings.
+bool SegmentsCross(const Segment& s1, const Segment& s2);
+
+/// True iff the segments are collinear and overlap in more than a point.
+bool CollinearOverlap(const Segment& s1, const Segment& s2);
+
+/// Squared distance from point p to the closed segment s.
+double DistanceSquaredToSegment(Point p, const Segment& s);
+
+}  // namespace sitm::geom
+
+#endif  // SITM_GEOM_SEGMENT_H_

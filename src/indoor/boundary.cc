@@ -1,0 +1,29 @@
+#include "indoor/boundary.h"
+
+namespace sitm::indoor {
+
+std::string_view BoundaryTypeName(BoundaryType t) {
+  switch (t) {
+    case BoundaryType::kWall:
+      return "wall";
+    case BoundaryType::kDoor:
+      return "door";
+    case BoundaryType::kOpening:
+      return "opening";
+    case BoundaryType::kStaircase:
+      return "staircase";
+    case BoundaryType::kElevator:
+      return "elevator";
+    case BoundaryType::kRamp:
+      return "ramp";
+    case BoundaryType::kCheckpoint:
+      return "checkpoint";
+    case BoundaryType::kVirtual:
+      return "virtual";
+  }
+  return "unknown";
+}
+
+bool IsTraversable(BoundaryType t) { return t != BoundaryType::kWall; }
+
+}  // namespace sitm::indoor

@@ -1,0 +1,53 @@
+#ifndef SITM_INDOOR_BOUNDARY_H_
+#define SITM_INDOOR_BOUNDARY_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/types.h"
+
+namespace sitm::indoor {
+
+/// \brief Physical kind of a cell boundary crossing.
+///
+/// In the dual space a traversable boundary becomes an intra-layer edge,
+/// i.e. a *transition* in navigation terms (Table 1). The kind carries
+/// the boundary semantics IndoorGML uses to derive connectivity and
+/// accessibility NRGs from adjacency (doors vs. walls, ramps, §2.1).
+enum class BoundaryType : int {
+  kWall = 0,      ///< Non-traversable; yields adjacency only.
+  kDoor,          ///< Regular door.
+  kOpening,       ///< Open passage in a shared boundary.
+  kStaircase,     ///< Vertical transition between floors.
+  kElevator,      ///< Vertical transition between floors.
+  kRamp,          ///< Possibly one-way accessible slope.
+  kCheckpoint,    ///< Controlled crossing (ticket gate, security).
+  kVirtual,       ///< Non-physical boundary between functional subspaces.
+};
+
+/// Stable name for a boundary type ("door", "checkpoint", ...).
+std::string_view BoundaryTypeName(BoundaryType t);
+
+/// True iff a moving object can physically traverse this boundary kind
+/// (walls cannot be traversed; everything else can, subject to the
+/// direction recorded on the accessibility edge).
+bool IsTraversable(BoundaryType t);
+
+/// \brief A boundary between two cells (a door, gate, staircase, ...).
+///
+/// Boundaries have identity because the trace tuples of Def. 3.2 record
+/// *which* transition led into each state ("which door, staircase, or
+/// elevator was used").
+struct CellBoundary {
+  BoundaryId id;
+  std::string name;
+  BoundaryType type = BoundaryType::kDoor;
+
+  CellBoundary() = default;
+  CellBoundary(BoundaryId bid, std::string bname, BoundaryType btype)
+      : id(bid), name(std::move(bname)), type(btype) {}
+};
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_BOUNDARY_H_

@@ -1,0 +1,55 @@
+#include "indoor/cell.h"
+
+namespace sitm::indoor {
+
+std::string_view CellClassName(CellClass c) {
+  switch (c) {
+    case CellClass::kGeneric:
+      return "generic";
+    case CellClass::kBuildingComplex:
+      return "buildingComplex";
+    case CellClass::kBuilding:
+      return "building";
+    case CellClass::kFloor:
+      return "floor";
+    case CellClass::kRoom:
+      return "room";
+    case CellClass::kHall:
+      return "hall";
+    case CellClass::kCorridor:
+      return "corridor";
+    case CellClass::kLobby:
+      return "lobby";
+    case CellClass::kStaircase:
+      return "staircase";
+    case CellClass::kElevator:
+      return "elevator";
+    case CellClass::kTerrace:
+      return "terrace";
+    case CellClass::kCellar:
+      return "cellar";
+    case CellClass::kZone:
+      return "zone";
+    case CellClass::kRegionOfInterest:
+      return "regionOfInterest";
+  }
+  return "unknown";
+}
+
+bool IsRoomLevelClass(CellClass c) {
+  switch (c) {
+    case CellClass::kRoom:
+    case CellClass::kHall:
+    case CellClass::kCorridor:
+    case CellClass::kLobby:
+    case CellClass::kStaircase:
+    case CellClass::kElevator:
+    case CellClass::kTerrace:
+    case CellClass::kCellar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sitm::indoor

@@ -1,0 +1,115 @@
+#ifndef SITM_INDOOR_CELL_H_
+#define SITM_INDOOR_CELL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "base/types.h"
+#include "geom/polygon.h"
+
+namespace sitm::indoor {
+
+/// \brief Ontological class of a spatial cell.
+///
+/// The paper's core hierarchy names three levels (Building, Floor, Room)
+/// plus two optional ones (Building Complex, Region of Interest); the
+/// "Room" level is "loosely named" and may hold any room-level navigable
+/// cell (§3.2), hence the room-level subclasses here. kZone covers
+/// case-specific semantic cells such as the Louvre's thematic zones.
+enum class CellClass : int {
+  kGeneric = 0,
+  kBuildingComplex,
+  kBuilding,
+  kFloor,
+  kRoom,
+  kHall,
+  kCorridor,
+  kLobby,
+  kStaircase,
+  kElevator,
+  kTerrace,
+  kCellar,
+  kZone,
+  kRegionOfInterest,
+};
+
+/// Stable name for a cell class ("room", "buildingComplex", ...).
+std::string_view CellClassName(CellClass c);
+
+/// True iff the class is one of the room-level navigable kinds the paper
+/// enumerates for the "Room" layer (room, chamber/hall, lobby, cellar,
+/// terrace, corridor, staircase, elevator).
+bool IsRoomLevelClass(CellClass c);
+
+/// \brief A cell of the indoor space: IndoorGML "cellspace", a node of
+/// its layer's NRG, a state in navigation terms (Table 1 of the paper).
+///
+/// Cells carry static semantic information as a class, a display name,
+/// and free-form attributes ("theme" = "Italian Paintings",
+/// "requiresTicket" = "true", ...). Geometry is optional: the model is
+/// symbolic-first, and every operation that needs geometry says so.
+class CellSpace {
+ public:
+  CellSpace() = default;
+
+  /// Creates a cell with the mandatory identity fields.
+  CellSpace(CellId id, std::string name, CellClass cell_class)
+      : id_(id), name_(std::move(name)), class_(cell_class) {}
+
+  CellId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  CellClass cell_class() const { return class_; }
+
+  /// Floor level for 2.5D multi-floor spaces (e.g. -2..+2 at the Louvre);
+  /// unset for cells spanning several floors (buildings, complexes).
+  std::optional<int> floor_level() const { return floor_level_; }
+  void set_floor_level(int level) { floor_level_ = level; }
+
+  /// The cell's footprint polygon in its floor's 2D primal space, if
+  /// modeled.
+  const std::optional<geom::Polygon>& geometry() const { return geometry_; }
+  void set_geometry(geom::Polygon polygon) {
+    geometry_ = std::move(polygon);
+  }
+  bool has_geometry() const { return geometry_.has_value(); }
+
+  /// Free-form semantic attributes.
+  const std::map<std::string, std::string>& attributes() const {
+    return attributes_;
+  }
+  void SetAttribute(std::string key, std::string value) {
+    attributes_[std::move(key)] = std::move(value);
+  }
+  /// The attribute value, or NotFound.
+  Result<std::string> Attribute(const std::string& key) const {
+    auto it = attributes_.find(key);
+    if (it == attributes_.end()) {
+      return Status::NotFound("cell '" + name_ + "' has no attribute '" +
+                              key + "'");
+    }
+    return it->second;
+  }
+  bool HasAttribute(const std::string& key) const {
+    return attributes_.count(key) > 0;
+  }
+  /// True iff the attribute exists and equals `value`.
+  bool AttributeEquals(const std::string& key, std::string_view value) const {
+    auto it = attributes_.find(key);
+    return it != attributes_.end() && it->second == value;
+  }
+
+ private:
+  CellId id_;
+  std::string name_;
+  CellClass class_ = CellClass::kGeneric;
+  std::optional<int> floor_level_;
+  std::optional<geom::Polygon> geometry_;
+  std::map<std::string, std::string> attributes_;
+};
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_CELL_H_

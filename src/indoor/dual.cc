@@ -1,0 +1,120 @@
+#include "indoor/dual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qsr/topology.h"
+
+namespace sitm::indoor {
+
+Result<double> SharedBoundaryLength(const geom::Polygon& a,
+                                    const geom::Polygon& b) {
+  SITM_RETURN_IF_ERROR(a.Validate().WithContext("SharedBoundaryLength: A"));
+  SITM_RETURN_IF_ERROR(b.Validate().WithContext("SharedBoundaryLength: B"));
+  double total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const geom::Segment sa = a.edge(i);
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const geom::Segment sb = b.edge(j);
+      if (!geom::CollinearOverlap(sa, sb)) continue;
+      // Project both segments on the dominant axis of sa and accumulate
+      // the 1D overlap, converted back to length along the segment.
+      const geom::Point d = sa.b - sa.a;
+      const double len = sa.Length();
+      if (len <= geom::kEpsilon) continue;
+      auto param = [&](geom::Point p) {
+        return geom::Dot(p - sa.a, d) / (len * len);
+      };
+      const double t0 = std::clamp(param(sb.a), 0.0, 1.0);
+      const double t1 = std::clamp(param(sb.b), 0.0, 1.0);
+      total += std::fabs(t1 - t0) * len;
+    }
+  }
+  return total;
+}
+
+Result<Nrg> DeriveFloorNrg(const std::vector<CellSpace>& cells,
+                           const std::vector<DoorPlacement>& doors,
+                           const DualDeriveOptions& options) {
+  Nrg nrg;
+  for (const CellSpace& cell : cells) {
+    if (!cell.has_geometry()) {
+      return Status::FailedPrecondition("DeriveFloorNrg: cell '" +
+                                        cell.name() + "' has no geometry");
+    }
+    SITM_RETURN_IF_ERROR(cell.geometry()->Validate().WithContext(
+        "DeriveFloorNrg: cell '" + cell.name() + "'"));
+    SITM_RETURN_IF_ERROR(nrg.AddCell(cell));
+  }
+
+  // Pairwise classification: meet -> adjacency; interior intersection is
+  // a modeling error for same-layer cells.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      SITM_ASSIGN_OR_RETURN(
+          const qsr::TopologicalRelation rel,
+          qsr::ClassifyRegions(*cells[i].geometry(), *cells[j].geometry()));
+      if (qsr::ImpliesInteriorIntersection(rel)) {
+        return Status::FailedPrecondition(
+            "DeriveFloorNrg: cells '" + cells[i].name() + "' and '" +
+            cells[j].name() + "' " +
+            std::string(qsr::TopologicalRelationName(rel)) +
+            " each other; same-layer cells must not overlap");
+      }
+      if (rel != qsr::TopologicalRelation::kMeet) continue;
+      SITM_ASSIGN_OR_RETURN(
+          const double shared,
+          SharedBoundaryLength(*cells[i].geometry(), *cells[j].geometry()));
+      if (shared >= options.min_shared_boundary) {
+        SITM_RETURN_IF_ERROR(nrg.AddSymmetricEdge(
+            cells[i].id(), cells[j].id(), EdgeType::kAdjacency));
+      }
+    }
+  }
+
+  // Doors: locate the two cells whose boundary holds the door position.
+  for (const DoorPlacement& door : doors) {
+    std::vector<CellId> touching;
+    for (const CellSpace& cell : cells) {
+      if (cell.geometry()->Locate(door.position) ==
+          geom::Location::kBoundary) {
+        touching.push_back(cell.id());
+      }
+    }
+    if (touching.size() != 2) {
+      return Status::FailedPrecondition(
+          "DeriveFloorNrg: door '" + door.boundary.name + "' touches " +
+          std::to_string(touching.size()) +
+          " cell boundaries; expected exactly 2");
+    }
+    if (!IsTraversable(door.boundary.type)) {
+      return Status::InvalidArgument("DeriveFloorNrg: boundary '" +
+                                     door.boundary.name +
+                                     "' is not traversable");
+    }
+    SITM_RETURN_IF_ERROR(nrg.AddBoundary(door.boundary));
+    SITM_RETURN_IF_ERROR(nrg.AddSymmetricEdge(
+        touching[0], touching[1], EdgeType::kConnectivity, door.boundary.id));
+    const bool one_way = door.one_way_from.valid() && door.one_way_to.valid();
+    if (one_way) {
+      const bool matches =
+          (door.one_way_from == touching[0] && door.one_way_to == touching[1]) ||
+          (door.one_way_from == touching[1] && door.one_way_to == touching[0]);
+      if (!matches) {
+        return Status::InvalidArgument(
+            "DeriveFloorNrg: one-way cells of door '" + door.boundary.name +
+            "' do not match the cells its position touches");
+      }
+      SITM_RETURN_IF_ERROR(nrg.AddEdge(door.one_way_from, door.one_way_to,
+                                       EdgeType::kAccessibility,
+                                       door.boundary.id));
+    } else {
+      SITM_RETURN_IF_ERROR(nrg.AddSymmetricEdge(touching[0], touching[1],
+                                                EdgeType::kAccessibility,
+                                                door.boundary.id));
+    }
+  }
+  return nrg;
+}
+
+}  // namespace sitm::indoor

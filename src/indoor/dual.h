@@ -1,0 +1,54 @@
+#ifndef SITM_INDOOR_DUAL_H_
+#define SITM_INDOOR_DUAL_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "indoor/nrg.h"
+
+namespace sitm::indoor {
+
+/// \brief A door (or other crossing) placed on the shared boundary of
+/// two cells in primal space.
+struct DoorPlacement {
+  CellBoundary boundary;
+  geom::Point position;
+  /// When both ids are valid, accessibility is derived one-way
+  /// `one_way_from -> one_way_to` only (e.g. an exit-only door, §3.2's
+  /// Salle des États example); when invalid, both directions are added.
+  CellId one_way_from;
+  CellId one_way_to;
+};
+
+/// Options for geometric NRG derivation.
+struct DualDeriveOptions {
+  /// Minimum shared-boundary length for two cells to count as adjacent;
+  /// a pure corner touch has length 0 and is excluded by any positive
+  /// threshold.
+  double min_shared_boundary = 1e-6;
+};
+
+/// \brief Total length of the shared (collinear-overlapping) boundary
+/// between two valid polygons.
+Result<double> SharedBoundaryLength(const geom::Polygon& a,
+                                    const geom::Polygon& b);
+
+/// \brief Derives a floor's Node-Relation Graph from cell geometry: the
+/// Poincaré duality mapping of §2.1 (primal cells -> dual nodes, shared
+/// boundaries -> dual edges).
+///
+/// Adjacency edges are added symmetrically between every pair of cells
+/// whose regions meet with shared boundary length >= the configured
+/// minimum. For each door, the two cells whose boundaries contain the
+/// door position are linked with symmetric connectivity edges and with
+/// accessibility edges (both directions, or one-way if the placement
+/// says so). All cells must carry valid geometry and be pairwise
+/// non-overlapping (same-layer cells are disjoint or meet); violations
+/// fail with FailedPrecondition.
+Result<Nrg> DeriveFloorNrg(const std::vector<CellSpace>& cells,
+                           const std::vector<DoorPlacement>& doors,
+                           const DualDeriveOptions& options = {});
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_DUAL_H_

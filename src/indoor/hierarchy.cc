@@ -1,0 +1,241 @@
+#include "indoor/hierarchy.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace sitm::indoor {
+
+std::string_view HierarchyLevelName(HierarchyLevel level) {
+  switch (level) {
+    case HierarchyLevel::kBuildingComplex:
+      return "Building Complex";
+    case HierarchyLevel::kBuilding:
+      return "Building";
+    case HierarchyLevel::kFloor:
+      return "Floor";
+    case HierarchyLevel::kRoom:
+      return "Room";
+    case HierarchyLevel::kRegionOfInterest:
+      return "RoI";
+  }
+  return "unknown";
+}
+
+Result<LayerHierarchy> LayerHierarchy::Build(
+    const MultiLayerGraph* graph, std::vector<LayerId> top_to_bottom) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("LayerHierarchy: graph must not be null");
+  }
+  if (top_to_bottom.size() < 2) {
+    return Status::InvalidArgument(
+        "LayerHierarchy: a hierarchy needs k >= 2 ordered layers, got " +
+        std::to_string(top_to_bottom.size()));
+  }
+  LayerHierarchy h;
+  h.graph_ = graph;
+  h.levels_ = std::move(top_to_bottom);
+  for (std::size_t i = 0; i < h.levels_.size(); ++i) {
+    SITM_RETURN_IF_ERROR(graph->FindLayer(h.levels_[i]).status());
+    if (!h.level_of_layer_.emplace(h.levels_[i], static_cast<int>(i)).second) {
+      return Status::InvalidArgument(
+          "LayerHierarchy: layer listed twice in the hierarchy");
+    }
+  }
+
+  // Scan joint edges: edges inside the hierarchy must connect
+  // consecutive levels with parthood relations directed top-to-bottom.
+  for (const JointEdge& e : graph->joint_edges()) {
+    SITM_ASSIGN_OR_RETURN(const LayerId la, graph->LayerOf(e.from));
+    SITM_ASSIGN_OR_RETURN(const LayerId lb, graph->LayerOf(e.to));
+    auto ita = h.level_of_layer_.find(la);
+    auto itb = h.level_of_layer_.find(lb);
+    if (ita == h.level_of_layer_.end() || itb == h.level_of_layer_.end()) {
+      continue;  // edge leaves the hierarchy; not our concern
+    }
+    const int level_a = ita->second;
+    const int level_b = itb->second;
+    if (std::abs(level_a - level_b) != 1) {
+      return Status::FailedPrecondition(
+          "LayerHierarchy: joint edge between non-consecutive levels " +
+          std::to_string(level_a) + " and " + std::to_string(level_b) +
+          " (layer skipping is not allowed)");
+    }
+    // Normalize to the downward direction (upper -> lower).
+    CellId upper_cell;
+    CellId lower_cell;
+    qsr::TopologicalRelation downward;
+    if (level_a < level_b) {
+      upper_cell = e.from;
+      lower_cell = e.to;
+      downward = e.relation;
+    } else {
+      upper_cell = e.to;
+      lower_cell = e.from;
+      downward = qsr::Inverse(e.relation);
+    }
+    if (!qsr::IsHierarchyRelation(downward)) {
+      return Status::FailedPrecondition(
+          "LayerHierarchy: joint edge relation '" +
+          std::string(qsr::TopologicalRelationName(e.relation)) +
+          "' is not a parthood (only contains/covers are allowed; overlap "
+          "and equal are excluded from hierarchies)");
+    }
+    auto existing = h.parent_.find(lower_cell);
+    if (existing != h.parent_.end()) {
+      if (existing->second != upper_cell) {
+        return Status::FailedPrecondition(
+            "LayerHierarchy: cell #" + std::to_string(lower_cell.value()) +
+            " has two distinct parents (#" +
+            std::to_string(existing->second.value()) + " and #" +
+            std::to_string(upper_cell.value()) +
+            "); a proper part belongs to exactly one parent");
+      }
+      continue;  // converse duplicate of an edge already recorded
+    }
+    h.parent_[lower_cell] = upper_cell;
+    h.children_[upper_cell].push_back(lower_cell);
+  }
+
+  // Every cell below the top level needs a parent.
+  for (std::size_t level = 1; level < h.levels_.size(); ++level) {
+    SITM_ASSIGN_OR_RETURN(const SpaceLayer* layer,
+                          graph->FindLayer(h.levels_[level]));
+    for (const CellSpace& cell : layer->graph().cells()) {
+      if (h.parent_.count(cell.id()) == 0) {
+        return Status::FailedPrecondition(
+            "LayerHierarchy: cell '" + cell.name() + "' (#" +
+            std::to_string(cell.id().value()) + ") at level " +
+            std::to_string(level) + " has no parent");
+      }
+    }
+  }
+  return h;
+}
+
+Result<LayerId> LayerHierarchy::LayerAt(int level) const {
+  if (level < 0 || level >= depth()) {
+    return Status::OutOfRange("LayerHierarchy: level " +
+                              std::to_string(level) + " out of range");
+  }
+  return levels_[level];
+}
+
+Result<int> LayerHierarchy::LevelOf(LayerId layer) const {
+  auto it = level_of_layer_.find(layer);
+  if (it == level_of_layer_.end()) {
+    return Status::NotFound("LayerHierarchy: layer #" +
+                            std::to_string(layer.value()) +
+                            " is not part of the hierarchy");
+  }
+  return it->second;
+}
+
+Result<int> LayerHierarchy::LevelOfCell(CellId cell) const {
+  SITM_ASSIGN_OR_RETURN(const LayerId layer, graph_->LayerOf(cell));
+  return LevelOf(layer);
+}
+
+Result<CellId> LayerHierarchy::Parent(CellId cell) const {
+  auto it = parent_.find(cell);
+  if (it == parent_.end()) {
+    return Status::NotFound("LayerHierarchy: cell #" +
+                            std::to_string(cell.value()) + " has no parent");
+  }
+  return it->second;
+}
+
+std::vector<CellId> LayerHierarchy::Children(CellId cell) const {
+  auto it = children_.find(cell);
+  if (it == children_.end()) return {};
+  return it->second;
+}
+
+std::vector<CellId> LayerHierarchy::Ancestors(CellId cell) const {
+  std::vector<CellId> out;
+  CellId cur = cell;
+  while (true) {
+    auto it = parent_.find(cur);
+    if (it == parent_.end()) return out;
+    out.push_back(it->second);
+    cur = it->second;
+  }
+}
+
+std::vector<CellId> LayerHierarchy::Descendants(CellId cell) const {
+  std::vector<CellId> out;
+  std::deque<CellId> queue{cell};
+  while (!queue.empty()) {
+    const CellId cur = queue.front();
+    queue.pop_front();
+    for (CellId child : Children(cur)) {
+      out.push_back(child);
+      queue.push_back(child);
+    }
+  }
+  return out;
+}
+
+Result<CellId> LayerHierarchy::RollUp(CellId cell, int target_level) const {
+  SITM_ASSIGN_OR_RETURN(int level, LevelOfCell(cell));
+  if (target_level > level) {
+    return Status::InvalidArgument(
+        "LayerHierarchy::RollUp: target level " +
+        std::to_string(target_level) + " is below the cell's level " +
+        std::to_string(level) + " (roll-up only aggregates upward)");
+  }
+  CellId cur = cell;
+  while (level > target_level) {
+    SITM_ASSIGN_OR_RETURN(cur, Parent(cur));
+    --level;
+  }
+  return cur;
+}
+
+bool LayerHierarchy::IsAncestor(CellId ancestor, CellId cell) const {
+  for (CellId a : Ancestors(cell)) {
+    if (a == ancestor) return true;
+  }
+  return false;
+}
+
+Result<CellId> LayerHierarchy::LowestCommonAncestor(CellId a, CellId b) const {
+  if (a == b) return a;
+  // Collect a's chain (including a itself), then walk b upwards.
+  std::unordered_set<CellId> chain{a};
+  for (CellId anc : Ancestors(a)) chain.insert(anc);
+  if (chain.count(b) > 0) return b;
+  for (CellId anc : Ancestors(b)) {
+    if (chain.count(anc) > 0) return anc;
+  }
+  return Status::NotFound(
+      "LayerHierarchy: cells share no common ancestor (different roots)");
+}
+
+Result<int> LayerHierarchy::LcaDistance(CellId a, CellId b) const {
+  SITM_ASSIGN_OR_RETURN(const CellId lca, LowestCommonAncestor(a, b));
+  SITM_ASSIGN_OR_RETURN(const int level_a, LevelOfCell(a));
+  SITM_ASSIGN_OR_RETURN(const int level_b, LevelOfCell(b));
+  SITM_ASSIGN_OR_RETURN(const int level_lca, LevelOfCell(lca));
+  return (level_a - level_lca) + (level_b - level_lca);
+}
+
+Result<geom::CoverageReport> LayerHierarchy::CoverageAudit(CellId cell,
+                                                           int samples,
+                                                           Rng* rng) const {
+  SITM_ASSIGN_OR_RETURN(const CellSpace* parent, graph_->FindCell(cell));
+  if (!parent->has_geometry()) {
+    return Status::FailedPrecondition(
+        "LayerHierarchy::CoverageAudit: cell '" + parent->name() +
+        "' has no geometry");
+  }
+  std::vector<geom::Polygon> child_regions;
+  for (CellId child_id : Children(cell)) {
+    SITM_ASSIGN_OR_RETURN(const CellSpace* child, graph_->FindCell(child_id));
+    if (child->has_geometry()) child_regions.push_back(*child->geometry());
+  }
+  return geom::EstimateCoverage(*parent->geometry(), child_regions, samples,
+                                rng);
+}
+
+}  // namespace sitm::indoor

@@ -1,0 +1,122 @@
+#ifndef SITM_INDOOR_HIERARCHY_H_
+#define SITM_INDOOR_HIERARCHY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "geom/coverage.h"
+#include "indoor/multilayer.h"
+
+namespace sitm::indoor {
+
+/// \brief The canonical levels of the paper's extended core hierarchy
+/// (§3.2, Fig. 2): "Building Complex" → "Building" → "Floor" → "Room" →
+/// "RoI", of which the middle three are required in any indoor setting.
+enum class HierarchyLevel : int {
+  kBuildingComplex = 0,
+  kBuilding = 1,
+  kFloor = 2,
+  kRoom = 3,
+  kRegionOfInterest = 4,
+};
+
+/// Stable name for a hierarchy level ("Building Complex", ...).
+std::string_view HierarchyLevelName(HierarchyLevel level);
+
+/// \brief A validated layer hierarchy over a MultiLayerGraph (§3.2).
+///
+/// A layer hierarchy is k >= 2 ordered layers connected *only
+/// consecutively* by joint edges whose relations are "contains" or
+/// "covers" with a top-to-bottom direction — no "overlap" (that would not
+/// be a parthood), no "equal" (that would repeat nodes), no layer
+/// skipping. Under these rules parthood is transitive (classical
+/// mereology), which is what makes multi-granularity inference sound:
+/// a moving object located in a cell is located in every ancestor of
+/// that cell.
+///
+/// The hierarchy keeps a non-owning pointer to the graph; the graph must
+/// outlive it.
+class LayerHierarchy {
+ public:
+  /// Builds and validates a hierarchy from `layer ids` ordered top (most
+  /// aggregate) to bottom (finest). Checks, over the given graph:
+  ///  - k >= 2 and all layers exist;
+  ///  - every joint edge between two hierarchy layers links consecutive
+  ///    levels (no skipping);
+  ///  - top-to-bottom joint edges use only contains/covers (and their
+  ///    converses bottom-to-top);
+  ///  - every non-top-layer cell has exactly one parent in the layer
+  ///    directly above (a proper tree — a cell cannot be a proper part
+  ///    of two disjoint parents).
+  /// Parents of top-layer cells and children counts are unconstrained
+  /// (the full-coverage hypothesis is *not* assumed; see CoverageAudit).
+  static Result<LayerHierarchy> Build(const MultiLayerGraph* graph,
+                                      std::vector<LayerId> top_to_bottom);
+
+  /// Number of levels k.
+  int depth() const { return static_cast<int>(levels_.size()); }
+
+  /// The layer id at `level` (0 = top).
+  Result<LayerId> LayerAt(int level) const;
+
+  /// The level index of `layer`, or NotFound if outside the hierarchy.
+  Result<int> LevelOf(LayerId layer) const;
+
+  /// The level index of the layer owning `cell`.
+  Result<int> LevelOfCell(CellId cell) const;
+
+  /// The parent cell (in the layer directly above), or NotFound for
+  /// top-layer cells and cells with no recorded parent.
+  Result<CellId> Parent(CellId cell) const;
+
+  /// The child cells in the layer directly below (possibly empty).
+  std::vector<CellId> Children(CellId cell) const;
+
+  /// All ancestors bottom-up, starting with the direct parent.
+  std::vector<CellId> Ancestors(CellId cell) const;
+
+  /// All descendants (any depth), in BFS order.
+  std::vector<CellId> Descendants(CellId cell) const;
+
+  /// \brief Maps a cell to its ancestor at `target_level` (which must be
+  /// at or above the cell's level). RollUp(cell, own level) is the
+  /// identity. This is the paper's location inference "at all levels of
+  /// granularity above the detection data level".
+  Result<CellId> RollUp(CellId cell, int target_level) const;
+
+  /// True iff `ancestor` is a (transitive) ancestor of `cell`.
+  bool IsAncestor(CellId ancestor, CellId cell) const;
+
+  /// \brief The lowest common ancestor of two cells, or NotFound if the
+  /// cells live under different roots. Useful as a semantic distance:
+  /// cells meeting only at the "Building" level are farther apart than
+  /// cells sharing a "Room".
+  Result<CellId> LowestCommonAncestor(CellId a, CellId b) const;
+
+  /// Number of levels between the cells and their LCA, summed
+  /// (a tree distance usable as a dissimilarity).
+  Result<int> LcaDistance(CellId a, CellId b) const;
+
+  /// \brief Audits the full-coverage hypothesis for `cell` (§4.2,
+  /// Fig. 4): estimates how much of the cell's region its children
+  /// cover. Requires geometry on the cell and its children.
+  Result<geom::CoverageReport> CoverageAudit(CellId cell, int samples,
+                                             Rng* rng) const;
+
+  const MultiLayerGraph& graph() const { return *graph_; }
+
+ private:
+  LayerHierarchy() = default;
+
+  const MultiLayerGraph* graph_ = nullptr;
+  std::vector<LayerId> levels_;
+  std::unordered_map<LayerId, int> level_of_layer_;
+  std::unordered_map<CellId, CellId> parent_;
+  std::unordered_map<CellId, std::vector<CellId>> children_;
+};
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_HIERARCHY_H_

@@ -1,0 +1,15 @@
+#include "indoor/layer.h"
+
+namespace sitm::indoor {
+
+std::string_view LayerKindName(LayerKind k) {
+  switch (k) {
+    case LayerKind::kTopographic:
+      return "topographic";
+    case LayerKind::kSemantic:
+      return "semantic";
+  }
+  return "unknown";
+}
+
+}  // namespace sitm::indoor

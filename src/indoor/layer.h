@@ -1,0 +1,48 @@
+#ifndef SITM_INDOOR_LAYER_H_
+#define SITM_INDOOR_LAYER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "indoor/nrg.h"
+
+namespace sitm::indoor {
+
+/// \brief Whether a layer's cell decomposition is driven by architecture
+/// or by meaning (§3.2: "there can be layer hierarchies that comprise
+/// either topographic layers, or semantic layers, or both").
+enum class LayerKind : int {
+  kTopographic = 0,  ///< Spatially defined (Building, Floor).
+  kSemantic = 1,     ///< Semantically defined (thematic zones, RoIs).
+};
+
+/// Stable name ("topographic" / "semantic").
+std::string_view LayerKindName(LayerKind k);
+
+/// \brief One layer of the Multi-Layered Space Model: a cell
+/// decomposition of the indoor space together with its NRG (dual graph).
+class SpaceLayer {
+ public:
+  SpaceLayer() = default;
+  SpaceLayer(LayerId id, std::string name, LayerKind kind)
+      : id_(id), name_(std::move(name)), kind_(kind) {}
+
+  LayerId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  LayerKind kind() const { return kind_; }
+
+  /// The layer's Node-Relation Graph.
+  const Nrg& graph() const { return graph_; }
+  Nrg& mutable_graph() { return graph_; }
+
+ private:
+  LayerId id_;
+  std::string name_;
+  LayerKind kind_ = LayerKind::kTopographic;
+  Nrg graph_;
+};
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_LAYER_H_

@@ -1,0 +1,197 @@
+#include "indoor/multilayer.h"
+
+#include <unordered_set>
+
+namespace sitm::indoor {
+
+Status MultiLayerGraph::AddLayer(SpaceLayer layer) {
+  if (!layer.id().valid()) {
+    return Status::InvalidArgument("MultiLayerGraph::AddLayer: invalid id");
+  }
+  if (layer_index_.count(layer.id()) > 0) {
+    return Status::AlreadyExists(
+        "MultiLayerGraph::AddLayer: duplicate layer id #" +
+        std::to_string(layer.id().value()));
+  }
+  // ⋂ V_i = ∅: a cell id may appear in one layer only.
+  ReindexCells();
+  for (const CellSpace& cell : layer.graph().cells()) {
+    if (cell_layer_.count(cell.id()) > 0) {
+      return Status::AlreadyExists(
+          "MultiLayerGraph::AddLayer: cell #" +
+          std::to_string(cell.id().value()) +
+          " already belongs to another layer (cells may not be shared; "
+          "replicate with 'equal' joint edges instead)");
+    }
+  }
+  layer_index_[layer.id()] = layers_.size();
+  layers_.push_back(std::move(layer));
+  indexed_cell_count_ = 0;  // force reindex
+  cell_layer_.clear();
+  return Status::OK();
+}
+
+Result<const SpaceLayer*> MultiLayerGraph::FindLayer(LayerId id) const {
+  auto it = layer_index_.find(id);
+  if (it == layer_index_.end()) {
+    return Status::NotFound("MultiLayerGraph: no layer #" +
+                            std::to_string(id.value()));
+  }
+  return &layers_[it->second];
+}
+
+Result<SpaceLayer*> MultiLayerGraph::MutableLayer(LayerId id) {
+  auto it = layer_index_.find(id);
+  if (it == layer_index_.end()) {
+    return Status::NotFound("MultiLayerGraph: no layer #" +
+                            std::to_string(id.value()));
+  }
+  // Cell membership may change through the mutable layer.
+  indexed_cell_count_ = 0;
+  cell_layer_.clear();
+  return &layers_[it->second];
+}
+
+void MultiLayerGraph::ReindexCells() const {
+  std::size_t total = 0;
+  for (const SpaceLayer& layer : layers_) total += layer.graph().num_cells();
+  if (total == indexed_cell_count_ && !cell_layer_.empty()) return;
+  if (total == 0) {
+    cell_layer_.clear();
+    indexed_cell_count_ = 0;
+    return;
+  }
+  cell_layer_.clear();
+  for (const SpaceLayer& layer : layers_) {
+    for (const CellSpace& cell : layer.graph().cells()) {
+      cell_layer_.emplace(cell.id(), layer.id());
+    }
+  }
+  indexed_cell_count_ = total;
+}
+
+Result<LayerId> MultiLayerGraph::LayerOf(CellId cell) const {
+  ReindexCells();
+  auto it = cell_layer_.find(cell);
+  if (it == cell_layer_.end()) {
+    return Status::NotFound("MultiLayerGraph: cell #" +
+                            std::to_string(cell.value()) +
+                            " is in no layer");
+  }
+  return it->second;
+}
+
+Result<const CellSpace*> MultiLayerGraph::FindCell(CellId cell) const {
+  SITM_ASSIGN_OR_RETURN(const LayerId layer_id, LayerOf(cell));
+  SITM_ASSIGN_OR_RETURN(const SpaceLayer* layer, FindLayer(layer_id));
+  return layer->graph().FindCell(cell);
+}
+
+Status MultiLayerGraph::AddJointEdge(CellId from, CellId to,
+                                     qsr::TopologicalRelation r,
+                                     bool add_converse) {
+  SITM_ASSIGN_OR_RETURN(const LayerId from_layer, LayerOf(from));
+  SITM_ASSIGN_OR_RETURN(const LayerId to_layer, LayerOf(to));
+  if (from_layer == to_layer) {
+    return Status::InvalidArgument(
+        "MultiLayerGraph::AddJointEdge: joint edges must connect cells of "
+        "different layers");
+  }
+  if (!qsr::ImpliesInteriorIntersection(r)) {
+    return Status::InvalidArgument(
+        "MultiLayerGraph::AddJointEdge: relation '" +
+        std::string(qsr::TopologicalRelationName(r)) +
+        "' is not a valid overall-state relation (interiors must "
+        "intersect)");
+  }
+  joint_edges_.push_back(JointEdge{from, to, r});
+  if (add_converse) {
+    joint_edges_.push_back(JointEdge{to, from, qsr::Inverse(r)});
+  }
+  return Status::OK();
+}
+
+std::vector<JointEdge> MultiLayerGraph::JointEdgesOf(CellId cell) const {
+  std::vector<JointEdge> out;
+  for (const JointEdge& e : joint_edges_) {
+    if (e.from == cell) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<CellId> MultiLayerGraph::CandidateStates(
+    CellId cell, LayerId target_layer) const {
+  std::vector<CellId> out;
+  std::unordered_set<CellId> seen;
+  for (const JointEdge& e : joint_edges_) {
+    if (e.from != cell) continue;
+    const Result<LayerId> layer = LayerOf(e.to);
+    if (!layer.ok() || layer.value() != target_layer) continue;
+    if (seen.insert(e.to).second) out.push_back(e.to);
+  }
+  return out;
+}
+
+Result<int> MultiLayerGraph::DeriveJointEdgesFromGeometry(LayerId layer_a,
+                                                          LayerId layer_b) {
+  if (layer_a == layer_b) {
+    return Status::InvalidArgument(
+        "DeriveJointEdgesFromGeometry: layers must differ");
+  }
+  SITM_ASSIGN_OR_RETURN(const SpaceLayer* la, FindLayer(layer_a));
+  SITM_ASSIGN_OR_RETURN(const SpaceLayer* lb, FindLayer(layer_b));
+  int added = 0;
+  for (const CellSpace& ca : la->graph().cells()) {
+    if (!ca.has_geometry()) continue;
+    for (const CellSpace& cb : lb->graph().cells()) {
+      if (!cb.has_geometry()) continue;
+      if (ca.floor_level() && cb.floor_level() &&
+          *ca.floor_level() != *cb.floor_level()) {
+        continue;  // different floors cannot intersect in 2.5D
+      }
+      SITM_ASSIGN_OR_RETURN(
+          const qsr::TopologicalRelation rel,
+          qsr::ClassifyRegions(*ca.geometry(), *cb.geometry()));
+      if (!qsr::ImpliesInteriorIntersection(rel)) continue;
+      SITM_RETURN_IF_ERROR(AddJointEdge(ca.id(), cb.id(), rel,
+                                        /*add_converse=*/true));
+      added += 2;
+    }
+  }
+  return added;
+}
+
+Status MultiLayerGraph::Validate() const {
+  // Per-layer structural validity.
+  for (const SpaceLayer& layer : layers_) {
+    SITM_RETURN_IF_ERROR(
+        layer.graph().Validate().WithContext("layer '" + layer.name() + "'"));
+  }
+  // Cell uniqueness across layers.
+  std::unordered_set<CellId> seen;
+  for (const SpaceLayer& layer : layers_) {
+    for (const CellSpace& cell : layer.graph().cells()) {
+      if (!seen.insert(cell.id()).second) {
+        return Status::Corruption(
+            "MultiLayerGraph: cell #" + std::to_string(cell.id().value()) +
+            " appears in more than one layer");
+      }
+    }
+  }
+  // Joint edges: inter-layer, valid relations, endpoints exist.
+  for (const JointEdge& e : joint_edges_) {
+    SITM_ASSIGN_OR_RETURN(const LayerId la, LayerOf(e.from));
+    SITM_ASSIGN_OR_RETURN(const LayerId lb, LayerOf(e.to));
+    if (la == lb) {
+      return Status::Corruption("MultiLayerGraph: intra-layer joint edge");
+    }
+    if (!qsr::ImpliesInteriorIntersection(e.relation)) {
+      return Status::Corruption(
+          "MultiLayerGraph: joint edge with invalid relation '" +
+          std::string(qsr::TopologicalRelationName(e.relation)) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sitm::indoor

@@ -1,0 +1,109 @@
+#ifndef SITM_INDOOR_MULTILAYER_H_
+#define SITM_INDOOR_MULTILAYER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "indoor/layer.h"
+#include "qsr/topology.h"
+
+namespace sitm::indoor {
+
+/// \brief A directed joint edge: a binary topological relation between
+/// two cells of *different* layers (§3.2, E_top).
+///
+/// Per IndoorGML, a joint edge expresses a valid "overall state"
+/// combination: a moving object in cell `from` may simultaneously be in
+/// cell `to` of the other layer. Only the six relations with
+/// intersecting interiors are admissible (everything but disjoint and
+/// meet).
+struct JointEdge {
+  CellId from;
+  CellId to;
+  qsr::TopologicalRelation relation = qsr::TopologicalRelation::kOverlap;
+};
+
+/// \brief The layered multigraph G = (V, E) of §3.2: m+1 layers, each an
+/// accessibility NRG, plus typed inter-layer joint edges.
+///
+/// The class enforces the paper's structural assumptions at insertion
+/// time: each cell belongs to exactly one layer (⋂ V_i = ∅), joint edges
+/// connect cells of different layers, and their relation is one of the
+/// six valid ones. G is an edge-coloured multigraph: intra-layer and
+/// inter-layer edges are always of different types.
+class MultiLayerGraph {
+ public:
+  MultiLayerGraph() = default;
+
+  /// Adds a layer (with its cells already inserted, or to be inserted
+  /// later through mutable_layer()). Fails on duplicate layer id or if
+  /// any of its cell ids already exists in another layer.
+  Status AddLayer(SpaceLayer layer);
+
+  /// Number of layers.
+  std::size_t num_layers() const { return layers_.size(); }
+
+  /// All layers, in insertion order.
+  const std::vector<SpaceLayer>& layers() const { return layers_; }
+
+  /// The layer with the given id, or NotFound.
+  Result<const SpaceLayer*> FindLayer(LayerId id) const;
+  Result<SpaceLayer*> MutableLayer(LayerId id);
+
+  /// The layer that owns the given cell, or NotFound. (Re-indexes lazily:
+  /// cells may be added to layers after AddLayer.)
+  Result<LayerId> LayerOf(CellId cell) const;
+
+  /// The cell with the given id across all layers, or NotFound.
+  Result<const CellSpace*> FindCell(CellId cell) const;
+
+  /// Adds a directed joint edge `from -> to` with the given relation.
+  /// Fails if either cell is missing, both are in the same layer, or the
+  /// relation is not a valid overall-state relation (disjoint/meet).
+  /// When `add_converse` is true (default), the converse edge
+  /// `to -> from` with the inverse relation is added too, so symmetric
+  /// relations (overlap, equal) appear in both directions and
+  /// contains/covers pairs stay coherent.
+  Status AddJointEdge(CellId from, CellId to, qsr::TopologicalRelation r,
+                      bool add_converse = true);
+
+  /// All joint edges, in insertion order.
+  const std::vector<JointEdge>& joint_edges() const { return joint_edges_; }
+
+  /// Outgoing joint edges of a cell.
+  std::vector<JointEdge> JointEdgesOf(CellId cell) const;
+
+  /// \brief The cells of `target_layer` a moving object located in
+  /// `cell` may simultaneously occupy — the valid active-state
+  /// combinations of the MLSM (Fig. 1: a visitor in hall 5 of layer i+1
+  /// can only be in 5a, 5b or 5c of layer i).
+  std::vector<CellId> CandidateStates(CellId cell, LayerId target_layer) const;
+
+  /// \brief Derives joint edges between two layers from cell geometry.
+  ///
+  /// Classifies every cross-layer cell pair with qsr::ClassifyRegions
+  /// (cells lacking geometry, or on different floors when both declare
+  /// floor levels, are skipped) and adds a joint edge for every pair
+  /// whose interiors intersect. Returns the number of joint edges added.
+  Result<int> DeriveJointEdgesFromGeometry(LayerId layer_a, LayerId layer_b);
+
+  /// \brief Structural validation of the whole multigraph: per-layer NRG
+  /// validity, cell uniqueness across layers, joint edges inter-layer
+  /// with valid relations.
+  Status Validate() const;
+
+ private:
+  void ReindexCells() const;
+
+  std::vector<SpaceLayer> layers_;
+  std::unordered_map<LayerId, std::size_t> layer_index_;
+  std::vector<JointEdge> joint_edges_;
+  // Lazy cell -> layer map (rebuilt when layer cell counts change).
+  mutable std::unordered_map<CellId, LayerId> cell_layer_;
+  mutable std::size_t indexed_cell_count_ = 0;
+};
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_MULTILAYER_H_

@@ -1,0 +1,125 @@
+#include "indoor/navigation.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace sitm::indoor {
+
+double RouteCosts::CostOf(BoundaryType type) const {
+  switch (type) {
+    case BoundaryType::kWall:
+      return -1;  // never traversable
+    case BoundaryType::kDoor:
+      return door;
+    case BoundaryType::kOpening:
+      return opening;
+    case BoundaryType::kStaircase:
+      return avoid_stairs ? -1 : staircase;
+    case BoundaryType::kElevator:
+      return elevator;
+    case BoundaryType::kRamp:
+      return ramp;
+    case BoundaryType::kCheckpoint:
+      return checkpoint;
+    case BoundaryType::kVirtual:
+      return virtual_boundary;
+  }
+  return unknown;
+}
+
+Result<Route> PlanRoute(const Nrg& graph, CellId from, CellId to,
+                        const RouteCosts& costs) {
+  if (!graph.HasCell(from) || !graph.HasCell(to)) {
+    return Status::NotFound("PlanRoute: unknown endpoint cell");
+  }
+  struct QueueEntry {
+    double cost;
+    CellId cell;
+    bool operator>(const QueueEntry& other) const {
+      if (cost != other.cost) return cost > other.cost;
+      return cell.value() > other.cell.value();
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  std::unordered_map<CellId, double> best;
+  struct Predecessor {
+    CellId cell;
+    BoundaryId boundary;
+  };
+  std::unordered_map<CellId, Predecessor> parent;
+  queue.push({0.0, from});
+  best[from] = 0.0;
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.cost > best[top.cell]) continue;  // stale entry
+    if (top.cell == to) break;
+    for (const NrgEdge& e :
+         graph.OutEdges(top.cell, EdgeType::kAccessibility)) {
+      double edge_cost = costs.unknown;
+      if (e.boundary.valid()) {
+        const Result<const CellBoundary*> boundary =
+            graph.FindBoundary(e.boundary);
+        if (boundary.ok()) {
+          edge_cost = costs.CostOf((*boundary)->type);
+          if (edge_cost < 0) continue;  // avoided boundary type
+        }
+      }
+      const double next_cost = top.cost + edge_cost;
+      auto it = best.find(e.to);
+      if (it == best.end() || next_cost < it->second) {
+        best[e.to] = next_cost;
+        parent[e.to] = Predecessor{top.cell, e.boundary};
+        queue.push({next_cost, e.to});
+      }
+    }
+  }
+  auto found = best.find(to);
+  if (found == best.end()) {
+    return Status::NotFound(
+        "PlanRoute: no route from cell #" + std::to_string(from.value()) +
+        " to cell #" + std::to_string(to.value()) +
+        " under the given costs");
+  }
+  Route route;
+  route.total_cost = found->second;
+  std::vector<RouteStep> reversed;
+  CellId walk = to;
+  while (walk != from) {
+    const Predecessor& pred = parent[walk];
+    reversed.push_back(RouteStep{walk, pred.boundary});
+    walk = pred.cell;
+  }
+  reversed.push_back(RouteStep{from, BoundaryId()});
+  route.steps.assign(reversed.rbegin(), reversed.rend());
+  return route;
+}
+
+Result<std::string> DescribeRoute(const Nrg& graph, const Route& route) {
+  if (route.steps.empty()) {
+    return Status::InvalidArgument("DescribeRoute: empty route");
+  }
+  SITM_ASSIGN_OR_RETURN(const CellSpace* start,
+                        graph.FindCell(route.steps.front().cell));
+  std::string out = "start in " + start->name();
+  for (std::size_t i = 1; i < route.steps.size(); ++i) {
+    const RouteStep& step = route.steps[i];
+    SITM_ASSIGN_OR_RETURN(const CellSpace* cell, graph.FindCell(step.cell));
+    out += "; ";
+    if (step.boundary.valid()) {
+      const Result<const CellBoundary*> boundary =
+          graph.FindBoundary(step.boundary);
+      if (boundary.ok()) {
+        out += "through " + std::string(BoundaryTypeName((*boundary)->type)) +
+               " '" + (*boundary)->name + "' ";
+      }
+    }
+    out += "into " + cell->name();
+  }
+  return out;
+}
+
+}  // namespace sitm::indoor

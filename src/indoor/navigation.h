@@ -1,0 +1,66 @@
+#ifndef SITM_INDOOR_NAVIGATION_H_
+#define SITM_INDOOR_NAVIGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "indoor/nrg.h"
+
+namespace sitm::indoor {
+
+/// \brief Per-boundary-type traversal costs for route planning.
+///
+/// IndoorGML's raison d'être is indoor *navigation* (§2.1); routes over
+/// an accessibility NRG are weighted walks where boundary semantics
+/// matter: stairs cost more than doors, elevators queue, checkpoints
+/// take time — and an accessible route may not use stairs at all.
+struct RouteCosts {
+  double door = 1.0;
+  double opening = 0.5;
+  double staircase = 5.0;
+  double elevator = 3.0;
+  double ramp = 2.0;
+  double checkpoint = 4.0;
+  double virtual_boundary = 0.1;
+  /// Cost of an edge with no boundary metadata.
+  double unknown = 1.0;
+  /// When true, staircases are untraversable (wheelchair routing).
+  bool avoid_stairs = false;
+
+  /// The cost of crossing a boundary of the given type, or a negative
+  /// value if it must be avoided.
+  double CostOf(BoundaryType type) const;
+};
+
+/// One step of a route: cross `boundary` into `cell`.
+struct RouteStep {
+  CellId cell;
+  BoundaryId boundary;  ///< invalid for the start cell
+};
+
+/// A planned route with its total cost.
+struct Route {
+  std::vector<RouteStep> steps;  ///< starts with the origin cell
+  double total_cost = 0;
+
+  /// Number of boundary crossings.
+  std::size_t num_crossings() const {
+    return steps.empty() ? 0 : steps.size() - 1;
+  }
+};
+
+/// \brief Least-cost route over the accessibility NRG (Dijkstra with
+/// per-boundary costs). Fails with NotFound if no route exists under
+/// the given costs (e.g. stairs-only connections with avoid_stairs).
+Result<Route> PlanRoute(const Nrg& graph, CellId from, CellId to,
+                        const RouteCosts& costs = {});
+
+/// \brief Renders a route as human-readable directions
+/// ("start in X; through door d into Y; ..."), resolving names from the
+/// graph.
+Result<std::string> DescribeRoute(const Nrg& graph, const Route& route);
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_NAVIGATION_H_

@@ -1,0 +1,269 @@
+#include "indoor/nrg.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace sitm::indoor {
+
+std::string_view EdgeTypeName(EdgeType t) {
+  switch (t) {
+    case EdgeType::kAdjacency:
+      return "adjacency";
+    case EdgeType::kConnectivity:
+      return "connectivity";
+    case EdgeType::kAccessibility:
+      return "accessibility";
+  }
+  return "unknown";
+}
+
+Status Nrg::AddCell(CellSpace cell) {
+  if (!cell.id().valid()) {
+    return Status::InvalidArgument("Nrg::AddCell: invalid cell id");
+  }
+  if (cell_index_.count(cell.id()) > 0) {
+    return Status::AlreadyExists("Nrg::AddCell: duplicate cell id #" +
+                                 std::to_string(cell.id().value()));
+  }
+  cell_index_[cell.id()] = cells_.size();
+  cells_.push_back(std::move(cell));
+  return Status::OK();
+}
+
+Status Nrg::AddBoundary(CellBoundary boundary) {
+  if (!boundary.id.valid()) {
+    return Status::InvalidArgument("Nrg::AddBoundary: invalid boundary id");
+  }
+  if (boundaries_.count(boundary.id) > 0) {
+    return Status::AlreadyExists("Nrg::AddBoundary: duplicate boundary id #" +
+                                 std::to_string(boundary.id.value()));
+  }
+  boundaries_.emplace(boundary.id, std::move(boundary));
+  return Status::OK();
+}
+
+Status Nrg::AddEdge(CellId from, CellId to, EdgeType type,
+                    BoundaryId boundary) {
+  if (!HasCell(from)) {
+    return Status::NotFound("Nrg::AddEdge: unknown source cell #" +
+                            std::to_string(from.value()));
+  }
+  if (!HasCell(to)) {
+    return Status::NotFound("Nrg::AddEdge: unknown target cell #" +
+                            std::to_string(to.value()));
+  }
+  if (from == to) {
+    return Status::InvalidArgument(
+        "Nrg::AddEdge: self-loops are not meaningful for cell transitions");
+  }
+  if (boundary.valid() && boundaries_.count(boundary) == 0) {
+    return Status::NotFound("Nrg::AddEdge: unregistered boundary id #" +
+                            std::to_string(boundary.value()));
+  }
+  const std::size_t idx = edges_.size();
+  edges_.push_back(NrgEdge{from, to, type, boundary});
+  out_[from].push_back(idx);
+  in_[to].push_back(idx);
+  return Status::OK();
+}
+
+Status Nrg::AddSymmetricEdge(CellId a, CellId b, EdgeType type,
+                             BoundaryId boundary) {
+  SITM_RETURN_IF_ERROR(AddEdge(a, b, type, boundary));
+  return AddEdge(b, a, type, boundary);
+}
+
+Result<const CellSpace*> Nrg::FindCell(CellId id) const {
+  auto it = cell_index_.find(id);
+  if (it == cell_index_.end()) {
+    return Status::NotFound("Nrg: no cell with id #" +
+                            std::to_string(id.value()));
+  }
+  return &cells_[it->second];
+}
+
+Result<CellSpace*> Nrg::MutableCell(CellId id) {
+  auto it = cell_index_.find(id);
+  if (it == cell_index_.end()) {
+    return Status::NotFound("Nrg: no cell with id #" +
+                            std::to_string(id.value()));
+  }
+  return &cells_[it->second];
+}
+
+Result<const CellBoundary*> Nrg::FindBoundary(BoundaryId id) const {
+  auto it = boundaries_.find(id);
+  if (it == boundaries_.end()) {
+    return Status::NotFound("Nrg: no boundary with id #" +
+                            std::to_string(id.value()));
+  }
+  return &it->second;
+}
+
+std::vector<NrgEdge> Nrg::OutEdges(CellId from, EdgeType type) const {
+  std::vector<NrgEdge> out;
+  auto it = out_.find(from);
+  if (it == out_.end()) return out;
+  for (std::size_t idx : it->second) {
+    if (edges_[idx].type == type) out.push_back(edges_[idx]);
+  }
+  return out;
+}
+
+std::vector<NrgEdge> Nrg::InEdges(CellId to, EdgeType type) const {
+  std::vector<NrgEdge> in;
+  auto it = in_.find(to);
+  if (it == in_.end()) return in;
+  for (std::size_t idx : it->second) {
+    if (edges_[idx].type == type) in.push_back(edges_[idx]);
+  }
+  return in;
+}
+
+std::vector<CellId> Nrg::Successors(CellId from, EdgeType type) const {
+  std::vector<CellId> out;
+  std::unordered_set<CellId> seen;
+  auto it = out_.find(from);
+  if (it == out_.end()) return out;
+  for (std::size_t idx : it->second) {
+    const NrgEdge& e = edges_[idx];
+    if (e.type == type && seen.insert(e.to).second) out.push_back(e.to);
+  }
+  return out;
+}
+
+bool Nrg::HasEdge(CellId from, CellId to, EdgeType type) const {
+  auto it = out_.find(from);
+  if (it == out_.end()) return false;
+  for (std::size_t idx : it->second) {
+    const NrgEdge& e = edges_[idx];
+    if (e.type == type && e.to == to) return true;
+  }
+  return false;
+}
+
+bool Nrg::HasSymmetricEdge(CellId a, CellId b, EdgeType type) const {
+  return HasEdge(a, b, type) && HasEdge(b, a, type);
+}
+
+std::vector<CellId> Nrg::Reachable(CellId from, EdgeType type) const {
+  std::vector<CellId> order;
+  if (!HasCell(from)) return order;
+  std::unordered_set<CellId> seen{from};
+  std::deque<CellId> queue{from};
+  while (!queue.empty()) {
+    const CellId cur = queue.front();
+    queue.pop_front();
+    order.push_back(cur);
+    for (CellId next : Successors(cur, type)) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return order;
+}
+
+Result<std::vector<CellId>> Nrg::ShortestPath(CellId from, CellId to,
+                                              EdgeType type) const {
+  if (!HasCell(from) || !HasCell(to)) {
+    return Status::NotFound("Nrg::ShortestPath: unknown endpoint cell");
+  }
+  if (from == to) return std::vector<CellId>{from};
+  std::unordered_map<CellId, CellId> parent;
+  parent[from] = from;
+  std::deque<CellId> queue{from};
+  while (!queue.empty()) {
+    const CellId cur = queue.front();
+    queue.pop_front();
+    for (CellId next : Successors(cur, type)) {
+      if (parent.count(next) > 0) continue;
+      parent[next] = cur;
+      if (next == to) {
+        std::vector<CellId> path{to};
+        CellId walk = to;
+        while (walk != from) {
+          walk = parent[walk];
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return Status::NotFound("Nrg::ShortestPath: cell #" +
+                          std::to_string(to.value()) +
+                          " unreachable from cell #" +
+                          std::to_string(from.value()));
+}
+
+std::int64_t Nrg::CountShortestPaths(CellId from, CellId to, EdgeType type,
+                                     std::int64_t cap) const {
+  if (!HasCell(from) || !HasCell(to)) return 0;
+  if (from == to) return 1;
+  // BFS layering with path-count accumulation (distinct cell sequences;
+  // parallel edges between the same cells do not multiply counts).
+  std::unordered_map<CellId, std::int64_t> dist;
+  std::unordered_map<CellId, std::int64_t> count;
+  dist[from] = 0;
+  count[from] = 1;
+  std::deque<CellId> queue{from};
+  while (!queue.empty()) {
+    const CellId cur = queue.front();
+    queue.pop_front();
+    if (dist.count(to) > 0 && dist[cur] >= dist[to]) continue;
+    for (CellId next : Successors(cur, type)) {
+      auto it = dist.find(next);
+      if (it == dist.end()) {
+        dist[next] = dist[cur] + 1;
+        count[next] = count[cur];
+        queue.push_back(next);
+      } else if (it->second == dist[cur] + 1) {
+        count[next] = std::min(cap, count[next] + count[cur]);
+      }
+    }
+  }
+  auto it = count.find(to);
+  return it == count.end() ? 0 : it->second;
+}
+
+Result<std::vector<CellId>> Nrg::UniqueShortestPathBetween(
+    CellId from, CellId to, EdgeType type) const {
+  const std::int64_t paths = CountShortestPaths(from, to, type, 4);
+  if (paths == 0) {
+    return Status::NotFound(
+        "Nrg::UniqueShortestPathBetween: no path exists");
+  }
+  if (paths > 1) {
+    return Status::FailedPrecondition(
+        "Nrg::UniqueShortestPathBetween: " + std::to_string(paths) +
+        " distinct shortest paths exist; passage cannot be inferred with "
+        "certainty");
+  }
+  SITM_ASSIGN_OR_RETURN(std::vector<CellId> path,
+                        ShortestPath(from, to, type));
+  if (path.size() <= 2) return std::vector<CellId>{};
+  return std::vector<CellId>(path.begin() + 1, path.end() - 1);
+}
+
+Status Nrg::Validate() const {
+  for (const NrgEdge& e : edges_) {
+    if (!HasCell(e.from) || !HasCell(e.to)) {
+      return Status::Corruption("Nrg: edge references a missing cell");
+    }
+    if (e.from == e.to) {
+      return Status::Corruption("Nrg: self-loop edge");
+    }
+    if (e.type != EdgeType::kAccessibility &&
+        !HasEdge(e.to, e.from, e.type)) {
+      return Status::FailedPrecondition(
+          std::string("Nrg: ") + std::string(EdgeTypeName(e.type)) +
+          " is a symmetric relation but edge #" +
+          std::to_string(e.from.value()) + " -> #" +
+          std::to_string(e.to.value()) + " has no converse");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sitm::indoor

@@ -1,0 +1,150 @@
+#ifndef SITM_INDOOR_NRG_H_
+#define SITM_INDOOR_NRG_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/types.h"
+#include "indoor/boundary.h"
+#include "indoor/cell.h"
+
+namespace sitm::indoor {
+
+/// In navigation terms a cell/node is a *state* and a traversal of a
+/// boundary/edge is a *transition* (the paper's Table 1).
+using State = CellId;
+using Transition = BoundaryId;
+
+/// \brief Kind of an intra-layer relation between two cells (§2.1).
+///
+/// Adjacency: the cells share a boundary. Connectivity: the shared
+/// boundary has an opening. Accessibility: the opening is traversable by
+/// the moving object — and, unlike the other two, accessibility is *not*
+/// symmetric (§3.2: one-way movement restrictions such as the
+/// Salle des États entry ban).
+enum class EdgeType : int {
+  kAdjacency = 0,
+  kConnectivity = 1,
+  kAccessibility = 2,
+};
+
+/// Stable name for an edge type ("adjacency", ...).
+std::string_view EdgeTypeName(EdgeType t);
+
+/// \brief A directed intra-layer edge of a Node-Relation Graph.
+struct NrgEdge {
+  CellId from;
+  CellId to;
+  EdgeType type = EdgeType::kAccessibility;
+  /// The boundary traversed (a door, staircase, checkpoint, ...).
+  /// Optional: invalid id when the transition identity is unknown,
+  /// mirroring the optional e_i of Def. 3.2.
+  BoundaryId boundary;
+};
+
+/// \brief A Node-Relation Graph: the dual-space graph of one cell
+/// decomposition (one layer), per IndoorGML's core module.
+///
+/// The NRG is a *directed multigraph*: two cells may be linked by several
+/// parallel edges (two doors into the same hall), and accessibility may
+/// hold in one direction only. Symmetric relations are stored as two
+/// directed edges (AddSymmetricEdge).
+class Nrg {
+ public:
+  Nrg() = default;
+
+  /// Adds a cell. Fails if the id is invalid or already present.
+  Status AddCell(CellSpace cell);
+
+  /// Registers a boundary object so edges can reference it. Fails on
+  /// duplicate id.
+  Status AddBoundary(CellBoundary boundary);
+
+  /// Adds a directed edge. Fails if either endpoint is missing, if the
+  /// edge is a self-loop, or if a referenced boundary id is unregistered.
+  Status AddEdge(CellId from, CellId to, EdgeType type,
+                 BoundaryId boundary = BoundaryId::Invalid());
+
+  /// Adds the two directed edges (from,to) and (to,from).
+  Status AddSymmetricEdge(CellId a, CellId b, EdgeType type,
+                          BoundaryId boundary = BoundaryId::Invalid());
+
+  /// Number of cells / edges.
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// All cells, in insertion order.
+  const std::vector<CellSpace>& cells() const { return cells_; }
+  /// All directed edges, in insertion order.
+  const std::vector<NrgEdge>& edges() const { return edges_; }
+
+  bool HasCell(CellId id) const { return cell_index_.count(id) > 0; }
+
+  /// The cell with the given id, or NotFound.
+  Result<const CellSpace*> FindCell(CellId id) const;
+  /// Mutable lookup (for annotating cells after construction).
+  Result<CellSpace*> MutableCell(CellId id);
+
+  /// The boundary with the given id, or NotFound.
+  Result<const CellBoundary*> FindBoundary(BoundaryId id) const;
+
+  /// Outgoing edges of `from` with the given type.
+  std::vector<NrgEdge> OutEdges(CellId from, EdgeType type) const;
+  /// Incoming edges of `to` with the given type.
+  std::vector<NrgEdge> InEdges(CellId to, EdgeType type) const;
+
+  /// Distinct successor cells of `from` via edges of `type`.
+  std::vector<CellId> Successors(CellId from, EdgeType type) const;
+
+  /// True iff a directed edge (from, to) of `type` exists.
+  bool HasEdge(CellId from, CellId to, EdgeType type) const;
+
+  /// True iff both directed edges exist.
+  bool HasSymmetricEdge(CellId a, CellId b, EdgeType type) const;
+
+  /// All cells reachable from `from` (inclusive) following directed
+  /// edges of `type`.
+  std::vector<CellId> Reachable(CellId from, EdgeType type) const;
+
+  /// \brief A shortest directed path (by hop count) from `from` to `to`,
+  /// as the cell sequence including both endpoints. NotFound if
+  /// unreachable.
+  Result<std::vector<CellId>> ShortestPath(CellId from, CellId to,
+                                           EdgeType type) const;
+
+  /// Number of distinct shortest paths from `from` to `to` (0 if
+  /// unreachable), capped at `cap` to bound counting work.
+  std::int64_t CountShortestPaths(CellId from, CellId to, EdgeType type,
+                                  std::int64_t cap = 1000000) const;
+
+  /// \brief The unique shortest path from `from` to `to`, exclusive of
+  /// the endpoints (i.e. only the intermediate cells).
+  ///
+  /// This is the inference primitive of the paper's Fig. 6: a visitor
+  /// seen in zone E and next in zone S *must* have passed through the
+  /// intermediate zones iff a unique chain connects them. Fails with
+  /// NotFound if unreachable and FailedPrecondition if several distinct
+  /// shortest paths exist (ambiguous — no certain inference).
+  Result<std::vector<CellId>> UniqueShortestPathBetween(CellId from, CellId to,
+                                                        EdgeType type) const;
+
+  /// OK iff every edge endpoint exists, no self-loops, and every
+  /// adjacency/connectivity edge has its symmetric counterpart (those
+  /// relations are symmetric by definition, §3.2).
+  Status Validate() const;
+
+ private:
+  std::vector<CellSpace> cells_;
+  std::vector<NrgEdge> edges_;
+  std::unordered_map<CellId, std::size_t> cell_index_;
+  std::unordered_map<BoundaryId, CellBoundary> boundaries_;
+  // Per-cell outgoing/incoming edge indices, by edge insertion order.
+  std::unordered_map<CellId, std::vector<std::size_t>> out_;
+  std::unordered_map<CellId, std::vector<std::size_t>> in_;
+};
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_NRG_H_

@@ -1,0 +1,101 @@
+#include "indoor/subdivision.h"
+
+#include "qsr/topology.h"
+
+namespace sitm::indoor {
+
+Result<int> SubdivideCell(MultiLayerGraph* graph, CellId cell,
+                          LayerId target_layer,
+                          std::vector<CellSpace> sub_cells) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("SubdivideCell: graph must not be null");
+  }
+  if (sub_cells.empty()) {
+    return Status::InvalidArgument("SubdivideCell: no sub-cells given");
+  }
+  SITM_ASSIGN_OR_RETURN(const LayerId parent_layer, graph->LayerOf(cell));
+  if (parent_layer == target_layer) {
+    return Status::InvalidArgument(
+        "SubdivideCell: sub-cells must live in a different layer than the "
+        "parent (same-layer cells may not overlap)");
+  }
+  SITM_ASSIGN_OR_RETURN(const CellSpace* parent, graph->FindCell(cell));
+
+  // Geometric containment / disjointness checks, where geometry exists.
+  if (parent->has_geometry()) {
+    for (const CellSpace& sub : sub_cells) {
+      if (!sub.has_geometry()) continue;
+      SITM_ASSIGN_OR_RETURN(
+          const qsr::TopologicalRelation rel,
+          qsr::ClassifyRegions(*sub.geometry(), *parent->geometry()));
+      if (!qsr::ImpliesSubsetOfSecond(rel)) {
+        return Status::FailedPrecondition(
+            "SubdivideCell: sub-cell '" + sub.name() + "' is not within '" +
+            parent->name() + "' (relation: " +
+            std::string(qsr::TopologicalRelationName(rel)) + ")");
+      }
+    }
+    for (std::size_t i = 0; i < sub_cells.size(); ++i) {
+      for (std::size_t j = i + 1; j < sub_cells.size(); ++j) {
+        if (!sub_cells[i].has_geometry() || !sub_cells[j].has_geometry()) {
+          continue;
+        }
+        SITM_ASSIGN_OR_RETURN(const qsr::TopologicalRelation rel,
+                              qsr::ClassifyRegions(*sub_cells[i].geometry(),
+                                                   *sub_cells[j].geometry()));
+        if (qsr::ImpliesInteriorIntersection(rel)) {
+          return Status::FailedPrecondition(
+              "SubdivideCell: sub-cells '" + sub_cells[i].name() + "' and '" +
+              sub_cells[j].name() + "' overlap");
+        }
+      }
+    }
+  }
+
+  SITM_ASSIGN_OR_RETURN(SpaceLayer * layer,
+                        graph->MutableLayer(target_layer));
+  std::vector<CellId> added;
+  for (CellSpace& sub : sub_cells) {
+    const CellId id = sub.id();
+    SITM_RETURN_IF_ERROR(layer->mutable_graph().AddCell(std::move(sub)));
+    added.push_back(id);
+  }
+  int joint_edges = 0;
+  for (CellId sub_id : added) {
+    SITM_RETURN_IF_ERROR(graph->AddJointEdge(
+        cell, sub_id, qsr::TopologicalRelation::kCovers));
+    joint_edges += 2;  // converse included
+  }
+  return joint_edges;
+}
+
+Result<CellId> ReplicateCell(MultiLayerGraph* graph, CellId cell,
+                             LayerId target_layer, CellId replica_id) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("ReplicateCell: graph must not be null");
+  }
+  SITM_ASSIGN_OR_RETURN(const LayerId source_layer, graph->LayerOf(cell));
+  if (source_layer == target_layer) {
+    return Status::InvalidArgument(
+        "ReplicateCell: the replica must live in a different layer");
+  }
+  SITM_ASSIGN_OR_RETURN(const CellSpace* original, graph->FindCell(cell));
+  CellSpace replica(replica_id, original->name(), original->cell_class());
+  if (original->floor_level()) {
+    replica.set_floor_level(*original->floor_level());
+  }
+  if (original->has_geometry()) {
+    replica.set_geometry(*original->geometry());
+  }
+  for (const auto& [key, value] : original->attributes()) {
+    replica.SetAttribute(key, value);
+  }
+  SITM_ASSIGN_OR_RETURN(SpaceLayer * layer,
+                        graph->MutableLayer(target_layer));
+  SITM_RETURN_IF_ERROR(layer->mutable_graph().AddCell(std::move(replica)));
+  SITM_RETURN_IF_ERROR(graph->AddJointEdge(
+      cell, replica_id, qsr::TopologicalRelation::kEqual));
+  return replica_id;
+}
+
+}  // namespace sitm::indoor

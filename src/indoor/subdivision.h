@@ -1,0 +1,37 @@
+#ifndef SITM_INDOOR_SUBDIVISION_H_
+#define SITM_INDOOR_SUBDIVISION_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "indoor/multilayer.h"
+
+namespace sitm::indoor {
+
+/// \brief Subdivides a cell into finer cells living in another layer —
+/// the MLSM mechanism behind the paper's Fig. 1 (hall 5 split into 5a,
+/// 5b, 5c "to take advantage of more precise localization data").
+///
+/// The sub-cells are added to `target_layer` and connected to `cell`
+/// with `covers` joint edges (downward parthood). When both the parent
+/// and the sub-cells carry geometry, the sub-cells must lie within the
+/// parent's region (coveredBy/insideOf/equal are accepted; anything else
+/// fails) and must not overlap each other. Returns the number of joint
+/// edges added.
+Result<int> SubdivideCell(MultiLayerGraph* graph, CellId cell,
+                          LayerId target_layer,
+                          std::vector<CellSpace> sub_cells);
+
+/// \brief Replicates a cell into another layer — the paper's treatment
+/// of nodes relevant to multiple layers: "it is essentially replicated
+/// in each one and all the copies are connected to each other via
+/// 'equal' joint edges" (§3.2).
+///
+/// The replica gets `replica_id` and copies the original's name, class,
+/// attributes, floor and geometry. Returns the replica's id.
+Result<CellId> ReplicateCell(MultiLayerGraph* graph, CellId cell,
+                             LayerId target_layer, CellId replica_id);
+
+}  // namespace sitm::indoor
+
+#endif  // SITM_INDOOR_SUBDIVISION_H_

@@ -1,0 +1,144 @@
+#include "io/csv.h"
+
+#include <cstdio>
+
+namespace sitm::io {
+
+Result<std::size_t> CsvTable::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("CSV has no column '" + std::string(name) + "'");
+}
+
+Result<CsvTable> ParseCsv(std::string_view text) {
+  CsvTable table;
+  if (text.empty()) return table;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_started = false;
+  std::size_t i = 0;
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&]() -> Status {
+    end_field();
+    if (table.header.empty()) {
+      table.header = std::move(record);
+    } else {
+      if (record.size() != table.header.size()) {
+        return Status::Corruption(
+            "CSV row " + std::to_string(table.rows.size() + 1) + " has " +
+            std::to_string(record.size()) + " fields; header has " +
+            std::to_string(table.header.size()));
+      }
+      table.rows.push_back(std::move(record));
+    }
+    record.clear();
+    record_started = false;
+    return Status::OK();
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    record_started = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;  // swallow; the \n ends the record
+        break;
+      case '\n':
+        SITM_RETURN_IF_ERROR(end_record());
+        ++i;
+        break;
+      default:
+        field += c;
+        ++i;
+    }
+  }
+  if (in_quotes) return Status::Corruption("CSV ends inside a quoted field");
+  if (record_started || !field.empty() || !record.empty()) {
+    SITM_RETURN_IF_ERROR(end_record());
+  }
+  return table;
+}
+
+std::string CsvQuote(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvQuote(row[i]);
+    }
+    out += '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IOError("read error on '" + path + "'");
+  return content;
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool failed = written != content.size() || std::fclose(f) != 0;
+  if (failed) return Status::IOError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace sitm::io

@@ -1,0 +1,39 @@
+#ifndef SITM_IO_CSV_H_
+#define SITM_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace sitm::io {
+
+/// A parsed CSV table: header row plus data rows, all as strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// The column index of `name`, or NotFound.
+  Result<std::size_t> ColumnIndex(std::string_view name) const;
+};
+
+/// \brief Parses RFC-4180-style CSV text: comma separation, optional
+/// double-quote quoting with "" escapes, LF or CRLF line endings. The
+/// first record is the header. Every data row must have the header's
+/// arity (Corruption otherwise). Empty input yields an empty table.
+Result<CsvTable> ParseCsv(std::string_view text);
+
+/// Serializes a table back to CSV (quoting fields that need it).
+std::string WriteCsv(const CsvTable& table);
+
+/// Quotes a single field if it contains a comma, quote, or newline.
+std::string CsvQuote(std::string_view field);
+
+/// Reads an entire file into a string / writes a string to a file.
+Result<std::string> ReadFile(const std::string& path);
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace sitm::io
+
+#endif  // SITM_IO_CSV_H_

@@ -1,0 +1,43 @@
+#ifndef SITM_IO_GRAPH_EXPORT_H_
+#define SITM_IO_GRAPH_EXPORT_H_
+
+#include <string>
+
+#include "core/trajectory.h"
+#include "indoor/multilayer.h"
+#include "io/json.h"
+
+namespace sitm::io {
+
+/// \brief Renders a single NRG as GraphViz DOT (directed; accessibility
+/// edges solid, connectivity dashed, adjacency dotted).
+std::string NrgToDot(const indoor::Nrg& graph, const std::string& name);
+
+/// \brief Renders a multi-layered graph as DOT: one cluster per layer,
+/// joint edges dashed and labeled with their topological relation.
+std::string MultiLayerGraphToDot(const indoor::MultiLayerGraph& graph);
+
+/// \brief Structured JSON export of a multi-layered graph: layers with
+/// their cells (class, name, floor, attributes) and edges, plus joint
+/// edges. Deterministic field order.
+JsonValue MultiLayerGraphToJson(const indoor::MultiLayerGraph& graph);
+
+/// \brief Rebuilds a multi-layered graph from MultiLayerGraphToJson
+/// output (layers, cells with class/floor/attributes, intra-layer edges
+/// with boundaries, joint edges). Geometry is not part of the JSON
+/// schema and is not restored. The result is validated before being
+/// returned.
+Result<indoor::MultiLayerGraph> MultiLayerGraphFromJson(
+    const JsonValue& json);
+
+/// \brief JSON export of a semantic trajectory in the paper's tuple
+/// shape: id, object, A_traj, and the (e, v, t_start, t_end, A) list.
+JsonValue TrajectoryToJson(const core::SemanticTrajectory& trajectory);
+
+/// \brief Parses a trajectory back from TrajectoryToJson output
+/// (round-trip support for pipelines that stage results on disk).
+Result<core::SemanticTrajectory> TrajectoryFromJson(const JsonValue& json);
+
+}  // namespace sitm::io
+
+#endif  // SITM_IO_GRAPH_EXPORT_H_

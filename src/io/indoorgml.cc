@@ -1,0 +1,108 @@
+#include "io/indoorgml.h"
+
+#include <cstdio>
+
+namespace sitm::io {
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string ExportIndoorGml(const indoor::MultiLayerGraph& graph) {
+  std::string xml = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  xml += "<core:IndoorFeatures xmlns:core=\"http://www.opengis.net/indoorgml/1.0/core\">\n";
+  xml += "  <core:multiLayeredGraph>\n";
+  xml += "    <core:MultiLayeredGraph gml:id=\"MLG1\" xmlns:gml=\"http://www.opengis.net/gml/3.2\">\n";
+  xml += "      <core:spaceLayers>\n";
+  for (const indoor::SpaceLayer& layer : graph.layers()) {
+    xml += "        <core:SpaceLayer gml:id=\"L" +
+           std::to_string(layer.id().value()) + "\" usage=\"" +
+           std::string(indoor::LayerKindName(layer.kind())) + "\">\n";
+    xml += "          <gml:name>" + XmlEscape(layer.name()) + "</gml:name>\n";
+    xml += "          <core:nodes>\n";
+    for (const indoor::CellSpace& cell : layer.graph().cells()) {
+      xml += "            <core:State gml:id=\"S" +
+             std::to_string(cell.id().value()) + "\">\n";
+      xml += "              <gml:name>" + XmlEscape(cell.name()) +
+             "</gml:name>\n";
+      xml += "              <core:duality>\n";
+      xml += "                <core:CellSpace gml:id=\"C" +
+             std::to_string(cell.id().value()) + "\" class=\"" +
+             std::string(indoor::CellClassName(cell.cell_class())) + "\"";
+      if (cell.floor_level()) {
+        xml += " level=\"" + std::to_string(*cell.floor_level()) + "\"";
+      }
+      xml += ">";
+      if (cell.has_geometry()) {
+        xml += "\n                  <core:cellSpaceGeometry>";
+        for (const geom::Point& p : cell.geometry()->vertices()) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.6g %.6g ", p.x, p.y);
+          xml += buf;
+        }
+        xml += "</core:cellSpaceGeometry>\n                ";
+      }
+      xml += "</core:CellSpace>\n";
+      xml += "              </core:duality>\n";
+      xml += "            </core:State>\n";
+    }
+    xml += "          </core:nodes>\n";
+    xml += "          <core:edges>\n";
+    for (const indoor::NrgEdge& e : layer.graph().edges()) {
+      xml += "            <core:Transition type=\"" +
+             std::string(indoor::EdgeTypeName(e.type)) + "\">";
+      xml += "<core:connects xlink:href=\"#S" +
+             std::to_string(e.from.value()) + "\"/>";
+      xml += "<core:connects xlink:href=\"#S" + std::to_string(e.to.value()) +
+             "\"/>";
+      if (e.boundary.valid()) {
+        xml += "<core:duality xlink:href=\"#B" +
+               std::to_string(e.boundary.value()) + "\"/>";
+      }
+      xml += "</core:Transition>\n";
+    }
+    xml += "          </core:edges>\n";
+    xml += "        </core:SpaceLayer>\n";
+  }
+  xml += "      </core:spaceLayers>\n";
+  xml += "      <core:interEdges>\n";
+  for (const indoor::JointEdge& e : graph.joint_edges()) {
+    xml += "        <core:InterLayerConnection typeOfTopoExpression=\"" +
+           std::string(qsr::TopologicalRelationName(e.relation)) + "\">";
+    xml += "<core:interConnects xlink:href=\"#S" +
+           std::to_string(e.from.value()) + "\"/>";
+    xml += "<core:interConnects xlink:href=\"#S" +
+           std::to_string(e.to.value()) + "\"/>";
+    xml += "</core:InterLayerConnection>\n";
+  }
+  xml += "      </core:interEdges>\n";
+  xml += "    </core:MultiLayeredGraph>\n";
+  xml += "  </core:multiLayeredGraph>\n";
+  xml += "</core:IndoorFeatures>\n";
+  return xml;
+}
+
+}  // namespace sitm::io

@@ -1,0 +1,28 @@
+#ifndef SITM_IO_INDOORGML_H_
+#define SITM_IO_INDOORGML_H_
+
+#include <string>
+
+#include "indoor/multilayer.h"
+
+namespace sitm::io {
+
+/// \brief Exports a multi-layered space graph as IndoorGML-flavoured XML.
+///
+/// The output follows the structure of OGC IndoorGML 1.x documents
+/// (the paper's [19]): an <IndoorFeatures> root holding a
+/// <MultiLayeredGraph> with one <SpaceLayer> per layer, <State> elements
+/// (dual nodes) with their <CellSpace> duality references, <Transition>
+/// elements for intra-layer edges, and <InterLayerConnection> elements
+/// for joint edges with their topological relation. It aims at
+/// structural interoperability (readable by tooling that understands the
+/// IndoorGML model), not byte-level schema compliance — geometry is
+/// exported as plain coordinate lists.
+std::string ExportIndoorGml(const indoor::MultiLayerGraph& graph);
+
+/// Escapes XML text content / attribute values.
+std::string XmlEscape(std::string_view text);
+
+}  // namespace sitm::io
+
+#endif  // SITM_IO_INDOORGML_H_

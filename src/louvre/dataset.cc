@@ -1,0 +1,74 @@
+#include "louvre/dataset.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+#include "io/csv.h"
+
+namespace sitm::louvre {
+
+std::size_t VisitDataset::CountZeroDuration() const {
+  return static_cast<std::size_t>(
+      std::count_if(detections_.begin(), detections_.end(),
+                    [](const ZoneDetection& d) {
+                      return d.duration() <= Duration::Zero();
+                    }));
+}
+
+std::size_t VisitDataset::FilterZeroDuration() {
+  const std::size_t before = detections_.size();
+  detections_.erase(std::remove_if(detections_.begin(), detections_.end(),
+                                   [](const ZoneDetection& d) {
+                                     return d.duration() <= Duration::Zero();
+                                   }),
+                    detections_.end());
+  return before - detections_.size();
+}
+
+std::vector<core::RawDetection> VisitDataset::ToRawDetections() const {
+  std::vector<core::RawDetection> out;
+  out.reserve(detections_.size());
+  for (const ZoneDetection& d : detections_) {
+    out.emplace_back(d.visitor, d.zone, d.start, d.end);
+  }
+  return out;
+}
+
+std::string VisitDataset::ToCsv() const {
+  io::CsvTable table;
+  table.header = {"visitor", "zone", "start", "end"};
+  table.rows.reserve(detections_.size());
+  for (const ZoneDetection& d : detections_) {
+    table.rows.push_back({std::to_string(d.visitor.value()),
+                          std::to_string(d.zone.value()),
+                          d.start.ToString(), d.end.ToString()});
+  }
+  return io::WriteCsv(table);
+}
+
+Result<VisitDataset> VisitDataset::FromCsv(const std::string& csv) {
+  SITM_ASSIGN_OR_RETURN(const io::CsvTable table, io::ParseCsv(csv));
+  SITM_ASSIGN_OR_RETURN(const std::size_t visitor_col,
+                        table.ColumnIndex("visitor"));
+  SITM_ASSIGN_OR_RETURN(const std::size_t zone_col,
+                        table.ColumnIndex("zone"));
+  SITM_ASSIGN_OR_RETURN(const std::size_t start_col,
+                        table.ColumnIndex("start"));
+  SITM_ASSIGN_OR_RETURN(const std::size_t end_col, table.ColumnIndex("end"));
+  VisitDataset dataset;
+  dataset.detections_.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    ZoneDetection d;
+    SITM_ASSIGN_OR_RETURN(const std::int64_t visitor,
+                          ParseInt64(row[visitor_col]));
+    d.visitor = ObjectId(visitor);
+    SITM_ASSIGN_OR_RETURN(const std::int64_t zone, ParseInt64(row[zone_col]));
+    d.zone = CellId(zone);
+    SITM_ASSIGN_OR_RETURN(d.start, Timestamp::Parse(row[start_col]));
+    SITM_ASSIGN_OR_RETURN(d.end, Timestamp::Parse(row[end_col]));
+    dataset.detections_.push_back(d);
+  }
+  return dataset;
+}
+
+}  // namespace sitm::louvre

@@ -1,0 +1,58 @@
+#ifndef SITM_LOUVRE_DATASET_H_
+#define SITM_LOUVRE_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "core/builder.h"
+
+namespace sitm::louvre {
+
+/// \brief One raw zone detection, the record unit of the Louvre visitor
+/// movement dataset (§4.1): "each visit consists of a sequence of
+/// timestamped 'zone detections', i.e. detections of the visitor's
+/// smartphone inside a certain zone".
+struct ZoneDetection {
+  ObjectId visitor;
+  CellId zone;
+  Timestamp start;
+  Timestamp end;
+
+  Duration duration() const { return end - start; }
+};
+
+/// \brief The raw visitor-movement dataset (detections plus provenance
+/// counters), with CSV round-trip support.
+class VisitDataset {
+ public:
+  VisitDataset() = default;
+
+  std::vector<ZoneDetection>& mutable_detections() { return detections_; }
+  const std::vector<ZoneDetection>& detections() const { return detections_; }
+  std::size_t size() const { return detections_.size(); }
+
+  /// Number of zero-duration detections currently in the dataset (the
+  /// paper flags ~10% of records as such errors).
+  std::size_t CountZeroDuration() const;
+
+  /// Removes zero-duration detections; returns how many were dropped.
+  std::size_t FilterZeroDuration();
+
+  /// Adapts the records for core::TrajectoryBuilder.
+  std::vector<core::RawDetection> ToRawDetections() const;
+
+  /// CSV with header visitor,zone,start,end (timestamps as
+  /// "YYYY-MM-DD hh:mm:ss").
+  std::string ToCsv() const;
+
+  /// Parses ToCsv output. Fails on malformed rows.
+  static Result<VisitDataset> FromCsv(const std::string& csv);
+
+ private:
+  std::vector<ZoneDetection> detections_;
+};
+
+}  // namespace sitm::louvre
+
+#endif  // SITM_LOUVRE_DATASET_H_

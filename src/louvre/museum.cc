@@ -1,0 +1,474 @@
+#include "louvre/museum.h"
+
+#include <array>
+
+namespace sitm::louvre {
+namespace {
+
+using indoor::BoundaryType;
+using indoor::CellBoundary;
+using indoor::CellClass;
+using indoor::CellSpace;
+using indoor::EdgeType;
+using indoor::LayerKind;
+using indoor::Nrg;
+using indoor::SpaceLayer;
+using qsr::TopologicalRelation;
+
+struct WingSpec {
+  std::int64_t id;
+  const char* name;
+  double x0, y0, x1, y1;
+  int floor_min, floor_max;
+};
+
+// Schematic footprint (meters, not to scale): the three historic wings
+// plus the Napoléon area under the Pyramide tile the museum rectangle.
+constexpr std::array<WingSpec, 4> kWings = {{
+    {11, "Richelieu", 0, 40, 100, 60, -2, 2},
+    {12, "Sully", 100, 0, 160, 60, -2, 2},
+    {13, "Denon", 0, 0, 100, 20, -2, 2},
+    {14, "Napoleon", 0, 20, 100, 40, -2, -1},
+}};
+
+struct ZoneSpec {
+  std::int64_t id;
+  const char* theme;
+  int wing;  // index into kWings
+  int floor;
+  double popularity;
+};
+
+// The 52 thematic zones (§4.1). Ids 60853, 60854, 60887, 60888, 60890
+// are the ones the paper cites; themes for the rest are reconstructed
+// from the museum's department layout. Order within a (wing, floor)
+// group defines both the chain topology and the strip geometry.
+constexpr std::array<ZoneSpec, 52> kZones = {{
+    // Ground floor (floor 0): the 11 zones of Fig. 3.
+    {60850, "French Sculptures I", 0, 0, 1.2},
+    {60851, "French Sculptures II", 0, 0, 1.0},
+    {60852, "Near Eastern Antiquities", 0, 0, 0.9},
+    {60853, "Islamic Art", 0, 0, 1.0},
+    {60854, "Egyptian Antiquities I", 1, 0, 1.6},
+    {60855, "Egyptian Antiquities II", 1, 0, 1.1},
+    {60856, "Greek Antiquities", 1, 0, 1.4},
+    {60857, "Salle des Caryatides", 1, 0, 1.0},
+    {60858, "Italian Sculptures", 2, 0, 1.2},
+    {60859, "Etruscan Antiquities", 2, 0, 0.8},
+    {60860, "Venus de Milo Gallery", 2, 0, 2.2},
+    // Floor -1.
+    {60861, "Richelieu Lower Sculptures", 0, -1, 0.9},
+    {60862, "Cour Marly", 0, -1, 1.1},
+    {60863, "Cour Puget", 0, -1, 1.0},
+    {60864, "Medieval Louvre", 1, -1, 1.2},
+    {60865, "Sully Lower Egyptian", 1, -1, 1.0},
+    {60866, "Sphinx Crypt", 1, -1, 1.1},
+    {60867, "Denon Lower Italian", 2, -1, 0.9},
+    {60868, "Galerie Donatello", 2, -1, 0.8},
+    {60869, "Arts of Africa and Oceania", 2, -1, 0.9},
+    // Floor +1.
+    {60870, "Decorative Arts I", 0, 1, 0.9},
+    {60871, "Decorative Arts II", 0, 1, 0.8},
+    {60872, "Napoleon III Apartments", 0, 1, 1.3},
+    {60873, "Objets d'Art", 0, 1, 0.9},
+    {60874, "Italian Paintings - Salle des Etats", 2, 1, 3.0},
+    {60875, "Grande Galerie", 2, 1, 2.4},
+    {60876, "French Large Formats", 2, 1, 1.5},
+    {60877, "Galerie d'Apollon", 2, 1, 1.6},
+    {60878, "Spanish Paintings", 2, 1, 1.0},
+    {60879, "Sully Upper Egyptian", 1, 1, 1.0},
+    {60880, "Greek Ceramics", 1, 1, 0.8},
+    {60881, "Bronzes Room", 1, 1, 0.9},
+    {60882, "Campana Gallery", 1, 1, 0.8},
+    // Floor +2.
+    {60883, "Flemish Paintings", 0, 2, 1.0},
+    {60884, "Dutch Paintings", 0, 2, 1.0},
+    {60885, "French Paintings I", 0, 2, 1.1},
+    {60886, "French Paintings II", 0, 2, 1.0},
+    {60894, "Denon Drawings Cabinet", 2, 2, 0.7},
+    {60895, "Denon Pastels", 2, 2, 0.7},
+    {60896, "Denon Prints", 2, 2, 0.6},
+    {60897, "Denon Study Gallery", 2, 2, 0.6},
+    {60898, "Sully French Paintings III", 1, 2, 0.9},
+    {60899, "Sully French Paintings IV", 1, 2, 0.9},
+    {60900, "Sully Drawings", 1, 2, 0.7},
+    {60901, "Sully Pastels Cabinet", 1, 2, 0.7},
+    // Napoléon area, floor -1: the reception spaces under the Pyramide.
+    {60892, "Hall Napoleon - Entrance", 3, -1, 2.5},
+    {60893, "Hall Napoleon - Mezzanine", 3, -1, 1.0},
+    // Napoléon area, floor -2: the Fig. 5/6 chain E-P(-cloakroom)-S-C.
+    {60887, "Temporary Exhibition (E)", 3, -2, 2.0},
+    {60888, "Passage (P)", 3, -2, 1.0},
+    {60889, "Cloakroom", 3, -2, 0.8},
+    {60890, "Souvenir Shops (S)", 3, -2, 1.5},
+    {60891, "Carrousel Exit (C)", 3, -2, 1.2},
+}};
+
+std::int64_t FloorCellId(int wing_index, int floor) {
+  return 100 + wing_index * 10 + (floor + 2);
+}
+
+}  // namespace
+
+Result<LouvreMap> LouvreMap::Build() {
+  LouvreMap map;
+  map.museum_layer_ = LayerId(0);
+  map.wing_layer_ = LayerId(1);
+  map.floor_layer_ = LayerId(2);
+  map.zone_layer_ = LayerId(3);
+  map.room_layer_ = LayerId(4);
+  map.roi_layer_ = LayerId(5);
+
+  // ---- Layer 0 (top): the museum as a whole (Building Complex).
+  {
+    SpaceLayer layer(map.museum_layer_, "Museum", LayerKind::kTopographic);
+    CellSpace museum(CellId(kMuseumCellId), "Louvre Museum",
+                     CellClass::kBuildingComplex);
+    museum.set_geometry(geom::Polygon::Rectangle(0, 0, 160, 60));
+    SITM_RETURN_IF_ERROR(layer.mutable_graph().AddCell(std::move(museum)));
+    SITM_RETURN_IF_ERROR(map.graph_.AddLayer(std::move(layer)));
+  }
+
+  // ---- Layer 1: wings as buildings.
+  {
+    SpaceLayer layer(map.wing_layer_, "Wing", LayerKind::kTopographic);
+    for (const WingSpec& w : kWings) {
+      CellSpace wing(CellId(w.id), w.name, CellClass::kBuilding);
+      wing.set_geometry(geom::Polygon::Rectangle(w.x0, w.y0, w.x1, w.y1));
+      SITM_RETURN_IF_ERROR(layer.mutable_graph().AddCell(std::move(wing)));
+    }
+    SITM_RETURN_IF_ERROR(map.graph_.AddLayer(std::move(layer)));
+    for (const WingSpec& w : kWings) {
+      SITM_RETURN_IF_ERROR(map.graph_.AddJointEdge(
+          CellId(kMuseumCellId), CellId(w.id), TopologicalRelation::kCovers));
+    }
+  }
+
+  // ---- Layer 2: floors (2.5D: same footprint, distinct levels).
+  {
+    SpaceLayer layer(map.floor_layer_, "Floor", LayerKind::kTopographic);
+    for (std::size_t wi = 0; wi < kWings.size(); ++wi) {
+      const WingSpec& w = kWings[wi];
+      for (int f = w.floor_min; f <= w.floor_max; ++f) {
+        CellSpace floor(CellId(FloorCellId(static_cast<int>(wi), f)),
+                        std::string(w.name) + " Floor " + std::to_string(f),
+                        CellClass::kFloor);
+        floor.set_floor_level(f);
+        floor.set_geometry(geom::Polygon::Rectangle(w.x0, w.y0, w.x1, w.y1));
+        SITM_RETURN_IF_ERROR(layer.mutable_graph().AddCell(std::move(floor)));
+      }
+    }
+    SITM_RETURN_IF_ERROR(map.graph_.AddLayer(std::move(layer)));
+    for (std::size_t wi = 0; wi < kWings.size(); ++wi) {
+      const WingSpec& w = kWings[wi];
+      for (int f = w.floor_min; f <= w.floor_max; ++f) {
+        SITM_RETURN_IF_ERROR(map.graph_.AddJointEdge(
+            CellId(w.id), CellId(FloorCellId(static_cast<int>(wi), f)),
+            TopologicalRelation::kCovers));
+      }
+    }
+  }
+
+  // ---- Layer 3: the 52 thematic zones (semantic layer, §4.2).
+  // Group zones by (wing, floor) in spec order to lay out strips and
+  // chains.
+  std::map<std::pair<int, int>, std::vector<const ZoneSpec*>> groups;
+  for (const ZoneSpec& z : kZones) {
+    groups[{z.wing, z.floor}].push_back(&z);
+  }
+  {
+    SpaceLayer layer(map.zone_layer_, "Zone", LayerKind::kSemantic);
+    for (const auto& [key, zones] : groups) {
+      const WingSpec& w = kWings[static_cast<std::size_t>(key.first)];
+      const double strip_width =
+          (w.x1 - w.x0) / static_cast<double>(zones.size());
+      for (std::size_t i = 0; i < zones.size(); ++i) {
+        const ZoneSpec& z = *zones[i];
+        CellSpace zone(CellId(z.id), "Zone" + std::to_string(z.id),
+                       CellClass::kZone);
+        zone.set_floor_level(z.floor);
+        zone.set_geometry(geom::Polygon::Rectangle(
+            w.x0 + strip_width * static_cast<double>(i), w.y0,
+            w.x0 + strip_width * static_cast<double>(i + 1), w.y1));
+        zone.SetAttribute("theme", z.theme);
+        zone.SetAttribute("wing", w.name);
+        if (z.id == kZoneTemporaryExhibition) {
+          zone.SetAttribute("requiresTicket", "true");
+        }
+        SITM_RETURN_IF_ERROR(layer.mutable_graph().AddCell(std::move(zone)));
+      }
+    }
+    SITM_RETURN_IF_ERROR(map.graph_.AddLayer(std::move(layer)));
+  }
+  for (const ZoneSpec& z : kZones) {
+    SITM_RETURN_IF_ERROR(map.graph_.AddJointEdge(
+        CellId(FloorCellId(z.wing, z.floor)), CellId(z.id),
+        TopologicalRelation::kCovers));
+    map.zones_.push_back(CellId(z.id));
+    if (z.floor == 0) map.ground_floor_zones_.push_back(CellId(z.id));
+    map.zone_popularity_[CellId(z.id)] = z.popularity;
+  }
+  map.entry_zones_ = {CellId(kZoneEntranceHall)};
+  map.exit_zones_ = {CellId(kZoneSouvenirShops), CellId(kZoneCarrouselExit),
+                     CellId(kZoneEntranceHall)};
+
+  // Zone-level NRG edges. Boundary ids: 9000+.
+  std::int64_t next_boundary = 9000;
+  SITM_ASSIGN_OR_RETURN(SpaceLayer * zone_layer,
+                        map.graph_.MutableLayer(map.zone_layer_));
+  Nrg& zones_nrg = zone_layer->mutable_graph();
+  auto link_zones = [&](std::int64_t a, std::int64_t b,
+                        BoundaryType type) -> Status {
+    CellBoundary boundary(BoundaryId(next_boundary),
+                          std::string(indoor::BoundaryTypeName(type)) +
+                              std::to_string(next_boundary),
+                          type);
+    ++next_boundary;
+    SITM_RETURN_IF_ERROR(zones_nrg.AddBoundary(boundary));
+    SITM_RETURN_IF_ERROR(zones_nrg.AddSymmetricEdge(
+        CellId(a), CellId(b), EdgeType::kAdjacency));
+    SITM_RETURN_IF_ERROR(zones_nrg.AddSymmetricEdge(
+        CellId(a), CellId(b), EdgeType::kConnectivity, boundary.id));
+    SITM_RETURN_IF_ERROR(zones_nrg.AddSymmetricEdge(
+        CellId(a), CellId(b), EdgeType::kAccessibility, boundary.id));
+    return Status::OK();
+  };
+
+  // Chains within each (wing, floor) group — except the custom Napoléon
+  // -2 topology below.
+  for (const auto& [key, zones] : groups) {
+    if (key.first == 3 && key.second == -2) continue;
+    for (std::size_t i = 0; i + 1 < zones.size(); ++i) {
+      const BoundaryType type = zones[i + 1]->id == kZoneTemporaryExhibition
+                                    ? BoundaryType::kCheckpoint
+                                    : BoundaryType::kOpening;
+      SITM_RETURN_IF_ERROR(
+          link_zones(zones[i]->id, zones[i + 1]->id, type));
+    }
+  }
+  // Fig. 6 chain on Napoléon -2: E - P - S - C, with the cloakroom as a
+  // dead-end branch off P. Entering E requires a ticket checkpoint.
+  SITM_RETURN_IF_ERROR(link_zones(kZoneTemporaryExhibition, kZonePassage,
+                                  BoundaryType::kCheckpoint));
+  SITM_RETURN_IF_ERROR(
+      link_zones(kZonePassage, kZoneCloakroom, BoundaryType::kOpening));
+  SITM_RETURN_IF_ERROR(
+      link_zones(kZonePassage, kZoneSouvenirShops, BoundaryType::kOpening));
+  SITM_RETURN_IF_ERROR(link_zones(kZoneSouvenirShops, kZoneCarrouselExit,
+                                  BoundaryType::kOpening));
+
+  // Inter-wing connections per floor: Richelieu <-> Sully <-> Denon.
+  for (int f : {-1, 0, 1, 2}) {
+    const auto& richelieu = groups[{0, f}];
+    const auto& sully = groups[{1, f}];
+    const auto& denon = groups[{2, f}];
+    if (!richelieu.empty() && !sully.empty()) {
+      SITM_RETURN_IF_ERROR(link_zones(richelieu.back()->id,
+                                      sully.front()->id,
+                                      BoundaryType::kOpening));
+    }
+    if (!sully.empty() && !denon.empty()) {
+      SITM_RETURN_IF_ERROR(link_zones(sully.back()->id, denon.front()->id,
+                                      BoundaryType::kOpening));
+    }
+  }
+  // The entrance hall feeds the three wings at floor -1, the mezzanine,
+  // and the -2 passage (escalators).
+  SITM_RETURN_IF_ERROR(link_zones(kZoneEntranceHall, 60893,
+                                  BoundaryType::kOpening));
+  for (int wing : {0, 1, 2}) {
+    SITM_RETURN_IF_ERROR(link_zones(kZoneEntranceHall,
+                                    groups[{wing, -1}].front()->id,
+                                    BoundaryType::kStaircase));
+  }
+  SITM_RETURN_IF_ERROR(
+      link_zones(kZoneEntranceHall, kZonePassage, BoundaryType::kStaircase));
+  // Escalators from the hall straight up to each wing's ground floor
+  // (the Pyramide hall distributes visitors on several levels).
+  for (int wing : {0, 1, 2}) {
+    SITM_RETURN_IF_ERROR(link_zones(kZoneEntranceHall,
+                                    groups[{wing, 0}].front()->id,
+                                    BoundaryType::kStaircase));
+  }
+  // Staircases between consecutive floors within each historic wing.
+  for (int wing : {0, 1, 2}) {
+    for (int f : {-1, 0, 1}) {
+      const auto& below = groups[{wing, f}];
+      const auto& above = groups[{wing, f + 1}];
+      if (below.empty() || above.empty()) continue;
+      SITM_RETURN_IF_ERROR(link_zones(below.front()->id, above.front()->id,
+                                      BoundaryType::kStaircase));
+    }
+  }
+
+  // ---- Layer 4: rooms. Each zone holds 3 + (id % 5) rooms laid out as
+  // horizontal sub-strips of the zone strip.
+  struct RoomRecord {
+    std::int64_t id;
+    std::int64_t zone;
+  };
+  std::map<std::int64_t, std::vector<std::int64_t>> rooms_of_zone;
+  {
+    SpaceLayer layer(map.room_layer_, "Room", LayerKind::kTopographic);
+    std::int64_t zone_index = 0;
+    for (const auto& [key, zones] : groups) {
+      const WingSpec& w = kWings[static_cast<std::size_t>(key.first)];
+      const double strip_width =
+          (w.x1 - w.x0) / static_cast<double>(zones.size());
+      for (std::size_t i = 0; i < zones.size(); ++i) {
+        const ZoneSpec& z = *zones[i];
+        const int num_rooms = 3 + static_cast<int>(z.id % 5);
+        const double x0 = w.x0 + strip_width * static_cast<double>(i);
+        const double x1 = w.x0 + strip_width * static_cast<double>(i + 1);
+        const double room_height =
+            (w.y1 - w.y0) / static_cast<double>(num_rooms);
+        for (int r = 0; r < num_rooms; ++r) {
+          const std::int64_t room_id = 1000 + zone_index * 10 + r;
+          std::string name =
+              std::string(z.theme) + " - Room " + std::to_string(r + 1);
+          CellClass room_class = CellClass::kRoom;
+          if (z.id == 60874 && r == 0) {
+            name = "Salle des Etats";
+            room_class = CellClass::kHall;
+          } else if (z.id == 60875 && r == 0) {
+            name = "Grande Galerie";
+            room_class = CellClass::kHall;
+          } else if (z.id == 60860 && r == 0) {
+            name = "Salle de la Venus de Milo";
+            room_class = CellClass::kHall;
+          }
+          CellSpace room(CellId(room_id), name, room_class);
+          room.set_floor_level(z.floor);
+          room.set_geometry(geom::Polygon::Rectangle(
+              x0, w.y0 + room_height * r, x1, w.y0 + room_height * (r + 1)));
+          SITM_RETURN_IF_ERROR(layer.mutable_graph().AddCell(std::move(room)));
+          rooms_of_zone[z.id].push_back(room_id);
+        }
+        ++zone_index;
+      }
+    }
+    SITM_RETURN_IF_ERROR(map.graph_.AddLayer(std::move(layer)));
+  }
+  for (const auto& [zone_id, rooms] : rooms_of_zone) {
+    for (std::int64_t room_id : rooms) {
+      SITM_RETURN_IF_ERROR(map.graph_.AddJointEdge(
+          CellId(zone_id), CellId(room_id), TopologicalRelation::kCovers));
+    }
+  }
+
+  // Room-level NRG: chains within zones and one connection per
+  // zone-level accessibility pair. Boundary ids: 20000+.
+  std::int64_t next_door = 20000;
+  SITM_ASSIGN_OR_RETURN(SpaceLayer * room_layer,
+                        map.graph_.MutableLayer(map.room_layer_));
+  Nrg& rooms_nrg = room_layer->mutable_graph();
+  auto add_door = [&](std::int64_t a, std::int64_t b, BoundaryType type,
+                      bool one_way) -> Status {
+    CellBoundary boundary(BoundaryId(next_door),
+                          "door" + std::to_string(next_door), type);
+    ++next_door;
+    SITM_RETURN_IF_ERROR(rooms_nrg.AddBoundary(boundary));
+    SITM_RETURN_IF_ERROR(rooms_nrg.AddSymmetricEdge(
+        CellId(a), CellId(b), EdgeType::kAdjacency));
+    SITM_RETURN_IF_ERROR(rooms_nrg.AddSymmetricEdge(
+        CellId(a), CellId(b), EdgeType::kConnectivity, boundary.id));
+    if (one_way) {
+      SITM_RETURN_IF_ERROR(rooms_nrg.AddEdge(
+          CellId(a), CellId(b), EdgeType::kAccessibility, boundary.id));
+    } else {
+      SITM_RETURN_IF_ERROR(rooms_nrg.AddSymmetricEdge(
+          CellId(a), CellId(b), EdgeType::kAccessibility, boundary.id));
+    }
+    return Status::OK();
+  };
+  for (const auto& [zone_id, rooms] : rooms_of_zone) {
+    for (std::size_t r = 0; r + 1 < rooms.size(); ++r) {
+      // §3.2's one-way example: to manage the Mona Lisa crowd, the Salle
+      // des États (room 0 of zone 60874) may be exited into the next
+      // room but not entered from it.
+      const bool one_way = zone_id == 60874 && r == 0;
+      SITM_RETURN_IF_ERROR(
+          add_door(rooms[r], rooms[r + 1], BoundaryType::kDoor, one_way));
+    }
+  }
+  // Mirror each symmetric zone-level accessibility pair at room level:
+  // last room of one zone to first room of the other. (Re-fetch the zone
+  // layer: adding the room layer may have reallocated layer storage.)
+  SITM_ASSIGN_OR_RETURN(const SpaceLayer* zone_layer_again,
+                        map.graph_.FindLayer(map.zone_layer_));
+  const Nrg& zones_nrg_final = zone_layer_again->graph();
+  for (const indoor::NrgEdge& e : zones_nrg_final.edges()) {
+    if (e.type != EdgeType::kAccessibility) continue;
+    if (e.from.value() > e.to.value()) continue;  // one door per pair
+    SITM_ASSIGN_OR_RETURN(const indoor::CellBoundary* zb,
+                          zones_nrg_final.FindBoundary(e.boundary));
+    SITM_RETURN_IF_ERROR(add_door(rooms_of_zone[e.from.value()].back(),
+                                  rooms_of_zone[e.to.value()].front(),
+                                  zb->type, /*one_way=*/false));
+  }
+
+  // ---- Layer 5: exhibit RoIs, strictly inside their rooms (so the
+  // full-coverage hypothesis fails at this level — Fig. 4).
+  {
+    SpaceLayer layer(map.roi_layer_, "RoI", LayerKind::kSemantic);
+    std::int64_t next_roi = 50000;
+    std::vector<std::pair<std::int64_t, std::int64_t>> roi_parent;
+    for (const auto& [zone_id, rooms] : rooms_of_zone) {
+      for (std::size_t r = 0; r < rooms.size(); ++r) {
+        int num_rois = static_cast<int>((rooms[r] + r) % 3);
+        std::string special;
+        if (zone_id == 60874 && r == 0) {
+          special = "Mona Lisa";
+          num_rois = std::max(num_rois, 1);
+        } else if (zone_id == 60860 && r == 0) {
+          special = "Venus de Milo";
+          num_rois = std::max(num_rois, 1);
+        }
+        SITM_ASSIGN_OR_RETURN(const CellSpace* room,
+                              map.graph_.FindCell(CellId(rooms[r])));
+        const geom::Box rb = room->geometry()->bounds();
+        for (int k = 0; k < num_rois; ++k) {
+          const std::string name =
+              (k == 0 && !special.empty())
+                  ? special
+                  : room->name() + " - Exhibit " + std::to_string(k + 1);
+          CellSpace roi(CellId(next_roi), name, CellClass::kRegionOfInterest);
+          roi.set_floor_level(*room->floor_level());
+          // A small rectangle in the room's interior, one slot per
+          // exhibit along the x axis.
+          const double slot = rb.width() / static_cast<double>(num_rois);
+          const double cx = rb.min_x + slot * (k + 0.5);
+          const double cy = (rb.min_y + rb.max_y) / 2;
+          roi.set_geometry(geom::Polygon::Rectangle(
+              cx - slot * 0.2, cy - rb.height() * 0.2, cx + slot * 0.2,
+              cy + rb.height() * 0.2));
+          roi.SetAttribute("exhibit", name);
+          SITM_RETURN_IF_ERROR(layer.mutable_graph().AddCell(std::move(roi)));
+          roi_parent.emplace_back(next_roi, rooms[r]);
+          ++next_roi;
+        }
+      }
+    }
+    SITM_RETURN_IF_ERROR(map.graph_.AddLayer(std::move(layer)));
+    for (const auto& [roi_id, room_id] : roi_parent) {
+      SITM_RETURN_IF_ERROR(map.graph_.AddJointEdge(
+          CellId(room_id), CellId(roi_id), TopologicalRelation::kContains));
+    }
+  }
+
+  SITM_RETURN_IF_ERROR(map.graph_.Validate().WithContext("LouvreMap"));
+  return map;
+}
+
+Result<indoor::LayerHierarchy> LouvreMap::BuildHierarchy() const {
+  return indoor::LayerHierarchy::Build(
+      &graph_, {museum_layer_, wing_layer_, floor_layer_, zone_layer_,
+                room_layer_, roi_layer_});
+}
+
+Result<std::string> LouvreMap::CellName(CellId id) const {
+  SITM_ASSIGN_OR_RETURN(const CellSpace* cell, graph_.FindCell(id));
+  return cell->name();
+}
+
+}  // namespace sitm::louvre

@@ -1,0 +1,112 @@
+#ifndef SITM_LOUVRE_MUSEUM_H_
+#define SITM_LOUVRE_MUSEUM_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/result.h"
+#include "indoor/hierarchy.h"
+#include "indoor/multilayer.h"
+
+namespace sitm::louvre {
+
+/// Hierarchy level indices of the Louvre map (top to bottom). The
+/// thematic Zone layer is the case-specific semantic layer the paper
+/// inserts between Floor and Room (§4.2).
+inline constexpr int kLevelMuseum = 0;  ///< Building Complex
+inline constexpr int kLevelWing = 1;    ///< Building (wings as buildings)
+inline constexpr int kLevelFloor = 2;
+inline constexpr int kLevelZone = 3;    ///< semantic thematic-zone layer
+inline constexpr int kLevelRoom = 4;
+inline constexpr int kLevelRoi = 5;     ///< exhibit engagement areas
+
+/// Well-known cell ids (zone ids are the real ones the paper cites).
+inline constexpr std::int64_t kMuseumCellId = 1;
+inline constexpr std::int64_t kZoneTemporaryExhibition = 60887;  ///< "E"
+inline constexpr std::int64_t kZonePassage = 60888;              ///< "P"
+inline constexpr std::int64_t kZoneCloakroom = 60889;
+inline constexpr std::int64_t kZoneSouvenirShops = 60890;        ///< "S"
+inline constexpr std::int64_t kZoneCarrouselExit = 60891;        ///< "C"
+inline constexpr std::int64_t kZoneEntranceHall = 60892;
+inline constexpr std::int64_t kZoneFig4A = 60853;  ///< Fig. 4 left zone
+inline constexpr std::int64_t kZoneFig4B = 60854;  ///< Fig. 4 right zone
+
+/// \brief The reconstructed Louvre indoor space (§4.2 instantiation).
+///
+/// Six layers: Museum (building complex) -> four wings (Richelieu,
+/// Denon, Sully, Napoléon; "Layer 3 treats each wing of the museum as a
+/// separate building") -> floors (-2..+2 for the three historic wings,
+/// -2..-1 for the Napoléon area under the Pyramide) -> 52 thematic
+/// zones with the ids the paper cites -> rooms (including Salle des
+/// États and the Grande Galerie) -> exhibit RoIs (including the Mona
+/// Lisa). Every cell carries synthetic rectangle geometry consistent
+/// with the layer hierarchy; zone/room accessibility follows the chain
+/// topology sketched in the paper's Fig. 6 for floor -2 and
+/// corridor-like chains elsewhere, with inter-wing connections on
+/// shared floors and staircases between floors.
+class LouvreMap {
+ public:
+  /// Builds the full map. Deterministic: no randomness involved.
+  static Result<LouvreMap> Build();
+
+  const indoor::MultiLayerGraph& graph() const { return graph_; }
+  indoor::MultiLayerGraph& mutable_graph() { return graph_; }
+
+  LayerId museum_layer() const { return museum_layer_; }
+  LayerId wing_layer() const { return wing_layer_; }
+  LayerId floor_layer() const { return floor_layer_; }
+  LayerId zone_layer() const { return zone_layer_; }
+  LayerId room_layer() const { return room_layer_; }
+  LayerId roi_layer() const { return roi_layer_; }
+
+  /// Builds the validated 6-level layer hierarchy over the graph. The
+  /// returned hierarchy references this map's graph; the map must
+  /// outlive it.
+  Result<indoor::LayerHierarchy> BuildHierarchy() const;
+
+  /// All 52 zone ids.
+  const std::vector<CellId>& zones() const { return zones_; }
+
+  /// Zones on the ground floor (floor 0) — the 11 zones of Fig. 3.
+  const std::vector<CellId>& ground_floor_zones() const {
+    return ground_floor_zones_;
+  }
+
+  /// Zones a visitor can leave the museum from (trailing disappearance
+  /// there is a semantic gap, not a hole).
+  const std::unordered_set<CellId>& exit_zones() const { return exit_zones_; }
+
+  /// Zones a visit may start in.
+  const std::vector<CellId>& entry_zones() const { return entry_zones_; }
+
+  /// Relative visit popularity per zone (positive weights; Denon's
+  /// Italian-paintings zone, home of the Mona Lisa, is the heaviest).
+  const std::map<CellId, double>& zone_popularity() const {
+    return zone_popularity_;
+  }
+
+  /// Display name of a cell ("Zone60887 – Temporary Exhibition", ...).
+  Result<std::string> CellName(CellId id) const;
+
+ private:
+  LouvreMap() = default;
+
+  indoor::MultiLayerGraph graph_;
+  LayerId museum_layer_{0};
+  LayerId wing_layer_{1};
+  LayerId floor_layer_{2};
+  LayerId zone_layer_{3};
+  LayerId room_layer_{4};
+  LayerId roi_layer_{5};
+  std::vector<CellId> zones_;
+  std::vector<CellId> ground_floor_zones_;
+  std::unordered_set<CellId> exit_zones_;
+  std::vector<CellId> entry_zones_;
+  std::map<CellId, double> zone_popularity_;
+};
+
+}  // namespace sitm::louvre
+
+#endif  // SITM_LOUVRE_MUSEUM_H_

@@ -1,0 +1,177 @@
+#include "louvre/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sitm::louvre {
+namespace {
+
+// Visit sizes (detections per visit) follow a shifted geometric draw
+// whose mean matches the paper's detections-per-visit ratio; the caller
+// then adjusts the total to the exact target.
+int DrawVisitSize(Rng* rng, double mean_extra) {
+  const double p = 1.0 / (1.0 + mean_extra);
+  double u = rng->NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  const int extra = static_cast<int>(std::log(u) / std::log(1.0 - p));
+  return 1 + std::min(extra, 29);
+}
+
+}  // namespace
+
+Result<VisitDataset> VisitSimulator::Generate() {
+  if (map_ == nullptr) {
+    return Status::InvalidArgument("VisitSimulator: map must not be null");
+  }
+  if (options_.num_returning > options_.num_visitors ||
+      options_.num_third_visits > options_.num_returning) {
+    return Status::InvalidArgument(
+        "VisitSimulator: need third_visits <= returning <= visitors");
+  }
+  summary_ = SimulationSummary{};
+  Rng rng(options_.seed);
+
+  SITM_ASSIGN_OR_RETURN(const indoor::SpaceLayer* zone_layer,
+                        map_->graph().FindLayer(map_->zone_layer()));
+  const indoor::Nrg& zones = zone_layer->graph();
+
+  // The 22 zones outside the app's coverage (see the option's comment).
+  auto covered = [&](CellId zone) -> bool {
+    if (!options_.restrict_to_dataset_zones) return true;
+    const Result<const indoor::CellSpace*> cell = zones.FindCell(zone);
+    if (!cell.ok() || !(*cell)->floor_level()) return true;
+    const int floor = *(*cell)->floor_level();
+    if (floor == 2) return false;
+    if (floor == -1 && !(*cell)->AttributeEquals("wing", "Napoleon")) {
+      return false;
+    }
+    if (zone == CellId(60893)) return false;  // mezzanine
+    return true;
+  };
+
+  // --- Visits per visitor: exactly `num_returning` visitors revisit,
+  // `num_third_visits` of them twice.
+  const int num_visits = options_.num_visitors + options_.num_returning +
+                         options_.num_third_visits;
+  std::vector<int> visits_of(static_cast<std::size_t>(options_.num_visitors),
+                             1);
+  {
+    std::vector<std::size_t> order(visits_of.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+    for (int r = 0; r < options_.num_returning; ++r) {
+      visits_of[order[static_cast<std::size_t>(r)]] =
+          r < options_.num_third_visits ? 3 : 2;
+    }
+  }
+
+  // --- Detections per visit: draw then adjust to the exact total.
+  const double mean_extra =
+      static_cast<double>(options_.num_detections) / num_visits - 1.0;
+  std::vector<int> sizes(static_cast<std::size_t>(num_visits));
+  std::int64_t total = 0;
+  for (int& s : sizes) {
+    s = DrawVisitSize(&rng, mean_extra);
+    total += s;
+  }
+  while (total < options_.num_detections) {
+    ++sizes[rng.NextBounded(sizes.size())];
+    ++total;
+  }
+  while (total > options_.num_detections) {
+    int& s = sizes[rng.NextBounded(sizes.size())];
+    if (s > 1) {
+      --s;
+      --total;
+    }
+  }
+
+  // --- Emit visits.
+  SITM_ASSIGN_OR_RETURN(
+      const Timestamp window_start,
+      Timestamp::FromCivil(options_.start_year, options_.start_month,
+                           options_.start_day, 0, 0, 0));
+  VisitDataset dataset;
+  dataset.mutable_detections().reserve(
+      static_cast<std::size_t>(options_.num_detections));
+  std::size_t visit_index = 0;
+  for (int v = 0; v < options_.num_visitors; ++v) {
+    const ObjectId visitor(v + 1);
+    const int my_visits = visits_of[static_cast<std::size_t>(v)];
+    // Distinct days keep visits separable by any session-gap rule.
+    std::vector<int> days;
+    while (static_cast<int>(days.size()) < my_visits) {
+      const int day = static_cast<int>(rng.NextBounded(
+          static_cast<std::uint64_t>(options_.num_days)));
+      if (std::find(days.begin(), days.end(), day) == days.end()) {
+        days.push_back(day);
+      }
+    }
+    std::sort(days.begin(), days.end());
+
+    for (int visit = 0; visit < my_visits; ++visit) {
+      const int n = sizes[visit_index++];
+      const Timestamp visit_start =
+          window_start +
+          Duration::Seconds(days[static_cast<std::size_t>(visit)] * 86400LL) +
+          Duration::Seconds(9 * 3600 + rng.NextInt(0, 6 * 3600));
+      Timestamp t = visit_start;
+      // Walk over the zone accessibility NRG.
+      const std::vector<CellId>& entries = map_->entry_zones();
+      CellId current = entries[rng.NextBounded(entries.size())];
+      CellId previous;  // invalid
+      int emitted = 0;
+      for (int d = 0; d < n; ++d) {
+        // Dwell: a light-tailed base with a heavy component, capped at
+        // the paper's observed maximum detection duration and clamped so
+        // the visit stays within its maximum span.
+        Duration dwell = Duration::Zero();
+        const bool error = rng.NextBool(options_.zero_duration_rate);
+        if (!error) {
+          const double mean = rng.NextBool(0.07)
+                                  ? options_.mean_stay_seconds * 6
+                                  : options_.mean_stay_seconds;
+          std::int64_t s =
+              static_cast<std::int64_t>(rng.NextExponential(mean)) + 1;
+          s = std::min(s, options_.max_stay.seconds());
+          const std::int64_t remaining =
+              options_.max_visit_span.seconds() -
+              (t - visit_start).seconds();
+          s = std::max<std::int64_t>(1, std::min(s, remaining));
+          dwell = Duration::Seconds(s);
+        } else {
+          ++summary_.num_zero_duration;
+        }
+        dataset.mutable_detections().push_back(
+            ZoneDetection{visitor, current, t, t + dwell});
+        ++emitted;
+        t = t + dwell + Duration::Seconds(rng.NextInt(10, 90));
+        // Step to a popularity-weighted accessible neighbour within the
+        // app's coverage.
+        std::vector<CellId> next;
+        for (CellId z :
+             zones.Successors(current, indoor::EdgeType::kAccessibility)) {
+          if (covered(z)) next.push_back(z);
+        }
+        if (next.empty()) break;
+        std::vector<double> weights(next.size());
+        for (std::size_t i = 0; i < next.size(); ++i) {
+          auto it = map_->zone_popularity().find(next[i]);
+          weights[i] = it == map_->zone_popularity().end() ? 1.0 : it->second;
+          if (next[i] == previous) weights[i] *= 1.0 - options_.no_backtrack_bias;
+        }
+        previous = current;
+        current = next[rng.NextWeighted(weights)];
+      }
+      ++summary_.num_visits;
+      summary_.num_detections += emitted;
+      summary_.num_transitions += emitted - 1;
+    }
+  }
+  summary_.num_visitors = options_.num_visitors;
+  summary_.num_returning = options_.num_returning;
+  summary_.num_revisits = options_.num_returning + options_.num_third_visits;
+  return dataset;
+}
+
+}  // namespace sitm::louvre

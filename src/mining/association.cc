@@ -1,0 +1,150 @@
+#include "mining/association.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sitm::mining {
+namespace {
+
+using ItemSet = std::vector<CellId>;  // kept sorted
+
+std::vector<std::set<CellId>> VisitSets(
+    const std::vector<core::SemanticTrajectory>& visits) {
+  std::vector<std::set<CellId>> out;
+  out.reserve(visits.size());
+  for (const core::SemanticTrajectory& t : visits) {
+    const std::vector<CellId> cells = t.trace().VisitedCells();
+    out.emplace_back(cells.begin(), cells.end());
+  }
+  return out;
+}
+
+bool ContainsAll(const std::set<CellId>& visit, const ItemSet& items) {
+  return std::all_of(items.begin(), items.end(), [&](CellId c) {
+    return visit.count(c) > 0;
+  });
+}
+
+std::size_t CountSupport(const std::vector<std::set<CellId>>& visits,
+                         const ItemSet& items) {
+  return static_cast<std::size_t>(
+      std::count_if(visits.begin(), visits.end(),
+                    [&](const std::set<CellId>& v) {
+                      return ContainsAll(v, items);
+                    }));
+}
+
+}  // namespace
+
+Result<std::vector<FrequentCellSet>> MineFrequentCellSets(
+    const std::vector<core::SemanticTrajectory>& visits,
+    const AssociationOptions& options) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument(
+        "MineFrequentCellSets: min_support must be >= 1");
+  }
+  if (options.max_set_size == 0) {
+    return Status::InvalidArgument(
+        "MineFrequentCellSets: max_set_size must be >= 1");
+  }
+  const std::vector<std::set<CellId>> sets = VisitSets(visits);
+
+  // Level 1: frequent single cells.
+  std::map<CellId, std::size_t> singles;
+  for (const std::set<CellId>& visit : sets) {
+    for (CellId c : visit) ++singles[c];
+  }
+  std::vector<FrequentCellSet> out;
+  std::vector<ItemSet> frontier;
+  for (const auto& [cell, support] : singles) {
+    if (support < options.min_support) continue;
+    out.push_back(FrequentCellSet{{cell}, support});
+    frontier.push_back({cell});
+  }
+  std::vector<CellId> frequent_items;
+  for (const FrequentCellSet& f : out) frequent_items.push_back(f.cells[0]);
+
+  // Level-wise extension: each candidate extends a frequent set with a
+  // frequent item greater than its last element (prefix-ordered, so
+  // every set is generated once); the Apriori property prunes via the
+  // support count itself.
+  for (std::size_t level = 2;
+       level <= options.max_set_size && !frontier.empty(); ++level) {
+    std::vector<ItemSet> next;
+    for (const ItemSet& base : frontier) {
+      for (CellId item : frequent_items) {
+        if (item <= base.back()) continue;
+        ItemSet candidate = base;
+        candidate.push_back(item);
+        const std::size_t support = CountSupport(sets, candidate);
+        if (support < options.min_support) continue;
+        out.push_back(FrequentCellSet{candidate, support});
+        next.push_back(std::move(candidate));
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentCellSet& a, const FrequentCellSet& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.cells.size() != b.cells.size()) {
+                return a.cells.size() > b.cells.size();
+              }
+              return a.cells < b.cells;
+            });
+  return out;
+}
+
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<core::SemanticTrajectory>& visits,
+    const AssociationOptions& options) {
+  SITM_ASSIGN_OR_RETURN(const std::vector<FrequentCellSet> frequent,
+                        MineFrequentCellSets(visits, options));
+  const std::vector<std::set<CellId>> sets = VisitSets(visits);
+  const double n = static_cast<double>(sets.size());
+  // Index supports for fast lookup.
+  std::map<ItemSet, std::size_t> support_of;
+  for (const FrequentCellSet& f : frequent) {
+    support_of[f.cells] = f.support;
+  }
+  std::vector<AssociationRule> rules;
+  for (const FrequentCellSet& f : frequent) {
+    if (f.cells.size() < 2) continue;
+    // Single-cell consequents: antecedent = set minus one cell.
+    for (std::size_t drop = 0; drop < f.cells.size(); ++drop) {
+      AssociationRule rule;
+      rule.consequent = {f.cells[drop]};
+      for (std::size_t i = 0; i < f.cells.size(); ++i) {
+        if (i != drop) rule.antecedent.push_back(f.cells[i]);
+      }
+      rule.support = f.support;
+      auto antecedent_support = support_of.find(rule.antecedent);
+      if (antecedent_support == support_of.end()) continue;  // pruned level
+      rule.confidence = static_cast<double>(f.support) /
+                        static_cast<double>(antecedent_support->second);
+      if (rule.confidence < options.min_confidence) continue;
+      auto consequent_support = support_of.find(rule.consequent);
+      const double consequent_rate =
+          consequent_support == support_of.end()
+              ? static_cast<double>(CountSupport(sets, rule.consequent)) / n
+              : static_cast<double>(consequent_support->second) / n;
+      rule.lift = consequent_rate > 0 ? rule.confidence / consequent_rate : 0;
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+}  // namespace sitm::mining

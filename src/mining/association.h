@@ -1,0 +1,54 @@
+#ifndef SITM_MINING_ASSOCIATION_H_
+#define SITM_MINING_ASSOCIATION_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+
+namespace sitm::mining {
+
+/// \brief A frequent set of co-visited cells.
+struct FrequentCellSet {
+  std::vector<CellId> cells;  ///< sorted
+  std::size_t support = 0;    ///< number of visits containing all cells
+};
+
+/// \brief An association rule over visited-cell sets: visits containing
+/// the antecedent tend to also contain the consequent ("visitors of the
+/// temporary exhibition also pass the souvenir shops"). Confidence and
+/// lift follow the standard definitions.
+struct AssociationRule {
+  std::vector<CellId> antecedent;  ///< sorted, non-empty
+  std::vector<CellId> consequent;  ///< sorted, non-empty, disjoint
+  std::size_t support = 0;         ///< visits containing both sides
+  double confidence = 0;           ///< support / support(antecedent)
+  double lift = 0;  ///< confidence / (support(consequent) / n)
+};
+
+/// Options for frequent-set and rule mining.
+struct AssociationOptions {
+  std::size_t min_support = 2;   ///< absolute number of visits
+  std::size_t max_set_size = 3;  ///< largest itemset explored
+  double min_confidence = 0.5;   ///< rule threshold
+};
+
+/// \brief Mines frequent co-visited cell sets with Apriori level-wise
+/// search (visits reduce to their distinct-cell sets; order and
+/// multiplicity are the sequence miner's business, see patterns.h).
+/// Results are sorted by (support desc, size desc, cells).
+/// Fails if min_support == 0 or max_set_size == 0.
+Result<std::vector<FrequentCellSet>> MineFrequentCellSets(
+    const std::vector<core::SemanticTrajectory>& visits,
+    const AssociationOptions& options);
+
+/// \brief Derives association rules from the frequent sets (single-cell
+/// consequents, the classic presentation in [7]'s style), applying the
+/// confidence threshold. Sorted by (confidence desc, support desc).
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<core::SemanticTrajectory>& visits,
+    const AssociationOptions& options);
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_ASSOCIATION_H_

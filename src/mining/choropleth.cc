@@ -1,0 +1,72 @@
+#include "mining/choropleth.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "mining/stats.h"
+
+namespace sitm::mining {
+
+std::vector<ChoroplethBin> BuildChoropleth(
+    const std::vector<core::SemanticTrajectory>& trajectories,
+    const CellFilter& filter, const CellLabeler& labeler) {
+  const std::map<CellId, std::size_t> detections =
+      DetectionsByCell(trajectories);
+  const std::map<CellId, Duration> dwell = DwellByCell(trajectories);
+  std::vector<ChoroplethBin> bins;
+  std::size_t max_detections = 0;
+  for (const auto& [cell, count] : detections) {
+    if (filter && !filter(cell)) continue;
+    ChoroplethBin bin;
+    bin.cell = cell;
+    if (labeler) {
+      bin.label = labeler(cell);
+    } else {
+      bin.label = "#";
+      bin.label += std::to_string(cell.value());
+    }
+    bin.detections = count;
+    auto it = dwell.find(cell);
+    if (it != dwell.end()) bin.dwell = it->second;
+    max_detections = std::max(max_detections, count);
+    bins.push_back(std::move(bin));
+  }
+  for (ChoroplethBin& bin : bins) {
+    bin.intensity = max_detections == 0
+                        ? 0
+                        : static_cast<double>(bin.detections) /
+                              static_cast<double>(max_detections);
+  }
+  std::sort(bins.begin(), bins.end(),
+            [](const ChoroplethBin& a, const ChoroplethBin& b) {
+              if (a.detections != b.detections) {
+                return a.detections > b.detections;
+              }
+              return a.cell < b.cell;
+            });
+  return bins;
+}
+
+std::string RenderAsciiBars(const std::vector<ChoroplethBin>& bins,
+                            int width) {
+  std::size_t label_width = 0;
+  for (const ChoroplethBin& bin : bins) {
+    label_width = std::max(label_width, bin.label.size());
+  }
+  std::string out;
+  for (const ChoroplethBin& bin : bins) {
+    std::string line = bin.label;
+    line.append(label_width - bin.label.size() + 2, ' ');
+    const int bar = static_cast<int>(bin.intensity * width + 0.5);
+    line.append(static_cast<std::size_t>(bar), '#');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %zu (%.0f%%)\n", bin.detections,
+                  bin.intensity * 100);
+    line += buf;
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sitm::mining

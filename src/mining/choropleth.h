@@ -1,0 +1,45 @@
+#ifndef SITM_MINING_CHOROPLETH_H_
+#define SITM_MINING_CHOROPLETH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace sitm::mining {
+
+/// One bin of a choropleth: a cell and its measure.
+struct ChoroplethBin {
+  CellId cell;
+  std::string label;
+  std::size_t detections = 0;
+  Duration dwell = Duration::Zero();
+  /// detections / max(detections) over the included cells, in [0, 1] —
+  /// the shade the paper's Fig. 3 map encodes.
+  double intensity = 0;
+};
+
+/// Selects which cells to include and how to label them.
+using CellFilter = std::function<bool(CellId)>;
+using CellLabeler = std::function<std::string(CellId)>;
+
+/// \brief Computes the per-cell detection-density series behind a
+/// choropleth map (the paper's Fig. 3: visitor detections over the 11
+/// ground-floor zones).
+///
+/// Bins are sorted by descending detections (ties by cell id). `filter`
+/// restricts the cells (e.g. ground-floor zones only); `labeler` supplies
+/// display names.
+std::vector<ChoroplethBin> BuildChoropleth(
+    const std::vector<core::SemanticTrajectory>& trajectories,
+    const CellFilter& filter, const CellLabeler& labeler);
+
+/// Renders bins as an ASCII horizontal bar chart (one line per bin),
+/// `width` characters for the largest bin.
+std::string RenderAsciiBars(const std::vector<ChoroplethBin>& bins,
+                            int width = 50);
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_CHOROPLETH_H_

@@ -1,0 +1,37 @@
+#include "mining/floor_switch.h"
+
+#include <algorithm>
+
+#include "mining/patterns.h"
+
+namespace sitm::mining {
+
+Result<FloorSwitchStats> AnalyzeFloorSwitching(
+    const std::vector<core::SemanticTrajectory>& trajectories,
+    const indoor::LayerHierarchy& hierarchy, int floor_level,
+    std::size_t top_k) {
+  FloorSwitchStats stats;
+  std::map<std::vector<CellId>, std::size_t> sequence_counts;
+  for (const core::SemanticTrajectory& t : trajectories) {
+    SITM_ASSIGN_OR_RETURN(
+        const core::SemanticTrajectory projected,
+        core::ProjectTrajectory(t, hierarchy, floor_level));
+    const std::vector<CellId> floors = CellSequenceOf(projected);
+    const std::size_t switches = floors.empty() ? 0 : floors.size() - 1;
+    ++stats.switches_per_visit[switches];
+    stats.total_switches += switches;
+    ++sequence_counts[floors];
+  }
+  std::vector<std::pair<std::vector<CellId>, std::size_t>> ranked(
+      sequence_counts.begin(), sequence_counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  stats.top_sequences = std::move(ranked);
+  return stats;
+}
+
+}  // namespace sitm::mining

@@ -1,0 +1,37 @@
+#ifndef SITM_MINING_FLOOR_SWITCH_H_
+#define SITM_MINING_FLOOR_SWITCH_H_
+
+#include <map>
+#include <vector>
+
+#include "base/result.h"
+#include "core/projection.h"
+#include "core/trajectory.h"
+
+namespace sitm::mining {
+
+/// \brief Floor-switching behaviour extracted from a trajectory set
+/// (the paper's closing example: "the data can already provide some
+/// interesting insight albeit at a coarse level of granularity (e.g.
+/// floor-switching patterns)").
+struct FloorSwitchStats {
+  /// Histogram: number of floor switches per visit -> visit count.
+  std::map<std::size_t, std::size_t> switches_per_visit;
+  /// The most frequent floor sequences (as floor-layer cell ids) with
+  /// their supports, sorted by support.
+  std::vector<std::pair<std::vector<CellId>, std::size_t>> top_sequences;
+  /// Total switches across all visits.
+  std::size_t total_switches = 0;
+};
+
+/// \brief Projects each trajectory to `floor_level` of the hierarchy and
+/// aggregates floor-switching statistics. `top_k` bounds the reported
+/// frequent sequences.
+Result<FloorSwitchStats> AnalyzeFloorSwitching(
+    const std::vector<core::SemanticTrajectory>& trajectories,
+    const indoor::LayerHierarchy& hierarchy, int floor_level,
+    std::size_t top_k = 10);
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_FLOOR_SWITCH_H_

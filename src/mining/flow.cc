@@ -1,0 +1,74 @@
+#include "mining/flow.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sitm::mining {
+
+FlowMatrix FlowMatrix::Build(
+    const std::vector<core::SemanticTrajectory>& trajectories) {
+  FlowMatrix m;
+  for (const core::SemanticTrajectory& t : trajectories) {
+    const auto& intervals = t.trace().intervals();
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].cell == intervals[i - 1].cell) continue;
+      ++m.counts_[{intervals[i - 1].cell, intervals[i].cell}];
+      ++m.total_;
+    }
+  }
+  return m;
+}
+
+std::size_t FlowMatrix::Count(CellId from, CellId to) const {
+  auto it = counts_.find({from, to});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<Flow> FlowMatrix::Ranked() const {
+  std::vector<Flow> flows;
+  flows.reserve(counts_.size());
+  for (const auto& [pair, count] : counts_) {
+    flows.push_back(Flow{pair.first, pair.second, count});
+  }
+  std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+  return flows;
+}
+
+std::vector<Flow> FlowMatrix::Top(std::size_t k) const {
+  std::vector<Flow> flows = Ranked();
+  if (flows.size() > k) flows.resize(k);
+  return flows;
+}
+
+std::int64_t FlowMatrix::NetFlow(CellId cell) const {
+  std::int64_t net = 0;
+  for (const auto& [pair, count] : counts_) {
+    if (pair.second == cell) net += static_cast<std::int64_t>(count);
+    if (pair.first == cell) net -= static_cast<std::int64_t>(count);
+  }
+  return net;
+}
+
+double FlowMatrix::OutEntropy(CellId cell) const {
+  std::vector<std::size_t> outs;
+  std::size_t total = 0;
+  for (const auto& [pair, count] : counts_) {
+    if (pair.first == cell) {
+      outs.push_back(count);
+      total += count;
+    }
+  }
+  if (total == 0) return 0;
+  double h = 0;
+  for (std::size_t c : outs) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace sitm::mining

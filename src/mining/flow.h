@@ -1,0 +1,61 @@
+#ifndef SITM_MINING_FLOW_H_
+#define SITM_MINING_FLOW_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+
+namespace sitm::mining {
+
+/// \brief An origin-destination flow count between two cells.
+struct Flow {
+  CellId from;
+  CellId to;
+  std::size_t count = 0;
+};
+
+/// \brief Origin-destination transition counts extracted from traces.
+///
+/// Built at whatever granularity the input trajectories use — combine
+/// with core::ProjectTrajectory to compute room-level vs. floor-level
+/// flows from the same dataset (§3.2's multi-granularity analysis).
+class FlowMatrix {
+ public:
+  /// Counts every consecutive cell change in every trajectory.
+  static FlowMatrix Build(
+      const std::vector<core::SemanticTrajectory>& trajectories);
+
+  /// The count of transitions from `from` to `to` (0 if never seen).
+  std::size_t Count(CellId from, CellId to) const;
+
+  /// Total number of transitions counted.
+  std::size_t total() const { return total_; }
+
+  /// All flows with count > 0, sorted by descending count (ties by cell
+  /// ids for determinism).
+  std::vector<Flow> Ranked() const;
+
+  /// The `k` largest flows.
+  std::vector<Flow> Top(std::size_t k) const;
+
+  /// Net flow of a cell: (incoming - outgoing). Positive values mark
+  /// sinks (e.g. exit zones accumulate final presences upstream).
+  std::int64_t NetFlow(CellId cell) const;
+
+  /// \brief Shannon entropy (bits) of the outgoing-transition
+  /// distribution of `cell`; 0 for cells with deterministic continuation
+  /// (e.g. a one-way chain like the paper's -2 floor zones) and higher
+  /// for hub cells.
+  double OutEntropy(CellId cell) const;
+
+ private:
+  std::map<std::pair<CellId, CellId>, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_FLOW_H_

@@ -1,0 +1,122 @@
+#include "mining/patterns.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace sitm::mining {
+namespace {
+
+// A pointer into one input sequence: the scan resumes at `pos`.
+struct Projection {
+  std::size_t seq;
+  std::size_t pos;
+};
+
+std::size_t DistinctSequences(const std::vector<Projection>& projections) {
+  std::unordered_set<std::size_t> seqs;
+  for (const Projection& p : projections) seqs.insert(p.seq);
+  return seqs.size();
+}
+
+// PrefixSpan recursion (subsequence semantics): each projection is the
+// single earliest scan point of one supporting sequence.
+void MineSubsequences(const std::vector<std::vector<CellId>>& sequences,
+                      const PatternOptions& options,
+                      std::vector<CellId>* prefix,
+                      const std::vector<Projection>& projections,
+                      std::vector<SequentialPattern>* out) {
+  if (prefix->size() >= options.max_length) return;
+  // Count, per candidate item, the sequences in which it occurs at or
+  // after the projection point.
+  std::map<CellId, std::vector<Projection>> extensions;
+  for (const Projection& p : projections) {
+    const std::vector<CellId>& seq = sequences[p.seq];
+    std::unordered_set<CellId> seen;  // first occurrence per item
+    for (std::size_t i = p.pos; i < seq.size(); ++i) {
+      if (seen.insert(seq[i]).second) {
+        extensions[seq[i]].push_back(Projection{p.seq, i + 1});
+      }
+    }
+  }
+  for (const auto& [item, projected] : extensions) {
+    if (projected.size() < options.min_support) continue;
+    prefix->push_back(item);
+    out->push_back(SequentialPattern{*prefix, projected.size()});
+    MineSubsequences(sequences, options, prefix, projected, out);
+    prefix->pop_back();
+  }
+}
+
+// Contiguous (substring) semantics: projections track every occurrence;
+// support counts distinct sequences.
+void MineContiguous(const std::vector<std::vector<CellId>>& sequences,
+                    const PatternOptions& options,
+                    std::vector<CellId>* prefix,
+                    const std::vector<Projection>& occurrences,
+                    std::vector<SequentialPattern>* out) {
+  if (prefix->size() >= options.max_length) return;
+  std::map<CellId, std::vector<Projection>> extensions;
+  for (const Projection& p : occurrences) {
+    const std::vector<CellId>& seq = sequences[p.seq];
+    if (p.pos < seq.size()) {
+      extensions[seq[p.pos]].push_back(Projection{p.seq, p.pos + 1});
+    }
+  }
+  for (const auto& [item, projected] : extensions) {
+    const std::size_t support = DistinctSequences(projected);
+    if (support < options.min_support) continue;
+    prefix->push_back(item);
+    out->push_back(SequentialPattern{*prefix, support});
+    MineContiguous(sequences, options, prefix, projected, out);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<SequentialPattern>> MinePatterns(
+    const std::vector<std::vector<CellId>>& sequences,
+    const PatternOptions& options) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("MinePatterns: min_support must be >= 1");
+  }
+  std::vector<SequentialPattern> out;
+  std::vector<CellId> prefix;
+  if (options.contiguous) {
+    // Seed occurrences: every position of every sequence.
+    std::vector<Projection> all;
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+      for (std::size_t i = 0; i < sequences[s].size(); ++i) {
+        all.push_back(Projection{s, i});
+      }
+    }
+    MineContiguous(sequences, options, &prefix, all, &out);
+  } else {
+    std::vector<Projection> all;
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+      all.push_back(Projection{s, 0});
+    }
+    MineSubsequences(sequences, options, &prefix, all, &out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SequentialPattern& a, const SequentialPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.cells.size() != b.cells.size()) {
+                return a.cells.size() > b.cells.size();
+              }
+              return a.cells < b.cells;
+            });
+  return out;
+}
+
+std::vector<CellId> CellSequenceOf(
+    const core::SemanticTrajectory& trajectory) {
+  std::vector<CellId> seq;
+  for (const core::PresenceInterval& p : trajectory.trace().intervals()) {
+    if (seq.empty() || seq.back() != p.cell) seq.push_back(p.cell);
+  }
+  return seq;
+}
+
+}  // namespace sitm::mining

@@ -1,0 +1,49 @@
+#ifndef SITM_MINING_PATTERNS_H_
+#define SITM_MINING_PATTERNS_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+
+namespace sitm::mining {
+
+/// \brief A frequent sequential pattern of visited cells.
+struct SequentialPattern {
+  std::vector<CellId> cells;
+  std::size_t support = 0;  ///< number of input sequences containing it
+};
+
+/// Options for sequential pattern mining.
+struct PatternOptions {
+  /// Minimum absolute support (number of supporting sequences).
+  std::size_t min_support = 2;
+  /// Longest pattern to report (bounds the search).
+  std::size_t max_length = 8;
+  /// When true, patterns must appear as *contiguous* subsequences
+  /// (paths); when false, classic subsequence semantics (PrefixSpan).
+  bool contiguous = false;
+};
+
+/// \brief Mines frequent sequential patterns from cell-id sequences
+/// (PrefixSpan-style projected-database search).
+///
+/// The model's motivation for this lives in §3.2: the hierarchy
+/// "enables the identification of certain types of movement patterns at
+/// the 'room' level ... and at the same time of other types of patterns
+/// at the 'floor' level, from the same trajectory dataset" — feed the
+/// miner the same trajectories projected at different levels.
+///
+/// Patterns are returned sorted by (support desc, length desc, cells).
+/// Fails if min_support == 0.
+Result<std::vector<SequentialPattern>> MinePatterns(
+    const std::vector<std::vector<CellId>>& sequences,
+    const PatternOptions& options);
+
+/// Extracts a trajectory's cell sequence with consecutive duplicates
+/// collapsed (the unit the pattern miner consumes).
+std::vector<CellId> CellSequenceOf(const core::SemanticTrajectory& trajectory);
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_PATTERNS_H_

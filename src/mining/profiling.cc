@@ -1,0 +1,138 @@
+#include "mining/profiling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace sitm::mining {
+
+VisitFeatures ExtractFeatures(const core::SemanticTrajectory& trajectory,
+                              std::size_t total_cells) {
+  VisitFeatures f;
+  const core::Trace& trace = trajectory.trace();
+  if (trace.empty()) return f;
+  f.duration_minutes = trajectory.Span().minutes();
+  f.num_cells = static_cast<double>(trace.VisitedCells().size());
+  f.num_detections = static_cast<double>(trace.size());
+  f.mean_stay_minutes =
+      trace.TotalPresence().minutes() / static_cast<double>(trace.size());
+  // Dwell entropy over per-cell dwell shares.
+  std::map<CellId, double> dwell;
+  double total = 0;
+  for (const core::PresenceInterval& p : trace.intervals()) {
+    dwell[p.cell] += static_cast<double>(p.duration().seconds());
+    total += static_cast<double>(p.duration().seconds());
+  }
+  if (total > 0) {
+    for (const auto& [cell, w] : dwell) {
+      const double share = w / total;
+      if (share > 0) f.dwell_entropy -= share * std::log2(share);
+    }
+  }
+  f.coverage = total_cells == 0
+                   ? 0
+                   : f.num_cells / static_cast<double>(total_cells);
+  return f;
+}
+
+std::string_view VisitorStyleName(VisitorStyle s) {
+  switch (s) {
+    case VisitorStyle::kAnt:
+      return "ant";
+    case VisitorStyle::kFish:
+      return "fish";
+    case VisitorStyle::kGrasshopper:
+      return "grasshopper";
+    case VisitorStyle::kButterfly:
+      return "butterfly";
+  }
+  return "unknown";
+}
+
+VisitorStyle ClassifyStyle(const VisitFeatures& features,
+                           double median_coverage, double median_stay) {
+  const bool wide = features.coverage >= median_coverage;
+  const bool slow = features.mean_stay_minutes >= median_stay;
+  if (wide && slow) return VisitorStyle::kAnt;
+  if (!wide && !slow) return VisitorStyle::kFish;
+  if (!wide && slow) return VisitorStyle::kGrasshopper;
+  return VisitorStyle::kButterfly;
+}
+
+Result<ClusteringResult> KMedoids(const std::vector<double>& distance_matrix,
+                                  std::size_t n, std::size_t k, Rng* rng,
+                                  int max_iterations) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("KMedoids: need 0 < k <= n");
+  }
+  if (distance_matrix.size() != n * n) {
+    return Status::InvalidArgument(
+        "KMedoids: distance matrix size must be n*n");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("KMedoids: rng must not be null");
+  }
+  auto dist = [&](std::size_t i, std::size_t j) {
+    return distance_matrix[i * n + j];
+  };
+
+  // Random distinct initial medoids.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  rng->Shuffle(&indices);
+  std::vector<std::size_t> medoids(indices.begin(), indices.begin() + k);
+
+  auto assign = [&](const std::vector<std::size_t>& meds,
+                    std::vector<std::size_t>* assignment) {
+    double cost = 0;
+    assignment->assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = dist(i, meds[0]);
+      std::size_t best_c = 0;
+      for (std::size_t c = 1; c < meds.size(); ++c) {
+        const double d = dist(i, meds[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      (*assignment)[i] = best_c;
+      cost += best;
+    }
+    return cost;
+  };
+
+  std::vector<std::size_t> assignment;
+  double cost = assign(medoids, &assignment);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool improved = false;
+    for (std::size_t c = 0; c < k && !improved; ++c) {
+      for (std::size_t candidate = 0; candidate < n && !improved;
+           ++candidate) {
+        if (std::find(medoids.begin(), medoids.end(), candidate) !=
+            medoids.end()) {
+          continue;
+        }
+        std::vector<std::size_t> trial = medoids;
+        trial[c] = candidate;
+        std::vector<std::size_t> trial_assignment;
+        const double trial_cost = assign(trial, &trial_assignment);
+        if (trial_cost + 1e-12 < cost) {
+          medoids = std::move(trial);
+          assignment = std::move(trial_assignment);
+          cost = trial_cost;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  ClusteringResult result;
+  result.medoids = std::move(medoids);
+  result.assignment = std::move(assignment);
+  result.total_cost = cost;
+  return result;
+}
+
+}  // namespace sitm::mining

@@ -1,0 +1,71 @@
+#ifndef SITM_MINING_PROFILING_H_
+#define SITM_MINING_PROFILING_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "core/trajectory.h"
+
+namespace sitm::mining {
+
+/// \brief Per-visit features for visitor profiling (the paper's future
+/// work: "semantic similarity metrics for trajectories (e.g. for visitor
+/// profiling)").
+struct VisitFeatures {
+  double duration_minutes = 0;   ///< visit span
+  double num_cells = 0;          ///< distinct cells visited
+  double num_detections = 0;     ///< presence tuples
+  double mean_stay_minutes = 0;  ///< average per-tuple stay
+  double dwell_entropy = 0;      ///< bits; how evenly time spreads
+  double coverage = 0;           ///< distinct cells / total cells
+};
+
+/// Extracts features; `total_cells` normalizes coverage (pass the number
+/// of visitable cells at the trajectory's granularity).
+VisitFeatures ExtractFeatures(const core::SemanticTrajectory& trajectory,
+                              std::size_t total_cells);
+
+/// \brief The four canonical museum-visitor styles of the visitor
+/// studies literature (used by the Louvre's own prior analyses [27]):
+/// the *ant* follows the curated path and sees nearly everything; the
+/// *fish* glides through the middle with few long stops; the
+/// *grasshopper* makes long stops at a few chosen exhibits; the
+/// *butterfly* flits across many exhibits without order.
+enum class VisitorStyle : int {
+  kAnt = 0,
+  kFish = 1,
+  kGrasshopper = 2,
+  kButterfly = 3,
+};
+
+/// Stable name ("ant", "fish", "grasshopper", "butterfly").
+std::string_view VisitorStyleName(VisitorStyle s);
+
+/// \brief Rule-based style classification from features:
+/// high coverage + long mean stays -> ant; low coverage + short stays ->
+/// fish; low coverage + long stays -> grasshopper; high coverage + short
+/// stays -> butterfly. The thresholds split at the provided medians so
+/// the rule adapts to the dataset.
+VisitorStyle ClassifyStyle(const VisitFeatures& features,
+                           double median_coverage, double median_stay);
+
+/// \brief k-medoids clustering (PAM-style greedy swap) over a
+/// precomputed distance matrix.
+struct ClusteringResult {
+  std::vector<std::size_t> medoids;     ///< indices of the k medoids
+  std::vector<std::size_t> assignment;  ///< cluster index per element
+  double total_cost = 0;                ///< sum of distances to medoids
+};
+
+/// Clusters n elements given their row-major n x n distance matrix.
+/// Deterministic for a fixed rng seed. Fails if k == 0, k > n, or the
+/// matrix size is not n*n.
+Result<ClusteringResult> KMedoids(const std::vector<double>& distance_matrix,
+                                  std::size_t n, std::size_t k, Rng* rng,
+                                  int max_iterations = 50);
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_PROFILING_H_

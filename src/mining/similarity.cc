@@ -1,0 +1,150 @@
+#include "mining/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "mining/patterns.h"
+
+namespace sitm::mining {
+
+CellCost UnitCellCost() {
+  return [](CellId a, CellId b) { return a == b ? 0.0 : 1.0; };
+}
+
+CellCost HierarchyCellCost(const indoor::LayerHierarchy* hierarchy,
+                           int max_distance) {
+  return [hierarchy, max_distance](CellId a, CellId b) {
+    if (a == b) return 0.0;
+    const Result<int> d = hierarchy->LcaDistance(a, b);
+    if (!d.ok()) return 1.0;  // different roots: maximally dissimilar
+    if (max_distance <= 0) return 1.0;
+    return std::min(1.0, static_cast<double>(d.value()) / max_distance);
+  };
+}
+
+double EditDistance(const std::vector<CellId>& a, const std::vector<CellId>& b,
+                    const CellCost& substitution_cost) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<double> prev(m + 1);
+  std::vector<double> cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<double>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double subst = prev[j - 1] + substitution_cost(a[i - 1], b[j - 1]);
+      cur[j] = std::min({prev[j] + 1.0, cur[j - 1] + 1.0, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double EditSimilarity(const std::vector<CellId>& a,
+                      const std::vector<CellId>& b,
+                      const CellCost& substitution_cost) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - EditDistance(a, b, substitution_cost) /
+                   static_cast<double>(longest);
+}
+
+std::size_t LcsLength(const std::vector<CellId>& a,
+                      const std::vector<CellId>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::size_t> prev(m + 1, 0);
+  std::vector<std::size_t> cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1
+                                    : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LcssSimilarity(const std::vector<CellId>& a,
+                      const std::vector<CellId>& b) {
+  const std::size_t shortest = std::min(a.size(), b.size());
+  if (shortest == 0) return 1.0;
+  return static_cast<double>(LcsLength(a, b)) /
+         static_cast<double>(shortest);
+}
+
+double JaccardCellSimilarity(const core::SemanticTrajectory& a,
+                             const core::SemanticTrajectory& b) {
+  const std::vector<CellId> cells_a = a.trace().VisitedCells();
+  const std::vector<CellId> cells_b = b.trace().VisitedCells();
+  const std::unordered_set<CellId> set_a(cells_a.begin(), cells_a.end());
+  const std::unordered_set<CellId> set_b(cells_b.begin(), cells_b.end());
+  std::size_t intersection = 0;
+  for (CellId c : set_a) {
+    if (set_b.count(c) > 0) ++intersection;
+  }
+  const std::size_t unions = set_a.size() + set_b.size() - intersection;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
+
+double DwellDistributionDistance(const core::SemanticTrajectory& a,
+                                 const core::SemanticTrajectory& b) {
+  auto distribution = [](const core::SemanticTrajectory& t) {
+    std::map<CellId, double> d;
+    double total = 0;
+    for (const core::PresenceInterval& p : t.trace().intervals()) {
+      d[p.cell] += static_cast<double>(p.duration().seconds());
+      total += static_cast<double>(p.duration().seconds());
+    }
+    if (total > 0) {
+      for (auto& [cell, w] : d) w /= total;
+    }
+    return d;
+  };
+  const std::map<CellId, double> da = distribution(a);
+  const std::map<CellId, double> db = distribution(b);
+  double dist = 0;
+  for (const auto& [cell, w] : da) {
+    auto it = db.find(cell);
+    dist += std::fabs(w - (it == db.end() ? 0.0 : it->second));
+  }
+  for (const auto& [cell, w] : db) {
+    if (da.count(cell) == 0) dist += w;
+  }
+  return dist;
+}
+
+double AnnotationSimilarity(const core::SemanticTrajectory& a,
+                            const core::SemanticTrajectory& b) {
+  const auto& sa = a.annotations().annotations();
+  const auto& sb = b.annotations().annotations();
+  std::size_t intersection = 0;
+  for (const core::SemanticAnnotation& ann : sa) {
+    if (b.annotations().Contains(ann)) ++intersection;
+  }
+  const std::size_t unions = sa.size() + sb.size() - intersection;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
+
+std::vector<double> DistanceMatrix(
+    const std::vector<core::SemanticTrajectory>& trajectories,
+    const TrajectoryDistance& distance) {
+  const std::size_t n = trajectories.size();
+  std::vector<double> matrix(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = distance(trajectories[i], trajectories[j]);
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace sitm::mining

@@ -1,0 +1,70 @@
+#ifndef SITM_MINING_SIMILARITY_H_
+#define SITM_MINING_SIMILARITY_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+#include "indoor/hierarchy.h"
+
+namespace sitm::mining {
+
+/// Substitution cost between two cells, in [0, 1].
+using CellCost = std::function<double(CellId, CellId)>;
+
+/// The 0/1 cost: 0 iff equal.
+CellCost UnitCellCost();
+
+/// \brief Hierarchy-aware substitution cost (the paper's future-work
+/// "semantic similarity metrics for trajectories"): cells that share a
+/// deep common ancestor are cheaper to substitute than cells meeting
+/// only at the root. Cost = LcaDistance(a, b) / max_distance, clamped to
+/// [0, 1]; unrelated cells (no common ancestor) cost 1.
+CellCost HierarchyCellCost(const indoor::LayerHierarchy* hierarchy,
+                           int max_distance);
+
+/// \brief Edit distance between two cell sequences with unit
+/// insert/delete cost and the given substitution cost.
+double EditDistance(const std::vector<CellId>& a, const std::vector<CellId>& b,
+                    const CellCost& substitution_cost);
+
+/// 1 - EditDistance / max(|a|, |b|); 1 for two empty sequences.
+double EditSimilarity(const std::vector<CellId>& a,
+                      const std::vector<CellId>& b,
+                      const CellCost& substitution_cost);
+
+/// Length of the longest common subsequence.
+std::size_t LcsLength(const std::vector<CellId>& a,
+                      const std::vector<CellId>& b);
+
+/// LcsLength / min(|a|, |b|) (the LCSS similarity); 1 when either
+/// sequence is empty.
+double LcssSimilarity(const std::vector<CellId>& a,
+                      const std::vector<CellId>& b);
+
+/// Jaccard similarity of the visited-cell sets of two trajectories.
+double JaccardCellSimilarity(const core::SemanticTrajectory& a,
+                             const core::SemanticTrajectory& b);
+
+/// \brief L1 distance between the normalized dwell-time distributions of
+/// two trajectories (how differently they budget their time across
+/// cells), in [0, 2].
+double DwellDistributionDistance(const core::SemanticTrajectory& a,
+                                 const core::SemanticTrajectory& b);
+
+/// Jaccard similarity of the trajectory-level annotation sets.
+double AnnotationSimilarity(const core::SemanticTrajectory& a,
+                            const core::SemanticTrajectory& b);
+
+/// A full pairwise distance matrix (row-major, n x n) under the given
+/// trajectory distance.
+using TrajectoryDistance = std::function<double(
+    const core::SemanticTrajectory&, const core::SemanticTrajectory&)>;
+std::vector<double> DistanceMatrix(
+    const std::vector<core::SemanticTrajectory>& trajectories,
+    const TrajectoryDistance& distance);
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_SIMILARITY_H_

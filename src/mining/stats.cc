@@ -1,0 +1,79 @@
+#include "mining/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sitm::mining {
+
+DurationSummary Summarize(std::vector<Duration> sample) {
+  DurationSummary s;
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  s.count = sample.size();
+  s.min = sample.front();
+  s.max = sample.back();
+  std::int64_t total = 0;
+  for (Duration d : sample) total += d.seconds();
+  s.mean = Duration(total / static_cast<std::int64_t>(sample.size()));
+  s.median = sample[sample.size() / 2];
+  s.p90 = sample[(sample.size() * 9) / 10 == sample.size()
+                     ? sample.size() - 1
+                     : (sample.size() * 9) / 10];
+  return s;
+}
+
+DatasetStats ComputeDatasetStats(
+    const std::vector<core::SemanticTrajectory>& trajectories) {
+  DatasetStats stats;
+  stats.num_visits = trajectories.size();
+  std::unordered_map<ObjectId, std::size_t> visits_per_object;
+  std::unordered_set<CellId> cells;
+  std::vector<Duration> visit_durations;
+  std::vector<Duration> detection_durations;
+  for (const core::SemanticTrajectory& t : trajectories) {
+    ++visits_per_object[t.object()];
+    stats.num_detections += t.trace().size();
+    stats.num_transitions += t.trace().NumTransitions();
+    visit_durations.push_back(t.Span());
+    for (const core::PresenceInterval& p : t.trace().intervals()) {
+      cells.insert(p.cell);
+      detection_durations.push_back(p.duration());
+    }
+  }
+  stats.num_visitors = visits_per_object.size();
+  for (const auto& [object, count] : visits_per_object) {
+    if (count >= 2) {
+      ++stats.num_returning;
+      stats.num_revisits += count - 1;
+    }
+  }
+  stats.num_distinct_cells = cells.size();
+  stats.visit_duration = Summarize(std::move(visit_durations));
+  stats.detection_duration = Summarize(std::move(detection_durations));
+  return stats;
+}
+
+std::map<CellId, std::size_t> DetectionsByCell(
+    const std::vector<core::SemanticTrajectory>& trajectories) {
+  std::map<CellId, std::size_t> out;
+  for (const core::SemanticTrajectory& t : trajectories) {
+    for (const core::PresenceInterval& p : t.trace().intervals()) {
+      ++out[p.cell];
+    }
+  }
+  return out;
+}
+
+std::map<CellId, Duration> DwellByCell(
+    const std::vector<core::SemanticTrajectory>& trajectories) {
+  std::map<CellId, Duration> out;
+  for (const core::SemanticTrajectory& t : trajectories) {
+    for (const core::PresenceInterval& p : t.trace().intervals()) {
+      out[p.cell] = out[p.cell] + p.duration();
+    }
+  }
+  return out;
+}
+
+}  // namespace sitm::mining

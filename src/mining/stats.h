@@ -1,0 +1,54 @@
+#ifndef SITM_MINING_STATS_H_
+#define SITM_MINING_STATS_H_
+
+#include <map>
+#include <vector>
+
+#include "base/result.h"
+#include "core/trajectory.h"
+
+namespace sitm::mining {
+
+/// \brief Five-number-ish summary of a duration sample.
+struct DurationSummary {
+  Duration min = Duration::Zero();
+  Duration max = Duration::Zero();
+  Duration mean = Duration::Zero();
+  Duration median = Duration::Zero();
+  Duration p90 = Duration::Zero();
+  std::size_t count = 0;
+};
+
+/// Computes a summary (empty input yields all-zero).
+DurationSummary Summarize(std::vector<Duration> sample);
+
+/// \brief The dataset-level statistics the paper reports for the Louvre
+/// dataset (§4.1): visit counts, visitor counts, returning visitors,
+/// detection/transition counts, duration ranges.
+struct DatasetStats {
+  std::size_t num_visits = 0;          ///< trajectories
+  std::size_t num_visitors = 0;        ///< distinct moving objects
+  std::size_t num_returning = 0;       ///< visitors with >= 2 visits
+  std::size_t num_revisits = 0;        ///< visits beyond each visitor's first
+  std::size_t num_detections = 0;      ///< presence tuples
+  std::size_t num_transitions = 0;     ///< intra-visit cell changes
+  std::size_t num_distinct_cells = 0;  ///< cells with at least one visit
+  DurationSummary visit_duration;      ///< trajectory spans
+  DurationSummary detection_duration;  ///< presence-tuple stays
+};
+
+/// Computes the statistics over a set of built trajectories.
+DatasetStats ComputeDatasetStats(
+    const std::vector<core::SemanticTrajectory>& trajectories);
+
+/// Detections (presence tuples) per cell, over all trajectories.
+std::map<CellId, std::size_t> DetectionsByCell(
+    const std::vector<core::SemanticTrajectory>& trajectories);
+
+/// Total dwell time per cell, over all trajectories.
+std::map<CellId, Duration> DwellByCell(
+    const std::vector<core::SemanticTrajectory>& trajectories);
+
+}  // namespace sitm::mining
+
+#endif  // SITM_MINING_STATS_H_

@@ -1,0 +1,92 @@
+#include "qsr/allen_composition.h"
+
+#include <array>
+#include <vector>
+
+namespace sitm::qsr {
+namespace {
+
+// Builds the 13x13 table by enumerating all interval triples over
+// endpoints {0..7}. Eight values suffice: a triple of intervals uses at
+// most six distinct endpoints, and any qualitative configuration over a
+// dense order can be order-embedded into eight points with room for the
+// strict/equal distinctions Allen relations depend on.
+std::array<std::array<std::uint16_t, 13>, 13> BuildTable() {
+  std::array<std::array<std::uint16_t, 13>, 13> table{};
+  std::vector<TimeInterval> intervals;
+  constexpr int kDomain = 8;
+  for (int s = 0; s < kDomain; ++s) {
+    for (int e = s + 1; e < kDomain; ++e) {
+      intervals.push_back(
+          *TimeInterval::Make(Timestamp(s), Timestamp(e)));
+    }
+  }
+  for (const TimeInterval& a : intervals) {
+    for (const TimeInterval& b : intervals) {
+      const int r1 = static_cast<int>(ClassifyIntervals(a, b));
+      for (const TimeInterval& c : intervals) {
+        const int r2 = static_cast<int>(ClassifyIntervals(b, c));
+        const int r3 = static_cast<int>(ClassifyIntervals(a, c));
+        table[r1][r2] |= static_cast<std::uint16_t>(1u << r3);
+      }
+    }
+  }
+  return table;
+}
+
+const std::array<std::array<std::uint16_t, 13>, 13>& Table() {
+  static const auto table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+int AllenSet::Count() const {
+  int count = 0;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if ((bits_ >> i) & 1u) ++count;
+  }
+  return count;
+}
+
+std::string AllenSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    if (!Contains(r)) continue;
+    if (!first) out += ", ";
+    out += AllenRelationName(r);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+AllenSet AllenInverseSet(AllenSet s) {
+  AllenSet out;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    if (s.Contains(r)) out = out.With(AllenInverse(r));
+  }
+  return out;
+}
+
+AllenSet AllenCompose(AllenRelation r1, AllenRelation r2) {
+  return AllenSet(Table()[static_cast<int>(r1)][static_cast<int>(r2)]);
+}
+
+AllenSet AllenCompose(AllenSet s1, AllenSet s2) {
+  AllenSet out;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    if (!s1.Contains(static_cast<AllenRelation>(i))) continue;
+    for (int j = 0; j < kNumAllenRelations; ++j) {
+      if (!s2.Contains(static_cast<AllenRelation>(j))) continue;
+      out = out | AllenCompose(static_cast<AllenRelation>(i),
+                               static_cast<AllenRelation>(j));
+    }
+  }
+  return out;
+}
+
+}  // namespace sitm::qsr

@@ -1,0 +1,143 @@
+#include "qsr/interval.h"
+
+#include <algorithm>
+
+namespace sitm::qsr {
+
+Result<TimeInterval> TimeInterval::Make(Timestamp start, Timestamp end) {
+  if (start > end) {
+    return Status::InvalidArgument(
+        "TimeInterval: start " + start.ToString() + " is after end " +
+        end.ToString());
+  }
+  return TimeInterval(start, end);
+}
+
+std::string_view AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kFinishedBy:
+      return "finishedBy";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kStartedBy:
+      return "startedBy";
+    case AllenRelation::kOverlappedBy:
+      return "overlappedBy";
+    case AllenRelation::kMetBy:
+      return "metBy";
+    case AllenRelation::kAfter:
+      return "after";
+  }
+  return "unknown";
+}
+
+AllenRelation AllenInverse(AllenRelation r) {
+  // The enum is laid out symmetrically around kEquals (index 6).
+  return static_cast<AllenRelation>(kNumAllenRelations - 1 -
+                                    static_cast<int>(r));
+}
+
+AllenRelation ClassifyIntervals(const TimeInterval& a, const TimeInterval& b) {
+  if (a.end() < b.start()) return AllenRelation::kBefore;
+  if (b.end() < a.start()) return AllenRelation::kAfter;
+  if (a.end() == b.start() && a.start() < b.start()) {
+    return AllenRelation::kMeets;
+  }
+  if (b.end() == a.start() && b.start() < a.start()) {
+    return AllenRelation::kMetBy;
+  }
+  const bool same_start = a.start() == b.start();
+  const bool same_end = a.end() == b.end();
+  if (same_start && same_end) return AllenRelation::kEquals;
+  if (same_start) {
+    return a.end() < b.end() ? AllenRelation::kStarts
+                             : AllenRelation::kStartedBy;
+  }
+  if (same_end) {
+    return a.start() > b.start() ? AllenRelation::kFinishes
+                                 : AllenRelation::kFinishedBy;
+  }
+  if (a.start() > b.start() && a.end() < b.end()) return AllenRelation::kDuring;
+  if (b.start() > a.start() && b.end() < a.end()) {
+    return AllenRelation::kContains;
+  }
+  return a.start() < b.start() ? AllenRelation::kOverlaps
+                               : AllenRelation::kOverlappedBy;
+}
+
+std::vector<TimeInterval> MergeIntervals(std::vector<TimeInterval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const TimeInterval& x, const TimeInterval& y) {
+              if (x.start() != y.start()) return x.start() < y.start();
+              return x.end() < y.end();
+            });
+  std::vector<TimeInterval> merged;
+  for (const TimeInterval& iv : intervals) {
+    // The model's time is second-granular (see base/time.h), so [a, b]
+    // and [b+1s, c] are contiguous: no whole second lies between them.
+    if (!merged.empty() &&
+        iv.start() <= merged.back().end() + Duration::Seconds(1)) {
+      if (iv.end() > merged.back().end()) {
+        merged.back() = *TimeInterval::Make(merged.back().start(), iv.end());
+      }
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+bool CoversTimewise(const TimeInterval& whole,
+                    std::vector<TimeInterval> pieces) {
+  const std::vector<TimeInterval> merged = MergeIntervals(std::move(pieces));
+  for (const TimeInterval& iv : merged) {
+    if (iv.Covers(whole)) return true;
+    // Merged intervals are disjoint with gaps of positive length between
+    // them, so `whole` must fit inside a single one.
+  }
+  return false;
+}
+
+std::vector<TimeInterval> UncoveredGaps(const TimeInterval& whole,
+                                        std::vector<TimeInterval> pieces) {
+  // Gaps are reported as the maximal runs of whole seconds of `whole`
+  // not covered by any piece (discrete-time semantics; a single missing
+  // second yields a zero-length closed interval).
+  std::vector<TimeInterval> gaps;
+  const std::vector<TimeInterval> merged = MergeIntervals(std::move(pieces));
+  const Duration one = Duration::Seconds(1);
+  Timestamp cursor = whole.start();  // first possibly-uncovered second
+  for (const TimeInterval& iv : merged) {
+    if (iv.end() < cursor) continue;
+    if (iv.start() > whole.end()) break;
+    if (iv.start() > cursor) {
+      gaps.push_back(*TimeInterval::Make(cursor, iv.start() - one));
+    }
+    if (iv.end() + one > cursor) cursor = iv.end() + one;
+    if (cursor > whole.end()) break;
+  }
+  if (cursor <= whole.end()) {
+    gaps.push_back(*TimeInterval::Make(cursor, whole.end()));
+  }
+  return gaps;
+}
+
+std::ostream& operator<<(std::ostream& os, AllenRelation r) {
+  return os << AllenRelationName(r);
+}
+
+}  // namespace sitm::qsr

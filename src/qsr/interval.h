@@ -1,0 +1,115 @@
+#ifndef SITM_QSR_INTERVAL_H_
+#define SITM_QSR_INTERVAL_H_
+
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/time.h"
+
+namespace sitm::qsr {
+
+/// \brief A closed time interval [start, end], start <= end.
+///
+/// Presence periods, trajectories, and episodes all carry such an
+/// interval; Allen's interval algebra below provides the qualitative
+/// temporal vocabulary (the "when" counterpart of the topological
+/// "where").
+class TimeInterval {
+ public:
+  TimeInterval() = default;
+
+  /// Validating constructor; fails if start > end.
+  static Result<TimeInterval> Make(Timestamp start, Timestamp end);
+
+  Timestamp start() const { return start_; }
+  Timestamp end() const { return end_; }
+  Duration length() const { return end_ - start_; }
+
+  /// True iff t is inside the closed interval.
+  bool Contains(Timestamp t) const { return start_ <= t && t <= end_; }
+
+  /// True iff the closed intervals share at least one instant.
+  bool Intersects(const TimeInterval& other) const {
+    return start_ <= other.end_ && other.start_ <= end_;
+  }
+
+  /// True iff the open interiors share an instant (more than a single
+  /// touching endpoint).
+  bool InteriorsIntersect(const TimeInterval& other) const {
+    return start_ < other.end_ && other.start_ < end_;
+  }
+
+  /// True iff this interval contains `other` entirely.
+  bool Covers(const TimeInterval& other) const {
+    return start_ <= other.start_ && other.end_ <= end_;
+  }
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return a.start_ == b.start_ && a.end_ == b.end_;
+  }
+  friend bool operator!=(const TimeInterval& a, const TimeInterval& b) {
+    return !(a == b);
+  }
+
+ private:
+  TimeInterval(Timestamp start, Timestamp end) : start_(start), end_(end) {}
+
+  Timestamp start_;
+  Timestamp end_;
+};
+
+/// \brief Allen's thirteen qualitative interval relations.
+enum class AllenRelation : int {
+  kBefore = 0,        ///< a ends strictly before b starts.
+  kMeets = 1,         ///< a.end == b.start.
+  kOverlaps = 2,      ///< a starts first, they overlap, a ends inside b.
+  kStarts = 3,        ///< equal starts, a ends first.
+  kDuring = 4,        ///< a strictly inside b.
+  kFinishes = 5,      ///< equal ends, a starts later.
+  kEquals = 6,        ///< identical intervals.
+  kFinishedBy = 7,    ///< converse of finishes.
+  kContains = 8,      ///< converse of during.
+  kStartedBy = 9,     ///< converse of starts.
+  kOverlappedBy = 10, ///< converse of overlaps.
+  kMetBy = 11,        ///< converse of meets.
+  kAfter = 12,        ///< converse of before.
+};
+
+/// Number of Allen relations.
+inline constexpr int kNumAllenRelations = 13;
+
+/// Stable name ("before", "meets", ...).
+std::string_view AllenRelationName(AllenRelation r);
+
+/// The converse relation (relation of b to a).
+AllenRelation AllenInverse(AllenRelation r);
+
+/// Classifies the relation of `a` to `b`. Total: exactly one relation
+/// holds for any pair of valid intervals.
+AllenRelation ClassifyIntervals(const TimeInterval& a, const TimeInterval& b);
+
+/// \brief True iff the union of `pieces` covers every instant of `whole`
+/// (pieces may overlap; order is irrelevant).
+///
+/// This is the paper's validity condition for an episodic segmentation
+/// (§3.3): "any subset of its episodes that covers it time-wise", with
+/// overlap explicitly allowed.
+bool CoversTimewise(const TimeInterval& whole,
+                    std::vector<TimeInterval> pieces);
+
+/// Merges overlapping/adjacent intervals into a minimal sorted disjoint
+/// set.
+std::vector<TimeInterval> MergeIntervals(std::vector<TimeInterval> intervals);
+
+/// The gaps of `whole` not covered by `pieces` (maximal uncovered
+/// closed subintervals with positive length).
+std::vector<TimeInterval> UncoveredGaps(const TimeInterval& whole,
+                                        std::vector<TimeInterval> pieces);
+
+std::ostream& operator<<(std::ostream& os, AllenRelation r);
+
+}  // namespace sitm::qsr
+
+#endif  // SITM_QSR_INTERVAL_H_

@@ -1,0 +1,202 @@
+#include "qsr/rcc8.h"
+
+namespace sitm::qsr {
+namespace {
+
+// Bit aliases in enum order (see TopologicalRelation), using the RCC-8
+// names the composition-table literature uses.
+constexpr std::uint8_t DC = 1u << 0;     // disjoint
+constexpr std::uint8_t EC = 1u << 1;     // meet
+constexpr std::uint8_t PO = 1u << 2;     // overlap
+constexpr std::uint8_t TPP = 1u << 3;    // coveredBy
+constexpr std::uint8_t NTPP = 1u << 4;   // insideOf
+constexpr std::uint8_t TPPI = 1u << 5;   // covers
+constexpr std::uint8_t NTPPI = 1u << 6;  // contains
+constexpr std::uint8_t EQ = 1u << 7;     // equal
+constexpr std::uint8_t ALL = 0xFF;
+
+// The standard RCC-8 composition table (Cohn, Bennett, Gooday & Gotts
+// 1997). kComposition[r1][r2] is the disjunction of possible relations
+// R(a, c) given R(a, b) = r1 and R(b, c) = r2. Row/column order follows
+// the TopologicalRelation enum: DC, EC, PO, TPP, NTPP, TPPI, NTPPI, EQ.
+constexpr std::uint8_t kComposition[8][8] = {
+    // r1 = DC
+    {ALL,
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     DC, DC, DC},
+    // r1 = EC
+    {static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | TPPI | EQ),
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     static_cast<std::uint8_t>(EC | PO | TPP | NTPP),
+     static_cast<std::uint8_t>(PO | TPP | NTPP),
+     static_cast<std::uint8_t>(DC | EC),
+     DC, EC},
+    // r1 = PO
+    {static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     ALL,
+     static_cast<std::uint8_t>(PO | TPP | NTPP),
+     static_cast<std::uint8_t>(PO | TPP | NTPP),
+     static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     PO},
+    // r1 = TPP
+    {DC,
+     static_cast<std::uint8_t>(DC | EC),
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     static_cast<std::uint8_t>(TPP | NTPP),
+     NTPP,
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | TPPI | EQ),
+     static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     TPP},
+    // r1 = NTPP
+    {DC, DC,
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     NTPP, NTPP,
+     static_cast<std::uint8_t>(DC | EC | PO | TPP | NTPP),
+     ALL, NTPP},
+    // r1 = TPPI
+    {static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(EC | PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(PO | TPP | TPPI | EQ),
+     static_cast<std::uint8_t>(PO | TPP | NTPP),
+     static_cast<std::uint8_t>(TPPI | NTPPI),
+     NTPPI, TPPI},
+    // r1 = NTPPI
+    {static_cast<std::uint8_t>(DC | EC | PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(PO | TPPI | NTPPI),
+     static_cast<std::uint8_t>(PO | TPP | NTPP | TPPI | NTPPI | EQ),
+     NTPPI, NTPPI, NTPPI},
+    // r1 = EQ (identity)
+    {DC, EC, PO, TPP, NTPP, TPPI, NTPPI, EQ},
+};
+
+}  // namespace
+
+int RelationSet::Count() const {
+  int count = 0;
+  for (int i = 0; i < kNumTopologicalRelations; ++i) {
+    if ((bits_ >> i) & 1u) ++count;
+  }
+  return count;
+}
+
+Result<TopologicalRelation> RelationSet::Single() const {
+  if (Count() != 1) {
+    return Status::FailedPrecondition("relation set is not a singleton: " +
+                                      ToString());
+  }
+  for (int i = 0; i < kNumTopologicalRelations; ++i) {
+    if ((bits_ >> i) & 1u) return static_cast<TopologicalRelation>(i);
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string RelationSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (TopologicalRelation r : kAllTopologicalRelations) {
+    if (!Contains(r)) continue;
+    if (!first) out += ", ";
+    out += TopologicalRelationName(r);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+RelationSet InverseSet(RelationSet s) {
+  RelationSet out;
+  for (TopologicalRelation r : kAllTopologicalRelations) {
+    if (s.Contains(r)) out = out.With(Inverse(r));
+  }
+  return out;
+}
+
+RelationSet Compose(TopologicalRelation r1, TopologicalRelation r2) {
+  return RelationSet(
+      kComposition[static_cast<int>(r1)][static_cast<int>(r2)]);
+}
+
+RelationSet Compose(RelationSet s1, RelationSet s2) {
+  RelationSet out;
+  for (TopologicalRelation r1 : kAllTopologicalRelations) {
+    if (!s1.Contains(r1)) continue;
+    for (TopologicalRelation r2 : kAllTopologicalRelations) {
+      if (!s2.Contains(r2)) continue;
+      out = out | Compose(r1, r2);
+    }
+  }
+  return out;
+}
+
+Rcc8Network::Rcc8Network(int num_variables)
+    : n_(num_variables),
+      constraints_(static_cast<std::size_t>(num_variables) * num_variables,
+                   RelationSet::All()) {
+  for (int i = 0; i < n_; ++i) {
+    constraints_[Index(i, i)] = RelationSet::Of(TopologicalRelation::kEqual);
+  }
+}
+
+Status Rcc8Network::Constrain(int a, int b, RelationSet relations) {
+  if (a < 0 || a >= n_ || b < 0 || b >= n_) {
+    return Status::OutOfRange("Rcc8Network::Constrain: bad variable index");
+  }
+  const RelationSet ab = constraints_[Index(a, b)] & relations;
+  if (ab.empty()) {
+    return Status::FailedPrecondition(
+        "Rcc8Network: contradictory constraint between variables " +
+        std::to_string(a) + " and " + std::to_string(b));
+  }
+  constraints_[Index(a, b)] = ab;
+  constraints_[Index(b, a)] = InverseSet(ab);
+  return Status::OK();
+}
+
+Status Rcc8Network::PropagatePathConsistency() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < n_; ++b) {
+      for (int a = 0; a < n_; ++a) {
+        if (a == b) continue;
+        for (int c = 0; c < n_; ++c) {
+          if (c == a || c == b) continue;
+          const RelationSet via =
+              Compose(constraints_[Index(a, b)], constraints_[Index(b, c)]);
+          const RelationSet tightened = constraints_[Index(a, c)] & via;
+          if (tightened != constraints_[Index(a, c)]) {
+            if (tightened.empty()) {
+              return Status::FailedPrecondition(
+                  "Rcc8Network: inconsistent (empty constraint between " +
+                  std::to_string(a) + " and " + std::to_string(c) + ")");
+            }
+            constraints_[Index(a, c)] = tightened;
+            constraints_[Index(c, a)] = InverseSet(tightened);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool Rcc8Network::FullyDecided() const {
+  for (int a = 0; a < n_; ++a) {
+    for (int b = 0; b < n_; ++b) {
+      if (constraints_[Index(a, b)].Count() != 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sitm::qsr

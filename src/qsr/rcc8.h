@@ -1,0 +1,130 @@
+#ifndef SITM_QSR_RCC8_H_
+#define SITM_QSR_RCC8_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "qsr/topology.h"
+
+namespace sitm::qsr {
+
+/// \brief A set of topological relations, as a bitmask over
+/// TopologicalRelation (bit i set <=> relation with enum value i is
+/// possible). RCC-8 constraint networks label each region pair with such
+/// a disjunction.
+class RelationSet {
+ public:
+  constexpr RelationSet() : bits_(0) {}
+  constexpr explicit RelationSet(std::uint8_t bits) : bits_(bits) {}
+
+  /// The singleton set {r}.
+  static constexpr RelationSet Of(TopologicalRelation r) {
+    return RelationSet(static_cast<std::uint8_t>(1u << static_cast<int>(r)));
+  }
+
+  /// The full set (total ignorance).
+  static constexpr RelationSet All() { return RelationSet(0xFF); }
+
+  /// The empty set (inconsistency).
+  static constexpr RelationSet None() { return RelationSet(0); }
+
+  constexpr bool Contains(TopologicalRelation r) const {
+    return (bits_ >> static_cast<int>(r)) & 1u;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr std::uint8_t bits() const { return bits_; }
+
+  /// Number of relations in the set.
+  int Count() const;
+
+  /// If the set is a singleton, returns its element.
+  Result<TopologicalRelation> Single() const;
+
+  RelationSet With(TopologicalRelation r) const {
+    return RelationSet(bits_ | Of(r).bits_);
+  }
+
+  friend constexpr RelationSet operator&(RelationSet a, RelationSet b) {
+    return RelationSet(a.bits_ & b.bits_);
+  }
+  friend constexpr RelationSet operator|(RelationSet a, RelationSet b) {
+    return RelationSet(a.bits_ | b.bits_);
+  }
+  friend constexpr bool operator==(RelationSet a, RelationSet b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(RelationSet a, RelationSet b) {
+    return a.bits_ != b.bits_;
+  }
+
+  /// "{meet, overlap}" style rendering.
+  std::string ToString() const;
+
+ private:
+  std::uint8_t bits_;
+};
+
+/// The converse set {Inverse(r) : r in s}.
+RelationSet InverseSet(RelationSet s);
+
+/// \brief RCC-8 composition: the set of possible relations R(a, c) given
+/// R(a, b) = r1 and R(b, c) = r2, from the standard composition table
+/// (Cohn et al. 1997, the paper's [10]).
+RelationSet Compose(TopologicalRelation r1, TopologicalRelation r2);
+
+/// Composition lifted to sets: union of Compose(r1, r2) over members.
+RelationSet Compose(RelationSet s1, RelationSet s2);
+
+/// \brief A qualitative constraint network over region variables.
+///
+/// Supports the reasoning style the paper motivates (§1: "reasoning about
+/// space without precise quantitative information"): assert partial
+/// knowledge about cell pair relations and let path consistency tighten
+/// or refute it — e.g. derive that a room disjoint from a floor cannot be
+/// contained in one of its zones.
+class Rcc8Network {
+ public:
+  /// Creates a network of `num_variables` regions, all pairs initially
+  /// unconstrained (except the diagonal, fixed to {equal}).
+  explicit Rcc8Network(int num_variables);
+
+  int num_variables() const { return n_; }
+
+  /// Intersects the constraint on (a, b) with `relations` (and (b, a)
+  /// with the converse). Fails on bad indices or if the intersection is
+  /// empty (direct contradiction).
+  Status Constrain(int a, int b, RelationSet relations);
+
+  /// Convenience for singleton constraints.
+  Status Constrain(int a, int b, TopologicalRelation r) {
+    return Constrain(a, b, RelationSet::Of(r));
+  }
+
+  /// Current constraint on (a, b).
+  RelationSet At(int a, int b) const { return constraints_[Index(a, b)]; }
+
+  /// \brief Enforces path consistency (the algebraic-closure algorithm):
+  /// repeatedly tightens R(a,c) by R(a,b) ∘ R(b,c) until fixpoint.
+  ///
+  /// Returns an error (FailedPrecondition) iff a constraint becomes
+  /// empty, i.e. the network is inconsistent. Path consistency is
+  /// complete for deciding consistency of the RCC-8 base relations.
+  Status PropagatePathConsistency();
+
+  /// True iff every pair is down to a single relation.
+  bool FullyDecided() const;
+
+ private:
+  std::size_t Index(int a, int b) const {
+    return static_cast<std::size_t>(a) * n_ + b;
+  }
+
+  int n_;
+  std::vector<RelationSet> constraints_;
+};
+
+}  // namespace sitm::qsr
+
+#endif  // SITM_QSR_RCC8_H_

@@ -1,0 +1,136 @@
+#include "qsr/topology.h"
+
+#include "base/strings.h"
+#include "geom/relate.h"
+
+namespace sitm::qsr {
+
+std::string_view TopologicalRelationName(TopologicalRelation r) {
+  switch (r) {
+    case TopologicalRelation::kDisjoint:
+      return "disjoint";
+    case TopologicalRelation::kMeet:
+      return "meet";
+    case TopologicalRelation::kOverlap:
+      return "overlap";
+    case TopologicalRelation::kCoveredBy:
+      return "coveredBy";
+    case TopologicalRelation::kInsideOf:
+      return "insideOf";
+    case TopologicalRelation::kCovers:
+      return "covers";
+    case TopologicalRelation::kContains:
+      return "contains";
+    case TopologicalRelation::kEqual:
+      return "equal";
+  }
+  return "unknown";
+}
+
+Result<TopologicalRelation> ParseTopologicalRelation(std::string_view name) {
+  const std::string lower = AsciiLower(name);
+  if (lower == "disjoint" || lower == "dc") {
+    return TopologicalRelation::kDisjoint;
+  }
+  if (lower == "meet" || lower == "touch" || lower == "ec") {
+    return TopologicalRelation::kMeet;
+  }
+  if (lower == "overlap" || lower == "po") return TopologicalRelation::kOverlap;
+  if (lower == "coveredby" || lower == "tpp") {
+    return TopologicalRelation::kCoveredBy;
+  }
+  if (lower == "insideof" || lower == "inside" || lower == "ntpp") {
+    return TopologicalRelation::kInsideOf;
+  }
+  if (lower == "covers" || lower == "tppi") return TopologicalRelation::kCovers;
+  if (lower == "contains" || lower == "ntppi") {
+    return TopologicalRelation::kContains;
+  }
+  if (lower == "equal" || lower == "eq") return TopologicalRelation::kEqual;
+  return Status::InvalidArgument("unknown topological relation: '" +
+                                 std::string(name) + "'");
+}
+
+TopologicalRelation Inverse(TopologicalRelation r) {
+  switch (r) {
+    case TopologicalRelation::kCoveredBy:
+      return TopologicalRelation::kCovers;
+    case TopologicalRelation::kCovers:
+      return TopologicalRelation::kCoveredBy;
+    case TopologicalRelation::kInsideOf:
+      return TopologicalRelation::kContains;
+    case TopologicalRelation::kContains:
+      return TopologicalRelation::kInsideOf;
+    default:
+      return r;
+  }
+}
+
+bool IsSymmetric(TopologicalRelation r) { return Inverse(r) == r; }
+
+bool ImpliesSubsetOfSecond(TopologicalRelation r) {
+  return r == TopologicalRelation::kCoveredBy ||
+         r == TopologicalRelation::kInsideOf ||
+         r == TopologicalRelation::kEqual;
+}
+
+bool ImpliesSupersetOfSecond(TopologicalRelation r) {
+  return r == TopologicalRelation::kCovers ||
+         r == TopologicalRelation::kContains ||
+         r == TopologicalRelation::kEqual;
+}
+
+bool ImpliesContact(TopologicalRelation r) {
+  return r != TopologicalRelation::kDisjoint;
+}
+
+bool ImpliesInteriorIntersection(TopologicalRelation r) {
+  return r != TopologicalRelation::kDisjoint &&
+         r != TopologicalRelation::kMeet;
+}
+
+bool IsHierarchyRelation(TopologicalRelation r) {
+  return r == TopologicalRelation::kContains ||
+         r == TopologicalRelation::kCovers;
+}
+
+Result<TopologicalRelation> ClassifyRegions(const geom::Polygon& a,
+                                            const geom::Polygon& b) {
+  SITM_ASSIGN_OR_RETURN(const geom::RelateEvidence ev, geom::Relate(a, b));
+
+  // A proper boundary crossing puts interior of each region on both
+  // sides of the other: partial overlap. The sampled fallback requires
+  // *both* polygons to have points inside and outside the other — that
+  // combination is impossible for containment/meet/disjoint, and it
+  // catches crossings that pass exactly through vertices (which the
+  // segment predicate classifies as touches). A single-sided
+  // inside+outside signature is normal for containment (the container
+  // extends beyond the contained region) and must not trigger overlap.
+  if (ev.boundaries_cross ||
+      (ev.a_point_inside_b && ev.a_point_outside_b &&
+       ev.b_point_inside_a && ev.b_point_outside_a)) {
+    return TopologicalRelation::kOverlap;
+  }
+
+  // With no crossing, each simple polygon's (connected) interior lies
+  // entirely on one side of the other region.
+  const bool a_in_b = !ev.a_point_outside_b;  // A ⊆ closure(B)
+  const bool b_in_a = !ev.b_point_outside_a;  // B ⊆ closure(A)
+  if (a_in_b && b_in_a) return TopologicalRelation::kEqual;
+  if (a_in_b) {
+    return ev.boundaries_intersect ? TopologicalRelation::kCoveredBy
+                                   : TopologicalRelation::kInsideOf;
+  }
+  if (b_in_a) {
+    return ev.boundaries_intersect ? TopologicalRelation::kCovers
+                                   : TopologicalRelation::kContains;
+  }
+  return ev.boundaries_intersect ? TopologicalRelation::kMeet
+                                 : TopologicalRelation::kDisjoint;
+}
+
+std::ostream& operator<<(std::ostream& os, TopologicalRelation r) {
+  return os << TopologicalRelationName(r);
+}
+
+}  // namespace sitm::qsr

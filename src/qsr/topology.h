@@ -1,0 +1,91 @@
+#ifndef SITM_QSR_TOPOLOGY_H_
+#define SITM_QSR_TOPOLOGY_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "base/result.h"
+#include "geom/polygon.h"
+
+namespace sitm::qsr {
+
+/// \brief The eight binary topological relations between two regions.
+///
+/// These are the relations produced by both RCC-8 and the
+/// 4-intersection/9-intersection models (the paper's §2.1, Table 1), and
+/// the vocabulary joint edges of the multi-layered space graph are typed
+/// with (§3.2). The RCC-8 names map as: disjoint=DC, meet=EC, overlap=PO,
+/// equal=EQ, coveredBy=TPP, insideOf=NTPP, covers=TPP⁻¹, contains=NTPP⁻¹.
+enum class TopologicalRelation : std::uint8_t {
+  kDisjoint = 0,   ///< DC: no shared point.
+  kMeet = 1,       ///< EC ("touch"): boundaries share points, interiors don't.
+  kOverlap = 2,    ///< PO: interiors intersect, neither contains the other.
+  kCoveredBy = 3,  ///< TPP: proper part touching the container's boundary.
+  kInsideOf = 4,   ///< NTPP: proper part not touching the boundary.
+  kCovers = 5,     ///< TPP⁻¹: converse of coveredBy.
+  kContains = 6,   ///< NTPP⁻¹: converse of insideOf.
+  kEqual = 7,      ///< EQ: identical regions.
+};
+
+/// Number of distinct relations.
+inline constexpr int kNumTopologicalRelations = 8;
+
+/// All eight relations, in enum order (handy for sweeps).
+inline constexpr TopologicalRelation kAllTopologicalRelations[] = {
+    TopologicalRelation::kDisjoint,  TopologicalRelation::kMeet,
+    TopologicalRelation::kOverlap,   TopologicalRelation::kCoveredBy,
+    TopologicalRelation::kInsideOf,  TopologicalRelation::kCovers,
+    TopologicalRelation::kContains,  TopologicalRelation::kEqual,
+};
+
+/// Stable lowercase name ("disjoint", "meet", ..., the paper's terms).
+std::string_view TopologicalRelationName(TopologicalRelation r);
+
+/// Parses a name produced by TopologicalRelationName (also accepts the
+/// RCC-8 codes "DC", "EC", "PO", "TPP", "NTPP", "TPPi", "NTPPi", "EQ").
+Result<TopologicalRelation> ParseTopologicalRelation(std::string_view name);
+
+/// The converse relation (relation from B to A given the relation from A
+/// to B): contains <-> insideOf, covers <-> coveredBy, others are
+/// self-converse.
+TopologicalRelation Inverse(TopologicalRelation r);
+
+/// True iff r equals its converse (disjoint, meet, overlap, equal).
+bool IsSymmetric(TopologicalRelation r);
+
+/// True iff A's region is a subset of B's closure under r
+/// (coveredBy, insideOf, equal).
+bool ImpliesSubsetOfSecond(TopologicalRelation r);
+
+/// True iff B's region is a subset of A's closure under r
+/// (covers, contains, equal).
+bool ImpliesSupersetOfSecond(TopologicalRelation r);
+
+/// True iff the regions share at least one point under r (all but
+/// disjoint).
+bool ImpliesContact(TopologicalRelation r);
+
+/// True iff the interiors intersect under r (all but disjoint and meet).
+/// These are exactly the relations IndoorGML admits for joint edges
+/// ("valid overall states"), per the paper's §2.1.
+bool ImpliesInteriorIntersection(TopologicalRelation r);
+
+/// True iff r is one of the proper-part relations a layer hierarchy may
+/// use for its top-to-bottom joint edges (§3.2: contains, covers — no
+/// overlap, no equal).
+bool IsHierarchyRelation(TopologicalRelation r);
+
+/// \brief Classifies two simple polygons into their topological relation.
+///
+/// The geometric evidence is computed by geom::Relate; this function owns
+/// the decision procedure mapping evidence to one of the 8 relations.
+/// Fails if either polygon is invalid.
+Result<TopologicalRelation> ClassifyRegions(const geom::Polygon& a,
+                                            const geom::Polygon& b);
+
+std::ostream& operator<<(std::ostream& os, TopologicalRelation r);
+
+}  // namespace sitm::qsr
+
+#endif  // SITM_QSR_TOPOLOGY_H_

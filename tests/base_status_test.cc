@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sitm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("widget").ToString(), "NotFound: widget");
+}
+
+TEST(StatusTest, IsChecksCode) {
+  EXPECT_TRUE(Status::NotFound("x").Is(StatusCode::kNotFound));
+  EXPECT_FALSE(Status::NotFound("x").Is(StatusCode::kIOError));
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  const Status s = Status::NotFound("cell #3").WithContext("Trace");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "Trace: cell #3");
+}
+
+TEST(StatusTest, WithContextKeepsOkUntouched) {
+  EXPECT_TRUE(Status::OK().WithContext("nope").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::IOError("a"));
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::Corruption("bad bytes");
+  EXPECT_EQ(os.str(), "Corruption: bad bytes");
+}
+
+TEST(StatusTest, AllCodeNamesAreDistinct) {
+  std::unordered_set<std::string_view> names;
+  for (int c = 0; c <= 9; ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+Status FailsThenPropagates() {
+  SITM_RETURN_IF_ERROR(Status::IOError("disk on fire"));
+  return Status::Internal("should not get here");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(FailsThenPropagates(), Status::IOError("disk on fire"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SITM_ASSIGN_OR_RETURN(const int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsAndPropagates) {
+  ASSERT_TRUE(Quarter(8).ok());
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_EQ(Quarter(6).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TypedIdTest, DefaultIsInvalid) {
+  CellId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, CellId::Invalid());
+}
+
+TEST(TypedIdTest, ValueRoundTrip) {
+  CellId id(60887);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 60887);
+}
+
+TEST(TypedIdTest, Ordering) {
+  EXPECT_LT(CellId(1), CellId(2));
+  EXPECT_GT(CellId(5), CellId(2));
+  EXPECT_LE(CellId(2), CellId(2));
+  EXPECT_GE(CellId(2), CellId(2));
+  EXPECT_NE(CellId(1), CellId(2));
+}
+
+TEST(TypedIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<CellId, LayerId>);
+  static_assert(!std::is_same_v<BoundaryId, ObjectId>);
+  SUCCEED();
+}
+
+TEST(TypedIdTest, HashWorksInUnorderedContainers) {
+  std::unordered_set<CellId> set;
+  set.insert(CellId(1));
+  set.insert(CellId(1));
+  set.insert(CellId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TypedIdTest, StreamFormat) {
+  std::ostringstream os;
+  os << CellId(7) << " " << CellId();
+  EXPECT_EQ(os.str(), "#7 #invalid");
+}
+
+}  // namespace
+}  // namespace sitm

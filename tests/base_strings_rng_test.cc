@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/rng.h"
+#include "base/strings.h"
+
+namespace sitm {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("solo", ','), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(StrJoin(parts, ","), "a,b,c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"one"}, " - "), "one");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t\nx y\r "), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringsTest, Affixes) {
+  EXPECT_TRUE(StartsWith("Zone60887", "Zone"));
+  EXPECT_FALSE(StartsWith("Zone", "Zone60887"));
+  EXPECT_TRUE(EndsWith("visit.csv", ".csv"));
+  EXPECT_FALSE(EndsWith(".csv", "visit.csv"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("60887").value(), 60887);
+  EXPECT_EQ(ParseInt64(" -5 ").value(), -5);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringsTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("CoveredBy"), "coveredby");
+  EXPECT_EQ(AsciiLower("123-XYZ"), "123-xyz");
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(480.0);
+  EXPECT_NEAR(sum / n, 480.0, 20.0);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(17);
+  const std::vector<double> weights{0.0, 1.0, 0.0, 3.0};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_GT(counts[3], counts[1]);  // 3:1 odds
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST(RngTest, WeightedDegenerateInputs) {
+  Rng rng(19);
+  EXPECT_EQ(rng.NextWeighted({0.0, 0.0}), 0u);     // no mass -> first
+  EXPECT_EQ(rng.NextWeighted({-1.0, 5.0}), 1u);    // negatives ignored
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+}
+
+TEST(RngTest, ShuffleDeterministicPerSeed) {
+  std::vector<int> a{1, 2, 3, 4, 5};
+  std::vector<int> b{1, 2, 3, 4, 5};
+  Rng ra(31);
+  Rng rb(31);
+  ra.Shuffle(&a);
+  rb.Shuffle(&b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sitm

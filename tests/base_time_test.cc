@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "base/time.h"
+
+namespace sitm {
+namespace {
+
+TEST(DurationTest, Factories) {
+  EXPECT_EQ(Duration::Seconds(90).seconds(), 90);
+  EXPECT_EQ(Duration::Minutes(2).seconds(), 120);
+  EXPECT_EQ(Duration::Hours(3).seconds(), 10800);
+  EXPECT_EQ(Duration::Zero().seconds(), 0);
+}
+
+TEST(DurationTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Duration::Seconds(90).minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(5400).hours(), 1.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ(Duration::Minutes(2) + Duration::Seconds(5),
+            Duration::Seconds(125));
+  EXPECT_EQ(Duration::Minutes(2) - Duration::Seconds(5),
+            Duration::Seconds(115));
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Seconds(1), Duration::Seconds(2));
+  EXPECT_GT(Duration::Minutes(1), Duration::Seconds(59));
+  EXPECT_LE(Duration::Zero(), Duration::Zero());
+  EXPECT_GE(Duration::Hours(1), Duration::Minutes(60));
+}
+
+TEST(DurationTest, ToStringMatchesPaperNotation) {
+  // §4.1 reports 7 h 41 min 37 s as the longest visit.
+  EXPECT_EQ(Duration(7 * 3600 + 41 * 60 + 37).ToString(), "7:41:37");
+  EXPECT_EQ(Duration::Zero().ToString(), "0:00:00");
+  EXPECT_EQ(Duration::Seconds(-3661).ToString(), "-1:01:01");
+  EXPECT_EQ(Duration::Hours(100).ToString(), "100:00:00");
+}
+
+TEST(TimestampTest, FromCivilEpoch) {
+  const auto t = Timestamp::FromCivil(1970, 1, 1, 0, 0, 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->seconds_since_epoch(), 0);
+}
+
+TEST(TimestampTest, FromCivilKnownDate) {
+  // 2017-01-19 is the dataset collection start (§4.1).
+  const auto t = Timestamp::FromCivil(2017, 1, 19, 0, 0, 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->seconds_since_epoch(), 1484784000);
+}
+
+TEST(TimestampTest, FromCivilValidatesMonth) {
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 0, 1, 0, 0, 0).ok());
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 13, 1, 0, 0, 0).ok());
+}
+
+TEST(TimestampTest, FromCivilValidatesDayPerMonth) {
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 2, 29, 0, 0, 0).ok());
+  EXPECT_TRUE(Timestamp::FromCivil(2016, 2, 29, 0, 0, 0).ok());  // leap
+  EXPECT_TRUE(Timestamp::FromCivil(2000, 2, 29, 0, 0, 0).ok());  // 400-year
+  EXPECT_FALSE(Timestamp::FromCivil(1900, 2, 29, 0, 0, 0).ok());  // 100-year
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 4, 31, 0, 0, 0).ok());
+}
+
+TEST(TimestampTest, FromCivilValidatesTimeOfDay) {
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 1, 1, 24, 0, 0).ok());
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 1, 1, 0, 60, 0).ok());
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 1, 1, 0, 0, 60).ok());
+  EXPECT_FALSE(Timestamp::FromCivil(2017, 1, 1, -1, 0, 0).ok());
+}
+
+TEST(TimestampTest, ParseAndToStringRoundTrip) {
+  const auto t = Timestamp::Parse("2017-05-29 14:28:00");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ToString(), "2017-05-29 14:28:00");
+}
+
+TEST(TimestampTest, ParseAcceptsIsoT) {
+  const auto t = Timestamp::Parse("2017-05-29T14:28:00");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ToString(), "2017-05-29 14:28:00");
+}
+
+TEST(TimestampTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Timestamp::Parse("").ok());
+  EXPECT_FALSE(Timestamp::Parse("2017-05-29").ok());
+  EXPECT_FALSE(Timestamp::Parse("2017/05/29 14:28:00").ok());
+  EXPECT_FALSE(Timestamp::Parse("2017-05-29 14-28-00").ok());
+  EXPECT_FALSE(Timestamp::Parse("2017-05-29 14:28:0x").ok());
+  EXPECT_FALSE(Timestamp::Parse("2017-13-29 14:28:00").ok());
+}
+
+TEST(TimestampTest, TimeOfDayString) {
+  const auto t = Timestamp::FromCivil(2017, 2, 3, 17, 30, 21);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->TimeOfDayString(), "17:30:21");
+}
+
+TEST(TimestampTest, Arithmetic) {
+  const Timestamp t = *Timestamp::FromCivil(2017, 1, 19, 11, 30, 0);
+  const Timestamp u = t + Duration::Minutes(2) + Duration::Seconds(35);
+  EXPECT_EQ(u.TimeOfDayString(), "11:32:35");
+  EXPECT_EQ((u - t).seconds(), 155);
+  EXPECT_EQ(u - Duration::Seconds(155), t);
+}
+
+TEST(TimestampTest, ComparisonOperators) {
+  const Timestamp a = *Timestamp::FromCivil(2017, 1, 19, 0, 0, 0);
+  const Timestamp b = a + Duration::Seconds(1);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(TimestampTest, NegativeTimesFormatCorrectly) {
+  const Timestamp before_epoch(-1);
+  EXPECT_EQ(before_epoch.ToString(), "1969-12-31 23:59:59");
+}
+
+// Property sweep: civil -> epoch -> civil is the identity over a wide
+// date range (month ends, leap days, century boundaries).
+struct CivilCase {
+  int year, month, day;
+};
+
+class TimestampRoundTrip : public ::testing::TestWithParam<CivilCase> {};
+
+TEST_P(TimestampRoundTrip, CivilEpochCivil) {
+  const CivilCase c = GetParam();
+  const auto t = Timestamp::FromCivil(c.year, c.month, c.day, 13, 7, 9);
+  ASSERT_TRUE(t.ok());
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "%04d-%02d-%02d 13:07:09", c.year,
+                c.month, c.day);
+  EXPECT_EQ(t->ToString(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dates, TimestampRoundTrip,
+    ::testing::Values(CivilCase{1970, 1, 1}, CivilCase{1999, 12, 31},
+                      CivilCase{2000, 1, 1}, CivilCase{2000, 2, 29},
+                      CivilCase{2016, 2, 29}, CivilCase{2017, 1, 19},
+                      CivilCase{2017, 5, 29}, CivilCase{2024, 2, 29},
+                      CivilCase{2026, 6, 9}, CivilCase{2100, 3, 1},
+                      CivilCase{1969, 7, 20}, CivilCase{1904, 2, 29}));
+
+}  // namespace
+}  // namespace sitm

@@ -1,0 +1,103 @@
+// Property tests: the builder must produce valid trajectories and
+// conserve records under arbitrary (adversarial) detection streams.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/builder.h"
+
+namespace sitm::core {
+namespace {
+
+std::vector<RawDetection> RandomDetections(Rng* rng, std::size_t count) {
+  std::vector<RawDetection> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ObjectId object(rng->NextInt(1, 5));
+    const CellId cell(rng->NextInt(1, 8));
+    const Timestamp start(rng->NextInt(0, 50000));
+    // Mix of zero-duration, short, long, and overlapping records.
+    const Timestamp end = start + Duration::Seconds(rng->NextInt(0, 4000));
+    out.emplace_back(object, cell, start, end);
+  }
+  return out;
+}
+
+class BuilderPropertySweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BuilderPropertySweep, AllOutputsAreValidTrajectories) {
+  Rng rng(GetParam());
+  TrajectoryBuilder builder;
+  const auto result = builder.Build(RandomDetections(&rng, 300));
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const SemanticTrajectory& t : *result) {
+    EXPECT_TRUE(t.Validate().ok()) << t.ToString();
+    EXPECT_TRUE(t.trace().Validate().ok());
+  }
+}
+
+TEST_P(BuilderPropertySweep, TrajectoryIdsAreSequentialAndUnique) {
+  Rng rng(GetParam());
+  TrajectoryBuilder builder;
+  const auto result = builder.Build(RandomDetections(&rng, 200));
+  ASSERT_TRUE(result.ok());
+  std::set<std::int64_t> ids;
+  for (const SemanticTrajectory& t : *result) {
+    EXPECT_TRUE(ids.insert(t.id().value()).second);
+  }
+}
+
+TEST_P(BuilderPropertySweep, OutputIsSortedByObjectThenTime) {
+  Rng rng(GetParam());
+  TrajectoryBuilder builder;
+  const auto result = builder.Build(RandomDetections(&rng, 200));
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->size(); ++i) {
+    const SemanticTrajectory& prev = (*result)[i - 1];
+    const SemanticTrajectory& cur = (*result)[i];
+    if (prev.object() == cur.object()) {
+      EXPECT_LT(prev.end(), cur.start());
+    } else {
+      EXPECT_LT(prev.object(), cur.object());
+    }
+  }
+}
+
+TEST_P(BuilderPropertySweep, DeterministicForIdenticalInput) {
+  Rng rng_a(GetParam());
+  Rng rng_b(GetParam());
+  TrajectoryBuilder builder_a;
+  TrajectoryBuilder builder_b;
+  const auto a = builder_a.Build(RandomDetections(&rng_a, 150));
+  const auto b = builder_b.Build(RandomDetections(&rng_b, 150));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].trace().size(), (*b)[i].trace().size());
+    EXPECT_EQ((*a)[i].object(), (*b)[i].object());
+  }
+}
+
+TEST_P(BuilderPropertySweep, SessionGapIsRespected) {
+  Rng rng(GetParam());
+  BuilderOptions options;
+  options.session_gap = Duration::Minutes(30);
+  TrajectoryBuilder builder(options);
+  const auto result = builder.Build(RandomDetections(&rng, 200));
+  ASSERT_TRUE(result.ok());
+  for (const SemanticTrajectory& t : *result) {
+    const auto& intervals = t.trace().intervals();
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_LE((intervals[i].start() - intervals[i - 1].end()).seconds(),
+                options.session_gap.seconds());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderPropertySweep,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99999u,
+                                           20170119u));
+
+}  // namespace
+}  // namespace sitm::core

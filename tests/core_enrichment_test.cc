@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/enrichment.h"
+
+namespace sitm::core {
+namespace {
+
+indoor::Nrg MuseumFloor() {
+  indoor::Nrg g;
+  indoor::CellSpace gallery(CellId(1), "Italian Gallery",
+                            indoor::CellClass::kRoom);
+  gallery.SetAttribute("theme", "Italian Paintings");
+  indoor::CellSpace stairs(CellId(2), "Main Stairs",
+                           indoor::CellClass::kStaircase);
+  indoor::CellSpace shop(CellId(3), "Museum Shop", indoor::CellClass::kRoom);
+  shop.SetAttribute("theme", "Souvenirs");
+  EXPECT_TRUE(g.AddCell(std::move(gallery)).ok());
+  EXPECT_TRUE(g.AddCell(std::move(stairs)).ok());
+  EXPECT_TRUE(g.AddCell(std::move(shop)).ok());
+  return g;
+}
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  return p;
+}
+
+SemanticTrajectory Visit() {
+  return SemanticTrajectory(
+      TrajectoryId(1), ObjectId(7),
+      Trace({Pi(1, 0, 1200), Pi(2, 1210, 1240), Pi(3, 1250, 1800)}),
+      AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+}
+
+TEST(EnrichmentTest, AttributeRuleFiresOnMatchingCells) {
+  SemanticTrajectory t = Visit();
+  const indoor::Nrg g = MuseumFloor();
+  const auto report = EnrichTrajectory(
+      &t, g,
+      {AnnotateWhereAttribute(
+          "theme", "Italian Paintings",
+          {AnnotationKind::kActivity, "art viewing"})});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->tuples_touched, 1u);
+  EXPECT_EQ(report->annotations_added, 1u);
+  EXPECT_TRUE(t.trace().at(0).annotations.Contains(AnnotationKind::kActivity,
+                                                   "art viewing"));
+  EXPECT_TRUE(t.trace().at(1).annotations.empty());
+}
+
+TEST(EnrichmentTest, ClassRuleAnnotatesStaircases) {
+  SemanticTrajectory t = Visit();
+  const indoor::Nrg g = MuseumFloor();
+  ASSERT_TRUE(EnrichTrajectory(
+                  &t, g,
+                  {AnnotateWhereClass(indoor::CellClass::kStaircase,
+                                      {AnnotationKind::kBehavior, "transit"})})
+                  .ok());
+  EXPECT_TRUE(t.trace().at(1).annotations.Contains(AnnotationKind::kBehavior,
+                                                   "transit"));
+  EXPECT_FALSE(t.trace().at(0).annotations.Contains(
+      AnnotationKind::kBehavior, "transit"));
+}
+
+TEST(EnrichmentTest, StopsAndMovesThresholding) {
+  SemanticTrajectory t = Visit();
+  const indoor::Nrg g = MuseumFloor();
+  ASSERT_TRUE(
+      EnrichTrajectory(&t, g,
+                       {AnnotateStopsAndMoves(
+                           Duration::Minutes(5),
+                           {AnnotationKind::kBehavior, "stop"},
+                           {AnnotationKind::kBehavior, "move"})})
+          .ok());
+  EXPECT_TRUE(t.trace().at(0).annotations.Contains(AnnotationKind::kBehavior,
+                                                   "stop"));  // 20 min
+  EXPECT_TRUE(t.trace().at(1).annotations.Contains(AnnotationKind::kBehavior,
+                                                   "move"));  // 30 s
+  EXPECT_TRUE(t.trace().at(2).annotations.Contains(AnnotationKind::kBehavior,
+                                                   "stop"));
+}
+
+TEST(EnrichmentTest, FinalExitRuleOnlyFiresOnLastTuple) {
+  SemanticTrajectory t = Visit();
+  const indoor::Nrg g = MuseumFloor();
+  ASSERT_TRUE(EnrichTrajectory(
+                  &t, g,
+                  {AnnotateFinalExit({CellId(3)},
+                                     {AnnotationKind::kGoal, "museumExit"})})
+                  .ok());
+  EXPECT_TRUE(t.trace().at(2).annotations.Contains(AnnotationKind::kGoal,
+                                                   "museumExit"));
+  EXPECT_FALSE(
+      t.trace().at(0).annotations.Contains(AnnotationKind::kGoal,
+                                           "museumExit"));
+  // If the visit does not end at an exit, the rule stays silent.
+  SemanticTrajectory other = Visit();
+  ASSERT_TRUE(EnrichTrajectory(
+                  &other, g,
+                  {AnnotateFinalExit({CellId(2)},
+                                     {AnnotationKind::kGoal, "museumExit"})})
+                  .ok());
+  EXPECT_FALSE(other.trace().at(2).annotations.Contains(
+      AnnotationKind::kGoal, "museumExit"));
+}
+
+TEST(EnrichmentTest, MultipleRulesCompose) {
+  SemanticTrajectory t = Visit();
+  const indoor::Nrg g = MuseumFloor();
+  const auto report = EnrichTrajectory(
+      &t, g,
+      {AnnotateWhereAttribute("theme", "Souvenirs",
+                              {AnnotationKind::kGoal, "buy"}),
+       AnnotateFinalExit({CellId(3)}, {AnnotationKind::kGoal, "museumExit"}),
+       AnnotateStopsAndMoves(Duration::Minutes(5),
+                             {AnnotationKind::kBehavior, "stop"},
+                             {AnnotationKind::kBehavior, "move"})});
+  ASSERT_TRUE(report.ok());
+  // The shop stay collects buy + museumExit + stop.
+  const AnnotationSet& shop = t.trace().at(2).annotations;
+  EXPECT_TRUE(shop.Contains(AnnotationKind::kGoal, "buy"));
+  EXPECT_TRUE(shop.Contains(AnnotationKind::kGoal, "museumExit"));
+  EXPECT_TRUE(shop.Contains(AnnotationKind::kBehavior, "stop"));
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(EnrichmentTest, EnrichmentIsIdempotent) {
+  SemanticTrajectory t = Visit();
+  const indoor::Nrg g = MuseumFloor();
+  const std::vector<EnrichmentRule> rules = {AnnotateWhereClass(
+      indoor::CellClass::kStaircase, {AnnotationKind::kBehavior, "transit"})};
+  ASSERT_TRUE(EnrichTrajectory(&t, g, rules).ok());
+  const auto second = EnrichTrajectory(&t, g, rules);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->annotations_added, 0u);
+  EXPECT_EQ(second->tuples_touched, 0u);
+}
+
+TEST(EnrichmentTest, RejectsBadInput) {
+  const indoor::Nrg g = MuseumFloor();
+  EXPECT_FALSE(EnrichTrajectory(nullptr, g, {}).ok());
+  SemanticTrajectory invalid(TrajectoryId(1), ObjectId(1), Trace{},
+                             AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  EXPECT_FALSE(EnrichTrajectory(&invalid, g, {}).ok());
+  SemanticTrajectory t = Visit();
+  EnrichmentRule broken;
+  broken.name = "broken";
+  EXPECT_FALSE(EnrichTrajectory(&t, g, {broken}).ok());
+}
+
+TEST(EnrichmentTest, UnknownCellsAreSilentlySkippedByContextRules) {
+  // A trajectory over cells outside the graph: attribute/class rules
+  // simply do not fire (the cell cannot be resolved).
+  SemanticTrajectory t(TrajectoryId(1), ObjectId(7),
+                       Trace({Pi(99, 0, 600)}),
+                       AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  const indoor::Nrg g = MuseumFloor();
+  const auto report = EnrichTrajectory(
+      &t, g,
+      {AnnotateWhereAttribute("theme", "Souvenirs",
+                              {AnnotationKind::kGoal, "buy"})});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->annotations_added, 0u);
+}
+
+}  // namespace
+}  // namespace sitm::core

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/episode.h"
+
+namespace sitm::core {
+namespace {
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end,
+                    AnnotationSet annotations = {}) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  p.annotations = std::move(annotations);
+  return p;
+}
+
+// The paper's Fig. 5 walk: E(87) -> P(88) -> S(90) -> C(91), goal-
+// annotated so the whole part carries "exit museum" while E->P->S also
+// carries "buy souvenir".
+SemanticTrajectory Fig5Visit() {
+  const AnnotationSet exit_only{{AnnotationKind::kGoal, "exit museum"}};
+  const AnnotationSet exit_and_buy{{AnnotationKind::kGoal, "exit museum"},
+                                   {AnnotationKind::kGoal, "buy souvenir"}};
+  return SemanticTrajectory(
+      TrajectoryId(5), ObjectId(9),
+      Trace({Pi(87, 0, 600, exit_and_buy), Pi(88, 620, 700, exit_and_buy),
+             Pi(90, 710, 1500, exit_and_buy), Pi(91, 1510, 1600, exit_only)}),
+      AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+}
+
+TEST(EpisodeTest, IntervalInParent) {
+  const SemanticTrajectory t = Fig5Visit();
+  const Episode ep("x", 1, 3, AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  const auto iv = ep.IntervalIn(t);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->start(), Timestamp(620));
+  EXPECT_EQ(iv->end(), Timestamp(1500));
+  const Episode bad("x", 2, 9, {});
+  EXPECT_FALSE(bad.IntervalIn(t).ok());
+  const Episode empty("x", 2, 2, {});
+  EXPECT_FALSE(empty.IntervalIn(t).ok());
+}
+
+TEST(EpisodePredicateTest, ForAllTuplesLiftsPointwiseConditions) {
+  const SemanticTrajectory t = Fig5Visit();
+  const EpisodePredicate all_long = ForAllTuples(StayAtLeast(
+      Duration::Seconds(100)));
+  EXPECT_FALSE(all_long(t, 0, 4));  // tuple 1 lasts only 80 s
+  EXPECT_TRUE(all_long(t, 2, 3));
+  EXPECT_FALSE(all_long(t, 2, 2));  // empty range is vacuously invalid
+  EXPECT_FALSE(all_long(t, 3, 9));  // out of range
+}
+
+TEST(EpisodePredicateTest, InCellsAndHasAnnotation) {
+  const SemanticTrajectory t = Fig5Visit();
+  const TupleCondition in_shops = InCells({CellId(90), CellId(91)});
+  EXPECT_FALSE(in_shops(t, 0));
+  EXPECT_TRUE(in_shops(t, 2));
+  const TupleCondition buying =
+      HasAnnotation(AnnotationKind::kGoal, "buy souvenir");
+  EXPECT_TRUE(buying(t, 0));
+  EXPECT_FALSE(buying(t, 3));
+}
+
+TEST(ValidateEpisodeTest, ChecksAllThreeConditions) {
+  const SemanticTrajectory t = Fig5Visit();
+  const EpisodePredicate buying = ForAllTuples(
+      HasAnnotation(AnnotationKind::kGoal, "buy souvenir"));
+  // Valid: proper range, annotations differ from parent, predicate true.
+  const Episode good("buy souvenir", 0, 3,
+                     AnnotationSet{{AnnotationKind::kGoal, "buy souvenir"}});
+  EXPECT_TRUE(ValidateEpisode(t, good, buying).ok());
+  // (2) violated: same annotations as the parent trajectory.
+  const Episode same_annotations(
+      "dup", 0, 3, AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  EXPECT_EQ(ValidateEpisode(t, same_annotations, buying).code(),
+            StatusCode::kFailedPrecondition);
+  // (3) violated: predicate fails on tuple 3.
+  const Episode predicate_fails(
+      "buy souvenir", 0, 4,
+      AnnotationSet{{AnnotationKind::kGoal, "buy souvenir"}});
+  EXPECT_FALSE(ValidateEpisode(t, predicate_fails, buying).ok());
+}
+
+TEST(ExtractMaximalEpisodesTest, FindsMaximalRuns) {
+  const SemanticTrajectory t = Fig5Visit();
+  // Stays >= 100 s: tuples 0, 2 qualify; tuple 1 (80 s) and 3 (90 s)
+  // break the runs.
+  const std::vector<Episode> stops = ExtractMaximalEpisodes(
+      t, StayAtLeast(Duration::Seconds(100)), "stop",
+      AnnotationSet{{AnnotationKind::kBehavior, "stopping"}});
+  ASSERT_EQ(stops.size(), 2u);
+  EXPECT_EQ(stops[0].begin, 0u);
+  EXPECT_EQ(stops[0].end, 1u);
+  EXPECT_EQ(stops[1].begin, 2u);
+  EXPECT_EQ(stops[1].end, 3u);
+  EXPECT_EQ(stops[0].label, "stop");
+}
+
+TEST(ExtractMaximalEpisodesTest, WholeTraceRunIsShrunk) {
+  // If the condition holds everywhere the run must be trimmed to stay a
+  // proper subtrajectory.
+  const SemanticTrajectory t = Fig5Visit();
+  const std::vector<Episode> all = ExtractMaximalEpisodes(
+      t, [](const SemanticTrajectory&, std::size_t) { return true; }, "all",
+      AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].begin, 0u);
+  EXPECT_EQ(all[0].end, t.trace().size() - 1);
+}
+
+TEST(ExtractMaximalEpisodesTest, NoMatchesNoEpisodes) {
+  const SemanticTrajectory t = Fig5Visit();
+  EXPECT_TRUE(ExtractMaximalEpisodes(
+                  t, StayAtLeast(Duration::Hours(10)), "never",
+                  AnnotationSet{{AnnotationKind::kGoal, "g"}})
+                  .empty());
+}
+
+TEST(SegmentationTest, Fig5OverlappingEpisodesAreAValidSegmentation) {
+  // "we may tag the whole E->P->S->C part with the 'exit museum' goal
+  // and its E->P->S subsequence with the 'buy souvenir' tag" — the two
+  // episodes overlap in time and together cover the trajectory.
+  const SemanticTrajectory t = Fig5Visit();
+  std::vector<Episode> episodes;
+  episodes.emplace_back("exit museum", 0, 4,
+                        AnnotationSet{{AnnotationKind::kGoal, "exit museum"}});
+  episodes.emplace_back(
+      "buy souvenir", 0, 3,
+      AnnotationSet{{AnnotationKind::kGoal, "buy souvenir"}});
+  // The full-range episode is not proper; shrink the exit episode to
+  // start at tuple 1 instead (still covers when combined with the buy
+  // episode starting at tuple 0).
+  episodes[0].begin = 1;
+  const auto seg = EpisodicSegmentation::Make(&t, episodes);
+  ASSERT_TRUE(seg.ok()) << seg.status();
+  EXPECT_TRUE(seg->HasOverlaps());
+  const auto pairs = seg->OverlappingPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+}
+
+TEST(SegmentationTest, RejectsNonCoveringEpisodeSets) {
+  const SemanticTrajectory t = Fig5Visit();
+  std::vector<Episode> episodes;
+  episodes.emplace_back("start only", 0, 1,
+                        AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  EXPECT_EQ(EpisodicSegmentation::Make(&t, episodes).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SegmentationTest, RejectsEpisodesEqualToParentAnnotations) {
+  const SemanticTrajectory t = Fig5Visit();
+  std::vector<Episode> episodes;
+  episodes.emplace_back("a", 0, 3,
+                        AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  episodes.emplace_back("b", 2, 4,
+                        AnnotationSet{{AnnotationKind::kGoal, "x"}});
+  EXPECT_FALSE(EpisodicSegmentation::Make(&t, episodes).ok());
+}
+
+TEST(SegmentationTest, RejectsEmptyAndNull) {
+  const SemanticTrajectory t = Fig5Visit();
+  EXPECT_FALSE(EpisodicSegmentation::Make(&t, {}).ok());
+  EXPECT_FALSE(EpisodicSegmentation::Make(nullptr, {}).ok());
+}
+
+TEST(SegmentationTest, NonOverlappingSegmentationHasNoPairs) {
+  const SemanticTrajectory t = Fig5Visit();
+  std::vector<Episode> episodes;
+  episodes.emplace_back("first half", 0, 2,
+                        AnnotationSet{{AnnotationKind::kGoal, "a"}});
+  episodes.emplace_back("second half", 2, 4,
+                        AnnotationSet{{AnnotationKind::kGoal, "b"}});
+  const auto seg = EpisodicSegmentation::Make(&t, episodes);
+  ASSERT_TRUE(seg.ok()) << seg.status();
+  EXPECT_FALSE(seg->HasOverlaps());
+}
+
+}  // namespace
+}  // namespace sitm::core

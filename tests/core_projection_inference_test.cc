@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "core/projection.h"
+
+namespace sitm::core {
+namespace {
+
+using indoor::CellClass;
+using indoor::CellSpace;
+using indoor::EdgeType;
+using indoor::LayerHierarchy;
+using indoor::LayerKind;
+using indoor::MultiLayerGraph;
+using indoor::SpaceLayer;
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end,
+                    AnnotationSet annotations = {}) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  p.annotations = std::move(annotations);
+  return p;
+}
+
+SemanticTrajectory Traj(Trace trace) {
+  return SemanticTrajectory(TrajectoryId(1), ObjectId(7), std::move(trace),
+                            AnnotationSet{{AnnotationKind::kActivity,
+                                           "visit"}});
+}
+
+// Floors {10, 11}; rooms 100, 101 on floor 10 and 110 on floor 11.
+MultiLayerGraph TwoFloorGraph() {
+  MultiLayerGraph g;
+  SpaceLayer floors(LayerId(1), "Floor", LayerKind::kTopographic);
+  for (int f : {10, 11}) {
+    EXPECT_TRUE(floors.mutable_graph()
+                    .AddCell(CellSpace(CellId(f), "floor", CellClass::kFloor))
+                    .ok());
+  }
+  SpaceLayer rooms(LayerId(0), "Room", LayerKind::kTopographic);
+  for (int r : {100, 101, 110}) {
+    EXPECT_TRUE(rooms.mutable_graph()
+                    .AddCell(CellSpace(CellId(r), "room", CellClass::kRoom))
+                    .ok());
+  }
+  EXPECT_TRUE(g.AddLayer(std::move(floors)).ok());
+  EXPECT_TRUE(g.AddLayer(std::move(rooms)).ok());
+  for (auto [floor, room] :
+       {std::pair{10, 100}, {10, 101}, {11, 110}}) {
+    EXPECT_TRUE(g.AddJointEdge(CellId(floor), CellId(room),
+                               qsr::TopologicalRelation::kCovers)
+                    .ok());
+  }
+  return g;
+}
+
+TEST(ProjectionTest, MergesConsecutiveSameParentTuples) {
+  const MultiLayerGraph g = TwoFloorGraph();
+  const auto h = LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok());
+  const SemanticTrajectory t = Traj(Trace(
+      {Pi(100, 0, 100), Pi(101, 120, 300), Pi(110, 320, 400),
+       Pi(101, 420, 500)}));
+  const auto projected = ProjectTrajectory(t, *h, 0);
+  ASSERT_TRUE(projected.ok()) << projected.status();
+  const Trace& trace = projected->trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.at(0).cell, CellId(10));
+  EXPECT_EQ(trace.at(0).start(), Timestamp(0));
+  EXPECT_EQ(trace.at(0).end(), Timestamp(300));  // gap absorbed
+  EXPECT_EQ(trace.at(1).cell, CellId(11));
+  EXPECT_EQ(trace.at(2).cell, CellId(10));
+  EXPECT_TRUE(projected->Validate().ok());
+}
+
+TEST(ProjectionTest, IdentityAtOwnLevel) {
+  const MultiLayerGraph g = TwoFloorGraph();
+  const auto h = LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok());
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(100, 0, 100), Pi(101, 120, 300)}));
+  const auto projected = ProjectTrajectory(t, *h, 1);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->trace().size(), 2u);
+  EXPECT_EQ(projected->trace().at(0).cell, CellId(100));
+}
+
+TEST(ProjectionTest, UnionsAnnotationsOfMergedTuples) {
+  const MultiLayerGraph g = TwoFloorGraph();
+  const auto h = LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok());
+  const SemanticTrajectory t = Traj(
+      Trace({Pi(100, 0, 100, {{AnnotationKind::kGoal, "a"}}),
+             Pi(101, 120, 300, {{AnnotationKind::kGoal, "b"}})}));
+  const auto projected = ProjectTrajectory(t, *h, 0);
+  ASSERT_TRUE(projected.ok());
+  ASSERT_EQ(projected->trace().size(), 1u);
+  EXPECT_TRUE(projected->trace().at(0).annotations.Contains(
+      AnnotationKind::kGoal, "a"));
+  EXPECT_TRUE(projected->trace().at(0).annotations.Contains(
+      AnnotationKind::kGoal, "b"));
+}
+
+TEST(ProjectionTest, InferredOnlyWhenAllSourcesInferred) {
+  const MultiLayerGraph g = TwoFloorGraph();
+  const auto h = LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok());
+  Trace trace({Pi(100, 0, 100), Pi(101, 120, 300)});
+  trace.mutable_intervals()[0].inferred = true;
+  const auto partially = ProjectTrace(trace, *h, 0);
+  ASSERT_TRUE(partially.ok());
+  EXPECT_FALSE(partially->at(0).inferred);
+  trace.mutable_intervals()[1].inferred = true;
+  const auto fully = ProjectTrace(trace, *h, 0);
+  ASSERT_TRUE(fully.ok());
+  EXPECT_TRUE(fully->at(0).inferred);
+}
+
+TEST(ProjectionTest, FailsOnCellsOutsideHierarchy) {
+  const MultiLayerGraph g = TwoFloorGraph();
+  const auto h = LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok());
+  const SemanticTrajectory t = Traj(Trace({Pi(999, 0, 100)}));
+  EXPECT_FALSE(ProjectTrajectory(t, *h, 0).ok());
+  // Rolling a floor-level trace "down" to rooms is not possible.
+  const SemanticTrajectory floors = Traj(Trace({Pi(10, 0, 100)}));
+  EXPECT_FALSE(ProjectTrajectory(floors, *h, 1).ok());
+}
+
+// ---- Inference (the paper's Fig. 6 scenario).
+
+// Zone chain E(87) - P(88) - S(90) - C(91) with a cloakroom dead end
+// (89) off P, exactly like the Napoléon -2 topology.
+indoor::Nrg Fig6Chain() {
+  indoor::Nrg g;
+  for (int id : {87, 88, 89, 90, 91}) {
+    EXPECT_TRUE(
+        g.AddCell(CellSpace(CellId(id), "Zone608" + std::to_string(id),
+                            CellClass::kZone))
+            .ok());
+  }
+  for (auto [a, b] : {std::pair{87, 88}, {88, 89}, {88, 90}, {90, 91}}) {
+    EXPECT_TRUE(g.AddSymmetricEdge(CellId(a), CellId(b),
+                                   EdgeType::kAccessibility)
+                    .ok());
+  }
+  return g;
+}
+
+TEST(InferenceTest, InsertsTheHiddenZonePassage) {
+  // "although never detected there, the visitor must have passed from
+  // Zone60888" — detected in E for [0, 600], then in S at [720, 1500].
+  const indoor::Nrg g = Fig6Chain();
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(87, 0, 600), Pi(90, 720, 1500)}));
+  const auto result = InferHiddenPassages(t, g);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& [completed, report] = *result;
+  EXPECT_EQ(report.inserted, 1);
+  ASSERT_EQ(completed.trace().size(), 3u);
+  const PresenceInterval& hidden = completed.trace().at(1);
+  EXPECT_EQ(hidden.cell, CellId(88));
+  EXPECT_TRUE(hidden.inferred);
+  EXPECT_EQ(hidden.start(), Timestamp(600));
+  EXPECT_EQ(hidden.end(), Timestamp(720));
+  EXPECT_TRUE(completed.Validate().ok());
+  EXPECT_TRUE(completed.trace().ValidateAgainstGraph(g).ok());
+}
+
+TEST(InferenceTest, SplitsGapAmongMultipleHiddenCells) {
+  // E then C: both P and S must be traversed; the 300 s gap is split.
+  const indoor::Nrg g = Fig6Chain();
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(87, 0, 600), Pi(91, 900, 1000)}));
+  const auto result = InferHiddenPassages(t, g);
+  ASSERT_TRUE(result.ok());
+  const auto& [completed, report] = *result;
+  EXPECT_EQ(report.inserted, 2);
+  ASSERT_EQ(completed.trace().size(), 4u);
+  EXPECT_EQ(completed.trace().at(1).cell, CellId(88));
+  EXPECT_EQ(completed.trace().at(2).cell, CellId(90));
+  EXPECT_EQ(completed.trace().at(1).interval.length().seconds(), 150);
+  EXPECT_EQ(completed.trace().at(2).interval.length().seconds(), 150);
+}
+
+TEST(InferenceTest, ZeroGapYieldsZeroLengthInferredStays) {
+  const indoor::Nrg g = Fig6Chain();
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(87, 0, 600), Pi(90, 600, 700)}));
+  const auto result = InferHiddenPassages(t, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->second.inserted, 1);
+  EXPECT_EQ(result->first.trace().at(1).duration().seconds(), 0);
+}
+
+TEST(InferenceTest, DirectNeighborsNeedNoInference) {
+  const indoor::Nrg g = Fig6Chain();
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(87, 0, 600), Pi(88, 620, 700)}));
+  const auto result = InferHiddenPassages(t, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->second.inserted, 0);
+  EXPECT_EQ(result->second.already_consistent, 1);
+  EXPECT_EQ(result->first.trace().size(), 2u);
+}
+
+TEST(InferenceTest, AmbiguousPathsAreLeftUntouched) {
+  // Add a parallel corridor E - X - S: two shortest chains, no certain
+  // inference.
+  indoor::Nrg g = Fig6Chain();
+  ASSERT_TRUE(
+      g.AddCell(CellSpace(CellId(95), "corridor", CellClass::kCorridor))
+          .ok());
+  ASSERT_TRUE(g.AddSymmetricEdge(CellId(87), CellId(95),
+                                 EdgeType::kAccessibility)
+                  .ok());
+  ASSERT_TRUE(g.AddSymmetricEdge(CellId(95), CellId(90),
+                                 EdgeType::kAccessibility)
+                  .ok());
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(87, 0, 600), Pi(90, 720, 1500)}));
+  const auto result = InferHiddenPassages(t, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->second.inserted, 0);
+  EXPECT_EQ(result->second.ambiguous, 1);
+  EXPECT_EQ(result->first.trace().size(), 2u);
+}
+
+TEST(InferenceTest, DisconnectedPairsAreCounted) {
+  indoor::Nrg g = Fig6Chain();
+  ASSERT_TRUE(
+      g.AddCell(CellSpace(CellId(99), "island", CellClass::kRoom)).ok());
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(87, 0, 600), Pi(99, 720, 800)}));
+  const auto result = InferHiddenPassages(t, g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->second.disconnected, 1);
+}
+
+TEST(InferenceTest, CustomAnnotationsOnInferredTuples) {
+  InferenceOptions options;
+  options.inferred_annotations =
+      AnnotationSet{{AnnotationKind::kGoal, "cloakroomPickup"}};
+  const indoor::Nrg g = Fig6Chain();
+  const SemanticTrajectory t =
+      Traj(Trace({Pi(87, 0, 600), Pi(90, 720, 1500)}));
+  const auto result = InferHiddenPassages(t, g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->first.trace().at(1).annotations.Contains(
+      AnnotationKind::kGoal, "cloakroomPickup"));
+}
+
+TEST(GapClassificationTest, HolesVsSemanticGaps) {
+  // A gap next to an exit zone is intentional (the visitor left); other
+  // gaps are accidental holes (§2.2).
+  const Trace trace({Pi(87, 0, 600), Pi(88, 800, 1200),
+                     Pi(90, 5000, 5600), Pi(88, 9000, 9100)});
+  const std::unordered_set<CellId> exits{CellId(90)};
+  const auto gaps = ClassifyGaps(trace, Duration::Minutes(5), exits);
+  ASSERT_EQ(gaps.size(), 2u);
+  // 600 -> 800 is only 200 s < 5 min: not a gap at all.
+  EXPECT_EQ(gaps[0].after_index, 1u);
+  EXPECT_EQ(gaps[0].kind, GapKind::kSemanticGap);  // next cell is an exit
+  EXPECT_EQ(gaps[1].after_index, 2u);
+  EXPECT_EQ(gaps[1].kind, GapKind::kSemanticGap);  // previous is an exit
+  const auto no_exit_gaps = ClassifyGaps(trace, Duration::Minutes(5), {});
+  EXPECT_EQ(no_exit_gaps[0].kind, GapKind::kHole);
+}
+
+TEST(CandidateCellsTest, DelegatesToJointEdges) {
+  MultiLayerGraph g = TwoFloorGraph();
+  const auto candidates = CandidateCellsAt(g, CellId(10), LayerId(0));
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 2u);
+  EXPECT_FALSE(CandidateCellsAt(g, CellId(999), LayerId(0)).ok());
+  EXPECT_FALSE(CandidateCellsAt(g, CellId(10), LayerId(9)).ok());
+  // A cell without joint edges toward the layer: NotFound.
+  auto rooms = g.MutableLayer(LayerId(0));
+  ASSERT_TRUE((*rooms)
+                  ->mutable_graph()
+                  .AddCell(CellSpace(CellId(120), "new", CellClass::kRoom))
+                  .ok());
+  EXPECT_FALSE(CandidateCellsAt(g, CellId(120), LayerId(1)).ok());
+}
+
+}  // namespace
+}  // namespace sitm::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/trace.h"
+
+namespace sitm::core {
+namespace {
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end,
+                    AnnotationSet annotations = {},
+                    int transition = -1) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.transition = transition >= 0 ? BoundaryId(transition) : BoundaryId();
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  p.annotations = std::move(annotations);
+  return p;
+}
+
+Trace PaperLikeTrace() {
+  // Mirrors the paper's museum-visit example trace shape.
+  return Trace({Pi(1, 0, 155), Pi(3, 160, 600, {}, 12), Pi(6, 640, 1600)});
+}
+
+TEST(TraceTest, AccessorsAndDurations) {
+  const Trace t = PaperLikeTrace();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.start(), Timestamp(0));
+  EXPECT_EQ(t.end(), Timestamp(1600));
+  EXPECT_EQ(t.Span().seconds(), 1600);
+  EXPECT_EQ(t.TotalPresence().seconds(), 155 + 440 + 960);
+  EXPECT_EQ(t.NumTransitions(), 2u);
+}
+
+TEST(TraceTest, EmptyTraceProperties) {
+  const Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Span().seconds(), 0);
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceTest, VisitedCellsAreFirstVisitOrdered) {
+  Trace t({Pi(5, 0, 10), Pi(2, 20, 30), Pi(5, 40, 50)});
+  EXPECT_EQ(t.VisitedCells(), (std::vector<CellId>{CellId(5), CellId(2)}));
+}
+
+TEST(TraceTest, SliceBoundsChecked) {
+  const Trace t = PaperLikeTrace();
+  const auto slice = t.Slice(1, 3);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->size(), 2u);
+  EXPECT_EQ(slice->start(), Timestamp(160));
+  EXPECT_FALSE(t.Slice(2, 2).ok());
+  EXPECT_FALSE(t.Slice(0, 4).ok());
+}
+
+TEST(TraceTest, ValidateAcceptsGaps) {
+  // Temporal gaps are allowed: they are holes or semantic gaps (§2.2).
+  EXPECT_TRUE(PaperLikeTrace().Validate().ok());
+}
+
+TEST(TraceTest, ValidateRejectsTimeTravel) {
+  Trace t({Pi(1, 0, 100), Pi(2, 50, 200)});  // starts before previous end
+  EXPECT_EQ(t.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TraceTest, ValidateRejectsInvalidCell) {
+  Trace t;
+  PresenceInterval p;
+  p.interval = *qsr::TimeInterval::Make(Timestamp(0), Timestamp(1));
+  t.Append(p);  // cell id never set
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceTest, ValidateEnforcesEventBasedModel) {
+  // Two contiguous tuples in the same cell with the same annotations are
+  // one event and must be a single tuple (§3.3).
+  Trace t({Pi(1, 0, 100), Pi(1, 100, 200)});
+  EXPECT_EQ(t.Validate().code(), StatusCode::kFailedPrecondition);
+  // With different annotations it is a legitimate event boundary --
+  // the paper's room006 goal change.
+  Trace ok({Pi(1, 0, 100),
+            Pi(1, 100, 200, {{AnnotationKind::kGoal, "buy"}})});
+  EXPECT_TRUE(ok.Validate().ok());
+  // Same cell after a gap is a revisit, not a duplicate event.
+  Trace revisit({Pi(1, 0, 100), Pi(1, 200, 300)});
+  EXPECT_TRUE(revisit.Validate().ok());
+}
+
+TEST(TraceTest, ValidateAllowsZeroLengthStay) {
+  // Zero-duration presence is representable (instantaneous crossing);
+  // filtering them is the builder's job, not the model's.
+  Trace t({Pi(1, 0, 0), Pi(2, 10, 20)});
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TraceTest, ValidateAgainstGraphChecksAccessibility) {
+  indoor::Nrg g;
+  for (int id : {1, 3, 6}) {
+    ASSERT_TRUE(
+        g.AddCell(indoor::CellSpace(CellId(id), "c", indoor::CellClass::kRoom))
+            .ok());
+  }
+  ASSERT_TRUE(g.AddBoundary({BoundaryId(12), "door012",
+                             indoor::BoundaryType::kDoor})
+                  .ok());
+  ASSERT_TRUE(g.AddSymmetricEdge(CellId(1), CellId(3),
+                                 indoor::EdgeType::kAccessibility,
+                                 BoundaryId(12))
+                  .ok());
+  ASSERT_TRUE(g.AddSymmetricEdge(CellId(3), CellId(6),
+                                 indoor::EdgeType::kAccessibility)
+                  .ok());
+  EXPECT_TRUE(PaperLikeTrace().ValidateAgainstGraph(g).ok());
+
+  // A trace jumping 1 -> 6 directly has no supporting edge.
+  Trace teleport({Pi(1, 0, 10), Pi(6, 20, 30)});
+  EXPECT_EQ(teleport.ValidateAgainstGraph(g).code(),
+            StatusCode::kFailedPrecondition);
+
+  // A declared transition must match an actual edge boundary.
+  Trace wrong_door({Pi(1, 0, 10), Pi(3, 20, 30, {}, 99)});
+  EXPECT_EQ(wrong_door.ValidateAgainstGraph(g).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Unknown cells are reported.
+  Trace alien({Pi(42, 0, 10)});
+  EXPECT_EQ(alien.ValidateAgainstGraph(g).code(), StatusCode::kNotFound);
+}
+
+TEST(TraceTest, ToStringRendersTuples) {
+  const std::string s = PaperLikeTrace().ToString();
+  EXPECT_NE(s.find("cell#1"), std::string::npos);
+  EXPECT_NE(s.find("e#12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sitm::core

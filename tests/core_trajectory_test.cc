@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "core/trajectory.h"
+
+namespace sitm::core {
+namespace {
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end,
+                    AnnotationSet annotations = {}) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  p.annotations = std::move(annotations);
+  return p;
+}
+
+SemanticTrajectory Visit() {
+  return SemanticTrajectory(
+      TrajectoryId(1), ObjectId(7),
+      Trace({Pi(1, 0, 100), Pi(2, 110, 300), Pi(3, 310, 500),
+             Pi(4, 510, 900)}),
+      AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+}
+
+TEST(TrajectoryTest, ValidateRequiresNonEmptyAnnotations) {
+  // Def. 3.1: A_traj is a non-empty set.
+  SemanticTrajectory t(TrajectoryId(1), ObjectId(7),
+                       Trace({Pi(1, 0, 100)}), AnnotationSet{});
+  EXPECT_EQ(t.Validate().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(Visit().Validate().ok());
+}
+
+TEST(TrajectoryTest, ValidateRequiresIdsAndTrace) {
+  SemanticTrajectory no_id(TrajectoryId(), ObjectId(7),
+                           Trace({Pi(1, 0, 1)}),
+                           AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  EXPECT_FALSE(no_id.Validate().ok());
+  SemanticTrajectory no_mo(TrajectoryId(1), ObjectId(),
+                           Trace({Pi(1, 0, 1)}),
+                           AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  EXPECT_FALSE(no_mo.Validate().ok());
+  SemanticTrajectory empty_trace(TrajectoryId(1), ObjectId(7), Trace{},
+                                 AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  EXPECT_FALSE(empty_trace.Validate().ok());
+}
+
+TEST(TrajectoryTest, BoundsAndSpan) {
+  const SemanticTrajectory t = Visit();
+  EXPECT_EQ(t.start(), Timestamp(0));
+  EXPECT_EQ(t.end(), Timestamp(900));
+  EXPECT_EQ(t.Span().seconds(), 900);
+}
+
+TEST(SubtrajectoryTest, MiddleSliceIsValid) {
+  const auto sub = Visit().Subtrajectory(
+      1, 3, AnnotationSet{{AnnotationKind::kGoal, "detour"}});
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_EQ(sub->trace().size(), 2u);
+  EXPECT_EQ(sub->object(), ObjectId(7));
+  EXPECT_TRUE(sub->IsSubtrajectoryOf(Visit()));
+}
+
+TEST(SubtrajectoryTest, PrefixAndSuffixAreValid) {
+  // Def. 3.3 allows sharing one bound: t_start <= t'_start < t'_end <
+  // t_end, or the symmetric form.
+  EXPECT_TRUE(Visit()
+                  .Subtrajectory(0, 2,
+                                 AnnotationSet{{AnnotationKind::kGoal, "x"}})
+                  .ok());
+  EXPECT_TRUE(Visit()
+                  .Subtrajectory(2, 4,
+                                 AnnotationSet{{AnnotationKind::kGoal, "x"}})
+                  .ok());
+}
+
+TEST(SubtrajectoryTest, WholeTrajectoryIsNotProper) {
+  EXPECT_EQ(Visit()
+                .Subtrajectory(0, 4,
+                               AnnotationSet{{AnnotationKind::kGoal, "x"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SubtrajectoryTest, NeedsNonEmptyAnnotations) {
+  EXPECT_EQ(Visit().Subtrajectory(1, 3, AnnotationSet{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SubtrajectoryTest, AnnotationsMayEqualParent) {
+  // Contrary to CONSTAnT, a subtrajectory may keep A_traj (§3.3).
+  const auto sub = Visit().Subtrajectory(
+      1, 3, AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  EXPECT_TRUE(sub.ok());
+}
+
+TEST(SubtrajectoryTest, IsSubtrajectoryOfChecksContiguity) {
+  const SemanticTrajectory parent = Visit();
+  // A hand-built trajectory with tuples 1 and 3 skipped over tuple 2 is
+  // not a contiguous subsequence.
+  SemanticTrajectory gappy(
+      TrajectoryId(1), ObjectId(7),
+      Trace({Pi(1, 0, 100), Pi(3, 310, 500)}),
+      AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  EXPECT_FALSE(gappy.IsSubtrajectoryOf(parent));
+  // Different moving object: never a subtrajectory.
+  SemanticTrajectory other_mo(
+      TrajectoryId(2), ObjectId(8), Trace({Pi(2, 110, 300)}),
+      AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  EXPECT_FALSE(other_mo.IsSubtrajectoryOf(parent));
+  // The whole trajectory is not a *proper* subsequence of itself.
+  EXPECT_FALSE(parent.IsSubtrajectoryOf(parent));
+}
+
+TEST(SplitTest, ReproducesTheRoom006Example) {
+  // (door005, room006, 14:12:00, 14:28:00, {goals:[visit]}) splits into
+  // (..., 14:12:00, 14:21:45, {goals:[visit]}) and
+  // (_, room006, 14:21:46, 14:28:00, {goals:[visit,buy]}).
+  const Timestamp start = *Timestamp::FromCivil(2017, 2, 1, 14, 12, 0);
+  const Timestamp split_at = *Timestamp::FromCivil(2017, 2, 1, 14, 21, 45);
+  const Timestamp end = *Timestamp::FromCivil(2017, 2, 1, 14, 28, 0);
+  PresenceInterval p;
+  p.cell = CellId(6);
+  p.transition = BoundaryId(5);
+  p.interval = *qsr::TimeInterval::Make(start, end);
+  p.annotations = AnnotationSet{{AnnotationKind::kGoal, "visit"}};
+  SemanticTrajectory t(TrajectoryId(1), ObjectId(7), Trace({p}),
+                       AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  ASSERT_TRUE(t.SplitIntervalAt(0, split_at,
+                                AnnotationSet{{AnnotationKind::kGoal, "visit"},
+                                              {AnnotationKind::kGoal, "buy"}})
+                  .ok());
+  ASSERT_EQ(t.trace().size(), 2u);
+  EXPECT_EQ(t.trace().at(0).end().TimeOfDayString(), "14:21:45");
+  EXPECT_EQ(t.trace().at(1).start().TimeOfDayString(), "14:21:46");
+  EXPECT_EQ(t.trace().at(1).end(), end);
+  EXPECT_EQ(t.trace().at(1).cell, CellId(6));
+  EXPECT_FALSE(t.trace().at(1).transition.valid());  // "_"
+  EXPECT_EQ(t.trace().at(1).annotations.ValuesOf(AnnotationKind::kGoal),
+            (std::vector<std::string>{"buy", "visit"}));
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(SplitTest, RejectsSplitOutsideInterval) {
+  SemanticTrajectory t = Visit();
+  EXPECT_FALSE(t.SplitIntervalAt(0, Timestamp(100),
+                                 AnnotationSet{{AnnotationKind::kGoal, "x"}})
+                   .ok());  // second part would start past the end
+  EXPECT_FALSE(t.SplitIntervalAt(0, Timestamp(-5),
+                                 AnnotationSet{{AnnotationKind::kGoal, "x"}})
+                   .ok());
+  EXPECT_FALSE(t.SplitIntervalAt(9, Timestamp(50),
+                                 AnnotationSet{{AnnotationKind::kGoal, "x"}})
+                   .ok());  // bad index
+  // Splitting at end-1 is legal: the second part is the final instant.
+  EXPECT_TRUE(t.SplitIntervalAt(0, Timestamp(99),
+                                AnnotationSet{{AnnotationKind::kGoal, "x"}})
+                  .ok());
+  EXPECT_EQ(t.trace().at(1).interval.length().seconds(), 0);
+}
+
+TEST(SplitTest, RejectsNoOpAnnotationChange) {
+  // The event-based model only opens a tuple when something changes.
+  SemanticTrajectory t = Visit();
+  EXPECT_EQ(t.SplitIntervalAt(0, Timestamp(50), AnnotationSet{})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TrajectoryTest, AnnotateInterval) {
+  SemanticTrajectory t = Visit();
+  ASSERT_TRUE(
+      t.AnnotateInterval(2, AnnotationSet{{AnnotationKind::kGoal, "rest"}})
+          .ok());
+  EXPECT_TRUE(t.trace().at(2).annotations.Contains(AnnotationKind::kGoal,
+                                                   "rest"));
+  EXPECT_FALSE(
+      t.AnnotateInterval(9, AnnotationSet{{AnnotationKind::kGoal, "x"}})
+          .ok());
+}
+
+TEST(TrajectoryTest, ToStringMentionsIdsAndAnnotations) {
+  const std::string s = Visit().ToString();
+  EXPECT_NE(s.find("id=1"), std::string::npos);
+  EXPECT_NE(s.find("mo=7"), std::string::npos);
+  EXPECT_NE(s.find("visit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sitm::core

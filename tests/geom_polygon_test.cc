@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "geom/coverage.h"
+#include "geom/grid_index.h"
+#include "geom/polygon.h"
+#include "geom/relate.h"
+
+namespace sitm::geom {
+namespace {
+
+Polygon LShape() {
+  // Concave hexagon: a 4x4 square minus its upper-right 2x2 quadrant.
+  return Polygon({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+}
+
+TEST(PolygonTest, RectangleFactoryNormalizesCorners) {
+  const Polygon r = Polygon::Rectangle(3, 4, 1, 2);
+  EXPECT_DOUBLE_EQ(r.Area(), 4);
+  EXPECT_TRUE(r.IsCounterClockwise());
+}
+
+TEST(PolygonTest, AreaAndPerimeter) {
+  const Polygon r = Polygon::Rectangle(0, 0, 4, 3);
+  EXPECT_DOUBLE_EQ(r.Area(), 12);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 14);
+  EXPECT_DOUBLE_EQ(LShape().Area(), 12);
+}
+
+TEST(PolygonTest, SignedAreaFlipsWithOrientation) {
+  Polygon r = Polygon::Rectangle(0, 0, 2, 2);
+  EXPECT_GT(r.SignedArea(), 0);
+  r.Reverse();
+  EXPECT_LT(r.SignedArea(), 0);
+  EXPECT_DOUBLE_EQ(r.Area(), 4);
+}
+
+TEST(PolygonTest, Centroid) {
+  EXPECT_EQ(Polygon::Rectangle(0, 0, 2, 4).Centroid(), (Point{1, 2}));
+  // The L-shape centroid is pulled toward the filled corner.
+  const Point c = LShape().Centroid();
+  EXPECT_LT(c.x, 2);
+  EXPECT_LT(c.y, 2);
+}
+
+TEST(PolygonTest, BoundsAreTight) {
+  const Box b = LShape().bounds();
+  EXPECT_DOUBLE_EQ(b.min_x, 0);
+  EXPECT_DOUBLE_EQ(b.max_x, 4);
+  EXPECT_DOUBLE_EQ(b.max_y, 4);
+}
+
+TEST(PolygonTest, Convexity) {
+  EXPECT_TRUE(Polygon::Rectangle(0, 0, 1, 1).IsConvex());
+  EXPECT_FALSE(LShape().IsConvex());
+  EXPECT_TRUE(Polygon({{0, 0}, {2, 0}, {1, 2}}).IsConvex());
+}
+
+TEST(PolygonTest, SimpleDetectsBowtie) {
+  const Polygon bowtie({{0, 0}, {2, 2}, {2, 0}, {0, 2}});
+  EXPECT_FALSE(bowtie.IsSimple());
+  EXPECT_FALSE(bowtie.Validate().ok());
+}
+
+TEST(PolygonTest, SimpleAcceptsConcave) {
+  EXPECT_TRUE(LShape().IsSimple());
+  EXPECT_TRUE(LShape().Validate().ok());
+}
+
+TEST(PolygonTest, ValidateRejectsDegenerate) {
+  EXPECT_FALSE(Polygon({{0, 0}, {1, 1}}).Validate().ok());  // 2 vertices
+  EXPECT_FALSE(
+      Polygon({{0, 0}, {1, 0}, {2, 0}}).Validate().ok());  // zero area
+  EXPECT_FALSE(
+      Polygon({{0, 0}, {0, 0}, {1, 1}}).Validate().ok());  // dup vertex
+}
+
+TEST(PolygonTest, MakeValidNormalizesToCounterClockwise) {
+  auto r = Polygon::MakeValid({{0, 0}, {0, 2}, {2, 2}, {2, 0}});  // clockwise
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsCounterClockwise());
+  EXPECT_FALSE(Polygon::MakeValid({{0, 0}, {2, 2}, {2, 0}, {0, 2}}).ok());
+}
+
+TEST(PolygonTest, LocateInsideBoundaryOutside) {
+  const Polygon r = Polygon::Rectangle(0, 0, 4, 4);
+  EXPECT_EQ(r.Locate({2, 2}), Location::kInside);
+  EXPECT_EQ(r.Locate({0, 2}), Location::kBoundary);
+  EXPECT_EQ(r.Locate({4, 4}), Location::kBoundary);  // corner
+  EXPECT_EQ(r.Locate({5, 2}), Location::kOutside);
+  EXPECT_EQ(r.Locate({-1, -1}), Location::kOutside);
+}
+
+TEST(PolygonTest, LocateConcaveNotch) {
+  const Polygon l = LShape();
+  EXPECT_EQ(l.Locate({1, 1}), Location::kInside);
+  EXPECT_EQ(l.Locate({3, 3}), Location::kOutside);  // in the notch
+  EXPECT_EQ(l.Locate({2, 3}), Location::kBoundary);
+  EXPECT_EQ(l.Locate({1, 3}), Location::kInside);
+}
+
+TEST(PolygonTest, ContainsIncludesBoundary) {
+  const Polygon r = Polygon::Rectangle(0, 0, 1, 1);
+  EXPECT_TRUE(r.Contains({0.5, 0.5}));
+  EXPECT_TRUE(r.Contains({1, 0.5}));
+  EXPECT_FALSE(r.Contains({2, 2}));
+}
+
+TEST(PolygonTest, InteriorPointIsInside) {
+  for (const Polygon& poly :
+       {Polygon::Rectangle(0, 0, 1, 1), LShape(),
+        Polygon({{0, 0}, {10, 0}, {10, 1}, {1, 1}, {1, 9}, {10, 9}, {10, 10},
+                 {0, 10}})}) {  // C-shape whose centroid may fall outside
+    const auto p = poly.InteriorPoint();
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(poly.Locate(*p), Location::kInside) << "at " << p->x;
+  }
+}
+
+TEST(PolygonTest, InteriorPointFailsOnInvalid) {
+  EXPECT_FALSE(Polygon({{0, 0}, {1, 0}, {2, 0}}).InteriorPoint().ok());
+}
+
+TEST(PolygonTest, TranslatedPreservesShape) {
+  const Polygon t = LShape().Translated(10, -5);
+  EXPECT_DOUBLE_EQ(t.Area(), 12);
+  EXPECT_EQ(t.Locate({11, -4}), Location::kInside);
+}
+
+TEST(PolygonTest, ScaledAboutCentroidScalesArea) {
+  const Polygon big = Polygon::Rectangle(0, 0, 2, 2).ScaledAboutCentroid(2);
+  EXPECT_DOUBLE_EQ(big.Area(), 16);
+  EXPECT_EQ(big.Centroid(), (Point{1, 1}));
+  const Polygon small = Polygon::Rectangle(0, 0, 2, 2).ScaledAboutCentroid(0.5);
+  EXPECT_DOUBLE_EQ(small.Area(), 1);
+}
+
+TEST(GridIndexTest, BuildRejectsBadInput) {
+  EXPECT_FALSE(GridIndex::Build({}, 8).ok());
+  EXPECT_FALSE(GridIndex::Build({Polygon::Rectangle(0, 0, 1, 1)}, 0).ok());
+  EXPECT_FALSE(
+      GridIndex::Build({Polygon({{0, 0}, {1, 0}, {2, 0}})}, 8).ok());
+}
+
+TEST(GridIndexTest, LocateFindsContainingPolygons) {
+  std::vector<Polygon> cells;
+  for (int i = 0; i < 4; ++i) {
+    cells.push_back(Polygon::Rectangle(i * 10.0, 0, i * 10.0 + 10, 10));
+  }
+  const auto index = GridIndex::Build(std::move(cells), 16);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Locate({15, 5}), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(index->LocateFirst({35, 5}).value(), 3u);
+  EXPECT_TRUE(index->Locate({100, 100}).empty());
+  EXPECT_FALSE(index->LocateFirst({-5, 5}).ok());
+}
+
+TEST(GridIndexTest, BoundaryPointsHitBothNeighbors) {
+  const auto index = GridIndex::Build(
+      {Polygon::Rectangle(0, 0, 10, 10), Polygon::Rectangle(10, 0, 20, 10)},
+      8);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Locate({10, 5}).size(), 2u);  // shared wall
+}
+
+TEST(GridIndexTest, CandidatesFiltersByBoundingBox) {
+  const auto index = GridIndex::Build(
+      {Polygon::Rectangle(0, 0, 10, 10), Polygon::Rectangle(50, 50, 60, 60)},
+      8);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Candidates(Box(1, 1, 2, 2)),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(index->Candidates(Box(0, 0, 60, 60)).size(), 2u);
+  EXPECT_TRUE(index->Candidates(Box(200, 200, 300, 300)).empty());
+}
+
+TEST(CoverageTest, FullPartitionCoversCompletely) {
+  Rng rng(5);
+  const auto report = EstimateCoverage(
+      Polygon::Rectangle(0, 0, 10, 10),
+      {Polygon::Rectangle(0, 0, 5, 10), Polygon::Rectangle(5, 0, 10, 10)},
+      2000, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->coverage_ratio, 1.0);
+  EXPECT_NEAR(report->overlap_ratio, 0.0, 1e-9);
+}
+
+TEST(CoverageTest, PartialCoverageEstimatesFraction) {
+  Rng rng(5);
+  const auto report =
+      EstimateCoverage(Polygon::Rectangle(0, 0, 10, 10),
+                       {Polygon::Rectangle(0, 0, 5, 10)}, 4000, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->coverage_ratio, 0.5, 0.03);
+}
+
+TEST(CoverageTest, DetectsSiblingOverlap) {
+  Rng rng(5);
+  const auto report = EstimateCoverage(
+      Polygon::Rectangle(0, 0, 10, 10),
+      {Polygon::Rectangle(0, 0, 6, 10), Polygon::Rectangle(4, 0, 10, 10)},
+      4000, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->overlap_ratio, 0.2, 0.03);
+}
+
+TEST(CoverageTest, NoChildrenMeansZeroCoverage) {
+  Rng rng(5);
+  const auto report =
+      EstimateCoverage(Polygon::Rectangle(0, 0, 1, 1), {}, 100, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->coverage_ratio, 0.0);
+}
+
+TEST(CoverageTest, DeterministicForFixedSeed) {
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const std::vector<Polygon> children{Polygon::Rectangle(0, 0, 3, 10)};
+  const auto a = EstimateCoverage(Polygon::Rectangle(0, 0, 10, 10), children,
+                                  500, &rng_a);
+  const auto b = EstimateCoverage(Polygon::Rectangle(0, 0, 10, 10), children,
+                                  500, &rng_b);
+  EXPECT_DOUBLE_EQ(a->coverage_ratio, b->coverage_ratio);
+}
+
+TEST(CoverageTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      EstimateCoverage(Polygon::Rectangle(0, 0, 1, 1), {}, 0, &rng).ok());
+  EXPECT_FALSE(
+      EstimateCoverage(Polygon::Rectangle(0, 0, 1, 1), {}, 10, nullptr).ok());
+  EXPECT_FALSE(EstimateCoverage(Polygon({{0, 0}, {1, 0}, {2, 0}}), {}, 10,
+                                &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sitm::geom

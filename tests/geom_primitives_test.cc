@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace sitm::geom {
+namespace {
+
+TEST(PointTest, VectorArithmetic) {
+  const Point p{1, 2};
+  const Point q{3, -1};
+  EXPECT_EQ(p + q, (Point{4, 1}));
+  EXPECT_EQ(p - q, (Point{-2, 3}));
+  EXPECT_EQ(p * 2.0, (Point{2, 4}));
+  EXPECT_EQ(2.0 * p, (Point{2, 4}));
+}
+
+TEST(PointTest, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2}, {3, 4}), 11);
+  EXPECT_DOUBLE_EQ(Cross({1, 0}, {0, 1}), 1);
+  EXPECT_DOUBLE_EQ(Cross({0, 1}, {1, 0}), -1);
+  EXPECT_DOUBLE_EQ(Cross({2, 3}, {4, 6}), 0);  // parallel
+}
+
+TEST(PointTest, Distances) {
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5);
+}
+
+TEST(PointTest, Orientation) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, 1}), 1);   // left turn
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, -1}), -1); // right turn
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(PointTest, NearlyEqualTolerance) {
+  EXPECT_TRUE(NearlyEqual({1, 1}, {1 + 1e-12, 1 - 1e-12}));
+  EXPECT_FALSE(NearlyEqual({1, 1}, {1.001, 1}));
+}
+
+TEST(BoxTest, DefaultIsEmpty) {
+  Box box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.width(), 0);
+  EXPECT_FALSE(box.Contains({0, 0}));
+}
+
+TEST(BoxTest, ExtendGrowsTightly) {
+  Box box;
+  box.Extend({1, 2});
+  box.Extend({-1, 5});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.min_x, -1);
+  EXPECT_DOUBLE_EQ(box.max_x, 1);
+  EXPECT_DOUBLE_EQ(box.min_y, 2);
+  EXPECT_DOUBLE_EQ(box.max_y, 5);
+  EXPECT_EQ(box.center(), (Point{0, 3.5}));
+}
+
+TEST(BoxTest, ExtendWithBox) {
+  Box a(0, 0, 1, 1);
+  a.Extend(Box(2, 2, 3, 3));
+  EXPECT_DOUBLE_EQ(a.max_x, 3);
+  a.Extend(Box());  // empty: no-op
+  EXPECT_DOUBLE_EQ(a.max_x, 3);
+}
+
+TEST(BoxTest, ContainsIncludesBoundary) {
+  const Box box(0, 0, 2, 2);
+  EXPECT_TRUE(box.Contains({1, 1}));
+  EXPECT_TRUE(box.Contains({0, 0}));
+  EXPECT_TRUE(box.Contains({2, 2}));
+  EXPECT_FALSE(box.Contains({2.1, 1}));
+}
+
+TEST(BoxTest, Intersects) {
+  EXPECT_TRUE(Box(0, 0, 2, 2).Intersects(Box(1, 1, 3, 3)));
+  EXPECT_TRUE(Box(0, 0, 2, 2).Intersects(Box(2, 0, 3, 2)));  // touching
+  EXPECT_FALSE(Box(0, 0, 1, 1).Intersects(Box(2, 2, 3, 3)));
+  EXPECT_FALSE(Box().Intersects(Box(0, 0, 1, 1)));
+}
+
+TEST(SegmentTest, BasicProperties) {
+  const Segment s({0, 0}, {3, 4});
+  EXPECT_DOUBLE_EQ(s.Length(), 5);
+  EXPECT_EQ(s.Midpoint(), (Point{1.5, 2}));
+  EXPECT_TRUE(s.bounds().Contains({1, 1}));
+}
+
+TEST(SegmentTest, OnSegment) {
+  const Segment s({0, 0}, {4, 0});
+  EXPECT_TRUE(OnSegment({2, 0}, s));
+  EXPECT_TRUE(OnSegment({0, 0}, s));
+  EXPECT_TRUE(OnSegment({4, 0}, s));
+  EXPECT_FALSE(OnSegment({5, 0}, s));   // collinear but beyond
+  EXPECT_FALSE(OnSegment({2, 0.1}, s)); // off the line
+}
+
+TEST(SegmentTest, ProperCrossing) {
+  const Segment a({0, 0}, {2, 2});
+  const Segment b({0, 2}, {2, 0});
+  EXPECT_EQ(ClassifyIntersection(a, b), SegmentIntersection::kCrossing);
+  EXPECT_TRUE(SegmentsCross(a, b));
+  EXPECT_TRUE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentTest, EndpointTouchIsTouchingNotCrossing) {
+  const Segment a({0, 0}, {2, 0});
+  const Segment b({2, 0}, {3, 5});
+  EXPECT_EQ(ClassifyIntersection(a, b), SegmentIntersection::kTouching);
+  EXPECT_FALSE(SegmentsCross(a, b));
+}
+
+TEST(SegmentTest, TShapedTouchIsTouching) {
+  const Segment a({0, 0}, {4, 0});
+  const Segment b({2, 0}, {2, 3});
+  EXPECT_EQ(ClassifyIntersection(a, b), SegmentIntersection::kTouching);
+}
+
+TEST(SegmentTest, DisjointSegments) {
+  const Segment a({0, 0}, {1, 0});
+  const Segment b({0, 1}, {1, 1});
+  EXPECT_EQ(ClassifyIntersection(a, b), SegmentIntersection::kNone);
+  EXPECT_FALSE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentTest, CollinearOverlapIsTouching) {
+  const Segment a({0, 0}, {3, 0});
+  const Segment b({2, 0}, {5, 0});
+  EXPECT_EQ(ClassifyIntersection(a, b), SegmentIntersection::kTouching);
+  EXPECT_TRUE(CollinearOverlap(a, b));
+}
+
+TEST(SegmentTest, CollinearButDisjointIsNotOverlap) {
+  const Segment a({0, 0}, {1, 0});
+  const Segment b({2, 0}, {3, 0});
+  EXPECT_FALSE(CollinearOverlap(a, b));
+  EXPECT_EQ(ClassifyIntersection(a, b), SegmentIntersection::kNone);
+}
+
+TEST(SegmentTest, CollinearPointTouchIsNotOverlap) {
+  const Segment a({0, 0}, {2, 0});
+  const Segment b({2, 0}, {4, 0});
+  EXPECT_FALSE(CollinearOverlap(a, b));  // single shared point
+  EXPECT_EQ(ClassifyIntersection(a, b), SegmentIntersection::kTouching);
+}
+
+TEST(SegmentTest, VerticalCollinearOverlap) {
+  const Segment a({1, 0}, {1, 5});
+  const Segment b({1, 3}, {1, 9});
+  EXPECT_TRUE(CollinearOverlap(a, b));
+}
+
+TEST(SegmentTest, ParallelNotCollinear) {
+  const Segment a({0, 0}, {4, 0});
+  const Segment b({0, 1}, {4, 1});
+  EXPECT_FALSE(CollinearOverlap(a, b));
+}
+
+TEST(SegmentTest, DistanceToSegment) {
+  const Segment s({0, 0}, {4, 0});
+  EXPECT_DOUBLE_EQ(DistanceSquaredToSegment({2, 3}, s), 9);
+  EXPECT_DOUBLE_EQ(DistanceSquaredToSegment({-3, 4}, s), 25);  // clamps to a
+  EXPECT_DOUBLE_EQ(DistanceSquaredToSegment({7, 4}, s), 25);   // clamps to b
+  EXPECT_DOUBLE_EQ(DistanceSquaredToSegment({2, 0}, s), 0);
+}
+
+TEST(SegmentTest, DistanceToDegenerateSegment) {
+  const Segment point({1, 1}, {1, 1});
+  EXPECT_DOUBLE_EQ(DistanceSquaredToSegment({4, 5}, point), 25);
+}
+
+}  // namespace
+}  // namespace sitm::geom

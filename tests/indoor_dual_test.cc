@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "indoor/dual.h"
+
+namespace sitm::indoor {
+namespace {
+
+CellSpace GeoCell(int id, const std::string& name, geom::Polygon polygon) {
+  CellSpace cell(CellId(id), name, CellClass::kRoom);
+  cell.set_geometry(std::move(polygon));
+  return cell;
+}
+
+TEST(SharedBoundaryTest, FullSharedWall) {
+  const auto len = SharedBoundaryLength(geom::Polygon::Rectangle(0, 0, 4, 3),
+                                        geom::Polygon::Rectangle(4, 0, 8, 3));
+  ASSERT_TRUE(len.ok());
+  EXPECT_NEAR(*len, 3.0, 1e-9);
+}
+
+TEST(SharedBoundaryTest, PartialSharedWall) {
+  const auto len = SharedBoundaryLength(geom::Polygon::Rectangle(0, 0, 4, 4),
+                                        geom::Polygon::Rectangle(4, 2, 8, 8));
+  ASSERT_TRUE(len.ok());
+  EXPECT_NEAR(*len, 2.0, 1e-9);
+}
+
+TEST(SharedBoundaryTest, CornerTouchIsZero) {
+  const auto len = SharedBoundaryLength(geom::Polygon::Rectangle(0, 0, 2, 2),
+                                        geom::Polygon::Rectangle(2, 2, 4, 4));
+  ASSERT_TRUE(len.ok());
+  EXPECT_NEAR(*len, 0.0, 1e-9);
+}
+
+TEST(SharedBoundaryTest, DisjointIsZero) {
+  const auto len = SharedBoundaryLength(geom::Polygon::Rectangle(0, 0, 1, 1),
+                                        geom::Polygon::Rectangle(5, 5, 6, 6));
+  ASSERT_TRUE(len.ok());
+  EXPECT_NEAR(*len, 0.0, 1e-9);
+}
+
+TEST(SharedBoundaryTest, RejectsInvalidPolygons) {
+  EXPECT_FALSE(SharedBoundaryLength(geom::Polygon({{0, 0}, {1, 0}, {2, 0}}),
+                                    geom::Polygon::Rectangle(0, 0, 1, 1))
+                   .ok());
+}
+
+// A 2x2 grid of rooms:
+//   C D
+//   A B
+std::vector<CellSpace> GridCells() {
+  return {GeoCell(1, "A", geom::Polygon::Rectangle(0, 0, 5, 5)),
+          GeoCell(2, "B", geom::Polygon::Rectangle(5, 0, 10, 5)),
+          GeoCell(3, "C", geom::Polygon::Rectangle(0, 5, 5, 10)),
+          GeoCell(4, "D", geom::Polygon::Rectangle(5, 5, 10, 10))};
+}
+
+TEST(DeriveFloorNrgTest, AdjacencyFollowsSharedWalls) {
+  const auto nrg = DeriveFloorNrg(GridCells(), {});
+  ASSERT_TRUE(nrg.ok()) << nrg.status();
+  // A-B, A-C, B-D, C-D share walls; A-D and B-C only touch at the
+  // center corner and must not be adjacent under the length threshold.
+  EXPECT_TRUE(nrg->HasSymmetricEdge(CellId(1), CellId(2),
+                                    EdgeType::kAdjacency));
+  EXPECT_TRUE(nrg->HasSymmetricEdge(CellId(1), CellId(3),
+                                    EdgeType::kAdjacency));
+  EXPECT_TRUE(nrg->HasSymmetricEdge(CellId(2), CellId(4),
+                                    EdgeType::kAdjacency));
+  EXPECT_TRUE(nrg->HasSymmetricEdge(CellId(3), CellId(4),
+                                    EdgeType::kAdjacency));
+  EXPECT_FALSE(nrg->HasEdge(CellId(1), CellId(4), EdgeType::kAdjacency));
+  EXPECT_FALSE(nrg->HasEdge(CellId(2), CellId(3), EdgeType::kAdjacency));
+  // No doors were placed: no connectivity or accessibility anywhere.
+  EXPECT_TRUE(nrg->OutEdges(CellId(1), EdgeType::kConnectivity).empty());
+  EXPECT_TRUE(nrg->OutEdges(CellId(1), EdgeType::kAccessibility).empty());
+  EXPECT_TRUE(nrg->Validate().ok());
+}
+
+TEST(DeriveFloorNrgTest, DoorsCreateConnectivityAndAccessibility) {
+  DoorPlacement door;
+  door.boundary = CellBoundary(BoundaryId(900), "door900",
+                               BoundaryType::kDoor);
+  door.position = {5, 2.5};  // on the A|B wall
+  const auto nrg = DeriveFloorNrg(GridCells(), {door});
+  ASSERT_TRUE(nrg.ok()) << nrg.status();
+  EXPECT_TRUE(nrg->HasSymmetricEdge(CellId(1), CellId(2),
+                                    EdgeType::kConnectivity));
+  EXPECT_TRUE(nrg->HasSymmetricEdge(CellId(1), CellId(2),
+                                    EdgeType::kAccessibility));
+  EXPECT_TRUE(nrg->FindBoundary(BoundaryId(900)).ok());
+}
+
+TEST(DeriveFloorNrgTest, OneWayDoorIsDirectional) {
+  // The §3.2 Salle des États pattern: exit allowed, entry prohibited.
+  DoorPlacement door;
+  door.boundary = CellBoundary(BoundaryId(901), "exit-only",
+                               BoundaryType::kDoor);
+  door.position = {5, 2.5};
+  door.one_way_from = CellId(1);
+  door.one_way_to = CellId(2);
+  const auto nrg = DeriveFloorNrg(GridCells(), {door});
+  ASSERT_TRUE(nrg.ok()) << nrg.status();
+  EXPECT_TRUE(nrg->HasEdge(CellId(1), CellId(2), EdgeType::kAccessibility));
+  EXPECT_FALSE(nrg->HasEdge(CellId(2), CellId(1), EdgeType::kAccessibility));
+  // Connectivity stays symmetric (there is an opening either way).
+  EXPECT_TRUE(nrg->HasSymmetricEdge(CellId(1), CellId(2),
+                                    EdgeType::kConnectivity));
+}
+
+TEST(DeriveFloorNrgTest, OneWayCellsMustMatchDoorPosition) {
+  DoorPlacement door;
+  door.boundary = CellBoundary(BoundaryId(902), "bad", BoundaryType::kDoor);
+  door.position = {5, 2.5};  // A|B wall
+  door.one_way_from = CellId(3);
+  door.one_way_to = CellId(4);
+  EXPECT_EQ(DeriveFloorNrg(GridCells(), {door}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeriveFloorNrgTest, DoorMustTouchExactlyTwoCells) {
+  DoorPlacement door;
+  door.boundary = CellBoundary(BoundaryId(903), "floating",
+                               BoundaryType::kDoor);
+  door.position = {2.5, 2.5};  // interior of A: touches no boundary
+  EXPECT_EQ(DeriveFloorNrg(GridCells(), {door}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DeriveFloorNrgTest, WallsAreNotTraversable) {
+  DoorPlacement wall;
+  wall.boundary = CellBoundary(BoundaryId(904), "wall", BoundaryType::kWall);
+  wall.position = {5, 2.5};
+  EXPECT_EQ(DeriveFloorNrg(GridCells(), {wall}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeriveFloorNrgTest, RejectsOverlappingCells) {
+  std::vector<CellSpace> cells = {
+      GeoCell(1, "A", geom::Polygon::Rectangle(0, 0, 6, 5)),
+      GeoCell(2, "B", geom::Polygon::Rectangle(4, 0, 10, 5))};
+  EXPECT_EQ(DeriveFloorNrg(cells, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DeriveFloorNrgTest, RejectsMissingGeometry) {
+  std::vector<CellSpace> cells = {
+      CellSpace(CellId(1), "no-geo", CellClass::kRoom)};
+  EXPECT_EQ(DeriveFloorNrg(cells, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DeriveFloorNrgTest, MinSharedBoundaryFiltersShortWalls) {
+  DualDeriveOptions options;
+  options.min_shared_boundary = 4.0;
+  std::vector<CellSpace> cells = {
+      GeoCell(1, "A", geom::Polygon::Rectangle(0, 0, 5, 5)),
+      GeoCell(2, "B", geom::Polygon::Rectangle(5, 0, 10, 3))};  // 3 m wall
+  const auto nrg = DeriveFloorNrg(cells, {}, options);
+  ASSERT_TRUE(nrg.ok());
+  EXPECT_FALSE(nrg->HasEdge(CellId(1), CellId(2), EdgeType::kAdjacency));
+}
+
+}  // namespace
+}  // namespace sitm::indoor

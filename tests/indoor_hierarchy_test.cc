@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "indoor/hierarchy.h"
+
+namespace sitm::indoor {
+namespace {
+
+using qsr::TopologicalRelation;
+
+SpaceLayer MakeLayer(int id, const std::string& name,
+                     std::initializer_list<int> cells) {
+  SpaceLayer layer(LayerId(id), name, LayerKind::kTopographic);
+  for (int c : cells) {
+    EXPECT_TRUE(layer.mutable_graph()
+                    .AddCell(CellSpace(CellId(c), "cell" + std::to_string(c),
+                                       CellClass::kGeneric))
+                    .ok());
+  }
+  return layer;
+}
+
+// Building 1 -> floors {10, 11} -> rooms {100, 101 under 10; 110 under
+// 11}: the paper's core three-layer hierarchy in miniature.
+MultiLayerGraph CoreGraph() {
+  MultiLayerGraph g;
+  EXPECT_TRUE(g.AddLayer(MakeLayer(2, "Building", {1})).ok());
+  EXPECT_TRUE(g.AddLayer(MakeLayer(1, "Floor", {10, 11})).ok());
+  EXPECT_TRUE(g.AddLayer(MakeLayer(0, "Room", {100, 101, 110})).ok());
+  EXPECT_TRUE(
+      g.AddJointEdge(CellId(1), CellId(10), TopologicalRelation::kCovers)
+          .ok());
+  EXPECT_TRUE(
+      g.AddJointEdge(CellId(1), CellId(11), TopologicalRelation::kCovers)
+          .ok());
+  EXPECT_TRUE(
+      g.AddJointEdge(CellId(10), CellId(100), TopologicalRelation::kCovers)
+          .ok());
+  EXPECT_TRUE(
+      g.AddJointEdge(CellId(10), CellId(101), TopologicalRelation::kContains)
+          .ok());
+  EXPECT_TRUE(
+      g.AddJointEdge(CellId(11), CellId(110), TopologicalRelation::kCovers)
+          .ok());
+  return g;
+}
+
+std::vector<LayerId> CoreLevels() {
+  return {LayerId(2), LayerId(1), LayerId(0)};
+}
+
+TEST(HierarchyTest, LevelNames) {
+  EXPECT_EQ(HierarchyLevelName(HierarchyLevel::kBuildingComplex),
+            "Building Complex");
+  EXPECT_EQ(HierarchyLevelName(HierarchyLevel::kRoom), "Room");
+  EXPECT_EQ(HierarchyLevelName(HierarchyLevel::kRegionOfInterest), "RoI");
+}
+
+TEST(HierarchyTest, BuildAcceptsValidCore) {
+  MultiLayerGraph g = CoreGraph();
+  const auto h = LayerHierarchy::Build(&g, CoreLevels());
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->depth(), 3);
+}
+
+TEST(HierarchyTest, BuildRequiresTwoLayers) {
+  MultiLayerGraph g = CoreGraph();
+  EXPECT_FALSE(LayerHierarchy::Build(&g, {LayerId(0)}).ok());
+  EXPECT_FALSE(LayerHierarchy::Build(nullptr, CoreLevels()).ok());
+}
+
+TEST(HierarchyTest, BuildRejectsUnknownOrDuplicateLayers) {
+  MultiLayerGraph g = CoreGraph();
+  EXPECT_FALSE(
+      LayerHierarchy::Build(&g, {LayerId(2), LayerId(9)}).ok());
+  EXPECT_FALSE(
+      LayerHierarchy::Build(&g, {LayerId(2), LayerId(2)}).ok());
+}
+
+TEST(HierarchyTest, BuildRejectsLayerSkippingJointEdges) {
+  MultiLayerGraph g = CoreGraph();
+  // Building directly to a room skips the Floor level.
+  ASSERT_TRUE(
+      g.AddJointEdge(CellId(1), CellId(100), TopologicalRelation::kContains)
+          .ok());
+  EXPECT_EQ(LayerHierarchy::Build(&g, CoreLevels()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HierarchyTest, BuildRejectsOverlapInHierarchy) {
+  // "we exclude 'overlap' relations from layer hierarchies" (§3.2).
+  MultiLayerGraph g = CoreGraph();
+  ASSERT_TRUE(
+      g.AddJointEdge(CellId(11), CellId(101), TopologicalRelation::kOverlap)
+          .ok());
+  EXPECT_EQ(LayerHierarchy::Build(&g, CoreLevels()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HierarchyTest, BuildRejectsEqualInHierarchy) {
+  // "... we also exclude 'equal' relations to prohibit node repetition".
+  MultiLayerGraph g = CoreGraph();
+  ASSERT_TRUE(
+      g.AddJointEdge(CellId(11), CellId(101), TopologicalRelation::kEqual)
+          .ok());
+  EXPECT_EQ(LayerHierarchy::Build(&g, CoreLevels()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HierarchyTest, BuildRejectsTwoParents) {
+  MultiLayerGraph g = CoreGraph();
+  ASSERT_TRUE(
+      g.AddJointEdge(CellId(11), CellId(100), TopologicalRelation::kCovers)
+          .ok());
+  EXPECT_EQ(LayerHierarchy::Build(&g, CoreLevels()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HierarchyTest, BuildRejectsOrphans) {
+  MultiLayerGraph g = CoreGraph();
+  auto layer = g.MutableLayer(LayerId(0));
+  ASSERT_TRUE((*layer)
+                  ->mutable_graph()
+                  .AddCell(CellSpace(CellId(119), "orphan room",
+                                     CellClass::kRoom))
+                  .ok());
+  EXPECT_EQ(LayerHierarchy::Build(&g, CoreLevels()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HierarchyTest, ParentChildrenAncestors) {
+  MultiLayerGraph g = CoreGraph();
+  const auto h = LayerHierarchy::Build(&g, CoreLevels());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->Parent(CellId(100)).value(), CellId(10));
+  EXPECT_EQ(h->Parent(CellId(10)).value(), CellId(1));
+  EXPECT_FALSE(h->Parent(CellId(1)).ok());  // top of the hierarchy
+  EXPECT_EQ(h->Children(CellId(10)).size(), 2u);
+  EXPECT_TRUE(h->Children(CellId(100)).empty());
+  EXPECT_EQ(h->Ancestors(CellId(101)),
+            (std::vector<CellId>{CellId(10), CellId(1)}));
+  EXPECT_EQ(h->Descendants(CellId(1)).size(), 5u);
+}
+
+TEST(HierarchyTest, LevelQueries) {
+  MultiLayerGraph g = CoreGraph();
+  const auto h = LayerHierarchy::Build(&g, CoreLevels());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->LayerAt(0).value(), LayerId(2));
+  EXPECT_EQ(h->LayerAt(2).value(), LayerId(0));
+  EXPECT_FALSE(h->LayerAt(3).ok());
+  EXPECT_EQ(h->LevelOf(LayerId(1)).value(), 1);
+  EXPECT_FALSE(h->LevelOf(LayerId(9)).ok());
+  EXPECT_EQ(h->LevelOfCell(CellId(110)).value(), 2);
+}
+
+TEST(HierarchyTest, RollUpInfersLocationAtAllCoarserLevels) {
+  // §3.2: "we allow inference of a MO's location at all levels of
+  // granularity above the detection data level".
+  MultiLayerGraph g = CoreGraph();
+  const auto h = LayerHierarchy::Build(&g, CoreLevels());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->RollUp(CellId(100), 1).value(), CellId(10));
+  EXPECT_EQ(h->RollUp(CellId(100), 0).value(), CellId(1));
+  EXPECT_EQ(h->RollUp(CellId(100), 2).value(), CellId(100));  // identity
+  // Downward is not a roll-up.
+  EXPECT_EQ(h->RollUp(CellId(10), 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, IsAncestorAndLca) {
+  MultiLayerGraph g = CoreGraph();
+  const auto h = LayerHierarchy::Build(&g, CoreLevels());
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->IsAncestor(CellId(10), CellId(101)));
+  EXPECT_TRUE(h->IsAncestor(CellId(1), CellId(110)));
+  EXPECT_FALSE(h->IsAncestor(CellId(11), CellId(101)));
+  // Same-floor rooms meet at the floor; cross-floor rooms at the
+  // building.
+  EXPECT_EQ(h->LowestCommonAncestor(CellId(100), CellId(101)).value(),
+            CellId(10));
+  EXPECT_EQ(h->LowestCommonAncestor(CellId(100), CellId(110)).value(),
+            CellId(1));
+  EXPECT_EQ(h->LowestCommonAncestor(CellId(100), CellId(100)).value(),
+            CellId(100));
+  EXPECT_EQ(h->LowestCommonAncestor(CellId(100), CellId(10)).value(),
+            CellId(10));
+}
+
+TEST(HierarchyTest, LcaDistanceIsATreeMetric) {
+  MultiLayerGraph g = CoreGraph();
+  const auto h = LayerHierarchy::Build(&g, CoreLevels());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->LcaDistance(CellId(100), CellId(100)).value(), 0);
+  EXPECT_EQ(h->LcaDistance(CellId(100), CellId(101)).value(), 2);
+  EXPECT_EQ(h->LcaDistance(CellId(100), CellId(110)).value(), 4);
+  EXPECT_EQ(h->LcaDistance(CellId(100), CellId(10)).value(), 1);
+}
+
+TEST(HierarchyTest, CoverageAuditQuantifiesTheFullCoverageHypothesis) {
+  // Floor 10 has geometry [0,10]^2; its rooms cover only half — the
+  // audit must report ~0.5 (the paper's Fig. 4 point: full coverage is
+  // often unrealistic).
+  MultiLayerGraph g;
+  SpaceLayer floors(LayerId(1), "Floor", LayerKind::kTopographic);
+  CellSpace floor_cell(CellId(10), "floor", CellClass::kFloor);
+  floor_cell.set_geometry(geom::Polygon::Rectangle(0, 0, 10, 10));
+  ASSERT_TRUE(floors.mutable_graph().AddCell(std::move(floor_cell)).ok());
+  SpaceLayer rooms(LayerId(0), "Room", LayerKind::kTopographic);
+  CellSpace room(CellId(100), "room", CellClass::kRoom);
+  room.set_geometry(geom::Polygon::Rectangle(0, 0, 5, 10));
+  ASSERT_TRUE(rooms.mutable_graph().AddCell(std::move(room)).ok());
+  ASSERT_TRUE(g.AddLayer(std::move(floors)).ok());
+  ASSERT_TRUE(g.AddLayer(std::move(rooms)).ok());
+  ASSERT_TRUE(
+      g.AddJointEdge(CellId(10), CellId(100), TopologicalRelation::kCovers)
+          .ok());
+  const auto h = LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok());
+  Rng rng(3);
+  const auto report = h->CoverageAudit(CellId(10), 4000, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->coverage_ratio, 0.5, 0.03);
+  // A cell without geometry cannot be audited.
+  MultiLayerGraph g2 = CoreGraph();
+  const auto h2 = LayerHierarchy::Build(&g2, CoreLevels());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_FALSE(h2->CoverageAudit(CellId(10), 100, &rng).ok());
+}
+
+}  // namespace
+}  // namespace sitm::indoor

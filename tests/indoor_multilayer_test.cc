@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "indoor/multilayer.h"
+
+namespace sitm::indoor {
+namespace {
+
+using qsr::TopologicalRelation;
+
+SpaceLayer MakeLayer(int id, const std::string& name,
+                     std::initializer_list<int> cells,
+                     LayerKind kind = LayerKind::kTopographic) {
+  SpaceLayer layer(LayerId(id), name, kind);
+  for (int c : cells) {
+    EXPECT_TRUE(layer.mutable_graph()
+                    .AddCell(CellSpace(CellId(c), "cell" + std::to_string(c),
+                                       CellClass::kGeneric))
+                    .ok());
+  }
+  return layer;
+}
+
+// The paper's Fig. 1 situation: hall 5 in layer i+1 subdivides into 5a,
+// 5b, 5c in layer i (here: 50 covers {51, 52, 53}).
+MultiLayerGraph Fig1Graph() {
+  MultiLayerGraph g;
+  EXPECT_TRUE(g.AddLayer(MakeLayer(1, "coarse", {10, 20, 30, 40, 50})).ok());
+  EXPECT_TRUE(g.AddLayer(MakeLayer(0, "fine", {51, 52, 53})).ok());
+  for (int fine : {51, 52, 53}) {
+    EXPECT_TRUE(g.AddJointEdge(CellId(50), CellId(fine),
+                               TopologicalRelation::kCovers)
+                    .ok());
+  }
+  return g;
+}
+
+TEST(MultiLayerTest, LayerKindNames) {
+  EXPECT_EQ(LayerKindName(LayerKind::kTopographic), "topographic");
+  EXPECT_EQ(LayerKindName(LayerKind::kSemantic), "semantic");
+}
+
+TEST(MultiLayerTest, AddLayerRejectsDuplicates) {
+  MultiLayerGraph g;
+  ASSERT_TRUE(g.AddLayer(MakeLayer(1, "a", {1})).ok());
+  EXPECT_EQ(g.AddLayer(MakeLayer(1, "b", {2})).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.num_layers(), 1u);
+}
+
+TEST(MultiLayerTest, CellsMayNotBeSharedAcrossLayers) {
+  // ⋂ V_i = ∅ (§3.2): the same id in two layers must be rejected.
+  MultiLayerGraph g;
+  ASSERT_TRUE(g.AddLayer(MakeLayer(1, "a", {7})).ok());
+  EXPECT_EQ(g.AddLayer(MakeLayer(2, "b", {7})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(MultiLayerTest, FindLayerAndLayerOf) {
+  MultiLayerGraph g = Fig1Graph();
+  EXPECT_TRUE(g.FindLayer(LayerId(0)).ok());
+  EXPECT_FALSE(g.FindLayer(LayerId(9)).ok());
+  EXPECT_EQ(g.LayerOf(CellId(50)).value(), LayerId(1));
+  EXPECT_EQ(g.LayerOf(CellId(52)).value(), LayerId(0));
+  EXPECT_FALSE(g.LayerOf(CellId(99)).ok());
+}
+
+TEST(MultiLayerTest, FindCellSearchesAllLayers) {
+  MultiLayerGraph g = Fig1Graph();
+  EXPECT_EQ(g.FindCell(CellId(53)).value()->name(), "cell53");
+  EXPECT_FALSE(g.FindCell(CellId(99)).ok());
+}
+
+TEST(MultiLayerTest, LayerOfSeesCellsAddedAfterAddLayer) {
+  MultiLayerGraph g = Fig1Graph();
+  auto layer = g.MutableLayer(LayerId(0));
+  ASSERT_TRUE(layer.ok());
+  ASSERT_TRUE((*layer)
+                  ->mutable_graph()
+                  .AddCell(CellSpace(CellId(54), "late", CellClass::kGeneric))
+                  .ok());
+  EXPECT_EQ(g.LayerOf(CellId(54)).value(), LayerId(0));
+}
+
+TEST(MultiLayerTest, JointEdgeValidation) {
+  MultiLayerGraph g = Fig1Graph();
+  // Same layer: invalid.
+  EXPECT_EQ(g.AddJointEdge(CellId(10), CellId(20),
+                           TopologicalRelation::kOverlap)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Disjoint/meet are not valid overall-state relations.
+  EXPECT_EQ(g.AddJointEdge(CellId(10), CellId(51),
+                           TopologicalRelation::kDisjoint)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      g.AddJointEdge(CellId(10), CellId(51), TopologicalRelation::kMeet)
+          .code(),
+      StatusCode::kInvalidArgument);
+  // Missing cells.
+  EXPECT_EQ(g.AddJointEdge(CellId(99), CellId(51),
+                           TopologicalRelation::kOverlap)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MultiLayerTest, JointEdgeAddsConverseByDefault) {
+  MultiLayerGraph g = Fig1Graph();
+  ASSERT_TRUE(g.AddJointEdge(CellId(40), CellId(51),
+                             TopologicalRelation::kOverlap)
+                  .ok());
+  const auto back = g.JointEdgesOf(CellId(51));
+  bool found = false;
+  for (const JointEdge& e : back) {
+    if (e.to == CellId(40)) {
+      EXPECT_EQ(e.relation, TopologicalRelation::kOverlap);  // symmetric
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MultiLayerTest, ConverseOfCoversIsCoveredBy) {
+  MultiLayerGraph g = Fig1Graph();
+  bool found = false;
+  for (const JointEdge& e : g.JointEdgesOf(CellId(51))) {
+    if (e.to == CellId(50)) {
+      EXPECT_EQ(e.relation, TopologicalRelation::kCoveredBy);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MultiLayerTest, CandidateStatesAreTheFig1ActiveStates) {
+  // "if a visitor is inside the hall represented as node 5 in layer
+  // i+1, then the joint edges suggest that he can only be in either 5a,
+  // 5b, or 5c in layer i".
+  MultiLayerGraph g = Fig1Graph();
+  const std::vector<CellId> candidates =
+      g.CandidateStates(CellId(50), LayerId(0));
+  EXPECT_EQ(candidates.size(), 3u);
+  // A cell with no joint edges toward the target layer has none.
+  EXPECT_TRUE(g.CandidateStates(CellId(10), LayerId(0)).empty());
+}
+
+TEST(MultiLayerTest, DeriveJointEdgesFromGeometry) {
+  MultiLayerGraph g;
+  SpaceLayer coarse(LayerId(1), "floor", LayerKind::kTopographic);
+  CellSpace floor_cell(CellId(1), "floor0", CellClass::kFloor);
+  floor_cell.set_geometry(geom::Polygon::Rectangle(0, 0, 10, 10));
+  floor_cell.set_floor_level(0);
+  ASSERT_TRUE(coarse.mutable_graph().AddCell(std::move(floor_cell)).ok());
+  SpaceLayer fine(LayerId(0), "room", LayerKind::kTopographic);
+  for (int i = 0; i < 2; ++i) {
+    CellSpace room(CellId(10 + i), "room" + std::to_string(i),
+                   CellClass::kRoom);
+    room.set_geometry(
+        geom::Polygon::Rectangle(i * 5.0, 0, i * 5.0 + 5.0, 10));
+    room.set_floor_level(0);
+    ASSERT_TRUE(fine.mutable_graph().AddCell(std::move(room)).ok());
+  }
+  // A cell on another floor with identical footprint must be skipped.
+  CellSpace other_floor(CellId(12), "upstairs", CellClass::kRoom);
+  other_floor.set_geometry(geom::Polygon::Rectangle(0, 0, 10, 10));
+  other_floor.set_floor_level(1);
+  ASSERT_TRUE(fine.mutable_graph().AddCell(std::move(other_floor)).ok());
+  ASSERT_TRUE(g.AddLayer(std::move(coarse)).ok());
+  ASSERT_TRUE(g.AddLayer(std::move(fine)).ok());
+
+  const auto added = g.DeriveJointEdgesFromGeometry(LayerId(1), LayerId(0));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 4);  // 2 pairs x converse
+  const std::vector<CellId> children =
+      g.CandidateStates(CellId(1), LayerId(0));
+  EXPECT_EQ(children.size(), 2u);
+  EXPECT_FALSE(
+      g.DeriveJointEdgesFromGeometry(LayerId(1), LayerId(1)).ok());
+}
+
+TEST(MultiLayerTest, ValidateDetectsCorruptJointRelation) {
+  MultiLayerGraph g = Fig1Graph();
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(MultiLayerTest, ValidateChecksLayerGraphs) {
+  MultiLayerGraph g;
+  SpaceLayer layer = MakeLayer(1, "bad", {1, 2});
+  // Asymmetric adjacency inside a layer is a structural error.
+  ASSERT_TRUE(layer.mutable_graph()
+                  .AddEdge(CellId(1), CellId(2), EdgeType::kAdjacency)
+                  .ok());
+  ASSERT_TRUE(g.AddLayer(std::move(layer)).ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+}  // namespace
+}  // namespace sitm::indoor

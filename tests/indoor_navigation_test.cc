@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "indoor/navigation.h"
+
+namespace sitm::indoor {
+namespace {
+
+// Two floors: rooms 1 - 2 on floor 0 connected by a door; room 3
+// upstairs reachable by stairs from 2 or by elevator from 1.
+Nrg Building() {
+  Nrg g;
+  for (int id : {1, 2, 3}) {
+    EXPECT_TRUE(
+        g.AddCell(CellSpace(CellId(id), "room " + std::to_string(id),
+                            CellClass::kRoom))
+            .ok());
+  }
+  EXPECT_TRUE(
+      g.AddBoundary({BoundaryId(1), "door1", BoundaryType::kDoor}).ok());
+  EXPECT_TRUE(
+      g.AddBoundary({BoundaryId(2), "stairs", BoundaryType::kStaircase})
+          .ok());
+  EXPECT_TRUE(
+      g.AddBoundary({BoundaryId(3), "lift", BoundaryType::kElevator}).ok());
+  EXPECT_TRUE(g.AddSymmetricEdge(CellId(1), CellId(2),
+                                 EdgeType::kAccessibility, BoundaryId(1))
+                  .ok());
+  EXPECT_TRUE(g.AddSymmetricEdge(CellId(2), CellId(3),
+                                 EdgeType::kAccessibility, BoundaryId(2))
+                  .ok());
+  EXPECT_TRUE(g.AddSymmetricEdge(CellId(1), CellId(3),
+                                 EdgeType::kAccessibility, BoundaryId(3))
+                  .ok());
+  return g;
+}
+
+TEST(RouteCostsTest, CostOfByType) {
+  RouteCosts costs;
+  EXPECT_LT(costs.CostOf(BoundaryType::kWall), 0);
+  EXPECT_DOUBLE_EQ(costs.CostOf(BoundaryType::kDoor), 1.0);
+  EXPECT_DOUBLE_EQ(costs.CostOf(BoundaryType::kStaircase), 5.0);
+  costs.avoid_stairs = true;
+  EXPECT_LT(costs.CostOf(BoundaryType::kStaircase), 0);
+}
+
+TEST(PlanRouteTest, PicksCheapestPathNotFewestHops) {
+  const Nrg g = Building();
+  // 2 -> 3 direct by stairs costs 5; 2 -> 1 -> 3 by door+lift costs 4.
+  const auto route = PlanRoute(g, CellId(2), CellId(3));
+  ASSERT_TRUE(route.ok()) << route.status();
+  EXPECT_EQ(route->num_crossings(), 2u);
+  EXPECT_DOUBLE_EQ(route->total_cost, 4.0);
+  EXPECT_EQ(route->steps[1].cell, CellId(1));
+  EXPECT_EQ(route->steps[2].cell, CellId(3));
+  EXPECT_EQ(route->steps[2].boundary, BoundaryId(3));
+}
+
+TEST(PlanRouteTest, TrivialAndMissingEndpoints) {
+  const Nrg g = Building();
+  const auto self = PlanRoute(g, CellId(1), CellId(1));
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(self->num_crossings(), 0u);
+  EXPECT_DOUBLE_EQ(self->total_cost, 0.0);
+  EXPECT_FALSE(PlanRoute(g, CellId(1), CellId(99)).ok());
+  EXPECT_FALSE(PlanRoute(g, CellId(99), CellId(1)).ok());
+}
+
+TEST(PlanRouteTest, AvoidStairsReroutesThroughTheElevator) {
+  Nrg g = Building();
+  RouteCosts costs;
+  costs.avoid_stairs = true;
+  // Make the elevator pricier than stairs; the route must still avoid
+  // the stairs entirely.
+  costs.elevator = 10.0;
+  const auto route = PlanRoute(g, CellId(2), CellId(3), costs);
+  ASSERT_TRUE(route.ok());
+  for (const RouteStep& step : route->steps) {
+    if (!step.boundary.valid()) continue;
+    EXPECT_NE(g.FindBoundary(step.boundary).value()->type,
+              BoundaryType::kStaircase);
+  }
+  EXPECT_DOUBLE_EQ(route->total_cost, 11.0);  // door + lift
+}
+
+TEST(PlanRouteTest, UnreachableUnderConstraints) {
+  // Only a staircase connects 4 to the rest.
+  Nrg g = Building();
+  ASSERT_TRUE(
+      g.AddCell(CellSpace(CellId(4), "attic", CellClass::kRoom)).ok());
+  ASSERT_TRUE(
+      g.AddBoundary({BoundaryId(4), "attic-stairs", BoundaryType::kStaircase})
+          .ok());
+  ASSERT_TRUE(g.AddSymmetricEdge(CellId(3), CellId(4),
+                                 EdgeType::kAccessibility, BoundaryId(4))
+                  .ok());
+  RouteCosts costs;
+  costs.avoid_stairs = true;
+  EXPECT_EQ(PlanRoute(g, CellId(1), CellId(4), costs).status().code(),
+            StatusCode::kNotFound);
+  // Without the constraint it works.
+  EXPECT_TRUE(PlanRoute(g, CellId(1), CellId(4)).ok());
+}
+
+TEST(PlanRouteTest, RespectsEdgeDirection) {
+  Nrg g;
+  for (int id : {1, 2}) {
+    ASSERT_TRUE(
+        g.AddCell(CellSpace(CellId(id), "c", CellClass::kRoom)).ok());
+  }
+  ASSERT_TRUE(
+      g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+  EXPECT_TRUE(PlanRoute(g, CellId(1), CellId(2)).ok());
+  EXPECT_FALSE(PlanRoute(g, CellId(2), CellId(1)).ok());
+}
+
+TEST(DescribeRouteTest, HumanReadableDirections) {
+  const Nrg g = Building();
+  const auto route = PlanRoute(g, CellId(2), CellId(3));
+  ASSERT_TRUE(route.ok());
+  const auto text = DescribeRoute(g, *route);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text,
+            "start in room 2; through door 'door1' into room 1; "
+            "through elevator 'lift' into room 3");
+  EXPECT_FALSE(DescribeRoute(g, Route{}).ok());
+}
+
+}  // namespace
+}  // namespace sitm::indoor

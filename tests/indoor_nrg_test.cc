@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "indoor/nrg.h"
+
+namespace sitm::indoor {
+namespace {
+
+CellSpace Room(int id) {
+  return CellSpace(CellId(id), "room" + std::to_string(id), CellClass::kRoom);
+}
+
+// A chain 1 - 2 - 3 - 4 with door boundaries, like the paper's Fig. 6
+// zone chain.
+Nrg Chain() {
+  Nrg g;
+  for (int id : {1, 2, 3, 4}) EXPECT_TRUE(g.AddCell(Room(id)).ok());
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(
+        g.AddBoundary({BoundaryId(100 + i), "door" + std::to_string(i),
+                       BoundaryType::kDoor})
+            .ok());
+    EXPECT_TRUE(g.AddSymmetricEdge(CellId(i), CellId(i + 1),
+                                   EdgeType::kAccessibility,
+                                   BoundaryId(100 + i))
+                    .ok());
+  }
+  return g;
+}
+
+// A diamond 1 -> {2, 3} -> 4: two shortest paths.
+Nrg Diamond() {
+  Nrg g;
+  for (int id : {1, 2, 3, 4}) EXPECT_TRUE(g.AddCell(Room(id)).ok());
+  EXPECT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+  EXPECT_TRUE(g.AddEdge(CellId(1), CellId(3), EdgeType::kAccessibility).ok());
+  EXPECT_TRUE(g.AddEdge(CellId(2), CellId(4), EdgeType::kAccessibility).ok());
+  EXPECT_TRUE(g.AddEdge(CellId(3), CellId(4), EdgeType::kAccessibility).ok());
+  return g;
+}
+
+TEST(NrgTest, EdgeTypeNames) {
+  EXPECT_EQ(EdgeTypeName(EdgeType::kAdjacency), "adjacency");
+  EXPECT_EQ(EdgeTypeName(EdgeType::kConnectivity), "connectivity");
+  EXPECT_EQ(EdgeTypeName(EdgeType::kAccessibility), "accessibility");
+}
+
+TEST(NrgTest, AddCellRejectsDuplicatesAndInvalid) {
+  Nrg g;
+  EXPECT_TRUE(g.AddCell(Room(1)).ok());
+  EXPECT_EQ(g.AddCell(Room(1)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddCell(CellSpace()).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.num_cells(), 1u);
+}
+
+TEST(NrgTest, AddBoundaryRejectsDuplicates) {
+  Nrg g;
+  EXPECT_TRUE(
+      g.AddBoundary({BoundaryId(1), "d", BoundaryType::kDoor}).ok());
+  EXPECT_EQ(g.AddBoundary({BoundaryId(1), "d2", BoundaryType::kDoor}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(NrgTest, AddEdgeValidatesEndpointsAndBoundary) {
+  Nrg g;
+  ASSERT_TRUE(g.AddCell(Room(1)).ok());
+  ASSERT_TRUE(g.AddCell(Room(2)).ok());
+  EXPECT_EQ(g.AddEdge(CellId(1), CellId(9), EdgeType::kAccessibility).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(g.AddEdge(CellId(9), CellId(1), EdgeType::kAccessibility).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(g.AddEdge(CellId(1), CellId(1), EdgeType::kAccessibility).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility,
+                      BoundaryId(77))
+                .code(),
+            StatusCode::kNotFound);  // unregistered boundary
+  EXPECT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+}
+
+TEST(NrgTest, FindCellAndMutableCell) {
+  Nrg g = Chain();
+  ASSERT_TRUE(g.FindCell(CellId(2)).ok());
+  EXPECT_EQ(g.FindCell(CellId(2)).value()->name(), "room2");
+  EXPECT_FALSE(g.FindCell(CellId(99)).ok());
+  auto cell = g.MutableCell(CellId(2));
+  ASSERT_TRUE(cell.ok());
+  (*cell)->SetAttribute("theme", "Italian Paintings");
+  EXPECT_TRUE(
+      g.FindCell(CellId(2)).value()->AttributeEquals("theme",
+                                                     "Italian Paintings"));
+}
+
+TEST(NrgTest, FindBoundary) {
+  Nrg g = Chain();
+  ASSERT_TRUE(g.FindBoundary(BoundaryId(101)).ok());
+  EXPECT_EQ(g.FindBoundary(BoundaryId(101)).value()->name, "door1");
+  EXPECT_FALSE(g.FindBoundary(BoundaryId(999)).ok());
+}
+
+TEST(NrgTest, OutAndInEdgesFilterByType) {
+  Nrg g = Chain();
+  ASSERT_TRUE(g.AddSymmetricEdge(CellId(1), CellId(2), EdgeType::kAdjacency)
+                  .ok());
+  EXPECT_EQ(g.OutEdges(CellId(2), EdgeType::kAccessibility).size(), 2u);
+  EXPECT_EQ(g.OutEdges(CellId(2), EdgeType::kAdjacency).size(), 1u);
+  EXPECT_EQ(g.InEdges(CellId(1), EdgeType::kAccessibility).size(), 1u);
+  EXPECT_TRUE(g.OutEdges(CellId(99), EdgeType::kAccessibility).empty());
+}
+
+TEST(NrgTest, SuccessorsDeduplicatesParallelEdges) {
+  Nrg g;
+  ASSERT_TRUE(g.AddCell(Room(1)).ok());
+  ASSERT_TRUE(g.AddCell(Room(2)).ok());
+  // Two doors between the same rooms: a multigraph.
+  ASSERT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+  ASSERT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+  EXPECT_EQ(g.OutEdges(CellId(1), EdgeType::kAccessibility).size(), 2u);
+  EXPECT_EQ(g.Successors(CellId(1), EdgeType::kAccessibility).size(), 1u);
+}
+
+TEST(NrgTest, HasEdgeIsDirectional) {
+  Nrg g;
+  ASSERT_TRUE(g.AddCell(Room(1)).ok());
+  ASSERT_TRUE(g.AddCell(Room(2)).ok());
+  ASSERT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+  EXPECT_TRUE(g.HasEdge(CellId(1), CellId(2), EdgeType::kAccessibility));
+  EXPECT_FALSE(g.HasEdge(CellId(2), CellId(1), EdgeType::kAccessibility));
+  EXPECT_FALSE(g.HasSymmetricEdge(CellId(1), CellId(2),
+                                  EdgeType::kAccessibility));
+}
+
+TEST(NrgTest, ReachableFollowsDirection) {
+  // One-way: 1 -> 2 -> 3, and 3 -> 1 only.
+  Nrg g;
+  for (int id : {1, 2, 3}) ASSERT_TRUE(g.AddCell(Room(id)).ok());
+  ASSERT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+  ASSERT_TRUE(g.AddEdge(CellId(2), CellId(3), EdgeType::kAccessibility).ok());
+  ASSERT_TRUE(g.AddEdge(CellId(3), CellId(1), EdgeType::kAccessibility).ok());
+  EXPECT_EQ(g.Reachable(CellId(1), EdgeType::kAccessibility).size(), 3u);
+  // Adjacency graph is empty: only the start is reachable.
+  EXPECT_EQ(g.Reachable(CellId(1), EdgeType::kAdjacency).size(), 1u);
+  EXPECT_TRUE(g.Reachable(CellId(99), EdgeType::kAccessibility).empty());
+}
+
+TEST(NrgTest, ShortestPathOnChain) {
+  Nrg g = Chain();
+  const auto path =
+      g.ShortestPath(CellId(1), CellId(4), EdgeType::kAccessibility);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path,
+            (std::vector<CellId>{CellId(1), CellId(2), CellId(3), CellId(4)}));
+}
+
+TEST(NrgTest, ShortestPathTrivialAndMissing) {
+  Nrg g = Chain();
+  EXPECT_EQ(g.ShortestPath(CellId(2), CellId(2), EdgeType::kAccessibility)
+                .value(),
+            std::vector<CellId>{CellId(2)});
+  EXPECT_FALSE(
+      g.ShortestPath(CellId(1), CellId(99), EdgeType::kAccessibility).ok());
+  // Adjacency layer has no edges: unreachable.
+  EXPECT_FALSE(
+      g.ShortestPath(CellId(1), CellId(4), EdgeType::kAdjacency).ok());
+}
+
+TEST(NrgTest, CountShortestPaths) {
+  EXPECT_EQ(Chain().CountShortestPaths(CellId(1), CellId(4),
+                                       EdgeType::kAccessibility),
+            1);
+  EXPECT_EQ(Diamond().CountShortestPaths(CellId(1), CellId(4),
+                                         EdgeType::kAccessibility),
+            2);
+  EXPECT_EQ(Chain().CountShortestPaths(CellId(4), CellId(1),
+                                       EdgeType::kAdjacency),
+            0);
+  EXPECT_EQ(Chain().CountShortestPaths(CellId(2), CellId(2),
+                                       EdgeType::kAccessibility),
+            1);
+}
+
+TEST(NrgTest, UniqueShortestPathBetweenIsTheFig6Primitive) {
+  // Detected in 1 (zone E) then 4 (zone C of the chain): the passage
+  // through 2 and 3 is certain.
+  Nrg g = Chain();
+  const auto hidden =
+      g.UniqueShortestPathBetween(CellId(1), CellId(4),
+                                  EdgeType::kAccessibility);
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_EQ(*hidden, (std::vector<CellId>{CellId(2), CellId(3)}));
+}
+
+TEST(NrgTest, UniqueShortestPathRejectsAmbiguity) {
+  const auto result = Diamond().UniqueShortestPathBetween(
+      CellId(1), CellId(4), EdgeType::kAccessibility);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NrgTest, UniqueShortestPathRejectsDisconnected) {
+  Nrg g = Chain();
+  ASSERT_TRUE(g.AddCell(Room(9)).ok());
+  EXPECT_EQ(g.UniqueShortestPathBetween(CellId(1), CellId(9),
+                                        EdgeType::kAccessibility)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(NrgTest, UniqueShortestPathAdjacentCellsHaveEmptyMiddle) {
+  Nrg g = Chain();
+  const auto hidden = g.UniqueShortestPathBetween(CellId(1), CellId(2),
+                                                  EdgeType::kAccessibility);
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_TRUE(hidden->empty());
+}
+
+TEST(NrgTest, ValidateAcceptsDirectedAccessibility) {
+  Nrg g;
+  ASSERT_TRUE(g.AddCell(Room(1)).ok());
+  ASSERT_TRUE(g.AddCell(Room(2)).ok());
+  // One-way accessibility is legal (§3.2).
+  ASSERT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAccessibility).ok());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(NrgTest, ValidateRejectsAsymmetricAdjacency) {
+  Nrg g;
+  ASSERT_TRUE(g.AddCell(Room(1)).ok());
+  ASSERT_TRUE(g.AddCell(Room(2)).ok());
+  // Adjacency is symmetric by definition; a single direction is invalid.
+  ASSERT_TRUE(g.AddEdge(CellId(1), CellId(2), EdgeType::kAdjacency).ok());
+  EXPECT_EQ(g.Validate().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(g.AddEdge(CellId(2), CellId(1), EdgeType::kAdjacency).ok());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(NrgTest, StateAndTransitionAliases) {
+  // Table 1 terminology: node == state, boundary crossing == transition.
+  static_assert(std::is_same_v<State, CellId>);
+  static_assert(std::is_same_v<Transition, BoundaryId>);
+  SUCCEED();
+}
+
+TEST(BoundaryTest, TraversabilityByType) {
+  EXPECT_FALSE(IsTraversable(BoundaryType::kWall));
+  EXPECT_TRUE(IsTraversable(BoundaryType::kDoor));
+  EXPECT_TRUE(IsTraversable(BoundaryType::kCheckpoint));
+  EXPECT_TRUE(IsTraversable(BoundaryType::kStaircase));
+  EXPECT_EQ(BoundaryTypeName(BoundaryType::kCheckpoint), "checkpoint");
+}
+
+TEST(CellTest, AttributesAndClasses) {
+  CellSpace cell(CellId(60887), "Zone60887", CellClass::kZone);
+  cell.SetAttribute("requiresTicket", "true");
+  EXPECT_TRUE(cell.HasAttribute("requiresTicket"));
+  EXPECT_TRUE(cell.AttributeEquals("requiresTicket", "true"));
+  EXPECT_FALSE(cell.AttributeEquals("requiresTicket", "false"));
+  EXPECT_FALSE(cell.Attribute("nope").ok());
+  EXPECT_EQ(cell.Attribute("requiresTicket").value(), "true");
+  EXPECT_EQ(CellClassName(CellClass::kZone), "zone");
+  EXPECT_TRUE(IsRoomLevelClass(CellClass::kHall));
+  EXPECT_TRUE(IsRoomLevelClass(CellClass::kCorridor));
+  EXPECT_FALSE(IsRoomLevelClass(CellClass::kZone));
+  EXPECT_FALSE(IsRoomLevelClass(CellClass::kBuilding));
+}
+
+TEST(CellTest, FloorLevelAndGeometry) {
+  CellSpace cell(CellId(1), "room", CellClass::kRoom);
+  EXPECT_FALSE(cell.floor_level().has_value());
+  EXPECT_FALSE(cell.has_geometry());
+  cell.set_floor_level(-2);
+  cell.set_geometry(geom::Polygon::Rectangle(0, 0, 5, 5));
+  EXPECT_EQ(*cell.floor_level(), -2);
+  EXPECT_TRUE(cell.has_geometry());
+  EXPECT_DOUBLE_EQ(cell.geometry()->Area(), 25);
+}
+
+}  // namespace
+}  // namespace sitm::indoor

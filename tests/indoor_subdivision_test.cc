@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "indoor/hierarchy.h"
+#include "indoor/subdivision.h"
+
+namespace sitm::indoor {
+namespace {
+
+using qsr::TopologicalRelation;
+
+// One coarse layer with a hall (geometry [0,12]x[0,4]) and a room, plus
+// an empty fine layer to subdivide into — the Fig. 1 setting.
+MultiLayerGraph BaseGraph() {
+  MultiLayerGraph g;
+  SpaceLayer coarse(LayerId(1), "coarse", LayerKind::kTopographic);
+  CellSpace hall(CellId(5), "hall 5", CellClass::kHall);
+  hall.set_geometry(geom::Polygon::Rectangle(0, 0, 12, 4));
+  hall.SetAttribute("theme", "Italian Paintings");
+  hall.set_floor_level(1);
+  EXPECT_TRUE(coarse.mutable_graph().AddCell(std::move(hall)).ok());
+  EXPECT_TRUE(coarse.mutable_graph()
+                  .AddCell(CellSpace(CellId(4), "room 4", CellClass::kRoom))
+                  .ok());
+  SpaceLayer fine(LayerId(0), "fine", LayerKind::kTopographic);
+  EXPECT_TRUE(g.AddLayer(std::move(coarse)).ok());
+  EXPECT_TRUE(g.AddLayer(std::move(fine)).ok());
+  return g;
+}
+
+CellSpace SubCell(int id, const char* name, double x0, double x1) {
+  CellSpace cell(CellId(id), name, CellClass::kHall);
+  cell.set_geometry(geom::Polygon::Rectangle(x0, 0, x1, 4));
+  return cell;
+}
+
+TEST(SubdivisionTest, SplitsHallIntoThreeSubCells) {
+  MultiLayerGraph g = BaseGraph();
+  const auto added = SubdivideCell(
+      &g, CellId(5), LayerId(0),
+      {SubCell(15, "5a", 0, 4), SubCell(16, "5b", 4, 8),
+       SubCell(17, "5c", 8, 12)});
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(*added, 6);  // 3 covers + 3 converses
+  // The MLSM active-state semantics now hold (Fig. 1).
+  const std::vector<CellId> active = g.CandidateStates(CellId(5), LayerId(0));
+  EXPECT_EQ(active.size(), 3u);
+  EXPECT_TRUE(g.Validate().ok());
+  // And the two layers now form a proper hierarchy for that subtree.
+  auto fine_layer = g.MutableLayer(LayerId(0));
+  ASSERT_TRUE(fine_layer.ok());
+  // room 4 has no children, which a hierarchy does not require; but the
+  // subdivided cells must each have exactly one parent.
+  const auto h = LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->Parent(CellId(16)).value(), CellId(5));
+}
+
+TEST(SubdivisionTest, RejectsSubCellOutsideParent) {
+  MultiLayerGraph g = BaseGraph();
+  const auto added = SubdivideCell(&g, CellId(5), LayerId(0),
+                                   {SubCell(15, "stray", 10, 20)});
+  EXPECT_EQ(added.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SubdivisionTest, RejectsOverlappingSubCells) {
+  MultiLayerGraph g = BaseGraph();
+  const auto added = SubdivideCell(
+      &g, CellId(5), LayerId(0),
+      {SubCell(15, "5a", 0, 7), SubCell(16, "5b", 5, 12)});
+  EXPECT_EQ(added.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SubdivisionTest, RejectsSameLayerAndBadArguments) {
+  MultiLayerGraph g = BaseGraph();
+  EXPECT_FALSE(
+      SubdivideCell(&g, CellId(5), LayerId(1), {SubCell(15, "x", 0, 4)})
+          .ok());
+  EXPECT_FALSE(SubdivideCell(&g, CellId(5), LayerId(0), {}).ok());
+  EXPECT_FALSE(SubdivideCell(nullptr, CellId(5), LayerId(0),
+                             {SubCell(15, "x", 0, 4)})
+                   .ok());
+  EXPECT_FALSE(SubdivideCell(&g, CellId(99), LayerId(0),
+                             {SubCell(15, "x", 0, 4)})
+                   .ok());
+}
+
+TEST(SubdivisionTest, SubCellsWithoutGeometryAreAcceptedSymbolically) {
+  MultiLayerGraph g = BaseGraph();
+  const auto added = SubdivideCell(
+      &g, CellId(4), LayerId(0),
+      {CellSpace(CellId(40), "4-north", CellClass::kRoom),
+       CellSpace(CellId(41), "4-south", CellClass::kRoom)});
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(g.CandidateStates(CellId(4), LayerId(0)).size(), 2u);
+}
+
+TEST(ReplicationTest, CopiesCellWithEqualJointEdge) {
+  MultiLayerGraph g = BaseGraph();
+  const auto replica = ReplicateCell(&g, CellId(5), LayerId(0), CellId(105));
+  ASSERT_TRUE(replica.ok()) << replica.status();
+  const CellSpace* copy = g.FindCell(CellId(105)).value();
+  EXPECT_EQ(copy->name(), "hall 5");
+  EXPECT_EQ(copy->cell_class(), CellClass::kHall);
+  EXPECT_TRUE(copy->AttributeEquals("theme", "Italian Paintings"));
+  EXPECT_EQ(*copy->floor_level(), 1);
+  ASSERT_TRUE(copy->has_geometry());
+  EXPECT_DOUBLE_EQ(copy->geometry()->Area(), 48);
+  // The joint edge is "equal" in both directions.
+  bool found = false;
+  for (const JointEdge& e : g.JointEdgesOf(CellId(105))) {
+    if (e.to == CellId(5)) {
+      EXPECT_EQ(e.relation, TopologicalRelation::kEqual);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ReplicationTest, RejectsSameLayerAndDuplicates) {
+  MultiLayerGraph g = BaseGraph();
+  EXPECT_FALSE(ReplicateCell(&g, CellId(5), LayerId(1), CellId(105)).ok());
+  ASSERT_TRUE(ReplicateCell(&g, CellId(5), LayerId(0), CellId(105)).ok());
+  EXPECT_FALSE(ReplicateCell(&g, CellId(4), LayerId(0), CellId(105)).ok());
+  EXPECT_FALSE(ReplicateCell(nullptr, CellId(5), LayerId(0), CellId(106)).ok());
+}
+
+}  // namespace
+}  // namespace sitm::indoor

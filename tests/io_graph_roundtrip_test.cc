@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "io/graph_export.h"
+#include "louvre/museum.h"
+
+namespace sitm::io {
+namespace {
+
+TEST(GraphJsonRoundTripTest, SmallGraphSurvives) {
+  indoor::MultiLayerGraph g;
+  indoor::SpaceLayer floors(LayerId(1), "Floor",
+                            indoor::LayerKind::kTopographic);
+  indoor::CellSpace floor(CellId(10), "Floor 0", indoor::CellClass::kFloor);
+  floor.set_floor_level(0);
+  ASSERT_TRUE(floors.mutable_graph().AddCell(std::move(floor)).ok());
+  indoor::SpaceLayer rooms(LayerId(0), "Room",
+                           indoor::LayerKind::kSemantic);
+  for (int r : {100, 101}) {
+    indoor::CellSpace room(CellId(r), "Room " + std::to_string(r),
+                           indoor::CellClass::kRoom);
+    room.SetAttribute("theme", "Egyptian Antiquities");
+    ASSERT_TRUE(rooms.mutable_graph().AddCell(std::move(room)).ok());
+  }
+  ASSERT_TRUE(rooms.mutable_graph()
+                  .AddBoundary({BoundaryId(9), "door9",
+                                indoor::BoundaryType::kDoor})
+                  .ok());
+  ASSERT_TRUE(rooms.mutable_graph()
+                  .AddSymmetricEdge(CellId(100), CellId(101),
+                                    indoor::EdgeType::kAccessibility,
+                                    BoundaryId(9))
+                  .ok());
+  ASSERT_TRUE(g.AddLayer(std::move(floors)).ok());
+  ASSERT_TRUE(g.AddLayer(std::move(rooms)).ok());
+  for (int r : {100, 101}) {
+    ASSERT_TRUE(g.AddJointEdge(CellId(10), CellId(r),
+                               qsr::TopologicalRelation::kCovers)
+                    .ok());
+  }
+
+  const auto restored = MultiLayerGraphFromJson(MultiLayerGraphToJson(g));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_layers(), 2u);
+  const auto* room_layer = restored->FindLayer(LayerId(0)).value();
+  EXPECT_EQ(room_layer->kind(), indoor::LayerKind::kSemantic);
+  EXPECT_EQ(room_layer->graph().num_cells(), 2u);
+  EXPECT_EQ(room_layer->graph().num_edges(), 2u);
+  EXPECT_TRUE(room_layer->graph().HasSymmetricEdge(
+      CellId(100), CellId(101), indoor::EdgeType::kAccessibility));
+  const auto* cell = restored->FindCell(CellId(100)).value();
+  EXPECT_TRUE(cell->AttributeEquals("theme", "Egyptian Antiquities"));
+  EXPECT_EQ(restored->joint_edges().size(), g.joint_edges().size());
+  EXPECT_EQ(restored->CandidateStates(CellId(10), LayerId(0)).size(), 2u);
+  // Floor level survives.
+  EXPECT_EQ(*restored->FindCell(CellId(10)).value()->floor_level(), 0);
+}
+
+TEST(GraphJsonRoundTripTest, FullLouvreMapSurvives) {
+  const auto map = louvre::LouvreMap::Build();
+  ASSERT_TRUE(map.ok());
+  const JsonValue json = MultiLayerGraphToJson(map->graph());
+  // Through text and back, like a real on-disk staging step.
+  const auto reparsed = JsonValue::Parse(json.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  const auto restored = MultiLayerGraphFromJson(*reparsed);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_layers(), map->graph().num_layers());
+  EXPECT_EQ(restored->joint_edges().size(),
+            map->graph().joint_edges().size());
+  for (std::size_t i = 0; i < map->graph().layers().size(); ++i) {
+    EXPECT_EQ(restored->layers()[i].graph().num_cells(),
+              map->graph().layers()[i].graph().num_cells());
+    EXPECT_EQ(restored->layers()[i].graph().num_edges(),
+              map->graph().layers()[i].graph().num_edges());
+  }
+  // The restored graph supports the same structural queries: the Fig. 6
+  // inference chain still exists.
+  const auto* zones =
+      restored->FindLayer(map->zone_layer()).value();
+  const auto hidden = zones->graph().UniqueShortestPathBetween(
+      CellId(louvre::kZoneTemporaryExhibition),
+      CellId(louvre::kZoneSouvenirShops), indoor::EdgeType::kAccessibility);
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_EQ((*hidden)[0], CellId(louvre::kZonePassage));
+}
+
+TEST(GraphJsonRoundTripTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(MultiLayerGraphFromJson(JsonValue(1)).ok());
+  JsonValue empty{JsonValue::Object{}};
+  EXPECT_FALSE(MultiLayerGraphFromJson(empty).ok());
+  // A layer with an unknown cell class.
+  const auto bad = JsonValue::Parse(
+      R"({"layers":[{"id":0,"name":"x","kind":"topographic",
+           "cells":[{"id":1,"name":"c","class":"spaceship"}],
+           "edges":[]}],"jointEdges":[]})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(MultiLayerGraphFromJson(*bad).ok());
+}
+
+}  // namespace
+}  // namespace sitm::io

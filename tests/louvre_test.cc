@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "mining/stats.h"
+
+namespace sitm::louvre {
+namespace {
+
+const LouvreMap& Map() {
+  static const LouvreMap* map = [] {
+    auto result = LouvreMap::Build();
+    EXPECT_TRUE(result.ok()) << result.status();
+    return new LouvreMap(std::move(result).value());
+  }();
+  return *map;
+}
+
+TEST(LouvreMapTest, HasTheSixLayers) {
+  EXPECT_EQ(Map().graph().num_layers(), 6u);
+  EXPECT_TRUE(Map().graph().Validate().ok());
+}
+
+TEST(LouvreMapTest, ZoneInventoryMatchesThePaper) {
+  // §4.1: 52 zones; Fig. 3: 11 ground-floor zones.
+  EXPECT_EQ(Map().zones().size(), 52u);
+  EXPECT_EQ(Map().ground_floor_zones().size(), 11u);
+}
+
+TEST(LouvreMapTest, WingsActAsBuildings) {
+  const auto* layer = Map().graph().FindLayer(Map().wing_layer()).value();
+  EXPECT_EQ(layer->graph().num_cells(), 4u);
+  for (const indoor::CellSpace& wing : layer->graph().cells()) {
+    EXPECT_EQ(wing.cell_class(), indoor::CellClass::kBuilding);
+  }
+}
+
+TEST(LouvreMapTest, PaperCitedZonesExist) {
+  for (std::int64_t id :
+       {kZoneTemporaryExhibition, kZonePassage, kZoneSouvenirShops,
+        kZoneCarrouselExit, kZoneEntranceHall, kZoneFig4A, kZoneFig4B}) {
+    ASSERT_TRUE(Map().graph().FindCell(CellId(id)).ok()) << id;
+  }
+  // E requires a separate ticket (§4.2).
+  const auto* e =
+      Map().graph().FindCell(CellId(kZoneTemporaryExhibition)).value();
+  EXPECT_TRUE(e->AttributeEquals("requiresTicket", "true"));
+  EXPECT_EQ(*e->floor_level(), -2);
+}
+
+TEST(LouvreMapTest, EveryZoneHasThemeAndGeometry) {
+  for (CellId zone : Map().zones()) {
+    const auto* cell = Map().graph().FindCell(zone).value();
+    EXPECT_TRUE(cell->HasAttribute("theme")) << zone.value();
+    EXPECT_TRUE(cell->has_geometry());
+    EXPECT_TRUE(cell->floor_level().has_value());
+    EXPECT_GT(Map().zone_popularity().at(zone), 0.0);
+  }
+}
+
+TEST(LouvreMapTest, HierarchyValidatesAtDepthSix) {
+  const auto h = Map().BuildHierarchy();
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->depth(), 6);
+}
+
+TEST(LouvreMapTest, RollUpFromRoiToMuseum) {
+  const auto h = Map().BuildHierarchy();
+  ASSERT_TRUE(h.ok());
+  // Pick any RoI and roll it all the way up.
+  const auto* roi_layer = Map().graph().FindLayer(Map().roi_layer()).value();
+  ASSERT_GT(roi_layer->graph().num_cells(), 100u);
+  const CellId roi = roi_layer->graph().cells().front().id();
+  const auto museum = h->RollUp(roi, kLevelMuseum);
+  ASSERT_TRUE(museum.ok());
+  EXPECT_EQ(*museum, CellId(kMuseumCellId));
+  const auto zone = h->RollUp(roi, kLevelZone);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_TRUE(Map().zone_popularity().count(*zone));
+}
+
+TEST(LouvreMapTest, MonaLisaIsInTheSalleDesEtats) {
+  const auto h = Map().BuildHierarchy();
+  ASSERT_TRUE(h.ok());
+  const auto* roi_layer = Map().graph().FindLayer(Map().roi_layer()).value();
+  CellId mona_lisa;
+  for (const indoor::CellSpace& roi : roi_layer->graph().cells()) {
+    if (roi.name() == "Mona Lisa") mona_lisa = roi.id();
+  }
+  ASSERT_TRUE(mona_lisa.valid());
+  const auto room = h->RollUp(mona_lisa, kLevelRoom);
+  ASSERT_TRUE(room.ok());
+  EXPECT_EQ(Map().CellName(*room).value(), "Salle des Etats");
+  const auto zone = h->RollUp(mona_lisa, kLevelZone);
+  EXPECT_EQ(zone.value(), CellId(60874));
+}
+
+TEST(LouvreMapTest, Fig6ChainSupportsHiddenZoneInference) {
+  // E -> S has the unique intermediate P (the cloakroom is a dead end).
+  const auto* zones = Map().graph().FindLayer(Map().zone_layer()).value();
+  const auto hidden = zones->graph().UniqueShortestPathBetween(
+      CellId(kZoneTemporaryExhibition), CellId(kZoneSouvenirShops),
+      indoor::EdgeType::kAccessibility);
+  ASSERT_TRUE(hidden.ok()) << hidden.status();
+  ASSERT_EQ(hidden->size(), 1u);
+  EXPECT_EQ((*hidden)[0], CellId(kZonePassage));
+}
+
+TEST(LouvreMapTest, ZoneGraphIsFullyConnected) {
+  const auto* zones = Map().graph().FindLayer(Map().zone_layer()).value();
+  const auto reachable = zones->graph().Reachable(
+      CellId(kZoneEntranceHall), indoor::EdgeType::kAccessibility);
+  EXPECT_EQ(reachable.size(), 52u);
+}
+
+TEST(LouvreMapTest, SalleDesEtatsHasOneWayExit) {
+  // §3.2: entering the Salle des États from its neighbour room is
+  // prohibited while exiting that way is allowed.
+  const auto* rooms = Map().graph().FindLayer(Map().room_layer()).value();
+  CellId salle;
+  for (const indoor::CellSpace& room : rooms->graph().cells()) {
+    if (room.name() == "Salle des Etats") salle = room.id();
+  }
+  ASSERT_TRUE(salle.valid());
+  bool found_one_way = false;
+  for (const indoor::NrgEdge& e :
+       rooms->graph().OutEdges(salle, indoor::EdgeType::kAccessibility)) {
+    if (!rooms->graph().HasEdge(e.to, salle,
+                                indoor::EdgeType::kAccessibility)) {
+      found_one_way = true;
+    }
+  }
+  EXPECT_TRUE(found_one_way);
+  EXPECT_TRUE(rooms->graph().Validate().ok());
+}
+
+TEST(LouvreMapTest, ExitAndEntryZones) {
+  EXPECT_TRUE(Map().exit_zones().count(CellId(kZoneSouvenirShops)) > 0);
+  EXPECT_TRUE(Map().exit_zones().count(CellId(kZoneCarrouselExit)) > 0);
+  ASSERT_FALSE(Map().entry_zones().empty());
+  EXPECT_EQ(Map().entry_zones().front(), CellId(kZoneEntranceHall));
+}
+
+TEST(LouvreMapTest, CellNameLookup) {
+  EXPECT_EQ(Map().CellName(CellId(kMuseumCellId)).value(), "Louvre Museum");
+  EXPECT_FALSE(Map().CellName(CellId(424242)).ok());
+}
+
+TEST(LouvreMapTest, CoverageAuditShowsRoiGaps) {
+  // Fig. 4: RoIs do not fully cover their room; rooms do cover their
+  // zone (strip partition).
+  const auto h = Map().BuildHierarchy();
+  ASSERT_TRUE(h.ok());
+  Rng rng(17);
+  // A room with at least one RoI: Salle des États.
+  const auto* rooms = Map().graph().FindLayer(Map().room_layer()).value();
+  CellId salle;
+  for (const indoor::CellSpace& room : rooms->graph().cells()) {
+    if (room.name() == "Salle des Etats") salle = room.id();
+  }
+  const auto roi_coverage = h->CoverageAudit(salle, 1000, &rng);
+  ASSERT_TRUE(roi_coverage.ok()) << roi_coverage.status();
+  EXPECT_GT(roi_coverage->coverage_ratio, 0.0);
+  EXPECT_LT(roi_coverage->coverage_ratio, 0.6);  // far from full coverage
+  // Zone 60874 is fully covered by its rooms.
+  const auto room_coverage = h->CoverageAudit(CellId(60874), 1000, &rng);
+  ASSERT_TRUE(room_coverage.ok());
+  EXPECT_DOUBLE_EQ(room_coverage->coverage_ratio, 1.0);
+  EXPECT_NEAR(room_coverage->overlap_ratio, 0.0, 1e-9);
+}
+
+// ---- Dataset + simulator.
+
+TEST(DatasetTest, CsvRoundTrip) {
+  VisitDataset dataset;
+  dataset.mutable_detections().push_back(
+      ZoneDetection{ObjectId(1), CellId(60887),
+                    *Timestamp::FromCivil(2017, 2, 1, 17, 30, 21),
+                    *Timestamp::FromCivil(2017, 2, 1, 17, 31, 42)});
+  dataset.mutable_detections().push_back(
+      ZoneDetection{ObjectId(2), CellId(60890),
+                    *Timestamp::FromCivil(2017, 2, 2, 9, 0, 0),
+                    *Timestamp::FromCivil(2017, 2, 2, 9, 0, 0)});
+  const auto restored = VisitDataset::FromCsv(dataset.ToCsv());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->detections()[0].visitor, ObjectId(1));
+  EXPECT_EQ(restored->detections()[0].zone, CellId(60887));
+  EXPECT_EQ(restored->detections()[0].start,
+            *Timestamp::FromCivil(2017, 2, 1, 17, 30, 21));
+  EXPECT_EQ(restored->CountZeroDuration(), 1u);
+}
+
+TEST(DatasetTest, FromCsvRejectsGarbage) {
+  EXPECT_FALSE(VisitDataset::FromCsv("not,a,header\n1,2,3\n").ok());
+  EXPECT_FALSE(
+      VisitDataset::FromCsv("visitor,zone,start,end\nx,1,2017,bad\n").ok());
+}
+
+TEST(DatasetTest, FilterZeroDuration) {
+  VisitDataset dataset;
+  const Timestamp t = *Timestamp::FromCivil(2017, 2, 1, 10, 0, 0);
+  dataset.mutable_detections().push_back(
+      ZoneDetection{ObjectId(1), CellId(60887), t, t});
+  dataset.mutable_detections().push_back(
+      ZoneDetection{ObjectId(1), CellId(60888), t, t + Duration::Minutes(2)});
+  EXPECT_EQ(dataset.FilterZeroDuration(), 1u);
+  EXPECT_EQ(dataset.size(), 1u);
+  EXPECT_EQ(dataset.CountZeroDuration(), 0u);
+}
+
+// Small simulator configuration shared by the behavioural tests.
+SimulatorOptions SmallOptions() {
+  SimulatorOptions options;
+  options.num_visitors = 100;
+  options.num_returning = 30;
+  options.num_third_visits = 10;
+  options.num_detections = 600;
+  options.seed = 4242;
+  return options;
+}
+
+TEST(SimulatorTest, ExactShapeTargets) {
+  const LouvreMap& map = Map();
+  VisitSimulator simulator(&map, SmallOptions());
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->size(), 600u);
+  const SimulationSummary& s = simulator.summary();
+  EXPECT_EQ(s.num_visits, 100 + 30 + 10);
+  EXPECT_EQ(s.num_detections, 600);
+  EXPECT_EQ(s.num_transitions, 600 - 140);
+}
+
+TEST(SimulatorTest, BuilderRecoversVisitStructure) {
+  // The §4.1 statistics are reported on the *raw* dataset; with
+  // zero-duration dropping disabled, the builder must reproduce the
+  // simulator's ground truth exactly.
+  const LouvreMap& map = Map();
+  VisitSimulator simulator(&map, SmallOptions());
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok());
+  core::BuilderOptions options;
+  options.drop_zero_duration = false;
+  options.same_cell_merge_gap = Duration::Zero();
+  core::TrajectoryBuilder builder(options);
+  const auto visits = builder.Build(dataset->ToRawDetections());
+  ASSERT_TRUE(visits.ok()) << visits.status();
+  const mining::DatasetStats stats = mining::ComputeDatasetStats(*visits);
+  EXPECT_EQ(stats.num_visits, 140u);
+  EXPECT_EQ(stats.num_visitors, 100u);
+  EXPECT_EQ(stats.num_returning, 30u);
+  EXPECT_EQ(stats.num_revisits, 40u);
+  EXPECT_EQ(stats.num_detections, 600u);
+  EXPECT_EQ(stats.num_transitions, 600u - 140u);
+}
+
+TEST(SimulatorTest, ZeroDurationRateNearTenPercent) {
+  const LouvreMap& map = Map();
+  SimulatorOptions options = SmallOptions();
+  options.num_detections = 4000;
+  VisitSimulator simulator(&map, options);
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok());
+  const double rate =
+      static_cast<double>(dataset->CountZeroDuration()) / dataset->size();
+  EXPECT_NEAR(rate, 0.10, 0.02);
+}
+
+TEST(SimulatorTest, WalksFollowTheAccessibilityGraph) {
+  const LouvreMap& map = Map();
+  VisitSimulator simulator(&map, SmallOptions());
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok());
+  const auto* zones = map.graph().FindLayer(map.zone_layer()).value();
+  // Group by visitor and check consecutive detections inside a visit.
+  ObjectId previous_visitor;
+  CellId previous_zone;
+  Timestamp previous_end;
+  for (const ZoneDetection& d : dataset->detections()) {
+    if (d.visitor == previous_visitor &&
+        (d.start - previous_end) < Duration::Hours(2) &&
+        previous_zone.valid() && d.zone != previous_zone) {
+      EXPECT_TRUE(zones->graph().HasEdge(previous_zone, d.zone,
+                                         indoor::EdgeType::kAccessibility))
+          << previous_zone.value() << " -> " << d.zone.value();
+    }
+    previous_visitor = d.visitor;
+    previous_zone = d.zone;
+    previous_end = d.end;
+  }
+}
+
+TEST(SimulatorTest, RestrictsToThe30DatasetZones) {
+  // Fig. 6 covers "the 30 zones present in the dataset".
+  const LouvreMap& map = Map();
+  SimulatorOptions options = SmallOptions();
+  options.num_detections = 5000;
+  VisitSimulator simulator(&map, options);
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok());
+  std::set<CellId> zones_seen;
+  for (const ZoneDetection& d : dataset->detections()) {
+    zones_seen.insert(d.zone);
+  }
+  EXPECT_LE(zones_seen.size(), 30u);
+  EXPECT_GE(zones_seen.size(), 25u);  // nearly all of the 30 with 5k dets
+}
+
+TEST(SimulatorTest, DeterministicPerSeed) {
+  const LouvreMap& map = Map();
+  VisitSimulator a(&map, SmallOptions());
+  VisitSimulator b(&map, SmallOptions());
+  const auto da = a.Generate();
+  const auto db = b.Generate();
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(da->ToCsv(), db->ToCsv());
+  SimulatorOptions other = SmallOptions();
+  other.seed = 99;
+  VisitSimulator c(&map, other);
+  const auto dc = c.Generate();
+  ASSERT_TRUE(dc.ok());
+  EXPECT_NE(da->ToCsv(), dc->ToCsv());
+}
+
+TEST(SimulatorTest, StaysWithinTheCollectionWindow) {
+  const LouvreMap& map = Map();
+  VisitSimulator simulator(&map, SmallOptions());
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok());
+  const Timestamp window_start = *Timestamp::FromCivil(2017, 1, 19, 0, 0, 0);
+  const Timestamp window_end = *Timestamp::FromCivil(2017, 5, 30, 23, 59, 59);
+  for (const ZoneDetection& d : dataset->detections()) {
+    EXPECT_GE(d.start, window_start);
+    EXPECT_LE(d.end, window_end);
+    EXPECT_LE(d.start, d.end);
+    EXPECT_LE(d.duration(), Duration(5 * 3600 + 39 * 60 + 20));
+  }
+}
+
+TEST(SimulatorTest, RejectsInconsistentOptions) {
+  const LouvreMap& map = Map();
+  SimulatorOptions options = SmallOptions();
+  options.num_returning = 200;  // > visitors
+  VisitSimulator simulator(&map, options);
+  EXPECT_FALSE(simulator.Generate().ok());
+  VisitSimulator no_map(nullptr, SmallOptions());
+  EXPECT_FALSE(no_map.Generate().ok());
+}
+
+}  // namespace
+}  // namespace sitm::louvre

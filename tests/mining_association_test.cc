@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "mining/association.h"
+
+namespace sitm::mining {
+namespace {
+
+using core::AnnotationKind;
+using core::AnnotationSet;
+using core::PresenceInterval;
+using core::SemanticTrajectory;
+using core::Trace;
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  return p;
+}
+
+SemanticTrajectory VisitOf(int id, std::initializer_list<int> cells) {
+  Trace trace;
+  std::int64_t t = 0;
+  for (int cell : cells) {
+    trace.Append(Pi(cell, t, t + 60));
+    t += 100;
+  }
+  return SemanticTrajectory(TrajectoryId(id), ObjectId(id), std::move(trace),
+                            AnnotationSet{{AnnotationKind::kActivity,
+                                           "visit"}});
+}
+
+// 5 visits: E(87) and S(90) co-occur in 3; P(88) occurs in all 5.
+std::vector<SemanticTrajectory> Visits() {
+  return {VisitOf(1, {87, 88, 90}), VisitOf(2, {87, 88, 90}),
+          VisitOf(3, {87, 88, 90}), VisitOf(4, {88, 91}),
+          VisitOf(5, {88})};
+}
+
+TEST(FrequentSetsTest, CountsAndPruning) {
+  AssociationOptions options;
+  options.min_support = 3;
+  options.max_set_size = 3;
+  const auto frequent = MineFrequentCellSets(Visits(), options);
+  ASSERT_TRUE(frequent.ok()) << frequent.status();
+  auto support_of = [&](std::vector<CellId> cells) -> int {
+    for (const FrequentCellSet& f : *frequent) {
+      if (f.cells == cells) return static_cast<int>(f.support);
+    }
+    return -1;
+  };
+  EXPECT_EQ(support_of({CellId(88)}), 5);
+  EXPECT_EQ(support_of({CellId(87)}), 3);
+  EXPECT_EQ(support_of({CellId(87), CellId(88)}), 3);
+  EXPECT_EQ(support_of({CellId(87), CellId(88), CellId(90)}), 3);
+  EXPECT_EQ(support_of({CellId(91)}), -1);  // support 1 < 3
+}
+
+TEST(FrequentSetsTest, RepeatVisitsToACellCountOnce) {
+  // The itemset view reduces a visit to its distinct cells.
+  const std::vector<SemanticTrajectory> visits = {
+      VisitOf(1, {87, 88, 87, 88, 87}), VisitOf(2, {87})};
+  AssociationOptions options;
+  options.min_support = 2;
+  const auto frequent = MineFrequentCellSets(visits, options);
+  ASSERT_TRUE(frequent.ok());
+  ASSERT_FALSE(frequent->empty());
+  EXPECT_EQ(frequent->front().cells, std::vector<CellId>{CellId(87)});
+  EXPECT_EQ(frequent->front().support, 2u);
+}
+
+TEST(FrequentSetsTest, MaxSetSizeBoundsSearch) {
+  AssociationOptions options;
+  options.min_support = 3;
+  options.max_set_size = 1;
+  const auto frequent = MineFrequentCellSets(Visits(), options);
+  ASSERT_TRUE(frequent.ok());
+  for (const FrequentCellSet& f : *frequent) {
+    EXPECT_EQ(f.cells.size(), 1u);
+  }
+}
+
+TEST(FrequentSetsTest, ValidatesOptions) {
+  AssociationOptions options;
+  options.min_support = 0;
+  EXPECT_FALSE(MineFrequentCellSets(Visits(), options).ok());
+  options.min_support = 1;
+  options.max_set_size = 0;
+  EXPECT_FALSE(MineFrequentCellSets(Visits(), options).ok());
+}
+
+TEST(AssociationRulesTest, ConfidenceAndLift) {
+  AssociationOptions options;
+  options.min_support = 3;
+  options.min_confidence = 0.5;
+  const auto rules = MineAssociationRules(Visits(), options);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  // E -> S: support 3, antecedent support 3 => confidence 1.0;
+  // S occurs in 3/5 visits => lift = 1.0 / 0.6 = 1.667.
+  bool found_e_to_s = false;
+  for (const AssociationRule& rule : *rules) {
+    if (rule.antecedent == std::vector<CellId>{CellId(87)} &&
+        rule.consequent == std::vector<CellId>{CellId(90)}) {
+      found_e_to_s = true;
+      EXPECT_EQ(rule.support, 3u);
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_NEAR(rule.lift, 5.0 / 3.0, 1e-9);
+    }
+    // 88 -> 87 has confidence 3/5 = 0.6.
+    if (rule.antecedent == std::vector<CellId>{CellId(88)} &&
+        rule.consequent == std::vector<CellId>{CellId(87)}) {
+      EXPECT_DOUBLE_EQ(rule.confidence, 0.6);
+      EXPECT_NEAR(rule.lift, 1.0, 1e-9);  // 0.6 / (3/5)
+    }
+  }
+  EXPECT_TRUE(found_e_to_s);
+}
+
+TEST(AssociationRulesTest, ConfidenceThresholdFilters) {
+  AssociationOptions options;
+  options.min_support = 3;
+  options.min_confidence = 0.99;
+  const auto rules = MineAssociationRules(Visits(), options);
+  ASSERT_TRUE(rules.ok());
+  for (const AssociationRule& rule : *rules) {
+    EXPECT_GE(rule.confidence, 0.99);
+  }
+}
+
+TEST(AssociationRulesTest, SortedByConfidenceThenSupport) {
+  AssociationOptions options;
+  options.min_support = 3;
+  options.min_confidence = 0.1;
+  const auto rules = MineAssociationRules(Visits(), options);
+  ASSERT_TRUE(rules.ok());
+  for (std::size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].confidence, (*rules)[i].confidence);
+  }
+}
+
+TEST(AssociationRulesTest, EmptyInput) {
+  AssociationOptions options;
+  const auto rules = MineAssociationRules({}, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+}  // namespace
+}  // namespace sitm::mining

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "mining/markov.h"
+
+namespace sitm::mining {
+namespace {
+
+using core::AnnotationKind;
+using core::AnnotationSet;
+using core::PresenceInterval;
+using core::SemanticTrajectory;
+using core::Trace;
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  return p;
+}
+
+SemanticTrajectory VisitOf(int id, std::initializer_list<int> cells) {
+  Trace trace;
+  std::int64_t t = 0;
+  for (int cell : cells) {
+    trace.Append(Pi(cell, t, t + 60));
+    t += 100;
+  }
+  return SemanticTrajectory(TrajectoryId(id), ObjectId(id), std::move(trace),
+                            AnnotationSet{{AnnotationKind::kActivity,
+                                           "visit"}});
+}
+
+// 1 -> 2 happens 3x; 1 -> 3 happens 1x; 2 -> 3 happens 2x.
+std::vector<SemanticTrajectory> Visits() {
+  return {VisitOf(1, {1, 2, 3}), VisitOf(2, {1, 2, 3}),
+          VisitOf(3, {1, 2}), VisitOf(4, {1, 3})};
+}
+
+TEST(MarkovTest, FitRequiresTransitions) {
+  EXPECT_FALSE(MarkovModel::Fit({}).ok());
+  EXPECT_FALSE(MarkovModel::Fit({VisitOf(1, {5})}).ok());
+  EXPECT_FALSE(MarkovModel::Fit(Visits(), -1.0).ok());
+  EXPECT_TRUE(MarkovModel::Fit(Visits()).ok());
+}
+
+TEST(MarkovTest, TransitionProbabilitiesReflectCounts) {
+  const MarkovModel model = MarkovModel::Fit(Visits(), /*alpha=*/0).value();
+  EXPECT_EQ(model.num_states(), 3u);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(CellId(1), CellId(2)), 0.75);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(CellId(1), CellId(3)), 0.25);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(CellId(2), CellId(3)), 1.0);
+  // Unknown origin or sink: zero.
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(CellId(3), CellId(1)), 0.0);
+  EXPECT_DOUBLE_EQ(model.TransitionProbability(CellId(9), CellId(1)), 0.0);
+}
+
+TEST(MarkovTest, SmoothingGivesUnseenStepsMass) {
+  const MarkovModel model = MarkovModel::Fit(Visits(), /*alpha=*/1).value();
+  // 1 -> 1 was never observed but gets alpha mass.
+  EXPECT_GT(model.TransitionProbability(CellId(1), CellId(1)), 0.0);
+  EXPECT_LT(model.TransitionProbability(CellId(1), CellId(1)),
+            model.TransitionProbability(CellId(1), CellId(2)));
+  // Probabilities over the state space sum to ~1 for a known row.
+  double sum = 0;
+  for (CellId to : model.states()) {
+    sum += model.TransitionProbability(CellId(1), to);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MarkovTest, PredictNext) {
+  const MarkovModel model = MarkovModel::Fit(Visits()).value();
+  EXPECT_EQ(model.PredictNext(CellId(1)).value(), CellId(2));
+  EXPECT_EQ(model.PredictNext(CellId(2)).value(), CellId(3));
+  EXPECT_FALSE(model.PredictNext(CellId(3)).ok());  // sink
+  EXPECT_FALSE(model.PredictNext(CellId(9)).ok());  // unknown
+}
+
+TEST(MarkovTest, TopSuccessorsSorted) {
+  const MarkovModel model = MarkovModel::Fit(Visits()).value();
+  const auto top = model.TopSuccessors(CellId(1), 5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, CellId(2));
+  EXPECT_GT(top[0].second, top[1].second);
+  EXPECT_EQ(model.TopSuccessors(CellId(1), 1).size(), 1u);
+  EXPECT_TRUE(model.TopSuccessors(CellId(9), 3).empty());
+}
+
+TEST(MarkovTest, LikelihoodSeparatesTypicalFromAnomalous) {
+  const MarkovModel model = MarkovModel::Fit(Visits()).value();
+  const double typical =
+      model.LogLikelihoodPerTransition(VisitOf(9, {1, 2, 3}));
+  const double anomalous =
+      model.LogLikelihoodPerTransition(VisitOf(9, {3, 1, 3, 1}));
+  EXPECT_GT(typical, anomalous);
+  EXPECT_DOUBLE_EQ(model.LogLikelihoodPerTransition(VisitOf(9, {1})), 0.0);
+}
+
+TEST(MarkovTest, StationaryDistributionSumsToOne) {
+  const MarkovModel model = MarkovModel::Fit(Visits()).value();
+  const auto pi = model.StationaryDistribution();
+  ASSERT_EQ(pi.size(), 3u);
+  double sum = 0;
+  for (const auto& [cell, p] : pi) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Sorted descending.
+  for (std::size_t i = 1; i < pi.size(); ++i) {
+    EXPECT_GE(pi[i - 1].second, pi[i].second);
+  }
+}
+
+TEST(MarkovTest, SampleWalkIsDeterministicPerSeed) {
+  const MarkovModel model = MarkovModel::Fit(Visits()).value();
+  Rng a(5);
+  Rng b(5);
+  const auto walk_a = model.SampleWalk(CellId(1), 10, &a);
+  const auto walk_b = model.SampleWalk(CellId(1), 10, &b);
+  ASSERT_TRUE(walk_a.ok());
+  ASSERT_TRUE(walk_b.ok());
+  EXPECT_EQ(*walk_a, *walk_b);
+  EXPECT_EQ(walk_a->front(), CellId(1));
+  // Walks stop at the sink state 3.
+  EXPECT_EQ(walk_a->back(), CellId(3));
+  EXPECT_FALSE(model.SampleWalk(CellId(9), 5, &a).ok());
+  EXPECT_FALSE(model.SampleWalk(CellId(1), 5, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace sitm::mining

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "mining/floor_switch.h"
+#include "mining/profiling.h"
+#include "mining/similarity.h"
+
+namespace sitm::mining {
+namespace {
+
+using core::AnnotationKind;
+using core::AnnotationSet;
+using core::PresenceInterval;
+using core::SemanticTrajectory;
+using core::Trace;
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  return p;
+}
+
+SemanticTrajectory Traj(int id, std::vector<PresenceInterval> intervals,
+                        AnnotationSet annotations = AnnotationSet{
+                            {AnnotationKind::kActivity, "visit"}}) {
+  return SemanticTrajectory(TrajectoryId(id), ObjectId(id),
+                            Trace(std::move(intervals)),
+                            std::move(annotations));
+}
+
+std::vector<CellId> Seq(std::initializer_list<int> ids) {
+  std::vector<CellId> out;
+  for (int id : ids) out.push_back(CellId(id));
+  return out;
+}
+
+TEST(EditDistanceTest, ClassicValues) {
+  const CellCost unit = UnitCellCost();
+  EXPECT_DOUBLE_EQ(EditDistance(Seq({}), Seq({}), unit), 0);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq({1, 2, 3}), Seq({1, 2, 3}), unit), 0);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq({1, 2, 3}), Seq({}), unit), 3);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq({1, 2, 3}), Seq({1, 9, 3}), unit), 1);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq({1, 2, 3}), Seq({2, 3}), unit), 1);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq({1, 2}), Seq({2, 1}), unit), 2);
+}
+
+TEST(EditDistanceTest, SimilarityNormalization) {
+  const CellCost unit = UnitCellCost();
+  EXPECT_DOUBLE_EQ(EditSimilarity(Seq({}), Seq({}), unit), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity(Seq({1, 2, 3, 4}), Seq({1, 2, 3, 4}), unit),
+                   1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity(Seq({1, 2}), Seq({3, 4}), unit), 0.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity(Seq({1, 2, 3, 4}), Seq({1, 2, 3, 9}), unit),
+                   0.75);
+}
+
+TEST(EditDistanceTest, HierarchyCostSoftensSubstitutions) {
+  // Two rooms under the same floor substitute at cost < 1; rooms under
+  // different floors cost more.
+  indoor::MultiLayerGraph g;
+  indoor::SpaceLayer floors(LayerId(1), "Floor",
+                            indoor::LayerKind::kTopographic);
+  for (int f : {10, 11}) {
+    ASSERT_TRUE(floors.mutable_graph()
+                    .AddCell(indoor::CellSpace(CellId(f), "floor",
+                                               indoor::CellClass::kFloor))
+                    .ok());
+  }
+  indoor::SpaceLayer rooms(LayerId(0), "Room",
+                           indoor::LayerKind::kTopographic);
+  for (int r : {100, 101, 110}) {
+    ASSERT_TRUE(rooms.mutable_graph()
+                    .AddCell(indoor::CellSpace(CellId(r), "room",
+                                               indoor::CellClass::kRoom))
+                    .ok());
+  }
+  ASSERT_TRUE(g.AddLayer(std::move(floors)).ok());
+  ASSERT_TRUE(g.AddLayer(std::move(rooms)).ok());
+  for (auto [f, r] : {std::pair{10, 100}, {10, 101}, {11, 110}}) {
+    ASSERT_TRUE(g.AddJointEdge(CellId(f), CellId(r),
+                               qsr::TopologicalRelation::kCovers)
+                    .ok());
+  }
+  const auto h = indoor::LayerHierarchy::Build(&g, {LayerId(1), LayerId(0)});
+  ASSERT_TRUE(h.ok());
+  const CellCost cost = HierarchyCellCost(&*h, /*max_distance=*/4);
+  EXPECT_DOUBLE_EQ(cost(CellId(100), CellId(100)), 0.0);
+  EXPECT_DOUBLE_EQ(cost(CellId(100), CellId(101)), 0.5);  // LCA = floor
+  EXPECT_DOUBLE_EQ(cost(CellId(100), CellId(110)), 1.0);  // different roots
+  // Same-floor swap is cheaper than a cross-floor swap in the induced
+  // edit distance.
+  const double same_floor =
+      EditDistance(Seq({100}), Seq({101}), cost);
+  const double cross_floor =
+      EditDistance(Seq({100}), Seq({110}), cost);
+  EXPECT_LT(same_floor, cross_floor);
+}
+
+TEST(LcsTest, LengthAndSimilarity) {
+  EXPECT_EQ(LcsLength(Seq({1, 2, 3, 4}), Seq({2, 4})), 2u);
+  EXPECT_EQ(LcsLength(Seq({1, 2, 3}), Seq({4, 5})), 0u);
+  EXPECT_EQ(LcsLength(Seq({}), Seq({1})), 0u);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(Seq({1, 2, 3, 4}), Seq({2, 4})), 1.0);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(Seq({1, 2}), Seq({3, 4})), 0.0);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(Seq({}), Seq({})), 1.0);
+}
+
+TEST(JaccardTest, CellSets) {
+  const SemanticTrajectory a = Traj(1, {Pi(1, 0, 10), Pi(2, 20, 30)});
+  const SemanticTrajectory b = Traj(2, {Pi(2, 0, 10), Pi(3, 20, 30)});
+  EXPECT_DOUBLE_EQ(JaccardCellSimilarity(a, b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardCellSimilarity(a, a), 1.0);
+}
+
+TEST(DwellDistributionTest, DistanceProperties) {
+  const SemanticTrajectory a = Traj(1, {Pi(1, 0, 100)});
+  const SemanticTrajectory b = Traj(2, {Pi(2, 0, 100)});
+  const SemanticTrajectory c = Traj(3, {Pi(1, 0, 50), Pi(2, 60, 110)});
+  EXPECT_DOUBLE_EQ(DwellDistributionDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(DwellDistributionDistance(a, b), 2.0);  // disjoint
+  EXPECT_NEAR(DwellDistributionDistance(a, c), 1.0, 1e-9);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(DwellDistributionDistance(a, c),
+                   DwellDistributionDistance(c, a));
+}
+
+TEST(AnnotationSimilarityTest, JaccardOnAnnotations) {
+  const SemanticTrajectory a =
+      Traj(1, {Pi(1, 0, 10)},
+           AnnotationSet{{AnnotationKind::kGoal, "visit"},
+                         {AnnotationKind::kGoal, "buy"}});
+  const SemanticTrajectory b =
+      Traj(2, {Pi(1, 0, 10)},
+           AnnotationSet{{AnnotationKind::kGoal, "visit"}});
+  EXPECT_DOUBLE_EQ(AnnotationSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(AnnotationSimilarity(a, a), 1.0);
+}
+
+TEST(DistanceMatrixTest, SymmetricZeroDiagonal) {
+  const std::vector<SemanticTrajectory> trajectories = {
+      Traj(1, {Pi(1, 0, 10)}), Traj(2, {Pi(2, 0, 10)}),
+      Traj(3, {Pi(1, 0, 10), Pi(2, 20, 30)})};
+  const std::vector<double> m =
+      DistanceMatrix(trajectories, DwellDistributionDistance);
+  const std::size_t n = trajectories.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(m[i * n + i], 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(m[i * n + j], m[j * n + i]);
+    }
+  }
+}
+
+TEST(FeaturesTest, ExtractedQuantities) {
+  const SemanticTrajectory t =
+      Traj(1, {Pi(1, 0, 600), Pi(2, 660, 1260), Pi(1, 1320, 1920)});
+  const VisitFeatures f = ExtractFeatures(t, /*total_cells=*/10);
+  EXPECT_DOUBLE_EQ(f.duration_minutes, 32.0);
+  EXPECT_DOUBLE_EQ(f.num_cells, 2.0);
+  EXPECT_DOUBLE_EQ(f.num_detections, 3.0);
+  EXPECT_DOUBLE_EQ(f.mean_stay_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(f.coverage, 0.2);
+  // Dwell split 2/3 vs 1/3: entropy = log2(3) - 2/3 bits.
+  EXPECT_NEAR(f.dwell_entropy, 0.9183, 1e-3);
+}
+
+TEST(FeaturesTest, EmptyTrajectory) {
+  const SemanticTrajectory t(TrajectoryId(1), ObjectId(1), Trace{},
+                             AnnotationSet{{AnnotationKind::kGoal, "g"}});
+  const VisitFeatures f = ExtractFeatures(t, 10);
+  EXPECT_DOUBLE_EQ(f.num_detections, 0.0);
+}
+
+TEST(StyleTest, FourQuadrants) {
+  // ant: wide & slow; fish: narrow & quick; grasshopper: narrow & slow;
+  // butterfly: wide & quick.
+  VisitFeatures f;
+  f.coverage = 0.8;
+  f.mean_stay_minutes = 10;
+  EXPECT_EQ(ClassifyStyle(f, 0.5, 5), VisitorStyle::kAnt);
+  f.coverage = 0.2;
+  f.mean_stay_minutes = 2;
+  EXPECT_EQ(ClassifyStyle(f, 0.5, 5), VisitorStyle::kFish);
+  f.mean_stay_minutes = 10;
+  EXPECT_EQ(ClassifyStyle(f, 0.5, 5), VisitorStyle::kGrasshopper);
+  f.coverage = 0.8;
+  f.mean_stay_minutes = 2;
+  EXPECT_EQ(ClassifyStyle(f, 0.5, 5), VisitorStyle::kButterfly);
+  EXPECT_EQ(VisitorStyleName(VisitorStyle::kAnt), "ant");
+  EXPECT_EQ(VisitorStyleName(VisitorStyle::kButterfly), "butterfly");
+}
+
+TEST(KMedoidsTest, SeparatesObviousClusters) {
+  // Two tight groups on a line: {0, 1, 2} and {100, 101, 102}.
+  const std::vector<double> points = {0, 1, 2, 100, 101, 102};
+  const std::size_t n = points.size();
+  std::vector<double> matrix(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      matrix[i * n + j] = std::abs(points[i] - points[j]);
+    }
+  }
+  Rng rng(7);
+  const auto result = KMedoids(matrix, n, 2, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->assignment[0], result->assignment[1]);
+  EXPECT_EQ(result->assignment[0], result->assignment[2]);
+  EXPECT_EQ(result->assignment[3], result->assignment[4]);
+  EXPECT_EQ(result->assignment[3], result->assignment[5]);
+  EXPECT_NE(result->assignment[0], result->assignment[3]);
+  EXPECT_LE(result->total_cost, 4.0);
+}
+
+TEST(KMedoidsTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(KMedoids({}, 0, 1, &rng).ok());
+  EXPECT_FALSE(KMedoids({0.0}, 1, 2, &rng).ok());
+  EXPECT_FALSE(KMedoids({0.0, 1.0}, 2, 1, &rng).ok());  // size != n*n
+  EXPECT_FALSE(KMedoids({0.0}, 1, 1, nullptr).ok());
+}
+
+TEST(KMedoidsTest, DeterministicPerSeed) {
+  const std::size_t n = 5;
+  std::vector<double> matrix(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      matrix[i * n + j] = std::abs(static_cast<double>(i) - double(j));
+    }
+  }
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto a = KMedoids(matrix, n, 2, &rng_a);
+  const auto b = KMedoids(matrix, n, 2, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->medoids, b->medoids);
+}
+
+}  // namespace
+}  // namespace sitm::mining

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "mining/choropleth.h"
+#include "mining/flow.h"
+#include "mining/patterns.h"
+#include "mining/stats.h"
+
+namespace sitm::mining {
+namespace {
+
+using core::AnnotationKind;
+using core::AnnotationSet;
+using core::PresenceInterval;
+using core::SemanticTrajectory;
+using core::Trace;
+
+PresenceInterval Pi(int cell, std::int64_t start, std::int64_t end) {
+  PresenceInterval p;
+  p.cell = CellId(cell);
+  p.interval = *qsr::TimeInterval::Make(Timestamp(start), Timestamp(end));
+  return p;
+}
+
+SemanticTrajectory Traj(int id, int object,
+                        std::vector<PresenceInterval> intervals) {
+  return SemanticTrajectory(TrajectoryId(id), ObjectId(object),
+                            Trace(std::move(intervals)),
+                            AnnotationSet{{AnnotationKind::kActivity,
+                                           "visit"}});
+}
+
+std::vector<SemanticTrajectory> Sample() {
+  std::vector<SemanticTrajectory> out;
+  // Visitor 1, two visits (a returning visitor).
+  out.push_back(Traj(1, 1, {Pi(10, 0, 100), Pi(20, 110, 300)}));
+  out.push_back(Traj(2, 1, {Pi(10, 10000, 10100)}));
+  // Visitor 2, one visit across three cells.
+  out.push_back(
+      Traj(3, 2, {Pi(10, 0, 50), Pi(30, 60, 120), Pi(20, 130, 400)}));
+  return out;
+}
+
+TEST(SummarizeTest, EmptySampleIsAllZero) {
+  const DurationSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min.seconds(), 0);
+  EXPECT_EQ(s.max.seconds(), 0);
+}
+
+TEST(SummarizeTest, OrderStatistics) {
+  const DurationSummary s = Summarize(
+      {Duration(50), Duration(10), Duration(40), Duration(20), Duration(30)});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.min.seconds(), 10);
+  EXPECT_EQ(s.max.seconds(), 50);
+  EXPECT_EQ(s.mean.seconds(), 30);
+  EXPECT_EQ(s.median.seconds(), 30);
+}
+
+TEST(DatasetStatsTest, CountsMatchThePaperDefinitions) {
+  const DatasetStats stats = ComputeDatasetStats(Sample());
+  EXPECT_EQ(stats.num_visits, 3u);
+  EXPECT_EQ(stats.num_visitors, 2u);
+  EXPECT_EQ(stats.num_returning, 1u);   // visitor 1
+  EXPECT_EQ(stats.num_revisits, 1u);    // their second visit
+  EXPECT_EQ(stats.num_detections, 6u);  // presence tuples
+  EXPECT_EQ(stats.num_transitions, 3u);
+  EXPECT_EQ(stats.num_distinct_cells, 3u);
+  EXPECT_EQ(stats.visit_duration.max.seconds(), 400);
+  EXPECT_EQ(stats.visit_duration.min.seconds(), 100);
+  EXPECT_EQ(stats.detection_duration.max.seconds(), 270);
+}
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  const DatasetStats stats = ComputeDatasetStats({});
+  EXPECT_EQ(stats.num_visits, 0u);
+  EXPECT_EQ(stats.num_visitors, 0u);
+}
+
+TEST(DetectionsByCellTest, CountsTuplesPerCell) {
+  const auto counts = DetectionsByCell(Sample());
+  EXPECT_EQ(counts.at(CellId(10)), 3u);
+  EXPECT_EQ(counts.at(CellId(20)), 2u);
+  EXPECT_EQ(counts.at(CellId(30)), 1u);
+}
+
+TEST(DwellByCellTest, SumsDurations) {
+  const auto dwell = DwellByCell(Sample());
+  EXPECT_EQ(dwell.at(CellId(10)).seconds(), 100 + 100 + 50);
+  EXPECT_EQ(dwell.at(CellId(20)).seconds(), 190 + 270);
+}
+
+TEST(FlowMatrixTest, CountsTransitions) {
+  const FlowMatrix flows = FlowMatrix::Build(Sample());
+  EXPECT_EQ(flows.Count(CellId(10), CellId(20)), 1u);
+  EXPECT_EQ(flows.Count(CellId(10), CellId(30)), 1u);
+  EXPECT_EQ(flows.Count(CellId(30), CellId(20)), 1u);
+  EXPECT_EQ(flows.Count(CellId(20), CellId(10)), 0u);
+  EXPECT_EQ(flows.total(), 3u);
+}
+
+TEST(FlowMatrixTest, RankedAndTop) {
+  std::vector<SemanticTrajectory> trajectories = Sample();
+  trajectories.push_back(Traj(4, 3, {Pi(10, 0, 10), Pi(20, 20, 30)}));
+  const FlowMatrix flows = FlowMatrix::Build(trajectories);
+  const std::vector<Flow> ranked = flows.Ranked();
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().from, CellId(10));
+  EXPECT_EQ(ranked.front().to, CellId(20));
+  EXPECT_EQ(ranked.front().count, 2u);
+  EXPECT_EQ(flows.Top(1).size(), 1u);
+  EXPECT_EQ(flows.Top(99).size(), ranked.size());
+}
+
+TEST(FlowMatrixTest, NetFlowSignalsSinks) {
+  const FlowMatrix flows = FlowMatrix::Build(Sample());
+  EXPECT_GT(flows.NetFlow(CellId(20)), 0);  // visits end there
+  EXPECT_LT(flows.NetFlow(CellId(10)), 0);  // visits start there
+}
+
+TEST(FlowMatrixTest, OutEntropy) {
+  const FlowMatrix flows = FlowMatrix::Build(Sample());
+  // Cell 10 goes to 20 once and 30 once: entropy 1 bit.
+  EXPECT_NEAR(flows.OutEntropy(CellId(10)), 1.0, 1e-9);
+  // Cell 30 has a single continuation: entropy 0.
+  EXPECT_NEAR(flows.OutEntropy(CellId(30)), 0.0, 1e-9);
+  // Unknown cell: no outgoing flow.
+  EXPECT_NEAR(flows.OutEntropy(CellId(99)), 0.0, 1e-9);
+}
+
+TEST(ChoroplethTest, BinsSortedByDetectionsWithIntensity) {
+  const auto bins = BuildChoropleth(
+      Sample(), /*filter=*/nullptr,
+      [](CellId c) { return "Zone" + std::to_string(c.value()); });
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].cell, CellId(10));
+  EXPECT_DOUBLE_EQ(bins[0].intensity, 1.0);
+  EXPECT_EQ(bins[0].label, "Zone10");
+  EXPECT_LT(bins[2].intensity, 1.0);
+}
+
+TEST(ChoroplethTest, FilterRestrictsCells) {
+  const auto bins = BuildChoropleth(
+      Sample(), [](CellId c) { return c == CellId(20); }, nullptr);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].cell, CellId(20));
+  EXPECT_DOUBLE_EQ(bins[0].intensity, 1.0);  // max within the filter
+  EXPECT_EQ(bins[0].label, "#20");           // default labeler
+}
+
+TEST(ChoroplethTest, AsciiRenderingShowsBarsAndCounts) {
+  const auto bins = BuildChoropleth(Sample(), nullptr, nullptr);
+  const std::string art = RenderAsciiBars(bins, 10);
+  EXPECT_NE(art.find("##########"), std::string::npos);
+  EXPECT_NE(art.find("(100%)"), std::string::npos);
+  EXPECT_NE(art.find("#10"), std::string::npos);
+}
+
+TEST(CellSequenceTest, CollapsesConsecutiveDuplicates) {
+  const SemanticTrajectory t =
+      Traj(9, 9, {Pi(1, 0, 10), Pi(1, 20, 30), Pi(2, 40, 50),
+                  Pi(1, 60, 70)});
+  EXPECT_EQ(CellSequenceOf(t),
+            (std::vector<CellId>{CellId(1), CellId(2), CellId(1)}));
+}
+
+TEST(PatternsTest, RejectsZeroSupport) {
+  PatternOptions options;
+  options.min_support = 0;
+  EXPECT_FALSE(MinePatterns({}, options).ok());
+}
+
+TEST(PatternsTest, SubsequenceSemantics) {
+  // {A,B,C}, {A,C}, {A,B}: A:3, B:2, C:2, A->B:2, A->C:2, B->C:1.
+  const CellId a(1), b(2), c(3);
+  const std::vector<std::vector<CellId>> sequences = {
+      {a, b, c}, {a, c}, {a, b}};
+  PatternOptions options;
+  options.min_support = 2;
+  const auto patterns = MinePatterns(sequences, options);
+  ASSERT_TRUE(patterns.ok());
+  auto support_of = [&](std::vector<CellId> cells) -> int {
+    for (const SequentialPattern& p : *patterns) {
+      if (p.cells == cells) return static_cast<int>(p.support);
+    }
+    return -1;
+  };
+  EXPECT_EQ(support_of({a}), 3);
+  EXPECT_EQ(support_of({b}), 2);
+  EXPECT_EQ(support_of({a, b}), 2);
+  EXPECT_EQ(support_of({a, c}), 2);   // subsequence: gap allowed
+  EXPECT_EQ(support_of({b, c}), -1);  // support 1 < 2
+}
+
+TEST(PatternsTest, ContiguousSemanticsDisallowGaps) {
+  const CellId a(1), b(2), c(3);
+  const std::vector<std::vector<CellId>> sequences = {
+      {a, b, c}, {a, c}, {a, b}};
+  PatternOptions options;
+  options.min_support = 2;
+  options.contiguous = true;
+  const auto patterns = MinePatterns(sequences, options);
+  ASSERT_TRUE(patterns.ok());
+  auto support_of = [&](std::vector<CellId> cells) -> int {
+    for (const SequentialPattern& p : *patterns) {
+      if (p.cells == cells) return static_cast<int>(p.support);
+    }
+    return -1;
+  };
+  EXPECT_EQ(support_of({a, b}), 2);
+  // {a,c} appears contiguously only in the literal {a,c} sequence
+  // (support 1), which is below min_support and therefore not reported.
+  EXPECT_EQ(support_of({a, c}), -1);
+
+  options.min_support = 1;
+  const auto all_patterns = MinePatterns(sequences, options);
+  ASSERT_TRUE(all_patterns.ok());
+  for (const SequentialPattern& p : *all_patterns) {
+    if (p.cells == std::vector<CellId>{a, c}) {
+      EXPECT_EQ(p.support, 1u);  // the gap in {a,b,c} does not count
+    }
+  }
+}
+
+TEST(PatternsTest, ContiguousSupportCountsSequencesNotOccurrences) {
+  const CellId a(1), b(2);
+  // {a,b,a,b} contains a->b twice but supports it once.
+  const std::vector<std::vector<CellId>> sequences = {{a, b, a, b},
+                                                      {a, b}};
+  PatternOptions options;
+  options.min_support = 1;
+  options.contiguous = true;
+  const auto patterns = MinePatterns(sequences, options);
+  ASSERT_TRUE(patterns.ok());
+  for (const SequentialPattern& p : *patterns) {
+    if (p.cells == std::vector<CellId>{a, b}) {
+      EXPECT_EQ(p.support, 2u);
+    }
+  }
+}
+
+TEST(PatternsTest, MaxLengthBoundsSearch) {
+  const CellId a(1), b(2), c(3), d(4);
+  const std::vector<std::vector<CellId>> sequences = {{a, b, c, d},
+                                                      {a, b, c, d}};
+  PatternOptions options;
+  options.min_support = 2;
+  options.max_length = 2;
+  const auto patterns = MinePatterns(sequences, options);
+  ASSERT_TRUE(patterns.ok());
+  for (const SequentialPattern& p : *patterns) {
+    EXPECT_LE(p.cells.size(), 2u);
+  }
+}
+
+TEST(PatternsTest, ResultsSortedBySupportThenLength) {
+  const CellId a(1), b(2);
+  const std::vector<std::vector<CellId>> sequences = {{a, b}, {a, b}, {a}};
+  PatternOptions options;
+  options.min_support = 2;
+  const auto patterns = MinePatterns(sequences, options);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_GE(patterns->size(), 2u);
+  EXPECT_EQ(patterns->front().cells, std::vector<CellId>{a});  // support 3
+  for (std::size_t i = 1; i < patterns->size(); ++i) {
+    EXPECT_GE((*patterns)[i - 1].support, (*patterns)[i].support);
+  }
+}
+
+TEST(PatternsTest, EmptyDatabase) {
+  PatternOptions options;
+  const auto patterns = MinePatterns({}, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->empty());
+}
+
+}  // namespace
+}  // namespace sitm::mining

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "qsr/allen_composition.h"
+
+namespace sitm::qsr {
+namespace {
+
+AllenSet Of(std::initializer_list<AllenRelation> relations) {
+  AllenSet s;
+  for (AllenRelation r : relations) s = s.With(r);
+  return s;
+}
+
+TEST(AllenSetTest, BasicOperations) {
+  EXPECT_TRUE(AllenSet::None().empty());
+  EXPECT_EQ(AllenSet::All().Count(), kNumAllenRelations);
+  const AllenSet s = AllenSet::Of(AllenRelation::kBefore)
+                         .With(AllenRelation::kMeets);
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_TRUE(s.Contains(AllenRelation::kBefore));
+  EXPECT_FALSE(s.Contains(AllenRelation::kAfter));
+  EXPECT_EQ(s.ToString(), "{before, meets}");
+  EXPECT_EQ((s & AllenSet::Of(AllenRelation::kMeets)),
+            AllenSet::Of(AllenRelation::kMeets));
+}
+
+TEST(AllenSetTest, InverseSetMapsMembers) {
+  const AllenSet s = Of({AllenRelation::kBefore, AllenRelation::kDuring});
+  const AllenSet inv = AllenInverseSet(s);
+  EXPECT_TRUE(inv.Contains(AllenRelation::kAfter));
+  EXPECT_TRUE(inv.Contains(AllenRelation::kContains));
+  EXPECT_EQ(inv.Count(), 2);
+}
+
+TEST(AllenCompositionTest, EqualsIsTheIdentity) {
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    EXPECT_EQ(AllenCompose(AllenRelation::kEquals, r), AllenSet::Of(r));
+    EXPECT_EQ(AllenCompose(r, AllenRelation::kEquals), AllenSet::Of(r));
+  }
+}
+
+TEST(AllenCompositionTest, LiteratureEntries) {
+  // Entries transcribed from Allen (1983), checked against the
+  // brute-force construction.
+  EXPECT_EQ(AllenCompose(AllenRelation::kBefore, AllenRelation::kBefore),
+            AllenSet::Of(AllenRelation::kBefore));
+  EXPECT_EQ(AllenCompose(AllenRelation::kMeets, AllenRelation::kMeets),
+            AllenSet::Of(AllenRelation::kBefore));
+  EXPECT_EQ(AllenCompose(AllenRelation::kDuring, AllenRelation::kDuring),
+            AllenSet::Of(AllenRelation::kDuring));
+  EXPECT_EQ(AllenCompose(AllenRelation::kOverlaps, AllenRelation::kOverlaps),
+            Of({AllenRelation::kBefore, AllenRelation::kMeets,
+                AllenRelation::kOverlaps}));
+  EXPECT_EQ(AllenCompose(AllenRelation::kDuring, AllenRelation::kBefore),
+            AllenSet::Of(AllenRelation::kBefore));
+  // a meets b and c metBy b pin a.end == b.start == c.end: the
+  // composition is exactly the same-end relations.
+  EXPECT_EQ(AllenCompose(AllenRelation::kMeets, AllenRelation::kMetBy),
+            Of({AllenRelation::kFinishes, AllenRelation::kEquals,
+                AllenRelation::kFinishedBy}));
+  // The same-start dual: metBy ; meets.
+  EXPECT_EQ(AllenCompose(AllenRelation::kMetBy, AllenRelation::kMeets),
+            Of({AllenRelation::kStarts, AllenRelation::kEquals,
+                AllenRelation::kStartedBy}));
+  EXPECT_EQ(AllenCompose(AllenRelation::kStarts, AllenRelation::kDuring),
+            AllenSet::Of(AllenRelation::kDuring));
+  // before ; after is total ignorance.
+  EXPECT_EQ(AllenCompose(AllenRelation::kBefore, AllenRelation::kAfter),
+            AllenSet::All());
+}
+
+struct AllenPair {
+  AllenRelation r1;
+  AllenRelation r2;
+};
+
+class AllenCompositionSweep : public ::testing::TestWithParam<AllenPair> {};
+
+TEST_P(AllenCompositionSweep, NeverEmpty) {
+  const auto [r1, r2] = GetParam();
+  EXPECT_FALSE(AllenCompose(r1, r2).empty());
+}
+
+TEST_P(AllenCompositionSweep, ConverseCoherent) {
+  // (R1 ; R2)^-1 == R2^-1 ; R1^-1.
+  const auto [r1, r2] = GetParam();
+  EXPECT_EQ(AllenInverseSet(AllenCompose(r1, r2)),
+            AllenCompose(AllenInverse(r2), AllenInverse(r1)))
+      << AllenRelationName(r1) << " ; " << AllenRelationName(r2);
+}
+
+TEST_P(AllenCompositionSweep, SoundOnRandomWitnesses) {
+  // Any concrete triple realizing (r1, r2) must yield a relation inside
+  // the composed set.
+  const auto [r1, r2] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(static_cast<int>(r1) * 13 +
+                                     static_cast<int>(r2) + 1));
+  int found = 0;
+  for (int trial = 0; trial < 400 && found < 10; ++trial) {
+    auto interval = [&]() {
+      const std::int64_t s = rng.NextInt(0, 14);
+      return *TimeInterval::Make(Timestamp(s),
+                                 Timestamp(s + rng.NextInt(1, 6)));
+    };
+    const TimeInterval a = interval();
+    const TimeInterval b = interval();
+    const TimeInterval c = interval();
+    if (ClassifyIntervals(a, b) != r1 || ClassifyIntervals(b, c) != r2) {
+      continue;
+    }
+    ++found;
+    EXPECT_TRUE(AllenCompose(r1, r2).Contains(ClassifyIntervals(a, c)));
+  }
+}
+
+std::vector<AllenPair> AllPairs() {
+  std::vector<AllenPair> out;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    for (int j = 0; j < kNumAllenRelations; ++j) {
+      out.push_back(
+          {static_cast<AllenRelation>(i), static_cast<AllenRelation>(j)});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(All169, AllenCompositionSweep,
+                         ::testing::ValuesIn(AllPairs()));
+
+TEST(AllenCompositionTest, SetCompositionIsUnionOfPointwise) {
+  const AllenSet s1 = Of({AllenRelation::kBefore, AllenRelation::kMeets});
+  const AllenSet s2 = AllenSet::Of(AllenRelation::kDuring);
+  EXPECT_EQ(AllenCompose(s1, s2),
+            AllenCompose(AllenRelation::kBefore, AllenRelation::kDuring) |
+                AllenCompose(AllenRelation::kMeets, AllenRelation::kDuring));
+}
+
+}  // namespace
+}  // namespace sitm::qsr

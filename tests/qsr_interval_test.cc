@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "qsr/interval.h"
+
+namespace sitm::qsr {
+namespace {
+
+TimeInterval Iv(std::int64_t start, std::int64_t end) {
+  return *TimeInterval::Make(Timestamp(start), Timestamp(end));
+}
+
+TEST(TimeIntervalTest, MakeValidates) {
+  EXPECT_TRUE(TimeInterval::Make(Timestamp(1), Timestamp(2)).ok());
+  EXPECT_TRUE(TimeInterval::Make(Timestamp(2), Timestamp(2)).ok());
+  EXPECT_FALSE(TimeInterval::Make(Timestamp(3), Timestamp(2)).ok());
+}
+
+TEST(TimeIntervalTest, Accessors) {
+  const TimeInterval iv = Iv(10, 40);
+  EXPECT_EQ(iv.length().seconds(), 30);
+  EXPECT_TRUE(iv.Contains(Timestamp(10)));
+  EXPECT_TRUE(iv.Contains(Timestamp(40)));
+  EXPECT_FALSE(iv.Contains(Timestamp(41)));
+}
+
+TEST(TimeIntervalTest, IntersectionPredicates) {
+  EXPECT_TRUE(Iv(0, 10).Intersects(Iv(10, 20)));          // touch
+  EXPECT_FALSE(Iv(0, 10).InteriorsIntersect(Iv(10, 20))); // touch only
+  EXPECT_TRUE(Iv(0, 10).InteriorsIntersect(Iv(5, 20)));
+  EXPECT_FALSE(Iv(0, 10).Intersects(Iv(11, 20)));
+  EXPECT_TRUE(Iv(0, 100).Covers(Iv(20, 30)));
+  EXPECT_FALSE(Iv(20, 30).Covers(Iv(0, 100)));
+}
+
+TEST(AllenTest, AllThirteenRelations) {
+  EXPECT_EQ(ClassifyIntervals(Iv(0, 1), Iv(5, 9)), AllenRelation::kBefore);
+  EXPECT_EQ(ClassifyIntervals(Iv(5, 9), Iv(0, 1)), AllenRelation::kAfter);
+  EXPECT_EQ(ClassifyIntervals(Iv(0, 5), Iv(5, 9)), AllenRelation::kMeets);
+  EXPECT_EQ(ClassifyIntervals(Iv(5, 9), Iv(0, 5)), AllenRelation::kMetBy);
+  EXPECT_EQ(ClassifyIntervals(Iv(0, 6), Iv(4, 9)), AllenRelation::kOverlaps);
+  EXPECT_EQ(ClassifyIntervals(Iv(4, 9), Iv(0, 6)),
+            AllenRelation::kOverlappedBy);
+  EXPECT_EQ(ClassifyIntervals(Iv(0, 4), Iv(0, 9)), AllenRelation::kStarts);
+  EXPECT_EQ(ClassifyIntervals(Iv(0, 9), Iv(0, 4)), AllenRelation::kStartedBy);
+  EXPECT_EQ(ClassifyIntervals(Iv(3, 6), Iv(0, 9)), AllenRelation::kDuring);
+  EXPECT_EQ(ClassifyIntervals(Iv(0, 9), Iv(3, 6)), AllenRelation::kContains);
+  EXPECT_EQ(ClassifyIntervals(Iv(5, 9), Iv(0, 9)), AllenRelation::kFinishes);
+  EXPECT_EQ(ClassifyIntervals(Iv(0, 9), Iv(5, 9)),
+            AllenRelation::kFinishedBy);
+  EXPECT_EQ(ClassifyIntervals(Iv(2, 7), Iv(2, 7)), AllenRelation::kEquals);
+}
+
+TEST(AllenTest, InverseIsSymmetricAroundEquals) {
+  EXPECT_EQ(AllenInverse(AllenRelation::kBefore), AllenRelation::kAfter);
+  EXPECT_EQ(AllenInverse(AllenRelation::kMeets), AllenRelation::kMetBy);
+  EXPECT_EQ(AllenInverse(AllenRelation::kEquals), AllenRelation::kEquals);
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    EXPECT_EQ(AllenInverse(AllenInverse(r)), r);
+  }
+}
+
+TEST(AllenTest, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    names.insert(AllenRelationName(static_cast<AllenRelation>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumAllenRelations));
+}
+
+// Property sweep over random interval pairs: exactly one relation holds,
+// and swapping the arguments yields the converse relation.
+class AllenPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllenPropertySweep, ConverseCoherentOnRandomPairs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t a0 = rng.NextInt(0, 20);
+    const std::int64_t a1 = a0 + rng.NextInt(0, 10);
+    const std::int64_t b0 = rng.NextInt(0, 20);
+    const std::int64_t b1 = b0 + rng.NextInt(0, 10);
+    const TimeInterval a = Iv(a0, a1);
+    const TimeInterval b = Iv(b0, b1);
+    EXPECT_EQ(ClassifyIntervals(a, b),
+              AllenInverse(ClassifyIntervals(b, a)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllenPropertySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(MergeIntervalsTest, MergesOverlapsAndDiscreteAdjacency) {
+  // [0,5] and [6,9] are contiguous in whole seconds.
+  const auto merged = MergeIntervals({Iv(6, 9), Iv(0, 5), Iv(20, 30)});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], Iv(0, 9));
+  EXPECT_EQ(merged[1], Iv(20, 30));
+}
+
+TEST(MergeIntervalsTest, ContainedIntervalsDisappear) {
+  const auto merged = MergeIntervals({Iv(0, 100), Iv(10, 20), Iv(50, 60)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], Iv(0, 100));
+}
+
+TEST(MergeIntervalsTest, EmptyInput) {
+  EXPECT_TRUE(MergeIntervals({}).empty());
+}
+
+TEST(CoversTimewiseTest, ExactCover) {
+  EXPECT_TRUE(CoversTimewise(Iv(0, 10), {Iv(0, 4), Iv(5, 10)}));
+}
+
+TEST(CoversTimewiseTest, OverlappingEpisodesCover) {
+  // The paper's Fig. 5 situation: overlapping episodes still form a
+  // valid segmentation.
+  EXPECT_TRUE(CoversTimewise(Iv(0, 10), {Iv(0, 8), Iv(4, 10)}));
+}
+
+TEST(CoversTimewiseTest, GapBreaksCover) {
+  EXPECT_FALSE(CoversTimewise(Iv(0, 10), {Iv(0, 3), Iv(6, 10)}));
+}
+
+TEST(CoversTimewiseTest, PiecesBeyondWholeStillCover) {
+  EXPECT_TRUE(CoversTimewise(Iv(5, 10), {Iv(0, 20)}));
+}
+
+TEST(CoversTimewiseTest, NoPieces) {
+  EXPECT_FALSE(CoversTimewise(Iv(0, 1), {}));
+}
+
+TEST(UncoveredGapsTest, FindsExactMissingSeconds) {
+  const auto gaps = UncoveredGaps(Iv(0, 20), {Iv(0, 5), Iv(8, 10)});
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], Iv(6, 7));
+  EXPECT_EQ(gaps[1], Iv(11, 20));
+}
+
+TEST(UncoveredGapsTest, SingleMissingSecondIsZeroLengthGap) {
+  const auto gaps = UncoveredGaps(Iv(0, 10), {Iv(0, 4), Iv(6, 10)});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], Iv(5, 5));
+}
+
+TEST(UncoveredGapsTest, FullCoverYieldsNoGaps) {
+  EXPECT_TRUE(UncoveredGaps(Iv(0, 10), {Iv(0, 10)}).empty());
+  EXPECT_TRUE(UncoveredGaps(Iv(0, 10), {Iv(0, 6), Iv(7, 10)}).empty());
+}
+
+TEST(UncoveredGapsTest, NothingCoveredIsOneBigGap) {
+  const auto gaps = UncoveredGaps(Iv(3, 9), {});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], Iv(3, 9));
+}
+
+}  // namespace
+}  // namespace sitm::qsr

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "qsr/rcc8.h"
+
+namespace sitm::qsr {
+namespace {
+
+TEST(RelationSetTest, EmptyAndAll) {
+  EXPECT_TRUE(RelationSet::None().empty());
+  EXPECT_EQ(RelationSet::None().Count(), 0);
+  EXPECT_EQ(RelationSet::All().Count(), kNumTopologicalRelations);
+}
+
+TEST(RelationSetTest, SingletonRoundTrip) {
+  for (TopologicalRelation r : kAllTopologicalRelations) {
+    const RelationSet s = RelationSet::Of(r);
+    EXPECT_EQ(s.Count(), 1);
+    EXPECT_TRUE(s.Contains(r));
+    EXPECT_EQ(s.Single().value(), r);
+  }
+}
+
+TEST(RelationSetTest, SingleFailsOnNonSingleton) {
+  EXPECT_FALSE(RelationSet::All().Single().ok());
+  EXPECT_FALSE(RelationSet::None().Single().ok());
+}
+
+TEST(RelationSetTest, SetAlgebra) {
+  const RelationSet a = RelationSet::Of(TopologicalRelation::kMeet)
+                            .With(TopologicalRelation::kOverlap);
+  const RelationSet b = RelationSet::Of(TopologicalRelation::kOverlap)
+                            .With(TopologicalRelation::kEqual);
+  EXPECT_EQ((a & b), RelationSet::Of(TopologicalRelation::kOverlap));
+  EXPECT_EQ((a | b).Count(), 3);
+}
+
+TEST(RelationSetTest, ToStringListsMembers) {
+  const RelationSet s = RelationSet::Of(TopologicalRelation::kDisjoint)
+                            .With(TopologicalRelation::kEqual);
+  EXPECT_EQ(s.ToString(), "{disjoint, equal}");
+}
+
+TEST(RelationSetTest, InverseSetMapsEachMember) {
+  const RelationSet s = RelationSet::Of(TopologicalRelation::kContains)
+                            .With(TopologicalRelation::kMeet);
+  const RelationSet inv = InverseSet(s);
+  EXPECT_TRUE(inv.Contains(TopologicalRelation::kInsideOf));
+  EXPECT_TRUE(inv.Contains(TopologicalRelation::kMeet));
+  EXPECT_EQ(inv.Count(), 2);
+}
+
+TEST(Rcc8CompositionTest, EqualIsTheIdentity) {
+  for (TopologicalRelation r : kAllTopologicalRelations) {
+    EXPECT_EQ(Compose(TopologicalRelation::kEqual, r), RelationSet::Of(r));
+    EXPECT_EQ(Compose(r, TopologicalRelation::kEqual), RelationSet::Of(r));
+  }
+}
+
+TEST(Rcc8CompositionTest, KnownEntries) {
+  // Spot checks against the published table (Cohn et al. 1997).
+  EXPECT_EQ(Compose(TopologicalRelation::kDisjoint,
+                    TopologicalRelation::kDisjoint),
+            RelationSet::All());
+  EXPECT_EQ(Compose(TopologicalRelation::kInsideOf,
+                    TopologicalRelation::kInsideOf),
+            RelationSet::Of(TopologicalRelation::kInsideOf));
+  EXPECT_EQ(Compose(TopologicalRelation::kInsideOf,
+                    TopologicalRelation::kContains),
+            RelationSet::All());
+  EXPECT_EQ(
+      Compose(TopologicalRelation::kInsideOf, TopologicalRelation::kDisjoint),
+      RelationSet::Of(TopologicalRelation::kDisjoint));
+  EXPECT_EQ(
+      Compose(TopologicalRelation::kMeet, TopologicalRelation::kContains),
+      RelationSet::Of(TopologicalRelation::kDisjoint));
+  EXPECT_EQ(Compose(TopologicalRelation::kCoveredBy,
+                    TopologicalRelation::kCoveredBy),
+            RelationSet::Of(TopologicalRelation::kCoveredBy)
+                .With(TopologicalRelation::kInsideOf));
+}
+
+// The converse-coherence property is a strong whole-table check:
+// (R1 ; R2)^-1 == R2^-1 ; R1^-1 must hold for all 64 pairs.
+struct CompositionCase {
+  TopologicalRelation r1;
+  TopologicalRelation r2;
+};
+
+class CompositionSweep : public ::testing::TestWithParam<CompositionCase> {};
+
+TEST_P(CompositionSweep, ConverseCoherent) {
+  const auto [r1, r2] = GetParam();
+  EXPECT_EQ(InverseSet(Compose(r1, r2)), Compose(Inverse(r2), Inverse(r1)))
+      << TopologicalRelationName(r1) << " ; " << TopologicalRelationName(r2);
+}
+
+TEST_P(CompositionSweep, NeverEmpty) {
+  const auto [r1, r2] = GetParam();
+  EXPECT_FALSE(Compose(r1, r2).empty());
+}
+
+TEST_P(CompositionSweep, SetCompositionMatchesPointwise) {
+  const auto [r1, r2] = GetParam();
+  EXPECT_EQ(Compose(RelationSet::Of(r1), RelationSet::Of(r2)),
+            Compose(r1, r2));
+}
+
+std::vector<CompositionCase> AllPairs() {
+  std::vector<CompositionCase> cases;
+  for (TopologicalRelation r1 : kAllTopologicalRelations) {
+    for (TopologicalRelation r2 : kAllTopologicalRelations) {
+      cases.push_back({r1, r2});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(All64, CompositionSweep,
+                         ::testing::ValuesIn(AllPairs()));
+
+TEST(Rcc8NetworkTest, DiagonalIsEqual) {
+  Rcc8Network net(3);
+  EXPECT_EQ(net.At(1, 1), RelationSet::Of(TopologicalRelation::kEqual));
+  EXPECT_EQ(net.At(0, 2), RelationSet::All());
+}
+
+TEST(Rcc8NetworkTest, ConstrainIntersectsAndMirrors) {
+  Rcc8Network net(2);
+  ASSERT_TRUE(net.Constrain(0, 1, TopologicalRelation::kContains).ok());
+  EXPECT_EQ(net.At(0, 1), RelationSet::Of(TopologicalRelation::kContains));
+  EXPECT_EQ(net.At(1, 0), RelationSet::Of(TopologicalRelation::kInsideOf));
+}
+
+TEST(Rcc8NetworkTest, DirectContradictionIsRejected) {
+  Rcc8Network net(2);
+  ASSERT_TRUE(net.Constrain(0, 1, TopologicalRelation::kDisjoint).ok());
+  EXPECT_FALSE(net.Constrain(0, 1, TopologicalRelation::kOverlap).ok());
+}
+
+TEST(Rcc8NetworkTest, BadIndicesAreRejected) {
+  Rcc8Network net(2);
+  EXPECT_FALSE(net.Constrain(0, 5, RelationSet::All()).ok());
+  EXPECT_FALSE(net.Constrain(-1, 0, RelationSet::All()).ok());
+}
+
+TEST(Rcc8NetworkTest, PathConsistencyDerivesParthoodTransitivity) {
+  // room insideOf zone, zone insideOf floor => room insideOf floor;
+  // this is the mereological transitivity §3.2 relies on.
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, TopologicalRelation::kInsideOf).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, TopologicalRelation::kInsideOf).ok());
+  ASSERT_TRUE(net.PropagatePathConsistency().ok());
+  EXPECT_EQ(net.At(0, 2), RelationSet::Of(TopologicalRelation::kInsideOf));
+  EXPECT_TRUE(net.FullyDecided());
+}
+
+TEST(Rcc8NetworkTest, PathConsistencyDetectsCyclicContainment) {
+  // a inside b, b inside c, c inside a is impossible.
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, TopologicalRelation::kInsideOf).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, TopologicalRelation::kInsideOf).ok());
+  ASSERT_TRUE(net.Constrain(2, 0, TopologicalRelation::kInsideOf).ok());
+  EXPECT_FALSE(net.PropagatePathConsistency().ok());
+}
+
+TEST(Rcc8NetworkTest, PathConsistencyTightensDisjunctions) {
+  // a inside b, and b disjoint from c: then a must be disjoint from c.
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, TopologicalRelation::kInsideOf).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, TopologicalRelation::kDisjoint).ok());
+  ASSERT_TRUE(net.PropagatePathConsistency().ok());
+  EXPECT_EQ(net.At(0, 2), RelationSet::Of(TopologicalRelation::kDisjoint));
+}
+
+TEST(Rcc8NetworkTest, RoomDisjointFloorCannotBeInItsZone) {
+  // The indoor reading: a room disjoint from a floor cannot be inside a
+  // zone covered by that floor.
+  Rcc8Network net(3);  // 0 = room, 1 = zone, 2 = floor
+  ASSERT_TRUE(net.Constrain(1, 2, TopologicalRelation::kCoveredBy).ok());
+  ASSERT_TRUE(net.Constrain(0, 2, TopologicalRelation::kDisjoint).ok());
+  ASSERT_TRUE(net.Constrain(0, 1, TopologicalRelation::kInsideOf).ok());
+  EXPECT_FALSE(net.PropagatePathConsistency().ok());
+}
+
+TEST(Rcc8NetworkTest, UnconstrainedNetworkStaysConsistent) {
+  Rcc8Network net(4);
+  EXPECT_TRUE(net.PropagatePathConsistency().ok());
+  EXPECT_FALSE(net.FullyDecided());
+}
+
+}  // namespace
+}  // namespace sitm::qsr

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "geom/polygon.h"
+#include "geom/relate.h"
+#include "qsr/topology.h"
+
+namespace sitm::qsr {
+namespace {
+
+using geom::Polygon;
+
+TEST(TopologyTest, NamesAreThePaperTerms) {
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kDisjoint),
+            "disjoint");
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kMeet), "meet");
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kOverlap), "overlap");
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kCoveredBy),
+            "coveredBy");
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kInsideOf),
+            "insideOf");
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kCovers), "covers");
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kContains),
+            "contains");
+  EXPECT_EQ(TopologicalRelationName(TopologicalRelation::kEqual), "equal");
+}
+
+class TopologyRelationSweep
+    : public ::testing::TestWithParam<TopologicalRelation> {};
+
+TEST_P(TopologyRelationSweep, ParseInvertsName) {
+  const TopologicalRelation r = GetParam();
+  const auto parsed = ParseTopologicalRelation(TopologicalRelationName(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST_P(TopologyRelationSweep, InverseIsAnInvolution) {
+  const TopologicalRelation r = GetParam();
+  EXPECT_EQ(Inverse(Inverse(r)), r);
+}
+
+TEST_P(TopologyRelationSweep, SymmetryMatchesInverseFixpoint) {
+  const TopologicalRelation r = GetParam();
+  EXPECT_EQ(IsSymmetric(r), Inverse(r) == r);
+}
+
+TEST_P(TopologyRelationSweep, SubsetAndSupersetAreConverses) {
+  const TopologicalRelation r = GetParam();
+  EXPECT_EQ(ImpliesSubsetOfSecond(r), ImpliesSupersetOfSecond(Inverse(r)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRelations, TopologyRelationSweep,
+                         ::testing::ValuesIn(kAllTopologicalRelations));
+
+TEST(TopologyTest, ParseAcceptsRcc8Codes) {
+  EXPECT_EQ(ParseTopologicalRelation("DC").value(),
+            TopologicalRelation::kDisjoint);
+  EXPECT_EQ(ParseTopologicalRelation("EC").value(),
+            TopologicalRelation::kMeet);
+  EXPECT_EQ(ParseTopologicalRelation("PO").value(),
+            TopologicalRelation::kOverlap);
+  EXPECT_EQ(ParseTopologicalRelation("TPP").value(),
+            TopologicalRelation::kCoveredBy);
+  EXPECT_EQ(ParseTopologicalRelation("NTPP").value(),
+            TopologicalRelation::kInsideOf);
+  EXPECT_EQ(ParseTopologicalRelation("TPPi").value(),
+            TopologicalRelation::kCovers);
+  EXPECT_EQ(ParseTopologicalRelation("NTPPi").value(),
+            TopologicalRelation::kContains);
+  EXPECT_EQ(ParseTopologicalRelation("EQ").value(),
+            TopologicalRelation::kEqual);
+  EXPECT_EQ(ParseTopologicalRelation("touch").value(),
+            TopologicalRelation::kMeet);
+  EXPECT_FALSE(ParseTopologicalRelation("adjacent").ok());
+}
+
+TEST(TopologyTest, InversePairs) {
+  EXPECT_EQ(Inverse(TopologicalRelation::kContains),
+            TopologicalRelation::kInsideOf);
+  EXPECT_EQ(Inverse(TopologicalRelation::kCovers),
+            TopologicalRelation::kCoveredBy);
+  EXPECT_EQ(Inverse(TopologicalRelation::kOverlap),
+            TopologicalRelation::kOverlap);
+}
+
+TEST(TopologyTest, ValidOverallStateRelations) {
+  // IndoorGML admits every relation except disjoint and meet for joint
+  // edges (§2.1).
+  EXPECT_FALSE(ImpliesInteriorIntersection(TopologicalRelation::kDisjoint));
+  EXPECT_FALSE(ImpliesInteriorIntersection(TopologicalRelation::kMeet));
+  int valid = 0;
+  for (TopologicalRelation r : kAllTopologicalRelations) {
+    if (ImpliesInteriorIntersection(r)) ++valid;
+  }
+  EXPECT_EQ(valid, 6);
+}
+
+TEST(TopologyTest, HierarchyRelationsAreExactlyContainsAndCovers) {
+  for (TopologicalRelation r : kAllTopologicalRelations) {
+    EXPECT_EQ(IsHierarchyRelation(r),
+              r == TopologicalRelation::kContains ||
+                  r == TopologicalRelation::kCovers)
+        << TopologicalRelationName(r);
+  }
+}
+
+// ---- Geometric classification: one case per relation, plus tricky
+// configurations.
+
+TEST(ClassifyRegionsTest, Disjoint) {
+  EXPECT_EQ(ClassifyRegions(Polygon::Rectangle(0, 0, 1, 1),
+                            Polygon::Rectangle(5, 5, 6, 6))
+                .value(),
+            TopologicalRelation::kDisjoint);
+}
+
+TEST(ClassifyRegionsTest, MeetAlongSharedWall) {
+  EXPECT_EQ(ClassifyRegions(Polygon::Rectangle(0, 0, 2, 2),
+                            Polygon::Rectangle(2, 0, 4, 2))
+                .value(),
+            TopologicalRelation::kMeet);
+}
+
+TEST(ClassifyRegionsTest, MeetAtSingleCorner) {
+  EXPECT_EQ(ClassifyRegions(Polygon::Rectangle(0, 0, 2, 2),
+                            Polygon::Rectangle(2, 2, 4, 4))
+                .value(),
+            TopologicalRelation::kMeet);
+}
+
+TEST(ClassifyRegionsTest, PartialOverlap) {
+  EXPECT_EQ(ClassifyRegions(Polygon::Rectangle(0, 0, 3, 3),
+                            Polygon::Rectangle(2, 2, 5, 5))
+                .value(),
+            TopologicalRelation::kOverlap);
+}
+
+TEST(ClassifyRegionsTest, InscribedSquareIsCoveredByDiamond) {
+  // The radius-2 diamond centered at (1,1) contains the unit-2 square
+  // with all four square corners on the diamond's boundary: a
+  // tangential proper part where every boundary contact is a vertex
+  // touch.
+  const Polygon square = Polygon::Rectangle(0, 0, 2, 2);
+  const Polygon diamond({{1, -1}, {3, 1}, {1, 3}, {-1, 1}});
+  EXPECT_EQ(ClassifyRegions(square, diamond).value(),
+            TopologicalRelation::kCoveredBy);
+  EXPECT_EQ(ClassifyRegions(diamond, square).value(),
+            TopologicalRelation::kCovers);
+}
+
+TEST(ClassifyRegionsTest, OverlapWithOneVertexOnBoundary) {
+  // The diamond's bottom vertex lies exactly on the square's boundary
+  // while other edges cross properly; the vertex touch must not mask
+  // the overlap.
+  const Polygon square = Polygon::Rectangle(0, 0, 4, 4);
+  const Polygon diamond({{2, 0}, {5, 3}, {2, 6}, {-1, 3}});
+  EXPECT_EQ(ClassifyRegions(square, diamond).value(),
+            TopologicalRelation::kOverlap);
+}
+
+TEST(ClassifyRegionsTest, Equal) {
+  EXPECT_EQ(ClassifyRegions(Polygon::Rectangle(0, 0, 2, 2),
+                            Polygon::Rectangle(0, 0, 2, 2))
+                .value(),
+            TopologicalRelation::kEqual);
+}
+
+TEST(ClassifyRegionsTest, EqualWithDifferentVertexSets) {
+  // Same region, one ring with an extra collinear vertex.
+  const Polygon a = Polygon::Rectangle(0, 0, 2, 2);
+  const Polygon b({{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_EQ(ClassifyRegions(a, b).value(), TopologicalRelation::kEqual);
+}
+
+TEST(ClassifyRegionsTest, InsideAndContains) {
+  const Polygon outer = Polygon::Rectangle(0, 0, 10, 10);
+  const Polygon inner = Polygon::Rectangle(4, 4, 6, 6);
+  EXPECT_EQ(ClassifyRegions(inner, outer).value(),
+            TopologicalRelation::kInsideOf);
+  EXPECT_EQ(ClassifyRegions(outer, inner).value(),
+            TopologicalRelation::kContains);
+}
+
+TEST(ClassifyRegionsTest, CoveredByAndCovers) {
+  // Inner rectangle touching the outer boundary: tangential proper part.
+  const Polygon outer = Polygon::Rectangle(0, 0, 10, 10);
+  const Polygon inner = Polygon::Rectangle(0, 4, 2, 6);
+  EXPECT_EQ(ClassifyRegions(inner, outer).value(),
+            TopologicalRelation::kCoveredBy);
+  EXPECT_EQ(ClassifyRegions(outer, inner).value(),
+            TopologicalRelation::kCovers);
+}
+
+TEST(ClassifyRegionsTest, StripPartitionIsCoveredBy) {
+  // A zone strip spanning the full height of its floor (the Louvre
+  // layout): shares two edges with the parent -> coveredBy.
+  const Polygon floor = Polygon::Rectangle(0, 0, 100, 20);
+  const Polygon strip = Polygon::Rectangle(25, 0, 50, 20);
+  EXPECT_EQ(ClassifyRegions(strip, floor).value(),
+            TopologicalRelation::kCoveredBy);
+}
+
+TEST(ClassifyRegionsTest, ClassificationIsConverseCoherent) {
+  // For several configurations, relation(a,b) == Inverse(relation(b,a)).
+  const std::vector<std::pair<Polygon, Polygon>> cases = {
+      {Polygon::Rectangle(0, 0, 1, 1), Polygon::Rectangle(3, 3, 4, 4)},
+      {Polygon::Rectangle(0, 0, 2, 2), Polygon::Rectangle(2, 0, 4, 2)},
+      {Polygon::Rectangle(0, 0, 3, 3), Polygon::Rectangle(1, 1, 6, 6)},
+      {Polygon::Rectangle(0, 0, 9, 9), Polygon::Rectangle(2, 2, 3, 3)},
+      {Polygon::Rectangle(0, 0, 9, 9), Polygon::Rectangle(0, 0, 3, 3)},
+      {Polygon::Rectangle(0, 0, 5, 5), Polygon::Rectangle(0, 0, 5, 5)},
+  };
+  for (const auto& [a, b] : cases) {
+    EXPECT_EQ(ClassifyRegions(a, b).value(),
+              Inverse(ClassifyRegions(b, a).value()));
+  }
+}
+
+TEST(ClassifyRegionsTest, ConcaveContainment) {
+  // A small square nested in the arm of an L-shape.
+  const Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  const Polygon in_arm = Polygon::Rectangle(0.5, 2.5, 1.5, 3.5);
+  EXPECT_EQ(ClassifyRegions(in_arm, l).value(),
+            TopologicalRelation::kInsideOf);
+  // A square in the notch (outside the L, touching its inner corner).
+  const Polygon in_notch = Polygon::Rectangle(2, 2, 4, 4);
+  EXPECT_EQ(ClassifyRegions(in_notch, l).value(),
+            TopologicalRelation::kMeet);
+}
+
+TEST(ClassifyRegionsTest, RejectsInvalidPolygons) {
+  EXPECT_FALSE(ClassifyRegions(Polygon({{0, 0}, {1, 0}, {2, 0}}),
+                               Polygon::Rectangle(0, 0, 1, 1))
+                   .ok());
+  EXPECT_FALSE(ClassifyRegions(Polygon::Rectangle(0, 0, 1, 1),
+                               Polygon({{0, 0}, {2, 2}, {2, 0}, {0, 2}}))
+                   .ok());
+}
+
+TEST(RelateTest, EvidenceFlagsForOverlap) {
+  const auto ev = geom::Relate(Polygon::Rectangle(0, 0, 3, 3),
+                               Polygon::Rectangle(2, 2, 5, 5));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_TRUE(ev->boundaries_cross);
+  EXPECT_TRUE(ev->a_point_inside_b);
+  EXPECT_TRUE(ev->a_point_outside_b);
+}
+
+TEST(RelateTest, ContainsRegionPredicate) {
+  EXPECT_TRUE(geom::ContainsRegion(Polygon::Rectangle(0, 0, 10, 10),
+                                   Polygon::Rectangle(1, 1, 2, 2))
+                  .value());
+  EXPECT_TRUE(geom::ContainsRegion(Polygon::Rectangle(0, 0, 10, 10),
+                                   Polygon::Rectangle(0, 0, 2, 2))
+                  .value());  // tangential
+  EXPECT_FALSE(geom::ContainsRegion(Polygon::Rectangle(0, 0, 2, 2),
+                                    Polygon::Rectangle(1, 1, 3, 3))
+                   .value());
+}
+
+TEST(RelateTest, IntersectsPredicate) {
+  EXPECT_TRUE(geom::Intersects(Polygon::Rectangle(0, 0, 2, 2),
+                               Polygon::Rectangle(2, 0, 4, 2))
+                  .value());  // touching counts
+  EXPECT_FALSE(geom::Intersects(Polygon::Rectangle(0, 0, 1, 1),
+                                Polygon::Rectangle(3, 3, 4, 4))
+                   .value());
+}
+
+}  // namespace
+}  // namespace sitm::qsr
