@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary and writes one BENCH_<id>.json per bench
+# (google-benchmark JSON format) to the output directory.
+#
+# Usage:
+#   scripts/run_benches.sh [bin_dir] [out_dir]
+#
+# Environment overrides:
+#   SITM_BENCH_BIN_DIR   directory holding the bench binaries
+#                        (default: $1, then build/bench)
+#   SITM_BENCH_OUT_DIR   where BENCH_*.json land (default: $2, then the
+#                        current directory — the repo root when invoked via
+#                        the `run_benches` CMake target)
+#   SITM_BENCH_ARGS      extra flags passed to every bench, e.g.
+#                        "--benchmark_min_time=0.01" for a CI smoke run
+set -euo pipefail
+
+bin_dir="${SITM_BENCH_BIN_DIR:-${1:-build/bench}}"
+out_dir="${SITM_BENCH_OUT_DIR:-${2:-$(pwd)}}"
+extra_args="${SITM_BENCH_ARGS:-}"
+
+mkdir -p "$out_dir"
+
+if [ ! -d "$bin_dir" ]; then
+  echo "run_benches: bench binary dir not found: $bin_dir" >&2
+  echo "run_benches: build first: cmake --build build --target run_benches" >&2
+  exit 1
+fi
+
+shopt -s nullglob
+benches=("$bin_dir"/bench_*)
+runnable=()
+for bin in "${benches[@]}"; do
+  [ -f "$bin" ] && [ -x "$bin" ] && runnable+=("$bin")
+done
+if [ "${#runnable[@]}" -eq 0 ]; then
+  echo "run_benches: no bench_* binaries in $bin_dir" >&2
+  exit 1
+fi
+
+echo "run_benches: ${#runnable[@]} benches, output -> $out_dir"
+failed=0
+written=0
+for bin in "${runnable[@]}"; do
+  name="$(basename "$bin")"
+  id="${name#bench_}"
+  out_json="$out_dir/BENCH_${id}.json"
+  echo
+  echo ">>> $name -> $out_json"
+  # shellcheck disable=SC2086  # extra_args is intentionally word-split
+  if "$bin" --benchmark_out="$out_json" --benchmark_out_format=json \
+       $extra_args; then
+    written=$((written + 1))
+  else
+    echo "run_benches: FAILED: $name" >&2
+    failed=1
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "run_benches: one or more benches failed" >&2
+  exit 1
+fi
+echo
+echo "run_benches: done; wrote $written JSON files"

@@ -1,0 +1,118 @@
+#include "geom/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace sitm::geom {
+namespace {
+
+// Hot-path edge cases for the symbolic-localization index, beyond the
+// smoke coverage in geom_polygon_test.cc: boundary hits, out-of-bounds
+// probes, empty candidate sets, and Build precondition failures.
+
+// Two side-by-side rooms and a detached one, as a 4x-resolution index.
+// Callers ASSERT on ok() before dereferencing.
+Result<GridIndex> TwoRoomsAndAnnex() {
+  std::vector<Polygon> cells;
+  cells.push_back(Polygon::Rectangle(0, 0, 10, 10));    // 0: left room
+  cells.push_back(Polygon::Rectangle(10, 0, 20, 10));   // 1: right room
+  cells.push_back(Polygon::Rectangle(30, 30, 40, 40));  // 2: detached annex
+  return GridIndex::Build(std::move(cells), 4);
+}
+
+#define ASSERT_OK_AND_ASSIGN_INDEX(index)          \
+  const auto index##_or = TwoRoomsAndAnnex();      \
+  ASSERT_TRUE(index##_or.ok()) << index##_or.status(); \
+  const GridIndex& index = *index##_or
+
+TEST(GridIndexEdgeTest, BuildFailsOnEmptyInput) {
+  const auto index = GridIndex::Build({});
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GridIndexEdgeTest, BuildFailsOnNonPositiveResolution) {
+  std::vector<Polygon> one = {Polygon::Rectangle(0, 0, 1, 1)};
+  EXPECT_EQ(GridIndex::Build(one, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GridIndex::Build(one, -7).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GridIndexEdgeTest, BuildFailsOnInvalidPolygon) {
+  // Collinear ring: zero area, rejected by Polygon::Validate.
+  std::vector<Polygon> bad = {Polygon({{0, 0}, {1, 0}, {2, 0}})};
+  EXPECT_EQ(GridIndex::Build(std::move(bad), 8).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GridIndexEdgeTest, LocateOnOuterBoundaryHitsThePolygon) {
+  ASSERT_OK_AND_ASSIGN_INDEX(index);
+  // Edge midpoint and corner of the left room: closed-region semantics.
+  EXPECT_EQ(index.Locate({0, 5}), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(index.Locate({0, 0}), (std::vector<std::size_t>{0}));
+}
+
+TEST(GridIndexEdgeTest, LocateOnSharedWallHitsBothRooms) {
+  ASSERT_OK_AND_ASSIGN_INDEX(index);
+  EXPECT_EQ(index.Locate({10, 5}), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(GridIndexEdgeTest, LocateOutsideBoundsIsEmpty) {
+  ASSERT_OK_AND_ASSIGN_INDEX(index);
+  EXPECT_FALSE(index.bounds().Contains({-1, -1}));
+  EXPECT_TRUE(index.Locate({-1, -1}).empty());
+  EXPECT_TRUE(index.Locate({1000, 5}).empty());
+}
+
+TEST(GridIndexEdgeTest, LocateInGapBetweenPolygonsIsEmpty) {
+  // (25, 25) is inside bounds() but in no polygon.
+  ASSERT_OK_AND_ASSIGN_INDEX(index);
+  EXPECT_TRUE(index.bounds().Contains({25, 25}));
+  EXPECT_TRUE(index.Locate({25, 25}).empty());
+}
+
+TEST(GridIndexEdgeTest, LocateFirstNotFound) {
+  ASSERT_OK_AND_ASSIGN_INDEX(index);
+  const auto miss = index.LocateFirst({25, 25});
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+
+  const auto hit = index.LocateFirst({5, 5});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), 0u);
+}
+
+TEST(GridIndexEdgeTest, CandidatesMissingTheGridIsEmpty) {
+  ASSERT_OK_AND_ASSIGN_INDEX(index);
+  EXPECT_TRUE(index.Candidates(Box(100, 100, 110, 110)).empty());
+  EXPECT_TRUE(index.Candidates(Box()).empty());  // empty box
+}
+
+TEST(GridIndexEdgeTest, CandidatesSpanningAllCellsIsSortedAndComplete) {
+  ASSERT_OK_AND_ASSIGN_INDEX(index);
+  EXPECT_EQ(index.Candidates(Box(-5, -5, 50, 50)),
+            (std::vector<std::size_t>{0, 1, 2}));
+  // A box over the gap still reports bbox-overlapping candidates only.
+  EXPECT_EQ(index.Candidates(Box(15, 5, 35, 35)),
+            (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(GridIndexEdgeTest, DegenerateExtentFallsBackToSingleCellRow) {
+  // All polygons share one x-extent: bounds width > 0 but height spans
+  // the full grid; probing still terminates and finds the right cell.
+  std::vector<Polygon> cells = {Polygon::Rectangle(0, 0, 1, 100)};
+  const auto index = GridIndex::Build(std::move(cells), 8);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->Locate({0.5, 99.5}), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(index->Locate({2, 50}).empty());
+}
+
+}  // namespace
+}  // namespace sitm::geom
