@@ -1,8 +1,12 @@
 // P1 — supporting micro-benchmarks for the substrate operations the
 // experiments rely on: polygon predicates, grid-index localization,
 // graph queries at Louvre scale, similarity kernels, and k-medoids.
+#include <chrono>
+#include <cmath>
+
 #include "bench/bench_util.h"
 #include "core/builder.h"
+#include "core/projection.h"
 #include "geom/grid_index.h"
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
@@ -42,13 +46,13 @@ BENCHMARK(BM_PolygonLocate);
 
 void BM_GridIndexLocate(benchmark::State& state) {
   // All zone footprints in one index: the symbolic-localization hot
-  // path (raw fix -> zone).
+  // path (raw fix -> zone). Auto-tuned resolution.
   std::vector<geom::Polygon> zones;
   for (CellId id : Map().zones()) {
     zones.push_back(*Unwrap(Map().graph().FindCell(id))->geometry());
   }
   const geom::GridIndex index =
-      Unwrap(geom::GridIndex::Build(std::move(zones), 64));
+      Unwrap(geom::GridIndex::Build(std::move(zones)));
   Rng rng(9);
   for (auto _ : state) {
     const geom::Point p{rng.NextDouble() * 160, rng.NextDouble() * 60};
@@ -56,6 +60,96 @@ void BM_GridIndexLocate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GridIndexLocate);
+
+// A synthetic polygon soup: n near-tiling rooms on a sqrt(n) x sqrt(n)
+// floor plan, every 8th one an L-shaped ring to exercise the clipping
+// (non-rectangle) build path.
+std::vector<geom::Polygon> PolygonSoup(std::size_t n) {
+  const std::size_t side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  Rng rng(42 + static_cast<std::uint64_t>(n));
+  std::vector<geom::Polygon> soup;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = static_cast<double>(i % side) * 10;
+    const double y0 = static_cast<double>(i / side) * 10;
+    const double w = 6 + rng.NextDouble() * 4;
+    const double h = 6 + rng.NextDouble() * 4;
+    if (i % 8 == 7) {
+      soup.push_back(geom::Polygon({{x0, y0},
+                                    {x0 + w, y0},
+                                    {x0 + w, y0 + h / 2},
+                                    {x0 + w / 2, y0 + h / 2},
+                                    {x0 + w / 2, y0 + h},
+                                    {x0, y0 + h}}));
+    } else {
+      soup.push_back(geom::Polygon::Rectangle(x0, y0, x0 + w, y0 + h));
+    }
+  }
+  return soup;
+}
+
+void BM_GridIndexBuild(benchmark::State& state) {
+  const std::vector<geom::Polygon> soup =
+      PolygonSoup(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // Build consumes its input; manual timing keeps the deep copy out
+    // of the tracked number without per-iteration Pause/Resume noise.
+    std::vector<geom::Polygon> input = soup;
+    const auto start = std::chrono::steady_clock::now();
+    auto built = geom::GridIndex::Build(std::move(input));
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(built);
+    state.SetIterationTime(
+        std::chrono::duration<double>(stop - start).count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GridIndexBuild)
+    ->Arg(32)
+    ->Arg(512)
+    ->Arg(4096)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+void BM_GridIndexLocateSoup(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const geom::GridIndex index = Unwrap(geom::GridIndex::Build(PolygonSoup(n)));
+  const geom::Box span = index.bounds();
+  Rng rng(9);
+  for (auto _ : state) {
+    const geom::Point p{span.min_x + rng.NextDouble() * span.width(),
+                        span.min_y + rng.NextDouble() * span.height()};
+    benchmark::DoNotOptimize(index.Locate(p));
+  }
+}
+BENCHMARK(BM_GridIndexLocateSoup)->Arg(32)->Arg(512)->Arg(4096);
+
+void BM_GridIndexCandidates(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const geom::GridIndex index = Unwrap(geom::GridIndex::Build(PolygonSoup(n)));
+  const geom::Box span = index.bounds();
+  Rng rng(10);
+  for (auto _ : state) {
+    const double x = span.min_x + rng.NextDouble() * span.width();
+    const double y = span.min_y + rng.NextDouble() * span.height();
+    benchmark::DoNotOptimize(index.Candidates(geom::Box(x, y, x + 25, y + 25)));
+  }
+}
+BENCHMARK(BM_GridIndexCandidates)->Arg(32)->Arg(512)->Arg(4096);
+
+void BM_CellLocatorLocalize(benchmark::State& state) {
+  // Raw fix -> zone id through the core-layer localizer.
+  const indoor::SpaceLayer& layer =
+      *Unwrap(Map().graph().FindLayer(Map().zone_layer()));
+  const core::CellLocator locator = Unwrap(core::CellLocator::Build(layer));
+  Rng rng(11);
+  for (auto _ : state) {
+    const geom::Point p{rng.NextDouble() * 160, rng.NextDouble() * 60};
+    benchmark::DoNotOptimize(locator.Localize(p));
+  }
+}
+BENCHMARK(BM_CellLocatorLocalize);
 
 void BM_RoomGraphBfs(benchmark::State& state) {
   const indoor::Nrg& rooms =

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Compares two sets of BENCH_*.json (google-benchmark JSON) files.
+
+Matches benchmarks by (bench id, benchmark name) between a baseline and
+a current directory (or two explicit file lists), normalizes every time
+to nanoseconds, and flags regressions where the current time exceeds the
+baseline by more than --threshold (default 15%).
+
+Exit status: 0 when no regression was flagged (or --report-only), 1 when
+at least one benchmark regressed, 2 on usage/parse errors.
+
+Usage:
+  scripts/compare_benches.py <baseline_dir> <current_dir> [options]
+
+Options:
+  --threshold FRACTION   regression threshold (default 0.15 = +15%)
+  --metric NAME          cpu_time or real_time (default cpu_time);
+                         manual-time benches ("/manual_time" names) are
+                         always compared on real_time, the only metric
+                         their timed section controls
+  (repetition rows from --benchmark_repetitions are reduced to their
+  median per benchmark)
+  --report-only          print the table but always exit 0
+  --min-ns NS            ignore benchmarks faster than NS in both sets
+                         (sub-noise timings; default 1.0)
+
+Typical use: save one run (`cmake --build build --target run_benches`,
+then copy BENCH_*.json aside), apply a change, rerun, compare.
+"""
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {(bench_id, name): [sample, ...]} for one BENCH_*.json.
+
+    Each sample holds cpu_time/real_time in ns. Repetition runs
+    (--benchmark_repetitions) produce several iteration rows per name;
+    all are kept and the comparison uses their median.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}: {err}") from err
+    bench_id = os.path.basename(path)
+    if bench_id.startswith("BENCH_"):
+        bench_id = bench_id[len("BENCH_"):]
+    if bench_id.endswith(".json"):
+        bench_id = bench_id[: -len(".json")]
+    out = {}
+    for row in doc.get("benchmarks", []):
+        # Skip aggregates (mean/median/stddev, BigO/RMS fits): only raw
+        # iteration rows are comparable run to run.
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        name = row.get("name")
+        if name is None:
+            continue
+        # Rows from state.SkipWithError carry error_occurred and no
+        # timings; they are not comparable, not a parse failure.
+        if row.get("error_occurred") or "cpu_time" not in row:
+            continue
+        unit = _UNIT_NS.get(row.get("time_unit", "ns"))
+        if unit is None:
+            raise ValueError(f"{path}: unknown time_unit in {name!r}")
+        out.setdefault((bench_id, name), []).append({
+            "cpu_time": float(row["cpu_time"]) * unit,
+            "real_time": float(row["real_time"]) * unit,
+        })
+    return out
+
+
+def pick_time(key, samples, metric):
+    """Median time for one benchmark, honoring manual-time benches.
+
+    Benches registered with UseManualTime (name suffix "/manual_time")
+    put only the measured section in real_time — their cpu_time also
+    counts untimed per-iteration setup — so they are always compared on
+    real_time.
+    """
+    _, name = key
+    if name.endswith("/manual_time") or "/manual_time/" in name:
+        metric = "real_time"
+    values = sorted(sample[metric] for sample in samples)
+    return statistics.median(values)
+
+
+def collect(root):
+    """Loads every BENCH_*.json under a directory (or one file)."""
+    if os.path.isfile(root):
+        paths = [root]
+    else:
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    merged = {}
+    for path in paths:
+        merged.update(load_benchmarks(path))
+    return merged
+
+
+def format_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.1f} ns"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json sets and flag regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15)
+    parser.add_argument("--metric", choices=("cpu_time", "real_time"),
+                        default="cpu_time")
+    parser.add_argument("--report-only", action="store_true")
+    parser.add_argument("--min-ns", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = collect(args.baseline)
+        current = collect(args.current)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"compare_benches: {err}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"compare_benches: no BENCH_*.json in {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not current:
+        print(f"compare_benches: no BENCH_*.json in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    regressions = []
+    improvements = []
+    for key in shared:
+        base_ns = pick_time(key, baseline[key], args.metric)
+        cur_ns = pick_time(key, current[key], args.metric)
+        if base_ns < args.min_ns and cur_ns < args.min_ns:
+            continue
+        if base_ns <= 0:
+            continue
+        delta = (cur_ns - base_ns) / base_ns
+        row = (key, base_ns, cur_ns, delta)
+        if delta > args.threshold:
+            regressions.append(row)
+        elif delta < -args.threshold:
+            improvements.append(row)
+
+    print(f"compare_benches: {len(shared)} shared benchmarks "
+          f"({args.metric}, threshold {args.threshold:+.0%})")
+    for label, rows in (("REGRESSION", regressions),
+                        ("improvement", improvements)):
+        for (bench_id, name), base_ns, cur_ns, delta in rows:
+            print(f"  {label:<11} {bench_id}:{name}  "
+                  f"{format_ns(base_ns)} -> {format_ns(cur_ns)} "
+                  f"({delta:+.1%})")
+    if only_baseline:
+        print(f"  removed: {len(only_baseline)} benchmarks "
+              f"(e.g. {':'.join(only_baseline[0])})")
+    if only_current:
+        print(f"  added:   {len(only_current)} benchmarks "
+              f"(e.g. {':'.join(only_current[0])})")
+    if not regressions:
+        print("  no regressions flagged")
+
+    if regressions and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,6 +2,39 @@
 
 namespace sitm::core {
 
+Result<CellLocator> CellLocator::Build(const indoor::SpaceLayer& layer) {
+  std::vector<geom::Polygon> regions;
+  std::vector<CellId> cells;
+  for (const indoor::CellSpace& cell : layer.graph().cells()) {
+    if (!cell.has_geometry()) continue;
+    regions.push_back(*cell.geometry());
+    cells.push_back(cell.id());
+  }
+  if (regions.empty()) {
+    return Status::FailedPrecondition(
+        "CellLocator: layer '" + layer.name() + "' has no cell geometry");
+  }
+  Result<geom::GridIndex> index = geom::GridIndex::Build(std::move(regions));
+  if (!index.ok()) {
+    return index.status().WithContext("CellLocator: layer '" + layer.name() +
+                                      "'");
+  }
+  return CellLocator(std::move(index).value(), std::move(cells));
+}
+
+Result<CellId> CellLocator::Localize(geom::Point p) const {
+  SITM_ASSIGN_OR_RETURN(const std::size_t idx, index_.LocateFirst(p));
+  return cells_[idx];
+}
+
+std::vector<CellId> CellLocator::LocalizeAll(geom::Point p) const {
+  std::vector<CellId> out;
+  for (std::size_t idx : index_.Locate(p)) {
+    out.push_back(cells_[idx]);
+  }
+  return out;
+}
+
 Result<Trace> ProjectTrace(const Trace& trace,
                            const indoor::LayerHierarchy& hierarchy,
                            int target_level) {

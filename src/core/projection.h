@@ -1,11 +1,50 @@
 #ifndef SITM_CORE_PROJECTION_H_
 #define SITM_CORE_PROJECTION_H_
 
+#include <utility>
+#include <vector>
+
 #include "base/result.h"
 #include "core/trajectory.h"
+#include "geom/grid_index.h"
 #include "indoor/hierarchy.h"
 
 namespace sitm::core {
+
+/// \brief Symbolic localization: projects raw (x, y) position fixes
+/// onto the cells of one space layer (§2: every raw position must be
+/// mapped to a topographic-space cell before stays, episodes and
+/// annotations exist).
+///
+/// Wraps an auto-resolution geom::GridIndex over the layer's
+/// geometry-bearing cells, translating polygon indices back to CellIds.
+/// Cells without geometry are skipped (the model is symbolic-first);
+/// Build fails if no cell of the layer carries geometry.
+class CellLocator {
+ public:
+  static Result<CellLocator> Build(const indoor::SpaceLayer& layer);
+
+  /// CellId of the first cell whose closed region contains p, or
+  /// NotFound (p is in no indexed cell — a localization gap).
+  Result<CellId> Localize(geom::Point p) const;
+
+  /// All cells whose closed region contains p (several on shared
+  /// walls), in the layer's cell order.
+  std::vector<CellId> LocalizeAll(geom::Point p) const;
+
+  /// The underlying index (bounds, resolution, CSR introspection).
+  const geom::GridIndex& index() const { return index_; }
+
+  /// Number of indexed (geometry-bearing) cells.
+  std::size_t num_cells() const { return cells_.size(); }
+
+ private:
+  CellLocator(geom::GridIndex index, std::vector<CellId> cells)
+      : index_(std::move(index)), cells_(std::move(cells)) {}
+
+  geom::GridIndex index_;
+  std::vector<CellId> cells_;  ///< polygon index -> cell id
+};
 
 /// \brief Projects a trace recorded at some hierarchy level onto a
 /// coarser level (§3.2: "only allowing 'proper part' types of

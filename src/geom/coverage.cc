@@ -1,6 +1,24 @@
 #include "geom/coverage.h"
 
+#include <optional>
+#include <vector>
+
+#include "geom/grid_index.h"
+
 namespace sitm::geom {
+namespace {
+
+/// Children counts below this are cheaper to scan linearly than to
+/// index; above it the auto-tuned grid amortizes over the samples.
+constexpr std::size_t kIndexThreshold = 4;
+
+/// Building the index costs roughly AutoResolution's ~64 clip
+/// classifications per child; a linear scan costs one Contains per
+/// child per sample. Below this many samples the build never pays for
+/// itself, however many children there are.
+constexpr int kIndexMinSamples = 64;
+
+}  // namespace
 
 Result<CoverageReport> EstimateCoverage(const Polygon& parent,
                                         const std::vector<Polygon>& children,
@@ -13,6 +31,15 @@ Result<CoverageReport> EstimateCoverage(const Polygon& parent,
     return Status::InvalidArgument("EstimateCoverage: rng must not be null");
   }
   const Box box = parent.bounds();
+  // Larger child sets go through an auto-resolution GridIndex so each
+  // sample probes one cell instead of scanning every child. Invalid
+  // children (the audit tolerates them) fall back to the linear scan.
+  std::optional<GridIndex> index;
+  if (children.size() >= kIndexThreshold && samples >= kIndexMinSamples) {
+    Result<GridIndex> built = GridIndex::Build(children);
+    if (built.ok()) index = std::move(built).value();
+  }
+  std::vector<std::size_t> hit_scratch;
   CoverageReport report;
   int covered = 0;
   int overlapped = 0;
@@ -25,10 +52,15 @@ Result<CoverageReport> EstimateCoverage(const Polygon& parent,
     if (parent.Locate(p) != Location::kInside) continue;
     ++drawn;
     int hits = 0;
-    for (const Polygon& child : children) {
-      if (child.Contains(p)) {
-        ++hits;
-        if (hits >= 2) break;
+    if (index) {
+      index->Locate(p, &hit_scratch);
+      hits = static_cast<int>(hit_scratch.size());
+    } else {
+      for (const Polygon& child : children) {
+        if (child.Contains(p)) {
+          ++hits;
+          if (hits >= 2) break;
+        }
       }
     }
     if (hits >= 1) ++covered;

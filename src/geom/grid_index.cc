@@ -1,8 +1,124 @@
 #include "geom/grid_index.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
 
 namespace sitm::geom {
+namespace {
+
+/// How thoroughly a polygon covers one grid cell.
+enum class CellCover { kNone, kPartial, kFull };
+
+/// True iff the ring is an axis-aligned rectangle (4 vertices, every
+/// edge parallel to an axis). Such a polygon's region equals its
+/// bounding box, which admits a closed-form cover test.
+bool IsAxisAlignedRectangle(const std::vector<Point>& ring) {
+  if (ring.size() != 4) return false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % 4];
+    if (a.x != b.x && a.y != b.y) return false;
+  }
+  return true;
+}
+
+CellCover ClassifyRectangleCover(const Box& poly_bounds, const Box& cell) {
+  if (!poly_bounds.Intersects(cell)) return CellCover::kNone;
+  if (poly_bounds.min_x <= cell.min_x + kEpsilon &&
+      poly_bounds.max_x >= cell.max_x - kEpsilon &&
+      poly_bounds.min_y <= cell.min_y + kEpsilon &&
+      poly_bounds.max_y >= cell.max_y - kEpsilon) {
+    return CellCover::kFull;
+  }
+  return CellCover::kPartial;
+}
+
+/// One Sutherland–Hodgman pass: keeps the part of `in` on the side of
+/// the axis-aligned line where sign * (coord - limit) >= -kEpsilon. The
+/// inclusive test keeps zero-area boundary contact, so a polygon that
+/// only touches a cell along an edge still registers there.
+void ClipAgainstAxis(const std::vector<Point>& in, int axis, double limit,
+                     double sign, std::vector<Point>* out) {
+  out->clear();
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point a = in[i];
+    const Point b = in[(i + 1) % n];
+    const double da = sign * ((axis == 0 ? a.x : a.y) - limit);
+    const double db = sign * ((axis == 0 ? b.x : b.y) - limit);
+    const bool keep_a = da >= -kEpsilon;
+    const bool keep_b = db >= -kEpsilon;
+    if (keep_a) out->push_back(a);
+    if (keep_a != keep_b) {
+      // Clamp guards the near-parallel case where da ~= db within the
+      // epsilon band and the interpolation parameter would blow up.
+      const double t = std::clamp(da / (da - db), 0.0, 1.0);
+      out->push_back({a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)});
+    }
+  }
+}
+
+double RingArea(const std::vector<Point>& ring) {
+  double twice = 0;
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return std::fabs(twice) / 2;
+}
+
+/// Clips `polygon` to `cell` and classifies the overlap. `scratch_a` /
+/// `scratch_b` are reused across calls to avoid re-allocating the
+/// Sutherland–Hodgman ping-pong buffers per (polygon, cell) pair.
+CellCover ClassifyClippedCover(const Polygon& polygon, const Box& cell,
+                               std::vector<Point>* scratch_a,
+                               std::vector<Point>* scratch_b) {
+  ClipAgainstAxis(polygon.vertices(), 0, cell.min_x, 1.0, scratch_a);
+  if (scratch_a->empty()) return CellCover::kNone;
+  ClipAgainstAxis(*scratch_a, 0, cell.max_x, -1.0, scratch_b);
+  if (scratch_b->empty()) return CellCover::kNone;
+  ClipAgainstAxis(*scratch_b, 1, cell.min_y, 1.0, scratch_a);
+  if (scratch_a->empty()) return CellCover::kNone;
+  ClipAgainstAxis(*scratch_a, 1, cell.max_y, -1.0, scratch_b);
+  if (scratch_b->empty()) return CellCover::kNone;
+  const double cell_area = cell.width() * cell.height();
+  if (cell_area > 0 && RingArea(*scratch_b) >= cell_area * (1.0 - 1e-9)) {
+    return CellCover::kFull;
+  }
+  // Sutherland-Hodgman against a convex window can emit "bridge"
+  // artifacts for concave polygons that wrap around a cell without
+  // touching it: a (near-)zero-area ring whose points all lie outside
+  // the polygon. Genuine contact always leaves at least one output
+  // point on or inside the polygon (a subject vertex, an edge-line
+  // intersection, or a cell corner swallowed by the region), so cells
+  // where every output point is strictly outside are not overlaps.
+  for (const Point& p : *scratch_b) {
+    if (polygon.Locate(p) != Location::kOutside) return CellCover::kPartial;
+  }
+  return CellCover::kNone;
+}
+
+}  // namespace
+
+int GridIndex::AutoResolution(std::size_t num_polygons) {
+  // ~64 cells per polygon. Benchmarked on the Louvre zone layer and on
+  // near-tiling soups (bench_p1): Locate keeps improving with finer
+  // grids because the fraction of partial (exact-test) cells shrinks as
+  // 1/resolution, with diminishing returns and quadratic memory growth
+  // past this target; the clamp bounds the build at 256x256 cells.
+  const double cells = 64.0 * static_cast<double>(num_polygons);
+  const int res = static_cast<int>(std::ceil(std::sqrt(cells)));
+  return std::clamp(res, 8, 256);
+}
+
+Result<GridIndex> GridIndex::Build(std::vector<Polygon> polygons) {
+  const int resolution = AutoResolution(polygons.size());
+  return Build(std::move(polygons), resolution);
+}
 
 Result<GridIndex> GridIndex::Build(std::vector<Polygon> polygons,
                                    int resolution) {
@@ -12,81 +128,175 @@ Result<GridIndex> GridIndex::Build(std::vector<Polygon> polygons,
   if (resolution < 1) {
     return Status::InvalidArgument("GridIndex: resolution must be >= 1");
   }
+  if (resolution > kMaxResolution) {
+    return Status::InvalidArgument(
+        "GridIndex: resolution must be <= " + std::to_string(kMaxResolution) +
+        " (cell ids are 32-bit and the grid is allocated densely)");
+  }
+  if (polygons.size() > kEntryIndexMask) {
+    return Status::InvalidArgument(
+        "GridIndex: too many polygons for packed 31-bit entries");
+  }
   GridIndex index;
+  index.bboxes_.reserve(polygons.size());
   for (std::size_t i = 0; i < polygons.size(); ++i) {
     SITM_RETURN_IF_ERROR(polygons[i].Validate().WithContext(
         "GridIndex: polygon " + std::to_string(i)));
-    index.bounds_.Extend(polygons[i].bounds());
+    index.bboxes_.push_back(polygons[i].bounds());
+    index.bounds_.Extend(index.bboxes_.back());
   }
   index.resolution_ = resolution;
   index.polygons_ = std::move(polygons);
-  index.buckets_.assign(
-      static_cast<std::size_t>(resolution) * resolution, {});
+  // A zero-extent axis (unreachable through valid polygons, which have
+  // nonzero area, but kept consistent regardless) collapses to a single
+  // cell so CellX/CellY and the bucket walk agree on cell 0.
+  const double width = index.bounds_.width();
+  const double height = index.bounds_.height();
+  index.cells_x_ = width > 0 ? resolution : 1;
+  index.cells_y_ = height > 0 ? resolution : 1;
+  index.inv_cell_w_ = width > 0 ? index.cells_x_ / width : 0;
+  index.inv_cell_h_ = height > 0 ? index.cells_y_ / height : 0;
+  const double cell_w =
+      width > 0 ? width / index.cells_x_ : 0;
+  const double cell_h =
+      height > 0 ? height / index.cells_y_ : 0;
+
+  // Pass 1: classify every (polygon, touched cell) pair. Kept as a flat
+  // pair list so the CSR arrays can be filled by one counting sort.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<Point> scratch_a;
+  std::vector<Point> scratch_b;
   for (std::size_t i = 0; i < index.polygons_.size(); ++i) {
-    const Box b = index.polygons_[i].bounds();
+    const Polygon& polygon = index.polygons_[i];
+    const Box& b = index.bboxes_[i];
+    const bool is_rect = IsAxisAlignedRectangle(polygon.vertices());
     const int x0 = index.CellX(b.min_x);
     const int x1 = index.CellX(b.max_x);
     const int y0 = index.CellY(b.min_y);
     const int y1 = index.CellY(b.max_y);
     for (int cy = y0; cy <= y1; ++cy) {
       for (int cx = x0; cx <= x1; ++cx) {
-        index.buckets_[static_cast<std::size_t>(cy) * resolution + cx]
-            .push_back(static_cast<std::uint32_t>(i));
+        const Box cell(index.bounds_.min_x + cx * cell_w,
+                       index.bounds_.min_y + cy * cell_h,
+                       cx + 1 == index.cells_x_
+                           ? index.bounds_.max_x
+                           : index.bounds_.min_x + (cx + 1) * cell_w,
+                       cy + 1 == index.cells_y_
+                           ? index.bounds_.max_y
+                           : index.bounds_.min_y + (cy + 1) * cell_h);
+        const CellCover cover =
+            is_rect ? ClassifyRectangleCover(b, cell)
+                    : ClassifyClippedCover(polygon, cell, &scratch_a,
+                                           &scratch_b);
+        if (cover == CellCover::kNone) continue;
+        std::uint32_t entry = static_cast<std::uint32_t>(i);
+        if (cover == CellCover::kFull) entry |= kFullCellBit;
+        pairs.emplace_back(
+            static_cast<std::uint32_t>(index.CellIndex(cx, cy)), entry);
       }
     }
+  }
+
+  // Pass 2: counting sort into CSR. Polygons were visited in ascending
+  // order, so each cell's entry span stays sorted by polygon index.
+  if (pairs.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "GridIndex: too many (polygon, cell) entries for 32-bit offsets");
+  }
+  const std::size_t num_cells =
+      static_cast<std::size_t>(index.cells_x_) * index.cells_y_;
+  index.offsets_.assign(num_cells + 1, 0);
+  for (const auto& [cell, entry] : pairs) {
+    ++index.offsets_[cell + 1];
+  }
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    index.offsets_[c + 1] += index.offsets_[c];
+  }
+  index.entries_.resize(pairs.size());
+  std::vector<std::uint32_t> cursor(index.offsets_.begin(),
+                                    index.offsets_.end() - 1);
+  for (const auto& [cell, entry] : pairs) {
+    index.entries_[cursor[cell]++] = entry;
   }
   return index;
 }
 
 int GridIndex::CellX(double x) const {
-  const double w = bounds_.width();
-  if (w <= 0) return 0;
-  int c = static_cast<int>((x - bounds_.min_x) / w * resolution_);
-  return std::clamp(c, 0, resolution_ - 1);
+  const double t = (x - bounds_.min_x) * inv_cell_w_;
+  if (t <= 0) return 0;
+  if (t >= cells_x_) return cells_x_ - 1;
+  return static_cast<int>(t);
 }
 
 int GridIndex::CellY(double y) const {
-  const double h = bounds_.height();
-  if (h <= 0) return 0;
-  int c = static_cast<int>((y - bounds_.min_y) / h * resolution_);
-  return std::clamp(c, 0, resolution_ - 1);
+  const double t = (y - bounds_.min_y) * inv_cell_h_;
+  if (t <= 0) return 0;
+  if (t >= cells_y_) return cells_y_ - 1;
+  return static_cast<int>(t);
 }
 
 std::vector<std::size_t> GridIndex::Locate(Point p) const {
   std::vector<std::size_t> hits;
-  if (!bounds_.Contains(p)) return hits;
-  for (std::uint32_t idx : Bucket(CellX(p.x), CellY(p.y))) {
-    if (polygons_[idx].Contains(p)) hits.push_back(idx);
-  }
+  Locate(p, &hits);
   return hits;
 }
 
-Result<std::size_t> GridIndex::LocateFirst(Point p) const {
-  const std::vector<std::size_t> hits = Locate(p);
-  if (hits.empty()) {
-    return Status::NotFound("no polygon contains the query point");
+void GridIndex::Locate(Point p, std::vector<std::size_t>* hits) const {
+  hits->clear();
+  if (!bounds_.Contains(p)) return;
+  const std::size_t cell = CellIndex(CellX(p.x), CellY(p.y));
+  const std::uint32_t begin = offsets_[cell];
+  const std::uint32_t end = offsets_[cell + 1];
+  for (std::uint32_t k = begin; k < end; ++k) {
+    const std::uint32_t entry = entries_[k];
+    const std::size_t idx = entry & kEntryIndexMask;
+    if ((entry & kFullCellBit) != 0 || polygons_[idx].Contains(p)) {
+      hits->push_back(idx);
+    }
   }
-  return hits.front();
+}
+
+Result<std::size_t> GridIndex::LocateFirst(Point p) const {
+  // Allocation-free: walks the cell span directly instead of
+  // materializing the full hit list (this backs the raw-fix hot path in
+  // core::CellLocator::Localize).
+  if (bounds_.Contains(p)) {
+    const std::size_t cell = CellIndex(CellX(p.x), CellY(p.y));
+    for (std::uint32_t k = offsets_[cell]; k < offsets_[cell + 1]; ++k) {
+      const std::uint32_t entry = entries_[k];
+      const std::size_t idx = entry & kEntryIndexMask;
+      if ((entry & kFullCellBit) != 0 || polygons_[idx].Contains(p)) {
+        return idx;
+      }
+    }
+  }
+  return Status::NotFound("no polygon contains the query point");
 }
 
 std::vector<std::size_t> GridIndex::Candidates(const Box& box) const {
   std::vector<std::size_t> out;
+  // Box::empty() is true only for an inverted (default-constructed)
+  // box; a zero-area point- or segment-box is a legitimate query and
+  // falls through to the cell walk.
   if (box.empty() || !bounds_.Intersects(box)) return out;
   const int x0 = CellX(box.min_x);
   const int x1 = CellX(box.max_x);
   const int y0 = CellY(box.min_y);
   const int y1 = CellY(box.max_y);
-  std::vector<bool> seen(polygons_.size(), false);
   for (int cy = y0; cy <= y1; ++cy) {
     for (int cx = x0; cx <= x1; ++cx) {
-      for (std::uint32_t idx : Bucket(cx, cy)) {
-        if (seen[idx]) continue;
-        seen[idx] = true;
-        if (polygons_[idx].bounds().Intersects(box)) out.push_back(idx);
+      const std::size_t cell = CellIndex(cx, cy);
+      for (std::uint32_t k = offsets_[cell]; k < offsets_[cell + 1]; ++k) {
+        const std::size_t idx = entries_[k] & kEntryIndexMask;
+        if (bboxes_[idx].Intersects(box)) out.push_back(idx);
       }
     }
   }
+  // Sorted-merge dedup instead of a polygons-sized seen bitmap: keeps
+  // the query allocation proportional to the candidate count and the
+  // method safe for concurrent callers.
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -13,45 +13,115 @@ namespace sitm::geom {
 ///
 /// Supports the hot query of symbolic localization: map a raw (x, y)
 /// position to the polygon(s) containing it (e.g. a beacon fix to a
-/// thematic zone). Build is O(total cells covered); Locate probes one
-/// grid cell and tests only the polygons whose bounding boxes cover it.
+/// thematic zone).
+///
+/// Storage (v2) is a flat CSR layout: one `cell_offsets()` array with
+/// `cells_x() * cells_y() + 1` monotone entries and one packed
+/// `cell_entries()` array, so a Locate probe touches two contiguous
+/// arrays instead of chasing a vector-of-vectors. Each entry packs a
+/// polygon index in the low 31 bits; the high bit (`kFullCellBit`) marks
+/// entries whose polygon fully covers the cell.
+///
+/// Clipping guarantee: at Build time every polygon is clipped (exactly,
+/// via Sutherland–Hodgman against the cell rectangle, with a closed-form
+/// fast path for axis-aligned rectangles) to each grid cell its bounding
+/// box touches. A cell lists a polygon iff their *closed regions*
+/// actually share a point — not merely their bounding boxes — and cells
+/// lying entirely inside a polygon carry the full-cover bit, so Locate
+/// answers them without a Polygon::Contains test. Cells a polygon only
+/// touches along a boundary (zero-area contact) are still listed, which
+/// preserves closed-region semantics for points on shared walls and on
+/// cell borders.
+///
+/// Auto-resolution heuristic: the one-argument Build picks
+/// `AutoResolution(n)` = clamp(ceil(sqrt(64 n)), 8, 256) cells per axis.
+/// If the n polygons roughly tile their joint extent, this targets ~64
+/// cells per polygon footprint (the extent cancels out), so the cells
+/// needing an exact Contains test — those straddling a polygon boundary
+/// — are a small fraction of each polygon's cells, and most probes
+/// resolve on full-cover bits alone. The clamp bounds grid memory and
+/// build cost at 256x256 cells.
 class GridIndex {
  public:
-  /// Builds an index over `polygons` with a `resolution` x `resolution`
-  /// grid covering their joint bounding box. The entries keep their
-  /// vector index as identifier. Fails on empty input, invalid polygons,
-  /// or resolution < 1.
+  /// Packed-entry layout of `cell_entries()`.
+  static constexpr std::uint32_t kFullCellBit = 0x80000000u;
+  static constexpr std::uint32_t kEntryIndexMask = 0x7fffffffu;
+
+  /// Largest accepted explicit resolution: cell indices are 32-bit and
+  /// the grid is allocated densely, so this bounds offsets_ at 64 MiB.
+  static constexpr int kMaxResolution = 4096;
+
+  /// Builds an index over `polygons` with an auto-tuned resolution
+  /// (see AutoResolution). The entries keep their vector index as
+  /// identifier. Fails on empty input or invalid polygons.
+  static Result<GridIndex> Build(std::vector<Polygon> polygons);
+
+  /// Builds an index with an explicit `resolution` x `resolution` grid
+  /// covering the polygons' joint bounding box. Fails on empty input,
+  /// invalid polygons, or resolution < 1.
   static Result<GridIndex> Build(std::vector<Polygon> polygons,
-                                 int resolution = 64);
+                                 int resolution);
+
+  /// Grid cells per axis the auto-tuned Build would pick for
+  /// `num_polygons` polygons, in [8, 256] and non-decreasing in the
+  /// count. Exposed so call sites sizing related structures (or tests)
+  /// can reproduce the heuristic.
+  static int AutoResolution(std::size_t num_polygons);
 
   /// Indices of all polygons whose closed region contains p (cells may
   /// not overlap in a single IndoorGML layer, but the index also serves
-  /// multi-layer lookups where nesting is expected).
+  /// multi-layer lookups where nesting is expected). Ascending order.
   std::vector<std::size_t> Locate(Point p) const;
+
+  /// Allocation-reusing variant: clears *hits and fills it with the
+  /// Locate result. For hot loops that probe many points.
+  void Locate(Point p, std::vector<std::size_t>* hits) const;
 
   /// Index of the first polygon containing p, or NotFound.
   Result<std::size_t> LocateFirst(Point p) const;
 
-  /// Indices of all polygons whose bounding box intersects `box`
-  /// (candidate set; callers refine with exact predicates).
+  /// Candidate set for `box`, ascending and duplicate-free: a superset
+  /// of the polygons whose closed region intersects `box`, and a subset
+  /// of those whose bounding box does (clipped buckets prune
+  /// bbox-only-overlap candidates the cells have ruled out). Callers
+  /// refine with exact predicates. A zero-area (point or segment) box is
+  /// a valid query; only a default-constructed empty box returns {}.
   std::vector<std::size_t> Candidates(const Box& box) const;
 
   const std::vector<Polygon>& polygons() const { return polygons_; }
   const Box& bounds() const { return bounds_; }
+
+  /// The requested resolution (cells per axis before degenerate-axis
+  /// collapse).
+  int resolution() const { return resolution_; }
+  /// Actual grid dimensions; a zero-extent axis collapses to one cell.
+  int cells_x() const { return cells_x_; }
+  int cells_y() const { return cells_y_; }
+
+  /// CSR introspection (for invariant checks and layout-aware tooling).
+  const std::vector<std::uint32_t>& cell_offsets() const { return offsets_; }
+  const std::vector<std::uint32_t>& cell_entries() const { return entries_; }
 
  private:
   GridIndex() = default;
 
   int CellX(double x) const;
   int CellY(double y) const;
-  const std::vector<std::uint32_t>& Bucket(int cx, int cy) const {
-    return buckets_[static_cast<std::size_t>(cy) * resolution_ + cx];
+  std::size_t CellIndex(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * cells_x_ + cx;
   }
 
   std::vector<Polygon> polygons_;
+  std::vector<Box> bboxes_;  ///< cached polygon bounds, same order
   Box bounds_;
   int resolution_ = 0;
-  std::vector<std::vector<std::uint32_t>> buckets_;
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  /// cells_per_axis / extent, 0 for a degenerate (zero-extent) axis.
+  double inv_cell_w_ = 0;
+  double inv_cell_h_ = 0;
+  std::vector<std::uint32_t> offsets_;  ///< size cells_x_*cells_y_ + 1
+  std::vector<std::uint32_t> entries_;  ///< packed polygon ids per cell
 };
 
 }  // namespace sitm::geom

@@ -1,5 +1,9 @@
 #include "indoor/subdivision.h"
 
+#include <utility>
+#include <vector>
+
+#include "geom/grid_index.h"
 #include "qsr/topology.h"
 
 namespace sitm::indoor {
@@ -35,18 +39,52 @@ Result<int> SubdivideCell(MultiLayerGraph* graph, CellId cell,
             std::string(qsr::TopologicalRelationName(rel)) + ")");
       }
     }
+    // Pairwise disjointness. Small splits check every pair directly;
+    // larger ones go through a grid index over the sub-cell geometries
+    // (auto-tuned resolution), which narrows the exact ClassifyRegions
+    // checks to pairs whose regions can actually touch. The containment
+    // loop above has already validated every geometry the index
+    // ingests. Below the threshold the index build (clip every polygon
+    // over an 8x8+ grid) costs more than the few checks it would save.
+    constexpr std::size_t kIndexThreshold = 8;
+    std::vector<std::size_t> with_geometry;  // index in sub_cells
     for (std::size_t i = 0; i < sub_cells.size(); ++i) {
-      for (std::size_t j = i + 1; j < sub_cells.size(); ++j) {
-        if (!sub_cells[i].has_geometry() || !sub_cells[j].has_geometry()) {
-          continue;
+      if (sub_cells[i].has_geometry()) with_geometry.push_back(i);
+    }
+    const auto check_pair = [&](std::size_t a, std::size_t b) -> Status {
+      const CellSpace& first = sub_cells[a];
+      const CellSpace& second = sub_cells[b];
+      SITM_ASSIGN_OR_RETURN(
+          const qsr::TopologicalRelation rel,
+          qsr::ClassifyRegions(*first.geometry(), *second.geometry()));
+      if (qsr::ImpliesInteriorIntersection(rel)) {
+        return Status::FailedPrecondition(
+            "SubdivideCell: sub-cells '" + first.name() + "' and '" +
+            second.name() + "' overlap");
+      }
+      return Status::OK();
+    };
+    if (with_geometry.size() < kIndexThreshold) {
+      for (std::size_t a = 0; a < with_geometry.size(); ++a) {
+        for (std::size_t b = a + 1; b < with_geometry.size(); ++b) {
+          SITM_RETURN_IF_ERROR(
+              check_pair(with_geometry[a], with_geometry[b]));
         }
-        SITM_ASSIGN_OR_RETURN(const qsr::TopologicalRelation rel,
-                              qsr::ClassifyRegions(*sub_cells[i].geometry(),
-                                                   *sub_cells[j].geometry()));
-        if (qsr::ImpliesInteriorIntersection(rel)) {
-          return Status::FailedPrecondition(
-              "SubdivideCell: sub-cells '" + sub_cells[i].name() + "' and '" +
-              sub_cells[j].name() + "' overlap");
+      }
+    } else {
+      std::vector<geom::Polygon> regions;
+      regions.reserve(with_geometry.size());
+      for (std::size_t i : with_geometry) {
+        regions.push_back(*sub_cells[i].geometry());
+      }
+      SITM_ASSIGN_OR_RETURN(const geom::GridIndex index,
+                            geom::GridIndex::Build(std::move(regions)));
+      for (std::size_t a = 0; a < with_geometry.size(); ++a) {
+        for (std::size_t b :
+             index.Candidates(index.polygons()[a].bounds())) {
+          if (b <= a) continue;
+          SITM_RETURN_IF_ERROR(
+              check_pair(with_geometry[a], with_geometry[b]));
         }
       }
     }

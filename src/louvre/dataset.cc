@@ -15,6 +15,14 @@ std::size_t VisitDataset::CountZeroDuration() const {
                     }));
 }
 
+std::size_t VisitDataset::CountPositions() const {
+  return static_cast<std::size_t>(
+      std::count_if(detections_.begin(), detections_.end(),
+                    [](const ZoneDetection& d) {
+                      return d.position.has_value();
+                    }));
+}
+
 std::size_t VisitDataset::FilterZeroDuration() {
   const std::size_t before = detections_.size();
   detections_.erase(std::remove_if(detections_.begin(), detections_.end(),

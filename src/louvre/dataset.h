@@ -1,11 +1,13 @@
 #ifndef SITM_LOUVRE_DATASET_H_
 #define SITM_LOUVRE_DATASET_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "base/result.h"
 #include "core/builder.h"
+#include "geom/point.h"
 
 namespace sitm::louvre {
 
@@ -18,6 +20,11 @@ struct ZoneDetection {
   CellId zone;
   Timestamp start;
   Timestamp end;
+  /// Synthetic raw (x, y) fix inside the zone's region, present when the
+  /// simulator was asked to emit positions (the paper's detections are
+  /// symbolic; this models the raw-fix layer beneath them so the
+  /// localization pipeline can be exercised end to end).
+  std::optional<geom::Point> position = std::nullopt;
 
   Duration duration() const { return end - start; }
 };
@@ -35,6 +42,9 @@ class VisitDataset {
   /// Number of zero-duration detections currently in the dataset (the
   /// paper flags ~10% of records as such errors).
   std::size_t CountZeroDuration() const;
+
+  /// Number of detections carrying a raw position fix.
+  std::size_t CountPositions() const;
 
   /// Removes zero-duration detections; returns how many were dropped.
   std::size_t FilterZeroDuration();

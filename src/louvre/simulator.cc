@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
+
+#include "core/projection.h"
+#include "geom/polygon.h"
 
 namespace sitm::louvre {
 namespace {
@@ -15,6 +20,33 @@ int DrawVisitSize(Rng* rng, double mean_extra) {
   if (u < 1e-12) u = 1e-12;
   const int extra = static_cast<int>(std::log(u) / std::log(1.0 - p));
   return 1 + std::min(extra, 29);
+}
+
+// Samples a raw fix strictly inside `zone`'s region whose grid-index
+// localization contains `zone` (floors overlap in plan view, so the fix
+// may legitimately localize to several stacked zones), falling back to
+// the deterministic interior point for slivers the rejection sampler
+// keeps missing.
+std::optional<geom::Point> SamplePositionInZone(
+    const core::CellLocator& locator, const indoor::Nrg& zones, CellId zone,
+    Rng* rng) {
+  const Result<const indoor::CellSpace*> cell = zones.FindCell(zone);
+  if (!cell.ok() || !(*cell)->has_geometry()) return std::nullopt;
+  const geom::Polygon& region = *(*cell)->geometry();
+  const geom::Box box = region.bounds();
+  const auto localizes_to_zone = [&](geom::Point p) {
+    const std::vector<CellId> located = locator.LocalizeAll(p);
+    return std::find(located.begin(), located.end(), zone) != located.end();
+  };
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const geom::Point p{box.min_x + rng->NextDouble() * box.width(),
+                        box.min_y + rng->NextDouble() * box.height()};
+    if (region.Locate(p) != geom::Location::kInside) continue;
+    if (localizes_to_zone(p)) return p;
+  }
+  const Result<geom::Point> fallback = region.InteriorPoint();
+  if (fallback.ok() && localizes_to_zone(*fallback)) return *fallback;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -34,6 +66,20 @@ Result<VisitDataset> VisitSimulator::Generate() {
   SITM_ASSIGN_OR_RETURN(const indoor::SpaceLayer* zone_layer,
                         map_->graph().FindLayer(map_->zone_layer()));
   const indoor::Nrg& zones = zone_layer->graph();
+
+  // Raw-fix emission goes through the grid-index localizer so every
+  // emitted position provably localizes back to its zone. Positions
+  // draw from their own stream so enabling them leaves the symbolic
+  // walk (visits, zones, dwells) identical for a given seed.
+  Rng position_rng(options_.seed ^ 0x706f736974696f6eULL);  // "position"
+  std::optional<core::CellLocator> locator;
+  if (options_.emit_positions) {
+    Result<core::CellLocator> built = core::CellLocator::Build(*zone_layer);
+    if (!built.ok()) {
+      return built.status().WithContext("VisitSimulator: emit_positions");
+    }
+    locator = std::move(built).value();
+  }
 
   // The 22 zones outside the app's coverage (see the option's comment).
   auto covered = [&](CellId zone) -> bool {
@@ -142,8 +188,13 @@ Result<VisitDataset> VisitSimulator::Generate() {
         } else {
           ++summary_.num_zero_duration;
         }
-        dataset.mutable_detections().push_back(
-            ZoneDetection{visitor, current, t, t + dwell});
+        ZoneDetection detection{visitor, current, t, t + dwell,
+                                std::nullopt};
+        if (locator) {
+          detection.position =
+              SamplePositionInZone(*locator, zones, current, &position_rng);
+        }
+        dataset.mutable_detections().push_back(detection);
         ++emitted;
         t = t + dwell + Duration::Seconds(rng.NextInt(10, 90));
         // Step to a popularity-weighted accessible neighbour within the

@@ -31,6 +31,14 @@ struct SimulatorOptions {
   /// Longest visit (§4.1's observed maximum; dwells are clamped so a
   /// visit cannot meaningfully exceed it).
   Duration max_visit_span = Duration(7 * 3600 + 41 * 60 + 37);
+  /// When true, detections in geometry-bearing zones also carry a raw
+  /// (x, y) position fix sampled inside the zone's region and verified
+  /// (via the grid-index localizer) to symbolically localize to a zone
+  /// set containing that zone (floors overlap in plan view) — the raw
+  /// layer beneath the paper's symbolic detections. Best-effort: a
+  /// zone without geometry (none in the Louvre map) leaves the
+  /// detection's position unset.
+  bool emit_positions = false;
   /// The paper's Fig. 6 covers "the 30 zones present in the dataset":
   /// the app's coverage did not span the whole museum. When true, walks
   /// avoid the 22 zones outside that coverage (floor +2, the historic

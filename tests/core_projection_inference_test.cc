@@ -268,6 +268,56 @@ TEST(GapClassificationTest, HolesVsSemanticGaps) {
   EXPECT_EQ(no_exit_gaps[0].kind, GapKind::kHole);
 }
 
+// --- CellLocator: geometric projection of raw fixes onto a layer.
+
+SpaceLayer GeometricRoomLayer() {
+  SpaceLayer rooms(LayerId(0), "Room", LayerKind::kTopographic);
+  CellSpace left(CellId(100), "left", indoor::CellClass::kRoom);
+  left.set_geometry(geom::Polygon::Rectangle(0, 0, 10, 10));
+  CellSpace right(CellId(101), "right", indoor::CellClass::kRoom);
+  right.set_geometry(geom::Polygon::Rectangle(10, 0, 20, 10));
+  CellSpace symbolic(CellId(102), "no-geom", indoor::CellClass::kRoom);
+  EXPECT_TRUE(rooms.mutable_graph().AddCell(std::move(left)).ok());
+  EXPECT_TRUE(rooms.mutable_graph().AddCell(std::move(right)).ok());
+  EXPECT_TRUE(rooms.mutable_graph().AddCell(std::move(symbolic)).ok());
+  return rooms;
+}
+
+TEST(CellLocatorTest, LocalizesFixesToCells) {
+  const SpaceLayer rooms = GeometricRoomLayer();
+  const auto locator = CellLocator::Build(rooms);
+  ASSERT_TRUE(locator.ok()) << locator.status();
+  EXPECT_EQ(locator->num_cells(), 2u);  // the symbolic cell is skipped
+  EXPECT_EQ(*locator->Localize({5, 5}), CellId(100));
+  EXPECT_EQ(*locator->Localize({15, 5}), CellId(101));
+  // On the shared wall both rooms answer, in layer order.
+  EXPECT_EQ(locator->LocalizeAll({10, 5}),
+            (std::vector<CellId>{CellId(100), CellId(101)}));
+  // A fix outside every region is a localization gap.
+  const auto gap = locator->Localize({50, 50});
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CellLocatorTest, FailsWithoutAnyGeometry) {
+  SpaceLayer rooms(LayerId(0), "Room", LayerKind::kTopographic);
+  EXPECT_TRUE(rooms.mutable_graph()
+                  .AddCell(CellSpace(CellId(1), "bare",
+                                     indoor::CellClass::kRoom))
+                  .ok());
+  const auto locator = CellLocator::Build(rooms);
+  ASSERT_FALSE(locator.ok());
+  EXPECT_EQ(locator.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CellLocatorTest, UsesAutoResolutionIndex) {
+  const SpaceLayer rooms = GeometricRoomLayer();
+  const auto locator = CellLocator::Build(rooms);
+  ASSERT_TRUE(locator.ok()) << locator.status();
+  EXPECT_EQ(locator->index().resolution(),
+            geom::GridIndex::AutoResolution(2));
+}
+
 TEST(CandidateCellsTest, DelegatesToJointEdges) {
   MultiLayerGraph g = TwoFloorGraph();
   const auto candidates = CandidateCellsAt(g, CellId(10), LayerId(0));

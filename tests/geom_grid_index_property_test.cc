@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "geom/box.h"
+#include "geom/grid_index.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace sitm::geom {
+namespace {
+
+// Property tests: GridIndex v2 (CSR layout + clipped buckets) against a
+// brute-force oracle over randomized polygon soups. The soups mix
+// axis-aligned rectangles (the fast build path), L-shaped rings and
+// triangles (the Sutherland-Hodgman path), with overlaps allowed.
+
+std::vector<Polygon> RandomSoup(Rng* rng, std::size_t n, double extent) {
+  std::vector<Polygon> soup;
+  while (soup.size() < n) {
+    const double x0 = rng->NextDouble() * extent;
+    const double y0 = rng->NextDouble() * extent;
+    const double w = 1 + rng->NextDouble() * extent / 4;
+    const double h = 1 + rng->NextDouble() * extent / 4;
+    switch (rng->NextBounded(3)) {
+      case 0:
+        soup.push_back(Polygon::Rectangle(x0, y0, x0 + w, y0 + h));
+        break;
+      case 1:  // L-shape
+        soup.push_back(Polygon({{x0, y0},
+                                {x0 + w, y0},
+                                {x0 + w, y0 + h / 2},
+                                {x0 + w / 2, y0 + h / 2},
+                                {x0 + w / 2, y0 + h},
+                                {x0, y0 + h}}));
+        break;
+      default:  // triangle
+        soup.push_back(
+            Polygon({{x0, y0}, {x0 + w, y0}, {x0 + w / 2, y0 + h}}));
+        break;
+    }
+    if (!soup.back().Validate().ok()) soup.pop_back();
+  }
+  return soup;
+}
+
+std::vector<std::size_t> BruteForceLocate(const std::vector<Polygon>& soup,
+                                          Point p) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < soup.size(); ++i) {
+    if (soup[i].Contains(p)) hits.push_back(i);
+  }
+  return hits;
+}
+
+void CheckCsrInvariants(const GridIndex& index) {
+  const auto& offsets = index.cell_offsets();
+  const auto& entries = index.cell_entries();
+  ASSERT_EQ(offsets.size(),
+            static_cast<std::size_t>(index.cells_x()) * index.cells_y() + 1);
+  ASSERT_EQ(offsets.front(), 0u);
+  ASSERT_EQ(offsets.back(), entries.size());
+  for (std::size_t c = 0; c + 1 < offsets.size(); ++c) {
+    ASSERT_LE(offsets[c], offsets[c + 1]);
+  }
+  for (std::uint32_t entry : entries) {
+    ASSERT_LT(entry & GridIndex::kEntryIndexMask, index.polygons().size());
+  }
+}
+
+TEST(GridIndexPropertyTest, LocateMatchesBruteForceOracle) {
+  Rng rng(20190326);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 4 + rng.NextBounded(60);
+    std::vector<Polygon> soup = RandomSoup(&rng, n, 100);
+    const std::vector<Polygon> oracle_soup = soup;
+    // Alternate between auto-tuned and explicit (coarse and fine)
+    // resolutions so cell-boundary rounding is exercised at several
+    // granularities.
+    const int resolution = round % 2 == 0 ? 0 : 1 + static_cast<int>(
+                                                        rng.NextBounded(96));
+    const auto index = resolution == 0
+                           ? GridIndex::Build(std::move(soup))
+                           : GridIndex::Build(std::move(soup), resolution);
+    ASSERT_TRUE(index.ok()) << index.status();
+    CheckCsrInvariants(*index);
+    const Box bounds = index->bounds();
+    for (int q = 0; q < 400; ++q) {
+      const Point p{bounds.min_x - 5 + rng.NextDouble() * (bounds.width() + 10),
+                    bounds.min_y - 5 +
+                        rng.NextDouble() * (bounds.height() + 10)};
+      ASSERT_EQ(index->Locate(p), BruteForceLocate(oracle_soup, p))
+          << "round " << round << " at (" << p.x << ", " << p.y << ")";
+    }
+    // Adversarial probes: polygon vertices (boundary semantics) and
+    // points snapped to exact cell-boundary coordinates.
+    for (const Polygon& polygon : oracle_soup) {
+      for (const Point& v : polygon.vertices()) {
+        ASSERT_EQ(index->Locate(v), BruteForceLocate(oracle_soup, v));
+      }
+    }
+    const double cell_w = bounds.width() / index->cells_x();
+    for (int k = 0; k <= index->cells_x(); ++k) {
+      const Point p{bounds.min_x + k * cell_w,
+                    bounds.min_y + rng.NextDouble() * bounds.height()};
+      ASSERT_EQ(index->Locate(p), BruteForceLocate(oracle_soup, p));
+    }
+  }
+}
+
+TEST(GridIndexPropertyTest, CandidatesIsSoundAndBoundedByBboxOverlap) {
+  Rng rng(77);
+  std::vector<Polygon> soup = RandomSoup(&rng, 40, 100);
+  const std::vector<Polygon> oracle_soup = soup;
+  const auto index = GridIndex::Build(std::move(soup));
+  ASSERT_TRUE(index.ok()) << index.status();
+  for (int q = 0; q < 200; ++q) {
+    const double x0 = rng.NextDouble() * 100;
+    const double y0 = rng.NextDouble() * 100;
+    const Box box(x0, y0, x0 + rng.NextDouble() * 30,
+                  y0 + rng.NextDouble() * 30);
+    const std::vector<std::size_t> candidates = index->Candidates(box);
+    // Sorted and duplicate-free.
+    ASSERT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    ASSERT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+                candidates.end());
+    // Subset of bbox overlap.
+    for (std::size_t idx : candidates) {
+      ASSERT_TRUE(oracle_soup[idx].bounds().Intersects(box));
+    }
+    // Superset of true region overlap, witnessed by sampled points of
+    // the box that some polygon contains.
+    for (int s = 0; s < 40; ++s) {
+      const Point p{box.min_x + rng.NextDouble() * box.width(),
+                    box.min_y + rng.NextDouble() * box.height()};
+      for (std::size_t i = 0; i < oracle_soup.size(); ++i) {
+        if (!oracle_soup[i].Contains(p)) continue;
+        ASSERT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                       i))
+            << "polygon " << i << " contains (" << p.x << ", " << p.y
+            << ") in the box but is not a candidate";
+      }
+    }
+  }
+}
+
+TEST(GridIndexPropertyTest, LocateFirstAgreesWithLocate) {
+  Rng rng(5);
+  std::vector<Polygon> soup = RandomSoup(&rng, 25, 50);
+  const auto index = GridIndex::Build(std::move(soup));
+  ASSERT_TRUE(index.ok()) << index.status();
+  for (int q = 0; q < 300; ++q) {
+    const Point p{rng.NextDouble() * 60 - 5, rng.NextDouble() * 60 - 5};
+    const std::vector<std::size_t> hits = index->Locate(p);
+    const auto first = index->LocateFirst(p);
+    if (hits.empty()) {
+      ASSERT_FALSE(first.ok());
+      ASSERT_EQ(first.status().code(), StatusCode::kNotFound);
+    } else {
+      ASSERT_TRUE(first.ok());
+      ASSERT_EQ(*first, hits.front());
+    }
+  }
+}
+
+TEST(GridIndexPropertyTest, ScratchLocateMatchesAllocatingLocate) {
+  Rng rng(6);
+  std::vector<Polygon> soup = RandomSoup(&rng, 30, 80);
+  const auto index = GridIndex::Build(std::move(soup));
+  ASSERT_TRUE(index.ok()) << index.status();
+  std::vector<std::size_t> scratch;
+  for (int q = 0; q < 300; ++q) {
+    const Point p{rng.NextDouble() * 90, rng.NextDouble() * 90};
+    index->Locate(p, &scratch);
+    ASSERT_EQ(scratch, index->Locate(p));
+  }
+}
+
+}  // namespace
+}  // namespace sitm::geom

@@ -84,6 +84,47 @@ TEST(SubdivisionTest, RejectsSameLayerAndBadArguments) {
                    .ok());
 }
 
+TEST(SubdivisionTest, ManySubCellsStayDisjointThroughTheIndexPrune) {
+  // 24 sub-cells: the pairwise disjointness check goes through the
+  // grid-index candidate prune; a single overlapping pair among the
+  // tail must still be caught, and a fully disjoint split must pass.
+  MultiLayerGraph ok_graph = BaseGraph();
+  std::vector<CellSpace> disjoint;
+  for (int i = 0; i < 24; ++i) {
+    disjoint.push_back(
+        SubCell(100 + i, "part", i * 0.5, (i + 1) * 0.5));
+  }
+  const auto added =
+      SubdivideCell(&ok_graph, CellId(5), LayerId(0), std::move(disjoint));
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(*added, 48);
+
+  MultiLayerGraph bad_graph = BaseGraph();
+  std::vector<CellSpace> overlapping;
+  for (int i = 0; i < 24; ++i) {
+    overlapping.push_back(
+        SubCell(100 + i, "part", i * 0.5, (i + 1) * 0.5));
+  }
+  // Widen one tail cell into its neighbor's interior.
+  overlapping[22] = SubCell(122, "wide", 11.0, 11.8);
+  const auto rejected =
+      SubdivideCell(&bad_graph, CellId(5), LayerId(0),
+                    std::move(overlapping));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SubdivisionTest, MixedGeometryAndSymbolicSubCellsPrune) {
+  // Geometry-free sub-cells are skipped by the index while the
+  // geometry-bearing ones are still checked pairwise.
+  MultiLayerGraph g = BaseGraph();
+  const auto rejected = SubdivideCell(
+      &g, CellId(5), LayerId(0),
+      {SubCell(15, "5a", 0, 7),
+       CellSpace(CellId(99), "symbolic", CellClass::kRoom),
+       SubCell(16, "5b", 5, 12)});
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(SubdivisionTest, SubCellsWithoutGeometryAreAcceptedSymbolically) {
   MultiLayerGraph g = BaseGraph();
   const auto added = SubdivideCell(

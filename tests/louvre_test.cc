@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/builder.h"
+#include "core/projection.h"
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
 #include "mining/stats.h"
@@ -306,6 +307,57 @@ TEST(SimulatorTest, RestrictsToThe30DatasetZones) {
   }
   EXPECT_LE(zones_seen.size(), 30u);
   EXPECT_GE(zones_seen.size(), 25u);  // nearly all of the 30 with 5k dets
+}
+
+TEST(SimulatorTest, EmittedPositionsLocalizeBackToTheirZone) {
+  // The raw layer beneath the symbolic detections: every emitted fix
+  // must symbolically localize (grid-index CellLocator) to a zone set
+  // containing the detection's zone (floors overlap in plan view, so a
+  // fix can legitimately localize to several stacked zones).
+  const LouvreMap& map = Map();
+  SimulatorOptions options = SmallOptions();
+  options.emit_positions = true;
+  VisitSimulator simulator(&map, options);
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->CountPositions(), dataset->size());
+  const auto* zones = map.graph().FindLayer(map.zone_layer()).value();
+  const auto locator = core::CellLocator::Build(*zones);
+  ASSERT_TRUE(locator.ok()) << locator.status();
+  for (const ZoneDetection& d : dataset->detections()) {
+    ASSERT_TRUE(d.position.has_value());
+    const std::vector<CellId> located = locator->LocalizeAll(*d.position);
+    EXPECT_TRUE(std::find(located.begin(), located.end(), d.zone) !=
+                located.end())
+        << "fix (" << d.position->x << ", " << d.position->y
+        << ") does not localize to zone " << d.zone.value();
+  }
+}
+
+TEST(SimulatorTest, PositionsAreOffByDefault) {
+  const LouvreMap& map = Map();
+  VisitSimulator simulator(&map, SmallOptions());
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->CountPositions(), 0u);
+}
+
+TEST(SimulatorTest, PositionsDoNotPerturbTheSymbolicStream) {
+  // Positions draw from a dedicated RNG stream: toggling the flag must
+  // leave the symbolic dataset (visitors, zones, timestamps) identical
+  // for the same seed.
+  const LouvreMap& map = Map();
+  VisitSimulator without(&map, SmallOptions());
+  SimulatorOptions options = SmallOptions();
+  options.emit_positions = true;
+  VisitSimulator with(&map, options);
+  const auto da = without.Generate();
+  const auto db = with.Generate();
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(da->ToCsv(), db->ToCsv());
+  EXPECT_EQ(da->CountPositions(), 0u);
+  EXPECT_EQ(db->CountPositions(), db->size());
 }
 
 TEST(SimulatorTest, DeterministicPerSeed) {
