@@ -1,0 +1,234 @@
+// P2 — batch-pipeline and similarity-matrix throughput: the first
+// numbers for the ROADMAP's millions-of-users north star. No direct
+// paper counterpart (§4 reports dataset shape, not wall-clock): this
+// bench fixes the workload the paper implies — millions of zone
+// detections turned into semantic trajectories, then mined pairwise —
+// and measures trajectories/sec for the batched build -> enrich ->
+// infer pipeline and matrix-cells/sec for the blocked distance-matrix
+// fill, at batch sizes from 10^2 to 10^5 visitors.
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "base/parallel.h"
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "mining/similarity.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+const indoor::Nrg& ZoneGraph() {
+  return Unwrap(Map().graph().FindLayer(Map().zone_layer()))->graph();
+}
+
+ThreadPool& Pool() {
+  static ThreadPool pool(ThreadPool::DefaultConcurrency());
+  return pool;
+}
+
+// §4.1-shaped population scaled to `visitors`: ~38% returning, ~16%
+// third visits, ~4 detections per visit (the paper's 20245/4945 ratio).
+louvre::SimulatorOptions ScaledOptions(int visitors) {
+  louvre::SimulatorOptions options;
+  options.num_visitors = visitors;
+  options.num_returning = visitors * 2 / 5;
+  options.num_third_visits = visitors / 6;
+  options.num_detections =
+      (visitors + options.num_returning + options.num_third_visits) * 4;
+  options.seed = 20170119;
+  return options;
+}
+
+std::vector<core::RawDetection> Detections(int visitors) {
+  louvre::VisitSimulator simulator(&Map(), ScaledOptions(visitors));
+  return Unwrap(simulator.Generate()).ToRawDetections();
+}
+
+core::PipelineOptions FullPipeline(ThreadPool* pool) {
+  core::PipelineOptions options;
+  options.builder.graph = &ZoneGraph();
+  options.rules = {
+      core::AnnotateStopsAndMoves(Duration::Minutes(5),
+                                  {core::AnnotationKind::kBehavior, "stop"},
+                                  {core::AnnotationKind::kBehavior, "move"}),
+      core::AnnotateWhereAttribute("requiresTicket", "true",
+                                   {core::AnnotationKind::kOther, "ticketed"}),
+      core::AnnotateFinalExit(Map().exit_zones(),
+                              {core::AnnotationKind::kGoal, "leaving"}),
+  };
+  options.infer_hidden_passages = true;
+  options.pool = pool;
+  return options;
+}
+
+std::vector<core::SemanticTrajectory> Trajectories(int visitors) {
+  core::BatchPipeline pipeline(FullPipeline(&Pool()));
+  return Unwrap(pipeline.Run(Detections(visitors)));
+}
+
+// Exactly n trajectories (generated from a comfortably larger visitor
+// population, then truncated), so matrix sizes are what the args say.
+std::vector<core::SemanticTrajectory> TrajectorySample(std::size_t n) {
+  static const std::vector<core::SemanticTrajectory> all = Trajectories(400);
+  return std::vector<core::SemanticTrajectory>(
+      all.begin(), all.begin() + std::min(n, all.size()));
+}
+
+mining::TrajectoryDistance EditCellDistance() {
+  return mining::EditTrajectoryDistance(mining::UnitCellCost());
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Report() {
+  Banner("P2", "batch-pipeline and similarity-matrix throughput "
+               "(no paper counterpart; first numbers for the "
+               "millions-of-users north star)");
+  std::printf("  pool: %zu thread(s)\n", Pool().num_threads());
+
+  // Build -> enrich -> infer throughput across four decades of batch
+  // size (the §4.1 dataset itself sits at ~3.2k visitors).
+  for (const int visitors : {100, 1000, 10000, 100000}) {
+    std::vector<core::RawDetection> detections = Detections(visitors);
+    const std::size_t num_detections = detections.size();
+    core::BatchPipeline pipeline(FullPipeline(&Pool()));
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = pipeline.Run(std::move(detections));
+    const double seconds = SecondsSince(start);
+    Check(result.status());
+    std::printf(
+        "  pipeline batch=%-7d %8zu detections -> %7zu trajectories in "
+        "%7.3f s  (%10.0f traj/s, %10.0f det/s)\n",
+        visitors, num_detections, result->size(), seconds,
+        static_cast<double>(result->size()) / seconds,
+        static_cast<double>(num_detections) / seconds);
+  }
+
+  // Blocked distance-matrix fill, sequential vs pool.
+  const std::vector<core::SemanticTrajectory> trajectories =
+      TrajectorySample(512);
+  const std::size_t n = trajectories.size();
+  const mining::TrajectoryDistance distance = EditCellDistance();
+  const auto seq_start = std::chrono::steady_clock::now();
+  const std::vector<double> seq = mining::DistanceMatrix(trajectories,
+                                                         distance);
+  const double seq_seconds = SecondsSince(seq_start);
+  mining::DistanceMatrixOptions par_options;
+  par_options.pool = &Pool();
+  const auto par_start = std::chrono::steady_clock::now();
+  const std::vector<double> par =
+      mining::DistanceMatrix(trajectories, distance, par_options);
+  const double par_seconds = SecondsSince(par_start);
+  Check(seq == par ? Status::OK()
+                   : Status::Internal("parallel matrix mismatch"));
+  const double cells = static_cast<double>(n) * static_cast<double>(n);
+  std::printf(
+      "  matrix n=%-4zu sequential %.3f s (%10.0f cells/s)  "
+      "parallel[%zu] %.3f s (%10.0f cells/s)  speedup %.2fx\n",
+      n, seq_seconds, cells / seq_seconds, Pool().num_threads(), par_seconds,
+      cells / par_seconds, seq_seconds / par_seconds);
+}
+
+// Trajectories/sec for the full batched pipeline (items = trajectories).
+void BM_BatchPipeline(benchmark::State& state) {
+  const std::vector<core::RawDetection> detections =
+      Detections(static_cast<int>(state.range(0)));
+  std::size_t trajectories = 0;
+  for (auto _ : state) {
+    core::BatchPipeline pipeline(FullPipeline(&Pool()));
+    auto result = pipeline.Run(detections);
+    Check(result.status());
+    trajectories = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trajectories));
+  state.counters["detections"] =
+      benchmark::Counter(static_cast<double>(detections.size()));
+}
+BENCHMARK(BM_BatchPipeline)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Matrix-cells/sec for the sequential fill (items = n^2 cells).
+void BM_DistanceMatrixSeq(benchmark::State& state) {
+  const std::vector<core::SemanticTrajectory> trajectories =
+      TrajectorySample(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = trajectories.size();
+  const mining::TrajectoryDistance distance = EditCellDistance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::DistanceMatrix(trajectories, distance));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+  state.counters["n"] = benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_DistanceMatrixSeq)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Matrix-cells/sec for the blocked parallel fill on the shared pool.
+void BM_DistanceMatrixPar(benchmark::State& state) {
+  const std::vector<core::SemanticTrajectory> trajectories =
+      TrajectorySample(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = trajectories.size();
+  const mining::TrajectoryDistance distance = EditCellDistance();
+  mining::DistanceMatrixOptions options;
+  options.pool = &Pool();
+  options.block = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mining::DistanceMatrix(trajectories, distance, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+  state.counters["n"] = benchmark::Counter(static_cast<double>(n));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(Pool().num_threads()));
+}
+BENCHMARK(BM_DistanceMatrixPar)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Simulator scale-out: generation cost with a replicated map (the
+// map_replication knob benches sweep for production-like zone counts).
+void BM_SimulatorReplicatedMap(benchmark::State& state) {
+  louvre::SimulatorOptions options = ScaledOptions(2000);
+  options.map_replication = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    louvre::VisitSimulator simulator(&Map(), options);
+    benchmark::DoNotOptimize(Unwrap(simulator.Generate()));
+  }
+}
+BENCHMARK(BM_SimulatorReplicatedMap)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

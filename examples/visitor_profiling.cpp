@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "base/parallel.h"
 #include "core/builder.h"
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
@@ -102,7 +103,13 @@ int main() {
                                       mining::CellSequenceOf(b));
         return 0.5 * dwell + 0.5 * path;
       };
-  const std::vector<double> matrix = mining::DistanceMatrix(sample, blended);
+  // Blocked parallel fill on a hardware-sized pool: byte-identical to
+  // the sequential DistanceMatrix, just spread across cores.
+  ThreadPool pool;
+  mining::DistanceMatrixOptions matrix_options;
+  matrix_options.pool = &pool;
+  const std::vector<double> matrix =
+      mining::DistanceMatrix(sample, blended, matrix_options);
   Rng rng(2026);
   const mining::ClusteringResult clusters =
       Unwrap(mining::KMedoids(matrix, n, 4, &rng));

@@ -1,0 +1,136 @@
+#include "base/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace sitm {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultConcurrency();
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::DefaultConcurrency() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+// Shared between the caller and its helper tasks. Held by shared_ptr:
+// a helper that only gets scheduled after every chunk is already done
+// (the caller has returned) must still find live state to inspect — it
+// then sees the cursor exhausted and exits without touching the body.
+struct ParallelForState {
+  std::function<void(std::size_t, std::size_t)> body;
+  std::size_t n = 0;
+  std::size_t grain = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t completed = 0;  // chunks fully executed; guarded by mutex
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t grain) {
+  if (n == 0) return;
+  const std::size_t workers = pool == nullptr ? 1 : pool->num_threads();
+  if (grain == 0) {
+    // ~4 chunks per participant (workers + the calling thread): enough
+    // slack for dynamic balancing without drowning in dispatch overhead.
+    grain = std::max<std::size_t>(1, n / ((workers + 1) * 4));
+  }
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  if (pool == nullptr || num_chunks == 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      body(c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->body = body;
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+
+  const auto drain = [state] {
+    std::size_t executed = 0;
+    for (;;) {
+      const std::size_t c = state->next_chunk.fetch_add(1);
+      if (c >= state->num_chunks) break;
+      state->body(c * state->grain,
+                  std::min(state->n, (c + 1) * state->grain));
+      ++executed;
+    }
+    if (executed > 0) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->completed += executed;
+      if (state->completed == state->num_chunks) state->done.notify_all();
+    }
+  };
+
+  // The caller participates, so the loop completes even if every worker
+  // is busy (or the call itself runs inside a pool task) — the wait
+  // below is on *chunks executed*, not on helper tasks having run.
+  const std::size_t helpers = std::min(workers, num_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) pool->Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock,
+                   [&state] { return state->completed == state->num_chunks; });
+}
+
+}  // namespace sitm

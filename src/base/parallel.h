@@ -1,0 +1,99 @@
+#ifndef SITM_BASE_PARALLEL_H_
+#define SITM_BASE_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sitm {
+
+/// \brief A fixed-size pool of worker threads with a FIFO task queue.
+///
+/// The concurrency substrate for the batched pipelines: `core` shards
+/// trajectory building over it and `mining` fills distance-matrix blocks
+/// on it. Tasks are plain `void()` callables and must not throw — the
+/// library reports errors through Status/Result values that tasks store
+/// into caller-owned slots, never through exceptions unwinding a worker.
+///
+/// Determinism contract: the pool schedules tasks in an unspecified
+/// order, so deterministic results are the *caller's* obligation — have
+/// every task write to its own pre-assigned output slot (see ParallelMap)
+/// and never fold results in completion order. All higher-level parallel
+/// entry points in this codebase follow that rule, which is why their
+/// output is byte-identical to the sequential path for any pool size.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultConcurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks (blocks until the queue is empty and all
+  /// running tasks finished), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1 (the standard
+  /// allows it to return 0 when undetectable).
+  static std::size_t DefaultConcurrency();
+
+  /// Enqueues a task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed. Must not be
+  /// called from inside a pool task (it would wait on itself).
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs `body(begin, end)` over chunks partitioning [0, n).
+///
+/// Chunks are handed out dynamically (an atomic cursor), and the calling
+/// thread participates, so the call completes even when every pool
+/// worker is busy elsewhere. With a null pool the whole range runs as
+/// one chunk on the calling thread. Chunk boundaries are a function of
+/// (n, grain) only — never of the pool size — so any per-chunk
+/// initialization (e.g. seeding) is reproducible across pool sizes.
+///
+/// `grain` is the chunk length; 0 picks one that yields ~4 chunks per
+/// worker. Returns after every chunk has run.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t grain = 0);
+
+/// \brief Maps `fn(i)` over [0, n) on the pool, returning results in
+/// index order regardless of execution order. T must be
+/// default-constructible and movable.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(ThreadPool* pool, std::size_t n, Fn&& fn,
+                           std::size_t grain = 0) {
+  std::vector<T> out(n);
+  ParallelFor(
+      pool, n,
+      [&out, &fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      grain);
+  return out;
+}
+
+}  // namespace sitm
+
+#endif  // SITM_BASE_PARALLEL_H_

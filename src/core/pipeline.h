@@ -1,0 +1,96 @@
+#ifndef SITM_CORE_PIPELINE_H_
+#define SITM_CORE_PIPELINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/result.h"
+#include "core/builder.h"
+#include "core/enrichment.h"
+#include "core/inference.h"
+#include "core/trajectory.h"
+#include "indoor/nrg.h"
+
+namespace sitm::core {
+
+/// Options for the batched build -> enrich -> infer pipeline.
+struct PipelineOptions {
+  /// Cleaning and trace-assembly options, applied per shard. The
+  /// `first_trajectory_id` is honored globally: output ids are
+  /// sequential from it in (object, start time) order, exactly as the
+  /// sequential TrajectoryBuilder would assign them.
+  BuilderOptions builder;
+
+  /// Enrichment rules applied to every built trajectory; empty = skip
+  /// the enrichment stage.
+  std::vector<EnrichmentRule> rules;
+  /// Graph resolving cell metadata for the rules; defaults to
+  /// `builder.graph` when null. Required when `rules` is non-empty.
+  const indoor::Nrg* enrichment_graph = nullptr;
+
+  /// When true, runs topology-based hidden-passage inference on every
+  /// trajectory after enrichment (Fig. 6 completion).
+  bool infer_hidden_passages = false;
+  InferenceOptions inference;
+  /// Accessibility graph for inference; defaults to `enrichment_graph`,
+  /// then `builder.graph`. Required when `infer_hidden_passages`.
+  const indoor::Nrg* inference_graph = nullptr;
+
+  /// Pool to run on (borrowed; not owned). Null runs every stage on the
+  /// calling thread — the sequential reference path.
+  ThreadPool* pool = nullptr;
+
+  /// Moving objects per build shard (>= 1; smaller shards balance
+  /// better, larger ones amortize per-shard builder setup).
+  std::size_t objects_per_shard = 32;
+};
+
+/// Merged counters of one Run() call: per-shard BuildReports and
+/// per-trajectory Enrichment/InferenceReports summed field by field.
+struct PipelineReport {
+  BuildReport build;
+  EnrichmentReport enrichment;
+  InferenceReport inference;
+  /// Build shards the detections were split into.
+  std::size_t shards = 0;
+};
+
+/// \brief Batched, parallel build -> enrich -> infer over raw detections.
+///
+/// The Louvre study's workload shape (§4): millions of zone detections
+/// turned into semantic trajectories before any mining can start. Raw
+/// detections are grouped by moving object, objects are sharded across
+/// the pool, and each shard runs the standard TrajectoryBuilder; the
+/// merged trajectories are then renumbered to the exact ids the
+/// sequential builder would have assigned, and the enrichment and
+/// inference stages fan out per trajectory.
+///
+/// Determinism: for the same input and options, the output — ids,
+/// traces, annotations, and the merged report — is byte-identical to
+/// the sequential path (pool == nullptr) for every pool size. Shard
+/// results are merged in object order and reports are summed in index
+/// order, never in completion order.
+class BatchPipeline {
+ public:
+  explicit BatchPipeline(PipelineOptions options)
+      : options_(std::move(options)) {}
+
+  /// Runs the full pipeline over the detection set (need not be sorted).
+  /// Returns trajectories ordered by (object, start time). On error the
+  /// first failing stage in deterministic (shard, then trajectory) order
+  /// is reported.
+  Result<std::vector<SemanticTrajectory>> Run(
+      std::vector<RawDetection> detections);
+
+  /// Merged counters of the last Run() call.
+  const PipelineReport& report() const { return report_; }
+
+ private:
+  PipelineOptions options_;
+  PipelineReport report_;
+};
+
+}  // namespace sitm::core
+
+#endif  // SITM_CORE_PIPELINE_H_

@@ -55,10 +55,62 @@ Result<VisitDataset> VisitSimulator::Generate() {
   if (map_ == nullptr) {
     return Status::InvalidArgument("VisitSimulator: map must not be null");
   }
+  if (options_.num_visitors < 0 || options_.num_returning < 0 ||
+      options_.num_third_visits < 0 || options_.num_detections < 0) {
+    return Status::InvalidArgument(
+        "VisitSimulator: counts must be non-negative");
+  }
   if (options_.num_returning > options_.num_visitors ||
       options_.num_third_visits > options_.num_returning) {
     return Status::InvalidArgument(
         "VisitSimulator: need third_visits <= returning <= visitors");
+  }
+  // Distinct visit days are drawn by rejection; fewer days than visits
+  // per returning visitor would never terminate.
+  const int max_visits_per_visitor = options_.num_third_visits > 0   ? 3
+                                     : options_.num_returning > 0 ? 2
+                                                                  : 1;
+  if (options_.num_days < max_visits_per_visitor) {
+    return Status::InvalidArgument(
+        "VisitSimulator: num_days must cover the max visits per visitor "
+        "(distinct visit days)");
+  }
+  {
+    const int total_visits = options_.num_visitors + options_.num_returning +
+                             options_.num_third_visits;
+    // Every visit emits at least one detection, so the exact-total
+    // adjustment cannot shrink below one detection per visit.
+    if (options_.num_detections < total_visits) {
+      return Status::InvalidArgument(
+          "VisitSimulator: num_detections must be >= total visits "
+          "(every visit emits at least one detection)");
+    }
+    // ...and with no visits at all there is nothing to top up, so a
+    // positive detection target is unreachable.
+    if (total_visits == 0 && options_.num_detections > 0) {
+      return Status::InvalidArgument(
+          "VisitSimulator: num_detections must be 0 when there are no "
+          "visits");
+    }
+  }
+  if (options_.zero_duration_rate < 0 || options_.zero_duration_rate > 1 ||
+      options_.no_backtrack_bias < 0 || options_.no_backtrack_bias > 1) {
+    return Status::InvalidArgument(
+        "VisitSimulator: rates must lie in [0, 1]");
+  }
+  if (options_.mean_stay_seconds <= 0 || options_.max_stay.seconds() <= 0 ||
+      options_.max_visit_span.seconds() <= 0) {
+    return Status::InvalidArgument(
+        "VisitSimulator: stay durations must be positive");
+  }
+  if (options_.map_replication < 1) {
+    return Status::InvalidArgument(
+        "VisitSimulator: map_replication must be >= 1");
+  }
+  if (options_.map_replication > 1 && options_.emit_positions) {
+    return Status::InvalidArgument(
+        "VisitSimulator: emit_positions requires map_replication == 1 "
+        "(replicas beyond the first have no geometry)");
   }
   summary_ = SimulationSummary{};
   Rng rng(options_.seed);
@@ -143,6 +195,12 @@ Result<VisitDataset> VisitSimulator::Generate() {
   std::size_t visit_index = 0;
   for (int v = 0; v < options_.num_visitors; ++v) {
     const ObjectId visitor(v + 1);
+    // Map scaling: visitor v walks replica v mod N of the museum; only
+    // the emitted zone ids shift, so the walk statistics stay calibrated
+    // and replication == 1 is byte-identical to the unreplicated output.
+    const std::int64_t zone_offset =
+        static_cast<std::int64_t>(v % options_.map_replication) *
+        kMapReplicationStride;
     const int my_visits = visits_of[static_cast<std::size_t>(v)];
     // Distinct days keep visits separable by any session-gap rule.
     std::vector<int> days;
@@ -188,8 +246,8 @@ Result<VisitDataset> VisitSimulator::Generate() {
         } else {
           ++summary_.num_zero_duration;
         }
-        ZoneDetection detection{visitor, current, t, t + dwell,
-                                std::nullopt};
+        ZoneDetection detection{visitor, CellId(current.value() + zone_offset),
+                                t, t + dwell, std::nullopt};
         if (locator) {
           detection.position =
               SamplePositionInZone(*locator, zones, current, &position_rng);

@@ -10,8 +10,17 @@
 
 namespace sitm::louvre {
 
+/// Zone-id offset between map replicas (see
+/// SimulatorOptions::map_replication). Far above every real cell id in
+/// the Louvre map, so replica id ranges never collide.
+inline constexpr std::int64_t kMapReplicationStride = 1'000'000;
+
 /// Calibration targets, defaulting to the published §4.1 statistics of
-/// the real (proprietary) dataset.
+/// the real (proprietary) dataset. All fields are validated by
+/// Generate(); invalid combinations (e.g. fewer distinct days than
+/// visits per returning visitor, or fewer detections than visits) fail
+/// with InvalidArgument instead of hanging or emitting garbage, so
+/// benches can sweep these knobs to production-like scale safely.
 struct SimulatorOptions {
   std::uint64_t seed = 20170119;
   /// Dataset shape targets (met exactly by construction).
@@ -45,6 +54,14 @@ struct SimulatorOptions {
   /// wings' -1 level, and the mezzanine), reproducing the 30-zone
   /// footprint.
   bool restrict_to_dataset_zones = true;
+  /// \brief Map scale factor (>= 1): simulates a campus of N identical
+  /// museums. Visitor v walks replica v mod N, and that replica's
+  /// detections carry zone ids offset by replica * kMapReplicationStride
+  /// — so the symbolic workload (distinct cells, builder shards,
+  /// similarity vocabulary) scales with the map while the walk dynamics
+  /// stay calibrated to the real museum. Replicas beyond the first have
+  /// no geometry, so this is incompatible with `emit_positions`.
+  int map_replication = 1;
 };
 
 /// What the simulator produced (ground truth for validation).

@@ -1,12 +1,17 @@
 #ifndef SITM_MINING_SIMILARITY_H_
 #define SITM_MINING_SIMILARITY_H_
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
 #include "base/result.h"
 #include "core/trajectory.h"
 #include "indoor/hierarchy.h"
+
+namespace sitm {
+class ThreadPool;  // base/parallel.h; only borrowed pointers appear here
+}
 
 namespace sitm::mining {
 
@@ -25,11 +30,29 @@ CellCost HierarchyCellCost(const indoor::LayerHierarchy* hierarchy,
                            int max_distance);
 
 /// \brief Edit distance between two cell sequences with unit
-/// insert/delete cost and the given substitution cost.
+/// insert/delete cost and the given substitution cost. Two rolling DP
+/// rows, O(min over the table width) memory.
 double EditDistance(const std::vector<CellId>& a, const std::vector<CellId>& b,
                     const CellCost& substitution_cost);
 
-/// 1 - EditDistance / max(|a|, |b|); 1 for two empty sequences.
+/// \brief Edit distance with a cutoff: returns the exact distance when
+/// it is <= `cutoff`, +infinity otherwise.
+///
+/// Uses the band bound: insert/delete cost 1 and substitution preserves
+/// length, so D(i, j) >= |i - j| — cells outside the |i - j| <= cutoff
+/// band cannot lie on a path of total cost <= cutoff. The DP therefore
+/// runs on a band of width 2*floor(cutoff)+1 (O(cutoff * max_len) work
+/// instead of O(|a|*|b|)), exits before the DP when the length
+/// difference alone exceeds the cutoff, and exits mid-DP when a whole
+/// row's minimum does.
+double EditDistanceBounded(const std::vector<CellId>& a,
+                           const std::vector<CellId>& b,
+                           const CellCost& substitution_cost, double cutoff);
+
+/// 1 - EditDistance / max(|a|, |b|); 1 for two empty sequences. The
+/// length-difference lower bound (EditDistance >= ||a| - |b||) makes
+/// ||a| - |b|| >= max(|a|, |b|) imply similarity 0 without running the
+/// DP.
 double EditSimilarity(const std::vector<CellId>& a,
                       const std::vector<CellId>& b,
                       const CellCost& substitution_cost);
@@ -61,6 +84,46 @@ double AnnotationSimilarity(const core::SemanticTrajectory& a,
 /// trajectory distance.
 using TrajectoryDistance = std::function<double(
     const core::SemanticTrajectory&, const core::SemanticTrajectory&)>;
+
+/// \brief The edit-distance trajectory metric for matrix fills:
+/// EditDistance over the trajectories' transition cell sequences
+/// (CellSequenceOf), normalized to [0, 1] by the longer sequence.
+///
+/// `min_similarity` is a similarity floor for threshold-driven mining:
+/// pairs whose similarity would fall below it evaluate to distance 1
+/// through EditDistanceBounded's banded cutoff DP — the early-exit band
+/// bound — instead of paying the full table. With substitution costs in
+/// [0, 1] (the CellCost contract) the edit distance never exceeds the
+/// longer sequence, so a floor of 0 keeps exact distances for every
+/// pair; costs above 1 would additionally be clamped to distance 1.
+TrajectoryDistance EditTrajectoryDistance(CellCost substitution_cost,
+                                          double min_similarity = 0.0);
+
+/// Options for the blocked distance-matrix fill.
+struct DistanceMatrixOptions {
+  /// Pool to fill blocks on (borrowed; not owned). Null fills on the
+  /// calling thread. The distance function must be safe to call
+  /// concurrently on distinct trajectory pairs.
+  ThreadPool* pool = nullptr;
+  /// Block edge length in cells. Each upper-triangle block is one unit
+  /// of parallel work; its mirror cells are written by the same task, so
+  /// no cell is ever touched by two tasks.
+  std::size_t block = 128;
+};
+
+/// \brief Fills the matrix block by block over the upper triangle,
+/// mirroring each cell into the lower triangle (distance is assumed
+/// symmetric, and the diagonal stays 0 — each d(i, j) is evaluated once,
+/// for i < j).
+///
+/// Deterministic: every cell holds the same value for any pool size,
+/// including the sequential fill — the work decomposition fixes which
+/// task computes which cell, never the schedule.
+std::vector<double> DistanceMatrix(
+    const std::vector<core::SemanticTrajectory>& trajectories,
+    const TrajectoryDistance& distance, const DistanceMatrixOptions& options);
+
+/// The sequential fill (options all default).
 std::vector<double> DistanceMatrix(
     const std::vector<core::SemanticTrajectory>& trajectories,
     const TrajectoryDistance& distance);

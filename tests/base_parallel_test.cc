@@ -1,0 +1,139 @@
+#include "base/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace sitm {
+namespace {
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // no tasks: must not block
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 0, [&calls](std::size_t, std::size_t) { ++calls; });
+  ParallelFor(nullptr, 0, [&calls](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const std::size_t kN = 10007;  // prime: chunks never divide it evenly
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    ThreadPool::DefaultConcurrency()}) {
+    ThreadPool pool(threads);
+    for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{64}, kN, 2 * kN}) {
+      std::vector<std::atomic<int>> hits(kN);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(
+          &pool, kN,
+          [&hits](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          },
+          grain);
+      for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "index " << i << " threads " << threads << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsOnCallingThread) {
+  std::vector<int> hits(257, 0);  // no synchronization: must be single-threaded
+  ParallelFor(nullptr, hits.size(), [&hits](std::size_t begin,
+                                            std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ParallelForTest, ChunkBoundariesDependOnlyOnSizeAndGrain) {
+  // The determinism contract: per-chunk work decomposition is a function
+  // of (n, grain), never of the pool size.
+  const std::size_t kN = 1000;
+  const std::size_t kGrain = 37;
+  auto chunks_with = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mutex;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    ParallelFor(
+        &pool, kN,
+        [&mutex, &chunks](std::size_t begin, std::size_t end) {
+          std::lock_guard<std::mutex> lock(mutex);
+          chunks.emplace(begin, end);
+        },
+        kGrain);
+    return chunks;
+  };
+  const auto reference = chunks_with(1);
+  EXPECT_EQ(reference.size(), (kN + kGrain - 1) / kGrain);
+  EXPECT_EQ(chunks_with(2), reference);
+  EXPECT_EQ(chunks_with(ThreadPool::DefaultConcurrency()), reference);
+}
+
+TEST(ParallelMapTest, ResultsAreInIndexOrder) {
+  ThreadPool pool(ThreadPool::DefaultConcurrency());
+  const std::vector<int> out = ParallelMap<int>(
+      &pool, 5000, [](std::size_t i) { return static_cast<int>(i * i); },
+      /*grain=*/7);
+  ASSERT_EQ(out.size(), 5000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i * i)) << i;
+  }
+}
+
+TEST(ParallelForTest, ManySmallCallsDoNotWedgeThePool) {
+  // Regression guard for the helper-task lifecycle: stale helpers from
+  // finished calls must exit cleanly while new calls reuse the pool.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    ParallelFor(
+        &pool, 10,
+        [&total](std::size_t begin, std::size_t end) {
+          total.fetch_add(end - begin);
+        },
+        /*grain=*/1);
+  }
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+}  // namespace
+}  // namespace sitm

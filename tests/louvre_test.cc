@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/builder.h"
 #include "core/projection.h"
 #include "louvre/museum.h"
@@ -400,6 +402,108 @@ TEST(SimulatorTest, RejectsInconsistentOptions) {
   EXPECT_FALSE(simulator.Generate().ok());
   VisitSimulator no_map(nullptr, SmallOptions());
   EXPECT_FALSE(no_map.Generate().ok());
+}
+
+TEST(SimulatorTest, ValidatesEveryOptionKnob) {
+  const LouvreMap& map = Map();
+  const auto rejects = [&map](void (*tweak)(SimulatorOptions*)) {
+    SimulatorOptions options = SmallOptions();
+    tweak(&options);
+    VisitSimulator simulator(&map, options);
+    return !simulator.Generate().ok();
+  };
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->num_visitors = -1; }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->num_detections = -1; }));
+  // Fewer detections than visits: the exact-total shrink could never
+  // terminate (each visit emits at least one detection).
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->num_detections = 100; }));
+  // Fewer distinct days than visits per thrice-returning visitor: the
+  // distinct-day rejection sampler could never terminate.
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->num_days = 2; }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->num_days = 0; }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->zero_duration_rate = 1.5; }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->no_backtrack_bias = -0.1; }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->mean_stay_seconds = 0; }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->max_stay = Duration::Zero(); }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) { o->map_replication = 0; }));
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) {
+    o->map_replication = 2;
+    o->emit_positions = true;
+  }));
+  // Zero visitors with a positive detection target is unreachable.
+  EXPECT_TRUE(rejects([](SimulatorOptions* o) {
+    o->num_visitors = 0;
+    o->num_returning = 0;
+    o->num_third_visits = 0;
+    o->num_detections = 10;
+  }));
+  // Three distinct days suffice for three visits.
+  EXPECT_FALSE(rejects([](SimulatorOptions* o) { o->num_days = 3; }));
+}
+
+TEST(SimulatorTest, EmptyPopulationYieldsEmptyDataset) {
+  SimulatorOptions options;
+  options.num_visitors = 0;
+  options.num_returning = 0;
+  options.num_third_visits = 0;
+  options.num_detections = 0;
+  VisitSimulator simulator(&Map(), options);
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->size(), 0u);
+}
+
+TEST(SimulatorTest, MapReplicationScalesTheZoneVocabulary) {
+  const LouvreMap& map = Map();
+  SimulatorOptions options = SmallOptions();
+  options.map_replication = 3;
+  VisitSimulator simulator(&map, options);
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->size(), 600u);
+
+  SimulatorOptions base_options = SmallOptions();
+  VisitSimulator base_simulator(&map, base_options);
+  const auto base = base_simulator.Generate();
+  ASSERT_TRUE(base.ok()) << base.status();
+
+  std::set<std::int64_t> replicas_seen;
+  ASSERT_EQ(dataset->size(), base->size());
+  for (std::size_t i = 0; i < dataset->size(); ++i) {
+    const ZoneDetection& replicated = dataset->detections()[i];
+    const ZoneDetection& unreplicated = base->detections()[i];
+    const std::int64_t replica =
+        replicated.zone.value() / kMapReplicationStride;
+    ASSERT_GE(replica, 0);
+    ASSERT_LT(replica, 3);
+    replicas_seen.insert(replica);
+    // Only the zone-id offset differs: the walk itself (base zone,
+    // timing, visitor) is the calibrated one.
+    EXPECT_EQ(replicated.zone.value() - replica * kMapReplicationStride,
+              unreplicated.zone.value());
+    EXPECT_EQ(replicated.visitor, unreplicated.visitor);
+    EXPECT_EQ(replicated.start, unreplicated.start);
+    EXPECT_EQ(replicated.end, unreplicated.end);
+    // Visitors are assigned round-robin: visitor id fixes the replica.
+    EXPECT_EQ(replica, (replicated.visitor.value() - 1) % 3);
+  }
+  EXPECT_EQ(replicas_seen.size(), 3u);
+}
+
+TEST(SimulatorTest, ReplicationOfOneIsByteIdentical) {
+  const LouvreMap& map = Map();
+  SimulatorOptions options = SmallOptions();
+  options.map_replication = 1;
+  VisitSimulator a(&map, options);
+  VisitSimulator b(&map, SmallOptions());
+  const auto da = a.Generate();
+  const auto db = b.Generate();
+  ASSERT_TRUE(da.ok() && db.ok());
+  ASSERT_EQ(da->size(), db->size());
+  for (std::size_t i = 0; i < da->size(); ++i) {
+    EXPECT_EQ(da->detections()[i].zone, db->detections()[i].zone);
+    EXPECT_EQ(da->detections()[i].start, db->detections()[i].start);
+  }
 }
 
 }  // namespace

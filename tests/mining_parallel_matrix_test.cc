@@ -1,0 +1,151 @@
+// Parallel distance-matrix determinism: the blocked parallel fill must
+// be byte-identical to the sequential fill for every pool size and block
+// size, under several distance functions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "core/trajectory.h"
+#include "mining/similarity.h"
+
+namespace sitm::mining {
+namespace {
+
+using core::AnnotationKind;
+using core::AnnotationSet;
+using core::PresenceInterval;
+using core::SemanticTrajectory;
+using core::Trace;
+
+/// Random but deterministic trajectories over a small cell vocabulary.
+std::vector<SemanticTrajectory> MakeTrajectories(std::size_t count,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SemanticTrajectory> out;
+  out.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    Trace trace;
+    const int length = static_cast<int>(rng.NextInt(1, 12));
+    std::int64_t time = static_cast<std::int64_t>(rng.NextInt(0, 1000));
+    for (int i = 0; i < length; ++i) {
+      PresenceInterval p;
+      p.cell = CellId(rng.NextInt(1, 20));
+      const std::int64_t dwell = rng.NextInt(1, 600);
+      p.interval = *qsr::TimeInterval::Make(Timestamp(time),
+                                            Timestamp(time + dwell));
+      time += dwell + rng.NextInt(1, 30);
+      trace.Append(std::move(p));
+    }
+    out.emplace_back(TrajectoryId(static_cast<std::int64_t>(t + 1)),
+                     ObjectId(static_cast<std::int64_t>(t + 1)),
+                     std::move(trace),
+                     AnnotationSet{{AnnotationKind::kActivity, "visit"}});
+  }
+  return out;
+}
+
+TrajectoryDistance EditCellDistance() {
+  return EditTrajectoryDistance(UnitCellCost());
+}
+
+void ExpectByteIdentical(const std::vector<double>& expected,
+                         const std::vector<double>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  ASSERT_EQ(std::memcmp(expected.data(), actual.data(),
+                        expected.size() * sizeof(double)),
+            0);
+}
+
+TEST(ParallelDistanceMatrixTest, MatchesSequentialFillByteForByte) {
+  const std::vector<SemanticTrajectory> trajectories =
+      MakeTrajectories(97, 2024);  // prime: never an exact block multiple
+  for (const TrajectoryDistance& distance :
+       {EditCellDistance(), TrajectoryDistance(DwellDistributionDistance)}) {
+    const std::vector<double> reference =
+        DistanceMatrix(trajectories, distance);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      ThreadPool::DefaultConcurrency()}) {
+      ThreadPool pool(threads);
+      for (const std::size_t block :
+           {std::size_t{1}, std::size_t{13}, std::size_t{64},
+            std::size_t{1024}}) {
+        DistanceMatrixOptions options;
+        options.pool = &pool;
+        options.block = block;
+        ExpectByteIdentical(reference,
+                            DistanceMatrix(trajectories, distance, options));
+      }
+    }
+  }
+}
+
+TEST(ParallelDistanceMatrixTest, SymmetricWithZeroDiagonal) {
+  const std::vector<SemanticTrajectory> trajectories =
+      MakeTrajectories(40, 7);
+  ThreadPool pool(2);
+  DistanceMatrixOptions options;
+  options.pool = &pool;
+  options.block = 16;
+  const std::vector<double> matrix =
+      DistanceMatrix(trajectories, EditCellDistance(), options);
+  const std::size_t n = trajectories.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(matrix[i * n + i], 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(matrix[i * n + j], matrix[j * n + i]);
+    }
+  }
+}
+
+TEST(ParallelDistanceMatrixTest, TinyInputs) {
+  ThreadPool pool(2);
+  DistanceMatrixOptions options;
+  options.pool = &pool;
+  EXPECT_TRUE(DistanceMatrix({}, EditCellDistance(), options).empty());
+  const std::vector<SemanticTrajectory> one = MakeTrajectories(1, 3);
+  EXPECT_EQ(DistanceMatrix(one, EditCellDistance(), options),
+            std::vector<double>{0.0});
+}
+
+TEST(EditTrajectoryDistanceTest, SimilarityFloorCapsAtDistanceOne) {
+  const std::vector<SemanticTrajectory> trajectories =
+      MakeTrajectories(30, 99);
+  const TrajectoryDistance exact = EditTrajectoryDistance(UnitCellCost());
+  const TrajectoryDistance floored =
+      EditTrajectoryDistance(UnitCellCost(), /*min_similarity=*/0.6);
+  int capped = 0;
+  for (std::size_t i = 0; i < trajectories.size(); ++i) {
+    for (std::size_t j = i + 1; j < trajectories.size(); ++j) {
+      const double d = exact(trajectories[i], trajectories[j]);
+      const double f = floored(trajectories[i], trajectories[j]);
+      if (d > 0.4) {
+        // Below the similarity floor: the banded DP gives up early and
+        // reports the maximal distance.
+        ASSERT_EQ(f, 1.0) << i << "," << j << " exact " << d;
+        ++capped;
+      } else {
+        ASSERT_DOUBLE_EQ(f, d) << i << "," << j;
+      }
+    }
+  }
+  EXPECT_GT(capped, 0);
+  // Self-distance is 0 under any floor.
+  EXPECT_EQ(floored(trajectories[0], trajectories[0]), 0.0);
+}
+
+TEST(ParallelDistanceMatrixTest, ZeroBlockSizeIsClampedNotFatal) {
+  const std::vector<SemanticTrajectory> trajectories =
+      MakeTrajectories(10, 5);
+  DistanceMatrixOptions options;
+  options.block = 0;
+  ExpectByteIdentical(DistanceMatrix(trajectories, EditCellDistance()),
+                      DistanceMatrix(trajectories, EditCellDistance(),
+                                     options));
+}
+
+}  // namespace
+}  // namespace sitm::mining

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "base/rng.h"
 #include "mining/floor_switch.h"
 #include "mining/profiling.h"
 #include "mining/similarity.h"
@@ -52,6 +56,79 @@ TEST(EditDistanceTest, SimilarityNormalization) {
   EXPECT_DOUBLE_EQ(EditSimilarity(Seq({1, 2}), Seq({3, 4}), unit), 0.0);
   EXPECT_DOUBLE_EQ(EditSimilarity(Seq({1, 2, 3, 4}), Seq({1, 2, 3, 9}), unit),
                    0.75);
+}
+
+TEST(EditDistanceTest, SimilarityLengthGapEarlyExitSkipsTheDp) {
+  // ||a| - |b|| >= max(|a|, |b|) pins similarity at 0 via the
+  // length-difference lower bound; the substitution cost must never run.
+  int cost_calls = 0;
+  const CellCost counting = [&cost_calls](CellId a, CellId b) {
+    ++cost_calls;
+    return a == b ? 0.0 : 1.0;
+  };
+  EXPECT_DOUBLE_EQ(EditSimilarity(Seq({}), Seq({1, 2, 3}), counting), 0.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity(Seq({1, 2, 3}), Seq({}), counting), 0.0);
+  EXPECT_EQ(cost_calls, 0);
+}
+
+TEST(EditDistanceBoundedTest, ExactWithinCutoffInfiniteBeyond) {
+  const CellCost unit = UnitCellCost();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Distance 1 cases around the cutoff boundary.
+  EXPECT_DOUBLE_EQ(
+      EditDistanceBounded(Seq({1, 2, 3}), Seq({1, 9, 3}), unit, 1.0), 1.0);
+  EXPECT_EQ(EditDistanceBounded(Seq({1, 2, 3}), Seq({1, 9, 3}), unit, 0.5),
+            kInf);
+  // Length-gap early exit: gap 3 > cutoff 2.
+  EXPECT_EQ(EditDistanceBounded(Seq({1, 2, 3}), Seq({}), unit, 2.0), kInf);
+  EXPECT_DOUBLE_EQ(EditDistanceBounded(Seq({1, 2, 3}), Seq({}), unit, 3.0),
+                   3.0);
+  // Identical sequences at cutoff 0.
+  EXPECT_DOUBLE_EQ(EditDistanceBounded(Seq({5, 6}), Seq({5, 6}), unit, 0.0),
+                   0.0);
+  // Negative cutoff admits nothing.
+  EXPECT_EQ(EditDistanceBounded(Seq({}), Seq({}), unit, -1.0), kInf);
+}
+
+TEST(EditDistanceBoundedTest, LengthGapEarlyExitSkipsTheDp) {
+  int cost_calls = 0;
+  const CellCost counting = [&cost_calls](CellId a, CellId b) {
+    ++cost_calls;
+    return a == b ? 0.0 : 1.0;
+  };
+  EXPECT_TRUE(std::isinf(
+      EditDistanceBounded(Seq({1, 2, 3, 4, 5}), Seq({1}), counting, 2.0)));
+  EXPECT_EQ(cost_calls, 0);
+}
+
+TEST(EditDistanceBoundedTest, AgreesWithFullDpOnRandomSequences) {
+  // Randomized oracle across cutoffs, with a fractional substitution
+  // cost so the band logic is exercised off the integer lattice.
+  const CellCost fractional = [](CellId a, CellId b) {
+    return a == b ? 0.0 : 0.4;
+  };
+  Rng rng(20260727);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<CellId> a;
+    std::vector<CellId> b;
+    const int la = static_cast<int>(rng.NextInt(0, 10));
+    const int lb = static_cast<int>(rng.NextInt(0, 10));
+    for (int i = 0; i < la; ++i) a.push_back(CellId(rng.NextInt(1, 4)));
+    for (int i = 0; i < lb; ++i) b.push_back(CellId(rng.NextInt(1, 4)));
+    const double exact = EditDistance(a, b, fractional);
+    for (const double cutoff : {0.0, 0.4, 1.0, 2.5, 4.0, 100.0,
+                                std::numeric_limits<double>::infinity()}) {
+      const double bounded = EditDistanceBounded(a, b, fractional, cutoff);
+      if (exact <= cutoff) {
+        ASSERT_DOUBLE_EQ(bounded, exact)
+            << "round " << round << " cutoff " << cutoff;
+      } else {
+        ASSERT_TRUE(std::isinf(bounded))
+            << "round " << round << " cutoff " << cutoff << " exact "
+            << exact << " bounded " << bounded;
+      }
+    }
+  }
 }
 
 TEST(EditDistanceTest, HierarchyCostSoftensSubstitutions) {
