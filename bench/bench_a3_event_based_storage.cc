@@ -5,10 +5,23 @@
 // bench counts both representations over the simulated Louvre visits
 // and reports the compression the event-based model buys, plus the
 // fidelity it keeps (the representations describe identical movement).
+//
+// Since the EventStore landed this bench also measures the *persisted*
+// ablation: the same data written as row-oriented CSV text, as an
+// event-based columnar store, and as a per-tick-sampled columnar store,
+// with ingest MB/s, scan rows/s, and on-disk bytes for each. The
+// trajectory store file is left behind as BENCH_a3_trajectories.evst so
+// CI can archive the artifact size.
+#include <chrono>
+#include <cstdio>
+
 #include "bench/bench_util.h"
 #include "core/builder.h"
+#include "io/csv.h"
+#include "louvre/dataset.h"
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
+#include "storage/event_store.h"
 
 namespace {
 
@@ -20,12 +33,19 @@ const louvre::LouvreMap& Map() {
   return map;
 }
 
+const louvre::VisitDataset& Dataset() {
+  static const louvre::VisitDataset dataset = [] {
+    louvre::VisitSimulator simulator(&Map());
+    louvre::VisitDataset d = Unwrap(simulator.Generate());
+    d.FilterZeroDuration();
+    return d;
+  }();
+  return dataset;
+}
+
 std::vector<core::SemanticTrajectory> Visits() {
-  louvre::VisitSimulator simulator(&Map());
-  louvre::VisitDataset dataset = Unwrap(simulator.Generate());
-  dataset.FilterZeroDuration();
   core::TrajectoryBuilder builder;
-  return Unwrap(builder.Build(dataset.ToRawDetections()));
+  return Unwrap(builder.Build(Dataset().ToRawDetections()));
 }
 
 // One periodic "sample" = (object, cell, tick): what a fixed-rate
@@ -42,6 +62,100 @@ std::size_t SampledRecordCount(
     }
   }
   return records;
+}
+
+// The per-tick representation materialized: one RawDetection per
+// `period` tick of every stay (what a fixed-rate tracker would log).
+std::vector<core::RawDetection> SampledDetections(
+    const std::vector<core::SemanticTrajectory>& visits, Duration period) {
+  std::vector<core::RawDetection> sampled;
+  for (const core::SemanticTrajectory& t : visits) {
+    for (const core::PresenceInterval& p : t.trace().intervals()) {
+      for (Timestamp tick = p.start(); tick <= p.end(); tick = tick + period) {
+        const Timestamp end =
+            std::min(tick + Duration::Seconds(period.seconds() - 1), p.end());
+        sampled.emplace_back(t.object(), p.cell, tick, end);
+      }
+    }
+  }
+  return sampled;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double Mb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+void ReportStorage(const std::vector<core::SemanticTrajectory>& visits,
+                   std::size_t event_tuples) {
+  std::printf("\n  persisted ablation (same movement, three layouts):\n");
+
+  // Row-oriented text baseline: the CSV the io/ module has always
+  // written (raw detections, one text row per record).
+  const std::string csv = Dataset().ToCsv();
+
+  // Event-based columnar trajectory store (kept on disk for CI).
+  const std::string store_path = "BENCH_a3_trajectories.evst";
+  storage::WriterOptions options;
+  auto writer = Unwrap(storage::EventStoreWriter::Create(
+      store_path, storage::StoreKind::kTrajectories, options));
+  const auto ingest_start = std::chrono::steady_clock::now();
+  Check(writer.Append(visits));
+  Check(writer.Finish());
+  const double ingest_seconds = SecondsSince(ingest_start);
+  const storage::StoreStats stats = writer.stats();
+
+  // Per-tick-sampled columnar store: identical format, one row per 30 s
+  // tick instead of one per event — the §3.3 alternative.
+  const Duration period = Duration::Seconds(30);
+  const std::vector<core::RawDetection> sampled =
+      SampledDetections(visits, period);
+  const std::string sampled_path = "BENCH_a3_sampled.evst";
+  auto sampled_writer = Unwrap(storage::EventStoreWriter::Create(
+      sampled_path, storage::StoreKind::kDetections, options));
+  Check(sampled_writer.Append(sampled));
+  Check(sampled_writer.Finish());
+  const storage::StoreStats sampled_stats = sampled_writer.stats();
+
+  std::printf("    %-34s %10s %14s %12s\n", "layout", "rows", "bytes",
+              "bytes/row");
+  auto row = [](const char* name, std::size_t rows, std::uint64_t bytes) {
+    std::printf("    %-34s %10zu %14llu %12.1f\n", name, rows,
+                static_cast<unsigned long long>(bytes),
+                static_cast<double>(bytes) / static_cast<double>(rows));
+  };
+  row("CSV text (row-oriented detections)", Dataset().size(), csv.size());
+  row("EventStore (event-based columnar)", event_tuples, stats.file_bytes);
+  row("EventStore (per-tick sampled, 30 s)", sampled.size(),
+      sampled_stats.file_bytes);
+  std::printf(
+      "    event-based columnar vs CSV: %.1fx smaller; vs per-tick "
+      "sampling: %.1fx smaller%s\n",
+      static_cast<double>(csv.size()) /
+          static_cast<double>(stats.file_bytes),
+      static_cast<double>(sampled_stats.file_bytes) /
+          static_cast<double>(stats.file_bytes),
+      stats.file_bytes < sampled_stats.file_bytes ? "" : "  (VIOLATION)");
+
+  // Ingest and scan wall-clock for the event store.
+  const auto reader = Unwrap(storage::EventStoreReader::Open(store_path));
+  const auto scan_start = std::chrono::steady_clock::now();
+  const auto scanned = Unwrap(reader.ReadTrajectories());
+  const double scan_seconds = SecondsSince(scan_start);
+  std::printf(
+      "    ingest %.1f MB/s (%zu tuples in %.3f s), scan %.0f rows/s "
+      "(%s, %zu blocks)\n",
+      Mb(stats.file_bytes) / ingest_seconds, event_tuples, ingest_seconds,
+      static_cast<double>(event_tuples) / scan_seconds,
+      reader.is_mapped() ? "mmap" : "read fallback", reader.num_blocks());
+  Check(scanned.size() == visits.size()
+            ? Status::OK()
+            : Status::Internal("store roundtrip lost trajectories"));
 }
 
 void Report() {
@@ -92,6 +206,8 @@ void Report() {
   Row("sampled stream re-merged to tuples",
       std::to_string(t.trace().size()) + " (the original)",
       std::to_string(rebuilt.front().trace().size()));
+
+  ReportStorage(visits, event_tuples);
 }
 
 void BM_SampleExpansion(benchmark::State& state) {
@@ -114,6 +230,99 @@ void BM_EventTupleScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventTupleScan);
+
+// --- Persisted-layout timings. Items = tuple rows; bytes = on-disk
+// size, so google-benchmark reports both rows/s and MB/s.
+
+std::size_t TupleCount(const std::vector<core::SemanticTrajectory>& visits) {
+  std::size_t tuples = 0;
+  for (const auto& t : visits) tuples += t.trace().size();
+  return tuples;
+}
+
+void BM_EventStoreWriteTrajectories(benchmark::State& state) {
+  const auto visits = Visits();
+  const std::string path = "BENCH_a3_scratch.evst";
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto writer = Unwrap(storage::EventStoreWriter::Create(
+        path, storage::StoreKind::kTrajectories));
+    Check(writer.Append(visits));
+    Check(writer.Finish());
+    bytes = writer.stats().file_bytes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(TupleCount(visits)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EventStoreWriteTrajectories)->Unit(benchmark::kMillisecond);
+
+void BM_EventStoreReadTrajectories(benchmark::State& state) {
+  const auto visits = Visits();
+  const std::string path = "BENCH_a3_scratch.evst";
+  auto writer = Unwrap(storage::EventStoreWriter::Create(
+      path, storage::StoreKind::kTrajectories));
+  Check(writer.Append(visits));
+  Check(writer.Finish());
+  const auto reader = Unwrap(storage::EventStoreReader::Open(path));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(reader.ReadTrajectories()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(TupleCount(visits)));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(writer.stats().file_bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EventStoreReadTrajectories)->Unit(benchmark::kMillisecond);
+
+void BM_EventStoreScanObjectPushdown(benchmark::State& state) {
+  const auto visits = Visits();
+  const std::string path = "BENCH_a3_scratch.evst";
+  storage::WriterOptions options;
+  options.rows_per_block = 512;  // enough blocks for pruning to matter
+  auto writer = Unwrap(storage::EventStoreWriter::Create(
+      path, storage::StoreKind::kTrajectories, options));
+  Check(writer.Append(visits));
+  Check(writer.Finish());
+  const auto reader = Unwrap(storage::EventStoreReader::Open(path));
+  storage::ScanOptions scan;
+  scan.object = visits[visits.size() / 2].object();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(reader.ReadTrajectories(scan)));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EventStoreScanObjectPushdown);
+
+void BM_CsvWriteDetections(benchmark::State& state) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string csv = Dataset().ToCsv();
+    bytes = csv.size();
+    benchmark::DoNotOptimize(csv);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(Dataset().size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CsvWriteDetections)->Unit(benchmark::kMillisecond);
+
+void BM_CsvReadDetections(benchmark::State& state) {
+  const std::string csv = Dataset().ToCsv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(louvre::VisitDataset::FromCsv(csv)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(Dataset().size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvReadDetections)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -16,6 +16,7 @@
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
 #include "mining/similarity.h"
+#include "storage/event_store.h"
 
 namespace {
 
@@ -141,6 +142,38 @@ void Report() {
       "parallel[%zu] %.3f s (%10.0f cells/s)  speedup %.2fx\n",
       n, seq_seconds, cells / seq_seconds, Pool().num_threads(), par_seconds,
       cells / par_seconds, seq_seconds / par_seconds);
+
+  // EventStore ingest + scan at batch scale: detections written to the
+  // columnar store (pooled column encoding), then scanned back into the
+  // pipeline — the persistent counterpart of the in-memory path above.
+  for (const int visitors : {1000, 10000}) {
+    std::vector<core::RawDetection> detections = Detections(visitors);
+    const std::string path = "BENCH_p2_scratch.evst";
+    storage::WriterOptions options;
+    options.pool = &Pool();
+    const auto write_start = std::chrono::steady_clock::now();
+    auto writer = Unwrap(storage::EventStoreWriter::Create(
+        path, storage::StoreKind::kDetections, options));
+    Check(writer.Append(detections));
+    Check(writer.Finish());
+    const double write_seconds = SecondsSince(write_start);
+    const auto reader = Unwrap(storage::EventStoreReader::Open(path));
+    const auto scan_start = std::chrono::steady_clock::now();
+    const auto scanned = Unwrap(reader.ReadDetections());
+    const double scan_seconds = SecondsSince(scan_start);
+    Check(scanned.size() == detections.size()
+              ? Status::OK()
+              : Status::Internal("store scan lost detections"));
+    const double mb = static_cast<double>(writer.stats().file_bytes) /
+                      (1024.0 * 1024.0);
+    std::printf(
+        "  store batch=%-7d %8zu detections  ingest %6.1f MB/s "
+        "(%9.0f rows/s)  scan %9.0f rows/s  %7.2f MB on disk\n",
+        visitors, detections.size(), mb / write_seconds,
+        static_cast<double>(detections.size()) / write_seconds,
+        static_cast<double>(detections.size()) / scan_seconds, mb);
+    std::remove(path.c_str());
+  }
 }
 
 // Trajectories/sec for the full batched pipeline (items = trajectories).
@@ -210,6 +243,60 @@ BENCHMARK(BM_DistanceMatrixPar)
     ->Arg(128)
     ->Arg(256)
     ->Arg(512)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// EventStore ingest throughput: detections/s and MB/s for the batched
+// columnar write path (pooled block encoding).
+void BM_EventStoreIngest(benchmark::State& state) {
+  const std::vector<core::RawDetection> detections =
+      Detections(static_cast<int>(state.range(0)));
+  const std::string path = "BENCH_p2_scratch.evst";
+  storage::WriterOptions options;
+  options.pool = &Pool();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto writer = Unwrap(storage::EventStoreWriter::Create(
+        path, storage::StoreKind::kDetections, options));
+    Check(writer.Append(detections));
+    Check(writer.Finish());
+    bytes = writer.stats().file_bytes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(detections.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EventStoreIngest)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// EventStore scan throughput: rows/s for the mmap'd block decode.
+void BM_EventStoreScan(benchmark::State& state) {
+  const std::vector<core::RawDetection> detections =
+      Detections(static_cast<int>(state.range(0)));
+  const std::string path = "BENCH_p2_scratch.evst";
+  auto writer = Unwrap(storage::EventStoreWriter::Create(
+      path, storage::StoreKind::kDetections));
+  Check(writer.Append(detections));
+  Check(writer.Finish());
+  const auto reader = Unwrap(storage::EventStoreReader::Open(path));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(reader.ReadDetections()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(detections.size()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(writer.stats().file_bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EventStoreScan)
+    ->Arg(1000)
+    ->Arg(10000)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

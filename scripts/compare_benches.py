@@ -9,6 +9,11 @@ baseline by more than --threshold (default 15%).
 Exit status: 0 when no regression was flagged (or --report-only), 1 when
 at least one benchmark regressed, 2 on usage/parse errors.
 
+Rows that cannot be compared are reported, never silently gated on:
+benchmarks present in only one set print as "removed"/"added", a ~0 ns
+baseline or a benchmark with no usable samples prints as "skipped".
+(Regression-tested by scripts/test_compare_benches.py, run in CI.)
+
 Usage:
   scripts/compare_benches.py <baseline_dir> <current_dir> [options]
 
@@ -84,8 +89,11 @@ def pick_time(key, samples, metric):
     Benches registered with UseManualTime (name suffix "/manual_time")
     put only the measured section in real_time — their cpu_time also
     counts untimed per-iteration setup — so they are always compared on
-    real_time.
+    real_time. Returns None when there are no samples to reduce (a set
+    with only errored/aggregate rows) — never raises.
     """
+    if not samples:
+        return None
     _, name = key
     if name.endswith("/manual_time") or "/manual_time/" in name:
         metric = "real_time"
@@ -145,12 +153,22 @@ def main(argv):
 
     regressions = []
     improvements = []
+    not_comparable = []  # (key, reason): reported, never silently gated
     for key in shared:
         base_ns = pick_time(key, baseline[key], args.metric)
         cur_ns = pick_time(key, current[key], args.metric)
+        if base_ns is None or cur_ns is None:
+            side = "baseline" if base_ns is None else "current"
+            not_comparable.append((key, f"no usable samples in {side}"))
+            continue
         if base_ns < args.min_ns and cur_ns < args.min_ns:
             continue
         if base_ns <= 0:
+            # Division guard: a ~0 ns baseline (clock underflow, a
+            # SkipWithError artifact) makes the ratio meaningless; such a
+            # row must neither crash the gate nor pass through it quietly.
+            not_comparable.append(
+                (key, f"baseline time {base_ns:g} ns is not comparable"))
             continue
         delta = (cur_ns - base_ns) / base_ns
         row = (key, base_ns, cur_ns, delta)
@@ -167,12 +185,20 @@ def main(argv):
             print(f"  {label:<11} {bench_id}:{name}  "
                   f"{format_ns(base_ns)} -> {format_ns(cur_ns)} "
                   f"({delta:+.1%})")
-    if only_baseline:
-        print(f"  removed: {len(only_baseline)} benchmarks "
-              f"(e.g. {':'.join(only_baseline[0])})")
-    if only_current:
-        print(f"  added:   {len(only_current)} benchmarks "
-              f"(e.g. {':'.join(only_current[0])})")
+    for (bench_id, name), reason in not_comparable:
+        print(f"  skipped     {bench_id}:{name}  ({reason})")
+
+    def list_unmatched(label, keys):
+        # Every unmatched benchmark is reported (a vanished benchmark
+        # must never disappear silently), but a p1-only baseline against
+        # a full run would list dozens — cap the detail lines.
+        for bench_id, name in keys[:10]:
+            print(f"  {label:<11} {bench_id}:{name}  (only in one set)")
+        if len(keys) > 10:
+            print(f"  {label:<11} ... and {len(keys) - 10} more")
+
+    list_unmatched("removed", only_baseline)
+    list_unmatched("added", only_current)
     if not regressions:
         print("  no regressions flagged")
 

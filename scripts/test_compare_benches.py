@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/compare_benches.py.
+
+pytest-style test_* functions with plain asserts, plus a __main__ runner
+so CI needs only `python3 scripts/test_compare_benches.py` (no pytest
+dependency). Each test builds synthetic BENCH_*.json sets in a temp dir
+and drives compare_benches.main() end to end.
+
+Pinned behaviors (each was a crash or a silent mis-gate once):
+  - a benchmark present in only one set is reported, not crashed on;
+  - an empty sample list never reaches statistics.median;
+  - a ~0 ns baseline time is division-guarded and reported as skipped;
+  - a real regression still exits 1, --report-only still exits 0.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compare_benches  # noqa: E402
+
+
+def _write_bench(directory, bench_id, rows):
+    path = os.path.join(directory, f"BENCH_{bench_id}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"benchmarks": rows}, fh)
+    return path
+
+
+def _row(name, cpu_ns, **extra):
+    row = {"name": name, "run_type": "iteration", "iterations": 1,
+           "real_time": cpu_ns, "cpu_time": cpu_ns, "time_unit": "ns"}
+    row.update(extra)
+    return row
+
+
+def _run(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = compare_benches.main(argv)
+    return code, out.getvalue()
+
+
+def test_benchmark_in_only_one_set_is_reported_not_fatal():
+    with tempfile.TemporaryDirectory() as tmp:
+        base, cur = os.path.join(tmp, "a"), os.path.join(tmp, "b")
+        os.mkdir(base)
+        os.mkdir(cur)
+        _write_bench(base, "x", [_row("BM_Shared", 100.0),
+                                 _row("BM_OnlyBaseline", 100.0)])
+        _write_bench(cur, "x", [_row("BM_Shared", 101.0),
+                                _row("BM_OnlyCurrent", 100.0)])
+        code, out = _run([base, cur])
+        assert code == 0, out
+        assert "removed     x:BM_OnlyBaseline" in out
+        assert "added       x:BM_OnlyCurrent" in out
+
+
+def test_many_unmatched_benchmarks_are_capped_not_spammed():
+    with tempfile.TemporaryDirectory() as tmp:
+        base, cur = os.path.join(tmp, "a"), os.path.join(tmp, "b")
+        os.mkdir(base)
+        os.mkdir(cur)
+        _write_bench(base, "x", [_row("BM_Shared", 100.0)])
+        _write_bench(cur, "x", [_row("BM_Shared", 100.0)] +
+                     [_row(f"BM_New{i:02d}", 100.0) for i in range(25)])
+        code, out = _run([base, cur])
+        assert code == 0, out
+        assert "BM_New00" in out
+        assert "... and 15 more" in out
+
+
+def test_empty_sample_list_is_guarded():
+    # load_benchmarks never emits empty lists, but pick_time must still
+    # tolerate them (defense for future loaders): None, not a raised
+    # statistics.StatisticsError.
+    assert compare_benches.pick_time(("x", "BM_A"), [], "cpu_time") is None
+
+
+def test_all_errored_rows_vanish_instead_of_crashing():
+    with tempfile.TemporaryDirectory() as tmp:
+        base, cur = os.path.join(tmp, "a"), os.path.join(tmp, "b")
+        os.mkdir(base)
+        os.mkdir(cur)
+        errored = {"name": "BM_Err", "run_type": "iteration",
+                   "error_occurred": True,
+                   "error_message": "setup failed"}
+        _write_bench(base, "x", [_row("BM_Ok", 50.0), errored])
+        _write_bench(cur, "x", [_row("BM_Ok", 50.0), errored])
+        code, out = _run([base, cur])
+        assert code == 0, out
+        assert "1 shared benchmarks" in out
+
+
+def test_zero_ns_baseline_is_division_guarded_and_reported():
+    with tempfile.TemporaryDirectory() as tmp:
+        base, cur = os.path.join(tmp, "a"), os.path.join(tmp, "b")
+        os.mkdir(base)
+        os.mkdir(cur)
+        _write_bench(base, "x", [_row("BM_Zero", 0.0)])
+        _write_bench(cur, "x", [_row("BM_Zero", 1000.0)])
+        # --min-ns 0 so the ~0 row is not dropped by the noise floor and
+        # must hit the division guard itself.
+        code, out = _run([base, cur, "--min-ns", "0"])
+        assert code == 0, out
+        assert "skipped     x:BM_Zero" in out
+        assert "not comparable" in out
+
+
+def test_sub_noise_pair_is_still_ignored():
+    with tempfile.TemporaryDirectory() as tmp:
+        base, cur = os.path.join(tmp, "a"), os.path.join(tmp, "b")
+        os.mkdir(base)
+        os.mkdir(cur)
+        _write_bench(base, "x", [_row("BM_Tiny", 0.2)])
+        _write_bench(cur, "x", [_row("BM_Tiny", 0.9)])
+        code, out = _run([base, cur])  # default --min-ns 1.0
+        assert code == 0, out
+        assert "BM_Tiny" not in out
+
+
+def test_regression_exits_one_and_report_only_exits_zero():
+    with tempfile.TemporaryDirectory() as tmp:
+        base, cur = os.path.join(tmp, "a"), os.path.join(tmp, "b")
+        os.mkdir(base)
+        os.mkdir(cur)
+        _write_bench(base, "x", [_row("BM_Slow", 100.0)])
+        _write_bench(cur, "x", [_row("BM_Slow", 200.0)])
+        code, out = _run([base, cur])
+        assert code == 1
+        assert "REGRESSION" in out
+        code, out = _run([base, cur, "--report-only"])
+        assert code == 0
+        assert "REGRESSION" in out
+
+
+def test_repetitions_reduce_to_median():
+    with tempfile.TemporaryDirectory() as tmp:
+        base, cur = os.path.join(tmp, "a"), os.path.join(tmp, "b")
+        os.mkdir(base)
+        os.mkdir(cur)
+        _write_bench(base, "x", [_row("BM_Rep", v) for v in (90, 100, 110)])
+        # Median 100 -> 105: +5%, under the default 15% threshold even
+        # though the max sample would read as +40%.
+        _write_bench(cur, "x", [_row("BM_Rep", v) for v in (100, 105, 140)])
+        code, out = _run([base, cur])
+        assert code == 0, out
+        assert "REGRESSION" not in out
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failures = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as err:
+            failures += 1
+            print(f"FAIL {name}: {err}")
+    print(f"{len(tests) - failures}/{len(tests)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,11 +32,27 @@ std::size_t Trace::NumTransitions() const {
   return count;
 }
 
+Result<Timestamp> Trace::StartTime() const {
+  if (intervals_.empty()) {
+    return Status::InvalidArgument("Trace::StartTime: empty trace");
+  }
+  return start();
+}
+
+Result<Timestamp> Trace::EndTime() const {
+  if (intervals_.empty()) {
+    return Status::InvalidArgument("Trace::EndTime: empty trace");
+  }
+  return end();
+}
+
 Result<Trace> Trace::Slice(std::size_t begin, std::size_t end) const {
   if (begin >= end || end > intervals_.size()) {
-    return Status::OutOfRange("Trace::Slice: bad range [" +
-                              std::to_string(begin) + ", " +
-                              std::to_string(end) + ")");
+    return Status::InvalidArgument("Trace::Slice: bad range [" +
+                                   std::to_string(begin) + ", " +
+                                   std::to_string(end) + ") on a trace of " +
+                                   std::to_string(intervals_.size()) +
+                                   " tuples");
   }
   return Trace(std::vector<PresenceInterval>(intervals_.begin() + begin,
                                              intervals_.begin() + end));

@@ -33,6 +33,15 @@ class Trace {
   Timestamp start() const { return intervals_.front().start(); }
   Timestamp end() const { return intervals_.back().end(); }
 
+  /// \brief Checked trace bounds: InvalidArgument on an empty trace
+  /// instead of the undefined behavior of start()/end().
+  ///
+  /// Use these wherever the trace may come from untrusted input (a
+  /// storage reader, a network peer) rather than from the builder, whose
+  /// output is non-empty by construction.
+  Result<Timestamp> StartTime() const;
+  Result<Timestamp> EndTime() const;
+
   /// Total time covered by presence intervals (excludes gaps).
   Duration TotalPresence() const;
 
@@ -46,7 +55,9 @@ class Trace {
   /// different cells.
   std::size_t NumTransitions() const;
 
-  /// The sub-sequence [begin, end) as a new trace.
+  /// The sub-sequence [begin, end) as a new trace. InvalidArgument when
+  /// the range is empty or out of bounds (callers decoding untrusted
+  /// data rely on this being a checked error, never a precondition).
   Result<Trace> Slice(std::size_t begin, std::size_t end) const;
 
   /// \brief Intrinsic validity (Def. 3.2 well-formedness):

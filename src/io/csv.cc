@@ -17,11 +17,13 @@ Result<CsvTable> ParseCsv(std::string_view text) {
   std::vector<std::string> record;
   std::string field;
   bool in_quotes = false;
+  bool after_quote = false;  // the current field just closed its quotes
   bool record_started = false;
   std::size_t i = 0;
   auto end_field = [&]() {
     record.push_back(std::move(field));
     field.clear();
+    after_quote = false;
   };
   auto end_record = [&]() -> Status {
     end_field();
@@ -51,6 +53,7 @@ Result<CsvTable> ParseCsv(std::string_view text) {
           continue;
         }
         in_quotes = false;
+        after_quote = true;
         ++i;
         continue;
       }
@@ -60,6 +63,14 @@ Result<CsvTable> ParseCsv(std::string_view text) {
     }
     switch (c) {
       case '"':
+        // RFC 4180: a quote may only open a field. A quote in the middle
+        // of an unquoted field, or after a closing quote, is malformed
+        // input that a lenient parser would silently reinterpret.
+        if (after_quote || !field.empty()) {
+          return Status::Corruption(
+              "CSV stray '\"' in unquoted data near offset " +
+              std::to_string(i));
+        }
         in_quotes = true;
         ++i;
         break;
@@ -75,6 +86,11 @@ Result<CsvTable> ParseCsv(std::string_view text) {
         ++i;
         break;
       default:
+        if (after_quote) {
+          return Status::Corruption(
+              "CSV data after closing quote near offset " +
+              std::to_string(i));
+        }
         field += c;
         ++i;
     }

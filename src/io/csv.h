@@ -22,6 +22,11 @@ struct CsvTable {
 /// double-quote quoting with "" escapes, LF or CRLF line endings. The
 /// first record is the header. Every data row must have the header's
 /// arity (Corruption otherwise). Empty input yields an empty table.
+///
+/// Malformed input is never silently reinterpreted or dropped: text
+/// ending inside a quoted field, a stray '"' inside an unquoted field,
+/// and data after a closing quote all return Corruption, and a final
+/// record without a trailing newline parses like any other.
 Result<CsvTable> ParseCsv(std::string_view text);
 
 /// Serializes a table back to CSV (quoting fields that need it).

@@ -1,0 +1,173 @@
+#include "storage/columnar.h"
+
+namespace sitm::storage {
+
+std::uint64_t Checksum(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV 64 prime
+  }
+  return h;
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutVarint64(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void PutSVarint64(std::string& out, std::int64_t v) {
+  PutVarint64(out, ZigZagEncode(v));
+}
+
+Result<std::uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) {
+    return Status::Corruption("columnar: truncated u32 at offset " +
+                              std::to_string(pos_));
+  }
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::ReadU64() {
+  if (remaining() < 8) {
+    return Status::Corruption("columnar: truncated u64 at offset " +
+                              std::to_string(pos_));
+  }
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::ReadVarint64() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (empty()) {
+      return Status::Corruption("columnar: truncated varint at offset " +
+                                std::to_string(pos_));
+    }
+    const auto byte = static_cast<unsigned char>(data_[pos_++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th byte may only contribute the top bit of the value.
+      if (shift == 63 && byte > 1) {
+        return Status::Corruption("columnar: varint overflows 64 bits");
+      }
+      return v;
+    }
+  }
+  return Status::Corruption("columnar: varint longer than 10 bytes");
+}
+
+Result<std::int64_t> ByteReader::ReadSVarint64() {
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t raw, ReadVarint64());
+  return ZigZagDecode(raw);
+}
+
+Result<std::string_view> ByteReader::ReadBytes(std::size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("columnar: truncated byte run of " +
+                              std::to_string(n) + " at offset " +
+                              std::to_string(pos_));
+  }
+  std::string_view view(data_ + pos_, n);
+  pos_ += n;
+  return view;
+}
+
+void PutDeltaColumn(std::string& out,
+                    const std::vector<std::int64_t>& values) {
+  // Deltas are computed mod 2^64 (unsigned, wrap-defined) so every
+  // int64 pair round-trips exactly through the wrap-adding decoder —
+  // including adjacent values at the two ends of the int64 range.
+  std::uint64_t previous = 0;
+  for (std::int64_t v : values) {
+    const auto u = static_cast<std::uint64_t>(v);
+    PutSVarint64(out, static_cast<std::int64_t>(u - previous));
+    previous = u;
+  }
+}
+
+Result<std::vector<std::int64_t>> ReadDeltaColumn(ByteReader& reader,
+                                                  std::size_t n) {
+  std::vector<std::int64_t> out;
+  out.reserve(n);
+  // Unsigned accumulation: crafted delta sequences that would overflow
+  // int64 wrap deterministically instead of being UB (this decoder sees
+  // untrusted bytes; later semantic validation rejects nonsense values).
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    SITM_ASSIGN_OR_RETURN(const std::int64_t delta, reader.ReadSVarint64());
+    previous += static_cast<std::uint64_t>(delta);
+    out.push_back(static_cast<std::int64_t>(previous));
+  }
+  return out;
+}
+
+void PutVarintColumn(std::string& out,
+                     const std::vector<std::uint64_t>& values) {
+  for (std::uint64_t v : values) PutVarint64(out, v);
+}
+
+Result<std::vector<std::uint64_t>> ReadVarintColumn(ByteReader& reader,
+                                                    std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SITM_ASSIGN_OR_RETURN(const std::uint64_t v, reader.ReadVarint64());
+    out.push_back(v);
+  }
+  return out;
+}
+
+void PutBitColumn(std::string& out, const std::vector<bool>& values) {
+  unsigned char byte = 0;
+  int bit = 0;
+  for (bool v : values) {
+    if (v) byte |= static_cast<unsigned char>(1u << bit);
+    if (++bit == 8) {
+      out.push_back(static_cast<char>(byte));
+      byte = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) out.push_back(static_cast<char>(byte));
+}
+
+Result<std::vector<bool>> ReadBitColumn(ByteReader& reader, std::size_t n) {
+  SITM_ASSIGN_OR_RETURN(const std::string_view bytes,
+                        reader.ReadBytes((n + 7) / 8));
+  std::vector<bool> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto byte = static_cast<unsigned char>(bytes[i / 8]);
+    out.push_back((byte >> (i % 8)) & 1u);
+  }
+  return out;
+}
+
+}  // namespace sitm::storage

@@ -1,0 +1,104 @@
+#ifndef SITM_STORAGE_COLUMNAR_H_
+#define SITM_STORAGE_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace sitm::storage {
+
+/// \brief Byte-level encoding primitives for the EventStore's columnar
+/// on-disk format (see storage/event_store.h for the file layout).
+///
+/// All multi-byte fixed-width integers are little-endian regardless of
+/// host order. Variable-width integers use LEB128 varints; signed
+/// values are zigzag-mapped first so small magnitudes of either sign
+/// stay short — the property delta-encoded id and timestamp columns
+/// rely on.
+
+/// Seed/offset basis of the FNV-1a 64-bit checksum.
+inline constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ull;
+
+/// FNV-1a 64-bit over a byte range. Chainable: pass a previous digest as
+/// `seed` to extend it. Used as the block/footer corruption check — this
+/// guards against bit rot and truncation, not adversaries.
+std::uint64_t Checksum(std::string_view bytes,
+                       std::uint64_t seed = kChecksumSeed);
+
+/// Zigzag mapping: small negative numbers become small unsigned ones.
+constexpr std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Fixed-width little-endian appends.
+void PutU32(std::string& out, std::uint32_t v);
+void PutU64(std::string& out, std::uint64_t v);
+
+/// LEB128 varint appends (PutVarint64 unsigned; signed via zigzag).
+void PutVarint64(std::string& out, std::uint64_t v);
+void PutSVarint64(std::string& out, std::int64_t v);
+
+/// \brief Bounds-checked sequential decoder over a borrowed byte range.
+///
+/// Every read validates against the remaining bytes and returns
+/// Corruption on truncation — the reader-side guarantee that untrusted
+/// or damaged files can never run the decoder out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ == size_; }
+  std::size_t position() const { return pos_; }
+
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::uint64_t> ReadVarint64();
+  Result<std::int64_t> ReadSVarint64();
+  /// Borrows `n` raw bytes (valid while the underlying buffer lives).
+  Result<std::string_view> ReadBytes(std::size_t n);
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// \brief Appends a delta-encoded signed column: the first value
+/// absolute, every later one as the difference to its predecessor, all
+/// zigzag varints. Ids assigned in roughly increasing order and sorted
+/// timestamps shrink to one or two bytes per row.
+void PutDeltaColumn(std::string& out, const std::vector<std::int64_t>& values);
+
+/// Decodes `n` values of a PutDeltaColumn column.
+Result<std::vector<std::int64_t>> ReadDeltaColumn(ByteReader& reader,
+                                                  std::size_t n);
+
+/// Appends an unsigned varint column (no delta).
+void PutVarintColumn(std::string& out,
+                     const std::vector<std::uint64_t>& values);
+
+/// Decodes `n` values of a PutVarintColumn column.
+Result<std::vector<std::uint64_t>> ReadVarintColumn(ByteReader& reader,
+                                                    std::size_t n);
+
+/// Appends a bit-packed bool column ((n + 7) / 8 bytes, LSB first).
+void PutBitColumn(std::string& out, const std::vector<bool>& values);
+
+/// Decodes `n` values of a PutBitColumn column.
+Result<std::vector<bool>> ReadBitColumn(ByteReader& reader, std::size_t n);
+
+}  // namespace sitm::storage
+
+#endif  // SITM_STORAGE_COLUMNAR_H_

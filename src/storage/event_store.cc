@@ -1,0 +1,757 @@
+#include "storage/event_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "storage/columnar.h"
+
+namespace sitm::storage {
+
+namespace {
+
+/// Serialized annotation set: varint count, then per annotation varint
+/// kind + varint byte length + value bytes. Canonical because
+/// AnnotationSet keeps its contents sorted and unique.
+std::string EncodeAnnotationSet(const core::AnnotationSet& set) {
+  std::string out;
+  PutVarint64(out, set.size());
+  for (const core::SemanticAnnotation& a : set.annotations()) {
+    PutVarint64(out, static_cast<std::uint64_t>(a.kind));
+    PutVarint64(out, a.value.size());
+    out += a.value;
+  }
+  return out;
+}
+
+Result<core::AnnotationSet> DecodeAnnotationSet(ByteReader& reader) {
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadVarint64());
+  if (count > reader.remaining()) {
+    return Status::Corruption("EventStore: annotation set claims " +
+                              std::to_string(count) + " entries with only " +
+                              std::to_string(reader.remaining()) +
+                              " bytes left");
+  }
+  core::AnnotationSet set;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SITM_ASSIGN_OR_RETURN(const std::uint64_t kind, reader.ReadVarint64());
+    if (kind > static_cast<std::uint64_t>(core::AnnotationKind::kOther)) {
+      return Status::Corruption("EventStore: unknown annotation kind " +
+                                std::to_string(kind));
+    }
+    SITM_ASSIGN_OR_RETURN(const std::uint64_t length, reader.ReadVarint64());
+    SITM_ASSIGN_OR_RETURN(const std::string_view value,
+                          reader.ReadBytes(length));
+    set.Add(static_cast<core::AnnotationKind>(kind), std::string(value));
+  }
+  return set;
+}
+
+/// One encoded block ready to be appended to the file (offset unset).
+struct EncodedBlock {
+  std::string payload;
+  BlockMeta meta;
+};
+
+void FoldRowStats(BlockMeta& meta, bool first, std::int64_t object,
+                  std::int64_t start, std::int64_t end) {
+  if (first) {
+    meta.min_object = meta.max_object = object;
+    meta.min_time = start;
+    meta.max_time = end;
+    return;
+  }
+  meta.min_object = std::min(meta.min_object, object);
+  meta.max_object = std::max(meta.max_object, object);
+  meta.min_time = std::min(meta.min_time, start);
+  meta.max_time = std::max(meta.max_time, end);
+}
+
+/// Converts an unsigned on-disk duration back to a timestamp pair,
+/// rejecting values that would overflow signed time arithmetic. All
+/// arithmetic is unsigned (wrap-defined): `start` is untrusted and may
+/// be any int64, including negative.
+Result<Timestamp> EndFromDuration(std::int64_t start, std::uint64_t duration) {
+  // INT64_MAX - start, computed mod 2^64: exact for every start, and
+  // the mathematical value always fits in uint64.
+  const std::uint64_t limit =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) -
+      static_cast<std::uint64_t>(start);
+  if (duration > limit) {
+    return Status::Corruption("EventStore: duration overflows the epoch");
+  }
+  return Timestamp(static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(start) + duration));
+}
+
+bool RowMatches(const ScanOptions& scan, ObjectId object, Timestamp start,
+                Timestamp end) {
+  if (scan.object.valid() && object != scan.object) return false;
+  if (scan.min_time.has_value() && end < *scan.min_time) return false;
+  if (scan.max_time.has_value() && start > *scan.max_time) return false;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+Result<EventStoreWriter> EventStoreWriter::Create(const std::string& path,
+                                                  StoreKind kind,
+                                                  WriterOptions options) {
+  if (kind != StoreKind::kDetections && kind != StoreKind::kTrajectories) {
+    return Status::InvalidArgument("EventStore: unknown store kind");
+  }
+  if (options.rows_per_block == 0) {
+    return Status::InvalidArgument("EventStore: rows_per_block must be >= 1");
+  }
+  EventStoreWriter writer;
+  writer.file_ = std::fopen(path.c_str(), "wb");
+  if (writer.file_ == nullptr) {
+    return Status::IOError("EventStore: cannot open '" + path +
+                           "' for writing");
+  }
+  writer.kind_ = kind;
+  writer.options_ = options;
+  std::string header(kStoreMagic, sizeof(kStoreMagic));
+  PutU32(header, kStoreVersion);
+  PutU32(header, static_cast<std::uint32_t>(kind));
+  SITM_RETURN_IF_ERROR(writer.WriteRaw(header));
+  return writer;
+}
+
+EventStoreWriter::~EventStoreWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+EventStoreWriter::EventStoreWriter(EventStoreWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      kind_(other.kind_),
+      options_(other.options_),
+      offset_(other.offset_),
+      finished_(other.finished_),
+      blocks_(std::move(other.blocks_)),
+      dictionary_(std::move(other.dictionary_)),
+      dictionary_index_(std::move(other.dictionary_index_)),
+      stats_(other.stats_) {}
+
+EventStoreWriter& EventStoreWriter::operator=(
+    EventStoreWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    kind_ = other.kind_;
+    options_ = other.options_;
+    offset_ = other.offset_;
+    finished_ = other.finished_;
+    blocks_ = std::move(other.blocks_);
+    dictionary_ = std::move(other.dictionary_);
+    dictionary_index_ = std::move(other.dictionary_index_);
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
+Status EventStoreWriter::WriteRaw(std::string_view bytes) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("EventStore: writer is closed");
+  }
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IOError("EventStore: write failed at offset " +
+                           std::to_string(offset_));
+  }
+  offset_ += bytes.size();
+  return Status::OK();
+}
+
+std::uint32_t EventStoreWriter::DictionaryId(const core::AnnotationSet& set) {
+  std::string encoded = EncodeAnnotationSet(set);
+  const auto it = dictionary_index_.find(encoded);
+  if (it != dictionary_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(dictionary_.size());
+  dictionary_index_.emplace(encoded, id);
+  dictionary_.push_back(std::move(encoded));
+  stats_.dictionary_entries = dictionary_.size();
+  return id;
+}
+
+Status EventStoreWriter::Append(
+    const std::vector<core::RawDetection>& detections) {
+  if (finished_) {
+    return Status::FailedPrecondition("EventStore: writer already finished");
+  }
+  if (kind_ != StoreKind::kDetections) {
+    return Status::InvalidArgument(
+        "EventStore: detection batch appended to a trajectory store");
+  }
+  for (const core::RawDetection& d : detections) {
+    if (d.end < d.start) {
+      return Status::InvalidArgument(
+          "EventStore: detection with end before start (object #" +
+          std::to_string(d.object.value()) + ")");
+    }
+  }
+  if (detections.empty()) return Status::OK();
+
+  const std::size_t per_block = options_.rows_per_block;
+  const std::size_t num_blocks = (detections.size() + per_block - 1) / per_block;
+  std::vector<EncodedBlock> encoded = ParallelMap<EncodedBlock>(
+      options_.pool, num_blocks, [&](std::size_t b) {
+        const std::size_t begin = b * per_block;
+        const std::size_t end = std::min(begin + per_block, detections.size());
+        const std::size_t n = end - begin;
+        std::vector<std::int64_t> objects, cells, starts;
+        std::vector<std::uint64_t> durations;
+        objects.reserve(n);
+        cells.reserve(n);
+        starts.reserve(n);
+        durations.reserve(n);
+        EncodedBlock block;
+        for (std::size_t i = begin; i < end; ++i) {
+          const core::RawDetection& d = detections[i];
+          objects.push_back(d.object.value());
+          cells.push_back(d.cell.value());
+          starts.push_back(d.start.seconds_since_epoch());
+          durations.push_back(
+              static_cast<std::uint64_t>((d.end - d.start).seconds()));
+          FoldRowStats(block.meta, i == begin, d.object.value(),
+                       d.start.seconds_since_epoch(),
+                       d.end.seconds_since_epoch());
+        }
+        PutDeltaColumn(block.payload, objects);
+        PutDeltaColumn(block.payload, cells);
+        PutDeltaColumn(block.payload, starts);
+        PutVarintColumn(block.payload, durations);
+        block.meta.rows = n;
+        block.meta.length = block.payload.size();
+        block.meta.checksum = Checksum(block.payload);
+        return block;
+      });
+
+  for (EncodedBlock& block : encoded) {
+    block.meta.offset = offset_;
+    SITM_RETURN_IF_ERROR(WriteRaw(block.payload));
+    stats_.rows += block.meta.rows;
+    stats_.blocks += 1;
+    stats_.payload_bytes += block.meta.length;
+    blocks_.push_back(block.meta);
+  }
+  return Status::OK();
+}
+
+Status EventStoreWriter::Append(
+    const std::vector<core::SemanticTrajectory>& trajectories) {
+  if (finished_) {
+    return Status::FailedPrecondition("EventStore: writer already finished");
+  }
+  if (kind_ != StoreKind::kTrajectories) {
+    return Status::InvalidArgument(
+        "EventStore: trajectory batch appended to a detection store");
+  }
+  if (trajectories.empty()) return Status::OK();
+
+  // Flatten the batch into column vectors (and assign dictionary ids —
+  // inherently sequential: ids must be stable in first-seen order).
+  const std::size_t num_trajectories = trajectories.size();
+  std::vector<std::int64_t> traj_ids, traj_objects;
+  std::vector<std::uint64_t> traj_dicts, traj_rows;
+  std::vector<std::int64_t> cells, transitions, starts;
+  std::vector<std::uint64_t> durations, stay_dicts, transition_dicts;
+  std::vector<bool> inferred;
+  traj_ids.reserve(num_trajectories);
+  traj_objects.reserve(num_trajectories);
+  traj_dicts.reserve(num_trajectories);
+  traj_rows.reserve(num_trajectories);
+  for (const core::SemanticTrajectory& t : trajectories) {
+    // Checked accessor: an empty trace must never reach the disk, or
+    // readers could not reconstruct the trajectory's bounds.
+    SITM_RETURN_IF_ERROR(t.trace().StartTime().status().WithContext(
+        "EventStore: refusing to append trajectory #" +
+        std::to_string(t.id().value())));
+    traj_ids.push_back(t.id().value());
+    traj_objects.push_back(t.object().value());
+    traj_dicts.push_back(DictionaryId(t.annotations()));
+    traj_rows.push_back(t.trace().size());
+    for (const core::PresenceInterval& p : t.trace().intervals()) {
+      const std::int64_t duration = (p.end() - p.start()).seconds();
+      if (duration < 0) {
+        return Status::InvalidArgument(
+            "EventStore: presence interval with end before start");
+      }
+      cells.push_back(p.cell.value());
+      transitions.push_back(p.transition.value());
+      starts.push_back(p.start().seconds_since_epoch());
+      durations.push_back(static_cast<std::uint64_t>(duration));
+      stay_dicts.push_back(DictionaryId(p.annotations));
+      transition_dicts.push_back(DictionaryId(p.transition_annotations));
+      inferred.push_back(p.inferred);
+    }
+  }
+
+  // Block boundaries: close at the first trajectory boundary at or past
+  // rows_per_block rows. (trajectory begin index, row begin index).
+  struct BlockRange {
+    std::size_t traj_begin, traj_end;
+    std::size_t row_begin, row_end;
+  };
+  std::vector<BlockRange> ranges;
+  std::size_t traj_cursor = 0, row_cursor = 0;
+  while (traj_cursor < num_trajectories) {
+    BlockRange range{traj_cursor, traj_cursor, row_cursor, row_cursor};
+    while (range.traj_end < num_trajectories &&
+           range.row_end - range.row_begin < options_.rows_per_block) {
+      range.row_end += static_cast<std::size_t>(traj_rows[range.traj_end]);
+      range.traj_end += 1;
+    }
+    ranges.push_back(range);
+    traj_cursor = range.traj_end;
+    row_cursor = range.row_end;
+  }
+
+  std::vector<EncodedBlock> encoded = ParallelMap<EncodedBlock>(
+      options_.pool, ranges.size(), [&](std::size_t b) {
+        const BlockRange& range = ranges[b];
+        EncodedBlock block;
+        auto slice_i64 = [](const std::vector<std::int64_t>& v,
+                            std::size_t begin, std::size_t end) {
+          return std::vector<std::int64_t>(v.begin() + begin, v.begin() + end);
+        };
+        auto slice_u64 = [](const std::vector<std::uint64_t>& v,
+                            std::size_t begin, std::size_t end) {
+          return std::vector<std::uint64_t>(v.begin() + begin,
+                                            v.begin() + end);
+        };
+        PutDeltaColumn(block.payload,
+                       slice_i64(traj_ids, range.traj_begin, range.traj_end));
+        PutDeltaColumn(
+            block.payload,
+            slice_i64(traj_objects, range.traj_begin, range.traj_end));
+        PutVarintColumn(
+            block.payload,
+            slice_u64(traj_dicts, range.traj_begin, range.traj_end));
+        PutVarintColumn(
+            block.payload,
+            slice_u64(traj_rows, range.traj_begin, range.traj_end));
+        PutDeltaColumn(block.payload,
+                       slice_i64(cells, range.row_begin, range.row_end));
+        for (std::size_t i = range.row_begin; i < range.row_end; ++i) {
+          PutSVarint64(block.payload, transitions[i]);
+        }
+        PutDeltaColumn(block.payload,
+                       slice_i64(starts, range.row_begin, range.row_end));
+        PutVarintColumn(block.payload,
+                        slice_u64(durations, range.row_begin, range.row_end));
+        PutVarintColumn(
+            block.payload,
+            slice_u64(stay_dicts, range.row_begin, range.row_end));
+        PutVarintColumn(
+            block.payload,
+            slice_u64(transition_dicts, range.row_begin, range.row_end));
+        PutBitColumn(block.payload,
+                     std::vector<bool>(inferred.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               range.row_begin),
+                                       inferred.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               range.row_end)));
+        bool first = true;
+        for (std::size_t t = range.traj_begin; t < range.traj_end; ++t) {
+          const core::Trace& trace = trajectories[t].trace();
+          for (const core::PresenceInterval& p : trace.intervals()) {
+            FoldRowStats(block.meta, first, traj_objects[t],
+                         p.start().seconds_since_epoch(),
+                         p.end().seconds_since_epoch());
+            first = false;
+          }
+        }
+        block.meta.rows = range.row_end - range.row_begin;
+        block.meta.trajectories = range.traj_end - range.traj_begin;
+        block.meta.length = block.payload.size();
+        block.meta.checksum = Checksum(block.payload);
+        return block;
+      });
+
+  for (EncodedBlock& block : encoded) {
+    block.meta.offset = offset_;
+    SITM_RETURN_IF_ERROR(WriteRaw(block.payload));
+    stats_.rows += block.meta.rows;
+    stats_.trajectories += block.meta.trajectories;
+    stats_.blocks += 1;
+    stats_.payload_bytes += block.meta.length;
+    blocks_.push_back(block.meta);
+  }
+  return Status::OK();
+}
+
+Status EventStoreWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("EventStore: Finish called twice");
+  }
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("EventStore: writer is closed");
+  }
+  const std::uint64_t footer_offset = offset_;
+  std::string footer;
+  PutVarint64(footer, dictionary_.size());
+  for (const std::string& entry : dictionary_) footer += entry;
+  PutVarint64(footer, blocks_.size());
+  for (const BlockMeta& meta : blocks_) {
+    PutVarint64(footer, meta.offset);
+    PutVarint64(footer, meta.length);
+    PutVarint64(footer, meta.rows);
+    PutVarint64(footer, meta.trajectories);
+    PutSVarint64(footer, meta.min_object);
+    PutSVarint64(footer, meta.max_object);
+    PutSVarint64(footer, meta.min_time);
+    PutSVarint64(footer, meta.max_time);
+    PutU64(footer, meta.checksum);
+  }
+  SITM_RETURN_IF_ERROR(WriteRaw(footer));
+  std::string trailer;
+  PutU64(trailer, footer_offset);
+  PutU64(trailer, footer.size());
+  PutU64(trailer, Checksum(footer));
+  trailer.append(kTrailerMagic, sizeof(kTrailerMagic));
+  SITM_RETURN_IF_ERROR(WriteRaw(trailer));
+  finished_ = true;
+  stats_.file_bytes = offset_;
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("EventStore: close failed");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+Result<EventStoreReader> EventStoreReader::Open(const std::string& path) {
+  EventStoreReader reader;
+  SITM_ASSIGN_OR_RETURN(reader.file_, MappedFile::Open(path));
+  const std::string_view file = reader.file_.view();
+  if (file.size() < kStoreHeaderSize + kStoreTrailerSize) {
+    return Status::Corruption("EventStore: '" + path +
+                              "' is too short to be a store file");
+  }
+  if (std::memcmp(file.data(), kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return Status::Corruption("EventStore: bad magic in '" + path + "'");
+  }
+  ByteReader header(file.data() + sizeof(kStoreMagic),
+                    kStoreHeaderSize - sizeof(kStoreMagic));
+  SITM_ASSIGN_OR_RETURN(const std::uint32_t version, header.ReadU32());
+  if (version != kStoreVersion) {
+    return Status::Corruption("EventStore: unsupported format version " +
+                              std::to_string(version));
+  }
+  SITM_ASSIGN_OR_RETURN(const std::uint32_t kind, header.ReadU32());
+  if (kind != static_cast<std::uint32_t>(StoreKind::kDetections) &&
+      kind != static_cast<std::uint32_t>(StoreKind::kTrajectories)) {
+    return Status::Corruption("EventStore: unknown store kind " +
+                              std::to_string(kind));
+  }
+  reader.kind_ = static_cast<StoreKind>(kind);
+
+  ByteReader trailer(file.data() + file.size() - kStoreTrailerSize,
+                     kStoreTrailerSize);
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t footer_offset, trailer.ReadU64());
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t footer_length, trailer.ReadU64());
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t footer_checksum,
+                        trailer.ReadU64());
+  SITM_ASSIGN_OR_RETURN(const std::string_view trailer_magic,
+                        trailer.ReadBytes(sizeof(kTrailerMagic)));
+  if (std::memcmp(trailer_magic.data(), kTrailerMagic,
+                  sizeof(kTrailerMagic)) != 0) {
+    return Status::Corruption(
+        "EventStore: missing trailer (truncated or unfinished file)");
+  }
+  const std::uint64_t payload_end = file.size() - kStoreTrailerSize;
+  if (footer_offset < kStoreHeaderSize || footer_offset > payload_end ||
+      footer_length > payload_end - footer_offset ||
+      footer_offset + footer_length != payload_end) {
+    return Status::Corruption("EventStore: footer bounds out of range");
+  }
+  const std::string_view footer_bytes =
+      file.substr(footer_offset, footer_length);
+  if (Checksum(footer_bytes) != footer_checksum) {
+    return Status::Corruption("EventStore: footer checksum mismatch");
+  }
+
+  ByteReader footer(footer_bytes);
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t dict_count, footer.ReadVarint64());
+  if (dict_count > footer.remaining()) {
+    return Status::Corruption("EventStore: dictionary count out of range");
+  }
+  reader.dictionary_.reserve(dict_count);
+  for (std::uint64_t i = 0; i < dict_count; ++i) {
+    SITM_ASSIGN_OR_RETURN(core::AnnotationSet set, DecodeAnnotationSet(footer));
+    reader.dictionary_.push_back(std::move(set));
+  }
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t num_blocks, footer.ReadVarint64());
+  if (num_blocks > footer.remaining()) {
+    return Status::Corruption("EventStore: block count out of range");
+  }
+  reader.blocks_.reserve(num_blocks);
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    BlockMeta meta;
+    SITM_ASSIGN_OR_RETURN(meta.offset, footer.ReadVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.length, footer.ReadVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.rows, footer.ReadVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.trajectories, footer.ReadVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.min_object, footer.ReadSVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.max_object, footer.ReadSVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.min_time, footer.ReadSVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.max_time, footer.ReadSVarint64());
+    SITM_ASSIGN_OR_RETURN(meta.checksum, footer.ReadU64());
+    if (meta.offset < kStoreHeaderSize || meta.offset > footer_offset ||
+        meta.length > footer_offset - meta.offset) {
+      return Status::Corruption("EventStore: block " + std::to_string(i) +
+                                " bounds out of range");
+    }
+    // Every row occupies at least one byte in each of its columns, so a
+    // forged row count larger than the payload cannot be honest — reject
+    // it here rather than letting decode attempt a giant allocation.
+    if (meta.rows > meta.length) {
+      return Status::Corruption("EventStore: block " + std::to_string(i) +
+                                " row count exceeds payload size");
+    }
+    if (meta.trajectories > meta.rows) {
+      return Status::Corruption("EventStore: block " + std::to_string(i) +
+                                " has more trajectories than rows");
+    }
+    reader.rows_ += meta.rows;
+    reader.trajectories_ += meta.trajectories;
+    reader.blocks_.push_back(meta);
+  }
+  if (!footer.empty()) {
+    return Status::Corruption("EventStore: trailing bytes in footer");
+  }
+  return reader;
+}
+
+Result<std::string_view> EventStoreReader::BlockPayload(std::size_t i) const {
+  const BlockMeta& meta = blocks_[i];
+  const std::string_view payload =
+      file_.view().substr(meta.offset, meta.length);
+  if (Checksum(payload) != meta.checksum) {
+    return Status::Corruption("EventStore: block " + std::to_string(i) +
+                              " checksum mismatch");
+  }
+  return payload;
+}
+
+bool EventStoreReader::BlockMatches(std::size_t i,
+                                    const ScanOptions& scan) const {
+  const BlockMeta& meta = blocks_[i];
+  if (scan.object.valid() && (scan.object.value() < meta.min_object ||
+                              scan.object.value() > meta.max_object)) {
+    return false;
+  }
+  if (scan.min_time.has_value() &&
+      meta.max_time < scan.min_time->seconds_since_epoch()) {
+    return false;
+  }
+  if (scan.max_time.has_value() &&
+      meta.min_time > scan.max_time->seconds_since_epoch()) {
+    return false;
+  }
+  return true;
+}
+
+Status EventStoreReader::ReadDetectionBlock(
+    std::size_t i, const ScanOptions& scan,
+    std::vector<core::RawDetection>& out) const {
+  if (kind_ != StoreKind::kDetections) {
+    return Status::FailedPrecondition(
+        "EventStore: not a detection store");
+  }
+  if (i >= blocks_.size()) {
+    return Status::InvalidArgument("EventStore: block index " +
+                                   std::to_string(i) + " out of range");
+  }
+  if (!BlockMatches(i, scan)) return Status::OK();
+  SITM_ASSIGN_OR_RETURN(const std::string_view payload, BlockPayload(i));
+  const auto n = static_cast<std::size_t>(blocks_[i].rows);
+  ByteReader reader(payload);
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> objects,
+                        ReadDeltaColumn(reader, n));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> cells,
+                        ReadDeltaColumn(reader, n));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> starts,
+                        ReadDeltaColumn(reader, n));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> durations,
+                        ReadVarintColumn(reader, n));
+  if (!reader.empty()) {
+    return Status::Corruption("EventStore: trailing bytes in block " +
+                              std::to_string(i));
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    SITM_ASSIGN_OR_RETURN(const Timestamp end,
+                          EndFromDuration(starts[r], durations[r]));
+    const core::RawDetection detection(ObjectId(objects[r]), CellId(cells[r]),
+                                       Timestamp(starts[r]), end);
+    if (RowMatches(scan, detection.object, detection.start, detection.end)) {
+      out.push_back(detection);
+    }
+  }
+  return Status::OK();
+}
+
+Status EventStoreReader::ReadTrajectoryBlock(
+    std::size_t i, const ScanOptions& scan,
+    std::vector<core::SemanticTrajectory>& out) const {
+  if (kind_ != StoreKind::kTrajectories) {
+    return Status::FailedPrecondition(
+        "EventStore: not a trajectory store");
+  }
+  if (i >= blocks_.size()) {
+    return Status::InvalidArgument("EventStore: block index " +
+                                   std::to_string(i) + " out of range");
+  }
+  if (!BlockMatches(i, scan)) return Status::OK();
+  SITM_ASSIGN_OR_RETURN(const std::string_view payload, BlockPayload(i));
+  const auto rows = static_cast<std::size_t>(blocks_[i].rows);
+  const auto num_trajectories =
+      static_cast<std::size_t>(blocks_[i].trajectories);
+  ByteReader reader(payload);
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> traj_ids,
+                        ReadDeltaColumn(reader, num_trajectories));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> traj_objects,
+                        ReadDeltaColumn(reader, num_trajectories));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> traj_dicts,
+                        ReadVarintColumn(reader, num_trajectories));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> traj_rows,
+                        ReadVarintColumn(reader, num_trajectories));
+  std::uint64_t row_sum = 0;
+  for (std::uint64_t r : traj_rows) {
+    if (r == 0) {
+      return Status::Corruption(
+          "EventStore: trajectory with zero rows in block " +
+          std::to_string(i));
+    }
+    // Overflow-proof: row_sum <= rows here, so the subtraction cannot
+    // wrap, and a forged giant count cannot wrap the running sum.
+    if (r > static_cast<std::uint64_t>(rows) - row_sum) {
+      return Status::Corruption(
+          "EventStore: trajectory row counts exceed block rows in block " +
+          std::to_string(i));
+    }
+    row_sum += r;
+  }
+  if (row_sum != rows) {
+    return Status::Corruption(
+        "EventStore: trajectory row counts do not sum to block rows in "
+        "block " +
+        std::to_string(i));
+  }
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> cells,
+                        ReadDeltaColumn(reader, rows));
+  std::vector<std::int64_t> transitions;
+  transitions.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    SITM_ASSIGN_OR_RETURN(const std::int64_t transition,
+                          reader.ReadSVarint64());
+    transitions.push_back(transition);
+  }
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> starts,
+                        ReadDeltaColumn(reader, rows));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> durations,
+                        ReadVarintColumn(reader, rows));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> stay_dicts,
+                        ReadVarintColumn(reader, rows));
+  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> transition_dicts,
+                        ReadVarintColumn(reader, rows));
+  SITM_ASSIGN_OR_RETURN(const std::vector<bool> inferred,
+                        ReadBitColumn(reader, rows));
+  if (!reader.empty()) {
+    return Status::Corruption("EventStore: trailing bytes in block " +
+                              std::to_string(i));
+  }
+  auto dict_at = [this](std::uint64_t id) -> Result<core::AnnotationSet> {
+    if (id >= dictionary_.size()) {
+      return Status::Corruption("EventStore: dictionary index " +
+                                std::to_string(id) + " out of range");
+    }
+    return dictionary_[id];
+  };
+  std::size_t row = 0;
+  for (std::size_t t = 0; t < num_trajectories; ++t) {
+    std::vector<core::PresenceInterval> intervals;
+    intervals.reserve(static_cast<std::size_t>(traj_rows[t]));
+    for (std::uint64_t k = 0; k < traj_rows[t]; ++k, ++row) {
+      SITM_ASSIGN_OR_RETURN(const Timestamp end,
+                            EndFromDuration(starts[row], durations[row]));
+      const auto interval = qsr::TimeInterval::Make(Timestamp(starts[row]),
+                                                    end);
+      if (!interval.ok()) {
+        return Status::Corruption("EventStore: invalid interval in block " +
+                                  std::to_string(i));
+      }
+      core::PresenceInterval p(BoundaryId(transitions[row]),
+                               CellId(cells[row]), *interval);
+      SITM_ASSIGN_OR_RETURN(p.annotations, dict_at(stay_dicts[row]));
+      SITM_ASSIGN_OR_RETURN(p.transition_annotations,
+                            dict_at(transition_dicts[row]));
+      p.inferred = inferred[row];
+      intervals.push_back(std::move(p));
+    }
+    SITM_ASSIGN_OR_RETURN(core::AnnotationSet annotations,
+                          dict_at(traj_dicts[t]));
+    core::SemanticTrajectory trajectory(
+        TrajectoryId(traj_ids[t]), ObjectId(traj_objects[t]),
+        core::Trace(std::move(intervals)), std::move(annotations));
+    // Trajectory-level pushdown: traces are non-empty by construction
+    // here (zero-row trajectories were rejected above), so the checked
+    // bounds cannot fail.
+    SITM_ASSIGN_OR_RETURN(const Timestamp start,
+                          trajectory.trace().StartTime());
+    SITM_ASSIGN_OR_RETURN(const Timestamp end, trajectory.trace().EndTime());
+    if (RowMatches(scan, trajectory.object(), start, end)) {
+      out.push_back(std::move(trajectory));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<core::RawDetection>> EventStoreReader::ReadDetections(
+    const ScanOptions& scan) const {
+  if (kind_ != StoreKind::kDetections) {
+    return Status::FailedPrecondition("EventStore: not a detection store");
+  }
+  std::vector<core::RawDetection> out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    SITM_RETURN_IF_ERROR(ReadDetectionBlock(i, scan, out));
+  }
+  return out;
+}
+
+Result<std::vector<core::SemanticTrajectory>>
+EventStoreReader::ReadTrajectories(const ScanOptions& scan) const {
+  if (kind_ != StoreKind::kTrajectories) {
+    return Status::FailedPrecondition("EventStore: not a trajectory store");
+  }
+  std::vector<core::SemanticTrajectory> out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    SITM_RETURN_IF_ERROR(ReadTrajectoryBlock(i, scan, out));
+  }
+  return out;
+}
+
+Status EventStoreReader::VerifyChecksums() const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    SITM_RETURN_IF_ERROR(BlockPayload(i).status());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<core::SemanticTrajectory>> RunPipelineFromStore(
+    const EventStoreReader& reader, core::BatchPipeline& pipeline,
+    const ScanOptions& scan) {
+  SITM_ASSIGN_OR_RETURN(std::vector<core::RawDetection> detections,
+                        reader.ReadDetections(scan));
+  return pipeline.Run(std::move(detections));
+}
+
+}  // namespace sitm::storage

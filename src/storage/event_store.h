@@ -1,0 +1,241 @@
+#ifndef SITM_STORAGE_EVENT_STORE_H_
+#define SITM_STORAGE_EVENT_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/result.h"
+#include "core/builder.h"
+#include "core/pipeline.h"
+#include "core/trajectory.h"
+#include "storage/mapped_file.h"
+
+namespace sitm::storage {
+
+/// \brief EventStore: binary columnar persistence for the event-based
+/// trajectory model (§3.3).
+///
+/// The SITM stores one tuple per cell/annotation *change*, not one per
+/// tick — and the on-disk layout mirrors that: a store file is a
+/// sequence of blocks, each holding one column per tuple field (object
+/// id, cell id, start, duration, dictionary-encoded annotation sets),
+/// with ids and timestamps delta-encoded as zigzag varints. Each block
+/// carries a footer entry with its row count, min/max object id, and
+/// min/max time, so readers prune whole blocks before touching their
+/// bytes (predicate pushdown). The file ends in a checksummed footer
+/// (annotation dictionary + block index) and a fixed trailer locating
+/// it; the header pins magic, format version, and store kind.
+///
+/// Layout (all integers little-endian; varints are LEB128, signed ones
+/// zigzag-mapped — see storage/columnar.h):
+///
+///   header   : magic u64, version u32, kind u32
+///   blocks   : column payloads, back to back (per-kind layout below)
+///   footer   : annotation dictionary + block index (offset, length,
+///              rows, trajectories, min/max object, min/max time,
+///              checksum per block)
+///   trailer  : footer offset u64, footer length u64, footer checksum
+///              u64, trailing magic u64
+///
+/// Corruption safety: every decode path is bounds-checked (Corruption,
+/// never UB, on truncated or bit-flipped files), footer and blocks are
+/// checksummed, and unknown versions/kinds are rejected at Open.
+
+/// Leading and trailing file magic ("SITMEVST" / "SITMTRLR" as bytes).
+inline constexpr char kStoreMagic[8] = {'S', 'I', 'T', 'M',
+                                        'E', 'V', 'S', 'T'};
+inline constexpr char kTrailerMagic[8] = {'S', 'I', 'T', 'M',
+                                          'T', 'R', 'L', 'R'};
+/// Current on-disk format version.
+inline constexpr std::uint32_t kStoreVersion = 1;
+/// Byte size of the fixed file header (magic + version + kind).
+inline constexpr std::size_t kStoreHeaderSize = 16;
+/// Byte size of the fixed file trailer.
+inline constexpr std::size_t kStoreTrailerSize = 32;
+
+/// What a store file holds.
+enum class StoreKind : std::uint32_t {
+  /// Rows are core::RawDetection records (object, cell, start, end).
+  kDetections = 1,
+  /// Rows are presence-interval tuples grouped into
+  /// core::SemanticTrajectory values (id, object, A_traj + per-tuple
+  /// transition, cell, interval, annotation sets, inferred flag).
+  kTrajectories = 2,
+};
+
+/// Writer knobs.
+struct WriterOptions {
+  /// Target tuple rows per block. Trajectories never span blocks, so a
+  /// block closes at the first trajectory boundary at or past this many
+  /// rows (a single longer trajectory gets an oversized block).
+  std::size_t rows_per_block = 4096;
+  /// Pool for parallel column encoding of large batches (borrowed; null
+  /// encodes on the calling thread). Output bytes are identical for
+  /// every pool size: blocks are encoded independently and written in
+  /// index order.
+  ThreadPool* pool = nullptr;
+};
+
+/// Per-block index entry (also the unit of predicate pushdown).
+struct BlockMeta {
+  std::uint64_t offset = 0;  ///< payload start, absolute file offset
+  std::uint64_t length = 0;  ///< payload bytes
+  std::uint64_t rows = 0;    ///< tuple rows in the block
+  std::uint64_t trajectories = 0;  ///< kTrajectories only (else 0)
+  std::int64_t min_object = 0;     ///< min/max raw object id in block
+  std::int64_t max_object = 0;
+  std::int64_t min_time = 0;  ///< earliest tuple start (epoch seconds)
+  std::int64_t max_time = 0;  ///< latest tuple end (epoch seconds)
+  std::uint64_t checksum = 0;  ///< FNV-1a 64 over the payload
+};
+
+/// Aggregate counters of a writer (available any time; `file_bytes` is
+/// final only after Finish()).
+struct StoreStats {
+  std::uint64_t rows = 0;
+  std::uint64_t trajectories = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t dictionary_entries = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+/// \brief Append-only columnar writer with batched, pool-parallel
+/// ingest.
+///
+/// Usage: Create -> Append (any number of batches, each split into
+/// blocks and column-encoded — in parallel when a pool is set) ->
+/// Finish (writes footer + trailer; the file is unreadable before
+/// this). Append calls must match the store kind.
+class EventStoreWriter {
+ public:
+  static Result<EventStoreWriter> Create(const std::string& path,
+                                         StoreKind kind,
+                                         WriterOptions options = {});
+
+  EventStoreWriter() = default;
+  ~EventStoreWriter();
+  EventStoreWriter(EventStoreWriter&& other) noexcept;
+  EventStoreWriter& operator=(EventStoreWriter&& other) noexcept;
+  EventStoreWriter(const EventStoreWriter&) = delete;
+  EventStoreWriter& operator=(const EventStoreWriter&) = delete;
+
+  /// Appends a detection batch (kDetections stores only). Rejects
+  /// detections with end before start.
+  Status Append(const std::vector<core::RawDetection>& detections);
+
+  /// Appends built trajectories (kTrajectories stores only). Rejects
+  /// trajectories with empty traces — untrusted readers must never
+  /// produce them, so writers must never persist them.
+  Status Append(const std::vector<core::SemanticTrajectory>& trajectories);
+
+  /// Writes footer + trailer and closes the file. Idempotent failure:
+  /// after an error the writer is unusable.
+  Status Finish();
+
+  const StoreStats& stats() const { return stats_; }
+  StoreKind kind() const { return kind_; }
+
+ private:
+  Status WriteRaw(std::string_view bytes);
+  /// Registers an annotation set in the file dictionary, returning its
+  /// index (stable across the file).
+  std::uint32_t DictionaryId(const core::AnnotationSet& set);
+
+  std::FILE* file_ = nullptr;
+  StoreKind kind_ = StoreKind::kDetections;
+  WriterOptions options_;
+  std::uint64_t offset_ = 0;  // current end-of-file offset
+  bool finished_ = false;
+  std::vector<BlockMeta> blocks_;
+  std::vector<std::string> dictionary_;  // serialized annotation sets
+  std::unordered_map<std::string, std::uint32_t> dictionary_index_;
+  StoreStats stats_;
+};
+
+/// Predicate pushed down into a scan. Blocks whose footer stats cannot
+/// match are skipped without reading their bytes; surviving blocks are
+/// decoded and filtered row-wise (kDetections) or trajectory-wise
+/// (kTrajectories).
+struct ScanOptions {
+  /// Keep only this moving object (invalid id = keep all).
+  ObjectId object = ObjectId::Invalid();
+  /// Keep only rows/trajectories whose [start, end] intersects the
+  /// closed window [min_time, max_time]; an unset bound is open.
+  std::optional<Timestamp> min_time;
+  std::optional<Timestamp> max_time;
+};
+
+/// \brief Zero-copy reader: maps the file (plain read fallback) and
+/// decodes blocks on demand straight out of the mapping.
+class EventStoreReader {
+ public:
+  /// Opens and validates header, trailer, and footer (checksum, version,
+  /// kind, block bounds). Block payloads are only touched — and their
+  /// checksums verified — when read.
+  static Result<EventStoreReader> Open(const std::string& path);
+
+  StoreKind kind() const { return kind_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  const BlockMeta& block(std::size_t i) const { return blocks_[i]; }
+  const std::vector<BlockMeta>& blocks() const { return blocks_; }
+  /// Total tuple rows across blocks.
+  std::uint64_t rows() const { return rows_; }
+  /// Total trajectories across blocks (0 for kDetections).
+  std::uint64_t trajectories() const { return trajectories_; }
+  std::uint64_t file_bytes() const { return file_.size(); }
+  /// True when the file is actually mmap'd (false on the read fallback).
+  bool is_mapped() const { return file_.is_mapped(); }
+  /// Decoded annotation dictionary.
+  const std::vector<core::AnnotationSet>& dictionary() const {
+    return dictionary_;
+  }
+
+  /// Footer-stats pruning: false when block `i` cannot contain a match.
+  bool BlockMatches(std::size_t i, const ScanOptions& scan) const;
+
+  /// Full scans (all blocks, with pushdown).
+  Result<std::vector<core::RawDetection>> ReadDetections(
+      const ScanOptions& scan = {}) const;
+  Result<std::vector<core::SemanticTrajectory>> ReadTrajectories(
+      const ScanOptions& scan = {}) const;
+
+  /// Block-wise scans, appending matches to `out`. Callers stream block
+  /// by block without materializing the whole store.
+  Status ReadDetectionBlock(std::size_t i, const ScanOptions& scan,
+                            std::vector<core::RawDetection>& out) const;
+  Status ReadTrajectoryBlock(
+      std::size_t i, const ScanOptions& scan,
+      std::vector<core::SemanticTrajectory>& out) const;
+
+  /// Verifies every block checksum (footer integrity is already checked
+  /// at Open) without decoding columns.
+  Status VerifyChecksums() const;
+
+ private:
+  Result<std::string_view> BlockPayload(std::size_t i) const;
+
+  MappedFile file_;
+  StoreKind kind_ = StoreKind::kDetections;
+  std::vector<BlockMeta> blocks_;
+  std::vector<core::AnnotationSet> dictionary_;
+  std::uint64_t rows_ = 0;
+  std::uint64_t trajectories_ = 0;
+};
+
+/// \brief Runs a BatchPipeline straight off a detection store: streams
+/// matching blocks (footer pushdown applied), then executes build ->
+/// enrich -> infer on the surviving detections. The store replaces the
+/// in-memory detection vector as the pipeline source.
+Result<std::vector<core::SemanticTrajectory>> RunPipelineFromStore(
+    const EventStoreReader& reader, core::BatchPipeline& pipeline,
+    const ScanOptions& scan = {});
+
+}  // namespace sitm::storage
+
+#endif  // SITM_STORAGE_EVENT_STORE_H_

@@ -53,6 +53,30 @@ TEST(TraceTest, SliceBoundsChecked) {
   EXPECT_FALSE(t.Slice(0, 4).ok());
 }
 
+TEST(TraceTest, SliceBadRangeIsInvalidArgument) {
+  // Checked errors, not preconditions: a storage reader can hit these
+  // with untrusted inputs, so the codes are pinned.
+  const Trace t = PaperLikeTrace();
+  EXPECT_EQ(t.Slice(2, 2).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.Slice(3, 1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.Slice(0, 4).status().code(), StatusCode::kInvalidArgument);
+  const Trace empty;
+  EXPECT_EQ(empty.Slice(0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TraceTest, CheckedBoundsOnEmptyTraceAreInvalidArgument) {
+  const Trace empty;
+  EXPECT_EQ(empty.StartTime().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(empty.EndTime().status().code(), StatusCode::kInvalidArgument);
+  const Trace t = PaperLikeTrace();
+  ASSERT_TRUE(t.StartTime().ok());
+  ASSERT_TRUE(t.EndTime().ok());
+  EXPECT_EQ(*t.StartTime(), t.start());
+  EXPECT_EQ(*t.EndTime(), t.end());
+}
+
 TEST(TraceTest, ValidateAcceptsGaps) {
   // Temporal gaps are allowed: they are holes or semantic gaps (§2.2).
   EXPECT_TRUE(PaperLikeTrace().Validate().ok());

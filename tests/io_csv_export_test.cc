@@ -55,6 +55,61 @@ TEST(CsvParseTest, UnterminatedQuoteIsCorruption) {
             StatusCode::kCorruption);
 }
 
+// --- Regression pins for the io/ hardening pass: malformed input must
+// parse or return Corruption, never silently reinterpret or drop rows.
+
+TEST(CsvParseTest, InputEndingInsideQuotedFieldIsCorruption) {
+  // EOF in the middle of a quoted field, with and without preceding
+  // content, including right after an escaped quote.
+  EXPECT_EQ(ParseCsv("a,b\n1,\"unclosed").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseCsv("\"").status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(ParseCsv("a\n\"x\"\"").status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvParseTest, LoneQuoteInUnquotedFieldIsCorruption) {
+  // A '"' that does not open the field is malformed; the old lenient
+  // parser re-entered quoted mode mid-field and swallowed the rest of
+  // the line (including the record separator).
+  EXPECT_EQ(ParseCsv("a,b\n1,sa\"y\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseCsv("a\nx\"\n").status().code(), StatusCode::kCorruption);
+  // Data after a closing quote is equally malformed.
+  EXPECT_EQ(ParseCsv("a\n\"x\" y\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseCsv("a\n\"x\"\"y\"z\n").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CsvParseTest, FinalRecordWithoutTrailingNewlineNeverDropsRows) {
+  // Plain last field.
+  const auto plain = ParseCsv("a,b\n1,2\n3,4");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->rows.size(), 2u);
+  EXPECT_EQ(plain->rows[1], (std::vector<std::string>{"3", "4"}));
+  // Quoted last field (incl. an escaped quote and an empty one).
+  const auto quoted = ParseCsv("a,b\n1,\"x,y\"");
+  ASSERT_TRUE(quoted.ok());
+  ASSERT_EQ(quoted->rows.size(), 1u);
+  EXPECT_EQ(quoted->rows[0][1], "x,y");
+  const auto escaped = ParseCsv("a\n\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(escaped.ok());
+  EXPECT_EQ(escaped->rows[0][0], "say \"hi\"");
+  const auto empty_quoted = ParseCsv("a,b\n1,\"\"");
+  ASSERT_TRUE(empty_quoted.ok());
+  EXPECT_EQ(empty_quoted->rows[0][1], "");
+  // Trailing comma: the final empty field still counts.
+  const auto trailing_comma = ParseCsv("a,b\n1,");
+  ASSERT_TRUE(trailing_comma.ok());
+  EXPECT_EQ(trailing_comma->rows[0],
+            (std::vector<std::string>{"1", ""}));
+  // Header-only input without a newline.
+  const auto header_only = ParseCsv("a,b");
+  ASSERT_TRUE(header_only.ok());
+  EXPECT_EQ(header_only->header, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(header_only->rows.empty());
+}
+
 TEST(CsvParseTest, EmptyInput) {
   const auto table = ParseCsv("");
   ASSERT_TRUE(table.ok());

@@ -1,0 +1,575 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/parallel.h"
+#include "core/pipeline.h"
+#include "io/csv.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "storage/columnar.h"
+#include "storage/event_store.h"
+
+namespace sitm::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Columnar encoding primitives.
+// ---------------------------------------------------------------------------
+
+TEST(ColumnarTest, VarintRoundTrip) {
+  std::string buf;
+  const std::vector<std::uint64_t> values = {
+      0, 1, 127, 128, 300, (1ull << 32), ~0ull};
+  for (std::uint64_t v : values) PutVarint64(buf, v);
+  ByteReader reader(buf);
+  for (std::uint64_t v : values) {
+    const auto decoded = reader.ReadVarint64();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+  }
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(ColumnarTest, ZigZagRoundTrip) {
+  for (std::int64_t v : {std::int64_t(0), std::int64_t(-1), std::int64_t(1),
+                         std::int64_t(-123456789), std::int64_t(1) << 62,
+                         std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+}
+
+TEST(ColumnarTest, DeltaColumnRoundTrip) {
+  const std::vector<std::int64_t> values = {100, 101, 101, 90, -5, 1000000};
+  std::string buf;
+  PutDeltaColumn(buf, values);
+  ByteReader reader(buf);
+  const auto decoded = ReadDeltaColumn(reader, values.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(ColumnarTest, DeltaColumnExtremeValuesRoundTrip) {
+  // Adjacent values at the two ends of the int64 range: the deltas wrap
+  // mod 2^64 and must still round-trip exactly (and never be UB).
+  const std::vector<std::int64_t> values = {
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(), 0,
+      std::numeric_limits<std::int64_t>::max()};
+  std::string buf;
+  PutDeltaColumn(buf, values);
+  ByteReader reader(buf);
+  const auto decoded = ReadDeltaColumn(reader, values.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(ColumnarTest, BitColumnRoundTrip) {
+  const std::vector<bool> values = {true, false, false, true, true,
+                                    false, true, false, true};
+  std::string buf;
+  PutBitColumn(buf, values);
+  EXPECT_EQ(buf.size(), 2u);
+  ByteReader reader(buf);
+  const auto decoded = ReadBitColumn(reader, values.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(ColumnarTest, TruncatedReadsAreCorruption) {
+  std::string buf;
+  PutVarint64(buf, 1u << 20);
+  buf.pop_back();
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.ReadVarint64().status().code(), StatusCode::kCorruption);
+  ByteReader empty("", 0);
+  EXPECT_EQ(empty.ReadU64().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(empty.ReadBytes(1).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ColumnarTest, OverlongVarintIsCorruption) {
+  // 11 continuation bytes can never be a valid 64-bit varint.
+  const std::string buf(11, '\x80');
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.ReadVarint64().status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// EventStore fixtures.
+// ---------------------------------------------------------------------------
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap* map =
+      new louvre::LouvreMap(louvre::LouvreMap::Build().value());
+  return *map;
+}
+
+const indoor::Nrg& ZoneGraph() {
+  return Map().graph().FindLayer(Map().zone_layer()).value()->graph();
+}
+
+std::vector<core::RawDetection> SimulatedDetections(std::uint64_t seed,
+                                                    int visitors = 150) {
+  louvre::SimulatorOptions options;
+  options.seed = seed;
+  options.num_visitors = visitors;
+  options.num_returning = visitors * 2 / 5;
+  options.num_third_visits = visitors / 6;
+  options.num_detections =
+      (visitors + options.num_returning + options.num_third_visits) * 4;
+  louvre::VisitSimulator simulator(&Map(), options);
+  auto dataset = simulator.Generate();
+  EXPECT_TRUE(dataset.ok()) << dataset.status();
+  return dataset->ToRawDetections();
+}
+
+core::PipelineOptions FullPipelineOptions() {
+  core::PipelineOptions options;
+  options.builder.graph = &ZoneGraph();
+  options.rules = {
+      core::AnnotateStopsAndMoves(Duration::Minutes(5),
+                                  {core::AnnotationKind::kBehavior, "stop"},
+                                  {core::AnnotationKind::kBehavior, "move"}),
+      core::AnnotateWhereAttribute("requiresTicket", "true",
+                                   {core::AnnotationKind::kOther, "ticketed"}),
+      core::AnnotateFinalExit(Map().exit_zones(),
+                              {core::AnnotationKind::kGoal, "leaving"}),
+  };
+  options.infer_hidden_passages = true;
+  return options;
+}
+
+std::vector<core::SemanticTrajectory> BuildTrajectories(
+    std::vector<core::RawDetection> detections) {
+  core::BatchPipeline pipeline(FullPipelineOptions());
+  auto result = pipeline.Run(std::move(detections));
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void ExpectTrajectoriesEqual(
+    const std::vector<core::SemanticTrajectory>& expected,
+    const std::vector<core::SemanticTrajectory>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const core::SemanticTrajectory& a = expected[i];
+    const core::SemanticTrajectory& b = actual[i];
+    EXPECT_EQ(a.id(), b.id()) << i;
+    EXPECT_EQ(a.object(), b.object()) << i;
+    EXPECT_EQ(a.annotations(), b.annotations()) << i;
+    ASSERT_EQ(a.trace().size(), b.trace().size()) << i;
+    for (std::size_t k = 0; k < a.trace().size(); ++k) {
+      EXPECT_EQ(a.trace().at(k), b.trace().at(k)) << i << "/" << k;
+    }
+  }
+}
+
+Status WriteTrajectoryStore(const std::string& path,
+                            const std::vector<core::SemanticTrajectory>& ts,
+                            WriterOptions options = {}) {
+  auto writer = EventStoreWriter::Create(path, StoreKind::kTrajectories,
+                                         options);
+  SITM_RETURN_IF_ERROR(writer.status());
+  SITM_RETURN_IF_ERROR(writer->Append(ts));
+  return writer->Finish();
+}
+
+Status WriteDetectionStore(const std::string& path,
+                           const std::vector<core::RawDetection>& ds,
+                           WriterOptions options = {}) {
+  auto writer =
+      EventStoreWriter::Create(path, StoreKind::kDetections, options);
+  SITM_RETURN_IF_ERROR(writer.status());
+  SITM_RETURN_IF_ERROR(writer->Append(ds));
+  return writer->Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Roundtrip property tests.
+// ---------------------------------------------------------------------------
+
+TEST(EventStoreRoundTripTest, RandomDatasetsRoundTripLosslessly) {
+  // Property: for random VisitSimulator datasets, pipeline output written
+  // to a store and read back is identical, for several block sizes.
+  for (const std::uint64_t seed : {1u, 7u, 20170119u}) {
+    const auto trajectories = BuildTrajectories(SimulatedDetections(seed));
+    ASSERT_FALSE(trajectories.empty());
+    for (const std::size_t rows_per_block : {16ul, 4096ul}) {
+      const std::string path = TempPath("roundtrip.evst");
+      WriterOptions options;
+      options.rows_per_block = rows_per_block;
+      ASSERT_TRUE(WriteTrajectoryStore(path, trajectories, options).ok());
+      const auto reader = EventStoreReader::Open(path);
+      ASSERT_TRUE(reader.ok()) << reader.status();
+      EXPECT_EQ(reader->kind(), StoreKind::kTrajectories);
+      EXPECT_EQ(reader->trajectories(), trajectories.size());
+      const auto restored = reader->ReadTrajectories();
+      ASSERT_TRUE(restored.ok()) << restored.status();
+      ExpectTrajectoriesEqual(trajectories, *restored);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(EventStoreRoundTripTest, DetectionsRoundTripLosslessly) {
+  const auto detections = SimulatedDetections(42);
+  const std::string path = TempPath("detections.evst");
+  WriterOptions options;
+  options.rows_per_block = 128;
+  ASSERT_TRUE(WriteDetectionStore(path, detections, options).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->kind(), StoreKind::kDetections);
+  EXPECT_EQ(reader->rows(), detections.size());
+  EXPECT_GT(reader->num_blocks(), 1u);
+  const auto restored = reader->ReadDetections();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), detections.size());
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    EXPECT_EQ((*restored)[i].object, detections[i].object) << i;
+    EXPECT_EQ((*restored)[i].cell, detections[i].cell) << i;
+    EXPECT_EQ((*restored)[i].start, detections[i].start) << i;
+    EXPECT_EQ((*restored)[i].end, detections[i].end) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreRoundTripTest, PipelineConsumesStraightFromStore) {
+  // Store raw detections, run the pipeline off the store, and compare
+  // with the pipeline over the in-memory batch: byte-identical.
+  const auto detections = SimulatedDetections(99);
+  const auto expected = BuildTrajectories(detections);
+  const std::string path = TempPath("pipeline_source.evst");
+  ASSERT_TRUE(WriteDetectionStore(path, detections).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  core::BatchPipeline pipeline(FullPipelineOptions());
+  const auto from_store = RunPipelineFromStore(*reader, pipeline);
+  ASSERT_TRUE(from_store.ok()) << from_store.status();
+  ExpectTrajectoriesEqual(expected, *from_store);
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreRoundTripTest, ParallelEncodingIsByteIdentical) {
+  const auto trajectories = BuildTrajectories(SimulatedDetections(5));
+  const std::string seq_path = TempPath("seq.evst");
+  const std::string par_path = TempPath("par.evst");
+  WriterOptions seq_options;
+  seq_options.rows_per_block = 64;
+  ASSERT_TRUE(WriteTrajectoryStore(seq_path, trajectories, seq_options).ok());
+  ThreadPool pool(3);
+  WriterOptions par_options;
+  par_options.rows_per_block = 64;
+  par_options.pool = &pool;
+  ASSERT_TRUE(WriteTrajectoryStore(par_path, trajectories, par_options).ok());
+  const auto seq_bytes = io::ReadFile(seq_path);
+  const auto par_bytes = io::ReadFile(par_path);
+  ASSERT_TRUE(seq_bytes.ok());
+  ASSERT_TRUE(par_bytes.ok());
+  EXPECT_EQ(*seq_bytes, *par_bytes);
+  std::remove(seq_path.c_str());
+  std::remove(par_path.c_str());
+}
+
+TEST(EventStoreRoundTripTest, MultipleBatchesAccumulate) {
+  const auto a = BuildTrajectories(SimulatedDetections(11));
+  const auto b = BuildTrajectories(SimulatedDetections(12));
+  const std::string path = TempPath("batches.evst");
+  auto writer = EventStoreWriter::Create(path, StoreKind::kTrajectories);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(a).ok());
+  ASSERT_TRUE(writer->Append(b).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const auto restored = reader->ReadTrajectories();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  std::vector<core::SemanticTrajectory> expected = a;
+  expected.insert(expected.end(), b.begin(), b.end());
+  ExpectTrajectoriesEqual(expected, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreRoundTripTest, EmptyStoreRoundTrips) {
+  const std::string path = TempPath("empty.evst");
+  auto writer = EventStoreWriter::Create(path, StoreKind::kTrajectories);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->num_blocks(), 0u);
+  const auto restored = reader->ReadTrajectories();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown.
+// ---------------------------------------------------------------------------
+
+TEST(EventStoreScanTest, ObjectPushdownMatchesPostFilter) {
+  const auto trajectories = BuildTrajectories(SimulatedDetections(3));
+  const std::string path = TempPath("scan_object.evst");
+  WriterOptions options;
+  options.rows_per_block = 32;  // many blocks -> real pruning
+  ASSERT_TRUE(WriteTrajectoryStore(path, trajectories, options).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_GT(reader->num_blocks(), 3u);
+
+  const ObjectId target = trajectories[trajectories.size() / 2].object();
+  ScanOptions scan;
+  scan.object = target;
+  const auto scanned = reader->ReadTrajectories(scan);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  std::vector<core::SemanticTrajectory> expected;
+  for (const auto& t : trajectories) {
+    if (t.object() == target) expected.push_back(t);
+  }
+  ExpectTrajectoriesEqual(expected, *scanned);
+
+  // The footer stats must actually prune blocks for a single object.
+  std::size_t matching_blocks = 0;
+  for (std::size_t i = 0; i < reader->num_blocks(); ++i) {
+    matching_blocks += reader->BlockMatches(i, scan) ? 1 : 0;
+  }
+  EXPECT_LT(matching_blocks, reader->num_blocks());
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreScanTest, TimeRangePushdownMatchesPostFilter) {
+  const auto trajectories = BuildTrajectories(SimulatedDetections(8));
+  const std::string path = TempPath("scan_time.evst");
+  WriterOptions options;
+  options.rows_per_block = 32;
+  ASSERT_TRUE(WriteTrajectoryStore(path, trajectories, options).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  // Window around the middle of the dataset's span.
+  std::int64_t min_t = trajectories.front().start().seconds_since_epoch();
+  std::int64_t max_t = min_t;
+  for (const auto& t : trajectories) {
+    min_t = std::min(min_t, t.start().seconds_since_epoch());
+    max_t = std::max(max_t, t.end().seconds_since_epoch());
+  }
+  ScanOptions scan;
+  scan.min_time = Timestamp(min_t + (max_t - min_t) / 3);
+  scan.max_time = Timestamp(min_t + 2 * (max_t - min_t) / 3);
+  const auto scanned = reader->ReadTrajectories(scan);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  std::vector<core::SemanticTrajectory> expected;
+  for (const auto& t : trajectories) {
+    if (t.end() >= *scan.min_time && t.start() <= *scan.max_time) {
+      expected.push_back(t);
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+  ExpectTrajectoriesEqual(expected, *scanned);
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreScanTest, DetectionScanFiltersRowWise) {
+  const auto detections = SimulatedDetections(17);
+  const std::string path = TempPath("scan_rows.evst");
+  WriterOptions options;
+  options.rows_per_block = 64;
+  ASSERT_TRUE(WriteDetectionStore(path, detections, options).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ScanOptions scan;
+  scan.object = detections[detections.size() / 2].object;
+  const auto scanned = reader->ReadDetections(scan);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  std::size_t expected = 0;
+  for (const auto& d : detections) expected += d.object == scan.object;
+  EXPECT_EQ(scanned->size(), expected);
+  for (const auto& d : *scanned) EXPECT_EQ(d.object, scan.object);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: truncation, bit flips, bad metadata. Never UB, always a
+// Corruption status.
+// ---------------------------------------------------------------------------
+
+class EventStoreCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corrupt.evst");
+    const auto trajectories = BuildTrajectories(SimulatedDetections(23, 60));
+    WriterOptions options;
+    options.rows_per_block = 64;
+    ASSERT_TRUE(WriteTrajectoryStore(path_, trajectories, options).ok());
+    const auto bytes = io::ReadFile(path_);
+    ASSERT_TRUE(bytes.ok());
+    bytes_ = *bytes;
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Writes `content` to the store path and returns the status of a full
+  /// open + checksum verify + scan.
+  Status OpenAndScan(const std::string& content) {
+    const std::string path = TempPath("corrupt_variant.evst");
+    if (!io::WriteFile(path, content).ok()) {
+      return Status::Internal("test setup: cannot write variant");
+    }
+    Status status = Status::OK();
+    auto reader = EventStoreReader::Open(path);
+    if (!reader.ok()) {
+      status = reader.status();
+    } else {
+      status = reader->VerifyChecksums();
+      if (status.ok()) status = reader->ReadTrajectories().status();
+    }
+    std::remove(path.c_str());
+    return status;
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(EventStoreCorruptionTest, TruncationIsCorruption) {
+  // Any prefix of a store file must fail cleanly — trailer magic, footer
+  // bounds, or block checksum, depending on the cut.
+  for (const double fraction : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const auto cut = static_cast<std::size_t>(
+        static_cast<double>(bytes_.size()) * fraction);
+    const Status status = OpenAndScan(bytes_.substr(0, cut));
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "cut at " << cut;
+  }
+}
+
+TEST_F(EventStoreCorruptionTest, BadChecksumIsCorruption) {
+  // Flip one byte in the middle of the first block's payload.
+  std::string flipped = bytes_;
+  flipped[kStoreHeaderSize + 3] =
+      static_cast<char>(flipped[kStoreHeaderSize + 3] ^ 0x40);
+  EXPECT_EQ(OpenAndScan(flipped).code(), StatusCode::kCorruption);
+}
+
+TEST_F(EventStoreCorruptionTest, WrongVersionIsCorruption) {
+  std::string flipped = bytes_;
+  flipped[8] = 99;  // version field follows the 8-byte magic
+  EXPECT_EQ(OpenAndScan(flipped).code(), StatusCode::kCorruption);
+}
+
+TEST_F(EventStoreCorruptionTest, WrongMagicIsCorruption) {
+  std::string flipped = bytes_;
+  flipped[0] = 'X';
+  EXPECT_EQ(OpenAndScan(flipped).code(), StatusCode::kCorruption);
+  // A non-store file entirely.
+  EXPECT_EQ(OpenAndScan(std::string(4096, 'z')).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(EventStoreCorruptionTest, EveryByteFlipIsDetected) {
+  // Single-byte corruption anywhere — header, block payloads, footer,
+  // trailer — must surface as Corruption somewhere in open/verify/scan.
+  const std::size_t step = std::max<std::size_t>(1, bytes_.size() / 64);
+  for (std::size_t pos = 0; pos < bytes_.size(); pos += step) {
+    std::string flipped = bytes_;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+    const Status status = OpenAndScan(flipped);
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "undetected flip at byte " << pos;
+  }
+}
+
+TEST_F(EventStoreCorruptionTest, MissingFileIsIOError) {
+  EXPECT_EQ(EventStoreReader::Open("/nonexistent/store.evst").status().code(),
+            StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Writer misuse and stats.
+// ---------------------------------------------------------------------------
+
+TEST(EventStoreWriterTest, KindMismatchIsInvalidArgument) {
+  const std::string path = TempPath("kind.evst");
+  auto writer = EventStoreWriter::Create(path, StoreKind::kDetections);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->Append(std::vector<core::SemanticTrajectory>{}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(writer->Finish().ok());
+  // And the matching reader-side check.
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadTrajectories().status().code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreWriterTest, EmptyTraceIsRejected) {
+  const std::string path = TempPath("emptytrace.evst");
+  auto writer = EventStoreWriter::Create(path, StoreKind::kTrajectories);
+  ASSERT_TRUE(writer.ok());
+  const std::vector<core::SemanticTrajectory> bad = {core::SemanticTrajectory(
+      TrajectoryId(1), ObjectId(1), core::Trace(),
+      core::AnnotationSet{{core::AnnotationKind::kActivity, "visit"}})};
+  EXPECT_EQ(writer->Append(bad).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreWriterTest, AppendAfterFinishFails) {
+  const std::string path = TempPath("finished.evst");
+  auto writer = EventStoreWriter::Create(path, StoreKind::kDetections);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_EQ(writer->Append(std::vector<core::RawDetection>{}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Finish().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreWriterTest, StatsCountRowsBlocksAndBytes) {
+  const auto trajectories = BuildTrajectories(SimulatedDetections(31));
+  std::size_t rows = 0;
+  for (const auto& t : trajectories) rows += t.trace().size();
+  const std::string path = TempPath("stats.evst");
+  WriterOptions options;
+  options.rows_per_block = 100;
+  auto writer =
+      EventStoreWriter::Create(path, StoreKind::kTrajectories, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(trajectories).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  const StoreStats& stats = writer->stats();
+  EXPECT_EQ(stats.rows, rows);
+  EXPECT_EQ(stats.trajectories, trajectories.size());
+  EXPECT_GE(stats.blocks, rows / 100 / 2);
+  EXPECT_GT(stats.dictionary_entries, 0u);
+  EXPECT_GT(stats.file_bytes, stats.payload_bytes);
+  // The columnar event layout beats ~20 bytes/tuple on this workload.
+  EXPECT_LT(stats.payload_bytes, rows * 20);
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreReaderTest, MappedOnPosix) {
+  const std::string path = TempPath("mapped.evst");
+  ASSERT_TRUE(WriteDetectionStore(path, SimulatedDetections(2)).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(reader->is_mapped());
+#endif
+  EXPECT_TRUE(reader->VerifyChecksums().ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sitm::storage
