@@ -138,6 +138,30 @@ void BM_GridIndexCandidates(benchmark::State& state) {
 }
 BENCHMARK(BM_GridIndexCandidates)->Arg(32)->Arg(512)->Arg(4096);
 
+void BM_GridIndexCandidatesLargeBox(benchmark::State& state) {
+  // The large-box lever (ROADMAP): query boxes spanning most of the
+  // extent used to walk every fine cell in range; the per-row entry
+  // spans answer them from one dedup'd list per row instead.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const geom::GridIndex index = Unwrap(geom::GridIndex::Build(PolygonSoup(n)));
+  const geom::Box span = index.bounds();
+  Rng rng(12);
+  for (auto _ : state) {
+    // ~60% of each axis, randomly placed: wide enough to trigger the
+    // row fast path at every resolution.
+    const double w = span.width() * 0.6;
+    const double h = span.height() * 0.6;
+    const double x = span.min_x + rng.NextDouble() * (span.width() - w);
+    const double y = span.min_y + rng.NextDouble() * (span.height() - h);
+    benchmark::DoNotOptimize(
+        index.Candidates(geom::Box(x, y, x + w, y + h)));
+  }
+}
+BENCHMARK(BM_GridIndexCandidatesLargeBox)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_CellLocatorLocalize(benchmark::State& state) {
   // Raw fix -> zone id through the core-layer localizer.
   const indoor::SpaceLayer& layer =

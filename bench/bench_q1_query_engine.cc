@@ -1,0 +1,336 @@
+// Q1 — the semantic trajectory query engine over a 10^4-visitor store:
+// predicate pushdown (secondary object-id index vs min/max pruning vs
+// full scan), paper-shaped queries end to end, and the determinism
+// contract (byte-identical results at every pool size and across
+// in-memory vs store-backed execution).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/parallel.h"
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "storage/event_store.h"
+
+namespace {
+
+using namespace sitm;         // NOLINT
+using namespace sitm::bench;  // NOLINT
+
+constexpr int kVisitors = 10000;
+/// Builder-ordered store (by object, then start — what BatchPipeline
+/// emits): block object ranges partition, so min/max pruning is already
+/// sharp. Used for the determinism and acceptance checks.
+const char kIndexedStorePath[] = "BENCH_q1_store.evst";
+/// Time-ordered stores (the natural event-log ingest order): one
+/// object's trajectories scatter across blocks and block object ranges
+/// overlap almost totally, which is exactly the case the secondary
+/// object-id index exists for (with vs without, same layout).
+const char kTimeStorePath[] = "BENCH_q1_store_time.evst";
+const char kTimePlainStorePath[] = "BENCH_q1_store_time_v1.evst";
+
+const louvre::LouvreMap& Map() {
+  static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
+  return map;
+}
+
+const indoor::LayerHierarchy& Hierarchy() {
+  static const indoor::LayerHierarchy hierarchy =
+      Unwrap(Map().BuildHierarchy());
+  return hierarchy;
+}
+
+query::QueryContext Context() {
+  query::QueryContext context;
+  context.hierarchy = &Hierarchy();
+  context.graph = &Map().graph();
+  return context;
+}
+
+/// The 10^4-visitor workload, built once per process.
+const std::vector<core::SemanticTrajectory>& Trajectories() {
+  static const std::vector<core::SemanticTrajectory>* trajectories = [] {
+    louvre::SimulatorOptions options;
+    options.num_visitors = kVisitors;
+    options.num_returning = kVisitors * 2 / 5;
+    options.num_third_visits = kVisitors / 6;
+    options.num_detections =
+        (kVisitors + options.num_returning + options.num_third_visits) * 4;
+    louvre::VisitSimulator simulator(&Map(), options);
+    louvre::VisitDataset dataset = Unwrap(simulator.Generate());
+    core::PipelineOptions pipeline_options;
+    pipeline_options.builder.graph =
+        &Unwrap(Map().graph().FindLayer(Map().zone_layer()))->graph();
+    core::BatchPipeline pipeline(pipeline_options);
+    return new std::vector<core::SemanticTrajectory>(
+        Unwrap(pipeline.Run(dataset.ToRawDetections())));
+  }();
+  return *trajectories;
+}
+
+void WriteStore(const std::string& path,
+                const std::vector<core::SemanticTrajectory>& trajectories,
+                bool with_index) {
+  storage::WriterOptions options;
+  options.rows_per_block = 1024;
+  options.write_object_index = with_index;
+  auto writer = Unwrap(storage::EventStoreWriter::Create(
+      path, storage::StoreKind::kTrajectories, options));
+  Check(writer.Append(trajectories));
+  Check(writer.Finish());
+}
+
+storage::EventStoreReader OpenStore(const std::string& path) {
+  static bool written = false;
+  if (!written) {
+    WriteStore(kIndexedStorePath, Trajectories(), true);
+    std::vector<core::SemanticTrajectory> by_time = Trajectories();
+    std::stable_sort(by_time.begin(), by_time.end(),
+                     [](const core::SemanticTrajectory& a,
+                        const core::SemanticTrajectory& b) {
+                       if (a.start() != b.start()) return a.start() < b.start();
+                       return a.id() < b.id();
+                     });
+    WriteStore(kTimeStorePath, by_time, true);
+    WriteStore(kTimePlainStorePath, by_time, false);
+    written = true;
+  }
+  return Unwrap(storage::EventStoreReader::Open(path));
+}
+
+ObjectId ProbeObject() {
+  return Trajectories()[Trajectories().size() / 2].object();
+}
+
+query::Query PointLookup() {
+  query::Query q;
+  q.where = query::ObjectIs(ProbeObject());
+  q.projection = query::Projection::kTrajectories;
+  return q;
+}
+
+void Report() {
+  Banner("Q1", "semantic trajectory query engine (no paper counterpart; "
+               "the serving layer the model argues for)");
+  const auto& trajectories = Trajectories();
+  const auto indexed = OpenStore(kIndexedStorePath);
+  const auto time_indexed = OpenStore(kTimeStorePath);
+  const auto time_plain = OpenStore(kTimePlainStorePath);
+  std::printf("  workload: %d visitors -> %zu trajectories, %llu tuples, "
+              "%zu blocks (v%u store, object index: %s)\n",
+              kVisitors, trajectories.size(),
+              static_cast<unsigned long long>(indexed.rows()),
+              indexed.num_blocks(), indexed.version(),
+              indexed.has_object_index() ? "yes" : "no");
+
+  query::QueryExecutor executor(Context());
+
+  // -- Acceptance: object point lookup prunes >= 10x vs full scan. ----
+  const query::Query lookup = PointLookup();
+  const auto indexed_result = Unwrap(executor.Run(lookup, indexed));
+  query::Query full;
+  full.projection = query::Projection::kCount;
+  const auto full_result = Unwrap(executor.Run(full, indexed));
+  Row("point lookup, tuples scanned",
+      "(full scan = " + std::to_string(full_result.stats.rows_scanned) + ")",
+      std::to_string(indexed_result.stats.rows_scanned) + " of " +
+          std::to_string(indexed_result.stats.rows_total));
+  const double pruning =
+      static_cast<double>(full_result.stats.rows_scanned) /
+      static_cast<double>(indexed_result.stats.rows_scanned == 0
+                              ? 1
+                              : indexed_result.stats.rows_scanned);
+  std::printf("  pruning ratio (full / indexed): %.1fx\n", pruning);
+  if (pruning < 10.0) {
+    std::fprintf(stderr,
+                 "BENCH Q1 FAILED: object point lookup scanned only %.1fx "
+                 "fewer tuples than a full scan (acceptance needs >= 10x)\n",
+                 pruning);
+    std::exit(1);
+  }
+
+  // -- Index ablation on the time-ordered store: same layout, with and
+  //    without the posting lists. min/max pruning is helpless when one
+  //    object's visits scatter across the collection window.
+  const auto scattered_indexed = Unwrap(executor.Run(lookup, time_indexed));
+  const auto scattered_plain = Unwrap(executor.Run(lookup, time_plain));
+  Row("time-ordered store, tuples scanned",
+      "(index off = " + std::to_string(scattered_plain.stats.rows_scanned) +
+          ")",
+      std::to_string(scattered_indexed.stats.rows_scanned) + " indexed");
+  Row("time-ordered store, blocks scanned",
+      "(of " + std::to_string(time_indexed.num_blocks()) + ")",
+      std::to_string(scattered_indexed.stats.blocks_scanned) +
+          " indexed, " +
+          std::to_string(scattered_plain.stats.blocks_scanned) + " min/max");
+
+  // -- Determinism: pool sizes {1, 2, hc} x {in-memory, store}. -------
+  const std::string reference =
+      Unwrap(executor.Run(lookup, trajectories)).Fingerprint();
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, ThreadPool::DefaultConcurrency()}) {
+    ThreadPool pool(threads);
+    query::ExecutorOptions options;
+    options.pool = &pool;
+    query::QueryExecutor pooled(Context(), options);
+    const std::string in_memory =
+        Unwrap(pooled.Run(lookup, trajectories)).Fingerprint();
+    const std::string from_store =
+        Unwrap(pooled.Run(lookup, indexed)).Fingerprint();
+    if (in_memory != reference || from_store != reference) {
+      std::fprintf(stderr,
+                   "BENCH Q1 FAILED: query results not byte-identical at "
+                   "pool size %zu\n",
+                   threads);
+      std::exit(1);
+    }
+  }
+  Row("determinism (pools 1/2/hc, mem vs store)", "byte-identical",
+      "byte-identical");
+
+  // -- Paper-shaped query cardinalities. ------------------------------
+  const auto& wing_cells =
+      Unwrap(Map().graph().FindLayer(Map().wing_layer()))->graph().cells();
+  query::Query in_wing;
+  in_wing.where = query::InZone(wing_cells.front().id());
+  in_wing.projection = query::Projection::kCount;
+  const auto wing_count = Unwrap(executor.Run(in_wing, indexed));
+  Row("visits through " +
+          Unwrap(Map().CellName(wing_cells.front().id())),
+      "-", std::to_string(wing_count.count) + " of " +
+               std::to_string(trajectories.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Timings.
+// ---------------------------------------------------------------------------
+
+void BM_QueryPointLookupIndexed(benchmark::State& state) {
+  // Time-ordered store, posting lists on: the serving-shaped case.
+  const auto reader = OpenStore(kTimeStorePath);
+  query::QueryExecutor executor(Context());
+  const query::Query q = PointLookup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, reader));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryPointLookupIndexed)->Unit(benchmark::kMicrosecond);
+
+void BM_QueryPointLookupMinMaxOnly(benchmark::State& state) {
+  // Same layout without the index: min/max pruning only.
+  const auto reader = OpenStore(kTimePlainStorePath);
+  query::QueryExecutor executor(Context());
+  const query::Query q = PointLookup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, reader));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryPointLookupMinMaxOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_QueryPointLookupFullResidual(benchmark::State& state) {
+  // The no-pushdown ceiling: every block decoded, object filtering done
+  // entirely by the residual predicate.
+  const auto reader = OpenStore(kIndexedStorePath);
+  query::QueryExecutor executor(Context());
+  query::Query q;
+  // Not(Not(object = x)) defeats the planner (negation is conservative)
+  // while keeping the same matches — a worst-case residual query.
+  q.where = query::Not(query::Not(query::ObjectIs(ProbeObject())));
+  q.projection = query::Projection::kTrajectories;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, reader));
+  }
+}
+BENCHMARK(BM_QueryPointLookupFullResidual)->Unit(benchmark::kMillisecond);
+
+void BM_QueryTimeWindowFromStore(benchmark::State& state) {
+  // Time-ordered store: a narrow window prunes almost every block.
+  const auto reader = OpenStore(kTimeStorePath);
+  query::QueryExecutor executor(Context());
+  // One afternoon across the whole collection window.
+  const Timestamp day0 = Trajectories().front().start();
+  query::Query q;
+  q.where = query::TimeWindow(day0 + Duration::Hours(24 * 30),
+                              day0 + Duration::Hours(24 * 30 + 6));
+  q.projection = query::Projection::kCount;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, reader));
+  }
+}
+BENCHMARK(BM_QueryTimeWindowFromStore)->Unit(benchmark::kMicrosecond);
+
+void BM_QueryZoneMembershipInMemory(benchmark::State& state) {
+  query::QueryExecutor executor(Context());
+  query::Query q;
+  q.where = query::InZone(CellId(louvre::kZoneSouvenirShops));
+  q.projection = query::Projection::kCount;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, Trajectories()));
+  }
+}
+BENCHMARK(BM_QueryZoneMembershipInMemory)->Unit(benchmark::kMillisecond);
+
+void BM_QueryEpisodeOverlapInMemory(benchmark::State& state) {
+  // Allen-constrained episodes: long stays overlapping a probe window
+  // (the "episodes overlap the guided tour" query shape).
+  query::QueryExecutor executor(Context());
+  const Timestamp day0 = Trajectories().front().start();
+  const auto tour = qsr::TimeInterval::Make(
+      day0 + Duration::Hours(24 * 10), day0 + Duration::Hours(24 * 10 + 2));
+  query::Query q;
+  core::AnnotationSet lingering;
+  lingering.Add(core::AnnotationKind::kBehavior, "lingering");
+  q.episodes.push_back(
+      {"long-stay", core::StayAtLeast(Duration::Minutes(10)), lingering});
+  q.where = query::EpisodeAllen("long-stay", query::AllenMask::Intersecting(),
+                                Unwrap(tour));
+  q.projection = query::Projection::kEpisodes;
+  q.episode_filter.label = "long-stay";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, Trajectories()));
+  }
+}
+BENCHMARK(BM_QueryEpisodeOverlapInMemory)->Unit(benchmark::kMillisecond);
+
+void BM_QueryTopKSimilarity(benchmark::State& state) {
+  query::QueryExecutor executor(Context());
+  query::Query q;
+  q.projection = query::Projection::kTopK;
+  q.top_k.k = 10;
+  q.top_k.probe = &Trajectories().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, Trajectories()));
+  }
+}
+BENCHMARK(BM_QueryTopKSimilarity)->Unit(benchmark::kMillisecond);
+
+void BM_QueryTopKSimilarityPooled(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  query::ExecutorOptions options;
+  options.pool = &pool;
+  query::QueryExecutor executor(Context(), options);
+  query::Query q;
+  q.projection = query::Projection::kTopK;
+  q.top_k.k = 10;
+  q.top_k.probe = &Trajectories().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(q, Trajectories()));
+  }
+}
+BENCHMARK(BM_QueryTopKSimilarityPooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SITM_BENCH_MAIN(Report)

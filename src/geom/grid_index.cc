@@ -218,6 +218,30 @@ Result<GridIndex> GridIndex::Build(std::vector<Polygon> polygons,
   for (const auto& [cell, entry] : pairs) {
     index.entries_[cursor[cell]++] = entry;
   }
+
+  // Pass 3: row-level CSR for the large-box Candidates fast path — the
+  // distinct polygons present anywhere in each grid row, ascending.
+  // (row, polygon) pairs are sorted and dedup'd, then counted into CSR.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> row_pairs;
+  row_pairs.reserve(pairs.size());
+  for (const auto& [cell, entry] : pairs) {
+    row_pairs.emplace_back(cell / static_cast<std::uint32_t>(index.cells_x_),
+                           entry & kEntryIndexMask);
+  }
+  std::sort(row_pairs.begin(), row_pairs.end());
+  row_pairs.erase(std::unique(row_pairs.begin(), row_pairs.end()),
+                  row_pairs.end());
+  index.row_offsets_.assign(static_cast<std::size_t>(index.cells_y_) + 1, 0);
+  for (const auto& [row, poly] : row_pairs) {
+    ++index.row_offsets_[row + 1];
+  }
+  for (int r = 0; r < index.cells_y_; ++r) {
+    index.row_offsets_[r + 1] += index.row_offsets_[r];
+  }
+  index.row_entries_.reserve(row_pairs.size());
+  for (const auto& [row, poly] : row_pairs) {
+    index.row_entries_.push_back(poly);
+  }
   return index;
 }
 
@@ -283,7 +307,20 @@ std::vector<std::size_t> GridIndex::Candidates(const Box& box) const {
   const int x1 = CellX(box.max_x);
   const int y0 = CellY(box.min_y);
   const int y1 = CellY(box.max_y);
+  // Wide boxes (>= half the columns) read each row's dedup'd entry list
+  // instead of walking every fine cell in range. The row list can name
+  // polygons living only in out-of-range columns, but those are either
+  // pruned by the bbox filter below or legitimate candidates anyway
+  // (the contract is bbox-bounded, not cell-bounded).
+  const bool wide = 2 * (x1 - x0 + 1) >= cells_x_;
   for (int cy = y0; cy <= y1; ++cy) {
+    if (wide) {
+      for (std::uint32_t k = row_offsets_[cy]; k < row_offsets_[cy + 1]; ++k) {
+        const std::size_t idx = row_entries_[k];
+        if (bboxes_[idx].Intersects(box)) out.push_back(idx);
+      }
+      continue;
+    }
     for (int cx = x0; cx <= x1; ++cx) {
       const std::size_t cell = CellIndex(cx, cy);
       for (std::uint32_t k = offsets_[cell]; k < offsets_[cell + 1]; ++k) {

@@ -86,6 +86,14 @@ class GridIndex {
   /// bbox-only-overlap candidates the cells have ruled out). Callers
   /// refine with exact predicates. A zero-area (point or segment) box is
   /// a valid query; only a default-constructed empty box returns {}.
+  ///
+  /// Large boxes take a per-row fast path: when the box spans at least
+  /// half of a row's columns, the row's dedup'd entry list (see
+  /// row_offsets()) replaces the fine-cell walk, so a near-extent query
+  /// costs O(rows x row list) instead of O(cells x cell list). The row
+  /// list is a superset of the row's in-box cells' entries, and every
+  /// candidate still passes the bbox-intersection filter, so both
+  /// documented bounds above hold on either path.
   std::vector<std::size_t> Candidates(const Box& box) const;
 
   const std::vector<Polygon>& polygons() const { return polygons_; }
@@ -101,6 +109,16 @@ class GridIndex {
   /// CSR introspection (for invariant checks and layout-aware tooling).
   const std::vector<std::uint32_t>& cell_offsets() const { return offsets_; }
   const std::vector<std::uint32_t>& cell_entries() const { return entries_; }
+
+  /// Row-level CSR (the large-box Candidates fast path): row
+  /// `cy`'s span of `row_entries()` lists the distinct polygon indices
+  /// (no cover bit) present anywhere in that grid row, ascending.
+  const std::vector<std::uint32_t>& row_offsets() const {
+    return row_offsets_;
+  }
+  const std::vector<std::uint32_t>& row_entries() const {
+    return row_entries_;
+  }
 
  private:
   GridIndex() = default;
@@ -122,6 +140,8 @@ class GridIndex {
   double inv_cell_h_ = 0;
   std::vector<std::uint32_t> offsets_;  ///< size cells_x_*cells_y_ + 1
   std::vector<std::uint32_t> entries_;  ///< packed polygon ids per cell
+  std::vector<std::uint32_t> row_offsets_;  ///< size cells_y_ + 1
+  std::vector<std::uint32_t> row_entries_;  ///< dedup'd polygon ids per row
 };
 
 }  // namespace sitm::geom

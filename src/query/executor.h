@@ -1,0 +1,177 @@
+#ifndef SITM_QUERY_EXECUTOR_H_
+#define SITM_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/result.h"
+#include "core/episode.h"
+#include "core/trajectory.h"
+#include "mining/similarity.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "storage/event_store.h"
+
+namespace sitm::query {
+
+/// \brief The query executor: streams matching trajectories, tuples, or
+/// episodes out of an in-memory batch or an on-disk EventStore, fanning
+/// the per-trajectory work across a ThreadPool.
+///
+/// Determinism contract (the PR 3/4 discipline): for the same query
+/// over the same data, the result — order included — is byte-identical
+/// for every pool size, and in-memory execution agrees with
+/// store-backed execution over a store holding the same trajectories.
+/// Work is decomposed by fixed input position (chunks of the input
+/// vector, blocks of the store), never by schedule; fragments merge in
+/// input order.
+
+/// How matching episodes are defined for episode predicates and the
+/// kEpisodes projection: maximal runs where `condition` holds on every
+/// tuple, labeled and annotated (core::ExtractMaximalEpisodes).
+struct EpisodeSpec {
+  std::string label;
+  core::TupleCondition condition;
+  core::AnnotationSet annotations;
+};
+
+/// What the query returns.
+enum class Projection : int {
+  kTrajectories = 0,  ///< full matching trajectories
+  kTuples,            ///< matching tuples of matching trajectories
+  kIds,               ///< matching trajectory ids only
+  kCount,             ///< just how many trajectories match
+  kEpisodes,          ///< extracted episodes of matching trajectories
+  kTopK,              ///< k most similar matches to a probe trajectory
+};
+
+/// kTopK parameters. Similarity is mining::EditSimilarity over the
+/// trajectories' cell sequences; ties break by ascending trajectory id
+/// so results stay deterministic.
+struct TopKSpec {
+  std::size_t k = 10;
+  /// The probe trajectory (borrowed; must outlive the Run call).
+  const core::SemanticTrajectory* probe = nullptr;
+  /// Substitution cost; null = UnitCellCost.
+  mining::CellCost cost;
+};
+
+/// Episode filter for the kEpisodes projection (label "" = any; the
+/// optional Allen constraint tests the episode's interval).
+struct EpisodeFilter {
+  std::string label;
+  std::optional<AllenConstraint> allen;
+};
+
+/// A complete query: the trajectory-level predicate, episode
+/// extraction, and the projection.
+struct Query {
+  /// Trajectory-level filter (bound by the executor against its
+  /// context; symbolic leaves welcome).
+  Predicate where;
+  /// Episodes to extract per matching-candidate trajectory; consulted
+  /// by episode predicates and the kEpisodes projection.
+  std::vector<EpisodeSpec> episodes;
+  Projection projection = Projection::kTrajectories;
+  /// kTuples only: which tuples of a matching trajectory to emit
+  /// (evaluated tuple-level; defaults to all).
+  Predicate tuple_where;
+  /// kEpisodes only.
+  EpisodeFilter episode_filter;
+  /// kTopK only.
+  TopKSpec top_k;
+};
+
+/// One emitted tuple (kTuples).
+struct TupleRow {
+  TrajectoryId trajectory;
+  ObjectId object;
+  std::size_t index = 0;  ///< tuple position in the parent's trace
+  core::PresenceInterval tuple;
+};
+
+/// One emitted episode (kEpisodes).
+struct EpisodeRow {
+  TrajectoryId trajectory;
+  ObjectId object;
+  core::Episode episode;
+  qsr::TimeInterval interval;  ///< the episode's interval in its parent
+};
+
+/// One kTopK hit.
+struct ScoredTrajectory {
+  TrajectoryId trajectory;
+  double similarity = 0;
+};
+
+/// Work accounting of one Run, the observable face of predicate
+/// pushdown (rows_scanned / rows_total is the pruning ratio the
+/// benches report).
+struct ExecutionStats {
+  std::uint64_t blocks_total = 0;    ///< store blocks in the file
+  std::uint64_t blocks_scanned = 0;  ///< blocks actually decoded
+  std::uint64_t rows_total = 0;      ///< tuple rows in the file / batch
+  std::uint64_t rows_scanned = 0;    ///< rows in decoded blocks
+  std::uint64_t trajectories_considered = 0;  ///< ran the residual filter
+  std::uint64_t trajectories_matched = 0;
+
+  std::string ToString() const;
+};
+
+/// The result of one Run: exactly one payload vector is populated,
+/// per the query's projection.
+struct QueryResult {
+  Projection projection = Projection::kTrajectories;
+  std::vector<core::SemanticTrajectory> trajectories;
+  std::vector<TupleRow> tuples;
+  std::vector<TrajectoryId> ids;
+  std::vector<EpisodeRow> episodes;
+  std::vector<ScoredTrajectory> top_k;
+  std::uint64_t count = 0;
+  ExecutionStats stats;
+
+  /// Canonical rendering of the payload (stats excluded): two runs
+  /// returning the same matches in the same order — the determinism
+  /// contract — produce identical strings.
+  std::string Fingerprint() const;
+};
+
+/// Executor knobs.
+struct ExecutorOptions {
+  /// Pool to fan out on (borrowed; null = run on the calling thread).
+  ThreadPool* pool = nullptr;
+  /// Trajectories per in-memory work chunk. Chunk boundaries are a
+  /// function of this and the input size only — never the pool — so
+  /// results and stats are reproducible across pool sizes.
+  std::size_t chunk = 64;
+};
+
+/// \brief Runs queries against a fixed QueryContext.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(QueryContext context, ExecutorOptions options = {})
+      : context_(std::move(context)), options_(options) {}
+
+  /// In-memory execution over a trajectory batch.
+  Result<QueryResult> Run(
+      const Query& query,
+      const std::vector<core::SemanticTrajectory>& trajectories) const;
+
+  /// Store-backed execution (kTrajectories stores only): plans the
+  /// pushdown, decodes only candidate blocks, applies the residual
+  /// per decoded trajectory.
+  Result<QueryResult> Run(const Query& query,
+                          const storage::EventStoreReader& reader) const;
+
+  const QueryContext& context() const { return context_; }
+
+ private:
+  QueryContext context_;
+  ExecutorOptions options_;
+};
+
+}  // namespace sitm::query
+
+#endif  // SITM_QUERY_EXECUTOR_H_

@@ -1,0 +1,82 @@
+#ifndef SITM_QUERY_PLANNER_H_
+#define SITM_QUERY_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/event_store.h"
+
+namespace sitm::query {
+
+/// \brief The planner: splits a predicate into the part the storage
+/// layer can answer from block metadata and the part that must be
+/// evaluated per trajectory.
+///
+/// The pushdown summary is a *sound over-approximation* of the
+/// predicate: every trajectory the predicate accepts satisfies the
+/// summary, so pruning blocks/rows by the summary never loses a match.
+/// The full predicate is re-applied to everything the storage layer
+/// yields (the residual filter), so an imprecise summary costs time,
+/// never correctness.
+
+/// What a predicate implies about object ids and time, in the
+/// vocabulary storage::ScanOptions understands.
+struct PushdownSummary {
+  /// The predicate is unsatisfiable (empty object set, inverted window,
+  /// empty Allen mask, contradictory conjunction): the executor answers
+  /// without touching storage at all.
+  bool never_matches = false;
+  /// Matching trajectories' objects lie in this set (sorted, unique);
+  /// nullopt = unconstrained.
+  std::optional<std::vector<ObjectId>> objects;
+  /// Matching trajectories' [start, end] intersects this closed window;
+  /// unset bounds are open.
+  std::optional<Timestamp> min_time;
+  std::optional<Timestamp> max_time;
+
+  bool HasConstraint() const {
+    return never_matches || objects.has_value() || min_time.has_value() ||
+           max_time.has_value();
+  }
+
+  /// "objects{3} time[.., ..]" style rendering.
+  std::string ToString() const;
+};
+
+/// A planned query: the pushdown summary plus the residual predicate
+/// (the full bound predicate — see the soundness note above).
+struct QueryPlan {
+  PushdownSummary pushdown;
+  Predicate residual;
+
+  /// Human-readable one-liner ("pushdown: ... | residual: ...").
+  std::string Explain() const;
+};
+
+/// \brief Derives the pushdown summary of a *bound* predicate by a
+/// structural walk:
+///  - ObjectIn / TimeWindow leaves push their constraint;
+///  - Allen leaves whose mask excludes before/after imply intersection
+///    with the probe and push it as a time window;
+///  - And intersects child summaries, Or unions them, Not (and every
+///    other leaf) is conservatively unconstrained.
+QueryPlan Plan(const Predicate& bound_predicate);
+
+/// Blocks of `reader` the plan must touch, ascending and unique: the
+/// union over the object set of per-object candidate blocks (exact
+/// posting lists when the store carries the v2 object index, min/max
+/// footer pruning otherwise), intersected with time-window pruning —
+/// or every time-surviving block when objects are unconstrained.
+std::vector<std::size_t> PlanBlocks(const storage::EventStoreReader& reader,
+                                    const PushdownSummary& pushdown);
+
+/// The summary as ScanOptions for row-level filtering: always carries
+/// the time window; names the object only when the set is a singleton
+/// (ScanOptions speaks one object — larger sets stay residual).
+storage::ScanOptions ToScanOptions(const PushdownSummary& pushdown);
+
+}  // namespace sitm::query
+
+#endif  // SITM_QUERY_PLANNER_H_

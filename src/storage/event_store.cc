@@ -52,7 +52,16 @@ Result<core::AnnotationSet> DecodeAnnotationSet(ByteReader& reader) {
 struct EncodedBlock {
   std::string payload;
   BlockMeta meta;
+  /// Distinct raw object ids in the block, ascending (feeds the
+  /// secondary object-id index).
+  std::vector<std::int64_t> objects;
 };
+
+std::vector<std::int64_t> SortedUnique(std::vector<std::int64_t> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
 
 void FoldRowStats(BlockMeta& meta, bool first, std::int64_t object,
                   std::int64_t start, std::int64_t end) {
@@ -88,6 +97,10 @@ Result<Timestamp> EndFromDuration(std::int64_t start, std::uint64_t duration) {
 bool RowMatches(const ScanOptions& scan, ObjectId object, Timestamp start,
                 Timestamp end) {
   if (scan.object.valid() && object != scan.object) return false;
+  // The inverted (empty) window must be checked explicitly: a row whose
+  // span straddles it (end >= min and start <= max) would otherwise
+  // pass both one-sided tests despite the window containing no instant.
+  if (scan.EmptyWindow()) return false;
   if (scan.min_time.has_value() && end < *scan.min_time) return false;
   if (scan.max_time.has_value() && start > *scan.max_time) return false;
   return true;
@@ -117,7 +130,9 @@ Result<EventStoreWriter> EventStoreWriter::Create(const std::string& path,
   writer.kind_ = kind;
   writer.options_ = options;
   std::string header(kStoreMagic, sizeof(kStoreMagic));
-  PutU32(header, kStoreVersion);
+  // Without the object index the file has no optional sections and is
+  // byte-identical to the version-1 format, so it is stamped as such.
+  PutU32(header, options.write_object_index ? kStoreVersion : 1);
   PutU32(header, static_cast<std::uint32_t>(kind));
   SITM_RETURN_IF_ERROR(writer.WriteRaw(header));
   return writer;
@@ -136,6 +151,7 @@ EventStoreWriter::EventStoreWriter(EventStoreWriter&& other) noexcept
       blocks_(std::move(other.blocks_)),
       dictionary_(std::move(other.dictionary_)),
       dictionary_index_(std::move(other.dictionary_index_)),
+      object_blocks_(std::move(other.object_blocks_)),
       stats_(other.stats_) {}
 
 EventStoreWriter& EventStoreWriter::operator=(
@@ -150,6 +166,7 @@ EventStoreWriter& EventStoreWriter::operator=(
     blocks_ = std::move(other.blocks_);
     dictionary_ = std::move(other.dictionary_);
     dictionary_index_ = std::move(other.dictionary_index_);
+    object_blocks_ = std::move(other.object_blocks_);
     stats_ = other.stats_;
   }
   return *this;
@@ -228,12 +245,17 @@ Status EventStoreWriter::Append(
         block.meta.rows = n;
         block.meta.length = block.payload.size();
         block.meta.checksum = Checksum(block.payload);
+        block.objects = SortedUnique(std::move(objects));
         return block;
       });
 
   for (EncodedBlock& block : encoded) {
     block.meta.offset = offset_;
     SITM_RETURN_IF_ERROR(WriteRaw(block.payload));
+    const auto block_index = static_cast<std::uint32_t>(blocks_.size());
+    for (std::int64_t object : block.objects) {
+      object_blocks_[object].push_back(block_index);
+    }
     stats_.rows += block.meta.rows;
     stats_.blocks += 1;
     stats_.payload_bytes += block.meta.length;
@@ -371,12 +393,18 @@ Status EventStoreWriter::Append(
         block.meta.trajectories = range.traj_end - range.traj_begin;
         block.meta.length = block.payload.size();
         block.meta.checksum = Checksum(block.payload);
+        block.objects = SortedUnique(
+            slice_i64(traj_objects, range.traj_begin, range.traj_end));
         return block;
       });
 
   for (EncodedBlock& block : encoded) {
     block.meta.offset = offset_;
     SITM_RETURN_IF_ERROR(WriteRaw(block.payload));
+    const auto block_index = static_cast<std::uint32_t>(blocks_.size());
+    for (std::int64_t object : block.objects) {
+      object_blocks_[object].push_back(block_index);
+    }
     stats_.rows += block.meta.rows;
     stats_.trajectories += block.meta.trajectories;
     stats_.blocks += 1;
@@ -408,6 +436,27 @@ Status EventStoreWriter::Finish() {
     PutSVarint64(footer, meta.min_time);
     PutSVarint64(footer, meta.max_time);
     PutU64(footer, meta.checksum);
+  }
+  if (options_.write_object_index) {
+    // v2 optional sections: count, then (kind, byte length, payload)
+    // per section. Length framing lets readers skip unknown kinds.
+    std::string section;
+    PutVarint64(section, object_blocks_.size());
+    std::int64_t prev_object = 0;
+    for (const auto& [object, block_list] : object_blocks_) {
+      PutSVarint64(section, object - prev_object);
+      prev_object = object;
+      PutVarint64(section, block_list.size());
+      std::uint32_t prev_block = 0;
+      for (std::uint32_t b : block_list) {
+        PutVarint64(section, b - prev_block);
+        prev_block = b;
+      }
+    }
+    PutVarint64(footer, 1);  // section count
+    PutVarint64(footer, kSectionObjectIndex);
+    PutVarint64(footer, section.size());
+    footer += section;
   }
   SITM_RETURN_IF_ERROR(WriteRaw(footer));
   std::string trailer;
@@ -442,10 +491,11 @@ Result<EventStoreReader> EventStoreReader::Open(const std::string& path) {
   ByteReader header(file.data() + sizeof(kStoreMagic),
                     kStoreHeaderSize - sizeof(kStoreMagic));
   SITM_ASSIGN_OR_RETURN(const std::uint32_t version, header.ReadU32());
-  if (version != kStoreVersion) {
+  if (version < kMinStoreVersion || version > kStoreVersion) {
     return Status::Corruption("EventStore: unsupported format version " +
                               std::to_string(version));
   }
+  reader.version_ = version;
   SITM_ASSIGN_OR_RETURN(const std::uint32_t kind, header.ReadU32());
   if (kind != static_cast<std::uint32_t>(StoreKind::kDetections) &&
       kind != static_cast<std::uint32_t>(StoreKind::kTrajectories)) {
@@ -525,10 +575,102 @@ Result<EventStoreReader> EventStoreReader::Open(const std::string& path) {
     reader.trajectories_ += meta.trajectories;
     reader.blocks_.push_back(meta);
   }
+  // v2+: optional length-framed sections. Unknown kinds are skipped so
+  // files written by future minor revisions stay readable.
+  if (version >= 2) {
+    SITM_ASSIGN_OR_RETURN(const std::uint64_t num_sections,
+                          footer.ReadVarint64());
+    if (num_sections > footer.remaining()) {
+      return Status::Corruption("EventStore: section count out of range");
+    }
+    for (std::uint64_t s = 0; s < num_sections; ++s) {
+      SITM_ASSIGN_OR_RETURN(const std::uint64_t section_kind,
+                            footer.ReadVarint64());
+      SITM_ASSIGN_OR_RETURN(const std::uint64_t section_length,
+                            footer.ReadVarint64());
+      SITM_ASSIGN_OR_RETURN(const std::string_view section_bytes,
+                            footer.ReadBytes(section_length));
+      if (section_kind != kSectionObjectIndex) continue;
+      if (reader.has_object_index_) {
+        return Status::Corruption("EventStore: duplicate object index");
+      }
+      ByteReader section(section_bytes);
+      SITM_ASSIGN_OR_RETURN(const std::uint64_t num_objects,
+                            section.ReadVarint64());
+      // Every object entry occupies at least two bytes (id delta +
+      // posting count), so a count beyond the remaining bytes is forged.
+      if (num_objects > section.remaining()) {
+        return Status::Corruption(
+            "EventStore: object index count out of range");
+      }
+      std::int64_t object = 0;
+      bool first_object = true;
+      for (std::uint64_t o = 0; o < num_objects; ++o) {
+        SITM_ASSIGN_OR_RETURN(const std::int64_t delta,
+                              section.ReadSVarint64());
+        if (!first_object && delta <= 0) {
+          return Status::Corruption(
+              "EventStore: object index ids not strictly ascending");
+        }
+        object += delta;
+        first_object = false;
+        SITM_ASSIGN_OR_RETURN(const std::uint64_t num_postings,
+                              section.ReadVarint64());
+        if (num_postings == 0 || num_postings > reader.blocks_.size()) {
+          return Status::Corruption(
+              "EventStore: object posting list size out of range");
+        }
+        std::vector<std::uint32_t> postings;
+        postings.reserve(num_postings);
+        std::uint64_t block = 0;
+        for (std::uint64_t p = 0; p < num_postings; ++p) {
+          SITM_ASSIGN_OR_RETURN(const std::uint64_t block_delta,
+                                section.ReadVarint64());
+          if (p > 0 && block_delta == 0) {
+            return Status::Corruption(
+                "EventStore: object postings not strictly ascending");
+          }
+          block += block_delta;
+          if (block >= reader.blocks_.size()) {
+            return Status::Corruption(
+                "EventStore: object posting names block " +
+                std::to_string(block) + " of " +
+                std::to_string(reader.blocks_.size()));
+          }
+          postings.push_back(static_cast<std::uint32_t>(block));
+        }
+        reader.object_index_.emplace(object, std::move(postings));
+      }
+      if (!section.empty()) {
+        return Status::Corruption(
+            "EventStore: trailing bytes in object index section");
+      }
+      reader.has_object_index_ = true;
+    }
+  }
   if (!footer.empty()) {
     return Status::Corruption("EventStore: trailing bytes in footer");
   }
   return reader;
+}
+
+std::vector<std::size_t> EventStoreReader::CandidateBlocks(
+    const ScanOptions& scan) const {
+  std::vector<std::size_t> out;
+  if (scan.EmptyWindow()) return out;
+  if (scan.object.valid() && has_object_index_) {
+    const auto it = object_index_.find(scan.object.value());
+    if (it == object_index_.end()) return out;
+    out.reserve(it->second.size());
+    for (std::uint32_t b : it->second) {
+      if (BlockMatches(b, scan)) out.push_back(b);
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (BlockMatches(i, scan)) out.push_back(i);
+  }
+  return out;
 }
 
 Result<std::string_view> EventStoreReader::BlockPayload(std::size_t i) const {
@@ -545,6 +687,7 @@ Result<std::string_view> EventStoreReader::BlockPayload(std::size_t i) const {
 bool EventStoreReader::BlockMatches(std::size_t i,
                                     const ScanOptions& scan) const {
   const BlockMeta& meta = blocks_[i];
+  if (scan.EmptyWindow()) return false;
   if (scan.object.valid() && (scan.object.value() < meta.min_object ||
                               scan.object.value() > meta.max_object)) {
     return false;
@@ -721,7 +864,7 @@ Result<std::vector<core::RawDetection>> EventStoreReader::ReadDetections(
     return Status::FailedPrecondition("EventStore: not a detection store");
   }
   std::vector<core::RawDetection> out;
-  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+  for (std::size_t i : CandidateBlocks(scan)) {
     SITM_RETURN_IF_ERROR(ReadDetectionBlock(i, scan, out));
   }
   return out;
@@ -733,7 +876,7 @@ EventStoreReader::ReadTrajectories(const ScanOptions& scan) const {
     return Status::FailedPrecondition("EventStore: not a trajectory store");
   }
   std::vector<core::SemanticTrajectory> out;
-  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+  for (std::size_t i : CandidateBlocks(scan)) {
     SITM_RETURN_IF_ERROR(ReadTrajectoryBlock(i, scan, out));
   }
   return out;

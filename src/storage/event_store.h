@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -38,9 +39,23 @@ namespace sitm::storage {
 ///   blocks   : column payloads, back to back (per-kind layout below)
 ///   footer   : annotation dictionary + block index (offset, length,
 ///              rows, trajectories, min/max object, min/max time,
-///              checksum per block)
+///              checksum per block) + optional sections (v2+)
 ///   trailer  : footer offset u64, footer length u64, footer checksum
 ///              u64, trailing magic u64
+///
+/// Version history:
+///   1 — base format: dictionary + block index only.
+///   2 — appends an optional-sections area to the footer: varint section
+///       count, then per section a varint kind, varint byte length, and
+///       the payload. Unknown section kinds are skipped (length-framed),
+///       so v2 readers stay forward-compatible with future sections.
+///       Section kind 1 is the secondary object-id index: for each
+///       distinct object id (ascending, delta-encoded) the posting list
+///       of block indices holding its rows (ascending, delta-encoded).
+///       Point lookups touch exactly those blocks instead of relying on
+///       per-block min/max pruning.
+/// Version-1 files remain readable; writers emit v1 on request
+/// (WriterOptions::write_object_index = false).
 ///
 /// Corruption safety: every decode path is bounds-checked (Corruption,
 /// never UB, on truncated or bit-flipped files), footer and blocks are
@@ -52,7 +67,11 @@ inline constexpr char kStoreMagic[8] = {'S', 'I', 'T', 'M',
 inline constexpr char kTrailerMagic[8] = {'S', 'I', 'T', 'M',
                                           'T', 'R', 'L', 'R'};
 /// Current on-disk format version.
-inline constexpr std::uint32_t kStoreVersion = 1;
+inline constexpr std::uint32_t kStoreVersion = 2;
+/// Oldest format version readers still accept.
+inline constexpr std::uint32_t kMinStoreVersion = 1;
+/// Footer section kinds (v2+).
+inline constexpr std::uint64_t kSectionObjectIndex = 1;
 /// Byte size of the fixed file header (magic + version + kind).
 inline constexpr std::size_t kStoreHeaderSize = 16;
 /// Byte size of the fixed file trailer.
@@ -79,6 +98,10 @@ struct WriterOptions {
   /// every pool size: blocks are encoded independently and written in
   /// index order.
   ThreadPool* pool = nullptr;
+  /// Write the secondary object-id index footer section (and a v2
+  /// header). False emits a version-1 file, byte-identical to the base
+  /// format — the compatibility and index-ablation lever.
+  bool write_object_index = true;
 };
 
 /// Per-block index entry (also the unit of predicate pushdown).
@@ -155,6 +178,9 @@ class EventStoreWriter {
   std::vector<BlockMeta> blocks_;
   std::vector<std::string> dictionary_;  // serialized annotation sets
   std::unordered_map<std::string, std::uint32_t> dictionary_index_;
+  /// Secondary index under construction: object id -> ascending block
+  /// indices (std::map so Finish emits objects in ascending order).
+  std::map<std::int64_t, std::vector<std::uint32_t>> object_blocks_;
   StoreStats stats_;
 };
 
@@ -162,6 +188,17 @@ class EventStoreWriter {
 /// match are skipped without reading their bytes; surviving blocks are
 /// decoded and filtered row-wise (kDetections) or trajectory-wise
 /// (kTrajectories).
+///
+/// Time-window semantics (pinned by tests at block boundaries):
+///  - the window [min_time, max_time] is CLOSED and both bounds are
+///    INCLUSIVE: a row matches iff row.end >= min_time and
+///    row.start <= max_time, so a tuple ending exactly at min_time or
+///    starting exactly at max_time matches, and so does a block whose
+///    footer max_time == min_time (single shared instant);
+///  - an unset bound is open (no constraint on that side);
+///  - an inverted window (max_time < min_time) denotes the EMPTY set and
+///    matches no row and no block — it must never fall through to
+///    span-straddling rows.
 struct ScanOptions {
   /// Keep only this moving object (invalid id = keep all).
   ObjectId object = ObjectId::Invalid();
@@ -169,6 +206,12 @@ struct ScanOptions {
   /// closed window [min_time, max_time]; an unset bound is open.
   std::optional<Timestamp> min_time;
   std::optional<Timestamp> max_time;
+
+  /// True iff both bounds are set and inverted (the empty window).
+  bool EmptyWindow() const {
+    return min_time.has_value() && max_time.has_value() &&
+           *max_time < *min_time;
+  }
 };
 
 /// \brief Zero-copy reader: maps the file (plain read fallback) and
@@ -196,8 +239,20 @@ class EventStoreReader {
     return dictionary_;
   }
 
+  /// On-disk format version of the opened file (1 or 2).
+  std::uint32_t version() const { return version_; }
+  /// True when the file carries the v2 secondary object-id index.
+  bool has_object_index() const { return has_object_index_; }
+
   /// Footer-stats pruning: false when block `i` cannot contain a match.
   bool BlockMatches(std::size_t i, const ScanOptions& scan) const;
+
+  /// Blocks a scan must touch, ascending: when the scan names an object
+  /// and the store carries the object index, exactly that object's
+  /// posting list; otherwise every block — in both cases filtered by
+  /// BlockMatches footer stats. This is the block set the full scans
+  /// below iterate, exposed so external executors can stream it.
+  std::vector<std::size_t> CandidateBlocks(const ScanOptions& scan) const;
 
   /// Full scans (all blocks, with pushdown).
   Result<std::vector<core::RawDetection>> ReadDetections(
@@ -222,8 +277,12 @@ class EventStoreReader {
 
   MappedFile file_;
   StoreKind kind_ = StoreKind::kDetections;
+  std::uint32_t version_ = kStoreVersion;
+  bool has_object_index_ = false;
   std::vector<BlockMeta> blocks_;
   std::vector<core::AnnotationSet> dictionary_;
+  /// v2 secondary index: object id -> ascending block indices.
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> object_index_;
   std::uint64_t rows_ = 0;
   std::uint64_t trajectories_ = 0;
 };

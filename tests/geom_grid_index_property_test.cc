@@ -148,6 +148,47 @@ TEST(GridIndexPropertyTest, CandidatesIsSoundAndBoundedByBboxOverlap) {
   }
 }
 
+TEST(GridIndexPropertyTest, WideBoxCandidatesKeepTheContract) {
+  // Boxes spanning >= half the columns take the per-row entry-span fast
+  // path; the documented contract (superset of true overlap, subset of
+  // bbox overlap, sorted, unique) must hold there exactly as on the
+  // fine-cell walk.
+  Rng rng(123);
+  std::vector<Polygon> soup = RandomSoup(&rng, 40, 100);
+  const std::vector<Polygon> oracle_soup = soup;
+  const auto index = GridIndex::Build(std::move(soup));
+  ASSERT_TRUE(index.ok()) << index.status();
+  const Box bounds = index->bounds();
+  for (int q = 0; q < 100; ++q) {
+    // 50%..100% of the extent per axis, randomly placed.
+    const double w = bounds.width() * (0.5 + rng.NextDouble() * 0.5);
+    const double h = bounds.height() * (0.5 + rng.NextDouble() * 0.5);
+    const double x0 =
+        bounds.min_x + rng.NextDouble() * (bounds.width() - w);
+    const double y0 =
+        bounds.min_y + rng.NextDouble() * (bounds.height() - h);
+    const Box box(x0, y0, x0 + w, y0 + h);
+    const std::vector<std::size_t> candidates = index->Candidates(box);
+    ASSERT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    ASSERT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+                candidates.end());
+    for (std::size_t idx : candidates) {
+      ASSERT_TRUE(oracle_soup[idx].bounds().Intersects(box));
+    }
+    for (std::size_t i = 0; i < oracle_soup.size(); ++i) {
+      // Vertex-in-box is a cheap certificate of true region overlap.
+      for (const Point& v : oracle_soup[i].vertices()) {
+        if (!box.Contains(v)) continue;
+        ASSERT_TRUE(
+            std::binary_search(candidates.begin(), candidates.end(), i))
+            << "polygon " << i << " has a vertex in the box but is not a "
+            << "candidate";
+        break;
+      }
+    }
+  }
+}
+
 TEST(GridIndexPropertyTest, LocateFirstAgreesWithLocate) {
   Rng rng(5);
   std::vector<Polygon> soup = RandomSoup(&rng, 25, 50);

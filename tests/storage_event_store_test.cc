@@ -400,6 +400,212 @@ TEST(EventStoreScanTest, DetectionScanFiltersRowWise) {
   std::remove(path.c_str());
 }
 
+TEST(EventStoreScanTest, TimeRangeInclusiveAtBlockBoundaries) {
+  // Two-row blocks with known timestamps: block 0 = [100,110],[120,130],
+  // block 1 = [130,140],[150,160], block 2 = [200,210]. Tuples exactly
+  // at a block's min/max timestamp must match a window touching them at
+  // a single instant (closed-interval, inclusive-bound semantics).
+  const ObjectId object(7);
+  const CellId cell(1);
+  const std::vector<core::RawDetection> detections = {
+      {object, cell, Timestamp(100), Timestamp(110)},
+      {object, cell, Timestamp(120), Timestamp(130)},
+      {object, cell, Timestamp(130), Timestamp(140)},
+      {object, cell, Timestamp(150), Timestamp(160)},
+      {object, cell, Timestamp(200), Timestamp(210)},
+  };
+  const std::string path = TempPath("scan_boundaries.evst");
+  WriterOptions options;
+  options.rows_per_block = 2;
+  ASSERT_TRUE(WriteDetectionStore(path, detections, options).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->num_blocks(), 3u);
+  ASSERT_EQ(reader->block(0).max_time, 130);
+  ASSERT_EQ(reader->block(1).min_time, 130);
+
+  // Window [130, 130]: exactly block 0's max and block 1's min. Both
+  // blocks survive pruning; the two touching tuples match.
+  ScanOptions scan;
+  scan.min_time = Timestamp(130);
+  scan.max_time = Timestamp(130);
+  EXPECT_TRUE(reader->BlockMatches(0, scan));
+  EXPECT_TRUE(reader->BlockMatches(1, scan));
+  EXPECT_FALSE(reader->BlockMatches(2, scan));
+  auto scanned = reader->ReadDetections(scan);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  ASSERT_EQ(scanned->size(), 2u);
+  EXPECT_EQ((*scanned)[0].start, Timestamp(120));
+  EXPECT_EQ((*scanned)[1].start, Timestamp(130));
+
+  // Window ending exactly at the last block's min: inclusive there too.
+  scan.min_time = Timestamp(161);
+  scan.max_time = Timestamp(200);
+  scanned = reader->ReadDetections(scan);
+  ASSERT_TRUE(scanned.ok());
+  ASSERT_EQ(scanned->size(), 1u);
+  EXPECT_EQ((*scanned)[0].start, Timestamp(200));
+
+  // A window in the gap between blocks matches nothing.
+  scan.min_time = Timestamp(161);
+  scan.max_time = Timestamp(199);
+  scanned = reader->ReadDetections(scan);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_TRUE(scanned->empty());
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreScanTest, InvertedWindowMatchesNothing) {
+  // Regression: a row spanning the inversion gap (end >= min_time and
+  // start <= max_time despite max < min) used to pass both one-sided
+  // tests. The empty window must match no row and no block.
+  const ObjectId object(3);
+  const CellId cell(2);
+  const std::vector<core::RawDetection> detections = {
+      {object, cell, Timestamp(100), Timestamp(300)},  // spans [150, 200]
+      {object, cell, Timestamp(120), Timestamp(130)},
+  };
+  const std::string path = TempPath("scan_inverted.evst");
+  ASSERT_TRUE(WriteDetectionStore(path, detections).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ScanOptions scan;
+  scan.min_time = Timestamp(200);
+  scan.max_time = Timestamp(150);
+  ASSERT_TRUE(scan.EmptyWindow());
+  for (std::size_t i = 0; i < reader->num_blocks(); ++i) {
+    EXPECT_FALSE(reader->BlockMatches(i, scan));
+  }
+  EXPECT_TRUE(reader->CandidateBlocks(scan).empty());
+  const auto scanned = reader->ReadDetections(scan);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_TRUE(scanned->empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Secondary object-id index (format v2).
+// ---------------------------------------------------------------------------
+
+TEST(EventStoreObjectIndexTest, PostingListsPruneBlocksExactly) {
+  const auto trajectories = BuildTrajectories(SimulatedDetections(31));
+  const std::string path = TempPath("object_index.evst");
+  WriterOptions options;
+  options.rows_per_block = 32;
+  ASSERT_TRUE(WriteTrajectoryStore(path, trajectories, options).ok());
+  const auto reader = EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->version(), kStoreVersion);
+  ASSERT_TRUE(reader->has_object_index());
+  ASSERT_GT(reader->num_blocks(), 4u);
+
+  for (std::size_t pick : {std::size_t{0}, trajectories.size() / 2,
+                           trajectories.size() - 1}) {
+    const ObjectId target = trajectories[pick].object();
+    ScanOptions scan;
+    scan.object = target;
+    // The posting list must be a subset of what min/max pruning admits,
+    // and scanning only it must still find every match.
+    const std::vector<std::size_t> candidates = reader->CandidateBlocks(scan);
+    std::size_t min_max_blocks = 0;
+    for (std::size_t i = 0; i < reader->num_blocks(); ++i) {
+      min_max_blocks += reader->BlockMatches(i, scan) ? 1 : 0;
+    }
+    EXPECT_LE(candidates.size(), min_max_blocks);
+    const auto scanned = reader->ReadTrajectories(scan);
+    ASSERT_TRUE(scanned.ok()) << scanned.status();
+    std::vector<core::SemanticTrajectory> expected;
+    for (const auto& t : trajectories) {
+      if (t.object() == target) expected.push_back(t);
+    }
+    ExpectTrajectoriesEqual(expected, *scanned);
+  }
+
+  // An object id the store never saw: the index answers "no blocks"
+  // without touching any payload.
+  ScanOptions missing;
+  missing.object = ObjectId(1u << 30);
+  EXPECT_TRUE(reader->CandidateBlocks(missing).empty());
+  const auto none = reader->ReadTrajectories(missing);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  std::remove(path.c_str());
+}
+
+TEST(EventStoreObjectIndexTest, Version1FilesStayReadable) {
+  const auto trajectories = BuildTrajectories(SimulatedDetections(5, 80));
+  const std::string v1_path = TempPath("compat_v1.evst");
+  const std::string v2_path = TempPath("compat_v2.evst");
+  WriterOptions v1_options;
+  v1_options.rows_per_block = 32;
+  v1_options.write_object_index = false;
+  WriterOptions v2_options;
+  v2_options.rows_per_block = 32;
+  ASSERT_TRUE(WriteTrajectoryStore(v1_path, trajectories, v1_options).ok());
+  ASSERT_TRUE(WriteTrajectoryStore(v2_path, trajectories, v2_options).ok());
+
+  const auto v1 = EventStoreReader::Open(v1_path);
+  const auto v2 = EventStoreReader::Open(v2_path);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_FALSE(v1->has_object_index());
+  EXPECT_TRUE(v2->has_object_index());
+
+  // Same data, same answers — with and without the index, for full
+  // scans and for point lookups (v1 falls back to min/max pruning).
+  ScanOptions scan;
+  scan.object = trajectories[trajectories.size() / 3].object();
+  const auto v1_all = v1->ReadTrajectories();
+  const auto v2_all = v2->ReadTrajectories();
+  ASSERT_TRUE(v1_all.ok() && v2_all.ok());
+  ExpectTrajectoriesEqual(*v1_all, *v2_all);
+  const auto v1_point = v1->ReadTrajectories(scan);
+  const auto v2_point = v2->ReadTrajectories(scan);
+  ASSERT_TRUE(v1_point.ok() && v2_point.ok());
+  ExpectTrajectoriesEqual(*v1_point, *v2_point);
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(EventStoreObjectIndexTest, ForgedPostingBlockIsCorruption) {
+  // A forged index that names a nonexistent block must be rejected even
+  // when the footer checksum is made consistent again. One object, one
+  // block: the final footer byte is that object's single posting delta.
+  const ObjectId object(5);
+  const CellId cell(1);
+  const std::vector<core::RawDetection> detections = {
+      {object, cell, Timestamp(100), Timestamp(110)},
+      {object, cell, Timestamp(120), Timestamp(130)},
+  };
+  const std::string path = TempPath("forged_index.evst");
+  ASSERT_TRUE(WriteDetectionStore(path, detections).ok());
+  auto bytes_result = io::ReadFile(path);
+  ASSERT_TRUE(bytes_result.ok());
+  std::string bytes = *bytes_result;
+
+  // Trailer: footer offset u64, length u64, checksum u64, magic.
+  const std::size_t trailer_at = bytes.size() - kStoreTrailerSize;
+  ByteReader trailer(bytes.data() + trailer_at, kStoreTrailerSize);
+  const std::uint64_t footer_offset = *trailer.ReadU64();
+  const std::uint64_t footer_length = *trailer.ReadU64();
+  ASSERT_EQ(bytes[footer_offset + footer_length - 1], 0)  // posting delta 0
+      << "test assumes the posting delta is the footer's last byte";
+  bytes[footer_offset + footer_length - 1] = 9;  // block 9 of 1
+  std::string fixed_checksum;
+  PutU64(fixed_checksum,
+         Checksum(std::string_view(bytes).substr(footer_offset,
+                                                 footer_length)));
+  bytes.replace(trailer_at + 16, 8, fixed_checksum);
+
+  const std::string forged_path = TempPath("forged_index_variant.evst");
+  ASSERT_TRUE(io::WriteFile(forged_path, bytes).ok());
+  const auto reader = EventStoreReader::Open(forged_path);
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+  std::remove(forged_path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Corruption: truncation, bit flips, bad metadata. Never UB, always a
 // Corruption status.
