@@ -1,5 +1,4 @@
-#ifndef SITM_BENCH_BENCH_UTIL_H_
-#define SITM_BENCH_BENCH_UTIL_H_
+#pragma once
 
 // Shared scaffolding for the experiment benches. Every bench binary
 // regenerates one artifact of the paper (a table, a figure, or an
@@ -59,4 +58,3 @@ T Unwrap(Result<T> result) {
 
 }  // namespace sitm::bench
 
-#endif  // SITM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the SITM tree — invariants no generic tool checks.
+
+Rules (each findable nowhere else: clang-tidy and compiler warnings do
+not know this repo's conventions):
+
+  discarded-status     Every call of a function returning base::Status /
+                       base::Result must be consumed: bare
+                       expression-statement calls and `(void)` silencing
+                       casts are errors. The classes are [[nodiscard]],
+                       but class-attribute enforcement has compiler gaps
+                       (class templates, older toolchains) and `(void)`
+                       defeats it entirely; this rule has no gaps. The
+                       callee set is derived by scanning src/ headers
+                       for Status/Result-returning declarations.
+  naked-thread         `std::thread` may appear only in base/parallel.*
+                       (the pool IS the concurrency substrate; ad-hoc
+                       threads bypass its determinism and shutdown
+                       discipline) and base/mutex.h's includes.
+  nondeterministic-rng std::random_device / std::mt19937 / srand / rand
+                       are forbidden outside base/rng.h: every random
+                       stream must come from sitm::Rng with an explicit
+                       seed, or bench/test reproducibility dies.
+  pragma-once          Every header carries `#pragma once` (include
+                       guards invite copy-paste guard collisions that
+                       silently drop declarations).
+  include-convention   Project includes are src/-relative: no `"../`,
+                       no `"src/` prefixes (they break the single
+                       exported include root; see CMakeLists.txt).
+
+Suppression: append `sitm-lint: allow(<rule>)` in a comment on the
+offending line (or the line directly above) — e.g. the pool's own test
+harness legitimately spawns raw std::thread submitters.
+
+Usage: scripts/lint_sitm.py [--root DIR]
+Exit status: 0 clean, 1 findings, 2 usage errors.
+(Regression-tested by scripts/test_lint_sitm.py, run in CI.)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories scanned relative to the root, and what rules apply where.
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+HEADER_DIRS = ("src", "bench")
+
+ALLOW_RE = re.compile(r"sitm-lint:\s*allow\(([a-z-]+)\)")
+
+# Function names that return Status/Result but whose bare call can never
+# be a dropped error (none today; extend deliberately, with a comment).
+DISCARDED_STATUS_ALLOWLIST = frozenset()
+
+# Status/Result-returning declarations in headers. Matches e.g.
+#   Status Validate() const;
+#   static Result<GridIndex> Build(...);
+#   [[nodiscard]] Result<std::vector<T>> Run(...);
+DECL_RE = re.compile(
+    r"(?:\[\[nodiscard\]\]\s+)?(?:static\s+|virtual\s+)?"
+    r"(?:Status|Result<[^;{}()]+>)\s+(\w+)\s*\(")
+
+# Declarations of the same names with non-Status return types (e.g.
+# `void Append(...)` on Trace vs `Status Append(...)` on JsonValue).
+# The lint matches call sites by name only, so such names are
+# *ambiguous*: bare-statement checking would false-positive on the
+# void-returning overloads and is left to the classes' [[nodiscard]]
+# attribute (which the compiler resolves with real types); the
+# (void)-cast check still applies — casting a void call to void is
+# something nobody writes, so a `(void)x.Append(...)` is always
+# silencing a Status.
+NON_STATUS_DECL_RE = re.compile(
+    r"(?:void|bool|int|double|float|auto|std::size_t|std::string)"
+    r"\s+(\w+)\s*\(")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line):
+    """Blanks string/char literals and // comments so tokens inside them
+    never trip a rule. (Block comments spanning lines are rare in this
+    tree and handled by the caller's in_block_comment flag.)"""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_files(root, dirs, suffixes):
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [x for x in dirnames if x != "build"]
+            for name in sorted(filenames):
+                if name.endswith(suffixes):
+                    yield os.path.join(dirpath, name)
+
+
+def read_lines(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        return fh.read().splitlines()
+
+
+def allowed(lines, index, rule):
+    """True if line `index` (0-based) or the one above carries an
+    `sitm-lint: allow(rule)` marker."""
+    for probe in (index, index - 1):
+        if 0 <= probe < len(lines):
+            match = ALLOW_RE.search(lines[probe])
+            if match and match.group(1) == rule:
+                return True
+    return False
+
+
+def collect_status_returning(root):
+    """Returns (unambiguous, all_status): names of functions declared in
+    src/ headers returning Status or Result<...>. `unambiguous` excludes
+    names that also appear with a non-Status return type somewhere (see
+    NON_STATUS_DECL_RE); `all_status` keeps them for the (void)-cast
+    check. Declarations spanning lines are joined first."""
+    status_names = set()
+    other_names = set()
+    for path in iter_files(root, ("src",), (".h",)):
+        text = "\n".join(
+            strip_comments_and_strings(line) for line in read_lines(path))
+        # Joining declarations that wrap after the return type or between
+        # arguments: collapse all whitespace runs, then scan.
+        joined = re.sub(r"\s+", " ", text)
+        for match in DECL_RE.finditer(joined):
+            status_names.add(match.group(1))
+        for match in NON_STATUS_DECL_RE.finditer(joined):
+            other_names.add(match.group(1))
+    status_names -= DISCARDED_STATUS_ALLOWLIST
+    return status_names - other_names, status_names
+
+
+# A bare call statement: optional receiver chain, then a known callee,
+# then arguments closing with `);` at the end of the (joined) statement.
+def bare_call_re(names):
+    alternation = "|".join(sorted(re.escape(n) for n in names))
+    return re.compile(
+        r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(" + alternation + r")\s*\(")
+
+
+VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_]")
+
+
+def check_discarded_status(root, findings):
+    unambiguous, names = collect_status_returning(root)
+    if not names:
+        return
+    call_re = bare_call_re(unambiguous) if unambiguous else None
+    for path in iter_files(root, SOURCE_DIRS, (".cc", ".cpp", ".h")):
+        lines = read_lines(path)
+        stripped = [strip_comments_and_strings(line) for line in lines]
+        for i, line in enumerate(stripped):
+            # Join physical lines until the statement closes (bounded
+            # lookahead keeps pathological files cheap).
+            statement = line
+            j = i
+            while (not statement.rstrip().endswith(";") and j + 1 < len(stripped)
+                   and j - i < 8):
+                j += 1
+                statement = statement.rstrip() + " " + stripped[j].strip()
+            match = call_re.match(statement) if call_re else None
+            if match and statement.rstrip().endswith(";"):
+                # A continuation line of a larger expression is not a
+                # statement start: the previous line must end one.
+                prev = stripped[i - 1].rstrip() if i > 0 else ""
+                if prev and not prev.endswith((";", "{", "}", ")")):
+                    continue
+                if prev.endswith(")") and not re.search(
+                        r"\b(if|for|while|switch)\s*\(", prev):
+                    continue
+                if allowed(lines, i, "discarded-status"):
+                    continue
+                findings.append(Finding(
+                    path, i + 1, "discarded-status",
+                    f"return value of Status/Result-returning "
+                    f"'{match.group(1)}' is discarded (consume it, or "
+                    f"SITM_RETURN_IF_ERROR it)"))
+            if VOID_CAST_RE.search(line):
+                after = line[line.index("void") + 4:]
+                # Identifiers of the cast expression up to its call
+                # parenthesis: `(void)writer.Finish()` -> writer, Finish.
+                head = after.split("(", 1)[0]
+                name = next((n for n in re.findall(r"[A-Za-z_]\w*", head)
+                             if n in names), None)
+                if name and not allowed(lines, i, "discarded-status"):
+                    findings.append(Finding(
+                        path, i + 1, "discarded-status",
+                        f"(void)-cast silences the Status/Result of "
+                        f"'{name}' — handle it instead"))
+
+
+def check_naked_thread(root, findings):
+    exempt = {os.path.join("src", "base", "parallel.h"),
+              os.path.join("src", "base", "parallel.cc")}
+    token = re.compile(r"\bstd::thread\b")
+    for path in iter_files(root, SOURCE_DIRS, (".cc", ".cpp", ".h")):
+        rel = os.path.relpath(path, root)
+        if rel in exempt:
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if token.search(code) and not allowed(lines, i, "naked-thread"):
+                findings.append(Finding(
+                    path, i + 1, "naked-thread",
+                    "std::thread outside base/parallel — submit work to "
+                    "ThreadPool instead (or justify with "
+                    "`sitm-lint: allow(naked-thread)`)"))
+
+
+RNG_TOKEN = re.compile(
+    r"\bstd::random_device\b|\bstd::mt19937(?:_64)?\b|\bsrand\s*\(|"
+    r"(?<![\w:])rand\s*\(")
+
+
+def check_nondeterministic_rng(root, findings):
+    exempt = {os.path.join("src", "base", "rng.h")}
+    for path in iter_files(root, SOURCE_DIRS, (".cc", ".cpp", ".h")):
+        rel = os.path.relpath(path, root)
+        if rel in exempt:
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if RNG_TOKEN.search(code) and not allowed(
+                    lines, i, "nondeterministic-rng"):
+                findings.append(Finding(
+                    path, i + 1, "nondeterministic-rng",
+                    "non-reproducible RNG outside base/rng.h — use "
+                    "sitm::Rng with an explicit seed"))
+
+
+def check_pragma_once(root, findings):
+    for path in iter_files(root, HEADER_DIRS, (".h",)):
+        lines = read_lines(path)
+        if not any(line.strip() == "#pragma once" for line in lines[:50]):
+            findings.append(Finding(
+                path, 1, "pragma-once",
+                "header is missing `#pragma once`"))
+
+
+INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+def check_include_convention(root, findings):
+    for path in iter_files(root, SOURCE_DIRS, (".cc", ".cpp", ".h")):
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            match = INCLUDE_RE.search(line)
+            if not match:
+                continue
+            target = match.group(1)
+            if (target.startswith("../") or target.startswith("src/")) \
+                    and not allowed(lines, i, "include-convention"):
+                findings.append(Finding(
+                    path, i + 1, "include-convention",
+                    f'include "{target}" must be src/-relative '
+                    f'(e.g. "geom/grid_index.h")'))
+
+
+CHECKS = (
+    check_discarded_status,
+    check_naked_thread,
+    check_nondeterministic_rng,
+    check_pragma_once,
+    check_include_convention,
+)
+
+
+def run_lint(root):
+    findings = []
+    for check in CHECKS:
+        check(root, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repo root to lint (default: this script's parent repo)")
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.root):
+        print(f"lint_sitm: no such directory: {args.root}", file=sys.stderr)
+        return 2
+    findings = run_lint(args.root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_sitm: {len(findings)} finding(s)")
+        return 1
+    print("lint_sitm: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

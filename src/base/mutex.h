@@ -1,0 +1,78 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace sitm {
+
+/// \brief std::mutex wrapped as an annotated capability.
+///
+/// Clang's thread-safety analysis only tracks types carrying the
+/// `capability` attribute, and the standard library's mutex does not, so
+/// every mutex guarding shared state in this codebase is a sitm::Mutex:
+/// members declared `SITM_GUARDED_BY(mutex_)` are then compile-time
+/// checked (under Clang) to be touched only while it is held.
+class SITM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SITM_ACQUIRE() { mu_.lock(); }
+  void Unlock() SITM_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex (the annotated std::lock_guard).
+class SITM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SITM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() SITM_RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mutex_;
+};
+
+/// \brief Condition variable paired with Mutex/MutexLock.
+///
+/// Wait() takes the live MutexLock rather than a predicate: callers loop
+/// on the condition themselves while holding the lock, so reads of
+/// guarded state in the loop condition sit inside the MutexLock scope
+/// and stay visible to the analysis (predicate lambdas would not be —
+/// the analysis treats lambda bodies as unrelated functions).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and blocks until notified, then
+  /// reacquires it before returning. Caller must hold `lock` (and, as
+  /// with any condvar, must re-check its condition in a loop). The
+  /// adopt/release juggling below is invisible to the analysis: the
+  /// mutex is held on entry and on exit, which is all callers see.
+  void Wait(MutexLock& lock) SITM_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mutex_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sitm

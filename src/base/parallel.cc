@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 ThreadPool::~ThreadPool() {
   WaitIdle();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -32,33 +32,32 @@ std::size_t ThreadPool::DefaultConcurrency() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -75,9 +74,10 @@ struct ParallelForState {
   std::size_t grain = 0;
   std::size_t num_chunks = 0;
   std::atomic<std::size_t> next_chunk{0};
-  std::mutex mutex;
-  std::condition_variable done;
-  std::size_t completed = 0;  // chunks fully executed; guarded by mutex
+  Mutex mutex;
+  CondVar done;
+  /// chunks fully executed
+  std::size_t completed SITM_GUARDED_BY(mutex) = 0;
 };
 
 }  // namespace
@@ -116,9 +116,9 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
       ++executed;
     }
     if (executed > 0) {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->completed += executed;
-      if (state->completed == state->num_chunks) state->done.notify_all();
+      if (state->completed == state->num_chunks) state->done.NotifyAll();
     }
   };
 
@@ -128,9 +128,8 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
   const std::size_t helpers = std::min(workers, num_chunks - 1);
   for (std::size_t i = 0; i < helpers; ++i) pool->Submit(drain);
   drain();
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock,
-                   [&state] { return state->completed == state->num_chunks; });
+  MutexLock lock(state->mutex);
+  while (state->completed != state->num_chunks) state->done.Wait(lock);
 }
 
 }  // namespace sitm

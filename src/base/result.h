@@ -1,5 +1,4 @@
-#ifndef SITM_BASE_RESULT_H_
-#define SITM_BASE_RESULT_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -79,4 +78,3 @@ class [[nodiscard]] Result {
 
 }  // namespace sitm
 
-#endif  // SITM_BASE_RESULT_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_BASE_RNG_H_
-#define SITM_BASE_RNG_H_
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -114,4 +113,3 @@ class Rng {
 
 }  // namespace sitm
 
-#endif  // SITM_BASE_RNG_H_

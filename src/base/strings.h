@@ -1,5 +1,4 @@
-#ifndef SITM_BASE_STRINGS_H_
-#define SITM_BASE_STRINGS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -24,12 +23,11 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
 
 /// Parses a whole string as a decimal integer / floating point value.
-Result<std::int64_t> ParseInt64(std::string_view text);
-Result<double> ParseDouble(std::string_view text);
+[[nodiscard]] Result<std::int64_t> ParseInt64(std::string_view text);
+[[nodiscard]] Result<double> ParseDouble(std::string_view text);
 
 /// Lowercases ASCII letters.
 std::string AsciiLower(std::string_view text);
 
 }  // namespace sitm
 
-#endif  // SITM_BASE_STRINGS_H_

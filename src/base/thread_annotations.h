@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file
+/// Portable wrappers for Clang's thread-safety-analysis attributes.
+///
+/// The `SITM_*` macros expand to Clang's `capability`-family attributes
+/// when the compiler supports them (Clang with -Wthread-safety) and to
+/// nothing everywhere else (GCC, MSVC), so annotated code stays
+/// single-source. Annotate with the macros, never the raw attributes:
+///
+///   class SITM_CAPABILITY("mutex") Mutex { ... };
+///   std::size_t in_flight_ SITM_GUARDED_BY(mutex_) = 0;
+///   void Submit(Task t) SITM_EXCLUDES(mutex_);
+///
+/// CI compiles the tree with Clang and `-Wthread-safety -Werror`, so a
+/// guarded member touched without its mutex is a build error there. See
+/// base/mutex.h for the annotated mutex/condvar types the analysis
+/// tracks (plain std::mutex is invisible to it).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SITM_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SITM_THREAD_ANNOTATION_
+#define SITM_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a capability (e.g. a mutex) the analysis can track.
+#define SITM_CAPABILITY(x) SITM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability for its whole lifetime.
+#define SITM_SCOPED_CAPABILITY SITM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data members: readable/writable only while holding the capability.
+#define SITM_GUARDED_BY(x) SITM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer members: the *pointee* is guarded by the capability.
+#define SITM_PT_GUARDED_BY(x) SITM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Functions: caller must hold the capability (exclusively / shared).
+#define SITM_REQUIRES(...) \
+  SITM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SITM_REQUIRES_SHARED(...) \
+  SITM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: caller must NOT hold the capability (it is taken inside).
+#define SITM_EXCLUDES(...) SITM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Functions that acquire / release the capability themselves.
+#define SITM_ACQUIRE(...) \
+  SITM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SITM_ACQUIRE_SHARED(...) \
+  SITM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define SITM_RELEASE(...) \
+  SITM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SITM_RELEASE_SHARED(...) \
+  SITM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function returns a reference to a capability-guarded object.
+#define SITM_RETURN_CAPABILITY(x) SITM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (condvar wait
+/// internals, adopt/release lock juggling). Use sparingly and say why.
+#define SITM_NO_THREAD_SAFETY_ANALYSIS \
+  SITM_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,5 +1,4 @@
-#ifndef SITM_BASE_TIME_H_
-#define SITM_BASE_TIME_H_
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -73,11 +72,11 @@ class Timestamp {
 
   /// Builds a timestamp from a UTC civil date-time. Validates ranges
   /// (month 1-12, day fits the month incl. leap years, hms in range).
-  static Result<Timestamp> FromCivil(int year, int month, int day, int hour,
+  [[nodiscard]] static Result<Timestamp> FromCivil(int year, int month, int day, int hour,
                                      int minute, int second);
 
   /// Parses "YYYY-MM-DD hh:mm:ss" or "YYYY-MM-DDThh:mm:ss" (UTC).
-  static Result<Timestamp> Parse(std::string_view text);
+  [[nodiscard]] static Result<Timestamp> Parse(std::string_view text);
 
   /// Formats as "YYYY-MM-DD hh:mm:ss" (UTC).
   std::string ToString() const;
@@ -123,4 +122,3 @@ std::ostream& operator<<(std::ostream& os, Timestamp t);
 
 }  // namespace sitm
 
-#endif  // SITM_BASE_TIME_H_

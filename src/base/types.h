@@ -1,5 +1,4 @@
-#ifndef SITM_BASE_TYPES_H_
-#define SITM_BASE_TYPES_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -93,4 +92,3 @@ struct hash<sitm::TypedId<Tag>> {
 };
 }  // namespace std
 
-#endif  // SITM_BASE_TYPES_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_ANNOTATION_H_
-#define SITM_CORE_ANNOTATION_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -117,4 +116,3 @@ std::ostream& operator<<(std::ostream& os, const AnnotationSet& set);
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_ANNOTATION_H_

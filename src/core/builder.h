@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_BUILDER_H_
-#define SITM_CORE_BUILDER_H_
+#pragma once
 
 #include <vector>
 
@@ -85,7 +84,7 @@ class TrajectoryBuilder {
 
   /// Builds all trajectories from the detection set. The input need not
   /// be sorted. Returns trajectories ordered by (object, start time).
-  Result<std::vector<SemanticTrajectory>> Build(
+  [[nodiscard]] Result<std::vector<SemanticTrajectory>> Build(
       std::vector<RawDetection> detections);
 
   /// The counters of the last Build() call.
@@ -98,4 +97,3 @@ class TrajectoryBuilder {
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_BUILDER_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_ENRICHMENT_H_
-#define SITM_CORE_ENRICHMENT_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -62,10 +61,9 @@ struct EnrichmentReport {
 /// the contributed annotations into each stay's set (event-based
 /// integrity is preserved: annotations only grow, and equal consecutive
 /// tuples cannot arise since cells/timestamps are untouched).
-Result<EnrichmentReport> EnrichTrajectory(
+[[nodiscard]] Result<EnrichmentReport> EnrichTrajectory(
     SemanticTrajectory* trajectory, const indoor::Nrg& graph,
     const std::vector<EnrichmentRule>& rules);
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_ENRICHMENT_H_

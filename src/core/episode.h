@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_EPISODE_H_
-#define SITM_CORE_EPISODE_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -31,7 +30,7 @@ struct Episode {
       : label(std::move(l)), begin(b), end(e), annotations(std::move(a)) {}
 
   /// The episode's time interval within `parent`.
-  Result<qsr::TimeInterval> IntervalIn(const SemanticTrajectory& parent) const;
+  [[nodiscard]] Result<qsr::TimeInterval> IntervalIn(const SemanticTrajectory& parent) const;
 };
 
 /// \brief The user-defined episode predicate P_ep : T' -> {true, false},
@@ -64,7 +63,7 @@ TupleCondition HasAnnotation(AnnotationKind kind, std::string value);
 /// \brief Checks Def. 3.4 for one episode: (1) [begin, end) is a proper
 /// subtrajectory range of `parent`; (2) the episode's annotations differ
 /// from the parent's (A' != A); (3) the predicate holds on the range.
-Status ValidateEpisode(const SemanticTrajectory& parent,
+[[nodiscard]] Status ValidateEpisode(const SemanticTrajectory& parent,
                        const Episode& episode,
                        const EpisodePredicate& predicate);
 
@@ -96,7 +95,7 @@ class EpisodicSegmentation {
   /// meaning about unobserved stretches. Predicate satisfaction is
   /// checked at extraction time — predicates are user-defined and not
   /// stored.)
-  static Result<EpisodicSegmentation> Make(const SemanticTrajectory* parent,
+  [[nodiscard]] static Result<EpisodicSegmentation> Make(const SemanticTrajectory* parent,
                                            std::vector<Episode> episodes);
 
   const std::vector<Episode>& episodes() const { return episodes_; }
@@ -118,4 +117,3 @@ class EpisodicSegmentation {
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_EPISODE_H_

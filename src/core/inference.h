@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_INFERENCE_H_
-#define SITM_CORE_INFERENCE_H_
+#pragma once
 
 #include <unordered_set>
 #include <vector>
@@ -45,7 +44,7 @@ struct InferenceReport {
 /// the model's granularity). Inserted tuples are flagged `inferred` and
 /// annotated per the options. Ambiguous or disconnected pairs are left
 /// untouched and counted.
-Result<std::pair<SemanticTrajectory, InferenceReport>> InferHiddenPassages(
+[[nodiscard]] Result<std::pair<SemanticTrajectory, InferenceReport>> InferHiddenPassages(
     const SemanticTrajectory& trajectory, const indoor::Nrg& graph,
     const InferenceOptions& options = {});
 
@@ -82,10 +81,9 @@ std::vector<GapInfo> ClassifyGaps(
 /// active-state candidates (the MLSM joint-edge constraint of Fig. 1).
 /// Thin convenience wrapper over MultiLayerGraph::CandidateStates that
 /// fails when there are no candidates.
-Result<std::vector<CellId>> CandidateCellsAt(
+[[nodiscard]] Result<std::vector<CellId>> CandidateCellsAt(
     const indoor::MultiLayerGraph& graph, CellId observed_cell,
     LayerId target_layer);
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_INFERENCE_H_

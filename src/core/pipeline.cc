@@ -80,6 +80,10 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
       static_cast<std::size_t>(1), options_.objects_per_shard);
   const std::size_t num_shards = (groups.size() + per_shard - 1) / per_shard;
   report_.shards = num_shards;
+  // Thread-safety: workers share `groups` read-only and write only
+  // their own ShardOutcome slot (ParallelMap's slot discipline, see
+  // base/parallel.h); `this` is captured for options_ reads only.
+  // No locks — TSan (ctest -L parallel) enforces this stays true.
   std::vector<ShardOutcome> shards = ParallelMap<ShardOutcome>(
       options_.pool, num_shards,
       [this, &groups, per_shard](std::size_t shard) {
@@ -147,6 +151,9 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
     InferenceReport inference;
   };
   std::vector<StageOutcome> stages(out.size());
+  // Thread-safety: chunk [begin, end) is written only by its own
+  // task — both out[i] (enriched in place) and stages[i] are
+  // per-index slots; the graphs are shared read-only.
   ParallelFor(options_.pool, out.size(),
               [this, enrich, enrich_graph, infer_graph, &out,
                &stages](std::size_t begin, std::size_t end) {

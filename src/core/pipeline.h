@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_PIPELINE_H_
-#define SITM_CORE_PIPELINE_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -80,7 +79,7 @@ class BatchPipeline {
   /// Returns trajectories ordered by (object, start time). On error the
   /// first failing stage in deterministic (shard, then trajectory) order
   /// is reported.
-  Result<std::vector<SemanticTrajectory>> Run(
+  [[nodiscard]] Result<std::vector<SemanticTrajectory>> Run(
       std::vector<RawDetection> detections);
 
   /// Merged counters of the last Run() call.
@@ -93,4 +92,3 @@ class BatchPipeline {
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_PIPELINE_H_

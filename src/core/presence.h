@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_PRESENCE_H_
-#define SITM_CORE_PRESENCE_H_
+#pragma once
 
 #include <string>
 
@@ -56,4 +55,3 @@ struct PresenceInterval {
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_PRESENCE_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_PROJECTION_H_
-#define SITM_CORE_PROJECTION_H_
+#pragma once
 
 #include <utility>
 #include <vector>
@@ -22,11 +21,11 @@ namespace sitm::core {
 /// Build fails if no cell of the layer carries geometry.
 class CellLocator {
  public:
-  static Result<CellLocator> Build(const indoor::SpaceLayer& layer);
+  [[nodiscard]] static Result<CellLocator> Build(const indoor::SpaceLayer& layer);
 
   /// CellId of the first cell whose closed region contains p, or
   /// NotFound (p is in no indexed cell — a localization gap).
-  Result<CellId> Localize(geom::Point p) const;
+  [[nodiscard]] Result<CellId> Localize(geom::Point p) const;
 
   /// All cells whose closed region contains p (several on shared
   /// walls), in the layer's cell order.
@@ -64,16 +63,15 @@ class CellLocator {
 ///
 /// Fails if any cell is not in the hierarchy or sits above
 /// `target_level`.
-Result<Trace> ProjectTrace(const Trace& trace,
+[[nodiscard]] Result<Trace> ProjectTrace(const Trace& trace,
                            const indoor::LayerHierarchy& hierarchy,
                            int target_level);
 
 /// Trajectory-level wrapper: projects the trace, keeping id, object and
 /// A_traj ("the same trajectory dataset" read at another granularity).
-Result<SemanticTrajectory> ProjectTrajectory(
+[[nodiscard]] Result<SemanticTrajectory> ProjectTrajectory(
     const SemanticTrajectory& trajectory,
     const indoor::LayerHierarchy& hierarchy, int target_level);
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_PROJECTION_H_

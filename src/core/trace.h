@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_TRACE_H_
-#define SITM_CORE_TRACE_H_
+#pragma once
 
 #include <vector>
 
@@ -39,8 +38,8 @@ class Trace {
   /// Use these wherever the trace may come from untrusted input (a
   /// storage reader, a network peer) rather than from the builder, whose
   /// output is non-empty by construction.
-  Result<Timestamp> StartTime() const;
-  Result<Timestamp> EndTime() const;
+  [[nodiscard]] Result<Timestamp> StartTime() const;
+  [[nodiscard]] Result<Timestamp> EndTime() const;
 
   /// Total time covered by presence intervals (excludes gaps).
   Duration TotalPresence() const;
@@ -58,7 +57,7 @@ class Trace {
   /// The sub-sequence [begin, end) as a new trace. InvalidArgument when
   /// the range is empty or out of bounds (callers decoding untrusted
   /// data rely on this being a checked error, never a precondition).
-  Result<Trace> Slice(std::size_t begin, std::size_t end) const;
+  [[nodiscard]] Result<Trace> Slice(std::size_t begin, std::size_t end) const;
 
   /// \brief Intrinsic validity (Def. 3.2 well-formedness):
   ///  - non-empty, all cell ids valid;
@@ -68,13 +67,13 @@ class Trace {
   ///  - the event-based property: consecutive intervals must differ in
   ///    cell or in annotations (otherwise they describe a single event
   ///    and should be one tuple).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// \brief Consistency against an accessibility NRG: every transition
   /// between different cells must follow a directed accessibility edge,
   /// and when a tuple names its transition boundary, an edge with that
   /// boundary must exist between the two cells.
-  Status ValidateAgainstGraph(const indoor::Nrg& graph) const;
+  [[nodiscard]] Status ValidateAgainstGraph(const indoor::Nrg& graph) const;
 
   /// Multi-line rendering in the paper's notation.
   std::string ToString() const;
@@ -85,4 +84,3 @@ class Trace {
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_TRACE_H_

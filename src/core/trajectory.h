@@ -1,5 +1,4 @@
-#ifndef SITM_CORE_TRAJECTORY_H_
-#define SITM_CORE_TRAJECTORY_H_
+#pragma once
 
 #include <string>
 
@@ -40,7 +39,7 @@ class SemanticTrajectory {
   /// Def. 3.1 well-formedness: valid ids, valid trace, and a *non-empty*
   /// annotation set ("The second element of the couple in Def. 3.1 is a
   /// non-empty set of semantic annotations").
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// \brief Extracts the semantic subtrajectory over interval indices
   /// [begin, end) with its own annotation set (Def. 3.3).
@@ -51,7 +50,7 @@ class SemanticTrajectory {
   /// change the parent's annotations (contrary to CONSTAnT, the paper
   /// allows either). The result carries the same trajectory and object
   /// ids, marking its provenance.
-  Result<SemanticTrajectory> Subtrajectory(std::size_t begin, std::size_t end,
+  [[nodiscard]] Result<SemanticTrajectory> Subtrajectory(std::size_t begin, std::size_t end,
                                            AnnotationSet annotations) const;
 
   /// True iff `other` could be a subtrajectory of this trajectory: same
@@ -68,11 +67,11 @@ class SemanticTrajectory {
   /// This realizes the paper's room006 example: the presence interval is
   /// split when the visitor's goal changes while staying in the cell.
   /// Fails unless start <= at and at + 1s <= end.
-  Status SplitIntervalAt(std::size_t index, Timestamp at,
+  [[nodiscard]] Status SplitIntervalAt(std::size_t index, Timestamp at,
                          AnnotationSet annotations_after);
 
   /// Replaces the per-stay annotations of one interval.
-  Status AnnotateInterval(std::size_t index, AnnotationSet annotations);
+  [[nodiscard]] Status AnnotateInterval(std::size_t index, AnnotationSet annotations);
 
   /// Human-readable rendering.
   std::string ToString() const;
@@ -86,4 +85,3 @@ class SemanticTrajectory {
 
 }  // namespace sitm::core
 
-#endif  // SITM_CORE_TRAJECTORY_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_GEOM_BOX_H_
-#define SITM_GEOM_BOX_H_
+#pragma once
 
 #include <algorithm>
 #include <limits>
@@ -62,4 +61,3 @@ struct Box {
 
 }  // namespace sitm::geom
 
-#endif  // SITM_GEOM_BOX_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_GEOM_COVERAGE_H_
-#define SITM_GEOM_COVERAGE_H_
+#pragma once
 
 #include <vector>
 
@@ -31,10 +30,9 @@ struct CoverageReport {
 /// audit: a seeded Monte-Carlo estimate gives the coverage ratio with
 /// standard error ~ 1/(2*sqrt(samples)) and is deterministic for a fixed
 /// seed. Fails if the parent is invalid or `samples` < 1.
-Result<CoverageReport> EstimateCoverage(const Polygon& parent,
+[[nodiscard]] Result<CoverageReport> EstimateCoverage(const Polygon& parent,
                                         const std::vector<Polygon>& children,
                                         int samples, Rng* rng);
 
 }  // namespace sitm::geom
 
-#endif  // SITM_GEOM_COVERAGE_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_GEOM_GRID_INDEX_H_
-#define SITM_GEOM_GRID_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,12 +53,12 @@ class GridIndex {
   /// Builds an index over `polygons` with an auto-tuned resolution
   /// (see AutoResolution). The entries keep their vector index as
   /// identifier. Fails on empty input or invalid polygons.
-  static Result<GridIndex> Build(std::vector<Polygon> polygons);
+  [[nodiscard]] static Result<GridIndex> Build(std::vector<Polygon> polygons);
 
   /// Builds an index with an explicit `resolution` x `resolution` grid
   /// covering the polygons' joint bounding box. Fails on empty input,
   /// invalid polygons, or resolution < 1.
-  static Result<GridIndex> Build(std::vector<Polygon> polygons,
+  [[nodiscard]] static Result<GridIndex> Build(std::vector<Polygon> polygons,
                                  int resolution);
 
   /// Grid cells per axis the auto-tuned Build would pick for
@@ -78,7 +77,7 @@ class GridIndex {
   void Locate(Point p, std::vector<std::size_t>* hits) const;
 
   /// Index of the first polygon containing p, or NotFound.
-  Result<std::size_t> LocateFirst(Point p) const;
+  [[nodiscard]] Result<std::size_t> LocateFirst(Point p) const;
 
   /// Candidate set for `box`, ascending and duplicate-free: a superset
   /// of the polygons whose closed region intersects `box`, and a subset
@@ -146,4 +145,3 @@ class GridIndex {
 
 }  // namespace sitm::geom
 
-#endif  // SITM_GEOM_GRID_INDEX_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_GEOM_POINT_H_
-#define SITM_GEOM_POINT_H_
+#pragma once
 
 #include <cmath>
 #include <ostream>
@@ -73,4 +72,3 @@ inline std::ostream& operator<<(std::ostream& os, Point p) {
 
 }  // namespace sitm::geom
 
-#endif  // SITM_GEOM_POINT_H_

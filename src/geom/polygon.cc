@@ -115,6 +115,19 @@ Status Polygon::Validate() const {
     return Status::InvalidArgument("polygon needs at least 3 vertices, got " +
                                    std::to_string(vertices_.size()));
   }
+  // Non-finite coordinates would sail through every later check (NaN
+  // fails all comparisons, so `Area() <= kEpsilon` is false for a NaN
+  // area) and reach float->int casts in GridIndex::Build — undefined
+  // behavior under -fsanitize=float-cast-overflow. Reject them here,
+  // the validation choke point every geometry consumer goes through.
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& p = vertices_[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidArgument(
+          "polygon vertex " + std::to_string(i) +
+          " has a non-finite coordinate");
+    }
+  }
   for (std::size_t i = 0; i < vertices_.size(); ++i) {
     const Point& p = vertices_[i];
     const Point& q = vertices_[(i + 1) % vertices_.size()];
@@ -123,8 +136,20 @@ Status Polygon::Validate() const {
                                      std::to_string(i));
     }
   }
-  if (Area() <= kEpsilon) {
+  const double area = Area();
+  if (area <= kEpsilon) {
     return Status::InvalidArgument("polygon is degenerate (zero area)");
+  }
+  // Finite vertices can still overflow the shoelace products or the
+  // bounding-box extent (vertices near ±DBL_MAX); every downstream grid
+  // computation divides by or scales with these, so overflow here means
+  // NaN cell coordinates later.
+  const Box box = bounds();
+  if (!std::isfinite(area) || !std::isfinite(box.width()) ||
+      !std::isfinite(box.height())) {
+    return Status::InvalidArgument(
+        "polygon coordinates overflow double precision (area or extent "
+        "is non-finite)");
   }
   if (!IsSimple()) {
     return Status::InvalidArgument("polygon is self-intersecting");

@@ -1,5 +1,4 @@
-#ifndef SITM_GEOM_POLYGON_H_
-#define SITM_GEOM_POLYGON_H_
+#pragma once
 
 #include <vector>
 
@@ -38,7 +37,7 @@ class Polygon {
   /// Validating constructor: requires >= 3 vertices, non-degenerate
   /// (nonzero area) and simple (no self-intersection); normalizes
   /// orientation to counter-clockwise.
-  static Result<Polygon> MakeValid(std::vector<Point> vertices);
+  [[nodiscard]] static Result<Polygon> MakeValid(std::vector<Point> vertices);
 
   const std::vector<Point>& vertices() const { return vertices_; }
   std::size_t size() const { return vertices_.size(); }
@@ -79,7 +78,7 @@ class Polygon {
   bool IsSimple() const;
 
   /// OK iff the polygon has >= 3 vertices, nonzero area, and is simple.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Classifies p as inside, on the boundary of, or outside the polygon
   /// (crossing-number test with explicit boundary detection).
@@ -94,7 +93,7 @@ class Polygon {
   /// midpoint of the first crossing span is interior for any simple
   /// polygon, including non-convex ones whose centroid falls outside.
   /// Fails only for degenerate (zero-area) input.
-  Result<Point> InteriorPoint() const;
+  [[nodiscard]] Result<Point> InteriorPoint() const;
 
   /// The polygon translated by (dx, dy).
   Polygon Translated(double dx, double dy) const;
@@ -108,4 +107,3 @@ class Polygon {
 
 }  // namespace sitm::geom
 
-#endif  // SITM_GEOM_POLYGON_H_

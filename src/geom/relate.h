@@ -1,5 +1,4 @@
-#ifndef SITM_GEOM_RELATE_H_
-#define SITM_GEOM_RELATE_H_
+#pragma once
 
 #include "base/result.h"
 #include "geom/polygon.h"
@@ -43,14 +42,13 @@ struct RelateEvidence {
 /// boundary threads through tangent vertices only — a degenerate
 /// configuration indoor floor plans do not produce, and the documented
 /// limit of this sampled evidence.
-Result<RelateEvidence> Relate(const Polygon& a, const Polygon& b);
+[[nodiscard]] Result<RelateEvidence> Relate(const Polygon& a, const Polygon& b);
 
 /// True iff the closed regions share at least one point.
-Result<bool> Intersects(const Polygon& a, const Polygon& b);
+[[nodiscard]] Result<bool> Intersects(const Polygon& a, const Polygon& b);
 
 /// True iff A contains B (B ⊆ closure of A), tangentially or not.
-Result<bool> ContainsRegion(const Polygon& a, const Polygon& b);
+[[nodiscard]] Result<bool> ContainsRegion(const Polygon& a, const Polygon& b);
 
 }  // namespace sitm::geom
 
-#endif  // SITM_GEOM_RELATE_H_

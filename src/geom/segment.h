@@ -1,5 +1,4 @@
-#ifndef SITM_GEOM_SEGMENT_H_
-#define SITM_GEOM_SEGMENT_H_
+#pragma once
 
 #include "geom/box.h"
 #include "geom/point.h"
@@ -55,4 +54,3 @@ double DistanceSquaredToSegment(Point p, const Segment& s);
 
 }  // namespace sitm::geom
 
-#endif  // SITM_GEOM_SEGMENT_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_BOUNDARY_H_
-#define SITM_INDOOR_BOUNDARY_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -50,4 +49,3 @@ struct CellBoundary {
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_BOUNDARY_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_CELL_H_
-#define SITM_INDOOR_CELL_H_
+#pragma once
 
 #include <map>
 #include <optional>
@@ -84,7 +83,7 @@ class CellSpace {
     attributes_[std::move(key)] = std::move(value);
   }
   /// The attribute value, or NotFound.
-  Result<std::string> Attribute(const std::string& key) const {
+  [[nodiscard]] Result<std::string> Attribute(const std::string& key) const {
     auto it = attributes_.find(key);
     if (it == attributes_.end()) {
       return Status::NotFound("cell '" + name_ + "' has no attribute '" +
@@ -112,4 +111,3 @@ class CellSpace {
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_CELL_H_

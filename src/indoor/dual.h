@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_DUAL_H_
-#define SITM_INDOOR_DUAL_H_
+#pragma once
 
 #include <vector>
 
@@ -30,7 +29,7 @@ struct DualDeriveOptions {
 
 /// \brief Total length of the shared (collinear-overlapping) boundary
 /// between two valid polygons.
-Result<double> SharedBoundaryLength(const geom::Polygon& a,
+[[nodiscard]] Result<double> SharedBoundaryLength(const geom::Polygon& a,
                                     const geom::Polygon& b);
 
 /// \brief Derives a floor's Node-Relation Graph from cell geometry: the
@@ -45,10 +44,9 @@ Result<double> SharedBoundaryLength(const geom::Polygon& a,
 /// says so). All cells must carry valid geometry and be pairwise
 /// non-overlapping (same-layer cells are disjoint or meet); violations
 /// fail with FailedPrecondition.
-Result<Nrg> DeriveFloorNrg(const std::vector<CellSpace>& cells,
+[[nodiscard]] Result<Nrg> DeriveFloorNrg(const std::vector<CellSpace>& cells,
                            const std::vector<DoorPlacement>& doors,
                            const DualDeriveOptions& options = {});
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_DUAL_H_

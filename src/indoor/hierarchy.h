@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_HIERARCHY_H_
-#define SITM_INDOOR_HIERARCHY_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -52,24 +51,24 @@ class LayerHierarchy {
   ///    of two disjoint parents).
   /// Parents of top-layer cells and children counts are unconstrained
   /// (the full-coverage hypothesis is *not* assumed; see CoverageAudit).
-  static Result<LayerHierarchy> Build(const MultiLayerGraph* graph,
+  [[nodiscard]] static Result<LayerHierarchy> Build(const MultiLayerGraph* graph,
                                       std::vector<LayerId> top_to_bottom);
 
   /// Number of levels k.
   int depth() const { return static_cast<int>(levels_.size()); }
 
   /// The layer id at `level` (0 = top).
-  Result<LayerId> LayerAt(int level) const;
+  [[nodiscard]] Result<LayerId> LayerAt(int level) const;
 
   /// The level index of `layer`, or NotFound if outside the hierarchy.
-  Result<int> LevelOf(LayerId layer) const;
+  [[nodiscard]] Result<int> LevelOf(LayerId layer) const;
 
   /// The level index of the layer owning `cell`.
-  Result<int> LevelOfCell(CellId cell) const;
+  [[nodiscard]] Result<int> LevelOfCell(CellId cell) const;
 
   /// The parent cell (in the layer directly above), or NotFound for
   /// top-layer cells and cells with no recorded parent.
-  Result<CellId> Parent(CellId cell) const;
+  [[nodiscard]] Result<CellId> Parent(CellId cell) const;
 
   /// The child cells in the layer directly below (possibly empty).
   std::vector<CellId> Children(CellId cell) const;
@@ -84,7 +83,7 @@ class LayerHierarchy {
   /// at or above the cell's level). RollUp(cell, own level) is the
   /// identity. This is the paper's location inference "at all levels of
   /// granularity above the detection data level".
-  Result<CellId> RollUp(CellId cell, int target_level) const;
+  [[nodiscard]] Result<CellId> RollUp(CellId cell, int target_level) const;
 
   /// True iff `ancestor` is a (transitive) ancestor of `cell`.
   bool IsAncestor(CellId ancestor, CellId cell) const;
@@ -93,16 +92,16 @@ class LayerHierarchy {
   /// cells live under different roots. Useful as a semantic distance:
   /// cells meeting only at the "Building" level are farther apart than
   /// cells sharing a "Room".
-  Result<CellId> LowestCommonAncestor(CellId a, CellId b) const;
+  [[nodiscard]] Result<CellId> LowestCommonAncestor(CellId a, CellId b) const;
 
   /// Number of levels between the cells and their LCA, summed
   /// (a tree distance usable as a dissimilarity).
-  Result<int> LcaDistance(CellId a, CellId b) const;
+  [[nodiscard]] Result<int> LcaDistance(CellId a, CellId b) const;
 
   /// \brief Audits the full-coverage hypothesis for `cell` (§4.2,
   /// Fig. 4): estimates how much of the cell's region its children
   /// cover. Requires geometry on the cell and its children.
-  Result<geom::CoverageReport> CoverageAudit(CellId cell, int samples,
+  [[nodiscard]] Result<geom::CoverageReport> CoverageAudit(CellId cell, int samples,
                                              Rng* rng) const;
 
   const MultiLayerGraph& graph() const { return *graph_; }
@@ -119,4 +118,3 @@ class LayerHierarchy {
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_HIERARCHY_H_

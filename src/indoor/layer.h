@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_LAYER_H_
-#define SITM_INDOOR_LAYER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -45,4 +44,3 @@ class SpaceLayer {
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_LAYER_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_MULTILAYER_H_
-#define SITM_INDOOR_MULTILAYER_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -39,7 +38,7 @@ class MultiLayerGraph {
   /// Adds a layer (with its cells already inserted, or to be inserted
   /// later through mutable_layer()). Fails on duplicate layer id or if
   /// any of its cell ids already exists in another layer.
-  Status AddLayer(SpaceLayer layer);
+  [[nodiscard]] Status AddLayer(SpaceLayer layer);
 
   /// Number of layers.
   std::size_t num_layers() const { return layers_.size(); }
@@ -48,15 +47,15 @@ class MultiLayerGraph {
   const std::vector<SpaceLayer>& layers() const { return layers_; }
 
   /// The layer with the given id, or NotFound.
-  Result<const SpaceLayer*> FindLayer(LayerId id) const;
-  Result<SpaceLayer*> MutableLayer(LayerId id);
+  [[nodiscard]] Result<const SpaceLayer*> FindLayer(LayerId id) const;
+  [[nodiscard]] Result<SpaceLayer*> MutableLayer(LayerId id);
 
   /// The layer that owns the given cell, or NotFound. (Re-indexes lazily:
   /// cells may be added to layers after AddLayer.)
-  Result<LayerId> LayerOf(CellId cell) const;
+  [[nodiscard]] Result<LayerId> LayerOf(CellId cell) const;
 
   /// The cell with the given id across all layers, or NotFound.
-  Result<const CellSpace*> FindCell(CellId cell) const;
+  [[nodiscard]] Result<const CellSpace*> FindCell(CellId cell) const;
 
   /// Adds a directed joint edge `from -> to` with the given relation.
   /// Fails if either cell is missing, both are in the same layer, or the
@@ -65,7 +64,7 @@ class MultiLayerGraph {
   /// `to -> from` with the inverse relation is added too, so symmetric
   /// relations (overlap, equal) appear in both directions and
   /// contains/covers pairs stay coherent.
-  Status AddJointEdge(CellId from, CellId to, qsr::TopologicalRelation r,
+  [[nodiscard]] Status AddJointEdge(CellId from, CellId to, qsr::TopologicalRelation r,
                       bool add_converse = true);
 
   /// All joint edges, in insertion order.
@@ -86,12 +85,12 @@ class MultiLayerGraph {
   /// (cells lacking geometry, or on different floors when both declare
   /// floor levels, are skipped) and adds a joint edge for every pair
   /// whose interiors intersect. Returns the number of joint edges added.
-  Result<int> DeriveJointEdgesFromGeometry(LayerId layer_a, LayerId layer_b);
+  [[nodiscard]] Result<int> DeriveJointEdgesFromGeometry(LayerId layer_a, LayerId layer_b);
 
   /// \brief Structural validation of the whole multigraph: per-layer NRG
   /// validity, cell uniqueness across layers, joint edges inter-layer
   /// with valid relations.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   void ReindexCells() const;
@@ -106,4 +105,3 @@ class MultiLayerGraph {
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_MULTILAYER_H_

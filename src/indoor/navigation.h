@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_NAVIGATION_H_
-#define SITM_INDOOR_NAVIGATION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -53,14 +52,13 @@ struct Route {
 /// \brief Least-cost route over the accessibility NRG (Dijkstra with
 /// per-boundary costs). Fails with NotFound if no route exists under
 /// the given costs (e.g. stairs-only connections with avoid_stairs).
-Result<Route> PlanRoute(const Nrg& graph, CellId from, CellId to,
+[[nodiscard]] Result<Route> PlanRoute(const Nrg& graph, CellId from, CellId to,
                         const RouteCosts& costs = {});
 
 /// \brief Renders a route as human-readable directions
 /// ("start in X; through door d into Y; ..."), resolving names from the
 /// graph.
-Result<std::string> DescribeRoute(const Nrg& graph, const Route& route);
+[[nodiscard]] Result<std::string> DescribeRoute(const Nrg& graph, const Route& route);
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_NAVIGATION_H_

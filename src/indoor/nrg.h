@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_NRG_H_
-#define SITM_INDOOR_NRG_H_
+#pragma once
 
 #include <string_view>
 #include <unordered_map>
@@ -56,19 +55,19 @@ class Nrg {
   Nrg() = default;
 
   /// Adds a cell. Fails if the id is invalid or already present.
-  Status AddCell(CellSpace cell);
+  [[nodiscard]] Status AddCell(CellSpace cell);
 
   /// Registers a boundary object so edges can reference it. Fails on
   /// duplicate id.
-  Status AddBoundary(CellBoundary boundary);
+  [[nodiscard]] Status AddBoundary(CellBoundary boundary);
 
   /// Adds a directed edge. Fails if either endpoint is missing, if the
   /// edge is a self-loop, or if a referenced boundary id is unregistered.
-  Status AddEdge(CellId from, CellId to, EdgeType type,
+  [[nodiscard]] Status AddEdge(CellId from, CellId to, EdgeType type,
                  BoundaryId boundary = BoundaryId::Invalid());
 
   /// Adds the two directed edges (from,to) and (to,from).
-  Status AddSymmetricEdge(CellId a, CellId b, EdgeType type,
+  [[nodiscard]] Status AddSymmetricEdge(CellId a, CellId b, EdgeType type,
                           BoundaryId boundary = BoundaryId::Invalid());
 
   /// Number of cells / edges.
@@ -83,12 +82,12 @@ class Nrg {
   bool HasCell(CellId id) const { return cell_index_.count(id) > 0; }
 
   /// The cell with the given id, or NotFound.
-  Result<const CellSpace*> FindCell(CellId id) const;
+  [[nodiscard]] Result<const CellSpace*> FindCell(CellId id) const;
   /// Mutable lookup (for annotating cells after construction).
-  Result<CellSpace*> MutableCell(CellId id);
+  [[nodiscard]] Result<CellSpace*> MutableCell(CellId id);
 
   /// The boundary with the given id, or NotFound.
-  Result<const CellBoundary*> FindBoundary(BoundaryId id) const;
+  [[nodiscard]] Result<const CellBoundary*> FindBoundary(BoundaryId id) const;
 
   /// Outgoing edges of `from` with the given type.
   std::vector<NrgEdge> OutEdges(CellId from, EdgeType type) const;
@@ -111,7 +110,7 @@ class Nrg {
   /// \brief A shortest directed path (by hop count) from `from` to `to`,
   /// as the cell sequence including both endpoints. NotFound if
   /// unreachable.
-  Result<std::vector<CellId>> ShortestPath(CellId from, CellId to,
+  [[nodiscard]] Result<std::vector<CellId>> ShortestPath(CellId from, CellId to,
                                            EdgeType type) const;
 
   /// Number of distinct shortest paths from `from` to `to` (0 if
@@ -127,13 +126,13 @@ class Nrg {
   /// intermediate zones iff a unique chain connects them. Fails with
   /// NotFound if unreachable and FailedPrecondition if several distinct
   /// shortest paths exist (ambiguous — no certain inference).
-  Result<std::vector<CellId>> UniqueShortestPathBetween(CellId from, CellId to,
+  [[nodiscard]] Result<std::vector<CellId>> UniqueShortestPathBetween(CellId from, CellId to,
                                                         EdgeType type) const;
 
   /// OK iff every edge endpoint exists, no self-loops, and every
   /// adjacency/connectivity edge has its symmetric counterpart (those
   /// relations are symmetric by definition, §3.2).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   std::vector<CellSpace> cells_;
@@ -147,4 +146,3 @@ class Nrg {
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_NRG_H_

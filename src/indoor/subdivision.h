@@ -1,5 +1,4 @@
-#ifndef SITM_INDOOR_SUBDIVISION_H_
-#define SITM_INDOOR_SUBDIVISION_H_
+#pragma once
 
 #include <vector>
 
@@ -18,7 +17,7 @@ namespace sitm::indoor {
 /// parent's region (coveredBy/insideOf/equal are accepted; anything else
 /// fails) and must not overlap each other. Returns the number of joint
 /// edges added.
-Result<int> SubdivideCell(MultiLayerGraph* graph, CellId cell,
+[[nodiscard]] Result<int> SubdivideCell(MultiLayerGraph* graph, CellId cell,
                           LayerId target_layer,
                           std::vector<CellSpace> sub_cells);
 
@@ -29,9 +28,8 @@ Result<int> SubdivideCell(MultiLayerGraph* graph, CellId cell,
 ///
 /// The replica gets `replica_id` and copies the original's name, class,
 /// attributes, floor and geometry. Returns the replica's id.
-Result<CellId> ReplicateCell(MultiLayerGraph* graph, CellId cell,
+[[nodiscard]] Result<CellId> ReplicateCell(MultiLayerGraph* graph, CellId cell,
                              LayerId target_layer, CellId replica_id);
 
 }  // namespace sitm::indoor
 
-#endif  // SITM_INDOOR_SUBDIVISION_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_IO_CSV_H_
-#define SITM_IO_CSV_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -15,7 +14,7 @@ struct CsvTable {
   std::vector<std::vector<std::string>> rows;
 
   /// The column index of `name`, or NotFound.
-  Result<std::size_t> ColumnIndex(std::string_view name) const;
+  [[nodiscard]] Result<std::size_t> ColumnIndex(std::string_view name) const;
 };
 
 /// \brief Parses RFC-4180-style CSV text: comma separation, optional
@@ -27,7 +26,7 @@ struct CsvTable {
 /// ending inside a quoted field, a stray '"' inside an unquoted field,
 /// and data after a closing quote all return Corruption, and a final
 /// record without a trailing newline parses like any other.
-Result<CsvTable> ParseCsv(std::string_view text);
+[[nodiscard]] Result<CsvTable> ParseCsv(std::string_view text);
 
 /// Serializes a table back to CSV (quoting fields that need it).
 std::string WriteCsv(const CsvTable& table);
@@ -36,9 +35,8 @@ std::string WriteCsv(const CsvTable& table);
 std::string CsvQuote(std::string_view field);
 
 /// Reads an entire file into a string / writes a string to a file.
-Result<std::string> ReadFile(const std::string& path);
-Status WriteFile(const std::string& path, std::string_view content);
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
+[[nodiscard]] Status WriteFile(const std::string& path, std::string_view content);
 
 }  // namespace sitm::io
 
-#endif  // SITM_IO_CSV_H_

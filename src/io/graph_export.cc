@@ -1,5 +1,7 @@
 #include "io/graph_export.h"
 
+#include <cassert>
+
 namespace sitm::io {
 namespace {
 
@@ -39,13 +41,30 @@ core::AnnotationKind KindFromName(const std::string& name) {
   return core::AnnotationKind::kOther;
 }
 
+// Set/Append on a JsonValue this file just created as an Object/Array
+// can only fail on a kind mismatch — a local programming error, not a
+// runtime condition. Consume the Status by asserting on it instead of
+// (void)-silencing it (scripts/lint_sitm.py forbids the latter: a
+// silenced Status is indistinguishable from a forgotten one).
+void MustSet(JsonValue& object, std::string key, JsonValue value) {
+  const Status status = object.Set(std::move(key), std::move(value));
+  assert(status.ok());
+  static_cast<void>(status);
+}
+
+void MustAppend(JsonValue& array, JsonValue value) {
+  const Status status = array.Append(std::move(value));
+  assert(status.ok());
+  static_cast<void>(status);
+}
+
 JsonValue AnnotationsToJson(const core::AnnotationSet& set) {
   JsonValue arr{JsonValue::Array{}};
   for (const core::SemanticAnnotation& a : set.annotations()) {
     JsonValue obj{JsonValue::Object{}};
-    (void)obj.Set("kind", std::string(core::AnnotationKindName(a.kind)));
-    (void)obj.Set("value", a.value);
-    (void)arr.Append(std::move(obj));
+    MustSet(obj, "kind", std::string(core::AnnotationKindName(a.kind)));
+    MustSet(obj, "value", a.value);
+    MustAppend(arr, std::move(obj));
   }
   return arr;
 }
@@ -102,56 +121,56 @@ JsonValue MultiLayerGraphToJson(const indoor::MultiLayerGraph& graph) {
   JsonValue layers{JsonValue::Array{}};
   for (const indoor::SpaceLayer& layer : graph.layers()) {
     JsonValue layer_obj{JsonValue::Object{}};
-    (void)layer_obj.Set("id", layer.id().value());
-    (void)layer_obj.Set("name", layer.name());
-    (void)layer_obj.Set("kind",
+    MustSet(layer_obj, "id", layer.id().value());
+    MustSet(layer_obj, "name", layer.name());
+    MustSet(layer_obj, "kind",
                         std::string(indoor::LayerKindName(layer.kind())));
     JsonValue cells{JsonValue::Array{}};
     for (const indoor::CellSpace& cell : layer.graph().cells()) {
       JsonValue cell_obj{JsonValue::Object{}};
-      (void)cell_obj.Set("id", cell.id().value());
-      (void)cell_obj.Set("name", cell.name());
-      (void)cell_obj.Set(
+      MustSet(cell_obj, "id", cell.id().value());
+      MustSet(cell_obj, "name", cell.name());
+      MustSet(cell_obj, 
           "class", std::string(indoor::CellClassName(cell.cell_class())));
       if (cell.floor_level()) {
-        (void)cell_obj.Set("floor", *cell.floor_level());
+        MustSet(cell_obj, "floor", *cell.floor_level());
       }
       if (!cell.attributes().empty()) {
         JsonValue attrs{JsonValue::Object{}};
         for (const auto& [k, v] : cell.attributes()) {
-          (void)attrs.Set(k, v);
+          MustSet(attrs, k, v);
         }
-        (void)cell_obj.Set("attributes", std::move(attrs));
+        MustSet(cell_obj, "attributes", std::move(attrs));
       }
-      (void)cells.Append(std::move(cell_obj));
+      MustAppend(cells, std::move(cell_obj));
     }
-    (void)layer_obj.Set("cells", std::move(cells));
+    MustSet(layer_obj, "cells", std::move(cells));
     JsonValue edges{JsonValue::Array{}};
     for (const indoor::NrgEdge& e : layer.graph().edges()) {
       JsonValue edge_obj{JsonValue::Object{}};
-      (void)edge_obj.Set("from", e.from.value());
-      (void)edge_obj.Set("to", e.to.value());
-      (void)edge_obj.Set("type",
+      MustSet(edge_obj, "from", e.from.value());
+      MustSet(edge_obj, "to", e.to.value());
+      MustSet(edge_obj, "type",
                          std::string(indoor::EdgeTypeName(e.type)));
       if (e.boundary.valid()) {
-        (void)edge_obj.Set("boundary", e.boundary.value());
+        MustSet(edge_obj, "boundary", e.boundary.value());
       }
-      (void)edges.Append(std::move(edge_obj));
+      MustAppend(edges, std::move(edge_obj));
     }
-    (void)layer_obj.Set("edges", std::move(edges));
-    (void)layers.Append(std::move(layer_obj));
+    MustSet(layer_obj, "edges", std::move(edges));
+    MustAppend(layers, std::move(layer_obj));
   }
-  (void)root.Set("layers", std::move(layers));
+  MustSet(root, "layers", std::move(layers));
   JsonValue joints{JsonValue::Array{}};
   for (const indoor::JointEdge& e : graph.joint_edges()) {
     JsonValue joint_obj{JsonValue::Object{}};
-    (void)joint_obj.Set("from", e.from.value());
-    (void)joint_obj.Set("to", e.to.value());
-    (void)joint_obj.Set(
+    MustSet(joint_obj, "from", e.from.value());
+    MustSet(joint_obj, "to", e.to.value());
+    MustSet(joint_obj, 
         "relation", std::string(qsr::TopologicalRelationName(e.relation)));
-    (void)joints.Append(std::move(joint_obj));
+    MustAppend(joints, std::move(joint_obj));
   }
-  (void)root.Set("jointEdges", std::move(joints));
+  MustSet(root, "jointEdges", std::move(joints));
   return root;
 }
 
@@ -294,25 +313,25 @@ Result<indoor::MultiLayerGraph> MultiLayerGraphFromJson(
 
 JsonValue TrajectoryToJson(const core::SemanticTrajectory& trajectory) {
   JsonValue root{JsonValue::Object{}};
-  (void)root.Set("id", trajectory.id().value());
-  (void)root.Set("object", trajectory.object().value());
-  (void)root.Set("annotations", AnnotationsToJson(trajectory.annotations()));
+  MustSet(root, "id", trajectory.id().value());
+  MustSet(root, "object", trajectory.object().value());
+  MustSet(root, "annotations", AnnotationsToJson(trajectory.annotations()));
   JsonValue trace{JsonValue::Array{}};
   for (const core::PresenceInterval& p : trajectory.trace().intervals()) {
     JsonValue tuple{JsonValue::Object{}};
     if (p.transition.valid()) {
-      (void)tuple.Set("transition", p.transition.value());
+      MustSet(tuple, "transition", p.transition.value());
     }
-    (void)tuple.Set("cell", p.cell.value());
-    (void)tuple.Set("start", p.start().ToString());
-    (void)tuple.Set("end", p.end().ToString());
+    MustSet(tuple, "cell", p.cell.value());
+    MustSet(tuple, "start", p.start().ToString());
+    MustSet(tuple, "end", p.end().ToString());
     if (!p.annotations.empty()) {
-      (void)tuple.Set("annotations", AnnotationsToJson(p.annotations));
+      MustSet(tuple, "annotations", AnnotationsToJson(p.annotations));
     }
-    if (p.inferred) (void)tuple.Set("inferred", true);
-    (void)trace.Append(std::move(tuple));
+    if (p.inferred) MustSet(tuple, "inferred", true);
+    MustAppend(trace, std::move(tuple));
   }
-  (void)root.Set("trace", std::move(trace));
+  MustSet(root, "trace", std::move(trace));
   return root;
 }
 

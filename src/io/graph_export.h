@@ -1,5 +1,4 @@
-#ifndef SITM_IO_GRAPH_EXPORT_H_
-#define SITM_IO_GRAPH_EXPORT_H_
+#pragma once
 
 #include <string>
 
@@ -27,7 +26,7 @@ JsonValue MultiLayerGraphToJson(const indoor::MultiLayerGraph& graph);
 /// with boundaries, joint edges). Geometry is not part of the JSON
 /// schema and is not restored. The result is validated before being
 /// returned.
-Result<indoor::MultiLayerGraph> MultiLayerGraphFromJson(
+[[nodiscard]] Result<indoor::MultiLayerGraph> MultiLayerGraphFromJson(
     const JsonValue& json);
 
 /// \brief JSON export of a semantic trajectory in the paper's tuple
@@ -36,8 +35,7 @@ JsonValue TrajectoryToJson(const core::SemanticTrajectory& trajectory);
 
 /// \brief Parses a trajectory back from TrajectoryToJson output
 /// (round-trip support for pipelines that stage results on disk).
-Result<core::SemanticTrajectory> TrajectoryFromJson(const JsonValue& json);
+[[nodiscard]] Result<core::SemanticTrajectory> TrajectoryFromJson(const JsonValue& json);
 
 }  // namespace sitm::io
 
-#endif  // SITM_IO_GRAPH_EXPORT_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_IO_INDOORGML_H_
-#define SITM_IO_INDOORGML_H_
+#pragma once
 
 #include <string>
 
@@ -25,4 +24,3 @@ std::string XmlEscape(std::string_view text);
 
 }  // namespace sitm::io
 
-#endif  // SITM_IO_INDOORGML_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_IO_JSON_H_
-#define SITM_IO_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -44,21 +43,21 @@ class JsonValue {
   bool is_object() const { return std::holds_alternative<Object>(value_); }
 
   /// Checked accessors.
-  Result<bool> AsBool() const;
-  Result<std::int64_t> AsInt() const;
-  Result<double> AsDouble() const;  ///< accepts ints too
-  Result<std::string> AsString() const;
-  Result<const Array*> AsArray() const;
-  Result<const Object*> AsObject() const;
+  [[nodiscard]] Result<bool> AsBool() const;
+  [[nodiscard]] Result<std::int64_t> AsInt() const;
+  [[nodiscard]] Result<double> AsDouble() const;  ///< accepts ints too
+  [[nodiscard]] Result<std::string> AsString() const;
+  [[nodiscard]] Result<const Array*> AsArray() const;
+  [[nodiscard]] Result<const Object*> AsObject() const;
 
   /// Object field lookup (first match), or NotFound.
-  Result<const JsonValue*> Get(std::string_view key) const;
+  [[nodiscard]] Result<const JsonValue*> Get(std::string_view key) const;
 
   /// Appends a field to an object value (no-op error if not an object).
-  Status Set(std::string key, JsonValue value);
+  [[nodiscard]] Status Set(std::string key, JsonValue value);
 
   /// Appends an element to an array value.
-  Status Append(JsonValue value);
+  [[nodiscard]] Status Append(JsonValue value);
 
   /// Serializes compactly ({"a":1,...}).
   std::string Dump() const;
@@ -67,7 +66,7 @@ class JsonValue {
   std::string Pretty() const;
 
   /// Parses a complete JSON document (trailing garbage is an error).
-  static Result<JsonValue> Parse(std::string_view text);
+  [[nodiscard]] static Result<JsonValue> Parse(std::string_view text);
 
  private:
   void DumpTo(std::string* out, int indent, int depth) const;
@@ -82,4 +81,3 @@ std::string JsonEscape(std::string_view s);
 
 }  // namespace sitm::io
 
-#endif  // SITM_IO_JSON_H_

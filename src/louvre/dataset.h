@@ -1,5 +1,4 @@
-#ifndef SITM_LOUVRE_DATASET_H_
-#define SITM_LOUVRE_DATASET_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -57,7 +56,7 @@ class VisitDataset {
   std::string ToCsv() const;
 
   /// Parses ToCsv output. Fails on malformed rows.
-  static Result<VisitDataset> FromCsv(const std::string& csv);
+  [[nodiscard]] static Result<VisitDataset> FromCsv(const std::string& csv);
 
  private:
   std::vector<ZoneDetection> detections_;
@@ -65,4 +64,3 @@ class VisitDataset {
 
 }  // namespace sitm::louvre
 
-#endif  // SITM_LOUVRE_DATASET_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_LOUVRE_MUSEUM_H_
-#define SITM_LOUVRE_MUSEUM_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -49,7 +48,7 @@ inline constexpr std::int64_t kZoneFig4B = 60854;  ///< Fig. 4 right zone
 class LouvreMap {
  public:
   /// Builds the full map. Deterministic: no randomness involved.
-  static Result<LouvreMap> Build();
+  [[nodiscard]] static Result<LouvreMap> Build();
 
   const indoor::MultiLayerGraph& graph() const { return graph_; }
   indoor::MultiLayerGraph& mutable_graph() { return graph_; }
@@ -64,7 +63,7 @@ class LouvreMap {
   /// Builds the validated 6-level layer hierarchy over the graph. The
   /// returned hierarchy references this map's graph; the map must
   /// outlive it.
-  Result<indoor::LayerHierarchy> BuildHierarchy() const;
+  [[nodiscard]] Result<indoor::LayerHierarchy> BuildHierarchy() const;
 
   /// All 52 zone ids.
   const std::vector<CellId>& zones() const { return zones_; }
@@ -88,7 +87,7 @@ class LouvreMap {
   }
 
   /// Display name of a cell ("Zone60887 – Temporary Exhibition", ...).
-  Result<std::string> CellName(CellId id) const;
+  [[nodiscard]] Result<std::string> CellName(CellId id) const;
 
  private:
   LouvreMap() = default;
@@ -109,4 +108,3 @@ class LouvreMap {
 
 }  // namespace sitm::louvre
 
-#endif  // SITM_LOUVRE_MUSEUM_H_

@@ -164,6 +164,10 @@ Result<VisitDataset> VisitSimulator::Generate() {
   }
 
   // --- Detections per visit: draw then adjust to the exact total.
+  // An empty population has no visits to size; the division below would
+  // be 0/0 (a UBSan float-divide-by-zero report under the sanitizer
+  // matrix), so return the empty dataset before computing the mean.
+  if (num_visits == 0) return VisitDataset{};
   const double mean_extra =
       static_cast<double>(options_.num_detections) / num_visits - 1.0;
   std::vector<int> sizes(static_cast<std::size_t>(num_visits));

@@ -1,5 +1,4 @@
-#ifndef SITM_LOUVRE_SIMULATOR_H_
-#define SITM_LOUVRE_SIMULATOR_H_
+#pragma once
 
 #include <vector>
 
@@ -94,7 +93,7 @@ class VisitSimulator {
 
   /// Runs the simulation. The dataset's detections are ordered by
   /// visitor then time.
-  Result<VisitDataset> Generate();
+  [[nodiscard]] Result<VisitDataset> Generate();
 
   /// Ground-truth counters of the last Generate() call.
   const SimulationSummary& summary() const { return summary_; }
@@ -107,4 +106,3 @@ class VisitSimulator {
 
 }  // namespace sitm::louvre
 
-#endif  // SITM_LOUVRE_SIMULATOR_H_

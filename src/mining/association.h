@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_ASSOCIATION_H_
-#define SITM_MINING_ASSOCIATION_H_
+#pragma once
 
 #include <vector>
 
@@ -38,17 +37,16 @@ struct AssociationOptions {
 /// multiplicity are the sequence miner's business, see patterns.h).
 /// Results are sorted by (support desc, size desc, cells).
 /// Fails if min_support == 0 or max_set_size == 0.
-Result<std::vector<FrequentCellSet>> MineFrequentCellSets(
+[[nodiscard]] Result<std::vector<FrequentCellSet>> MineFrequentCellSets(
     const std::vector<core::SemanticTrajectory>& visits,
     const AssociationOptions& options);
 
 /// \brief Derives association rules from the frequent sets (single-cell
 /// consequents, the classic presentation in [7]'s style), applying the
 /// confidence threshold. Sorted by (confidence desc, support desc).
-Result<std::vector<AssociationRule>> MineAssociationRules(
+[[nodiscard]] Result<std::vector<AssociationRule>> MineAssociationRules(
     const std::vector<core::SemanticTrajectory>& visits,
     const AssociationOptions& options);
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_ASSOCIATION_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_CHOROPLETH_H_
-#define SITM_MINING_CHOROPLETH_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -42,4 +41,3 @@ std::string RenderAsciiBars(const std::vector<ChoroplethBin>& bins,
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_CHOROPLETH_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_FLOOR_SWITCH_H_
-#define SITM_MINING_FLOOR_SWITCH_H_
+#pragma once
 
 #include <map>
 #include <vector>
@@ -27,11 +26,10 @@ struct FloorSwitchStats {
 /// \brief Projects each trajectory to `floor_level` of the hierarchy and
 /// aggregates floor-switching statistics. `top_k` bounds the reported
 /// frequent sequences.
-Result<FloorSwitchStats> AnalyzeFloorSwitching(
+[[nodiscard]] Result<FloorSwitchStats> AnalyzeFloorSwitching(
     const std::vector<core::SemanticTrajectory>& trajectories,
     const indoor::LayerHierarchy& hierarchy, int floor_level,
     std::size_t top_k = 10);
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_FLOOR_SWITCH_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_FLOW_H_
-#define SITM_MINING_FLOW_H_
+#pragma once
 
 #include <map>
 #include <utility>
@@ -58,4 +57,3 @@ class FlowMatrix {
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_FLOW_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_MARKOV_H_
-#define SITM_MINING_MARKOV_H_
+#pragma once
 
 #include <map>
 #include <vector>
@@ -26,7 +25,7 @@ class MarkovModel {
   /// trajectory, with additive (Laplace) smoothing weight `alpha`
   /// applied at query time over the observed successor sets.
   /// Fails if the trajectories contain no transitions at all.
-  static Result<MarkovModel> Fit(
+  [[nodiscard]] static Result<MarkovModel> Fit(
       const std::vector<core::SemanticTrajectory>& trajectories,
       double alpha = 0.5);
 
@@ -41,7 +40,7 @@ class MarkovModel {
 
   /// The most likely successor of `from`, or NotFound for sink/unknown
   /// states.
-  Result<CellId> PredictNext(CellId from) const;
+  [[nodiscard]] Result<CellId> PredictNext(CellId from) const;
 
   /// The top-k successors of `from` by probability (may return fewer).
   std::vector<std::pair<CellId, double>> TopSuccessors(CellId from,
@@ -62,7 +61,7 @@ class MarkovModel {
   /// Generates a synthetic walk of `length` cells starting at `start`
   /// (sampling smoothed transition probabilities). Stops early at sink
   /// states. Deterministic per rng seed.
-  Result<std::vector<CellId>> SampleWalk(CellId start, std::size_t length,
+  [[nodiscard]] Result<std::vector<CellId>> SampleWalk(CellId start, std::size_t length,
                                          Rng* rng) const;
 
  private:
@@ -80,4 +79,3 @@ class MarkovModel {
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_MARKOV_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_PATTERNS_H_
-#define SITM_MINING_PATTERNS_H_
+#pragma once
 
 #include <vector>
 
@@ -36,7 +35,7 @@ struct PatternOptions {
 ///
 /// Patterns are returned sorted by (support desc, length desc, cells).
 /// Fails if min_support == 0.
-Result<std::vector<SequentialPattern>> MinePatterns(
+[[nodiscard]] Result<std::vector<SequentialPattern>> MinePatterns(
     const std::vector<std::vector<CellId>>& sequences,
     const PatternOptions& options);
 
@@ -46,4 +45,3 @@ std::vector<CellId> CellSequenceOf(const core::SemanticTrajectory& trajectory);
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_PATTERNS_H_

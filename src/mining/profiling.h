@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_PROFILING_H_
-#define SITM_MINING_PROFILING_H_
+#pragma once
 
 #include <string_view>
 #include <vector>
@@ -62,10 +61,9 @@ struct ClusteringResult {
 /// Clusters n elements given their row-major n x n distance matrix.
 /// Deterministic for a fixed rng seed. Fails if k == 0, k > n, or the
 /// matrix size is not n*n.
-Result<ClusteringResult> KMedoids(const std::vector<double>& distance_matrix,
+[[nodiscard]] Result<ClusteringResult> KMedoids(const std::vector<double>& distance_matrix,
                                   std::size_t n, std::size_t k, Rng* rng,
                                   int max_iterations = 50);
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_PROFILING_H_

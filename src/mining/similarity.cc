@@ -225,6 +225,9 @@ std::vector<double> DistanceMatrix(
   }
 
   double* cells = matrix.data();
+  // Thread-safety: each block owns a disjoint (i, j) rectangle of
+  // `cells` (j > i, blocks partition the upper triangle), so raw
+  // pointer writes need no lock; `distance` must be re-entrant.
   ParallelFor(
       options.pool, blocks.size(),
       [&blocks, &trajectories, &distance, cells, n,

@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_SIMILARITY_H_
-#define SITM_MINING_SIMILARITY_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -130,4 +129,3 @@ std::vector<double> DistanceMatrix(
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_SIMILARITY_H_

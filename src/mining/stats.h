@@ -1,5 +1,4 @@
-#ifndef SITM_MINING_STATS_H_
-#define SITM_MINING_STATS_H_
+#pragma once
 
 #include <map>
 #include <vector>
@@ -51,4 +50,3 @@ std::map<CellId, Duration> DwellByCell(
 
 }  // namespace sitm::mining
 
-#endif  // SITM_MINING_STATS_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_QSR_ALLEN_COMPOSITION_H_
-#define SITM_QSR_ALLEN_COMPOSITION_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -72,4 +71,3 @@ AllenSet AllenCompose(AllenSet s1, AllenSet s2);
 
 }  // namespace sitm::qsr
 
-#endif  // SITM_QSR_ALLEN_COMPOSITION_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_QSR_INTERVAL_H_
-#define SITM_QSR_INTERVAL_H_
+#pragma once
 
 #include <ostream>
 #include <string_view>
@@ -21,7 +20,7 @@ class TimeInterval {
   TimeInterval() = default;
 
   /// Validating constructor; fails if start > end.
-  static Result<TimeInterval> Make(Timestamp start, Timestamp end);
+  [[nodiscard]] static Result<TimeInterval> Make(Timestamp start, Timestamp end);
 
   Timestamp start() const { return start_; }
   Timestamp end() const { return end_; }
@@ -112,4 +111,3 @@ std::ostream& operator<<(std::ostream& os, AllenRelation r);
 
 }  // namespace sitm::qsr
 
-#endif  // SITM_QSR_INTERVAL_H_

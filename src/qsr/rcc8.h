@@ -1,5 +1,4 @@
-#ifndef SITM_QSR_RCC8_H_
-#define SITM_QSR_RCC8_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -40,7 +39,7 @@ class RelationSet {
   int Count() const;
 
   /// If the set is a singleton, returns its element.
-  Result<TopologicalRelation> Single() const;
+  [[nodiscard]] Result<TopologicalRelation> Single() const;
 
   RelationSet With(TopologicalRelation r) const {
     return RelationSet(bits_ | Of(r).bits_);
@@ -95,10 +94,10 @@ class Rcc8Network {
   /// Intersects the constraint on (a, b) with `relations` (and (b, a)
   /// with the converse). Fails on bad indices or if the intersection is
   /// empty (direct contradiction).
-  Status Constrain(int a, int b, RelationSet relations);
+  [[nodiscard]] Status Constrain(int a, int b, RelationSet relations);
 
   /// Convenience for singleton constraints.
-  Status Constrain(int a, int b, TopologicalRelation r) {
+  [[nodiscard]] Status Constrain(int a, int b, TopologicalRelation r) {
     return Constrain(a, b, RelationSet::Of(r));
   }
 
@@ -111,7 +110,7 @@ class Rcc8Network {
   /// Returns an error (FailedPrecondition) iff a constraint becomes
   /// empty, i.e. the network is inconsistent. Path consistency is
   /// complete for deciding consistency of the RCC-8 base relations.
-  Status PropagatePathConsistency();
+  [[nodiscard]] Status PropagatePathConsistency();
 
   /// True iff every pair is down to a single relation.
   bool FullyDecided() const;
@@ -127,4 +126,3 @@ class Rcc8Network {
 
 }  // namespace sitm::qsr
 
-#endif  // SITM_QSR_RCC8_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_QSR_TOPOLOGY_H_
-#define SITM_QSR_TOPOLOGY_H_
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -44,7 +43,7 @@ std::string_view TopologicalRelationName(TopologicalRelation r);
 
 /// Parses a name produced by TopologicalRelationName (also accepts the
 /// RCC-8 codes "DC", "EC", "PO", "TPP", "NTPP", "TPPi", "NTPPi", "EQ").
-Result<TopologicalRelation> ParseTopologicalRelation(std::string_view name);
+[[nodiscard]] Result<TopologicalRelation> ParseTopologicalRelation(std::string_view name);
 
 /// The converse relation (relation from B to A given the relation from A
 /// to B): contains <-> insideOf, covers <-> coveredBy, others are
@@ -81,11 +80,10 @@ bool IsHierarchyRelation(TopologicalRelation r);
 /// The geometric evidence is computed by geom::Relate; this function owns
 /// the decision procedure mapping evidence to one of the 8 relations.
 /// Fails if either polygon is invalid.
-Result<TopologicalRelation> ClassifyRegions(const geom::Polygon& a,
+[[nodiscard]] Result<TopologicalRelation> ClassifyRegions(const geom::Polygon& a,
                                             const geom::Polygon& b);
 
 std::ostream& operator<<(std::ostream& os, TopologicalRelation r);
 
 }  // namespace sitm::qsr
 
-#endif  // SITM_QSR_TOPOLOGY_H_

@@ -274,6 +274,10 @@ Result<QueryResult> QueryExecutor::Run(
 
   const std::size_t chunk = options_.chunk == 0 ? 64 : options_.chunk;
   const std::size_t num_chunks = (trajectories.size() + chunk - 1) / chunk;
+  // Thread-safety: chunks read the borrowed trajectories vector and
+  // accumulate matches into their own Fragment slot; fragments are
+  // concatenated in index order below, keeping result order (and
+  // stats) independent of the schedule.
   std::vector<Fragment> fragments = ParallelMap<Fragment>(
       options_.pool, num_chunks, [&](std::size_t c) {
         Fragment fragment;
@@ -316,6 +320,9 @@ Result<QueryResult> QueryExecutor::Run(
   const std::vector<std::size_t> blocks = PlanBlocks(reader, plan.pushdown);
   const storage::ScanOptions scan = ToScanOptions(plan.pushdown);
 
+  // Thread-safety: EventStoreReader::ReadTrajectoryBlock is const
+  // (mmap-backed, no shared mutable state), so concurrent block
+  // reads need no lock; per-block results land in Fragment slots.
   std::vector<Fragment> fragments = ParallelMap<Fragment>(
       options_.pool, blocks.size(), [&](std::size_t b) {
         Fragment fragment;

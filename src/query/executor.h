@@ -1,5 +1,4 @@
-#ifndef SITM_QUERY_EXECUTOR_H_
-#define SITM_QUERY_EXECUTOR_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -155,14 +154,14 @@ class QueryExecutor {
       : context_(std::move(context)), options_(options) {}
 
   /// In-memory execution over a trajectory batch.
-  Result<QueryResult> Run(
+  [[nodiscard]] Result<QueryResult> Run(
       const Query& query,
       const std::vector<core::SemanticTrajectory>& trajectories) const;
 
   /// Store-backed execution (kTrajectories stores only): plans the
   /// pushdown, decodes only candidate blocks, applies the residual
   /// per decoded trajectory.
-  Result<QueryResult> Run(const Query& query,
+  [[nodiscard]] Result<QueryResult> Run(const Query& query,
                           const storage::EventStoreReader& reader) const;
 
   const QueryContext& context() const { return context_; }
@@ -174,4 +173,3 @@ class QueryExecutor {
 
 }  // namespace sitm::query
 
-#endif  // SITM_QUERY_EXECUTOR_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_QUERY_PLANNER_H_
-#define SITM_QUERY_PLANNER_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -79,4 +78,3 @@ storage::ScanOptions ToScanOptions(const PushdownSummary& pushdown);
 
 }  // namespace sitm::query
 
-#endif  // SITM_QUERY_PLANNER_H_

@@ -1,5 +1,4 @@
-#ifndef SITM_QUERY_PREDICATE_H_
-#define SITM_QUERY_PREDICATE_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -168,7 +167,7 @@ class Predicate {
   /// context does not provide, names an unknown region/zone/layer, or
   /// region classification fails. Binding an already-bound or purely
   /// non-spatial predicate is the identity.
-  Result<Predicate> Bind(const QueryContext& context) const;
+  [[nodiscard]] Result<Predicate> Bind(const QueryContext& context) const;
 
   /// True iff every symbolic leaf has been resolved. Evaluating an
   /// unbound predicate is a contract violation: unresolved leaves
@@ -273,4 +272,3 @@ Predicate EpisodeAllen(std::string label, AllenMask mask,
 
 }  // namespace sitm::query
 
-#endif  // SITM_QUERY_PREDICATE_H_

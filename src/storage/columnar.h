@@ -1,5 +1,4 @@
-#ifndef SITM_STORAGE_COLUMNAR_H_
-#define SITM_STORAGE_COLUMNAR_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -62,12 +61,12 @@ class ByteReader {
   bool empty() const { return pos_ == size_; }
   std::size_t position() const { return pos_; }
 
-  Result<std::uint32_t> ReadU32();
-  Result<std::uint64_t> ReadU64();
-  Result<std::uint64_t> ReadVarint64();
-  Result<std::int64_t> ReadSVarint64();
+  [[nodiscard]] Result<std::uint32_t> ReadU32();
+  [[nodiscard]] Result<std::uint64_t> ReadU64();
+  [[nodiscard]] Result<std::uint64_t> ReadVarint64();
+  [[nodiscard]] Result<std::int64_t> ReadSVarint64();
   /// Borrows `n` raw bytes (valid while the underlying buffer lives).
-  Result<std::string_view> ReadBytes(std::size_t n);
+  [[nodiscard]] Result<std::string_view> ReadBytes(std::size_t n);
 
  private:
   const char* data_;
@@ -82,7 +81,7 @@ class ByteReader {
 void PutDeltaColumn(std::string& out, const std::vector<std::int64_t>& values);
 
 /// Decodes `n` values of a PutDeltaColumn column.
-Result<std::vector<std::int64_t>> ReadDeltaColumn(ByteReader& reader,
+[[nodiscard]] Result<std::vector<std::int64_t>> ReadDeltaColumn(ByteReader& reader,
                                                   std::size_t n);
 
 /// Appends an unsigned varint column (no delta).
@@ -90,15 +89,14 @@ void PutVarintColumn(std::string& out,
                      const std::vector<std::uint64_t>& values);
 
 /// Decodes `n` values of a PutVarintColumn column.
-Result<std::vector<std::uint64_t>> ReadVarintColumn(ByteReader& reader,
+[[nodiscard]] Result<std::vector<std::uint64_t>> ReadVarintColumn(ByteReader& reader,
                                                     std::size_t n);
 
 /// Appends a bit-packed bool column ((n + 7) / 8 bytes, LSB first).
 void PutBitColumn(std::string& out, const std::vector<bool>& values);
 
 /// Decodes `n` values of a PutBitColumn column.
-Result<std::vector<bool>> ReadBitColumn(ByteReader& reader, std::size_t n);
+[[nodiscard]] Result<std::vector<bool>> ReadBitColumn(ByteReader& reader, std::size_t n);
 
 }  // namespace sitm::storage
 
-#endif  // SITM_STORAGE_COLUMNAR_H_

@@ -215,6 +215,10 @@ Status EventStoreWriter::Append(
 
   const std::size_t per_block = options_.rows_per_block;
   const std::size_t num_blocks = (detections.size() + per_block - 1) / per_block;
+  // Thread-safety: each task encodes a disjoint row range of the
+  // (read-only) input into its own EncodedBlock slot; the file is
+  // written sequentially afterwards, so bytes on disk are identical
+  // at every pool size.
   std::vector<EncodedBlock> encoded = ParallelMap<EncodedBlock>(
       options_.pool, num_blocks, [&](std::size_t b) {
         const std::size_t begin = b * per_block;
@@ -333,6 +337,8 @@ Status EventStoreWriter::Append(
     row_cursor = range.row_end;
   }
 
+  // Thread-safety: same slot discipline as the detection path — one
+  // BlockRange in, one EncodedBlock slot out, no shared writes.
   std::vector<EncodedBlock> encoded = ParallelMap<EncodedBlock>(
       options_.pool, ranges.size(), [&](std::size_t b) {
         const BlockRange& range = ranges[b];

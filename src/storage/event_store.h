@@ -1,5 +1,4 @@
-#ifndef SITM_STORAGE_EVENT_STORE_H_
-#define SITM_STORAGE_EVENT_STORE_H_
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -137,7 +136,7 @@ struct StoreStats {
 /// this). Append calls must match the store kind.
 class EventStoreWriter {
  public:
-  static Result<EventStoreWriter> Create(const std::string& path,
+  [[nodiscard]] static Result<EventStoreWriter> Create(const std::string& path,
                                          StoreKind kind,
                                          WriterOptions options = {});
 
@@ -150,22 +149,22 @@ class EventStoreWriter {
 
   /// Appends a detection batch (kDetections stores only). Rejects
   /// detections with end before start.
-  Status Append(const std::vector<core::RawDetection>& detections);
+  [[nodiscard]] Status Append(const std::vector<core::RawDetection>& detections);
 
   /// Appends built trajectories (kTrajectories stores only). Rejects
   /// trajectories with empty traces — untrusted readers must never
   /// produce them, so writers must never persist them.
-  Status Append(const std::vector<core::SemanticTrajectory>& trajectories);
+  [[nodiscard]] Status Append(const std::vector<core::SemanticTrajectory>& trajectories);
 
   /// Writes footer + trailer and closes the file. Idempotent failure:
   /// after an error the writer is unusable.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   const StoreStats& stats() const { return stats_; }
   StoreKind kind() const { return kind_; }
 
  private:
-  Status WriteRaw(std::string_view bytes);
+  [[nodiscard]] Status WriteRaw(std::string_view bytes);
   /// Registers an annotation set in the file dictionary, returning its
   /// index (stable across the file).
   std::uint32_t DictionaryId(const core::AnnotationSet& set);
@@ -221,7 +220,7 @@ class EventStoreReader {
   /// Opens and validates header, trailer, and footer (checksum, version,
   /// kind, block bounds). Block payloads are only touched — and their
   /// checksums verified — when read.
-  static Result<EventStoreReader> Open(const std::string& path);
+  [[nodiscard]] static Result<EventStoreReader> Open(const std::string& path);
 
   StoreKind kind() const { return kind_; }
   std::size_t num_blocks() const { return blocks_.size(); }
@@ -255,25 +254,25 @@ class EventStoreReader {
   std::vector<std::size_t> CandidateBlocks(const ScanOptions& scan) const;
 
   /// Full scans (all blocks, with pushdown).
-  Result<std::vector<core::RawDetection>> ReadDetections(
+  [[nodiscard]] Result<std::vector<core::RawDetection>> ReadDetections(
       const ScanOptions& scan = {}) const;
-  Result<std::vector<core::SemanticTrajectory>> ReadTrajectories(
+  [[nodiscard]] Result<std::vector<core::SemanticTrajectory>> ReadTrajectories(
       const ScanOptions& scan = {}) const;
 
   /// Block-wise scans, appending matches to `out`. Callers stream block
   /// by block without materializing the whole store.
-  Status ReadDetectionBlock(std::size_t i, const ScanOptions& scan,
+  [[nodiscard]] Status ReadDetectionBlock(std::size_t i, const ScanOptions& scan,
                             std::vector<core::RawDetection>& out) const;
-  Status ReadTrajectoryBlock(
+  [[nodiscard]] Status ReadTrajectoryBlock(
       std::size_t i, const ScanOptions& scan,
       std::vector<core::SemanticTrajectory>& out) const;
 
   /// Verifies every block checksum (footer integrity is already checked
   /// at Open) without decoding columns.
-  Status VerifyChecksums() const;
+  [[nodiscard]] Status VerifyChecksums() const;
 
  private:
-  Result<std::string_view> BlockPayload(std::size_t i) const;
+  [[nodiscard]] Result<std::string_view> BlockPayload(std::size_t i) const;
 
   MappedFile file_;
   StoreKind kind_ = StoreKind::kDetections;
@@ -291,10 +290,9 @@ class EventStoreReader {
 /// matching blocks (footer pushdown applied), then executes build ->
 /// enrich -> infer on the surviving detections. The store replaces the
 /// in-memory detection vector as the pipeline source.
-Result<std::vector<core::SemanticTrajectory>> RunPipelineFromStore(
+[[nodiscard]] Result<std::vector<core::SemanticTrajectory>> RunPipelineFromStore(
     const EventStoreReader& reader, core::BatchPipeline& pipeline,
     const ScanOptions& scan = {});
 
 }  // namespace sitm::storage
 
-#endif  // SITM_STORAGE_EVENT_STORE_H_

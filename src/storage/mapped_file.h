@@ -1,5 +1,4 @@
-#ifndef SITM_STORAGE_MAPPED_FILE_H_
-#define SITM_STORAGE_MAPPED_FILE_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -20,7 +19,7 @@ class MappedFile {
  public:
   /// Opens and maps `path`. IOError when the file cannot be opened or
   /// read; an empty file yields an empty view.
-  static Result<MappedFile> Open(const std::string& path);
+  [[nodiscard]] static Result<MappedFile> Open(const std::string& path);
 
   MappedFile() = default;
   ~MappedFile();
@@ -49,4 +48,3 @@ class MappedFile {
 
 }  // namespace sitm::storage
 
-#endif  // SITM_STORAGE_MAPPED_FILE_H_

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "geom/coverage.h"
 #include "geom/grid_index.h"
 #include "geom/polygon.h"
@@ -231,6 +234,42 @@ TEST(CoverageTest, RejectsBadArguments) {
   EXPECT_FALSE(EstimateCoverage(Polygon({{0, 0}, {1, 0}, {2, 0}}), {}, 10,
                                 &rng)
                    .ok());
+}
+
+TEST(PolygonTest, ValidateRejectsNonFiniteVertices) {
+  // Regression (UBSan float-cast-overflow): NaN fails every comparison,
+  // so a NaN-vertex polygon used to pass the zero-area check and reach
+  // GridIndex::Build's float->int cell casts.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Polygon with_nan({{0, 0}, {4, nan}, {4, 4}});
+  EXPECT_TRUE(with_nan.Validate().Is(StatusCode::kInvalidArgument));
+  const Polygon with_inf({{0, 0}, {inf, 0}, {4, 4}});
+  EXPECT_TRUE(with_inf.Validate().Is(StatusCode::kInvalidArgument));
+  const Polygon with_neg_inf({{0, 0}, {4, 0}, {-inf, 4}});
+  EXPECT_TRUE(with_neg_inf.Validate().Is(StatusCode::kInvalidArgument));
+}
+
+TEST(PolygonTest, ValidateRejectsFiniteCoordinatesThatOverflow) {
+  // Finite vertices near ±DBL_MAX overflow the shoelace products and the
+  // bounding-box extent; downstream grid math would divide by inf and
+  // cast the resulting NaN. Validation must stop them at the gate.
+  const double huge = std::numeric_limits<double>::max();
+  const Polygon spanning({{-huge, 0}, {huge, 0}, {0, huge}});
+  EXPECT_TRUE(spanning.Validate().Is(StatusCode::kInvalidArgument));
+}
+
+TEST(PolygonTest, GridIndexBuildRejectsNonFinitePolygons) {
+  // End-to-end pin: the index (whose CellX/CellY casts double to int)
+  // must refuse the polygon rather than compute NaN cell coordinates.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Polygon> polys;
+  polys.push_back(Polygon::Rectangle(0, 0, 2, 2));
+  polys.emplace_back(
+      std::vector<Point>{{0, 0}, {4, nan}, {4, 4}});
+  const Result<GridIndex> index = GridIndex::Build(std::move(polys), 8);
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().Is(StatusCode::kInvalidArgument));
 }
 
 }  // namespace

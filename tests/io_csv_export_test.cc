@@ -263,7 +263,7 @@ TEST(TrajectoryJsonTest, RoundTripPreservesEverything) {
 TEST(TrajectoryJsonTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(TrajectoryFromJson(JsonValue(1)).ok());
   JsonValue missing{JsonValue::Object{}};
-  (void)missing.Set("id", 1);
+  ASSERT_TRUE(missing.Set("id", 1).ok());
   EXPECT_FALSE(TrajectoryFromJson(missing).ok());
 }
 

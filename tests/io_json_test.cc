@@ -48,14 +48,14 @@ TEST(JsonValueTest, ArrayAppend) {
 
 TEST(JsonDumpTest, CompactFormat) {
   JsonValue obj{JsonValue::Object{}};
-  (void)obj.Set("n", nullptr);
-  (void)obj.Set("b", false);
-  (void)obj.Set("i", 42);
-  (void)obj.Set("s", "hi");
+  ASSERT_TRUE(obj.Set("n", nullptr).ok());
+  ASSERT_TRUE(obj.Set("b", false).ok());
+  ASSERT_TRUE(obj.Set("i", 42).ok());
+  ASSERT_TRUE(obj.Set("s", "hi").ok());
   JsonValue arr{JsonValue::Array{}};
-  (void)arr.Append(1);
-  (void)arr.Append(2);
-  (void)obj.Set("a", std::move(arr));
+  ASSERT_TRUE(arr.Append(1).ok());
+  ASSERT_TRUE(arr.Append(2).ok());
+  ASSERT_TRUE(obj.Set("a", std::move(arr)).ok());
   EXPECT_EQ(obj.Dump(),
             R"({"n":null,"b":false,"i":42,"s":"hi","a":[1,2]})");
 }
@@ -74,7 +74,7 @@ TEST(JsonDumpTest, EmptyContainers) {
 
 TEST(JsonDumpTest, PrettyIndents) {
   JsonValue obj{JsonValue::Object{}};
-  (void)obj.Set("a", 1);
+  ASSERT_TRUE(obj.Set("a", 1).ok());
   EXPECT_EQ(obj.Pretty(), "{\n  \"a\": 1\n}");
 }
 
