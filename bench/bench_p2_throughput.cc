@@ -5,17 +5,21 @@
 // detections turned into semantic trajectories, then mined pairwise —
 // and measures trajectories/sec for the batched build -> enrich ->
 // infer pipeline and matrix-cells/sec for the blocked distance-matrix
-// fill, at batch sizes from 10^2 to 10^5 visitors.
+// fill, at batch sizes from 10^2 to 10^5 visitors. A worker-count
+// sweep (1/2/4/hw) ablates the task-graph scheduler's chained
+// per-shard stages against a fork-join barrier baseline, and the
+// overlap run's span trace is dumped to BENCH_p2_trace.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <vector>
 
-#include "base/parallel.h"
 #include "bench/bench_util.h"
 #include "core/pipeline.h"
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
 #include "mining/similarity.h"
+#include "sched/executor.h"
 #include "storage/event_store.h"
 
 namespace {
@@ -32,9 +36,19 @@ const indoor::Nrg& ZoneGraph() {
   return Unwrap(Map().graph().FindLayer(Map().zone_layer()))->graph();
 }
 
-ThreadPool& Pool() {
-  static ThreadPool pool(ThreadPool::DefaultConcurrency());
-  return pool;
+sched::Executor& Exec() {
+  static sched::Executor executor(sched::Executor::DefaultConcurrency());
+  return executor;
+}
+
+// The satellite sweep: 1, 2, 4, and hardware concurrency, deduplicated
+// and sorted so each count appears once in reports and BENCH JSON.
+std::vector<std::size_t> WorkerCounts() {
+  std::vector<std::size_t> counts{1, 2, 4,
+                                  sched::Executor::DefaultConcurrency()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
 }
 
 // §4.1-shaped population scaled to `visitors`: ~38% returning, ~16%
@@ -55,7 +69,8 @@ std::vector<core::RawDetection> Detections(int visitors) {
   return Unwrap(simulator.Generate()).ToRawDetections();
 }
 
-core::PipelineOptions FullPipeline(ThreadPool* pool) {
+core::PipelineOptions FullPipeline(sched::Executor* executor,
+                                   bool barrier_stages = false) {
   core::PipelineOptions options;
   options.builder.graph = &ZoneGraph();
   options.rules = {
@@ -68,12 +83,13 @@ core::PipelineOptions FullPipeline(ThreadPool* pool) {
                               {core::AnnotationKind::kGoal, "leaving"}),
   };
   options.infer_hidden_passages = true;
-  options.pool = pool;
+  options.executor = executor;
+  options.barrier_stages = barrier_stages;
   return options;
 }
 
 std::vector<core::SemanticTrajectory> Trajectories(int visitors) {
-  core::BatchPipeline pipeline(FullPipeline(&Pool()));
+  core::BatchPipeline pipeline(FullPipeline(&Exec()));
   return Unwrap(pipeline.Run(Detections(visitors)));
 }
 
@@ -95,18 +111,28 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+double TimePipelineRun(sched::Executor* executor, bool barrier_stages,
+                       const std::vector<core::RawDetection>& detections) {
+  core::BatchPipeline pipeline(FullPipeline(executor, barrier_stages));
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = pipeline.Run(detections);
+  const double seconds = SecondsSince(start);
+  Check(result.status());
+  return seconds;
+}
+
 void Report() {
   Banner("P2", "batch-pipeline and similarity-matrix throughput "
                "(no paper counterpart; first numbers for the "
                "millions-of-users north star)");
-  std::printf("  pool: %zu thread(s)\n", Pool().num_threads());
+  std::printf("  executor: %zu worker(s)\n", Exec().num_workers());
 
   // Build -> enrich -> infer throughput across four decades of batch
   // size (the §4.1 dataset itself sits at ~3.2k visitors).
   for (const int visitors : {100, 1000, 10000, 100000}) {
     std::vector<core::RawDetection> detections = Detections(visitors);
     const std::size_t num_detections = detections.size();
-    core::BatchPipeline pipeline(FullPipeline(&Pool()));
+    core::BatchPipeline pipeline(FullPipeline(&Exec()));
     const auto start = std::chrono::steady_clock::now();
     const auto result = pipeline.Run(std::move(detections));
     const double seconds = SecondsSince(start);
@@ -119,7 +145,50 @@ void Report() {
         static_cast<double>(num_detections) / seconds);
   }
 
-  // Blocked distance-matrix fill, sequential vs pool.
+  // Stage-topology ablation across the worker sweep: the same batch run
+  // with a fork-join barrier between build and enrich (what the old
+  // pool-based pipeline did) vs the scheduler's chained per-shard
+  // stages, where shard s enriches as soon as *its own* build finishes.
+  {
+    const std::vector<core::RawDetection> detections = Detections(10000);
+    double best_overlap_speedup = 0.0;
+    for (const std::size_t workers : WorkerCounts()) {
+      sched::Executor executor(workers);
+      // One warm-up run per topology, then the measured run.
+      TimePipelineRun(&executor, true, detections);
+      const double barrier_s = TimePipelineRun(&executor, true, detections);
+      TimePipelineRun(&executor, false, detections);
+      const double overlap_s = TimePipelineRun(&executor, false, detections);
+      const double speedup = barrier_s / overlap_s;
+      if (workers >= 2) {
+        best_overlap_speedup = std::max(best_overlap_speedup, speedup);
+      }
+      std::printf(
+          "  pipeline batch=10000  workers=%-2zu barrier %7.3f s  "
+          "chained %7.3f s  overlap speedup %.2fx\n",
+          workers, barrier_s, overlap_s, speedup);
+    }
+    if (sched::Executor::DefaultConcurrency() >= 2 &&
+        best_overlap_speedup < 1.15) {
+      std::fprintf(stderr,
+                   "BENCH P2 WARNING: stage overlap peaked at %.2fx vs the "
+                   "fork-join barrier (acceptance target >= 1.15x at >= 2 "
+                   "workers)\n",
+                   best_overlap_speedup);
+    }
+
+    // Span-trace artifact: one chained run at >= 2 workers, scoped by
+    // Clear() so the JSON shows exactly that run's build/enrich overlap.
+    sched::Executor traced(
+        std::max<std::size_t>(2, sched::Executor::DefaultConcurrency()));
+    traced.trace().Clear();
+    TimePipelineRun(&traced, false, detections);
+    Check(traced.trace().WriteJson("BENCH_p2_trace.json"));
+    std::printf("  span trace: %zu spans -> BENCH_p2_trace.json\n",
+                traced.trace().Spans().size());
+  }
+
+  // Blocked distance-matrix fill, sequential vs scheduled.
   const std::vector<core::SemanticTrajectory> trajectories =
       TrajectorySample(512);
   const std::size_t n = trajectories.size();
@@ -129,7 +198,7 @@ void Report() {
                                                          distance);
   const double seq_seconds = SecondsSince(seq_start);
   mining::DistanceMatrixOptions par_options;
-  par_options.pool = &Pool();
+  par_options.executor = &Exec();
   const auto par_start = std::chrono::steady_clock::now();
   const std::vector<double> par =
       mining::DistanceMatrix(trajectories, distance, par_options);
@@ -140,17 +209,18 @@ void Report() {
   std::printf(
       "  matrix n=%-4zu sequential %.3f s (%10.0f cells/s)  "
       "parallel[%zu] %.3f s (%10.0f cells/s)  speedup %.2fx\n",
-      n, seq_seconds, cells / seq_seconds, Pool().num_threads(), par_seconds,
+      n, seq_seconds, cells / seq_seconds, Exec().num_workers(), par_seconds,
       cells / par_seconds, seq_seconds / par_seconds);
 
   // EventStore ingest + scan at batch scale: detections written to the
-  // columnar store (pooled column encoding), then scanned back into the
-  // pipeline — the persistent counterpart of the in-memory path above.
+  // columnar store (scheduled column encoding), then scanned back into
+  // the pipeline — the persistent counterpart of the in-memory path
+  // above.
   for (const int visitors : {1000, 10000}) {
     std::vector<core::RawDetection> detections = Detections(visitors);
     const std::string path = "BENCH_p2_scratch.evst";
     storage::WriterOptions options;
-    options.pool = &Pool();
+    options.executor = &Exec();
     const auto write_start = std::chrono::steady_clock::now();
     auto writer = Unwrap(storage::EventStoreWriter::Create(
         path, storage::StoreKind::kDetections, options));
@@ -176,13 +246,21 @@ void Report() {
   }
 }
 
+// Registers one Arg per sweep worker count, so every count lands as its
+// own entry in the BENCH_p2.json the CI run uploads.
+void WorkerSweepArgs(benchmark::internal::Benchmark* bench) {
+  for (const std::size_t workers : WorkerCounts()) {
+    bench->Arg(static_cast<std::int64_t>(workers));
+  }
+}
+
 // Trajectories/sec for the full batched pipeline (items = trajectories).
 void BM_BatchPipeline(benchmark::State& state) {
   const std::vector<core::RawDetection> detections =
       Detections(static_cast<int>(state.range(0)));
   std::size_t trajectories = 0;
   for (auto _ : state) {
-    core::BatchPipeline pipeline(FullPipeline(&Pool()));
+    core::BatchPipeline pipeline(FullPipeline(&Exec()));
     auto result = pipeline.Run(detections);
     Check(result.status());
     trajectories = result->size();
@@ -197,6 +275,28 @@ BENCHMARK(BM_BatchPipeline)
     ->Arg(100)
     ->Arg(1000)
     ->Arg(10000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The worker sweep at a fixed batch: arg = worker count (1/2/4/hw).
+void BM_BatchPipelineWorkers(benchmark::State& state) {
+  const std::vector<core::RawDetection> detections = Detections(1000);
+  sched::Executor executor(static_cast<std::size_t>(state.range(0)));
+  std::size_t trajectories = 0;
+  for (auto _ : state) {
+    core::BatchPipeline pipeline(FullPipeline(&executor));
+    auto result = pipeline.Run(detections);
+    Check(result.status());
+    trajectories = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trajectories));
+  state.counters["workers"] =
+      benchmark::Counter(static_cast<double>(executor.num_workers()));
+}
+BENCHMARK(BM_BatchPipelineWorkers)
+    ->Apply(WorkerSweepArgs)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -220,14 +320,16 @@ BENCHMARK(BM_DistanceMatrixSeq)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-// Matrix-cells/sec for the blocked parallel fill on the shared pool.
-void BM_DistanceMatrixPar(benchmark::State& state) {
+// Matrix-cells/sec for the blocked fill across the worker sweep:
+// arg = worker count at a fixed n = 256.
+void BM_DistanceMatrixWorkers(benchmark::State& state) {
   const std::vector<core::SemanticTrajectory> trajectories =
-      TrajectorySample(static_cast<std::size_t>(state.range(0)));
+      TrajectorySample(256);
   const std::size_t n = trajectories.size();
   const mining::TrajectoryDistance distance = EditCellDistance();
+  sched::Executor executor(static_cast<std::size_t>(state.range(0)));
   mining::DistanceMatrixOptions options;
-  options.pool = &Pool();
+  options.executor = &executor;
   options.block = 64;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -236,24 +338,22 @@ void BM_DistanceMatrixPar(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n));
   state.counters["n"] = benchmark::Counter(static_cast<double>(n));
-  state.counters["threads"] =
-      benchmark::Counter(static_cast<double>(Pool().num_threads()));
+  state.counters["workers"] =
+      benchmark::Counter(static_cast<double>(executor.num_workers()));
 }
-BENCHMARK(BM_DistanceMatrixPar)
-    ->Arg(128)
-    ->Arg(256)
-    ->Arg(512)
+BENCHMARK(BM_DistanceMatrixWorkers)
+    ->Apply(WorkerSweepArgs)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 // EventStore ingest throughput: detections/s and MB/s for the batched
-// columnar write path (pooled block encoding).
+// columnar write path (scheduled block encoding).
 void BM_EventStoreIngest(benchmark::State& state) {
   const std::vector<core::RawDetection> detections =
       Detections(static_cast<int>(state.range(0)));
   const std::string path = "BENCH_p2_scratch.evst";
   storage::WriterOptions options;
-  options.pool = &Pool();
+  options.executor = &Exec();
   std::uint64_t bytes = 0;
   for (auto _ : state) {
     auto writer = Unwrap(storage::EventStoreWriter::Create(

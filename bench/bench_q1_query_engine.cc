@@ -1,14 +1,13 @@
 // Q1 — the semantic trajectory query engine over a 10^4-visitor store:
 // predicate pushdown (secondary object-id index vs min/max pruning vs
 // full scan), paper-shaped queries end to end, and the determinism
-// contract (byte-identical results at every pool size and across
+// contract (byte-identical results at every worker count and across
 // in-memory vs store-backed execution).
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "base/parallel.h"
 #include "bench/bench_util.h"
 #include "core/pipeline.h"
 #include "louvre/museum.h"
@@ -16,6 +15,7 @@
 #include "query/executor.h"
 #include "query/planner.h"
 #include "query/predicate.h"
+#include "sched/executor.h"
 #include "storage/event_store.h"
 
 namespace {
@@ -34,6 +34,16 @@ const char kIndexedStorePath[] = "BENCH_q1_store.evst";
 /// object-id index exists for (with vs without, same layout).
 const char kTimeStorePath[] = "BENCH_q1_store_time.evst";
 const char kTimePlainStorePath[] = "BENCH_q1_store_time_v1.evst";
+
+// The satellite sweep: 1, 2, 4, and hardware concurrency, deduplicated
+// and sorted so each count appears once in reports and BENCH JSON.
+std::vector<std::size_t> WorkerCounts() {
+  std::vector<std::size_t> counts{1, 2, 4,
+                                  sched::Executor::DefaultConcurrency()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
 
 const louvre::LouvreMap& Map() {
   static const louvre::LouvreMap map = Unwrap(louvre::LouvreMap::Build());
@@ -170,28 +180,27 @@ void Report() {
           " indexed, " +
           std::to_string(scattered_plain.stats.blocks_scanned) + " min/max");
 
-  // -- Determinism: pool sizes {1, 2, hc} x {in-memory, store}. -------
+  // -- Determinism: workers {1, 2, 4, hw} x {in-memory, store}. -------
   const std::string reference =
       Unwrap(executor.Run(lookup, trajectories)).Fingerprint();
-  for (const std::size_t threads :
-       {std::size_t{1}, std::size_t{2}, ThreadPool::DefaultConcurrency()}) {
-    ThreadPool pool(threads);
+  for (const std::size_t workers : WorkerCounts()) {
+    sched::Executor sweep_executor(workers);
     query::ExecutorOptions options;
-    options.pool = &pool;
-    query::QueryExecutor pooled(Context(), options);
+    options.executor = &sweep_executor;
+    query::QueryExecutor scheduled(Context(), options);
     const std::string in_memory =
-        Unwrap(pooled.Run(lookup, trajectories)).Fingerprint();
+        Unwrap(scheduled.Run(lookup, trajectories)).Fingerprint();
     const std::string from_store =
-        Unwrap(pooled.Run(lookup, indexed)).Fingerprint();
+        Unwrap(scheduled.Run(lookup, indexed)).Fingerprint();
     if (in_memory != reference || from_store != reference) {
       std::fprintf(stderr,
                    "BENCH Q1 FAILED: query results not byte-identical at "
-                   "pool size %zu\n",
-                   threads);
+                   "%zu workers\n",
+                   workers);
       std::exit(1);
     }
   }
-  Row("determinism (pools 1/2/hc, mem vs store)", "byte-identical",
+  Row("determinism (workers 1/2/4/hw, mem vs store)", "byte-identical",
       "byte-identical");
 
   // -- Paper-shaped query cardinalities. ------------------------------
@@ -312,10 +321,12 @@ void BM_QueryTopKSimilarity(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryTopKSimilarity)->Unit(benchmark::kMillisecond);
 
-void BM_QueryTopKSimilarityPooled(benchmark::State& state) {
-  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+// The worker sweep: arg = worker count (1/2/4/hw), so every count gets
+// its own entry in the BENCH_q1.json the CI run uploads.
+void BM_QueryTopKSimilarityScheduled(benchmark::State& state) {
+  sched::Executor sched_executor(static_cast<std::size_t>(state.range(0)));
   query::ExecutorOptions options;
-  options.pool = &pool;
+  options.executor = &sched_executor;
   query::QueryExecutor executor(Context(), options);
   query::Query q;
   q.projection = query::Projection::kTopK;
@@ -324,11 +335,15 @@ void BM_QueryTopKSimilarityPooled(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(executor.Run(q, Trajectories()));
   }
+  state.counters["workers"] =
+      benchmark::Counter(static_cast<double>(sched_executor.num_workers()));
 }
-BENCHMARK(BM_QueryTopKSimilarityPooled)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+BENCHMARK(BM_QueryTopKSimilarityScheduled)
+    ->Apply([](benchmark::internal::Benchmark* bench) {
+      for (const std::size_t workers : WorkerCounts()) {
+        bench->Arg(static_cast<std::int64_t>(workers));
+      }
+    })
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -10,7 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "base/parallel.h"
+#include "sched/executor.h"
 #include "core/builder.h"
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
@@ -103,13 +103,25 @@ int main() {
                                       mining::CellSequenceOf(b));
         return 0.5 * dwell + 0.5 * path;
       };
-  // Blocked parallel fill on a hardware-sized pool: byte-identical to
-  // the sequential DistanceMatrix, just spread across cores.
-  ThreadPool pool;
+  // Blocked parallel fill on a hardware-sized executor: byte-identical
+  // to the sequential DistanceMatrix, just spread across cores.
+  sched::Executor executor;
   mining::DistanceMatrixOptions matrix_options;
-  matrix_options.pool = &pool;
+  matrix_options.executor = &executor;
   const std::vector<double> matrix =
       mining::DistanceMatrix(sample, blended, matrix_options);
+  // Every run is traced: dump the matrix fill's spans (per-lane task
+  // begin/end plus steal events) for offline inspection — see the
+  // "tracing a run" section of the README.
+  const Status trace_status =
+      executor.trace().WriteJson("visitor_profiling_trace.json");
+  if (trace_status.ok()) {
+    std::printf("\nwrote scheduler span trace (%zu spans) to "
+                "visitor_profiling_trace.json\n",
+                executor.trace().Spans().size());
+  } else {
+    std::cerr << "trace dump failed: " << trace_status << "\n";
+  }
   Rng rng(2026);
   const mining::ClusteringResult clusters =
       Unwrap(mining::KMedoids(matrix, n, 4, &rng));

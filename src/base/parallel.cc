@@ -15,10 +15,13 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   WaitIdle();
   {
     MutexLock lock(mutex_);
+    if (shutdown_) return;  // already drained and joined
     shutdown_ = true;
   }
   work_available_.NotifyAll();
@@ -33,10 +36,16 @@ std::size_t ThreadPool::DefaultConcurrency() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(mutex_);
-    queue_.push_back(std::move(task));
-    ++in_flight_;
+    if (!shutdown_) {
+      queue_.push_back(std::move(task));
+      ++in_flight_;
+      work_available_.NotifyOne();
+      return;
+    }
   }
-  work_available_.NotifyOne();
+  // Post-shutdown: no workers remain, so run inline on the caller
+  // rather than dropping the task or enqueueing it forever.
+  task();
 }
 
 void ThreadPool::WaitIdle() {

@@ -36,8 +36,7 @@ class ThreadPool {
   /// Spawns `num_threads` workers; 0 means DefaultConcurrency().
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Drains outstanding tasks (blocks until the queue is empty and all
-  /// running tasks finished), then joins the workers.
+  /// Shutdown(): drains outstanding tasks, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -50,12 +49,19 @@ class ThreadPool {
   /// allows it to return 0 when undetectable).
   static std::size_t DefaultConcurrency();
 
-  /// Enqueues a task. Never blocks on task execution.
+  /// Enqueues a task. Never blocks on task execution — except after
+  /// Shutdown(), when the task runs inline on the calling thread before
+  /// Submit returns (work is never silently dropped).
   void Submit(std::function<void()> task) SITM_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has completed. Must not be
   /// called from inside a pool task (it would wait on itself).
   void WaitIdle() SITM_EXCLUDES(mutex_);
+
+  /// Drains outstanding tasks (WaitIdle), then joins the workers.
+  /// Idempotent; the destructor calls it. After Shutdown the pool stays
+  /// usable in degraded form: Submit executes inline on the caller.
+  void Shutdown() SITM_EXCLUDES(mutex_);
 
  private:
   void WorkerLoop() SITM_EXCLUDES(mutex_);

@@ -4,15 +4,24 @@
 #include <map>
 #include <utility>
 
+#include "sched/task_graph.h"
+
 namespace sitm::core {
 namespace {
 
 /// What one build shard produced. Default state is an empty OK outcome
-/// so ParallelMap can preallocate the slot vector.
+/// so the slot vector can be preallocated.
 struct ShardOutcome {
   Status status;
   std::vector<SemanticTrajectory> trajectories;
   BuildReport report;
+};
+
+/// What enrich+infer produced for one trajectory of one shard.
+struct StageOutcome {
+  Status status;
+  EnrichmentReport enrichment;
+  InferenceReport inference;
 };
 
 void MergeBuildReports(BuildReport* into, const BuildReport& from) {
@@ -74,52 +83,128 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
   }
   by_object.clear();
 
-  // --- Stage 2: per-shard build. Each shard is a contiguous range of
-  // objects; shard-local trajectory ids are renumbered after the merge.
+  // --- Stages 2+3 as one task graph: each shard is a build task chained
+  // to an enrich+infer task, so enrichment of an early shard overlaps
+  // the builds of later shards instead of waiting behind a global
+  // barrier (the `barrier_stages` knob restores the fork-join schedule
+  // as an ablation baseline — same bytes out, different overlap).
   const std::size_t per_shard = std::max<std::size_t>(
       static_cast<std::size_t>(1), options_.objects_per_shard);
   const std::size_t num_shards = (groups.size() + per_shard - 1) / per_shard;
   report_.shards = num_shards;
-  // Thread-safety: workers share `groups` read-only and write only
-  // their own ShardOutcome slot (ParallelMap's slot discipline, see
-  // base/parallel.h); `this` is captured for options_ reads only.
-  // No locks — TSan (ctest -L parallel) enforces this stays true.
-  std::vector<ShardOutcome> shards = ParallelMap<ShardOutcome>(
-      options_.pool, num_shards,
-      [this, &groups, per_shard](std::size_t shard) {
-        const std::size_t begin = shard * per_shard;
-        const std::size_t end = std::min(groups.size(), begin + per_shard);
-        BuilderOptions shard_options = options_.builder;
-        shard_options.first_trajectory_id = TrajectoryId(1);
-        TrajectoryBuilder builder(std::move(shard_options));
-        ShardOutcome outcome;
-        // One Build() per already-grouped object: the detections were
-        // grouped in stage 1, so re-concatenating them only for the
-        // builder to split them apart again would double the grouping
-        // work. Group-local trajectory ids are renumbered by the caller.
-        for (std::size_t g = begin; g < end; ++g) {
-          Result<std::vector<SemanticTrajectory>> built =
-              builder.Build(std::move(groups[g]));
-          MergeBuildReports(&outcome.report, builder.report());
-          if (!built.ok()) {
-            outcome.status = built.status();
-            break;
+  const bool enrich = !options_.rules.empty();
+  const bool infer = options_.infer_hidden_passages;
+
+  // Thread-safety: tasks share `groups` and the graphs read-only and
+  // write only their own shard's slots — shards[s] for build task s,
+  // stage_outcomes[s] (sized inside the task) plus the in-place
+  // trajectory updates for enrich task s, which the build->enrich edge
+  // orders after the build's writes. No locks — TSan (ctest -L
+  // parallel) enforces this stays true.
+  std::vector<ShardOutcome> shards(num_shards);
+  std::vector<std::vector<StageOutcome>> stage_outcomes(num_shards);
+
+  sched::TaskGraph graph;
+  std::vector<sched::TaskId> build_tasks(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    build_tasks[s] = graph.AddTask(
+        "pipeline/build", [this, &groups, &shards, per_shard, s] {
+          const std::size_t begin = s * per_shard;
+          const std::size_t end = std::min(groups.size(), begin + per_shard);
+          BuilderOptions shard_options = options_.builder;
+          shard_options.first_trajectory_id = TrajectoryId(1);
+          TrajectoryBuilder builder(std::move(shard_options));
+          ShardOutcome outcome;
+          // One Build() per already-grouped object: the detections were
+          // grouped in stage 1, so re-concatenating them only for the
+          // builder to split them apart again would double the grouping
+          // work. Group-local trajectory ids are renumbered by the
+          // caller.
+          for (std::size_t g = begin; g < end; ++g) {
+            Result<std::vector<SemanticTrajectory>> built =
+                builder.Build(std::move(groups[g]));
+            MergeBuildReports(&outcome.report, builder.report());
+            if (!built.ok()) {
+              outcome.status = built.status();
+              break;
+            }
+            outcome.trajectories.insert(
+                outcome.trajectories.end(),
+                std::make_move_iterator(built.value().begin()),
+                std::make_move_iterator(built.value().end()));
           }
-          outcome.trajectories.insert(
-              outcome.trajectories.end(),
-              std::make_move_iterator(built.value().begin()),
-              std::make_move_iterator(built.value().end()));
-        }
-        return outcome;
-      },
-      /*grain=*/1);
+          shards[s] = std::move(outcome);
+        });
+  }
+  if (enrich || infer) {
+    sched::TaskId barrier = 0;
+    const bool barriered = options_.barrier_stages && num_shards > 1;
+    if (barriered) {
+      barrier = graph.AddTask("pipeline/barrier", nullptr);
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        SITM_RETURN_IF_ERROR(graph.AddEdge(build_tasks[s], barrier));
+      }
+    }
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const sched::TaskId enrich_task = graph.AddTask(
+          "pipeline/enrich",
+          [this, enrich, infer, enrich_graph, infer_graph, &shards,
+           &stage_outcomes, s] {
+            ShardOutcome& shard = shards[s];
+            // A failed build leaves nothing meaningful to enrich; the
+            // caller reports the build failure first anyway.
+            if (!shard.status.ok()) return;
+            std::vector<StageOutcome>& slots = stage_outcomes[s];
+            slots.resize(shard.trajectories.size());
+            for (std::size_t i = 0; i < shard.trajectories.size(); ++i) {
+              StageOutcome& slot = slots[i];
+              SemanticTrajectory& trajectory = shard.trajectories[i];
+              if (enrich) {
+                Result<EnrichmentReport> enriched = EnrichTrajectory(
+                    &trajectory, *enrich_graph, options_.rules);
+                if (!enriched.ok()) {
+                  slot.status = enriched.status();
+                  continue;
+                }
+                slot.enrichment = *enriched;
+              }
+              if (infer) {
+                Result<std::pair<SemanticTrajectory, InferenceReport>>
+                    inferred = InferHiddenPassages(trajectory, *infer_graph,
+                                                   options_.inference);
+                if (!inferred.ok()) {
+                  slot.status = inferred.status();
+                  continue;
+                }
+                // Inference preserves the (shard-local) id, so the
+                // renumber pass below sees the same ids either way.
+                trajectory = std::move(inferred->first);
+                slot.inference = inferred->second;
+              }
+            }
+          });
+      SITM_RETURN_IF_ERROR(graph.AddEdge(
+          barriered ? barrier : build_tasks[s], enrich_task));
+    }
+  }
+  SITM_RETURN_IF_ERROR(sched::RunGraph(options_.executor, std::move(graph)));
+
+  // --- Merge: statuses and reports in deterministic (shard, then
+  // trajectory) order, then renumber to the sequential builder's ids.
+  for (const ShardOutcome& shard : shards) {
+    if (!shard.status.ok()) return shard.status;
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (const StageOutcome& slot : stage_outcomes[s]) {
+      if (!slot.status.ok()) return slot.status;
+    }
+  }
 
   std::vector<SemanticTrajectory> out;
   {
     const std::size_t records_in_total = report_.build.records_in;
     std::size_t total = 0;
     for (const ShardOutcome& shard : shards) {
-      if (!shard.status.ok()) return shard.status;
       total += shard.trajectories.size();
     }
     out.reserve(total);
@@ -138,57 +223,18 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
     // whole-input figure computed before grouping.
     report_.build.records_in = records_in_total;
   }
-  shards.clear();
 
-  // --- Stage 3: enrich + infer, fanned out per trajectory. Each slot is
-  // written by exactly one chunk, and reports are merged in index order
-  // below, so the result is schedule-independent.
-  const bool enrich = !options_.rules.empty();
-  if (!enrich && !options_.infer_hidden_passages) return out;
-  struct StageOutcome {
-    Status status;
-    EnrichmentReport enrichment;
-    InferenceReport inference;
-  };
-  std::vector<StageOutcome> stages(out.size());
-  // Thread-safety: chunk [begin, end) is written only by its own
-  // task — both out[i] (enriched in place) and stages[i] are
-  // per-index slots; the graphs are shared read-only.
-  ParallelFor(options_.pool, out.size(),
-              [this, enrich, enrich_graph, infer_graph, &out,
-               &stages](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) {
-                  StageOutcome& slot = stages[i];
-                  if (enrich) {
-                    Result<EnrichmentReport> enriched = EnrichTrajectory(
-                        &out[i], *enrich_graph, options_.rules);
-                    if (!enriched.ok()) {
-                      slot.status = enriched.status();
-                      continue;
-                    }
-                    slot.enrichment = *enriched;
-                  }
-                  if (options_.infer_hidden_passages) {
-                    Result<std::pair<SemanticTrajectory, InferenceReport>>
-                        inferred = InferHiddenPassages(out[i], *infer_graph,
-                                                       options_.inference);
-                    if (!inferred.ok()) {
-                      slot.status = inferred.status();
-                      continue;
-                    }
-                    out[i] = std::move(inferred->first);
-                    slot.inference = inferred->second;
-                  }
-                }
-              });
-  for (const StageOutcome& slot : stages) {
-    if (!slot.status.ok()) return slot.status;
-    report_.enrichment.tuples_touched += slot.enrichment.tuples_touched;
-    report_.enrichment.annotations_added += slot.enrichment.annotations_added;
-    report_.inference.inserted += slot.inference.inserted;
-    report_.inference.already_consistent += slot.inference.already_consistent;
-    report_.inference.ambiguous += slot.inference.ambiguous;
-    report_.inference.disconnected += slot.inference.disconnected;
+  for (const std::vector<StageOutcome>& slots : stage_outcomes) {
+    for (const StageOutcome& slot : slots) {
+      report_.enrichment.tuples_touched += slot.enrichment.tuples_touched;
+      report_.enrichment.annotations_added +=
+          slot.enrichment.annotations_added;
+      report_.inference.inserted += slot.inference.inserted;
+      report_.inference.already_consistent +=
+          slot.inference.already_consistent;
+      report_.inference.ambiguous += slot.inference.ambiguous;
+      report_.inference.disconnected += slot.inference.disconnected;
+    }
   }
   return out;
 }

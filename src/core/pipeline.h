@@ -3,8 +3,8 @@
 #include <cstddef>
 #include <vector>
 
-#include "base/parallel.h"
 #include "base/result.h"
+#include "sched/executor.h"
 #include "core/builder.h"
 #include "core/enrichment.h"
 #include "core/inference.h"
@@ -36,13 +36,20 @@ struct PipelineOptions {
   /// then `builder.graph`. Required when `infer_hidden_passages`.
   const indoor::Nrg* inference_graph = nullptr;
 
-  /// Pool to run on (borrowed; not owned). Null runs every stage on the
-  /// calling thread — the sequential reference path.
-  ThreadPool* pool = nullptr;
+  /// Executor to run on (borrowed; not owned). Null runs every stage on
+  /// the calling thread — the sequential reference path.
+  sched::Executor* executor = nullptr;
 
   /// Moving objects per build shard (>= 1; smaller shards balance
   /// better, larger ones amortize per-shard builder setup).
   std::size_t objects_per_shard = 32;
+
+  /// When true, inserts a barrier between the build and enrich/infer
+  /// stages, reproducing the old fork-join schedule (every shard builds
+  /// before any shard enriches). Output is byte-identical either way;
+  /// this exists as the ablation baseline for the stage-overlap
+  /// speedup measured in bench_p2.
+  bool barrier_stages = false;
 };
 
 /// Merged counters of one Run() call: per-shard BuildReports and
@@ -59,17 +66,21 @@ struct PipelineReport {
 ///
 /// The Louvre study's workload shape (§4): millions of zone detections
 /// turned into semantic trajectories before any mining can start. Raw
-/// detections are grouped by moving object, objects are sharded across
-/// the pool, and each shard runs the standard TrajectoryBuilder; the
-/// merged trajectories are then renumbered to the exact ids the
-/// sequential builder would have assigned, and the enrichment and
-/// inference stages fan out per trajectory.
+/// detections are grouped by moving object and objects are sharded;
+/// each shard is a build task chained to an enrich+infer task in one
+/// task graph, so a shard that finishes building is enriched while
+/// later shards are still building — no global stage barriers (unless
+/// `barrier_stages` asks for the fork-join baseline). The merged
+/// trajectories are renumbered to the exact ids the sequential builder
+/// would have assigned.
 ///
 /// Determinism: for the same input and options, the output — ids,
 /// traces, annotations, and the merged report — is byte-identical to
-/// the sequential path (pool == nullptr) for every pool size. Shard
-/// results are merged in object order and reports are summed in index
-/// order, never in completion order.
+/// the sequential path (executor == nullptr) for every worker count.
+/// Shard results are merged in object order and reports are summed in
+/// index order, never in completion order; enrichment and inference
+/// never read trajectory ids, so enriching before the renumber pass is
+/// equivalent to the old renumber-then-enrich order.
 class BatchPipeline {
  public:
   explicit BatchPipeline(PipelineOptions options)

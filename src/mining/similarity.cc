@@ -7,7 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
-#include "base/parallel.h"
+#include "sched/parallel.h"
 #include "mining/patterns.h"
 
 namespace sitm::mining {
@@ -228,8 +228,8 @@ std::vector<double> DistanceMatrix(
   // Thread-safety: each block owns a disjoint (i, j) rectangle of
   // `cells` (j > i, blocks partition the upper triangle), so raw
   // pointer writes need no lock; `distance` must be re-entrant.
-  ParallelFor(
-      options.pool, blocks.size(),
+  sched::ParallelFor(
+      options.executor, blocks.size(),
       [&blocks, &trajectories, &distance, cells, n,
        block](std::size_t begin, std::size_t end) {
         for (std::size_t index = begin; index < end; ++index) {
@@ -246,7 +246,7 @@ std::vector<double> DistanceMatrix(
           }
         }
       },
-      /*grain=*/1);
+      /*grain=*/1, "matrix/block");
   return matrix;
 }
 

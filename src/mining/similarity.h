@@ -8,8 +8,8 @@
 #include "core/trajectory.h"
 #include "indoor/hierarchy.h"
 
-namespace sitm {
-class ThreadPool;  // base/parallel.h; only borrowed pointers appear here
+namespace sitm::sched {
+class Executor;  // sched/executor.h; only borrowed pointers appear here
 }
 
 namespace sitm::mining {
@@ -100,10 +100,10 @@ TrajectoryDistance EditTrajectoryDistance(CellCost substitution_cost,
 
 /// Options for the blocked distance-matrix fill.
 struct DistanceMatrixOptions {
-  /// Pool to fill blocks on (borrowed; not owned). Null fills on the
-  /// calling thread. The distance function must be safe to call
+  /// Executor to fill blocks on (borrowed; not owned). Null fills on
+  /// the calling thread. The distance function must be safe to call
   /// concurrently on distinct trajectory pairs.
-  ThreadPool* pool = nullptr;
+  sched::Executor* executor = nullptr;
   /// Block edge length in cells. Each upper-triangle block is one unit
   /// of parallel work; its mirror cells are written by the same task, so
   /// no cell is ever touched by two tasks.

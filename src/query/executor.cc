@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mining/patterns.h"
+#include "sched/parallel.h"
 
 namespace sitm::query {
 
@@ -278,8 +279,8 @@ Result<QueryResult> QueryExecutor::Run(
   // accumulate matches into their own Fragment slot; fragments are
   // concatenated in index order below, keeping result order (and
   // stats) independent of the schedule.
-  std::vector<Fragment> fragments = ParallelMap<Fragment>(
-      options_.pool, num_chunks, [&](std::size_t c) {
+  std::vector<Fragment> fragments = sched::ParallelMap<Fragment>(
+      options_.executor, num_chunks, [&](std::size_t c) {
         Fragment fragment;
         const std::size_t begin = c * chunk;
         const std::size_t end =
@@ -293,7 +294,8 @@ Result<QueryResult> QueryExecutor::Run(
           TrimTopK(fragment, query.top_k.k);
         }
         return fragment;
-      });
+      },
+      /*grain=*/0, "query/chunk");
 
   result = MergeFragments(query, std::move(fragments));
   result.stats.rows_total = rows_total;
@@ -323,8 +325,8 @@ Result<QueryResult> QueryExecutor::Run(
   // Thread-safety: EventStoreReader::ReadTrajectoryBlock is const
   // (mmap-backed, no shared mutable state), so concurrent block
   // reads need no lock; per-block results land in Fragment slots.
-  std::vector<Fragment> fragments = ParallelMap<Fragment>(
-      options_.pool, blocks.size(), [&](std::size_t b) {
+  std::vector<Fragment> fragments = sched::ParallelMap<Fragment>(
+      options_.executor, blocks.size(), [&](std::size_t b) {
         Fragment fragment;
         std::vector<core::SemanticTrajectory> decoded;
         fragment.status =
@@ -337,7 +339,8 @@ Result<QueryResult> QueryExecutor::Run(
           TrimTopK(fragment, query.top_k.k);
         }
         return fragment;
-      });
+      },
+      /*grain=*/0, "query/block");
 
   for (const Fragment& fragment : fragments) {
     SITM_RETURN_IF_ERROR(fragment.status);

@@ -4,24 +4,24 @@
 #include <string>
 #include <vector>
 
-#include "base/parallel.h"
 #include "base/result.h"
 #include "core/episode.h"
 #include "core/trajectory.h"
 #include "mining/similarity.h"
 #include "query/planner.h"
 #include "query/predicate.h"
+#include "sched/executor.h"
 #include "storage/event_store.h"
 
 namespace sitm::query {
 
 /// \brief The query executor: streams matching trajectories, tuples, or
 /// episodes out of an in-memory batch or an on-disk EventStore, fanning
-/// the per-trajectory work across a ThreadPool.
+/// the per-trajectory work across a sched::Executor.
 ///
 /// Determinism contract (the PR 3/4 discipline): for the same query
 /// over the same data, the result — order included — is byte-identical
-/// for every pool size, and in-memory execution agrees with
+/// for every worker count, and in-memory execution agrees with
 /// store-backed execution over a store holding the same trajectories.
 /// Work is decomposed by fixed input position (chunks of the input
 /// vector, blocks of the store), never by schedule; fragments merge in
@@ -139,11 +139,13 @@ struct QueryResult {
 
 /// Executor knobs.
 struct ExecutorOptions {
-  /// Pool to fan out on (borrowed; null = run on the calling thread).
-  ThreadPool* pool = nullptr;
+  /// Executor to fan out on (borrowed; null = run on the calling
+  /// thread).
+  sched::Executor* executor = nullptr;
   /// Trajectories per in-memory work chunk. Chunk boundaries are a
-  /// function of this and the input size only — never the pool — so
-  /// results and stats are reproducible across pool sizes.
+  /// function of this and the input size only — never the worker
+  /// count — so results and stats are reproducible across worker
+  /// counts.
   std::size_t chunk = 64;
 };
 

@@ -1,0 +1,349 @@
+#include "sched/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <queue>
+#include <string>
+#include <utility>
+
+namespace sitm::sched {
+
+namespace {
+
+/// Identifies the current thread as worker `index` of `executor`, so a
+/// nested Run() pushes to (and pops from) its own deque instead of the
+/// injection queue.
+struct WorkerIdentity {
+  Executor* executor = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+std::string DescribeException() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    const char* what = e.what();
+    return (what == nullptr || what[0] == '\0') ? "std::exception" : what;
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+Status TaskFailure(TaskId id, const std::string& name,
+                   const std::string& error) {
+  return Status::Internal("sched: task '" + name + "' (#" +
+                          std::to_string(id) + ") failed: " + error);
+}
+
+}  // namespace
+
+/// Shared state of one Run(): the moved-in graph plus per-node countdown
+/// and completion accounting. Held by shared_ptr from every queued Task
+/// so late-drained queue entries always find live state.
+struct Executor::RunState {
+  explicit RunState(std::vector<TaskGraph::Node> graph_nodes)
+      : nodes(std::move(graph_nodes)),
+        pending(nodes.size()),
+        errors(nodes.size()),
+        remaining(nodes.size()) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      pending[i].store(nodes[i].dependencies, std::memory_order_relaxed);
+    }
+  }
+
+  const std::vector<TaskGraph::Node> nodes;
+  /// Unmet-dependency countdown per node; the thread that drops one to
+  /// zero owns scheduling it.
+  std::vector<std::atomic<std::size_t>> pending;
+  /// One slot per node, written only by the thread that executed it.
+  /// The caller reads them only after observing remaining == 0 under
+  /// `mutex`, which orders every slot write before the read.
+  std::vector<std::string> errors;
+
+  Mutex mutex;
+  CondVar done;
+  /// Nodes not yet finished executing.
+  std::size_t remaining SITM_GUARDED_BY(mutex);
+  /// Bumped whenever this run's tasks are pushed; the waiting caller
+  /// captures it before scanning for work (same lost-wakeup protocol as
+  /// Executor::work_epoch_).
+  std::uint64_t ready_epoch SITM_GUARDED_BY(mutex) = 0;
+};
+
+Executor::Executor(std::size_t num_workers)
+    : epoch_(std::chrono::steady_clock::now()),
+      trace_((num_workers == 0 ? DefaultConcurrency() : num_workers) + 1) {
+  if (num_workers == 0) num_workers = DefaultConcurrency();
+  states_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Executor::~Executor() { Shutdown(); }
+
+std::size_t Executor::DefaultConcurrency() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::int64_t Executor::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Executor::Shutdown() {
+  bool join = false;
+  {
+    MutexLock lock(mutex_);
+    shutdown_ = true;
+    work_available_.NotifyAll();
+    while (active_runs_ != 0) runs_idle_.Wait(lock);
+    if (!joined_) {
+      joined_ = true;
+      join = true;
+    }
+  }
+  if (join) {
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+Status Executor::Run(TaskGraph graph) {
+  SITM_RETURN_IF_ERROR(graph.Validate());
+  if (graph.nodes_.empty()) return Status::OK();
+
+  // Post-shutdown runs execute inline on the caller — the same pinned
+  // degradation as ThreadPool::Submit after shutdown.
+  bool inline_run = false;
+  {
+    MutexLock lock(mutex_);
+    if (shutdown_) {
+      inline_run = true;
+    } else {
+      ++active_runs_;
+    }
+  }
+  if (inline_run) return RunGraphInline(std::move(graph));
+
+  auto run = std::make_shared<RunState>(std::move(graph.nodes_));
+  const std::size_t num_tasks = run->nodes.size();
+
+  // Seed the initially-ready tasks in id order through the injection
+  // queue; workers wake on the epoch bump and start pulling while the
+  // caller joins in below.
+  {
+    MutexLock lock(mutex_);
+    for (TaskId id = 0; id < num_tasks; ++id) {
+      if (run->pending[id].load(std::memory_order_relaxed) == 0) {
+        injected_.push_back(Task{run, id});
+      }
+    }
+    ++work_epoch_;
+    work_available_.NotifyAll();
+  }
+
+  const std::size_t lane = tls_worker.executor == this
+                               ? tls_worker.index
+                               : states_.size();  // shared external lane
+  for (;;) {
+    std::uint64_t seen_ready;
+    {
+      MutexLock lock(run->mutex);
+      if (run->remaining == 0) break;
+      seen_ready = run->ready_epoch;
+    }
+    Task task;
+    if (TryAcquire(lane, &task)) {
+      // Any task helps: executing another run's work while ours is all
+      // in flight keeps the caller's core busy and is bounded by that
+      // run's own completion.
+      ExecuteTask(std::move(task), lane);
+      continue;
+    }
+    MutexLock lock(run->mutex);
+    while (run->remaining != 0 && run->ready_epoch == seen_ready) {
+      run->done.Wait(lock);
+    }
+    if (run->remaining == 0) break;
+  }
+
+  Status status;  // OK
+  for (TaskId id = 0; id < num_tasks; ++id) {
+    if (!run->errors[id].empty()) {
+      status = TaskFailure(id, run->nodes[id].name, run->errors[id]);
+      break;
+    }
+  }
+
+  {
+    MutexLock lock(mutex_);
+    if (--active_runs_ == 0) {
+      runs_idle_.NotifyAll();
+      // Sleeping workers gate their exit on (shutdown_ && no active
+      // runs); a shutdown that raced this run needs them re-woken.
+      if (shutdown_) work_available_.NotifyAll();
+    }
+  }
+  return status;
+}
+
+void Executor::WorkerLoop(std::size_t index) {
+  tls_worker.executor = this;
+  tls_worker.index = index;
+  for (;;) {
+    std::uint64_t seen;
+    {
+      MutexLock lock(mutex_);
+      if (shutdown_ && active_runs_ == 0) return;
+      seen = work_epoch_;
+    }
+    Task task;
+    if (TryAcquire(index, &task)) {
+      ExecuteTask(std::move(task), index);
+      continue;
+    }
+    MutexLock lock(mutex_);
+    while (!(shutdown_ && active_runs_ == 0) && work_epoch_ == seen) {
+      work_available_.Wait(lock);
+    }
+    if (shutdown_ && active_runs_ == 0) return;
+  }
+}
+
+bool Executor::TryAcquire(std::size_t lane, Task* out) {
+  const std::size_t workers = states_.size();
+  if (lane < workers) {
+    WorkerState& own = *states_[lane];
+    MutexLock lock(own.mutex);
+    if (!own.deque.empty()) {
+      *out = std::move(own.deque.back());
+      own.deque.pop_back();
+      return true;
+    }
+  }
+  {
+    MutexLock lock(mutex_);
+    if (!injected_.empty()) {
+      *out = std::move(injected_.front());
+      injected_.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k <= workers; ++k) {
+    const std::size_t victim = (lane + k) % workers;
+    if (victim == lane) continue;
+    WorkerState& victim_state = *states_[victim];
+    bool stolen = false;
+    {
+      MutexLock lock(victim_state.mutex);
+      if (!victim_state.deque.empty()) {
+        *out = std::move(victim_state.deque.front());
+        victim_state.deque.pop_front();
+        stolen = true;
+      }
+    }
+    if (stolen) {
+      trace_.RecordSteal(lane, out->run->nodes[out->id].name, NowNs());
+      return true;
+    }
+  }
+  return false;
+}
+
+void Executor::ExecuteTask(Task task, std::size_t lane) {
+  RunState& run = *task.run;
+  const TaskGraph::Node& node = run.nodes[task.id];
+
+  const std::int64_t begin_ns = NowNs();
+  if (node.fn) {
+    try {
+      node.fn();
+    } catch (...) {
+      run.errors[task.id] = DescribeException();
+    }
+  }
+  trace_.RecordTask(lane, node.name, begin_ns, NowNs());
+
+  std::vector<Task> ready;
+  for (const TaskId succ : node.successors) {
+    if (run.pending[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ready.push_back(Task{task.run, succ});
+    }
+  }
+  if (!ready.empty()) PushReady(std::move(ready), lane);
+
+  const bool pushed = !node.successors.empty();
+  MutexLock lock(run.mutex);
+  --run.remaining;
+  if (pushed) ++run.ready_epoch;
+  // Wake the run's waiting caller on completion, and after any push so
+  // it re-scans for newly stealable work instead of idling.
+  if (run.remaining == 0 || pushed) run.done.NotifyAll();
+}
+
+void Executor::PushReady(std::vector<Task> tasks, std::size_t lane) {
+  const std::size_t workers = states_.size();
+  if (lane < workers) {
+    MutexLock lock(states_[lane]->mutex);
+    for (Task& task : tasks) {
+      states_[lane]->deque.push_back(std::move(task));
+    }
+  } else {
+    MutexLock lock(mutex_);
+    for (Task& task : tasks) injected_.push_back(std::move(task));
+  }
+  MutexLock lock(mutex_);
+  ++work_epoch_;
+  work_available_.NotifyAll();
+}
+
+Status RunGraph(Executor* executor, TaskGraph graph) {
+  if (executor == nullptr) return RunGraphInline(std::move(graph));
+  return executor->Run(std::move(graph));
+}
+
+Status RunGraphInline(TaskGraph graph) {
+  SITM_RETURN_IF_ERROR(graph.Validate());
+  auto& nodes = graph.nodes_;
+  std::vector<std::size_t> pending(nodes.size());
+  // Min-id order makes the inline schedule (and thus any in-order
+  // side effects) deterministic, matching the null-pool sequential
+  // behavior the adapters promise.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>>
+      ready;
+  for (TaskId id = 0; id < nodes.size(); ++id) {
+    pending[id] = nodes[id].dependencies;
+    if (pending[id] == 0) ready.push(id);
+  }
+  std::vector<std::string> errors(nodes.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.top();
+    ready.pop();
+    if (nodes[id].fn) {
+      try {
+        nodes[id].fn();
+      } catch (...) {
+        errors[id] = DescribeException();
+      }
+    }
+    for (const TaskId succ : nodes[id].successors) {
+      if (--pending[succ] == 0) ready.push(succ);
+    }
+  }
+  for (TaskId id = 0; id < nodes.size(); ++id) {
+    if (!errors[id].empty()) {
+      return TaskFailure(id, nodes[id].name, errors[id]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sitm::sched

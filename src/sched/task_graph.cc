@@ -1,0 +1,62 @@
+#include "sched/task_graph.h"
+
+#include <utility>
+
+namespace sitm::sched {
+
+TaskId TaskGraph::AddTask(std::string name, std::function<void()> fn) {
+  Node node;
+  node.name = std::move(name);
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+Status TaskGraph::AddEdge(TaskId before, TaskId after) {
+  if (before >= nodes_.size() || after >= nodes_.size()) {
+    return Status::InvalidArgument(
+        "sched: edge (" + std::to_string(before) + " -> " +
+        std::to_string(after) + ") references a task outside the graph of "
+        "size " + std::to_string(nodes_.size()));
+  }
+  if (before == after) {
+    return Status::InvalidArgument("sched: self-edge on task #" +
+                                   std::to_string(before) + " ('" +
+                                   nodes_[before].name + "')");
+  }
+  nodes_[before].successors.push_back(after);
+  ++nodes_[after].dependencies;
+  return Status::OK();
+}
+
+Status TaskGraph::Validate() const {
+  std::vector<std::size_t> pending(nodes_.size());
+  std::vector<TaskId> ready;
+  for (TaskId id = 0; id < nodes_.size(); ++id) {
+    pending[id] = nodes_[id].dependencies;
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const TaskId succ : nodes_[id].successors) {
+      if (--pending[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (processed != nodes_.size()) {
+    // Every unprocessed node sits on (or downstream of) a cycle; name the
+    // lowest-id one with unmet dependencies for a stable message.
+    for (TaskId id = 0; id < nodes_.size(); ++id) {
+      if (pending[id] != 0) {
+        return Status::InvalidArgument(
+            "sched: task graph contains a cycle through task #" +
+            std::to_string(id) + " ('" + nodes_[id].name + "')");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sitm::sched

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sitm::sched {
+
+/// Identifies one task inside a TaskGraph (its insertion index).
+using TaskId = std::size_t;
+
+/// \brief A dependency DAG of `void()` tasks, built once and then handed
+/// to an Executor (or RunGraph) for execution.
+///
+/// The graph owns its task callables. Edges express ordering only: an
+/// edge (before, after) means `after` starts no earlier than `before`
+/// finishes. Task bodies follow the repo-wide slot discipline — each
+/// writes caller-owned state that no concurrently runnable task touches —
+/// so the graph structure is the complete synchronization story.
+///
+/// Tasks should not throw; a throwing task is captured by the runner and
+/// surfaced as an Internal Status (all other tasks still execute, so
+/// partial output slots stay deterministic).
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  TaskGraph(TaskGraph&&) = default;
+  TaskGraph& operator=(TaskGraph&&) = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task and returns its id (ids are dense, in insertion order).
+  /// `name` feeds the trace sink (truncated to the span name width). A
+  /// null `fn` is a barrier: it completes instantly and only sequences
+  /// its edges.
+  TaskId AddTask(std::string name, std::function<void()> fn);
+
+  /// Declares that `before` must finish before `after` starts. Fails on
+  /// out-of-range ids and self-edges. Duplicate edges are harmless (the
+  /// dependency count balances the successor list).
+  Status AddEdge(TaskId before, TaskId after);
+
+  /// Number of tasks added so far.
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Kahn's-algorithm check that the edge set is acyclic. Runners call
+  /// this before executing; a cycle is InvalidArgument naming one task
+  /// on it.
+  Status Validate() const;
+
+ private:
+  friend class Executor;
+  friend Status RunGraphInline(TaskGraph graph);
+
+  struct Node {
+    std::string name;
+    std::function<void()> fn;
+    std::vector<TaskId> successors;
+    /// Incoming-edge count; the runner's per-node countdown seed.
+    std::size_t dependencies = 0;
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sitm::sched

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "sched/parallel.h"
 #include "storage/columnar.h"
 
 namespace sitm::storage {
@@ -218,9 +219,9 @@ Status EventStoreWriter::Append(
   // Thread-safety: each task encodes a disjoint row range of the
   // (read-only) input into its own EncodedBlock slot; the file is
   // written sequentially afterwards, so bytes on disk are identical
-  // at every pool size.
-  std::vector<EncodedBlock> encoded = ParallelMap<EncodedBlock>(
-      options_.pool, num_blocks, [&](std::size_t b) {
+  // at every worker count.
+  std::vector<EncodedBlock> encoded = sched::ParallelMap<EncodedBlock>(
+      options_.executor, num_blocks, [&](std::size_t b) {
         const std::size_t begin = b * per_block;
         const std::size_t end = std::min(begin + per_block, detections.size());
         const std::size_t n = end - begin;
@@ -251,7 +252,8 @@ Status EventStoreWriter::Append(
         block.meta.checksum = Checksum(block.payload);
         block.objects = SortedUnique(std::move(objects));
         return block;
-      });
+      },
+      /*grain=*/0, "store/encode");
 
   for (EncodedBlock& block : encoded) {
     block.meta.offset = offset_;
@@ -339,8 +341,8 @@ Status EventStoreWriter::Append(
 
   // Thread-safety: same slot discipline as the detection path — one
   // BlockRange in, one EncodedBlock slot out, no shared writes.
-  std::vector<EncodedBlock> encoded = ParallelMap<EncodedBlock>(
-      options_.pool, ranges.size(), [&](std::size_t b) {
+  std::vector<EncodedBlock> encoded = sched::ParallelMap<EncodedBlock>(
+      options_.executor, ranges.size(), [&](std::size_t b) {
         const BlockRange& range = ranges[b];
         EncodedBlock block;
         auto slice_i64 = [](const std::vector<std::int64_t>& v,
@@ -402,7 +404,8 @@ Status EventStoreWriter::Append(
         block.objects = SortedUnique(
             slice_i64(traj_objects, range.traj_begin, range.traj_end));
         return block;
-      });
+      },
+      /*grain=*/0, "store/encode");
 
   for (EncodedBlock& block : encoded) {
     block.meta.offset = offset_;

@@ -8,11 +8,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "base/parallel.h"
 #include "base/result.h"
 #include "core/builder.h"
 #include "core/pipeline.h"
 #include "core/trajectory.h"
+#include "sched/executor.h"
 #include "storage/mapped_file.h"
 
 namespace sitm::storage {
@@ -92,11 +92,11 @@ struct WriterOptions {
   /// block closes at the first trajectory boundary at or past this many
   /// rows (a single longer trajectory gets an oversized block).
   std::size_t rows_per_block = 4096;
-  /// Pool for parallel column encoding of large batches (borrowed; null
-  /// encodes on the calling thread). Output bytes are identical for
-  /// every pool size: blocks are encoded independently and written in
-  /// index order.
-  ThreadPool* pool = nullptr;
+  /// Executor for parallel column encoding of large batches (borrowed;
+  /// null encodes on the calling thread). Output bytes are identical
+  /// for every worker count: blocks are encoded independently and
+  /// written in index order.
+  sched::Executor* executor = nullptr;
   /// Write the secondary object-id index footer section (and a v2
   /// header). False emits a version-1 file, byte-identical to the base
   /// format — the compatibility and index-ablation lever.
@@ -127,11 +127,10 @@ struct StoreStats {
   std::uint64_t file_bytes = 0;
 };
 
-/// \brief Append-only columnar writer with batched, pool-parallel
-/// ingest.
+/// \brief Append-only columnar writer with batched, parallel ingest.
 ///
 /// Usage: Create -> Append (any number of batches, each split into
-/// blocks and column-encoded — in parallel when a pool is set) ->
+/// blocks and column-encoded — in parallel when an executor is set) ->
 /// Finish (writes footer + trailer; the file is unreadable before
 /// this). Append calls must match the store kind.
 class EventStoreWriter {

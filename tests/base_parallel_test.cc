@@ -43,6 +43,35 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 20);
+  pool.Shutdown();  // second call: nothing left to drain or join
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInlineOnCaller) {
+  // Pinned degradation semantic the sched adapters inherit: work handed
+  // to a shut-down pool executes synchronously on the caller instead of
+  // being dropped or parked forever.
+  ThreadPool pool(2);
+  pool.Shutdown();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  bool ran = false;
+  pool.Submit([&] {
+    ran = true;  // no synchronization needed: inline means sequenced
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(ran_on, caller);
+}
+
 TEST(ParallelForTest, EmptyRangeRunsNothing) {
   ThreadPool pool(2);
   std::atomic<int> calls{0};
@@ -70,6 +99,24 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
         ASSERT_EQ(hits[i].load(), 1)
             << "index " << i << " threads " << threads << " grain " << grain;
       }
+    }
+  }
+}
+
+TEST(ParallelForTest, RangeSmallerThanWorkerCountCoversExactlyOnce) {
+  // n < workers: with grain 0 the formula gives grain 1, i.e. n chunks
+  // for n indices — most workers find the cursor exhausted and must
+  // exit without touching the body or wedging the completion wait.
+  ThreadPool pool(8);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                              std::size_t{7}}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(&pool, n, [&hits](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n " << n << " index " << i;
     }
   }
 }

@@ -1,6 +1,6 @@
 // BatchPipeline determinism: for the same input, the batched parallel
 // build -> enrich -> infer must produce results byte-identical to the
-// sequential reference path, at every pool size.
+// sequential reference path, at every worker count.
 #include "core/pipeline.h"
 
 #include <gtest/gtest.h>
@@ -142,28 +142,31 @@ TEST(BatchPipelineTest, MatchesSequentialReferenceAtEveryPoolSize) {
   ASSERT_FALSE(reference.empty());
 
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
-                                    ThreadPool::DefaultConcurrency()}) {
-    ThreadPool pool(threads);
+                                    sched::Executor::DefaultConcurrency()}) {
+    sched::Executor executor(threads);
     for (const std::size_t per_shard : {std::size_t{1}, std::size_t{7},
                                         std::size_t{1000}}) {
-      PipelineOptions options = BaseOptions();
-      options.pool = &pool;
-      options.objects_per_shard = per_shard;
-      BatchPipeline pipeline(options);
-      auto result = pipeline.Run(detections);
-      ASSERT_TRUE(result.ok())
-          << result.status() << " threads=" << threads
-          << " per_shard=" << per_shard;
-      ExpectIdentical(reference, *result);
-      ExpectSameReport(reference_report, pipeline.report());
-      EXPECT_EQ(pipeline.report().shards,
-                (pipeline.report().build.objects_seen + per_shard - 1) /
-                    per_shard);
+      for (const bool barrier : {false, true}) {
+        PipelineOptions options = BaseOptions();
+        options.executor = &executor;
+        options.objects_per_shard = per_shard;
+        options.barrier_stages = barrier;
+        BatchPipeline pipeline(options);
+        auto result = pipeline.Run(detections);
+        ASSERT_TRUE(result.ok())
+            << result.status() << " threads=" << threads
+            << " per_shard=" << per_shard << " barrier=" << barrier;
+        ExpectIdentical(reference, *result);
+        ExpectSameReport(reference_report, pipeline.report());
+        EXPECT_EQ(pipeline.report().shards,
+                  (pipeline.report().build.objects_seen + per_shard - 1) /
+                      per_shard);
+      }
     }
   }
 }
 
-TEST(BatchPipelineTest, NullPoolIsTheSequentialPath) {
+TEST(BatchPipelineTest, NullExecutorIsTheSequentialPath) {
   const std::vector<RawDetection> detections = LouvreDetections(60, 99);
   PipelineReport reference_report;
   const std::vector<SemanticTrajectory> reference =
@@ -178,8 +181,8 @@ TEST(BatchPipelineTest, NullPoolIsTheSequentialPath) {
 TEST(BatchPipelineTest, BuildOnlyModeSkipsEnrichAndInfer) {
   const std::vector<RawDetection> detections = LouvreDetections(40, 7);
   PipelineOptions options;  // no graph, no rules, no inference
-  ThreadPool pool(2);
-  options.pool = &pool;
+  sched::Executor executor(2);
+  options.executor = &executor;
   BatchPipeline pipeline(options);
   auto result = pipeline.Run(detections);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -196,8 +199,8 @@ TEST(BatchPipelineTest, HonorsFirstTrajectoryId) {
   const std::vector<RawDetection> detections = LouvreDetections(30, 11);
   PipelineOptions options = BaseOptions();
   options.builder.first_trajectory_id = TrajectoryId(500);
-  ThreadPool pool(2);
-  options.pool = &pool;
+  sched::Executor executor(2);
+  options.executor = &executor;
   options.objects_per_shard = 3;
   BatchPipeline pipeline(options);
   auto result = pipeline.Run(detections);
@@ -236,8 +239,8 @@ TEST(BatchPipelineTest, RejectsRulesWithoutGraph) {
 
 TEST(BatchPipelineTest, RejectsInvalidDetectionIds) {
   PipelineOptions options;
-  ThreadPool pool(2);
-  options.pool = &pool;
+  sched::Executor executor(2);
+  options.executor = &executor;
   BatchPipeline pipeline(options);
   std::vector<RawDetection> detections{
       RawDetection(ObjectId(1), CellId::Invalid(), Timestamp(0),

@@ -1,5 +1,5 @@
 // Parallel distance-matrix determinism: the blocked parallel fill must
-// be byte-identical to the sequential fill for every pool size and block
+// be byte-identical to the sequential fill for every worker count and block
 // size, under several distance functions.
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 #include <utility>
 #include <vector>
 
-#include "base/parallel.h"
+#include "sched/executor.h"
 #include "base/rng.h"
 #include "core/trajectory.h"
 #include "mining/similarity.h"
@@ -68,13 +68,13 @@ TEST(ParallelDistanceMatrixTest, MatchesSequentialFillByteForByte) {
     const std::vector<double> reference =
         DistanceMatrix(trajectories, distance);
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
-                                      ThreadPool::DefaultConcurrency()}) {
-      ThreadPool pool(threads);
+                                      sched::Executor::DefaultConcurrency()}) {
+      sched::Executor executor(threads);
       for (const std::size_t block :
            {std::size_t{1}, std::size_t{13}, std::size_t{64},
             std::size_t{1024}}) {
         DistanceMatrixOptions options;
-        options.pool = &pool;
+        options.executor = &executor;
         options.block = block;
         ExpectByteIdentical(reference,
                             DistanceMatrix(trajectories, distance, options));
@@ -86,9 +86,9 @@ TEST(ParallelDistanceMatrixTest, MatchesSequentialFillByteForByte) {
 TEST(ParallelDistanceMatrixTest, SymmetricWithZeroDiagonal) {
   const std::vector<SemanticTrajectory> trajectories =
       MakeTrajectories(40, 7);
-  ThreadPool pool(2);
+  sched::Executor executor(2);
   DistanceMatrixOptions options;
-  options.pool = &pool;
+  options.executor = &executor;
   options.block = 16;
   const std::vector<double> matrix =
       DistanceMatrix(trajectories, EditCellDistance(), options);
@@ -102,9 +102,9 @@ TEST(ParallelDistanceMatrixTest, SymmetricWithZeroDiagonal) {
 }
 
 TEST(ParallelDistanceMatrixTest, TinyInputs) {
-  ThreadPool pool(2);
+  sched::Executor executor(2);
   DistanceMatrixOptions options;
-  options.pool = &pool;
+  options.executor = &executor;
   EXPECT_TRUE(DistanceMatrix({}, EditCellDistance(), options).empty());
   const std::vector<SemanticTrajectory> one = MakeTrajectories(1, 3);
   EXPECT_EQ(DistanceMatrix(one, EditCellDistance(), options),

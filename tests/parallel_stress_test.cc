@@ -1,10 +1,13 @@
-// Stress harness for the base/parallel substrate, written to run under
-// TSan (ctest label: parallel): every scenario here is about *schedule*
-// coverage, not output checking alone — nested submission, exceptions
-// thrown and handled inside tasks, pool teardown racing a full queue,
-// and ParallelFor/ParallelMap hammered from many callers at once. The
-// determinism contract ("byte-identical at every pool size") is only
-// credible if a race detector stays silent on exactly these shapes.
+// Stress harness for the parallel substrates — the base/parallel pool
+// and the sched task-graph executor — written to run under TSan (ctest
+// label: parallel): every scenario here is about *schedule* coverage,
+// not output checking alone — nested submission, exceptions thrown and
+// handled inside tasks, pool teardown racing a full queue,
+// ParallelFor/ParallelMap hammered from many callers at once, and
+// task-graph shapes (diamonds, fan-out/fan-in) under steal pressure.
+// The determinism contract ("byte-identical at every worker count") is
+// only credible if a race detector stays silent on exactly these
+// shapes.
 
 #include <algorithm>
 #include <atomic>
@@ -18,6 +21,9 @@
 #include <gtest/gtest.h>
 
 #include "base/parallel.h"
+#include "sched/executor.h"
+#include "sched/parallel.h"
+#include "sched/task_graph.h"
 
 namespace sitm {
 namespace {
@@ -193,6 +199,193 @@ TEST(ParallelStressTest, ParallelMapIdenticalAcrossPoolSizesUnderLoad) {
   for (const std::size_t pool_size : StressPoolSizes()) {
     ThreadPool pool(pool_size);
     EXPECT_EQ(run(&pool), reference) << "pool size " << pool_size;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sched::Executor shapes under steal pressure. The graphs are small;
+// the stress comes from running many of them at once on few workers, so
+// ready queues drain cross-deque and every dependency edge's release /
+// acquire pairing gets exercised by actual thieves.
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorStressTest, DiamondDagsUnderStealPressure) {
+  // A -> {B, C} -> D, many diamonds per run: D must observe both B's
+  // and C's writes, which in turn must observe A's. Any missing edge in
+  // the release chain shows up as a torn read here (and under TSan, as
+  // a report).
+  for (const std::size_t workers : StressPoolSizes()) {
+    sched::Executor executor(workers);
+    constexpr std::size_t kDiamonds = 128;
+    std::vector<int> a(kDiamonds, 0);
+    std::vector<int> b(kDiamonds, 0);
+    std::vector<int> c(kDiamonds, 0);
+    std::vector<int> d(kDiamonds, 0);
+    sched::TaskGraph graph;
+    for (std::size_t i = 0; i < kDiamonds; ++i) {
+      const sched::TaskId ta = graph.AddTask("a", [&a, i] { a[i] = 1; });
+      const sched::TaskId tb =
+          graph.AddTask("b", [&a, &b, i] { b[i] = a[i] + 1; });
+      const sched::TaskId tc =
+          graph.AddTask("c", [&a, &c, i] { c[i] = a[i] + 2; });
+      const sched::TaskId td =
+          graph.AddTask("d", [&b, &c, &d, i] { d[i] = b[i] * 10 + c[i]; });
+      ASSERT_TRUE(graph.AddEdge(ta, tb).ok());
+      ASSERT_TRUE(graph.AddEdge(ta, tc).ok());
+      ASSERT_TRUE(graph.AddEdge(tb, td).ok());
+      ASSERT_TRUE(graph.AddEdge(tc, td).ok());
+    }
+    ASSERT_TRUE(executor.Run(std::move(graph)).ok());
+    for (std::size_t i = 0; i < kDiamonds; ++i) {
+      ASSERT_EQ(d[i], 23) << "diamond " << i << " at " << workers
+                          << " workers";
+    }
+  }
+}
+
+TEST(ExecutorStressTest, FanOutFanInUnderStealPressure) {
+  // 1 -> 256 -> 1: the seed task's pushes flood one deque, so nearly
+  // every leaf a thief runs was stolen; the join task must still see
+  // all 256 increments.
+  for (const std::size_t workers : StressPoolSizes()) {
+    sched::Executor executor(workers);
+    constexpr std::size_t kLeaves = 256;
+    std::vector<std::uint64_t> leaves(kLeaves, 0);
+    std::uint64_t total = 0;
+    bool seeded = false;
+    sched::TaskGraph graph;
+    const sched::TaskId seed =
+        graph.AddTask("seed", [&seeded] { seeded = true; });
+    const sched::TaskId join = graph.AddTask("join", [&leaves, &total] {
+      total = std::accumulate(leaves.begin(), leaves.end(),
+                              std::uint64_t{0});
+    });
+    for (std::size_t i = 0; i < kLeaves; ++i) {
+      const sched::TaskId leaf = graph.AddTask(
+          "leaf", [&leaves, &seeded, i] { leaves[i] = seeded ? i + 1 : 0; });
+      ASSERT_TRUE(graph.AddEdge(seed, leaf).ok());
+      ASSERT_TRUE(graph.AddEdge(leaf, join).ok());
+    }
+    ASSERT_TRUE(executor.Run(std::move(graph)).ok());
+    EXPECT_EQ(total, kLeaves * (kLeaves + 1) / 2);
+  }
+}
+
+TEST(ExecutorStressTest, ExceptionInNodeStillRunsTheRestOfTheGraph) {
+  // A throwing node is captured per-task: its successors and every
+  // unrelated task still execute (slot state stays deterministic), Run
+  // reports the failure, and the executor keeps working afterwards.
+  for (const std::size_t workers : StressPoolSizes()) {
+    sched::Executor executor(workers);
+    constexpr std::size_t kTasks = 256;
+    std::atomic<std::size_t> ran{0};
+    sched::TaskGraph graph;
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      graph.AddTask("work", [&ran, i]() {
+        if (i == kTasks / 2) throw std::runtime_error("boom");
+        ran.fetch_add(1);
+      });
+    }
+    const Status status = executor.Run(std::move(graph));
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(ran.load(), kTasks - 1);
+
+    sched::TaskGraph again;
+    std::atomic<std::size_t> after{0};
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      again.AddTask("work", [&after] { after.fetch_add(1); });
+    }
+    EXPECT_TRUE(executor.Run(std::move(again)).ok());
+    EXPECT_EQ(after.load(), kTasks);
+  }
+}
+
+TEST(ExecutorStressTest, DestructionRacesUnfinishedGraphs) {
+  // Destroying the executor while external threads are mid-Run races
+  // Shutdown's drain against live runs; the destructor must block until
+  // every graph has finished, never strand a queued task.
+  for (const std::size_t workers : StressPoolSizes()) {
+    for (int round = 0; round < 8; ++round) {
+      auto counter = std::make_shared<std::atomic<int>>(0);
+      constexpr int kRunners = 3;
+      constexpr int kTasksEach = 64;
+      auto executor = std::make_unique<sched::Executor>(workers);
+      sched::Executor* raw = executor.get();
+      std::atomic<int> entered{0};
+      // Raw threads on purpose: they are the external callers whose
+      // in-flight runs the destructor must drain.
+      // sitm-lint: allow(naked-thread)
+      std::vector<std::thread> runners;
+      runners.reserve(kRunners);
+      for (int r = 0; r < kRunners; ++r) {
+        runners.emplace_back([raw, counter, &entered] {
+          sched::TaskGraph graph;
+          // The first task proves this run is in flight before the
+          // destructor starts; the rest race against the drain.
+          graph.AddTask("enter", [&entered] { entered.fetch_add(1); });
+          for (int i = 0; i < kTasksEach; ++i) {
+            graph.AddTask("tick", [counter] { counter->fetch_add(1); });
+          }
+          ASSERT_TRUE(raw->Run(std::move(graph)).ok());
+        });
+      }
+      while (entered.load() < kRunners) std::this_thread::yield();
+      executor.reset();  // races the runners' unfinished graphs
+      for (std::thread& t : runners) t.join();  // sitm-lint: allow(naked-thread)
+      EXPECT_EQ(counter->load(), kRunners * kTasksEach);
+    }
+  }
+}
+
+TEST(ExecutorStressTest, ConcurrentNestedParallelForCallersShareOneExecutor) {
+  // The library pattern at stress scale: independent callers fan out
+  // ParallelFor on one shared executor, and each outer chunk nests an
+  // inner ParallelFor (caller participation keeps this deadlock-free
+  // when every worker is busy in outer loops).
+  for (const std::size_t workers : StressPoolSizes()) {
+    sched::Executor executor(workers);
+    constexpr int kCallers = 4;
+    constexpr std::size_t kN = 2048;
+    std::vector<std::vector<std::uint64_t>> outputs(
+        kCallers, std::vector<std::uint64_t>(kN, 0));
+    // Raw threads model independent library callers.
+    // sitm-lint: allow(naked-thread)
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&executor, &outputs, c] {
+        std::vector<std::uint64_t>& out = outputs[c];
+        sched::ParallelFor(
+            &executor, kN,
+            [&executor, &out, c](std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) {
+                std::uint64_t inner_sum = 0;
+                if (i % 512 == 0) {
+                  std::vector<std::uint64_t> inner(64, 0);
+                  sched::ParallelFor(
+                      &executor, inner.size(),
+                      [&inner](std::size_t ib, std::size_t ie) {
+                        for (std::size_t k = ib; k < ie; ++k) inner[k] = k;
+                      },
+                      /*grain=*/8);
+                  inner_sum = std::accumulate(inner.begin(), inner.end(),
+                                              std::uint64_t{0});
+                }
+                out[i] = i + static_cast<std::uint64_t>(c) + inner_sum;
+              }
+            },
+            /*grain=*/64);
+      });
+    }
+    for (std::thread& t : callers) t.join();  // sitm-lint: allow(naked-thread)
+    constexpr std::uint64_t kInnerSum = 64 * 63 / 2;
+    for (int c = 0; c < kCallers; ++c) {
+      for (std::size_t i = 0; i < kN; ++i) {
+        const std::uint64_t expected =
+            i + static_cast<std::uint64_t>(c) + (i % 512 == 0 ? kInnerSum : 0);
+        ASSERT_EQ(outputs[c][i], expected) << "caller " << c << " slot " << i;
+      }
+    }
   }
 }
 

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "base/parallel.h"
+#include "sched/executor.h"
 #include "core/pipeline.h"
 #include "core/projection.h"
 #include "louvre/museum.h"
@@ -532,16 +532,17 @@ TEST(QueryDeterminismTest, ByteIdenticalAcrossPoolSizesAndBackends) {
     EXPECT_FALSE(expected.empty());
 
     for (const std::size_t threads :
-         {std::size_t{1}, std::size_t{2}, ThreadPool::DefaultConcurrency()}) {
-      ThreadPool pool(threads);
+         {std::size_t{1}, std::size_t{2},
+          sched::Executor::DefaultConcurrency()}) {
+      sched::Executor pool_executor(threads);
       ExecutorOptions options;
-      options.pool = &pool;
+      options.executor = &pool_executor;
       options.chunk = 16;  // several chunks even on small inputs
       QueryExecutor executor(LouvreContext(), options);
       const auto in_memory = executor.Run(queries[q], trajectories);
       ASSERT_TRUE(in_memory.ok()) << in_memory.status();
       EXPECT_EQ(in_memory->Fingerprint(), expected)
-          << "query " << q << " in-memory at pool size " << threads;
+          << "query " << q << " in-memory at worker count " << threads;
       const auto from_store = executor.Run(queries[q], *reader);
       ASSERT_TRUE(from_store.ok()) << from_store.status();
       EXPECT_EQ(from_store->Fingerprint(), expected)

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "base/parallel.h"
+#include "sched/executor.h"
 #include "core/pipeline.h"
 #include "io/csv.h"
 #include "louvre/museum.h"
@@ -268,10 +268,10 @@ TEST(EventStoreRoundTripTest, ParallelEncodingIsByteIdentical) {
   WriterOptions seq_options;
   seq_options.rows_per_block = 64;
   ASSERT_TRUE(WriteTrajectoryStore(seq_path, trajectories, seq_options).ok());
-  ThreadPool pool(3);
+  sched::Executor executor(3);
   WriterOptions par_options;
   par_options.rows_per_block = 64;
-  par_options.pool = &pool;
+  par_options.executor = &executor;
   ASSERT_TRUE(WriteTrajectoryStore(par_path, trajectories, par_options).ok());
   const auto seq_bytes = io::ReadFile(seq_path);
   const auto par_bytes = io::ReadFile(par_path);
