@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gates the on-disk size of the bench-emitted EventStore artifacts.
+
+The benches leave deterministic BENCH_*.evst files behind (fixed
+simulator seeds, deterministic encoders), so their byte counts are
+comparable across machines — unlike timings. This script compares the
+current artifacts against a pinned baseline JSON ({filename: bytes})
+and fails on growth beyond --threshold (default 0.10 = +10%), the
+bytes-per-tuple regression gate for the storage format.
+
+Shrinkage is reported but never fails. An artifact listed in the
+baseline but absent on disk FAILS the gate (a silently missing file
+would un-gate it); an artifact on disk but not in the baseline is
+reported as "added" and suggests --update. Refresh the baseline after
+an intentional format change with:
+  python3 scripts/check_store_sizes.py bench/baseline/store_sizes.json . --update
+
+Exit status: 0 when the gate passes (or --update / --report-only ran),
+1 on growth past the threshold or a missing artifact, 2 on usage or
+parse errors. (Regression-tested by scripts/test_compare_benches.py.)
+
+Usage:
+  scripts/check_store_sizes.py <baseline_json> <current_dir> [options]
+
+Options:
+  --threshold FRACTION   growth threshold (default 0.10 = +10%)
+  --update               rewrite the baseline from the current artifacts
+  --report-only          print the table but always exit 0
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def current_sizes(directory):
+    """Returns {filename: bytes} for every BENCH_*.evst in `directory`."""
+    sizes = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.evst"))):
+        sizes[os.path.basename(path)] = os.path.getsize(path)
+    return sizes
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="gate BENCH_*.evst sizes against a pinned baseline")
+    parser.add_argument("baseline", help="pinned baseline JSON")
+    parser.add_argument("current_dir", help="directory with BENCH_*.evst")
+    parser.add_argument("--threshold", type=float, default=0.10)
+    parser.add_argument("--update", action="store_true")
+    parser.add_argument("--report-only", action="store_true")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit:
+        return 2
+
+    if not os.path.isdir(args.current_dir):
+        print(f"error: {args.current_dir}: not a directory", file=sys.stderr)
+        return 2
+    sizes = current_sizes(args.current_dir)
+
+    if args.update:
+        if not sizes:
+            print(f"error: no BENCH_*.evst under {args.current_dir}; "
+                  "refusing to pin an empty baseline", file=sys.stderr)
+            return 2
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(sizes, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"pinned {len(sizes)} artifact sizes to {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {args.baseline}: {err}", file=sys.stderr)
+        return 2
+    if (not isinstance(baseline, dict) or
+            not all(isinstance(v, int) and v > 0 for v in baseline.values())):
+        print(f"error: {args.baseline}: expected {{filename: bytes}} with "
+              "positive sizes", file=sys.stderr)
+        return 2
+
+    failures = 0
+    print(f"{'artifact':40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in sizes:
+            print(f"{name:40} {base:12} {'MISSING':>12} {'':>8}  FAIL")
+            failures += 1
+            continue
+        cur = sizes[name]
+        delta = (cur - base) / base
+        verdict = ""
+        if delta > args.threshold:
+            verdict = "  FAIL (grew past "
+            verdict += f"+{args.threshold:.0%})"
+            failures += 1
+        print(f"{name:40} {base:12} {cur:12} {delta:+8.1%}{verdict}")
+    for name in sorted(set(sizes) - set(baseline)):
+        print(f"{name:40} {'(added)':>12} {sizes[name]:12} {'':>8}  "
+              "not gated; pin with --update")
+
+    if failures:
+        print(f"{failures} artifact(s) failed the size gate "
+              f"(threshold +{args.threshold:.0%})")
+    if args.report_only:
+        return 0
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,7 +4,9 @@
 pytest-style test_* functions with plain asserts, plus a __main__ runner
 so CI needs only `python3 scripts/test_compare_benches.py` (no pytest
 dependency). Each test builds synthetic BENCH_*.json sets in a temp dir
-and drives compare_benches.main() end to end.
+and drives compare_benches.main() end to end. The store-size gate
+(scripts/check_store_sizes.py, the sibling comparator over BENCH_*.evst
+artifact bytes) is regression-tested here too.
 
 Pinned behaviors (each was a crash or a silent mis-gate once):
   - a benchmark present in only one set is reported, not crashed on;
@@ -22,6 +24,7 @@ import tempfile
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import check_store_sizes  # noqa: E402
 import compare_benches  # noqa: E402
 
 
@@ -151,6 +154,109 @@ def test_repetitions_reduce_to_median():
         code, out = _run([base, cur])
         assert code == 0, out
         assert "REGRESSION" not in out
+
+
+# ---------------------------------------------------------------------------
+# Store-size gate (scripts/check_store_sizes.py).
+# ---------------------------------------------------------------------------
+
+
+def _write_store(directory, name, size):
+    path = os.path.join(directory, f"BENCH_{name}.evst")
+    with open(path, "wb") as fh:
+        fh.write(b"\0" * size)
+    return path
+
+
+def _write_size_baseline(directory, sizes):
+    path = os.path.join(directory, "store_sizes.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({f"BENCH_{k}.evst": v for k, v in sizes.items()}, fh)
+    return path
+
+
+def _run_sizes(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = check_store_sizes.main(argv)
+    return code, out.getvalue()
+
+
+def test_store_growth_past_threshold_fails_and_under_passes():
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _write_size_baseline(tmp, {"a": 1000, "b": 1000})
+        _write_store(tmp, "a", 1050)   # +5%: fine
+        _write_store(tmp, "b", 1200)   # +20%: past the +10% default
+        code, out = _run_sizes([baseline, tmp])
+        assert code == 1, out
+        assert "FAIL" in out and "BENCH_b.evst" in out
+        code, out = _run_sizes([baseline, tmp, "--threshold", "0.25"])
+        assert code == 0, out
+
+
+def test_store_shrinkage_never_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _write_size_baseline(tmp, {"a": 1000})
+        _write_store(tmp, "a", 400)
+        code, out = _run_sizes([baseline, tmp])
+        assert code == 0, out
+        assert "-60.0%" in out
+
+
+def test_store_missing_artifact_fails_the_gate():
+    # A bench that stops emitting its artifact must not silently un-gate
+    # the size check.
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _write_size_baseline(tmp, {"gone": 1000})
+        code, out = _run_sizes([baseline, tmp])
+        assert code == 1, out
+        assert "MISSING" in out
+
+
+def test_store_added_artifact_is_reported_not_gated():
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _write_size_baseline(tmp, {"a": 1000})
+        _write_store(tmp, "a", 1000)
+        _write_store(tmp, "new", 5000)
+        code, out = _run_sizes([baseline, tmp])
+        assert code == 0, out
+        assert "not gated" in out and "BENCH_new.evst" in out
+
+
+def test_store_update_pins_current_sizes():
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = os.path.join(tmp, "store_sizes.json")
+        _write_store(tmp, "a", 1234)
+        code, out = _run_sizes([baseline, tmp, "--update"])
+        assert code == 0, out
+        with open(baseline, encoding="utf-8") as fh:
+            assert json.load(fh) == {"BENCH_a.evst": 1234}
+        code, out = _run_sizes([baseline, tmp])
+        assert code == 0, out
+
+
+def test_store_report_only_exits_zero_on_regression():
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _write_size_baseline(tmp, {"a": 100})
+        _write_store(tmp, "a", 1000)
+        code, out = _run_sizes([baseline, tmp, "--report-only"])
+        assert code == 0, out
+        assert "FAIL" in out
+
+
+def test_store_bad_baseline_is_a_usage_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = os.path.join(tmp, "store_sizes.json")
+        with open(bad, "w", encoding="utf-8") as fh:
+            fh.write("not json")
+        with contextlib.redirect_stderr(io.StringIO()):
+            code, _ = _run_sizes([bad, tmp])
+        assert code == 2
+        with open(bad, "w", encoding="utf-8") as fh:
+            json.dump({"BENCH_a.evst": -5}, fh)
+        with contextlib.redirect_stderr(io.StringIO()):
+            code, _ = _run_sizes([bad, tmp])
+        assert code == 2
 
 
 def main():

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mining/patterns.h"
+#include "query/result_cache.h"
 #include "sched/parallel.h"
 
 namespace sitm::query {
@@ -313,11 +314,27 @@ Result<QueryResult> QueryExecutor::Run(
   SITM_ASSIGN_OR_RETURN(const BoundQuery bound, BindQuery(query, context_));
   const QueryPlan plan = Plan(bound.where);
 
+  // Cache consult: keyed on the *bound* predicates (symbolic leaves
+  // resolved) and the immutable file, so a hit is exactly the answer a
+  // cold run would produce. Uncacheable queries skip both ends.
+  std::string cache_key;
+  const bool cacheable =
+      options_.cache != nullptr && QueryResultCache::Cacheable(query);
+  if (cacheable) {
+    cache_key = QueryResultCache::Key(query, bound.where, bound.tuple_where,
+                                      reader);
+    std::optional<QueryResult> hit = options_.cache->Lookup(cache_key);
+    if (hit.has_value()) return *std::move(hit);
+  }
+
   QueryResult result;
   result.projection = query.projection;
   result.stats.blocks_total = reader.num_blocks();
   result.stats.rows_total = reader.rows();
-  if (plan.pushdown.never_matches) return result;
+  if (plan.pushdown.never_matches) {
+    if (cacheable) options_.cache->Insert(cache_key, result);
+    return result;
+  }
 
   const std::vector<std::size_t> blocks = PlanBlocks(reader, plan.pushdown);
   const storage::ScanOptions scan = ToScanOptions(plan.pushdown);
@@ -353,6 +370,7 @@ Result<QueryResult> QueryExecutor::Run(
   for (std::size_t b : blocks) {
     result.stats.rows_scanned += reader.block(b).rows;
   }
+  if (cacheable) options_.cache->Insert(cache_key, result);
   return result;
 }
 

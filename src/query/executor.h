@@ -137,6 +137,8 @@ struct QueryResult {
   std::string Fingerprint() const;
 };
 
+class QueryResultCache;
+
 /// Executor knobs.
 struct ExecutorOptions {
   /// Executor to fan out on (borrowed; null = run on the calling
@@ -147,6 +149,11 @@ struct ExecutorOptions {
   /// count — so results and stats are reproducible across worker
   /// counts.
   std::size_t chunk = 64;
+  /// Result cache for store-backed runs (borrowed; null = no caching).
+  /// Sound because finished stores are immutable and the key pins the
+  /// file contents and the bound query — see query/result_cache.h.
+  /// Queries the cache cannot key (episode specs, kTopK) run cold.
+  QueryResultCache* cache = nullptr;
 };
 
 /// \brief Runs queries against a fixed QueryContext.

@@ -32,9 +32,29 @@ std::vector<ObjectId> UnionSorted(const std::vector<ObjectId>& a,
   return out;
 }
 
+/// Canonical term order (and equality) for the summary's annotation
+/// list: by kind, then value; scope is ignored — two terms differing
+/// only in scope prune identically.
+bool TermLess(const AnnotationTerm& a, const AnnotationTerm& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.value < b.value;
+}
+bool TermEqual(const AnnotationTerm& a, const AnnotationTerm& b) {
+  return a.kind == b.kind && a.value == b.value;
+}
+
+std::vector<AnnotationTerm> SortedUniqueTerms(std::vector<AnnotationTerm> t) {
+  std::sort(t.begin(), t.end(), TermLess);
+  t.erase(std::unique(t.begin(), t.end(), TermEqual), t.end());
+  return t;
+}
+
 /// Conjunction: both constraints must hold, so constraints tighten.
 PushdownSummary Meet(PushdownSummary a, const PushdownSummary& b) {
   if (a.never_matches || b.never_matches) return Never();
+  a.annotations.insert(a.annotations.end(), b.annotations.begin(),
+                       b.annotations.end());
+  a.annotations = SortedUniqueTerms(std::move(a.annotations));
   if (b.objects.has_value()) {
     a.objects = a.objects.has_value() ? IntersectSorted(*a.objects, *b.objects)
                                       : *b.objects;
@@ -60,6 +80,16 @@ PushdownSummary Meet(PushdownSummary a, const PushdownSummary& b) {
 PushdownSummary Join(PushdownSummary a, const PushdownSummary& b) {
   if (a.never_matches) return b;
   if (b.never_matches) return a;
+  {
+    // Only terms both branches require survive the disjunction. Both
+    // sides are sorted unique (Summarize canonicalizes), so a set
+    // intersection under the canonical order is exact.
+    std::vector<AnnotationTerm> common;
+    std::set_intersection(a.annotations.begin(), a.annotations.end(),
+                          b.annotations.begin(), b.annotations.end(),
+                          std::back_inserter(common), TermLess);
+    a.annotations = std::move(common);
+  }
   if (a.objects.has_value() && b.objects.has_value()) {
     a.objects = UnionSorted(*a.objects, *b.objects);
   } else {
@@ -126,6 +156,15 @@ PushdownSummary Summarize(const Predicate& predicate) {
       }
       return Unconstrained();
     }
+    case PredicateKind::kAnnotation: {
+      // Whatever the scope, a matching trajectory carries the term in
+      // some annotation set the block references — exactly what the v3
+      // bitmaps index (trajectories never span blocks).
+      const std::optional<AnnotationTerm> term = predicate.annotation();
+      PushdownSummary summary;
+      summary.annotations.push_back(*term);
+      return summary;
+    }
     case PredicateKind::kNot:
     default:
       // Negations and the remaining leaves constrain neither objects
@@ -155,6 +194,17 @@ std::string PushdownSummary::ToString() const {
         << (max_time ? max_time->ToString() : "..") << "]";
     any = true;
   }
+  if (!annotations.empty()) {
+    if (any) out << " ";
+    out << "annotations{";
+    for (std::size_t i = 0; i < annotations.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << core::AnnotationKindName(annotations[i].kind) << ":"
+          << annotations[i].value;
+    }
+    out << "}";
+    any = true;
+  }
   if (!any) out << "unconstrained";
   return out.str();
 }
@@ -173,8 +223,9 @@ QueryPlan Plan(const Predicate& bound_predicate) {
 
 storage::ScanOptions ToScanOptions(const PushdownSummary& pushdown) {
   storage::ScanOptions scan;
-  if (pushdown.objects.has_value() && pushdown.objects->size() == 1) {
-    scan.object = pushdown.objects->front();
+  if (pushdown.objects.has_value()) {
+    // Summaries keep the set sorted unique — the ScanOptions contract.
+    scan.objects = *pushdown.objects;
   }
   scan.min_time = pushdown.min_time;
   scan.max_time = pushdown.max_time;
@@ -188,22 +239,24 @@ storage::ScanOptions ToScanOptions(const PushdownSummary& pushdown) {
 
 std::vector<std::size_t> PlanBlocks(const storage::EventStoreReader& reader,
                                     const PushdownSummary& pushdown) {
-  std::vector<std::size_t> out;
-  if (pushdown.never_matches) return out;
-  storage::ScanOptions scan;
-  scan.min_time = pushdown.min_time;
-  scan.max_time = pushdown.max_time;
-  if (!pushdown.objects.has_value()) {
-    return reader.CandidateBlocks(scan);
+  if (pushdown.never_matches) return {};
+  std::vector<std::size_t> blocks =
+      reader.CandidateBlocks(ToScanOptions(pushdown));
+  if (!pushdown.annotations.empty()) {
+    blocks.erase(std::remove_if(blocks.begin(), blocks.end(),
+                                [&](std::size_t b) {
+                                  for (const AnnotationTerm& term :
+                                       pushdown.annotations) {
+                                    if (!reader.BlockMayContainAnnotation(
+                                            b, term.kind, term.value)) {
+                                      return true;
+                                    }
+                                  }
+                                  return false;
+                                }),
+                 blocks.end());
   }
-  for (ObjectId object : *pushdown.objects) {
-    scan.object = object;
-    const std::vector<std::size_t> blocks = reader.CandidateBlocks(scan);
-    out.insert(out.end(), blocks.begin(), blocks.end());
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return blocks;
 }
 
 }  // namespace sitm::query

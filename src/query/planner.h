@@ -34,10 +34,17 @@ struct PushdownSummary {
   /// unset bounds are open.
   std::optional<Timestamp> min_time;
   std::optional<Timestamp> max_time;
+  /// Annotation terms every match must carry somewhere (kind + value;
+  /// scope is irrelevant for block pruning). Conjunction unions terms
+  /// (all must hold), disjunction intersects (only terms required by
+  /// every branch survive) — the usual lattice, with "no terms" as top.
+  /// PlanBlocks prunes blocks whose v3 annotation bitmaps exclude any
+  /// term; stores without bitmaps are unaffected.
+  std::vector<AnnotationTerm> annotations;
 
   bool HasConstraint() const {
     return never_matches || objects.has_value() || min_time.has_value() ||
-           max_time.has_value();
+           max_time.has_value() || !annotations.empty();
   }
 
   /// "objects{3} time[.., ..]" style rendering.
@@ -64,16 +71,17 @@ struct QueryPlan {
 QueryPlan Plan(const Predicate& bound_predicate);
 
 /// Blocks of `reader` the plan must touch, ascending and unique: the
-/// union over the object set of per-object candidate blocks (exact
-/// posting lists when the store carries the v2 object index, min/max
-/// footer pruning otherwise), intersected with time-window pruning —
-/// or every time-surviving block when objects are unconstrained.
+/// union over the object set of candidate blocks (exact posting lists
+/// when the store carries the v2 object index, min/max footer pruning
+/// otherwise), intersected with time-window pruning and — on stores
+/// carrying v3 annotation bitmaps — with bitmap pruning for every
+/// summarized annotation term.
 std::vector<std::size_t> PlanBlocks(const storage::EventStoreReader& reader,
                                     const PushdownSummary& pushdown);
 
-/// The summary as ScanOptions for row-level filtering: always carries
-/// the time window; names the object only when the set is a singleton
-/// (ScanOptions speaks one object — larger sets stay residual).
+/// The summary as ScanOptions for row-level filtering: carries the time
+/// window and the full object set (ScanOptions speaks multi-object
+/// scans, so no residual per-row object check remains).
 storage::ScanOptions ToScanOptions(const PushdownSummary& pushdown);
 
 }  // namespace sitm::query

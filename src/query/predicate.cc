@@ -362,6 +362,15 @@ const AllenConstraint* Predicate::allen() const {
   return node_->allen.has_value() ? &*node_->allen : nullptr;
 }
 
+std::optional<AnnotationTerm> Predicate::annotation() const {
+  if (node_->kind != PredicateKind::kAnnotation) return std::nullopt;
+  AnnotationTerm term;
+  term.kind = node_->ann_kind;
+  term.value = node_->ann_value;
+  term.scope = node_->ann_scope;
+  return term;
+}
+
 Result<Predicate> Predicate::Bind(const QueryContext& context) const {
   const Node& node = *node_;
   switch (node.kind) {
@@ -544,6 +553,105 @@ std::string Predicate::ToString() const {
       return out.str();
   }
   return "?";
+}
+
+namespace {
+
+/// Length-prefixed string: no value can forge a key delimiter.
+void KeyString(std::ostringstream& out, const std::string& s) {
+  out << s.size() << ':' << s;
+}
+
+void KeyTimestamp(std::ostringstream& out,
+                  const std::optional<Timestamp>& t) {
+  if (t.has_value()) {
+    out << t->seconds_since_epoch();
+  } else {
+    out << '_';
+  }
+}
+
+void AppendCanonicalKey(const Node& node, std::ostringstream& out) {
+  out << static_cast<int>(node.kind) << '(';
+  switch (node.kind) {
+    case PredicateKind::kTrue:
+      break;
+    case PredicateKind::kAnd:
+    case PredicateKind::kOr:
+    case PredicateKind::kNot:
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out << ',';
+        out << node.children[i].CanonicalKey();
+      }
+      break;
+    case PredicateKind::kObjectIn:
+      for (std::size_t i = 0; i < node.objects.size(); ++i) {
+        if (i > 0) out << ',';
+        out << node.objects[i].value();
+      }
+      break;
+    case PredicateKind::kTimeWindow:
+      KeyTimestamp(out, node.min_time);
+      out << ',';
+      KeyTimestamp(out, node.max_time);
+      break;
+    case PredicateKind::kAllen:
+      out << node.allen->mask.ToString() << ','
+          << node.allen->probe.start().seconds_since_epoch() << ','
+          << node.allen->probe.end().seconds_since_epoch();
+      break;
+    case PredicateKind::kCellIn:
+    case PredicateKind::kInZone:
+    case PredicateKind::kInLayer:
+    case PredicateKind::kAtPoint:
+    case PredicateKind::kInRegion:
+      if (node.cells_resolved) {
+        // A bound spatial leaf's semantics is exactly its cell set:
+        // render it completely, sorted for canonical order.
+        std::vector<std::int64_t> cells;
+        cells.reserve(node.cells.size());
+        for (CellId cell : node.cells) cells.push_back(cell.value());
+        std::sort(cells.begin(), cells.end());
+        out << "cells:";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          if (i > 0) out << ',';
+          out << cells[i];
+        }
+      } else {
+        // Unbound leaves never reach evaluation (the executor binds
+        // first); render the symbolic parameters for completeness.
+        out << "unbound:" << node.zone.value() << ','
+            << node.layer.value() << ',';
+        out.precision(17);
+        out << node.point.x << ',' << node.point.y << ',';
+        KeyString(out, node.region_name);
+        out << ',' << node.region_relations.ToString();
+      }
+      break;
+    case PredicateKind::kAnnotation:
+      out << static_cast<int>(node.ann_kind) << ','
+          << static_cast<int>(node.ann_scope) << ',';
+      KeyString(out, node.ann_value);
+      break;
+    case PredicateKind::kHasEpisode:
+      KeyString(out, node.episode_label);
+      break;
+    case PredicateKind::kEpisodeAllen:
+      KeyString(out, node.episode_label);
+      out << ',' << node.allen->mask.ToString() << ','
+          << node.allen->probe.start().seconds_since_epoch() << ','
+          << node.allen->probe.end().seconds_since_epoch();
+      break;
+  }
+  out << ')';
+}
+
+}  // namespace
+
+std::string Predicate::CanonicalKey() const {
+  std::ostringstream out;
+  AppendCanonicalKey(*node_, out);
+  return out.str();
 }
 
 // ---------------------------------------------------------------------------

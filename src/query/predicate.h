@@ -128,6 +128,16 @@ enum class AnnotationScope : int {
   kAnywhere = 2,    ///< A_traj or any tuple's A_i.
 };
 
+/// The payload of a kAnnotation leaf, exposed for planner
+/// introspection (annotation-bitmap pushdown keys on kind + value; the
+/// scope does not matter for block pruning, since the v3 bitmaps cover
+/// trajectory, stay, and transition sets alike).
+struct AnnotationTerm {
+  core::AnnotationKind kind = core::AnnotationKind::kOther;
+  std::string value;
+  AnnotationScope scope = AnnotationScope::kAnywhere;
+};
+
 /// Node kinds, exposed for the planner's structural walk.
 enum class PredicateKind : int {
   kTrue = 0,   ///< matches everything
@@ -201,9 +211,18 @@ class Predicate {
   std::optional<Timestamp> window_min() const;         ///< kTimeWindow
   std::optional<Timestamp> window_max() const;         ///< kTimeWindow
   const AllenConstraint* allen() const;  ///< kAllen / kEpisodeAllen
+  std::optional<AnnotationTerm> annotation() const;  ///< kAnnotation
 
   /// "(object in {3, 9} and time in [.., ..])" style rendering.
   std::string ToString() const;
+
+  /// \brief A content-complete, injective rendering of the tree:
+  /// structurally different predicates produce different keys, and —
+  /// unlike ToString, which elides bound cell sets as "<N cells>" —
+  /// bound spatial leaves render their full sorted cell-id list.
+  /// Strings are length-prefixed so no value can forge a delimiter.
+  /// This is the predicate half of a query-result cache key.
+  std::string CanonicalKey() const;
 
   /// Opaque tree node (defined in predicate.cc; public only so the
   /// implementation's helpers can name it).

@@ -56,7 +56,38 @@ struct EncodedBlock {
   /// Distinct raw object ids in the block, ascending (feeds the
   /// secondary object-id index).
   std::vector<std::int64_t> objects;
+  /// Distinct dictionary ids referenced by the block, ascending (feeds
+  /// the v3 annotation bitmaps; empty for detection blocks).
+  std::vector<std::uint32_t> dictionary_ids;
 };
+
+/// Wraps raw column bytes into the on-disk block payload for the given
+/// format version: v1/v2 store them as-is; v3 prepends the codec id and
+/// applies the byte codec. `inner` must already be in the codec's
+/// column layout (raw vs packed) for kRaw/kPacked/kLz/kPackedLz.
+std::string WrapBlockPayload(std::uint32_t format_version, BlockCodec codec,
+                             std::string inner) {
+  if (format_version < 3) return inner;
+  std::string payload;
+  PutVarint64(payload, static_cast<std::uint64_t>(codec));
+  switch (codec) {
+    case BlockCodec::kRaw:
+    case BlockCodec::kPacked:
+      payload += inner;
+      break;
+    case BlockCodec::kLz:
+    case BlockCodec::kPackedLz:
+      PutVarint64(payload, inner.size());
+      payload += CompressBytes(inner);
+      break;
+  }
+  return payload;
+}
+
+/// True when the codec's inner column layout is the bitpacked one.
+bool CodecPacksColumns(BlockCodec codec) {
+  return codec == BlockCodec::kPacked || codec == BlockCodec::kPackedLz;
+}
 
 std::vector<std::int64_t> SortedUnique(std::vector<std::int64_t> values) {
   std::sort(values.begin(), values.end());
@@ -95,9 +126,82 @@ Result<Timestamp> EndFromDuration(std::int64_t start, std::uint64_t duration) {
       static_cast<std::uint64_t>(start) + duration));
 }
 
+/// The column bytes of one block after codec framing is stripped:
+/// either a slice of the mapped payload (`offset` past the codec id) or
+/// an owned decompressed buffer. `View` must be called on the object's
+/// final resting place — the view may borrow from `owned`.
+struct BlockColumns {
+  std::string owned;
+  std::size_t offset = 0;
+  bool decompressed = false;
+  bool packed = false;
+
+  std::string_view View(std::string_view payload) const {
+    return decompressed ? std::string_view(owned) : payload.substr(offset);
+  }
+};
+
+/// Strips the v3 codec framing from a block payload. `max_raw_size`
+/// caps the decompressed allocation a forged size field could demand —
+/// callers derive it from the block's (already-validated) row and
+/// trajectory counts.
+Result<BlockColumns> DecodeBlockPayload(std::uint32_t version,
+                                        std::string_view payload,
+                                        std::uint64_t max_raw_size,
+                                        std::size_t block_index) {
+  BlockColumns out;
+  if (version < 3) return out;
+  ByteReader reader(payload);
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t codec_id, reader.ReadVarint64());
+  if (codec_id > static_cast<std::uint64_t>(BlockCodec::kPackedLz)) {
+    return Status::Corruption("EventStore: unknown block codec " +
+                              std::to_string(codec_id) + " in block " +
+                              std::to_string(block_index));
+  }
+  const auto codec = static_cast<BlockCodec>(codec_id);
+  out.packed = CodecPacksColumns(codec);
+  if (codec == BlockCodec::kRaw || codec == BlockCodec::kPacked) {
+    out.offset = reader.position();
+    return out;
+  }
+  SITM_ASSIGN_OR_RETURN(const std::uint64_t raw_size, reader.ReadVarint64());
+  if (raw_size > max_raw_size) {
+    return Status::Corruption(
+        "EventStore: block " + std::to_string(block_index) +
+        " claims an implausible decompressed size " +
+        std::to_string(raw_size));
+  }
+  SITM_ASSIGN_OR_RETURN(const std::string_view compressed,
+                        reader.ReadBytes(reader.remaining()));
+  Result<std::string> decompressed =
+      DecompressBytes(compressed, static_cast<std::size_t>(raw_size));
+  if (!decompressed.ok()) {
+    return decompressed.status().WithContext("EventStore: block " +
+                                             std::to_string(block_index));
+  }
+  out.owned = std::move(decompressed).value();
+  out.decompressed = true;
+  return out;
+}
+
+/// Column readers that pick the raw or bitpacked layout per `packed`.
+Result<std::vector<std::int64_t>> ReadDeltaish(ByteReader& reader,
+                                               std::size_t n, bool packed) {
+  return packed ? ReadPackedDeltaColumn(reader, n)
+                : ReadDeltaColumn(reader, n);
+}
+Result<std::vector<std::uint64_t>> ReadUnsignedish(ByteReader& reader,
+                                                   std::size_t n,
+                                                   bool packed) {
+  return packed ? ReadPackedColumn(reader, n) : ReadVarintColumn(reader, n);
+}
+
 bool RowMatches(const ScanOptions& scan, ObjectId object, Timestamp start,
                 Timestamp end) {
-  if (scan.object.valid() && object != scan.object) return false;
+  if (!scan.objects.empty() &&
+      !std::binary_search(scan.objects.begin(), scan.objects.end(), object)) {
+    return false;
+  }
   // The inverted (empty) window must be checked explicitly: a row whose
   // span straddles it (end >= min and start <= max) would otherwise
   // pass both one-sided tests despite the window containing no instant.
@@ -108,6 +212,20 @@ bool RowMatches(const ScanOptions& scan, ObjectId object, Timestamp start,
 }
 
 }  // namespace
+
+const char* BlockCodecName(BlockCodec codec) {
+  switch (codec) {
+    case BlockCodec::kRaw:
+      return "raw";
+    case BlockCodec::kPacked:
+      return "packed";
+    case BlockCodec::kLz:
+      return "lz";
+    case BlockCodec::kPackedLz:
+      return "packed+lz";
+  }
+  return "?";
+}
 
 // ---------------------------------------------------------------------------
 // Writer.
@@ -122,6 +240,24 @@ Result<EventStoreWriter> EventStoreWriter::Create(const std::string& path,
   if (options.rows_per_block == 0) {
     return Status::InvalidArgument("EventStore: rows_per_block must be >= 1");
   }
+  if (options.format_version < 1 || options.format_version > kStoreVersion) {
+    return Status::InvalidArgument(
+        "EventStore: cannot write format version " +
+        std::to_string(options.format_version));
+  }
+  // Normalize to the version the file will actually carry, reproducing
+  // the pre-v3 writers byte for byte: under format 2 a file without the
+  // object index has no optional sections and *is* the version-1
+  // format, so it is stamped (and emitted) as such; format 1 never has
+  // sections or codec ids.
+  if (options.format_version == 2 && !options.write_object_index) {
+    options.format_version = 1;
+  }
+  if (options.format_version == 1) {
+    options.write_object_index = false;
+    options.write_annotation_bitmaps = false;
+  }
+  if (options.format_version < 3) options.codec = BlockCodec::kRaw;
   EventStoreWriter writer;
   writer.file_ = std::fopen(path.c_str(), "wb");
   if (writer.file_ == nullptr) {
@@ -131,9 +267,7 @@ Result<EventStoreWriter> EventStoreWriter::Create(const std::string& path,
   writer.kind_ = kind;
   writer.options_ = options;
   std::string header(kStoreMagic, sizeof(kStoreMagic));
-  // Without the object index the file has no optional sections and is
-  // byte-identical to the version-1 format, so it is stamped as such.
-  PutU32(header, options.write_object_index ? kStoreVersion : 1);
+  PutU32(header, options.format_version);
   PutU32(header, static_cast<std::uint32_t>(kind));
   SITM_RETURN_IF_ERROR(writer.WriteRaw(header));
   return writer;
@@ -151,8 +285,10 @@ EventStoreWriter::EventStoreWriter(EventStoreWriter&& other) noexcept
       finished_(other.finished_),
       blocks_(std::move(other.blocks_)),
       dictionary_(std::move(other.dictionary_)),
+      dictionary_sets_(std::move(other.dictionary_sets_)),
       dictionary_index_(std::move(other.dictionary_index_)),
       object_blocks_(std::move(other.object_blocks_)),
+      block_dictionary_ids_(std::move(other.block_dictionary_ids_)),
       stats_(other.stats_) {}
 
 EventStoreWriter& EventStoreWriter::operator=(
@@ -166,8 +302,10 @@ EventStoreWriter& EventStoreWriter::operator=(
     finished_ = other.finished_;
     blocks_ = std::move(other.blocks_);
     dictionary_ = std::move(other.dictionary_);
+    dictionary_sets_ = std::move(other.dictionary_sets_);
     dictionary_index_ = std::move(other.dictionary_index_);
     object_blocks_ = std::move(other.object_blocks_);
+    block_dictionary_ids_ = std::move(other.block_dictionary_ids_);
     stats_ = other.stats_;
   }
   return *this;
@@ -192,6 +330,7 @@ std::uint32_t EventStoreWriter::DictionaryId(const core::AnnotationSet& set) {
   const auto id = static_cast<std::uint32_t>(dictionary_.size());
   dictionary_index_.emplace(encoded, id);
   dictionary_.push_back(std::move(encoded));
+  dictionary_sets_.push_back(set);
   stats_.dictionary_entries = dictionary_.size();
   return id;
 }
@@ -243,10 +382,20 @@ Status EventStoreWriter::Append(
                        d.start.seconds_since_epoch(),
                        d.end.seconds_since_epoch());
         }
-        PutDeltaColumn(block.payload, objects);
-        PutDeltaColumn(block.payload, cells);
-        PutDeltaColumn(block.payload, starts);
-        PutVarintColumn(block.payload, durations);
+        std::string inner;
+        if (CodecPacksColumns(options_.codec)) {
+          PutPackedDeltaColumn(inner, objects);
+          PutPackedDeltaColumn(inner, cells);
+          PutPackedDeltaColumn(inner, starts);
+          PutPackedColumn(inner, durations);
+        } else {
+          PutDeltaColumn(inner, objects);
+          PutDeltaColumn(inner, cells);
+          PutDeltaColumn(inner, starts);
+          PutVarintColumn(inner, durations);
+        }
+        block.payload = WrapBlockPayload(options_.format_version,
+                                         options_.codec, std::move(inner));
         block.meta.rows = n;
         block.meta.length = block.payload.size();
         block.meta.checksum = Checksum(block.payload);
@@ -266,6 +415,7 @@ Status EventStoreWriter::Append(
     stats_.blocks += 1;
     stats_.payload_bytes += block.meta.length;
     blocks_.push_back(block.meta);
+    block_dictionary_ids_.push_back(std::move(block.dictionary_ids));
   }
   return Status::OK();
 }
@@ -354,39 +504,75 @@ Status EventStoreWriter::Append(
           return std::vector<std::uint64_t>(v.begin() + begin,
                                             v.begin() + end);
         };
-        PutDeltaColumn(block.payload,
-                       slice_i64(traj_ids, range.traj_begin, range.traj_end));
-        PutDeltaColumn(
-            block.payload,
-            slice_i64(traj_objects, range.traj_begin, range.traj_end));
-        PutVarintColumn(
-            block.payload,
-            slice_u64(traj_dicts, range.traj_begin, range.traj_end));
-        PutVarintColumn(
-            block.payload,
-            slice_u64(traj_rows, range.traj_begin, range.traj_end));
-        PutDeltaColumn(block.payload,
-                       slice_i64(cells, range.row_begin, range.row_end));
-        for (std::size_t i = range.row_begin; i < range.row_end; ++i) {
-          PutSVarint64(block.payload, transitions[i]);
+        std::string inner;
+        if (CodecPacksColumns(options_.codec)) {
+          PutPackedDeltaColumn(
+              inner, slice_i64(traj_ids, range.traj_begin, range.traj_end));
+          PutPackedDeltaColumn(
+              inner, slice_i64(traj_objects, range.traj_begin, range.traj_end));
+          PutPackedColumn(
+              inner, slice_u64(traj_dicts, range.traj_begin, range.traj_end));
+          PutPackedColumn(
+              inner, slice_u64(traj_rows, range.traj_begin, range.traj_end));
+          PutPackedDeltaColumn(
+              inner, slice_i64(cells, range.row_begin, range.row_end));
+          PutPackedSignedColumn(
+              inner, slice_i64(transitions, range.row_begin, range.row_end));
+          PutPackedDeltaColumn(
+              inner, slice_i64(starts, range.row_begin, range.row_end));
+          PutPackedColumn(
+              inner, slice_u64(durations, range.row_begin, range.row_end));
+          PutPackedColumn(
+              inner, slice_u64(stay_dicts, range.row_begin, range.row_end));
+          PutPackedColumn(
+              inner,
+              slice_u64(transition_dicts, range.row_begin, range.row_end));
+        } else {
+          PutDeltaColumn(inner,
+                         slice_i64(traj_ids, range.traj_begin, range.traj_end));
+          PutDeltaColumn(
+              inner, slice_i64(traj_objects, range.traj_begin, range.traj_end));
+          PutVarintColumn(
+              inner, slice_u64(traj_dicts, range.traj_begin, range.traj_end));
+          PutVarintColumn(
+              inner, slice_u64(traj_rows, range.traj_begin, range.traj_end));
+          PutDeltaColumn(inner,
+                         slice_i64(cells, range.row_begin, range.row_end));
+          for (std::size_t i = range.row_begin; i < range.row_end; ++i) {
+            PutSVarint64(inner, transitions[i]);
+          }
+          PutDeltaColumn(inner,
+                         slice_i64(starts, range.row_begin, range.row_end));
+          PutVarintColumn(inner,
+                          slice_u64(durations, range.row_begin, range.row_end));
+          PutVarintColumn(
+              inner, slice_u64(stay_dicts, range.row_begin, range.row_end));
+          PutVarintColumn(
+              inner,
+              slice_u64(transition_dicts, range.row_begin, range.row_end));
         }
-        PutDeltaColumn(block.payload,
-                       slice_i64(starts, range.row_begin, range.row_end));
-        PutVarintColumn(block.payload,
-                        slice_u64(durations, range.row_begin, range.row_end));
-        PutVarintColumn(
-            block.payload,
-            slice_u64(stay_dicts, range.row_begin, range.row_end));
-        PutVarintColumn(
-            block.payload,
-            slice_u64(transition_dicts, range.row_begin, range.row_end));
-        PutBitColumn(block.payload,
+        PutBitColumn(inner,
                      std::vector<bool>(inferred.begin() +
                                            static_cast<std::ptrdiff_t>(
                                                range.row_begin),
                                        inferred.begin() +
                                            static_cast<std::ptrdiff_t>(
                                                range.row_end)));
+        block.payload = WrapBlockPayload(options_.format_version,
+                                         options_.codec, std::move(inner));
+        {
+          std::vector<std::uint32_t> ids;
+          for (std::size_t t = range.traj_begin; t < range.traj_end; ++t) {
+            ids.push_back(static_cast<std::uint32_t>(traj_dicts[t]));
+          }
+          for (std::size_t r = range.row_begin; r < range.row_end; ++r) {
+            ids.push_back(static_cast<std::uint32_t>(stay_dicts[r]));
+            ids.push_back(static_cast<std::uint32_t>(transition_dicts[r]));
+          }
+          std::sort(ids.begin(), ids.end());
+          ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+          block.dictionary_ids = std::move(ids);
+        }
         bool first = true;
         for (std::size_t t = range.traj_begin; t < range.traj_end; ++t) {
           const core::Trace& trace = trajectories[t].trace();
@@ -419,6 +605,7 @@ Status EventStoreWriter::Append(
     stats_.blocks += 1;
     stats_.payload_bytes += block.meta.length;
     blocks_.push_back(block.meta);
+    block_dictionary_ids_.push_back(std::move(block.dictionary_ids));
   }
   return Status::OK();
 }
@@ -446,9 +633,10 @@ Status EventStoreWriter::Finish() {
     PutSVarint64(footer, meta.max_time);
     PutU64(footer, meta.checksum);
   }
+  // v2+ optional sections: count, then (kind, byte length, payload) per
+  // section. Length framing lets readers skip unknown kinds.
+  std::vector<std::pair<std::uint64_t, std::string>> sections;
   if (options_.write_object_index) {
-    // v2 optional sections: count, then (kind, byte length, payload)
-    // per section. Length framing lets readers skip unknown kinds.
     std::string section;
     PutVarint64(section, object_blocks_.size());
     std::int64_t prev_object = 0;
@@ -462,10 +650,59 @@ Status EventStoreWriter::Finish() {
         prev_block = b;
       }
     }
-    PutVarint64(footer, 1);  // section count
-    PutVarint64(footer, kSectionObjectIndex);
-    PutVarint64(footer, section.size());
-    footer += section;
+    sections.emplace_back(kSectionObjectIndex, std::move(section));
+  }
+  if (options_.format_version >= 3 && options_.write_annotation_bitmaps) {
+    // Term table: every distinct (kind, value) across the dictionary,
+    // sorted ascending; per block one bit per term, set when the term
+    // appears in a dictionary set the block references. Readers prune a
+    // block for an annotation predicate when its bit is clear — sound
+    // because trajectories never span blocks.
+    std::vector<std::pair<std::uint64_t, std::string>> terms;
+    for (const core::AnnotationSet& set : dictionary_sets_) {
+      for (const core::SemanticAnnotation& a : set.annotations()) {
+        terms.emplace_back(static_cast<std::uint64_t>(a.kind), a.value);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    if (!terms.empty()) {
+      std::string section;
+      PutVarint64(section, terms.size());
+      for (const auto& [kind, value] : terms) {
+        PutVarint64(section, kind);
+        PutVarint64(section, value.size());
+        section += value;
+      }
+      PutVarint64(section, blocks_.size());
+      const std::size_t bytes_per_bitmap = (terms.size() + 7) / 8;
+      for (const std::vector<std::uint32_t>& dict_ids :
+           block_dictionary_ids_) {
+        std::string bitmap(bytes_per_bitmap, '\0');
+        for (std::uint32_t id : dict_ids) {
+          for (const core::SemanticAnnotation& a :
+               dictionary_sets_[id].annotations()) {
+            const auto it = std::lower_bound(
+                terms.begin(), terms.end(),
+                std::make_pair(static_cast<std::uint64_t>(a.kind), a.value));
+            const auto term = static_cast<std::size_t>(it - terms.begin());
+            bitmap[term / 8] = static_cast<char>(
+                static_cast<unsigned char>(bitmap[term / 8]) |
+                (1u << (term % 8)));
+          }
+        }
+        section += bitmap;
+      }
+      sections.emplace_back(kSectionAnnotationBitmaps, std::move(section));
+    }
+  }
+  if (options_.format_version >= 2) {
+    PutVarint64(footer, sections.size());
+    for (const auto& [section_kind, section] : sections) {
+      PutVarint64(footer, section_kind);
+      PutVarint64(footer, section.size());
+      footer += section;
+    }
   }
   SITM_RETURN_IF_ERROR(WriteRaw(footer));
   std::string trailer;
@@ -537,6 +774,11 @@ Result<EventStoreReader> EventStoreReader::Open(const std::string& path) {
   if (Checksum(footer_bytes) != footer_checksum) {
     return Status::Corruption("EventStore: footer checksum mismatch");
   }
+  // The footer checksum covers the dictionary and the full block index
+  // (which itself carries every block checksum), so it uniquely
+  // identifies the finished file's contents — callers use it as a
+  // cache key for query results over this store.
+  reader.trailer_checksum_ = footer_checksum;
 
   ByteReader footer(footer_bytes);
   SITM_ASSIGN_OR_RETURN(const std::uint64_t dict_count, footer.ReadVarint64());
@@ -599,6 +841,61 @@ Result<EventStoreReader> EventStoreReader::Open(const std::string& path) {
                             footer.ReadVarint64());
       SITM_ASSIGN_OR_RETURN(const std::string_view section_bytes,
                             footer.ReadBytes(section_length));
+      if (section_kind == kSectionAnnotationBitmaps) {
+        if (!reader.annotation_terms_.empty()) {
+          return Status::Corruption(
+              "EventStore: duplicate annotation bitmap section");
+        }
+        ByteReader section(section_bytes);
+        SITM_ASSIGN_OR_RETURN(const std::uint64_t num_terms,
+                              section.ReadVarint64());
+        // Every term occupies at least two bytes (kind + length), so a
+        // count beyond the remaining bytes is forged.
+        if (num_terms == 0 || num_terms > section.remaining()) {
+          return Status::Corruption(
+              "EventStore: annotation term count out of range");
+        }
+        std::vector<std::pair<core::AnnotationKind, std::string>> terms;
+        terms.reserve(num_terms);
+        for (std::uint64_t t = 0; t < num_terms; ++t) {
+          SITM_ASSIGN_OR_RETURN(const std::uint64_t term_kind,
+                                section.ReadVarint64());
+          if (term_kind >
+              static_cast<std::uint64_t>(core::AnnotationKind::kOther)) {
+            return Status::Corruption(
+                "EventStore: unknown annotation kind in term table");
+          }
+          SITM_ASSIGN_OR_RETURN(const std::uint64_t value_length,
+                                section.ReadVarint64());
+          SITM_ASSIGN_OR_RETURN(const std::string_view value,
+                                section.ReadBytes(value_length));
+          std::pair<core::AnnotationKind, std::string> term(
+              static_cast<core::AnnotationKind>(term_kind),
+              std::string(value));
+          if (!terms.empty() && terms.back() >= term) {
+            return Status::Corruption(
+                "EventStore: annotation terms not strictly ascending");
+          }
+          terms.push_back(std::move(term));
+        }
+        SITM_ASSIGN_OR_RETURN(const std::uint64_t bitmap_blocks,
+                              section.ReadVarint64());
+        if (bitmap_blocks != reader.blocks_.size()) {
+          return Status::Corruption(
+              "EventStore: annotation bitmap block count mismatch");
+        }
+        const std::size_t bytes_per_bitmap = (terms.size() + 7) / 8;
+        if (section.remaining() != bitmap_blocks * bytes_per_bitmap) {
+          return Status::Corruption(
+              "EventStore: annotation bitmap section size mismatch");
+        }
+        SITM_ASSIGN_OR_RETURN(const std::string_view bitmap_bytes,
+                              section.ReadBytes(section.remaining()));
+        reader.annotation_terms_ = std::move(terms);
+        reader.annotation_bitmaps_.assign(bitmap_bytes.begin(),
+                                          bitmap_bytes.end());
+        continue;
+      }
       if (section_kind != kSectionObjectIndex) continue;
       if (reader.has_object_index_) {
         return Status::Corruption("EventStore: duplicate object index");
@@ -667,11 +964,22 @@ std::vector<std::size_t> EventStoreReader::CandidateBlocks(
     const ScanOptions& scan) const {
   std::vector<std::size_t> out;
   if (scan.EmptyWindow()) return out;
-  if (scan.object.valid() && has_object_index_) {
-    const auto it = object_index_.find(scan.object.value());
-    if (it == object_index_.end()) return out;
-    out.reserve(it->second.size());
-    for (std::uint32_t b : it->second) {
+  if (!scan.objects.empty() && has_object_index_) {
+    // Union of the per-object posting lists. Each list is strictly
+    // ascending, so sort + unique over the concatenation restores scan
+    // order; every surviving block is then re-checked against the full
+    // scan (time window, bounds).
+    std::vector<std::uint32_t> postings;
+    for (ObjectId object : scan.objects) {
+      const auto it = object_index_.find(object.value());
+      if (it == object_index_.end()) continue;
+      postings.insert(postings.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(postings.begin(), postings.end());
+    postings.erase(std::unique(postings.begin(), postings.end()),
+                   postings.end());
+    out.reserve(postings.size());
+    for (std::uint32_t b : postings) {
       if (BlockMatches(b, scan)) out.push_back(b);
     }
     return out;
@@ -697,9 +1005,14 @@ bool EventStoreReader::BlockMatches(std::size_t i,
                                     const ScanOptions& scan) const {
   const BlockMeta& meta = blocks_[i];
   if (scan.EmptyWindow()) return false;
-  if (scan.object.valid() && (scan.object.value() < meta.min_object ||
-                              scan.object.value() > meta.max_object)) {
-    return false;
+  if (!scan.objects.empty()) {
+    // scan.objects is sorted: the block survives iff some requested id
+    // falls inside its [min_object, max_object] envelope.
+    const auto it = std::lower_bound(scan.objects.begin(), scan.objects.end(),
+                                     ObjectId(meta.min_object));
+    if (it == scan.objects.end() || it->value() > meta.max_object) {
+      return false;
+    }
   }
   if (scan.min_time.has_value() &&
       meta.max_time < scan.min_time->seconds_since_epoch()) {
@@ -726,15 +1039,23 @@ Status EventStoreReader::ReadDetectionBlock(
   if (!BlockMatches(i, scan)) return Status::OK();
   SITM_ASSIGN_OR_RETURN(const std::string_view payload, BlockPayload(i));
   const auto n = static_cast<std::size_t>(blocks_[i].rows);
-  ByteReader reader(payload);
+  // Honest raw columns never exceed ~10 varint bytes per value; the cap
+  // bounds what a forged decompressed-size field can allocate.
+  SITM_ASSIGN_OR_RETURN(
+      const BlockColumns columns,
+      DecodeBlockPayload(version_, payload,
+                         blocks_[i].rows * 80 + blocks_[i].trajectories * 48 +
+                             64,
+                         i));
+  ByteReader reader(columns.View(payload));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> objects,
-                        ReadDeltaColumn(reader, n));
+                        ReadDeltaish(reader, n, columns.packed));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> cells,
-                        ReadDeltaColumn(reader, n));
+                        ReadDeltaish(reader, n, columns.packed));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> starts,
-                        ReadDeltaColumn(reader, n));
+                        ReadDeltaish(reader, n, columns.packed));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> durations,
-                        ReadVarintColumn(reader, n));
+                        ReadUnsignedish(reader, n, columns.packed));
   if (!reader.empty()) {
     return Status::Corruption("EventStore: trailing bytes in block " +
                               std::to_string(i));
@@ -767,15 +1088,24 @@ Status EventStoreReader::ReadTrajectoryBlock(
   const auto rows = static_cast<std::size_t>(blocks_[i].rows);
   const auto num_trajectories =
       static_cast<std::size_t>(blocks_[i].trajectories);
-  ByteReader reader(payload);
+  SITM_ASSIGN_OR_RETURN(
+      const BlockColumns columns,
+      DecodeBlockPayload(version_, payload,
+                         blocks_[i].rows * 80 + blocks_[i].trajectories * 48 +
+                             64,
+                         i));
+  ByteReader reader(columns.View(payload));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> traj_ids,
-                        ReadDeltaColumn(reader, num_trajectories));
-  SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> traj_objects,
-                        ReadDeltaColumn(reader, num_trajectories));
-  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> traj_dicts,
-                        ReadVarintColumn(reader, num_trajectories));
-  SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> traj_rows,
-                        ReadVarintColumn(reader, num_trajectories));
+                        ReadDeltaish(reader, num_trajectories, columns.packed));
+  SITM_ASSIGN_OR_RETURN(
+      const std::vector<std::int64_t> traj_objects,
+      ReadDeltaish(reader, num_trajectories, columns.packed));
+  SITM_ASSIGN_OR_RETURN(
+      const std::vector<std::uint64_t> traj_dicts,
+      ReadUnsignedish(reader, num_trajectories, columns.packed));
+  SITM_ASSIGN_OR_RETURN(
+      const std::vector<std::uint64_t> traj_rows,
+      ReadUnsignedish(reader, num_trajectories, columns.packed));
   std::uint64_t row_sum = 0;
   for (std::uint64_t r : traj_rows) {
     if (r == 0) {
@@ -799,22 +1129,26 @@ Status EventStoreReader::ReadTrajectoryBlock(
         std::to_string(i));
   }
   SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> cells,
-                        ReadDeltaColumn(reader, rows));
+                        ReadDeltaish(reader, rows, columns.packed));
   std::vector<std::int64_t> transitions;
-  transitions.reserve(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    SITM_ASSIGN_OR_RETURN(const std::int64_t transition,
-                          reader.ReadSVarint64());
-    transitions.push_back(transition);
+  if (columns.packed) {
+    SITM_ASSIGN_OR_RETURN(transitions, ReadPackedSignedColumn(reader, rows));
+  } else {
+    transitions.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      SITM_ASSIGN_OR_RETURN(const std::int64_t transition,
+                            reader.ReadSVarint64());
+      transitions.push_back(transition);
+    }
   }
   SITM_ASSIGN_OR_RETURN(const std::vector<std::int64_t> starts,
-                        ReadDeltaColumn(reader, rows));
+                        ReadDeltaish(reader, rows, columns.packed));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> durations,
-                        ReadVarintColumn(reader, rows));
+                        ReadUnsignedish(reader, rows, columns.packed));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> stay_dicts,
-                        ReadVarintColumn(reader, rows));
+                        ReadUnsignedish(reader, rows, columns.packed));
   SITM_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> transition_dicts,
-                        ReadVarintColumn(reader, rows));
+                        ReadUnsignedish(reader, rows, columns.packed));
   SITM_ASSIGN_OR_RETURN(const std::vector<bool> inferred,
                         ReadBitColumn(reader, rows));
   if (!reader.empty()) {
@@ -889,6 +1223,33 @@ EventStoreReader::ReadTrajectories(const ScanOptions& scan) const {
     SITM_RETURN_IF_ERROR(ReadTrajectoryBlock(i, scan, out));
   }
   return out;
+}
+
+bool EventStoreReader::BlockMayContainAnnotation(std::size_t i,
+                                                 core::AnnotationKind kind,
+                                                 std::string_view value) const {
+  // No bitmap section (pre-v3 file, or bitmaps disabled): every block
+  // may match — the conservative answer.
+  if (annotation_terms_.empty() || i >= blocks_.size()) return true;
+  const auto it = std::lower_bound(
+      annotation_terms_.begin(), annotation_terms_.end(),
+      std::make_pair(kind, std::string(value)),
+      [](const auto& a, const auto& b) {
+        return a.first != b.first ? a.first < b.first : a.second < b.second;
+      });
+  if (it == annotation_terms_.end() || it->first != kind ||
+      it->second != value) {
+    // The term table covers every annotation in the file: a term absent
+    // from it appears in no block at all.
+    return false;
+  }
+  const auto term =
+      static_cast<std::size_t>(it - annotation_terms_.begin());
+  const std::size_t bytes_per_bitmap = (annotation_terms_.size() + 7) / 8;
+  const std::size_t byte = i * bytes_per_bitmap + term / 8;
+  return (static_cast<unsigned char>(annotation_bitmaps_[byte]) >>
+          (term % 8)) &
+         1u;
 }
 
 Status EventStoreReader::VerifyChecksums() const {

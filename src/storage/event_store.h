@@ -53,12 +53,31 @@ namespace sitm::storage {
 ///       of block indices holding its rows (ascending, delta-encoded).
 ///       Point lookups touch exactly those blocks instead of relying on
 ///       per-block min/max pruning.
-/// Version-1 files remain readable; writers emit v1 on request
-/// (WriterOptions::write_object_index = false).
+///   3 — per-block compression codecs and annotation bitmaps.
+///       Every block payload now begins with a varint codec id
+///       (BlockCodec) followed by codec-dependent bytes:
+///         0 raw        the v2 column layout, unchanged;
+///         1 packed     the same columns re-encoded with chunked
+///                      frame-of-reference bitpacking (delta and
+///                      dictionary-id columns shrink below one byte per
+///                      value — storage/columnar.h);
+///         2 lz         varint raw byte count, then an LZ77 stream of
+///                      the raw (codec 0) column bytes;
+///         3 packed+lz  varint packed byte count, then an LZ77 stream
+///                      of the packed (codec 1) column bytes.
+///       Unknown codec ids are Corruption. Block checksums cover the
+///       stored payload (codec id included). Section kind 2 holds the
+///       annotation term table and per-block bitmaps: a term list of
+///       every distinct (kind, value) annotation in the file
+///       (ascending), then one bitmap per block whose bit t is set iff
+///       some annotation set referenced by the block contains term t —
+///       a sound over-approximation annotation predicates prune with.
+/// Version-1/2 files remain readable, and writers emit them on request
+/// (WriterOptions::format_version) byte-identically to the old code.
 ///
 /// Corruption safety: every decode path is bounds-checked (Corruption,
 /// never UB, on truncated or bit-flipped files), footer and blocks are
-/// checksummed, and unknown versions/kinds are rejected at Open.
+/// checksummed, and unknown versions/kinds/codecs are rejected.
 
 /// Leading and trailing file magic ("SITMEVST" / "SITMTRLR" as bytes).
 inline constexpr char kStoreMagic[8] = {'S', 'I', 'T', 'M',
@@ -66,15 +85,28 @@ inline constexpr char kStoreMagic[8] = {'S', 'I', 'T', 'M',
 inline constexpr char kTrailerMagic[8] = {'S', 'I', 'T', 'M',
                                           'T', 'R', 'L', 'R'};
 /// Current on-disk format version.
-inline constexpr std::uint32_t kStoreVersion = 2;
+inline constexpr std::uint32_t kStoreVersion = 3;
 /// Oldest format version readers still accept.
 inline constexpr std::uint32_t kMinStoreVersion = 1;
 /// Footer section kinds (v2+).
 inline constexpr std::uint64_t kSectionObjectIndex = 1;
+inline constexpr std::uint64_t kSectionAnnotationBitmaps = 2;
 /// Byte size of the fixed file header (magic + version + kind).
 inline constexpr std::size_t kStoreHeaderSize = 16;
 /// Byte size of the fixed file trailer.
 inline constexpr std::size_t kStoreTrailerSize = 32;
+
+/// Per-block compression codec (v3+; the varint id leading every block
+/// payload). See the version-3 layout notes above.
+enum class BlockCodec : std::uint8_t {
+  kRaw = 0,
+  kPacked = 1,
+  kLz = 2,
+  kPackedLz = 3,
+};
+
+/// Human-readable codec name ("raw", "packed", ...).
+const char* BlockCodecName(BlockCodec codec);
 
 /// What a store file holds.
 enum class StoreKind : std::uint32_t {
@@ -90,17 +122,33 @@ enum class StoreKind : std::uint32_t {
 struct WriterOptions {
   /// Target tuple rows per block. Trajectories never span blocks, so a
   /// block closes at the first trajectory boundary at or past this many
-  /// rows (a single longer trajectory gets an oversized block).
-  std::size_t rows_per_block = 4096;
+  /// rows (a single longer trajectory gets an oversized block). The
+  /// default balances the LZ codec's match window (bigger blocks
+  /// compress better) against block-pruning granularity.
+  std::size_t rows_per_block = 8192;
   /// Executor for parallel column encoding of large batches (borrowed;
   /// null encodes on the calling thread). Output bytes are identical
   /// for every worker count: blocks are encoded independently and
   /// written in index order.
   sched::Executor* executor = nullptr;
-  /// Write the secondary object-id index footer section (and a v2
-  /// header). False emits a version-1 file, byte-identical to the base
-  /// format — the compatibility and index-ablation lever.
+  /// Write the secondary object-id index footer section. Under
+  /// format_version 2 this is the old v2/v1 switch: false emits a
+  /// version-1 file, byte-identical to the base format.
   bool write_object_index = true;
+  /// On-disk format to emit (1, 2, or 3). Versions 1 and 2 reproduce
+  /// the old writers byte for byte — the compatibility lever — and
+  /// require codec kRaw. The default is the current version.
+  std::uint32_t format_version = kStoreVersion;
+  /// Per-block compression codec (v3 only; earlier formats have no
+  /// codec id and reject anything but kRaw). kLz is the measured
+  /// density winner on the bench datasets (the packed columns are
+  /// high-entropy, so kPackedLz finds fewer matches) and the default.
+  BlockCodec codec = BlockCodec::kLz;
+  /// Write the annotation-bitmap footer section (v3 only; skipped when
+  /// the file ends up with an empty annotation dictionary, e.g. every
+  /// detection store). The block-pruning lever for annotation
+  /// predicates.
+  bool write_annotation_bitmaps = true;
 };
 
 /// Per-block index entry (also the unit of predicate pushdown).
@@ -175,10 +223,15 @@ class EventStoreWriter {
   bool finished_ = false;
   std::vector<BlockMeta> blocks_;
   std::vector<std::string> dictionary_;  // serialized annotation sets
+  /// The decoded sets, parallel to dictionary_ (feeds the v3
+  /// annotation-bitmap section at Finish).
+  std::vector<core::AnnotationSet> dictionary_sets_;
   std::unordered_map<std::string, std::uint32_t> dictionary_index_;
   /// Secondary index under construction: object id -> ascending block
   /// indices (std::map so Finish emits objects in ascending order).
   std::map<std::int64_t, std::vector<std::uint32_t>> object_blocks_;
+  /// Per-block sorted-unique dictionary ids (v3 annotation bitmaps).
+  std::vector<std::vector<std::uint32_t>> block_dictionary_ids_;
   StoreStats stats_;
 };
 
@@ -198,12 +251,24 @@ class EventStoreWriter {
 ///    matches no row and no block — it must never fall through to
 ///    span-straddling rows.
 struct ScanOptions {
-  /// Keep only this moving object (invalid id = keep all).
-  ObjectId object = ObjectId::Invalid();
+  /// Keep only these moving objects (empty = keep all). Must be sorted
+  /// ascending and unique — row filtering binary-searches it, and
+  /// CandidateBlocks unions the objects' posting lists in one pass.
+  /// Multi-object pushdown: a planner with several admissible objects
+  /// names them all here, so the store filters rows exactly instead of
+  /// leaving a residual per-row object check to the caller.
+  std::vector<ObjectId> objects;
   /// Keep only rows/trajectories whose [start, end] intersects the
   /// closed window [min_time, max_time]; an unset bound is open.
   std::optional<Timestamp> min_time;
   std::optional<Timestamp> max_time;
+
+  /// Scan of a single object (the common point lookup).
+  static ScanOptions ForObject(ObjectId object) {
+    ScanOptions scan;
+    scan.objects.push_back(object);
+    return scan;
+  }
 
   /// True iff both bounds are set and inverted (the empty window).
   bool EmptyWindow() const {
@@ -237,10 +302,25 @@ class EventStoreReader {
     return dictionary_;
   }
 
-  /// On-disk format version of the opened file (1 or 2).
+  /// On-disk format version of the opened file (1, 2, or 3).
   std::uint32_t version() const { return version_; }
   /// True when the file carries the v2 secondary object-id index.
   bool has_object_index() const { return has_object_index_; }
+  /// True when the file carries the v3 annotation-bitmap section.
+  bool has_annotation_bitmaps() const { return !annotation_terms_.empty(); }
+  /// Footer checksum from the trailer. Finished stores are immutable,
+  /// so this (with file_bytes) identifies the file's entire contents —
+  /// the store half of a query-result cache key.
+  std::uint64_t trailer_checksum() const { return trailer_checksum_; }
+
+  /// \brief Bitmap pruning for annotation predicates: false only when
+  /// the v3 annotation bitmaps prove no annotation set referenced by
+  /// block `i` contains `kind:value` — in particular false for every
+  /// block when the term appears nowhere in the file. True whenever the
+  /// file carries no bitmaps (sound: absence of evidence prunes
+  /// nothing).
+  bool BlockMayContainAnnotation(std::size_t i, core::AnnotationKind kind,
+                                 std::string_view value) const;
 
   /// Footer-stats pruning: false when block `i` cannot contain a match.
   bool BlockMatches(std::size_t i, const ScanOptions& scan) const;
@@ -277,10 +357,16 @@ class EventStoreReader {
   StoreKind kind_ = StoreKind::kDetections;
   std::uint32_t version_ = kStoreVersion;
   bool has_object_index_ = false;
+  std::uint64_t trailer_checksum_ = 0;
   std::vector<BlockMeta> blocks_;
   std::vector<core::AnnotationSet> dictionary_;
   /// v2 secondary index: object id -> ascending block indices.
   std::unordered_map<std::int64_t, std::vector<std::uint32_t>> object_index_;
+  /// v3 annotation bitmaps: the term table, ascending by (kind, value),
+  /// and one bitmap of annotation_terms_.size() bits per block (flat,
+  /// bytes_per_bitmap bytes each, LSB first).
+  std::vector<std::pair<core::AnnotationKind, std::string>> annotation_terms_;
+  std::vector<std::uint8_t> annotation_bitmaps_;
   std::uint64_t rows_ = 0;
   std::uint64_t trajectories_ = 0;
 };

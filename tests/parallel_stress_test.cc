@@ -12,18 +12,28 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "base/parallel.h"
+#include "core/pipeline.h"
+#include "louvre/museum.h"
+#include "louvre/simulator.h"
+#include "query/executor.h"
+#include "query/predicate.h"
+#include "query/result_cache.h"
 #include "sched/executor.h"
 #include "sched/parallel.h"
 #include "sched/task_graph.h"
+#include "storage/event_store.h"
 
 namespace sitm {
 namespace {
@@ -387,6 +397,121 @@ TEST(ExecutorStressTest, ConcurrentNestedParallelForCallersShareOneExecutor) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Query-result cache under concurrent readers. The cache's one mutex
+// guards an LRU splice on every *lookup*, so read-mostly traffic is
+// exactly the contention shape that needs a TSan pass: many threads
+// hitting, missing, inserting, and evicting on one instance while the
+// shared sched::Executor fans out the cold runs underneath.
+// ---------------------------------------------------------------------------
+
+TEST(QueryCacheStressTest, ConcurrentReadersShareOneCache) {
+  const auto map = louvre::LouvreMap::Build();
+  ASSERT_TRUE(map.ok()) << map.status();
+  louvre::SimulatorOptions sim_options;
+  sim_options.seed = 4242;
+  sim_options.num_visitors = 60;
+  sim_options.num_returning = 24;
+  sim_options.num_third_visits = 10;
+  sim_options.num_detections = (60 + 24 + 10) * 4;
+  louvre::VisitSimulator simulator(&*map, sim_options);
+  const auto dataset = simulator.Generate();
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  core::PipelineOptions pipeline_options;
+  pipeline_options.builder.graph =
+      &map->graph().FindLayer(map->zone_layer()).value()->graph();
+  core::BatchPipeline pipeline(pipeline_options);
+  const auto trajectories = pipeline.Run(dataset->ToRawDetections());
+  ASSERT_TRUE(trajectories.ok()) << trajectories.status();
+
+  const std::string path =
+      ::testing::TempDir() + "/cache_stress.evst";
+  auto writer = storage::EventStoreWriter::Create(
+      path, storage::StoreKind::kTrajectories, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(*trajectories).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  const auto reader = storage::EventStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  const auto hierarchy = map->BuildHierarchy();
+  ASSERT_TRUE(hierarchy.ok());
+  query::QueryContext context;
+  context.hierarchy = &*hierarchy;
+  context.graph = &map->graph();
+
+  // A query mix wide enough to churn a capacity-2 cache: every thread
+  // keeps evicting what the others just inserted.
+  std::vector<query::Query> queries;
+  for (const std::int64_t object : {0, 1, 2, 3}) {
+    query::Query q;
+    q.where = query::ObjectIs(ObjectId(object));
+    q.projection = query::Projection::kIds;
+    queries.push_back(std::move(q));
+  }
+  query::Query count;
+  count.projection = query::Projection::kCount;
+  queries.push_back(std::move(count));
+
+  for (const std::size_t workers : StressPoolSizes()) {
+    sched::Executor executor(workers);
+    query::QueryResultCache cache(2);  // far smaller than the mix
+    query::ExecutorOptions options;
+    options.executor = &executor;
+    options.cache = &cache;
+    const query::QueryExecutor query_executor(context, options);
+
+    // Reference fingerprints, computed before any concurrency.
+    std::vector<std::string> expected;
+    for (const query::Query& q : queries) {
+      const auto reference = query_executor.Run(q, *reader);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      expected.push_back(reference->Fingerprint());
+    }
+    cache.Clear();
+
+    constexpr int kReaders = 4;
+    constexpr int kRounds = 32;
+    std::atomic<int> divergences{0};
+    // Raw threads model independent query clients.
+    // sitm-lint: allow(naked-thread)
+    std::vector<std::thread> clients;
+    clients.reserve(kReaders);
+    for (int c = 0; c < kReaders; ++c) {
+      clients.emplace_back([&, c] {
+        for (int round = 0; round < kRounds; ++round) {
+          // Different threads walk the mix with different strides, so
+          // hit/miss/evict interleavings vary from run to run.
+          const std::size_t q =
+              (static_cast<std::size_t>(round) * (c + 1) + c) %
+              queries.size();
+          const auto result = query_executor.Run(queries[q], *reader);
+          if (!result.ok() ||
+              result->Fingerprint() != expected[q]) {
+            divergences.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();  // sitm-lint: allow(naked-thread)
+    EXPECT_EQ(divergences.load(), 0);
+    // Every lookup was either a hit or a miss (Clear keeps counters, so
+    // the reference pass counts too), every miss re-ran cold, and the
+    // cache never grew past its capacity. Two threads missing the same
+    // key concurrently both report a miss but only the first materialises
+    // a fresh entry, so inserts may trail misses — never exceed them.
+    const query::QueryResultCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<std::uint64_t>(kReaders) * kRounds +
+                  queries.size());
+    EXPECT_LE(stats.inserts, stats.misses);
+    EXPECT_GE(stats.inserts, queries.size());
+    EXPECT_LE(cache.size(), 2u);
+    EXPECT_GT(stats.evictions, 0u);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

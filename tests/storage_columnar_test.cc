@@ -176,5 +176,238 @@ TEST(ColumnarFixedWidthTest, U32U64RoundTripAndTruncationChecks) {
   ASSERT_FALSE(short_reader64.ReadU64().ok());
 }
 
+// ---------------------------------------------------------------------------
+// Chunked FOR bitpacking (the v3 kPacked codec's column layer).
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift so the property tests need no <random> and
+/// reproduce bit-for-bit everywhere.
+std::uint64_t NextRand(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+TEST(ColumnarPackedTest, RoundTripsCornersAndRandomWidths) {
+  // Corner values exercise every chunk bit width 0..64; random vectors
+  // of every length around the chunk size cover the tail handling.
+  std::vector<std::uint64_t> corners = U64Corners();
+  std::string buf;
+  PutPackedColumn(buf, corners);
+  ByteReader reader(buf);
+  const auto corner_decoded = ReadPackedColumn(reader, corners.size());
+  ASSERT_TRUE(corner_decoded.ok()) << corner_decoded.status();
+  EXPECT_EQ(*corner_decoded, corners);
+  EXPECT_TRUE(reader.empty());
+
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (const std::size_t n :
+       {0ul, 1ul, kPackedChunkSize - 1, kPackedChunkSize, kPackedChunkSize + 1,
+        3 * kPackedChunkSize + 7}) {
+    for (const int width : {1, 7, 13, 31, 64}) {
+      std::vector<std::uint64_t> values(n);
+      const std::uint64_t mask =
+          width == 64 ? ~0ull : (1ull << width) - 1;
+      for (auto& v : values) v = NextRand(state) & mask;
+      std::string packed;
+      PutPackedColumn(packed, values);
+      ByteReader packed_reader(packed);
+      const auto decoded = ReadPackedColumn(packed_reader, n);
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      EXPECT_EQ(*decoded, values) << "n=" << n << " width=" << width;
+      EXPECT_TRUE(packed_reader.empty());
+    }
+  }
+}
+
+TEST(ColumnarPackedTest, ConstantRunsPackToReferenceOnly) {
+  // A constant chunk has bit width 0: only the reference varint and the
+  // width byte remain, the whole point of frame-of-reference packing.
+  const std::vector<std::uint64_t> values(kPackedChunkSize, 123456789ull);
+  std::string buf;
+  PutPackedColumn(buf, values);
+  EXPECT_LE(buf.size(), 6u);
+  ByteReader reader(buf);
+  const auto decoded = ReadPackedColumn(reader, values.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(ColumnarPackedTest, DeltaAndSignedVariantsRoundTripExtremes) {
+  const std::vector<std::int64_t> values = {
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+      0,
+      -1,
+      1,
+      std::numeric_limits<std::int64_t>::min(),
+      42};
+  std::string delta;
+  PutPackedDeltaColumn(delta, values);
+  ByteReader delta_reader(delta);
+  const auto delta_decoded = ReadPackedDeltaColumn(delta_reader,
+                                                   values.size());
+  ASSERT_TRUE(delta_decoded.ok()) << delta_decoded.status();
+  EXPECT_EQ(*delta_decoded, values);
+
+  std::string zz;
+  PutPackedSignedColumn(zz, values);
+  ByteReader zz_reader(zz);
+  const auto zz_decoded = ReadPackedSignedColumn(zz_reader, values.size());
+  ASSERT_TRUE(zz_decoded.ok()) << zz_decoded.status();
+  EXPECT_EQ(*zz_decoded, values);
+}
+
+TEST(ColumnarPackedTest, TruncationAndBadWidthAreCorruption) {
+  std::vector<std::uint64_t> values(kPackedChunkSize + 3, 0);
+  std::uint64_t state = 7;
+  for (auto& v : values) v = NextRand(state);
+  std::string buf;
+  PutPackedColumn(buf, values);
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader reader(buf.data(), cut);
+    EXPECT_EQ(ReadPackedColumn(reader, values.size()).status().code(),
+              StatusCode::kCorruption)
+        << "cut at " << cut;
+  }
+  // A forged chunk bit width above 64 can never be honest.
+  std::string forged = buf;
+  std::size_t width_at = 0;  // first chunk: varint reference, then width
+  while (static_cast<unsigned char>(forged[width_at]) & 0x80) ++width_at;
+  ++width_at;
+  forged[width_at] = 65;
+  ByteReader forged_reader(forged);
+  EXPECT_EQ(ReadPackedColumn(forged_reader, values.size()).status().code(),
+            StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// LZ byte codec (the v3 kLz / kPackedLz codecs' byte layer).
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> LzCorpus() {
+  std::vector<std::string> corpus;
+  corpus.emplace_back();                      // empty
+  corpus.emplace_back("a");                   // below min match
+  corpus.emplace_back(std::string(100, 'x'));  // pure run (self-overlap)
+  corpus.push_back([] {                       // page of repeating records
+    std::string s;
+    for (int i = 0; i < 200; ++i) {
+      s += "object=" + std::to_string(i % 17) + ";cell=" +
+           std::to_string(i % 23) + ";";
+    }
+    return s;
+  }());
+  corpus.push_back([] {  // incompressible pseudo-random bytes
+    std::string s;
+    std::uint64_t state = 0xdeadbeefcafef00dull;
+    for (int i = 0; i < 4096; ++i) {
+      s.push_back(static_cast<char>(NextRand(state) & 0xff));
+    }
+    return s;
+  }());
+  corpus.push_back([] {  // long-range repeat straddling the 64KB window
+    std::string s(70000, '\0');
+    std::uint64_t state = 3;
+    for (auto& c : s) c = static_cast<char>(NextRand(state) & 0x0f);
+    s += s.substr(0, 3000);
+    return s;
+  }());
+  return corpus;
+}
+
+TEST(ColumnarLzTest, RoundTripsCorpusLosslessly) {
+  for (const std::string& input : LzCorpus()) {
+    const std::string compressed = CompressBytes(input);
+    const auto decompressed = DecompressBytes(compressed, input.size());
+    ASSERT_TRUE(decompressed.ok()) << decompressed.status();
+    EXPECT_EQ(*decompressed, input);
+  }
+}
+
+TEST(ColumnarLzTest, RepetitiveInputActuallyCompresses) {
+  const std::string input(LzCorpus()[3]);  // repeating records
+  EXPECT_LT(CompressBytes(input).size(), input.size() / 2);
+}
+
+TEST(ColumnarLzTest, EveryTruncationIsCorruption) {
+  // A truncated stream either cuts a literal run / match token (bounds
+  // check) or ends early (declared-size check) — always Corruption.
+  const std::string input = LzCorpus()[3];
+  const std::string compressed = CompressBytes(input);
+  for (std::size_t cut = 0; cut < compressed.size(); ++cut) {
+    const auto decompressed =
+        DecompressBytes(compressed.substr(0, cut), input.size());
+    EXPECT_EQ(decompressed.status().code(), StatusCode::kCorruption)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ColumnarLzTest, WrongDeclaredSizeIsCorruption) {
+  const std::string input = LzCorpus()[3];
+  const std::string compressed = CompressBytes(input);
+  EXPECT_EQ(DecompressBytes(compressed, input.size() - 1).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecompressBytes(compressed, input.size() + 1).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecompressBytes(compressed, 0).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ColumnarLzTest, BitFlippedStreamsNeverMisbehave) {
+  // A flipped byte may still decode (a literal changed in place) but the
+  // decoder must never crash, over-read, or return the wrong size.
+  const std::string input = LzCorpus()[3];
+  const std::string compressed = CompressBytes(input);
+  for (std::size_t pos = 0; pos < compressed.size(); ++pos) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string flipped = compressed;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ mask);
+      const auto decompressed = DecompressBytes(flipped, input.size());
+      if (decompressed.ok()) {
+        EXPECT_EQ(decompressed->size(), input.size());
+      } else {
+        EXPECT_EQ(decompressed.status().code(), StatusCode::kCorruption);
+      }
+    }
+  }
+}
+
+TEST(ColumnarLzTest, ForgedDistanceAndLengthAreCorruption) {
+  // Hand-built streams hitting each decoder guard: distance 0, distance
+  // beyond the produced window, and runs overflowing the declared size.
+  std::string zero_distance;
+  PutVarint64(zero_distance, 4);
+  zero_distance += "abcd";
+  PutVarint64(zero_distance, 0);  // match length 4
+  PutVarint64(zero_distance, 0);  // distance 0: invalid
+  EXPECT_EQ(DecompressBytes(zero_distance, 8).status().code(),
+            StatusCode::kCorruption);
+
+  std::string far_distance;
+  PutVarint64(far_distance, 4);
+  far_distance += "abcd";
+  PutVarint64(far_distance, 0);
+  PutVarint64(far_distance, 5);  // only 4 bytes produced so far
+  EXPECT_EQ(DecompressBytes(far_distance, 8).status().code(),
+            StatusCode::kCorruption);
+
+  std::string fat_literal;
+  PutVarint64(fat_literal, 100);  // literal run beyond declared size
+  fat_literal += std::string(100, 'z');
+  EXPECT_EQ(DecompressBytes(fat_literal, 10).status().code(),
+            StatusCode::kCorruption);
+
+  std::string fat_match;
+  PutVarint64(fat_match, 4);
+  fat_match += "abcd";
+  PutVarint64(fat_match, 1u << 20);  // match overflowing declared size
+  PutVarint64(fat_match, 1);
+  EXPECT_EQ(DecompressBytes(fat_match, 16).status().code(),
+            StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace sitm::storage
