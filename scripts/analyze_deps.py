@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Architecture analyzer: the src/ include graph vs. the declared layering.
+
+The repo's include convention (see CMakeLists.txt) is that every source
+file includes project headers relative to src/ with quotes — e.g.
+`#include "geom/grid_index.h"` — so the first path component of a quoted
+include *is* the target module, and the module of a file is the first
+directory under src/. This script parses that graph for all of src/ and
+checks it against scripts/layering.json, which declares the layer order
+
+    base -> {geom, qsr} -> {indoor, core}
+         -> {io, louvre, mining, storage, sched} -> query
+
+plus the explicit list of allowed module edges. A module may only depend
+downward or sideways along a declared edge; the checker fails on
+
+  - cycles anywhere in the observed module graph,
+  - upward edges (a lower layer including a higher one), and
+  - edges absent from the manifest (even downward ones),
+
+naming each offending edge with a witness include site (file:line). There
+is deliberately no suppression mechanism: a violation is fixed by moving
+code (or, for a genuinely new legal dependency, by declaring the edge in
+the manifest and keeping the graph acyclic).
+
+Artifacts: a Graphviz `deps.dot` (layers as ranked clusters, violating
+edges in red) and a machine-readable `deps.json` (modules, edges with
+include counts and witnesses, violations). CI uploads both.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/manifest/IO error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+SOURCE_EXTENSIONS = (".h", ".hpp", ".hh", ".inc", ".cc", ".cpp", ".cxx")
+
+
+class ManifestError(Exception):
+    """The layering manifest itself is malformed."""
+
+
+class Edge:
+    """One observed cross-module dependency, with include-site witnesses."""
+
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+        self.count = 0
+        self.witnesses = []  # "file:line: #include "..."" strings
+
+    def add(self, path, line_no, include):
+        self.count += 1
+        if len(self.witnesses) < 3:
+            self.witnesses.append('%s:%d: #include "%s"' % (path, line_no, include))
+
+
+class Manifest:
+    """Parsed scripts/layering.json: layer ranks + allowed edge set."""
+
+    def __init__(self, layers, edges):
+        self.layers = layers            # list of lists of module names
+        self.edges = edges              # module -> set of allowed targets
+        self.rank = {}                  # module -> layer index (0 = bottom)
+        for index, layer in enumerate(layers):
+            for module in layer:
+                self.rank[module] = index
+
+    def allows(self, src, dst):
+        return dst in self.edges.get(src, set())
+
+
+def load_manifest(path):
+    """Load and validate the layering manifest; raises ManifestError."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except (OSError, ValueError) as err:
+        raise ManifestError("cannot read manifest %s: %s" % (path, err))
+
+    layers = raw.get("layers")
+    if not isinstance(layers, list) or not layers:
+        raise ManifestError("manifest needs a non-empty 'layers' list")
+    seen = set()
+    for layer in layers:
+        if not isinstance(layer, list) or not layer:
+            raise ManifestError("each layer must be a non-empty list of modules")
+        for module in layer:
+            if module in seen:
+                raise ManifestError("module '%s' appears in two layers" % module)
+            seen.add(module)
+
+    raw_edges = raw.get("edges")
+    if not isinstance(raw_edges, dict):
+        raise ManifestError("manifest needs an 'edges' object")
+    manifest = Manifest(layers, {m: set(t) for m, t in raw_edges.items()})
+    for src, targets in manifest.edges.items():
+        if src not in manifest.rank:
+            raise ManifestError("edge source '%s' is not in any layer" % src)
+        for dst in targets:
+            if dst not in manifest.rank:
+                raise ManifestError(
+                    "edge %s -> %s: target is not in any layer" % (src, dst))
+            if dst == src:
+                raise ManifestError("self-edge on '%s'" % src)
+            if manifest.rank[dst] > manifest.rank[src]:
+                raise ManifestError(
+                    "edge %s -> %s points upward (layer %d -> %d); the "
+                    "manifest may only declare downward or same-layer edges"
+                    % (src, dst, manifest.rank[src], manifest.rank[dst]))
+    cycle = find_cycle(manifest.edges)
+    if cycle:
+        raise ManifestError(
+            "declared edges contain a cycle: %s" % " -> ".join(cycle))
+    for module in manifest.rank:
+        manifest.edges.setdefault(module, set())
+    return manifest
+
+
+def find_cycle(edges):
+    """Return one cycle in the module graph as [a, b, ..., a], else None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in sorted(edges.get(node, ())):
+            state = color.get(nxt, WHITE)
+            if state == GRAY:
+                return stack[stack.index(nxt):] + [nxt]
+            if state == WHITE:
+                found = visit(nxt)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(edges):
+        if color.get(node, WHITE) == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return None
+
+
+def scan_includes(src_root):
+    """Walk src/ and return ({module: set(files)}, {(src,dst): Edge}, errors).
+
+    Only quoted includes whose first path component is a known-looking
+    module directory are graph edges; system includes and intra-module
+    includes are ignored. Files under src/ whose module directory the
+    caller's manifest does not declare are reported by the caller.
+    """
+    modules = {}
+    edges = {}
+    errors = []
+    for dirpath, dirnames, filenames in os.walk(src_root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, src_root)
+            parts = rel.split(os.sep)
+            if len(parts) < 2:
+                errors.append(
+                    "%s: file sits directly under src/ — every source file "
+                    "belongs to a module directory" % rel)
+                continue
+            module = parts[0]
+            modules.setdefault(module, set()).add(rel)
+            try:
+                with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                    lines = fh.readlines()
+            except OSError as err:
+                errors.append("%s: unreadable: %s" % (rel, err))
+                continue
+            for line_no, line in enumerate(lines, start=1):
+                match = INCLUDE_RE.match(line)
+                if not match:
+                    continue
+                include = match.group(1)
+                target = include.split("/", 1)[0]
+                if "/" not in include:
+                    # A bare quoted include ("foo.h") is not src/-relative;
+                    # the include-convention lint owns that complaint.
+                    continue
+                if target == module:
+                    continue
+                edge = edges.setdefault((module, target), Edge(module, target))
+                edge.add(rel, line_no, include)
+    return modules, edges, errors
+
+
+def check(manifest, modules, edges):
+    """Return the list of violation strings for the observed graph."""
+    violations = []
+    for module in sorted(modules):
+        if module not in manifest.rank:
+            violations.append(
+                "unknown module 'src/%s/' — not declared in any layer of the "
+                "manifest (add it to scripts/layering.json)" % module)
+    for (src, dst) in sorted(edges):
+        edge = edges[(src, dst)]
+        witness = edge.witnesses[0] if edge.witnesses else "?"
+        if dst not in manifest.rank:
+            violations.append(
+                "edge %s -> %s targets unknown module '%s' (%s)"
+                % (src, dst, dst, witness))
+            continue
+        if src not in manifest.rank:
+            continue  # already reported as an unknown module
+        if manifest.rank[dst] > manifest.rank[src]:
+            violations.append(
+                "upward edge %s -> %s: layer %d may not include layer %d (%s)"
+                % (src, dst, manifest.rank[src], manifest.rank[dst], witness))
+        elif not manifest.allows(src, dst):
+            violations.append(
+                "undeclared edge %s -> %s: not in the manifest's allowed "
+                "edges for '%s' (%s)" % (src, dst, src, witness))
+    observed = {}
+    for (src, dst) in edges:
+        observed.setdefault(src, set()).add(dst)
+    cycle = find_cycle(observed)
+    if cycle:
+        violations.append(
+            "include cycle between modules: %s" % " -> ".join(cycle))
+    return violations
+
+
+def edge_status(manifest, src, dst):
+    if src not in manifest.rank or dst not in manifest.rank:
+        return "unknown-module"
+    if manifest.rank[dst] > manifest.rank[src]:
+        return "upward"
+    if not manifest.allows(src, dst):
+        return "undeclared"
+    return "ok"
+
+
+def write_dot(path, manifest, modules, edges):
+    lines = ["digraph sitm_deps {", "  rankdir=BT;",
+             '  node [shape=box, fontname="Helvetica"];']
+    for index, layer in enumerate(manifest.layers):
+        lines.append("  subgraph cluster_layer_%d {" % index)
+        lines.append('    label="layer %d"; style=dashed; rank=same;' % index)
+        for module in layer:
+            attr = "" if module in modules else ' [style=dotted]'
+            lines.append("    %s%s;" % (module, attr))
+        lines.append("  }")
+    for module in sorted(modules):
+        if module not in manifest.rank:
+            lines.append('  %s [color=red, label="%s (unknown)"];'
+                         % (module, module))
+    for (src, dst) in sorted(edges):
+        status = edge_status(manifest, src, dst)
+        attrs = ['label="%d"' % edges[(src, dst)].count]
+        if status != "ok":
+            attrs.append("color=red")
+            attrs.append("penwidth=2")
+        lines.append("  %s -> %s [%s];" % (src, dst, ", ".join(attrs)))
+    lines.append("}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def write_json(path, manifest, modules, edges, violations):
+    payload = {
+        "layers": manifest.layers,
+        "modules": {m: sorted(files) for m, files in sorted(modules.items())},
+        "edges": [
+            {
+                "from": src,
+                "to": dst,
+                "includes": edges[(src, dst)].count,
+                "status": edge_status(manifest, src, dst),
+                "witnesses": edges[(src, dst)].witnesses,
+            }
+            for (src, dst) in sorted(edges)
+        ],
+        "violations": violations,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def run_analysis(root, manifest_path, dot_path=None, json_path=None,
+                 out=sys.stdout, err=sys.stderr):
+    """Analyze <root>/src against the manifest; returns the exit code."""
+    src_root = os.path.join(root, "src")
+    if not os.path.isdir(src_root):
+        print("analyze_deps: no src/ directory under %s" % root, file=err)
+        return 2
+    try:
+        manifest = load_manifest(manifest_path)
+    except ManifestError as exc:
+        print("analyze_deps: manifest error: %s" % exc, file=err)
+        return 2
+    modules, edges, scan_errors = scan_includes(src_root)
+    if scan_errors:
+        for error in scan_errors:
+            print("analyze_deps: %s" % error, file=err)
+        return 2
+    violations = check(manifest, modules, edges)
+    if dot_path:
+        os.makedirs(os.path.dirname(os.path.abspath(dot_path)), exist_ok=True)
+        write_dot(dot_path, manifest, modules, edges)
+    if json_path:
+        os.makedirs(os.path.dirname(os.path.abspath(json_path)), exist_ok=True)
+        write_json(json_path, manifest, modules, edges, violations)
+    if violations:
+        for violation in violations:
+            print("analyze_deps: VIOLATION: %s" % violation, file=err)
+        print("analyze_deps: %d violation(s) in the module graph"
+              % len(violations), file=err)
+        return 1
+    print("analyze_deps: %d modules, %d cross-module edges, layering clean"
+          % (len(modules), len(edges)), file=out)
+    return 0
+
+
+def main(argv=None):
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(script_dir)
+    parser = argparse.ArgumentParser(
+        description="Check the src/ include graph against scripts/layering.json")
+    parser.add_argument("--root", default=repo_root,
+                        help="repo root containing src/ (default: repo)")
+    parser.add_argument("--manifest",
+                        default=os.path.join(script_dir, "layering.json"),
+                        help="layer manifest (default: scripts/layering.json)")
+    parser.add_argument("--dot", default=None, metavar="PATH",
+                        help="write a Graphviz graph here (default: "
+                             "<root>/build/analysis/deps.dot)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable report here "
+                             "(default: <root>/build/analysis/deps.json)")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        help="skip writing deps.dot/deps.json")
+    args = parser.parse_args(argv)
+    dot_path = args.dot
+    json_path = args.json
+    if not args.no_artifacts:
+        analysis_dir = os.path.join(args.root, "build", "analysis")
+        if dot_path is None:
+            dot_path = os.path.join(analysis_dir, "deps.dot")
+        if json_path is None:
+            json_path = os.path.join(analysis_dir, "deps.json")
+    else:
+        dot_path = args.dot
+        json_path = args.json
+    return run_analysis(args.root, args.manifest, dot_path, json_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

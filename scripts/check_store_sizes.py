@@ -91,6 +91,14 @@ def main(argv):
         base = baseline[name]
         if name not in sizes:
             print(f"{name:40} {base:12} {'MISSING':>12} {'':>8}  FAIL")
+            # A clear per-file error on stderr, not just a table row: CI
+            # logs collapse stdout tables, and a silently missing file
+            # is the one failure mode that un-gates the whole check.
+            print(f"error: {name}: listed in {args.baseline} but missing "
+                  f"from {args.current_dir} — regenerate the artifacts "
+                  f"(scripts/run_benches.sh) or, if the bench was "
+                  f"intentionally removed, re-pin with --update",
+                  file=sys.stderr)
             failures += 1
             continue
         cur = sizes[name]

@@ -37,6 +37,31 @@ not know this repo's conventions):
   include-convention   Project includes are src/-relative: no `"../`,
                        no `"src/` prefixes (they break the single
                        exported include root; see CMakeLists.txt).
+  lock-scope-io        Blocking file I/O (fstreams, fopen/fread/fwrite,
+                       mmap) inside a MutexLock / manual Lock() /
+                       SITM_REQUIRES region. Critical sections must be
+                       short and bounded; stage the bytes outside the
+                       lock (see TraceSink::WriteJson for the shape).
+  lock-scope-store     EventStoreWriter Append/Finish under a lock:
+                       both do real I/O and Finish fsyncs — a store
+                       flush inside a critical section stalls every
+                       thread behind that mutex.
+  lock-scope-executor  Submitting parallel work (ParallelFor /
+                       ParallelMap / RunGraph / RunGraphInline /
+                       Executor::Run) while holding a lock: the workers
+                       may need the very mutex the submitter holds —
+                       the classic self-deadlock the task-graph
+                       adapters exist to prevent.
+  lock-wait-no-predicate  CondVar::Wait call sites must sit in a
+                       while/do/for predicate loop re-checking the
+                       condition (spurious wakeups; see base/mutex.h).
+  missing-nodiscard    Status/Result<...>-returning declarations in
+                       src/ headers must carry [[nodiscard]] — the
+                       discarded-status rule catches bare statements,
+                       but only the attribute reaches expression
+                       contexts (ternaries, comma operators) and
+                       other TUs. friend declarations are exempt
+                       (C++17 forbids attributes there).
 
 Suppression: append `sitm-lint: allow(<rule>)` in a comment on the
 offending line (or the line directly above) — e.g. the pool's own test
@@ -337,6 +362,279 @@ def check_include_convention(root, findings):
                     f'(e.g. "geom/grid_index.h")'))
 
 
+# ---------------------------------------------------------------------------
+# Scope-aware checks: a light structural pass over each file.
+#
+# strip_comments_and_strings() handles line comments and literals; the
+# helpers below additionally blank block comments and preprocessor
+# directives (continuations included), then tokenize the file into a
+# stream of (line, kind, text) where kind is 'stmt' (code between
+# structural tokens), 'open' ({), 'close' (}), or 'end' (;). Semicolons
+# inside parentheses (for-headers) are not statement ends; brace scopes
+# reset the paren depth so lambda bodies inside call arguments tokenize
+# as real statements. This is not a C++ parser — it is exactly enough
+# structure to know (a) which brace scope a statement sits in, (b) what
+# keyword opened that scope, and (c) which locks are held there.
+# ---------------------------------------------------------------------------
+
+def _prepare_lines(lines):
+    """Stripped lines with block comments and preprocessor lines blanked."""
+    out = []
+    in_block = False
+    in_directive = False
+    for line in lines:
+        if in_directive:
+            in_directive = line.rstrip().endswith("\\")
+            out.append("")
+            continue
+        code = strip_comments_and_strings(line)
+        if in_block:
+            end = code.find("*/")
+            if end == -1:
+                out.append("")
+                continue
+            code = " " * (end + 2) + code[end + 2:]
+            in_block = False
+        code = re.sub(r"/\*.*?\*/", " ", code)
+        start = code.find("/*")
+        if start != -1:
+            code = code[:start]
+            in_block = True
+        if code.lstrip().startswith("#"):
+            in_directive = code.rstrip().endswith("\\")
+            code = ""
+        out.append(code)
+    return out
+
+
+def _tokenize(prepared):
+    """Yield (line_index, kind, text) structural tokens (see above)."""
+    buf = []
+    buf_line = 0
+    has_code = False  # buf holds a non-whitespace char (anchors buf_line)
+    paren = 0
+    paren_stack = []
+
+    def flush():
+        nonlocal buf, has_code
+        text = " ".join("".join(buf).split())
+        buf = []
+        has_code = False
+        return text
+
+    for i, line in enumerate(prepared):
+        for ch in line:
+            if ch == "(":
+                paren += 1
+            elif ch == ")" and paren > 0:
+                paren -= 1
+            if ch == "{":
+                text = flush()
+                if text:
+                    yield (buf_line, "stmt", text)
+                paren_stack.append(paren)
+                paren = 0
+                yield (i, "open", "{")
+                continue
+            if ch == "}":
+                text = flush()
+                if text:
+                    yield (buf_line, "stmt", text)
+                paren = paren_stack.pop() if paren_stack else 0
+                yield (i, "close", "}")
+                continue
+            if ch == ";" and paren == 0:
+                text = flush()
+                if text:
+                    yield (buf_line, "stmt", text)
+                yield (i, "end", ";")
+                continue
+            if ch == ":" and "".join(buf).strip() in ("public", "private",
+                                                      "protected"):
+                # Access labels are separators, not statement prefixes:
+                # without this, `public:` would glue onto the following
+                # declaration and skew its reported line.
+                flush()
+                yield (i, "end", ":")
+                continue
+            if not has_code and not ch.isspace():
+                buf_line = i
+                has_code = True
+            buf.append(ch)
+        buf.append(" ")
+    text = flush()
+    if text:
+        yield (buf_line, "stmt", text)
+
+
+_SCOPE_KEYWORD_RE = re.compile(
+    r"\b(while|do|for|if|else|switch|try|catch|class|struct|union|enum|"
+    r"namespace)\b")
+LOOP_KINDS = frozenset({"while", "do", "for"})
+TYPE_KINDS = frozenset({"class", "struct", "union", "enum"})
+
+
+def _classify_scope(header):
+    """What kind of brace scope does a `header { ...` statement open?"""
+    keywords = _SCOPE_KEYWORD_RE.findall(header)
+    for keyword in reversed(keywords):
+        if keyword in LOOP_KINDS or keyword in ("if", "else", "switch",
+                                                "try", "catch"):
+            return keyword
+    for keyword in keywords:
+        if keyword == "namespace":
+            return "namespace"
+        if keyword in TYPE_KINDS:
+            return "type"
+    if "(" in header or header.startswith("["):  # function body or lambda
+        return "function"
+    return "other"
+
+
+LOCK_DECL_RE = re.compile(r"\bMutexLock\s+\w+\s*\(")
+MANUAL_LOCK_RE = re.compile(r"((?:[A-Za-z_]\w*(?:\.|->))+)Lock\s*\(\s*\)")
+MANUAL_UNLOCK_RE = re.compile(r"((?:[A-Za-z_]\w*(?:\.|->))+)Unlock\s*\(\s*\)")
+REQUIRES_RE = re.compile(r"\bSITM_REQUIRES(?:_SHARED)?\s*\(")
+
+LOCK_IO_RE = re.compile(
+    r"\bstd::(?:basic_)?[io]?fstream\b|"
+    r"\bf(?:open|reopen|read|write|close|flush|printf|gets|puts)\s*\(|"
+    r"\bmmap\s*\(")
+# Receiver-name heuristic: a call like `x->Append(...)` is only a store
+# write if `x` plausibly names a writer/store (Trace::Append et al. must
+# stay quiet); same idea for `x->Run(...)` vs. the many other Run()s.
+LOCK_STORE_RE = re.compile(
+    r"\b(?:\w*(?:[Ww]riter|[Ss]tore)\w*\s*(?:\.|->)\s*"
+    r"(?:Append|Finish)|EventStoreWriter)\s*\(")
+LOCK_EXEC_RE = re.compile(
+    r"\b(?:ParallelFor|ParallelMap|RunGraph|RunGraphInline)\s*[<(]|"
+    r"\b\w*(?:[Ee]xecutor|[Rr]unner)\w*\s*(?:\.|->)\s*Run\s*\(")
+WAIT_RE = re.compile(r"(?:[A-Za-z_]\w*(?:\.|->))+Wait\s*\(")
+WAIT_SAME_STMT_LOOP_RE = re.compile(r"\b(?:while|for)\b.*\bWait\s*\(")
+
+_LOCK_RULES = (
+    ("lock-scope-io", LOCK_IO_RE,
+     "blocking file I/O inside a lock region (held since line %d) — "
+     "stage the bytes outside the critical section"),
+    ("lock-scope-store", LOCK_STORE_RE,
+     "EventStoreWriter Append/Finish inside a lock region (held since "
+     "line %d) — store writes do real I/O; move them off the lock"),
+    ("lock-scope-executor", LOCK_EXEC_RE,
+     "parallel work submitted inside a lock region (held since line "
+     "%d) — workers may need this very mutex (self-deadlock)"),
+)
+
+
+def check_lock_scopes(root, findings):
+    for path in iter_files(root, SOURCE_DIRS, (".cc", ".cpp", ".h")):
+        rel = os.path.relpath(path, root)
+        if rel == os.path.join("src", "base", "mutex.h"):
+            continue  # defines the primitives the rules are about
+        lines = read_lines(path)
+        prepared = _prepare_lines(lines)
+        scopes = []       # kind of every open brace scope, innermost last
+        locks = []        # {kind, receiver, scope_len, line}
+        pending = ""      # last stmt text, governs the next '{'
+        for line_no, kind, text in _tokenize(prepared):
+            if kind == "open":
+                scope_kind = _classify_scope(pending)
+                scopes.append(scope_kind)
+                if REQUIRES_RE.search(pending):
+                    locks.append({"kind": "requires", "receiver": None,
+                                  "scope_len": len(scopes),
+                                  "line": line_no + 1})
+                pending = ""
+                continue
+            if kind == "close":
+                if scopes:
+                    scopes.pop()
+                locks = [l for l in locks if l["scope_len"] <= len(scopes)]
+                pending = ""
+                continue
+            if kind == "end":
+                pending = ""
+                continue
+            pending = text
+            if locks:
+                for rule, token_re, message in _LOCK_RULES:
+                    if token_re.search(text) and not allowed(
+                            lines, line_no, rule):
+                        findings.append(Finding(
+                            path, line_no + 1, rule,
+                            message % locks[-1]["line"]))
+            wait = WAIT_RE.search(text)
+            if wait:
+                in_loop_stmt = bool(WAIT_SAME_STMT_LOOP_RE.search(text))
+                in_loop_scope = bool(scopes) and scopes[-1] in LOOP_KINDS
+                if not in_loop_stmt and not in_loop_scope and not allowed(
+                        lines, line_no, "lock-wait-no-predicate"):
+                    findings.append(Finding(
+                        path, line_no + 1, "lock-wait-no-predicate",
+                        "CondVar::Wait outside a predicate loop — "
+                        "spurious wakeups require `while (!cond) "
+                        "cv.Wait(lock);` (see base/mutex.h)"))
+            # Lock events after the checks: the acquiring statement
+            # itself is not "work inside the region".
+            if LOCK_DECL_RE.search(text):
+                locks.append({"kind": "scoped", "receiver": None,
+                              "scope_len": len(scopes),
+                              "line": line_no + 1})
+            for match in MANUAL_LOCK_RE.finditer(text):
+                locks.append({"kind": "manual",
+                              "receiver": match.group(1),
+                              "scope_len": len(scopes),
+                              "line": line_no + 1})
+            for match in MANUAL_UNLOCK_RE.finditer(text):
+                receiver = match.group(1)
+                for index in range(len(locks) - 1, -1, -1):
+                    if (locks[index]["kind"] == "manual"
+                            and locks[index]["receiver"] == receiver):
+                        del locks[index]
+                        break
+
+
+ACCESS_LABEL_RE = re.compile(r"^(?:(?:public|private|protected)\s*:\s*)+")
+STATUS_DECL_HEAD_RE = re.compile(
+    r"^(?:template\s*<[^{};]*>\s*)?"
+    r"(?:(?:virtual|static|inline|constexpr|explicit)\s+)*"
+    r"(?:Status|Result<[^;{}]+>)\s+[A-Za-z_]\w*\s*\(")
+
+
+def check_missing_nodiscard(root, findings):
+    for path in iter_files(root, ("src",), (".h",)):
+        lines = read_lines(path)
+        prepared = _prepare_lines(lines)
+        scopes = []
+        pending = ""
+        for line_no, kind, text in _tokenize(prepared):
+            if kind == "open":
+                scopes.append(_classify_scope(pending))
+                pending = ""
+                continue
+            if kind == "close":
+                if scopes:
+                    scopes.pop()
+                pending = ""
+                continue
+            if kind == "end":
+                pending = ""
+                continue
+            pending = text
+            if "function" in scopes:
+                continue  # local declarations/statements inside a body
+            decl = ACCESS_LABEL_RE.sub("", text)
+            if "[[nodiscard]]" in decl or "friend" in decl.split("(")[0]:
+                continue
+            if STATUS_DECL_HEAD_RE.match(decl) and not allowed(
+                    lines, line_no, "missing-nodiscard"):
+                findings.append(Finding(
+                    path, line_no + 1, "missing-nodiscard",
+                    "Status/Result-returning declaration without "
+                    "[[nodiscard]] — add it (or, for a genuinely "
+                    "optional result, `sitm-lint: "
+                    "allow(missing-nodiscard)` with a reason)"))
+
+
 CHECKS = (
     check_discarded_status,
     check_naked_thread,
@@ -344,6 +642,8 @@ CHECKS = (
     check_nondeterministic_rng,
     check_pragma_once,
     check_include_convention,
+    check_lock_scopes,
+    check_missing_nodiscard,
 )
 
 

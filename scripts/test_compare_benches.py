@@ -182,6 +182,14 @@ def _run_sizes(argv):
     return code, out.getvalue()
 
 
+def _run_sizes_with_stderr(argv):
+    out = io.StringIO()
+    err = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = check_store_sizes.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
 def test_store_growth_past_threshold_fails_and_under_passes():
     with tempfile.TemporaryDirectory() as tmp:
         baseline = _write_size_baseline(tmp, {"a": 1000, "b": 1000})
@@ -208,9 +216,27 @@ def test_store_missing_artifact_fails_the_gate():
     # the size check.
     with tempfile.TemporaryDirectory() as tmp:
         baseline = _write_size_baseline(tmp, {"gone": 1000})
-        code, out = _run_sizes([baseline, tmp])
+        code, out, err = _run_sizes_with_stderr([baseline, tmp])
         assert code == 1, out
         assert "MISSING" in out
+        # Each missing artifact gets its own stderr error naming the file
+        # and the baseline, plus the two remedies.
+        assert "error: BENCH_gone.evst" in err, err
+        assert "missing" in err and "--update" in err, err
+
+
+def test_store_each_missing_artifact_gets_its_own_error_line():
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _write_size_baseline(tmp, {"gone1": 1000, "gone2": 2000,
+                                              "there": 500})
+        _write_store(tmp, "there", 500)
+        code, out, err = _run_sizes_with_stderr([baseline, tmp])
+        assert code == 1, out
+        errors = [l for l in err.splitlines() if l.startswith("error: ")]
+        assert len(errors) == 2, err
+        assert any("BENCH_gone1.evst" in l for l in errors), err
+        assert any("BENCH_gone2.evst" in l for l in errors), err
+        assert not any("BENCH_there.evst" in l for l in errors), err
 
 
 def test_store_added_artifact_is_reported_not_gated():

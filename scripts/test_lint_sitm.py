@@ -225,6 +225,193 @@ def test_findings_are_sorted_and_main_exit_codes():
     assert lint_sitm.main(["--root", os.path.join(tmp, "gone")]) == 2
 
 
+def test_lock_scope_io_flagged_inside_mutexlock():
+    findings = _lint({
+        "src/core/cache.cc": ("#include <fstream>\n"
+                              "void F() {\n"
+                              "  MutexLock lock(mu_);\n"
+                              "  std::ofstream out(path_);\n"
+                              "  out << blob_;\n"
+                              "}\n"),
+    })
+    flagged = [f for f in findings if f.rule == "lock-scope-io"]
+    assert [f.line for f in flagged] == [4], findings
+
+
+def test_lock_scope_io_quiet_outside_the_region_and_in_nested_scope():
+    # The same tokens before the lock, after the region's scope closes,
+    # and with an allow() escape stay quiet; a *nested* scope inside the
+    # region is still inside the region.
+    findings = _lint({
+        "src/core/a.cc": ("void F() {\n"
+                          "  std::ofstream out(path_);\n"
+                          "  {\n"
+                          "    MutexLock lock(mu_);\n"
+                          "    counter_++;\n"
+                          "  }\n"
+                          "  out << blob_;\n"
+                          "}\n"),
+        "src/core/b.cc": ("void G() {\n"
+                          "  MutexLock lock(mu_);\n"
+                          "  if (dirty_) {\n"
+                          "    // startup only: sitm-lint: allow(lock-scope-io)\n"
+                          "    std::ifstream in(path_);\n"
+                          "  }\n"
+                          "}\n"),
+        "src/core/c.cc": ("void H() {\n"
+                          "  MutexLock lock(mu_);\n"
+                          "  if (dirty_) {\n"
+                          "    fclose(file_);\n"
+                          "  }\n"
+                          "}\n"),
+    })
+    flagged = [f for f in findings if f.rule == "lock-scope-io"]
+    assert len(flagged) == 1 and flagged[0].path.endswith("c.cc"), findings
+
+
+def test_lock_scope_tracks_manual_lock_and_early_unlock():
+    # mu_.Lock()/mu_.Unlock() delimit a region too — I/O between them is
+    # flagged, I/O after the early Unlock is not, and a *different*
+    # mutex's Unlock does not close the region.
+    findings = _lint({
+        "src/core/m.cc": ("void F() {\n"
+                          "  mu_.Lock();\n"
+                          "  fwrite(buf, 1, n, file_);\n"
+                          "  mu_.Unlock();\n"
+                          "  fread(buf, 1, n, file_);\n"
+                          "}\n"
+                          "void G() {\n"
+                          "  a_.Lock();\n"
+                          "  b_.Unlock();\n"
+                          "  fflush(file_);\n"
+                          "}\n"),
+    })
+    flagged = [f for f in findings if f.rule == "lock-scope-io"]
+    assert [f.line for f in flagged] == [3, 10], findings
+
+
+def test_lock_scope_requires_annotation_marks_the_body():
+    findings = _lint({
+        "src/core/r.cc": ("void Flush() SITM_REQUIRES(mu_) {\n"
+                          "  fwrite(buf_, 1, n_, file_);\n"
+                          "}\n"
+                          "void Other() {\n"
+                          "  fwrite(buf_, 1, n_, file_);\n"
+                          "}\n"),
+    })
+    flagged = [f for f in findings if f.rule == "lock-scope-io"]
+    assert [f.line for f in flagged] == [2], findings
+
+
+def test_lock_scope_store_and_executor_rules():
+    findings = _lint({
+        "src/storage/s.cc": ("void F() {\n"
+                             "  MutexLock lock(mu_);\n"
+                             "  writer_->Append(record);\n"
+                             "  writer_->Finish();\n"
+                             "}\n"),
+        "src/query/q.cc": ("void G() {\n"
+                           "  MutexLock lock(mu_);\n"
+                           "  ParallelFor(executor_, n, fn);\n"
+                           "  RunGraph(executor_, std::move(graph));\n"
+                           "  executor_->Run(std::move(graph2));\n"
+                           "}\n"),
+    })
+    store = [f for f in findings if f.rule == "lock-scope-store"]
+    execf = [f for f in findings if f.rule == "lock-scope-executor"]
+    assert [f.line for f in store] == [3, 4], findings
+    assert [f.line for f in execf] == [3, 4, 5], findings
+
+
+def test_lock_scope_store_quiet_for_non_store_append_outside_lock():
+    # Trace::Append-style calls (receiver is not a writer/store) and
+    # store calls outside any region stay quiet.
+    findings = _lint({
+        "src/core/t.cc": ("void F() {\n"
+                          "  MutexLock lock(mu_);\n"
+                          "  trace_.Append(span);\n"
+                          "}\n"
+                          "void G() {\n"
+                          "  writer_->Finish();\n"  # no lock held
+                          "}\n"),
+    })
+    assert not [f for f in findings if f.rule == "lock-scope-store"], findings
+
+
+def test_wait_without_predicate_loop_is_flagged():
+    findings = _lint({
+        "src/core/w.cc": ("void F() {\n"
+                          "  MutexLock lock(mu_);\n"
+                          "  cv_.Wait(lock);\n"
+                          "}\n"),
+    })
+    flagged = [f for f in findings if f.rule == "lock-wait-no-predicate"]
+    assert [f.line for f in flagged] == [3], findings
+
+
+def test_wait_inside_predicate_loops_is_quiet():
+    findings = _lint({
+        # Same-statement loop, braced while body, and do-while.
+        "src/core/w.cc": ("void F() {\n"
+                          "  MutexLock lock(mu_);\n"
+                          "  while (busy_) cv_.Wait(lock);\n"
+                          "  while (queue_.empty() && !stop_) {\n"
+                          "    cv_.Wait(lock);\n"
+                          "  }\n"
+                          "  do {\n"
+                          "    cv_.Wait(lock);\n"
+                          "  } while (draining_);\n"
+                          "}\n"),
+    })
+    assert not [f for f in findings
+                if f.rule == "lock-wait-no-predicate"], findings
+
+
+def test_missing_nodiscard_on_status_and_result_declarations():
+    findings = _lint({
+        "src/core/api.h": ("#pragma once\n"
+                           "namespace sitm {\n"
+                           "class Api {\n"
+                           " public:\n"
+                           "  Status Open(const std::string& path);\n"
+                           "  [[nodiscard]] Status Close();\n"
+                           "  Result<int> Count() const;\n"
+                           "  void Reset();\n"
+                           "};\n"
+                           "Status Free();\n"
+                           "}  // namespace sitm\n"),
+    })
+    flagged = [f for f in findings if f.rule == "missing-nodiscard"]
+    assert [f.line for f in flagged] == [5, 7, 10], findings
+
+
+def test_missing_nodiscard_exemptions():
+    findings = _lint({
+        # friend declarations cannot carry attributes (C++17); local
+        # variables inside inline bodies, Status *parameters*, multiline
+        # [[nodiscard]] declarations, and allow() escapes stay quiet.
+        "src/core/ok.h": ("#pragma once\n"
+                          "class Ok {\n"
+                          "  friend Status Touch(Ok& ok);\n"
+                          "  [[nodiscard]] Result<int>\n"
+                          "  Longname(int a, int b);\n"
+                          "  void Take(Status s);\n"
+                          "  int Get() { Status s = Probe(); return 0; }\n"
+                          "  // fire-and-forget: sitm-lint: allow(missing-nodiscard)\n"
+                          "  Status Post();\n"
+                          "};\n"),
+    })
+    assert not [f for f in findings if f.rule == "missing-nodiscard"], findings
+
+
+def test_missing_nodiscard_only_scans_src_headers():
+    findings = _lint({
+        "tests/helper.h": "Status Helper();\n",
+        "src/core/impl.cc": "Status Impl() { return Status::OK(); }\n",
+    })
+    assert not [f for f in findings if f.rule == "missing-nodiscard"], findings
+
+
 def test_live_tree_is_clean():
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     findings = lint_sitm.run_lint(root)

@@ -1,0 +1,156 @@
+#include "base/mutex.h"
+
+// The debug lock-order deadlock detector. Everything here is compiled
+// only under -DSITM_DEADLOCK_DETECTOR=ON (see CMakeLists.txt); plain
+// builds get an empty translation unit and zero-overhead Lock/Unlock.
+#if defined(SITM_DEADLOCK_DETECTOR)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sitm::deadlock_internal {
+namespace {
+
+/// Provenance of one acquisition-order edge (from -> to): the thread
+/// and full held stack first observed acquiring `to` while holding
+/// `from`. Printed as "the other order" in a cycle report.
+struct EdgeWitness {
+  std::string description;
+};
+
+/// The global acquisition-order graph. Guarded by a raw std::mutex —
+/// the detector cannot instrument its own lock (sitm::Mutex would
+/// recurse), and base/ is the one layer where a raw mutex is allowed.
+struct OrderGraph {
+  std::mutex mu;
+  std::map<const Mutex*, std::map<const Mutex*, EdgeWitness>> edges;
+};
+
+OrderGraph& Graph() {
+  // Leaked intentionally: mutexes with static storage duration may be
+  // destroyed (firing OnDestroy) after a non-leaked graph would be.
+  static OrderGraph* graph = new OrderGraph;
+  return *graph;
+}
+
+/// The calling thread's held-lock stack, in acquisition order.
+thread_local std::vector<const Mutex*> tls_held;
+
+std::string Describe(const Mutex* mutex) {
+  std::ostringstream out;
+  out << "mutex@" << static_cast<const void*>(mutex);
+  return out.str();
+}
+
+std::string DescribeOrder(const std::vector<const Mutex*>& held,
+                          const Mutex* acquiring) {
+  std::ostringstream out;
+  out << "thread " << std::this_thread::get_id() << " acquired "
+      << Describe(acquiring) << " while holding [";
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << Describe(held[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+/// Depth-first search for a path `from ->* target` in the edge graph.
+/// On success `path` holds the nodes visited, `from` first. Requires
+/// Graph().mu held.
+bool FindPath(const Mutex* from, const Mutex* target,
+              std::vector<const Mutex*>* path) {
+  path->push_back(from);
+  if (from == target) return true;
+  const auto it = Graph().edges.find(from);
+  if (it != Graph().edges.end()) {
+    for (const auto& [next, witness] : it->second) {
+      // The graph is acyclic by construction (a cycle-creating edge
+      // aborts the process before insertion), so plain DFS terminates
+      // without a visited set.
+      if (FindPath(next, target, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+[[noreturn]] void AbortWithCycle(const Mutex* acquiring,
+                                 const std::vector<const Mutex*>& path) {
+  std::fprintf(stderr,
+               "sitm deadlock detector: lock-order inversion — acquiring "
+               "%s would close a cycle in the acquisition-order graph.\n",
+               Describe(acquiring).c_str());
+  std::fprintf(stderr, "  this thread's acquisition order: %s\n",
+               DescribeOrder(tls_held, acquiring).c_str());
+  std::fprintf(stderr, "  conflicting recorded order:\n");
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const EdgeWitness& witness = Graph().edges[path[i]][path[i + 1]];
+    std::fprintf(stderr, "    %s -> %s: first seen when %s\n",
+                 Describe(path[i]).c_str(), Describe(path[i + 1]).c_str(),
+                 witness.description.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const Mutex* mutex) {
+  for (const Mutex* held : tls_held) {
+    if (held == mutex) {
+      std::fprintf(stderr,
+                   "sitm deadlock detector: recursive acquisition of %s "
+                   "(already held by this thread: %s)\n",
+                   Describe(mutex).c_str(),
+                   DescribeOrder(tls_held, mutex).c_str());
+      std::abort();
+    }
+  }
+  if (!tls_held.empty()) {
+    std::lock_guard<std::mutex> guard(Graph().mu);
+    for (const Mutex* held : tls_held) {
+      auto& out_edges = Graph().edges[held];
+      if (out_edges.find(mutex) != out_edges.end()) continue;
+      // New edge held -> mutex: it closes a cycle iff mutex already
+      // reaches held. Check before inserting so the graph stays acyclic
+      // and the report can name the conflicting path.
+      std::vector<const Mutex*> path;
+      if (FindPath(mutex, held, &path)) {
+        AbortWithCycle(mutex, path);
+      }
+      out_edges[mutex] = EdgeWitness{DescribeOrder(tls_held, mutex)};
+    }
+  }
+  tls_held.push_back(mutex);
+}
+
+void OnRelease(const Mutex* mutex) {
+  // Locks are usually released LIFO, but scoped regions may interleave;
+  // drop the most recent matching entry.
+  for (std::size_t i = tls_held.size(); i > 0; --i) {
+    if (tls_held[i - 1] == mutex) {
+      tls_held.erase(tls_held.begin() +
+                     static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+void OnDestroy(const Mutex* mutex) {
+  std::lock_guard<std::mutex> guard(Graph().mu);
+  Graph().edges.erase(mutex);
+  for (auto& [from, out_edges] : Graph().edges) {
+    out_edges.erase(mutex);
+  }
+}
+
+std::size_t HeldCount() { return tls_held.size(); }
+
+}  // namespace sitm::deadlock_internal
+
+#endif  // SITM_DEADLOCK_DETECTOR

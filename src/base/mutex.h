@@ -1,11 +1,45 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <mutex>
 
 #include "base/thread_annotations.h"
 
 namespace sitm {
+
+class Mutex;
+
+#if defined(SITM_DEADLOCK_DETECTOR)
+/// Debug lock-order deadlock detector (-DSITM_DEADLOCK_DETECTOR=ON).
+///
+/// Every sitm::Mutex acquisition is checked against a process-global
+/// acquisition-order graph: holding A while acquiring B records the
+/// edge A -> B, and an acquisition that would close a cycle (B held,
+/// acquiring A) aborts immediately — before blocking — printing both
+/// acquisition orders: the current thread's held stack and the
+/// recorded witness of every edge on the conflicting path. A latent
+/// ABBA deadlock is thus caught on the *first* run whose interleaving
+/// merely exercises both orders, not only on the rare run that
+/// actually deadlocks. Recursive acquisition of one mutex aborts too.
+///
+/// Debug-only by design: every Lock/Unlock takes a global detector
+/// lock, which serializes acquisition bookkeeping (fine for tests,
+/// wrong for production). CI runs the `parallel|sched` test labels
+/// with the detector on, next to TSan.
+namespace deadlock_internal {
+/// Pre-acquisition hook: aborts on a cycle, else records edges from
+/// every mutex this thread holds and pushes `mutex` on the held stack.
+void OnAcquire(const Mutex* mutex);
+/// Post-release hook: pops `mutex` from this thread's held stack.
+void OnRelease(const Mutex* mutex);
+/// Destruction hook: forgets the node so a recycled address cannot
+/// alias a dead mutex's recorded edges.
+void OnDestroy(const Mutex* mutex);
+/// Mutexes currently held by the calling thread (test introspection).
+std::size_t HeldCount();
+}  // namespace deadlock_internal
+#endif  // SITM_DEADLOCK_DETECTOR
 
 /// \brief std::mutex wrapped as an annotated capability.
 ///
@@ -13,15 +47,33 @@ namespace sitm {
 /// `capability` attribute, and the standard library's mutex does not, so
 /// every mutex guarding shared state in this codebase is a sitm::Mutex:
 /// members declared `SITM_GUARDED_BY(mutex_)` are then compile-time
-/// checked (under Clang) to be touched only while it is held.
+/// checked (under Clang) to be touched only while it is held. Under
+/// SITM_DEADLOCK_DETECTOR builds every acquisition additionally feeds
+/// the lock-order detector above.
 class SITM_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
+#if defined(SITM_DEADLOCK_DETECTOR)
+  ~Mutex() { deadlock_internal::OnDestroy(this); }
+#endif
 
-  void Lock() SITM_ACQUIRE() { mu_.lock(); }
-  void Unlock() SITM_RELEASE() { mu_.unlock(); }
+  void Lock() SITM_ACQUIRE() {
+#if defined(SITM_DEADLOCK_DETECTOR)
+    // Checked before blocking: a cycle-closing acquisition aborts with
+    // a report instead of deadlocking silently.
+    deadlock_internal::OnAcquire(this);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() SITM_RELEASE() {
+    mu_.unlock();
+#if defined(SITM_DEADLOCK_DETECTOR)
+    deadlock_internal::OnRelease(this);
+#endif
+  }
 
  private:
   friend class CondVar;
@@ -50,7 +102,9 @@ class SITM_SCOPED_CAPABILITY MutexLock {
 /// on the condition themselves while holding the lock, so reads of
 /// guarded state in the loop condition sit inside the MutexLock scope
 /// and stay visible to the analysis (predicate lambdas would not be —
-/// the analysis treats lambda bodies as unrelated functions).
+/// the analysis treats lambda bodies as unrelated functions). The
+/// project lint's lock-wait-no-predicate rule enforces the loop shape
+/// at every call site.
 class CondVar {
  public:
   CondVar() = default;
@@ -61,7 +115,9 @@ class CondVar {
   /// reacquires it before returning. Caller must hold `lock` (and, as
   /// with any condvar, must re-check its condition in a loop). The
   /// adopt/release juggling below is invisible to the analysis: the
-  /// mutex is held on entry and on exit, which is all callers see.
+  /// mutex is held on entry and on exit, which is all callers see. (The
+  /// deadlock detector likewise keeps the mutex on the held stack across
+  /// the wait: order-wise it was acquired once, before the wait.)
   void Wait(MutexLock& lock) SITM_NO_THREAD_SAFETY_ANALYSIS {
     std::unique_lock<std::mutex> native(lock.mutex_.mu_, std::adopt_lock);
     cv_.wait(native);

@@ -1,0 +1,128 @@
+#include "base/task_graph.h"
+
+#include <exception>
+#include <queue>
+#include <utility>
+
+#include "base/task_runner.h"
+
+namespace sitm {
+
+TaskId TaskGraph::AddTask(std::string name, std::function<void()> fn) {
+  Node node;
+  node.name = std::move(name);
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+Status TaskGraph::AddEdge(TaskId before, TaskId after) {
+  if (before >= nodes_.size() || after >= nodes_.size()) {
+    return Status::InvalidArgument(
+        "task_graph: edge (" + std::to_string(before) + " -> " +
+        std::to_string(after) + ") references a task outside the graph of "
+        "size " + std::to_string(nodes_.size()));
+  }
+  if (before == after) {
+    return Status::InvalidArgument("task_graph: self-edge on task #" +
+                                   std::to_string(before) + " ('" +
+                                   nodes_[before].name + "')");
+  }
+  nodes_[before].successors.push_back(after);
+  ++nodes_[after].dependencies;
+  return Status::OK();
+}
+
+Status TaskGraph::Validate() const {
+  std::vector<std::size_t> pending(nodes_.size());
+  std::vector<TaskId> ready;
+  for (TaskId id = 0; id < nodes_.size(); ++id) {
+    pending[id] = nodes_[id].dependencies;
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const TaskId succ : nodes_[id].successors) {
+      if (--pending[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (processed != nodes_.size()) {
+    // Every unprocessed node sits on (or downstream of) a cycle; name the
+    // lowest-id one with unmet dependencies for a stable message.
+    for (TaskId id = 0; id < nodes_.size(); ++id) {
+      if (pending[id] != 0) {
+        return Status::InvalidArgument(
+            "task_graph: task graph contains a cycle through task #" +
+            std::to_string(id) + " ('" + nodes_[id].name + "')");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace task_internal {
+
+std::string DescribeCurrentException() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    const char* what = e.what();
+    return (what == nullptr || what[0] == '\0') ? "std::exception" : what;
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+Status TaskFailure(TaskId id, const std::string& name,
+                   const std::string& error) {
+  return Status::Internal("sched: task '" + name + "' (#" +
+                          std::to_string(id) + ") failed: " + error);
+}
+
+}  // namespace task_internal
+
+Status RunGraphInline(TaskGraph graph) {
+  SITM_RETURN_IF_ERROR(graph.Validate());
+  const std::vector<TaskGraph::Node>& nodes = graph.nodes();
+  std::vector<std::size_t> pending(nodes.size());
+  // Min-id order makes the inline schedule (and thus any in-order
+  // side effects) deterministic, matching the null-runner sequential
+  // behavior the adapters promise.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>>
+      ready;
+  for (TaskId id = 0; id < nodes.size(); ++id) {
+    pending[id] = nodes[id].dependencies;
+    if (pending[id] == 0) ready.push(id);
+  }
+  std::vector<std::string> errors(nodes.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.top();
+    ready.pop();
+    if (nodes[id].fn) {
+      try {
+        nodes[id].fn();
+      } catch (...) {
+        errors[id] = task_internal::DescribeCurrentException();
+      }
+    }
+    for (const TaskId succ : nodes[id].successors) {
+      if (--pending[succ] == 0) ready.push(succ);
+    }
+  }
+  for (TaskId id = 0; id < nodes.size(); ++id) {
+    if (!errors[id].empty()) {
+      return task_internal::TaskFailure(id, nodes[id].name, errors[id]);
+    }
+  }
+  return Status::OK();
+}
+
+Status RunGraph(TaskRunner* runner, TaskGraph graph) {
+  if (runner == nullptr) return RunGraphInline(std::move(graph));
+  return runner->Run(std::move(graph));
+}
+
+}  // namespace sitm

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sitm {
+
+/// Identifies one task inside a TaskGraph (its insertion index).
+using TaskId = std::size_t;
+
+/// \brief A dependency DAG of `void()` tasks, built once and then handed
+/// to a TaskRunner (or RunGraph) for execution.
+///
+/// The graph owns its task callables. Edges express ordering only: an
+/// edge (before, after) means `after` starts no earlier than `before`
+/// finishes. Task bodies follow the repo-wide slot discipline — each
+/// writes caller-owned state that no concurrently runnable task touches —
+/// so the graph structure is the complete synchronization story.
+///
+/// Tasks should not throw; a throwing task is captured by the runner and
+/// surfaced as an Internal Status (all other tasks still execute, so
+/// partial output slots stay deterministic).
+///
+/// The type lives in base/ (not sched/) deliberately: layers below the
+/// scheduler — core's pipeline above all — describe their work as a
+/// TaskGraph and hand it to an abstract TaskRunner (base/task_runner.h),
+/// while the concrete work-stealing implementation stays in sched/. That
+/// keeps the module DAG pointing one way (scripts/layering.json).
+class TaskGraph {
+ public:
+  /// One task: the runner-facing view of a node. Public so runners
+  /// (sched::Executor, RunGraphInline) need no friend access.
+  struct Node {
+    std::string name;
+    std::function<void()> fn;
+    std::vector<TaskId> successors;
+    /// Incoming-edge count; the runner's per-node countdown seed.
+    std::size_t dependencies = 0;
+  };
+
+  TaskGraph() = default;
+  TaskGraph(TaskGraph&&) = default;
+  TaskGraph& operator=(TaskGraph&&) = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task and returns its id (ids are dense, in insertion order).
+  /// `name` feeds the trace sink (truncated to the span name width). A
+  /// null `fn` is a barrier: it completes instantly and only sequences
+  /// its edges.
+  TaskId AddTask(std::string name, std::function<void()> fn);
+
+  /// Declares that `before` must finish before `after` starts. Fails on
+  /// out-of-range ids and self-edges. Duplicate edges are harmless (the
+  /// dependency count balances the successor list).
+  [[nodiscard]] Status AddEdge(TaskId before, TaskId after);
+
+  /// Number of tasks added so far.
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Kahn's-algorithm check that the edge set is acyclic. Runners call
+  /// this before executing; a cycle is InvalidArgument naming one task
+  /// on it.
+  [[nodiscard]] Status Validate() const;
+
+  /// The node list, for runners walking the graph in place.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Moves the node list out (runners that outlive the graph object,
+  /// e.g. sched::Executor's shared RunState, take ownership this way).
+  /// The graph is empty afterwards.
+  std::vector<Node> ReleaseNodes() { return std::move(nodes_); }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+namespace task_internal {
+
+/// Renders the in-flight exception as a message ("std::exception" /
+/// "unknown exception" fallbacks). Call only from a catch block.
+std::string DescribeCurrentException();
+
+/// The canonical task-failure Status every runner reports.
+[[nodiscard]] Status TaskFailure(TaskId id, const std::string& name,
+                                 const std::string& error);
+
+}  // namespace task_internal
+
+/// Executes `graph` on the calling thread in deterministic min-id
+/// topological order, with the same validation and error capture as the
+/// parallel runners (every task still executes after a failure, keeping
+/// slot state deterministic; the lowest-id failure is reported).
+[[nodiscard]] Status RunGraphInline(TaskGraph graph);
+
+}  // namespace sitm

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "base/status.h"
+#include "base/task_graph.h"
+
+namespace sitm {
+
+/// \brief Abstract executor of TaskGraphs — the seam between the layers
+/// that *describe* parallel work (core's pipeline, storage's block
+/// encoding, mining's matrix fill) and the scheduler that runs it.
+///
+/// The concrete implementation is sched::Executor (work-stealing,
+/// span-traced); layers below sched/ in the module DAG hold only this
+/// interface, so the `core -> sched` include edge the layering manifest
+/// forbids never comes back (scripts/analyze_deps.py gates it).
+class TaskRunner {
+ public:
+  virtual ~TaskRunner() = default;
+
+  /// Executes `graph` to completion (validating it first) and returns
+  /// the lowest-id task failure, if any. Implementations must be safe to
+  /// call concurrently from any thread, including from inside a task of
+  /// the same runner (nested runs must not deadlock).
+  [[nodiscard]] virtual Status Run(TaskGraph graph) = 0;
+
+  /// Number of threads that can make progress on a graph concurrently
+  /// (>= 1). Chunking heuristics (sched::ParallelFor's grain formula)
+  /// read this; it never affects results, only schedule shape.
+  virtual std::size_t concurrency() const = 0;
+};
+
+/// Runs `graph` on `runner`; a null runner executes it inline via
+/// RunGraphInline. The null form is what option structs' default
+/// `executor = nullptr` flows through, so sequential callers need no
+/// special casing.
+[[nodiscard]] Status RunGraph(TaskRunner* runner, TaskGraph graph);
+
+}  // namespace sitm

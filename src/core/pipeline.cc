@@ -4,7 +4,7 @@
 #include <map>
 #include <utility>
 
-#include "sched/task_graph.h"
+#include "base/task_graph.h"
 
 namespace sitm::core {
 namespace {
@@ -104,8 +104,8 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
   std::vector<ShardOutcome> shards(num_shards);
   std::vector<std::vector<StageOutcome>> stage_outcomes(num_shards);
 
-  sched::TaskGraph graph;
-  std::vector<sched::TaskId> build_tasks(num_shards);
+  TaskGraph graph;
+  std::vector<TaskId> build_tasks(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     build_tasks[s] = graph.AddTask(
         "pipeline/build", [this, &groups, &shards, per_shard, s] {
@@ -137,7 +137,7 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
         });
   }
   if (enrich || infer) {
-    sched::TaskId barrier = 0;
+    TaskId barrier = 0;
     const bool barriered = options_.barrier_stages && num_shards > 1;
     if (barriered) {
       barrier = graph.AddTask("pipeline/barrier", nullptr);
@@ -146,7 +146,7 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
       }
     }
     for (std::size_t s = 0; s < num_shards; ++s) {
-      const sched::TaskId enrich_task = graph.AddTask(
+      const TaskId enrich_task = graph.AddTask(
           "pipeline/enrich",
           [this, enrich, infer, enrich_graph, infer_graph, &shards,
            &stage_outcomes, s] {
@@ -187,7 +187,7 @@ Result<std::vector<SemanticTrajectory>> BatchPipeline::Run(
           barriered ? barrier : build_tasks[s], enrich_task));
     }
   }
-  SITM_RETURN_IF_ERROR(sched::RunGraph(options_.executor, std::move(graph)));
+  SITM_RETURN_IF_ERROR(RunGraph(options_.executor, std::move(graph)));
 
   // --- Merge: statuses and reports in deterministic (shard, then
   // trajectory) order, then renumber to the sequential builder's ids.

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "base/result.h"
-#include "sched/executor.h"
+#include "base/task_runner.h"
 #include "core/builder.h"
 #include "core/enrichment.h"
 #include "core/inference.h"
@@ -36,9 +36,12 @@ struct PipelineOptions {
   /// then `builder.graph`. Required when `infer_hidden_passages`.
   const indoor::Nrg* inference_graph = nullptr;
 
-  /// Executor to run on (borrowed; not owned). Null runs every stage on
-  /// the calling thread — the sequential reference path.
-  sched::Executor* executor = nullptr;
+  /// Runner to execute the shard task graph on (borrowed; not owned).
+  /// Entry points pass a sched::Executor; core itself holds only the
+  /// base interface — the layering manifest keeps core below sched.
+  /// Null runs every stage on the calling thread — the sequential
+  /// reference path.
+  TaskRunner* executor = nullptr;
 
   /// Moving objects per build shard (>= 1; smaller shards balance
   /// better, larger ones amortize per-shard builder setup).

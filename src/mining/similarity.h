@@ -5,12 +5,9 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/task_runner.h"
 #include "core/trajectory.h"
 #include "indoor/hierarchy.h"
-
-namespace sitm::sched {
-class Executor;  // sched/executor.h; only borrowed pointers appear here
-}
 
 namespace sitm::mining {
 
@@ -100,10 +97,11 @@ TrajectoryDistance EditTrajectoryDistance(CellCost substitution_cost,
 
 /// Options for the blocked distance-matrix fill.
 struct DistanceMatrixOptions {
-  /// Executor to fill blocks on (borrowed; not owned). Null fills on
-  /// the calling thread. The distance function must be safe to call
-  /// concurrently on distinct trajectory pairs.
-  sched::Executor* executor = nullptr;
+  /// Runner to fill blocks on (borrowed; not owned; entry points pass
+  /// a sched::Executor). Null fills on the calling thread. The distance
+  /// function must be safe to call concurrently on distinct trajectory
+  /// pairs.
+  TaskRunner* executor = nullptr;
   /// Block edge length in cells. Each upper-triangle block is one unit
   /// of parallel work; its mirror cells are written by the same task, so
   /// no cell is ever touched by two tasks.

@@ -9,15 +9,16 @@
 #include "core/trajectory.h"
 #include "mining/similarity.h"
 #include "query/planner.h"
+#include "base/task_runner.h"
 #include "query/predicate.h"
-#include "sched/executor.h"
 #include "storage/event_store.h"
 
 namespace sitm::query {
 
 /// \brief The query executor: streams matching trajectories, tuples, or
 /// episodes out of an in-memory batch or an on-disk EventStore, fanning
-/// the per-trajectory work across a sched::Executor.
+/// the per-trajectory work across a TaskRunner (a sched::Executor at
+/// every entry point).
 ///
 /// Determinism contract (the PR 3/4 discipline): for the same query
 /// over the same data, the result — order included — is byte-identical
@@ -141,9 +142,9 @@ class QueryResultCache;
 
 /// Executor knobs.
 struct ExecutorOptions {
-  /// Executor to fan out on (borrowed; null = run on the calling
-  /// thread).
-  sched::Executor* executor = nullptr;
+  /// Runner to fan out on (borrowed; null = run on the calling
+  /// thread; entry points pass a sched::Executor).
+  TaskRunner* executor = nullptr;
   /// Trajectories per in-memory work chunk. Chunk boundaries are a
   /// function of this and the input size only — never the worker
   /// count — so results and stats are reproducible across worker

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
-#include <queue>
 #include <string>
 #include <utility>
 
@@ -19,23 +17,6 @@ struct WorkerIdentity {
   std::size_t index = 0;
 };
 thread_local WorkerIdentity tls_worker;
-
-std::string DescribeException() {
-  try {
-    throw;
-  } catch (const std::exception& e) {
-    const char* what = e.what();
-    return (what == nullptr || what[0] == '\0') ? "std::exception" : what;
-  } catch (...) {
-    return "unknown exception";
-  }
-}
-
-Status TaskFailure(TaskId id, const std::string& name,
-                   const std::string& error) {
-  return Status::Internal("sched: task '" + name + "' (#" +
-                          std::to_string(id) + ") failed: " + error);
-}
 
 }  // namespace
 
@@ -118,7 +99,7 @@ void Executor::Shutdown() {
 
 Status Executor::Run(TaskGraph graph) {
   SITM_RETURN_IF_ERROR(graph.Validate());
-  if (graph.nodes_.empty()) return Status::OK();
+  if (graph.nodes().empty()) return Status::OK();
 
   // Post-shutdown runs execute inline on the caller — the same pinned
   // degradation as ThreadPool::Submit after shutdown.
@@ -133,7 +114,7 @@ Status Executor::Run(TaskGraph graph) {
   }
   if (inline_run) return RunGraphInline(std::move(graph));
 
-  auto run = std::make_shared<RunState>(std::move(graph.nodes_));
+  auto run = std::make_shared<RunState>(graph.ReleaseNodes());
   const std::size_t num_tasks = run->nodes.size();
 
   // Seed the initially-ready tasks in id order through the injection
@@ -178,7 +159,8 @@ Status Executor::Run(TaskGraph graph) {
   Status status;  // OK
   for (TaskId id = 0; id < num_tasks; ++id) {
     if (!run->errors[id].empty()) {
-      status = TaskFailure(id, run->nodes[id].name, run->errors[id]);
+      status = task_internal::TaskFailure(id, run->nodes[id].name,
+                                          run->errors[id]);
       break;
     }
   }
@@ -267,7 +249,7 @@ void Executor::ExecuteTask(Task task, std::size_t lane) {
     try {
       node.fn();
     } catch (...) {
-      run.errors[task.id] = DescribeException();
+      run.errors[task.id] = task_internal::DescribeCurrentException();
     }
   }
   trace_.RecordTask(lane, node.name, begin_ns, NowNs());
@@ -303,47 +285,6 @@ void Executor::PushReady(std::vector<Task> tasks, std::size_t lane) {
   MutexLock lock(mutex_);
   ++work_epoch_;
   work_available_.NotifyAll();
-}
-
-Status RunGraph(Executor* executor, TaskGraph graph) {
-  if (executor == nullptr) return RunGraphInline(std::move(graph));
-  return executor->Run(std::move(graph));
-}
-
-Status RunGraphInline(TaskGraph graph) {
-  SITM_RETURN_IF_ERROR(graph.Validate());
-  auto& nodes = graph.nodes_;
-  std::vector<std::size_t> pending(nodes.size());
-  // Min-id order makes the inline schedule (and thus any in-order
-  // side effects) deterministic, matching the null-pool sequential
-  // behavior the adapters promise.
-  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>>
-      ready;
-  for (TaskId id = 0; id < nodes.size(); ++id) {
-    pending[id] = nodes[id].dependencies;
-    if (pending[id] == 0) ready.push(id);
-  }
-  std::vector<std::string> errors(nodes.size());
-  while (!ready.empty()) {
-    const TaskId id = ready.top();
-    ready.pop();
-    if (nodes[id].fn) {
-      try {
-        nodes[id].fn();
-      } catch (...) {
-        errors[id] = DescribeException();
-      }
-    }
-    for (const TaskId succ : nodes[id].successors) {
-      if (--pending[succ] == 0) ready.push(succ);
-    }
-  }
-  for (TaskId id = 0; id < nodes.size(); ++id) {
-    if (!errors[id].empty()) {
-      return TaskFailure(id, nodes[id].name, errors[id]);
-    }
-  }
-  return Status::OK();
 }
 
 }  // namespace sitm::sched

@@ -10,8 +10,9 @@
 
 #include "base/mutex.h"
 #include "base/status.h"
+#include "base/task_graph.h"
+#include "base/task_runner.h"
 #include "base/thread_annotations.h"
-#include "sched/task_graph.h"
 #include "sched/trace.h"
 
 namespace sitm::sched {
@@ -42,19 +43,28 @@ namespace sitm::sched {
 /// Every run is traced: task spans and steal events land in per-lane
 /// ring buffers (`trace()`), dumpable as JSON for stage-overlap
 /// inspection. Lane `num_workers()` is shared by external callers.
-class Executor {
+///
+/// Executor is the concrete sitm::TaskRunner: graph-describing layers
+/// (core/pipeline, storage, mining, query) hold the base interface and
+/// never include sched/ headers — the layering manifest forbids that
+/// edge — while entry points construct an Executor and pass it down.
+class Executor : public TaskRunner {
  public:
   /// Spawns `num_workers` workers; 0 means DefaultConcurrency().
   explicit Executor(std::size_t num_workers = 0);
 
   /// Shutdown(): drains active runs, then joins the workers.
-  ~Executor();
+  ~Executor() override;
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
   /// Number of worker threads (>= 1).
   std::size_t num_workers() const { return workers_.size(); }
+
+  /// TaskRunner: parallel lanes available to a run (the workers; the
+  /// calling thread participates on top).
+  std::size_t concurrency() const override { return workers_.size(); }
 
   /// std::thread::hardware_concurrency(), clamped to >= 1.
   static std::size_t DefaultConcurrency();
@@ -64,7 +74,7 @@ class Executor {
   /// any thread, including from inside a task of this executor. After
   /// Shutdown() the graph runs inline on the calling thread (mirroring
   /// ThreadPool::Submit-after-shutdown), still deterministically.
-  Status Run(TaskGraph graph) SITM_EXCLUDES(mutex_);
+  [[nodiscard]] Status Run(TaskGraph graph) override SITM_EXCLUDES(mutex_);
 
   /// Blocks until every active Run has finished, then joins the
   /// workers. Idempotent; later Run() calls execute inline.
@@ -124,16 +134,5 @@ class Executor {
   std::chrono::steady_clock::time_point epoch_;
   TraceSink trace_;
 };
-
-/// Runs `graph` on `executor`; a null executor executes it inline via
-/// RunGraphInline. The null form is what option structs' default
-/// `executor = nullptr` flows through, so sequential callers need no
-/// special casing.
-Status RunGraph(Executor* executor, TaskGraph graph);
-
-/// Executes `graph` on the calling thread in deterministic min-id
-/// topological order, with the same validation and error capture as
-/// Executor::Run.
-Status RunGraphInline(TaskGraph graph);
 
 }  // namespace sitm::sched

@@ -6,12 +6,11 @@
 
 namespace sitm::sched {
 
-void ParallelFor(Executor* executor, std::size_t n,
+void ParallelFor(TaskRunner* runner, std::size_t n,
                  const std::function<void(std::size_t, std::size_t)>& body,
                  std::size_t grain, const char* name) {
   if (n == 0) return;
-  const std::size_t workers =
-      executor == nullptr ? 1 : executor->num_workers();
+  const std::size_t workers = runner == nullptr ? 1 : runner->concurrency();
   if (grain == 0) {
     // ~4 chunks per participant (workers + the calling thread): enough
     // slack for stealing to balance without drowning in dispatch
@@ -19,7 +18,7 @@ void ParallelFor(Executor* executor, std::size_t n,
     grain = std::max<std::size_t>(1, n / ((workers + 1) * 4));
   }
   const std::size_t num_chunks = (n + grain - 1) / grain;
-  if (executor == nullptr || num_chunks == 1) {
+  if (runner == nullptr || num_chunks == 1) {
     for (std::size_t c = 0; c < num_chunks; ++c) {
       body(c * grain, std::min(n, (c + 1) * grain));
     }
@@ -32,7 +31,7 @@ void ParallelFor(Executor* executor, std::size_t n,
     const std::size_t end = std::min(n, (c + 1) * grain);
     graph.AddTask(name, [&body, begin, end] { body(begin, end); });
   }
-  const Status status = executor->Run(std::move(graph));
+  const Status status = runner->Run(std::move(graph));
   if (!status.ok()) {
     // The only failure an edge-free chunk graph can produce is a body
     // that threw; loop bodies are contract-bound not to (errors travel

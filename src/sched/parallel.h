@@ -4,29 +4,35 @@
 #include <functional>
 #include <vector>
 
-#include "sched/executor.h"
+#include "base/task_graph.h"
+#include "base/task_runner.h"
 
 namespace sitm::sched {
 
 /// \brief Runs `body(begin, end)` over chunks partitioning [0, n) as a
-/// flat task graph on `executor`.
+/// flat task graph on `runner`.
 ///
 /// Drop-in successor of the fork-join base ParallelFor: identical chunk
-/// formula, caller participation (via Executor::Run), and inline
-/// execution when `executor` is null or there is only one chunk. Chunk
+/// formula, caller participation (via TaskRunner::Run), and inline
+/// execution when `runner` is null or there is only one chunk. Chunk
 /// boundaries remain a function of (n, grain) only — never of the
 /// worker count — so per-chunk initialization (e.g. seeding) stays
 /// reproducible across worker counts.
+///
+/// The runner is the abstract base interface, so graph-describing
+/// layers (storage, mining, query) can call these adapters while
+/// holding only a sitm::TaskRunner*; concrete sched::Executor pointers
+/// convert implicitly.
 ///
 /// `grain` is the chunk length; 0 picks one yielding ~4 chunks per
 /// participant. `name` labels the chunk tasks in the trace. The body
 /// must not throw: an escaping exception aborts the process, exactly as
 /// it terminated a fork-join pool worker before.
-void ParallelFor(Executor* executor, std::size_t n,
+void ParallelFor(TaskRunner* runner, std::size_t n,
                  const std::function<void(std::size_t, std::size_t)>& body,
                  std::size_t grain = 0, const char* name = "for");
 
-/// \brief Maps `fn(i)` over [0, n) on the executor, returning results in
+/// \brief Maps `fn(i)` over [0, n) on the runner, returning results in
 /// index order regardless of execution order. T must be
 /// default-constructible and movable.
 ///
@@ -35,11 +41,11 @@ void ParallelFor(Executor* executor, std::size_t n,
 /// the slot discipline every sched-facing caller (core/pipeline, mining
 /// DistanceMatrix, storage block encoding, query/executor) relies on.
 template <typename T, typename Fn>
-std::vector<T> ParallelMap(Executor* executor, std::size_t n, Fn&& fn,
+std::vector<T> ParallelMap(TaskRunner* runner, std::size_t n, Fn&& fn,
                            std::size_t grain = 0, const char* name = "map") {
   std::vector<T> out(n);
   ParallelFor(
-      executor, n,
+      runner, n,
       [&out, &fn](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
       },

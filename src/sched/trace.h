@@ -78,7 +78,7 @@ class TraceSink {
   std::string ToJson() const;
 
   /// Writes ToJson() to `path` (truncating). IOError on failure.
-  Status WriteJson(const std::string& path) const;
+  [[nodiscard]] Status WriteJson(const std::string& path) const;
 
   /// Discards all retained spans and resets the dropped counter.
   void Clear();

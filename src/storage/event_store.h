@@ -9,10 +9,10 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/task_runner.h"
 #include "core/builder.h"
 #include "core/pipeline.h"
 #include "core/trajectory.h"
-#include "sched/executor.h"
 #include "storage/mapped_file.h"
 
 namespace sitm::storage {
@@ -126,11 +126,12 @@ struct WriterOptions {
   /// default balances the LZ codec's match window (bigger blocks
   /// compress better) against block-pruning granularity.
   std::size_t rows_per_block = 8192;
-  /// Executor for parallel column encoding of large batches (borrowed;
-  /// null encodes on the calling thread). Output bytes are identical
-  /// for every worker count: blocks are encoded independently and
-  /// written in index order.
-  sched::Executor* executor = nullptr;
+  /// Runner for parallel column encoding of large batches (borrowed;
+  /// null encodes on the calling thread; entry points pass a
+  /// sched::Executor). Output bytes are identical for every worker
+  /// count: blocks are encoded independently and written in index
+  /// order.
+  TaskRunner* executor = nullptr;
   /// Write the secondary object-id index footer section. Under
   /// format_version 2 this is the old v2/v1 switch: false emits a
   /// version-1 file, byte-identical to the base format.

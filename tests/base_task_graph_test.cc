@@ -8,10 +8,10 @@
 
 #include <gtest/gtest.h>
 
-#include "sched/executor.h"
-#include "sched/task_graph.h"
+#include "base/task_graph.h"
+#include "base/task_runner.h"
 
-namespace sitm::sched {
+namespace sitm {
 namespace {
 
 TEST(TaskGraphTest, AddTaskAssignsSequentialIds) {
@@ -141,4 +141,4 @@ TEST(TaskGraphTest, RunGraphInlineReportsLowestIdFailureAndFinishesRest) {
 }
 
 }  // namespace
-}  // namespace sitm::sched
+}  // namespace sitm

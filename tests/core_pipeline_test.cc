@@ -14,6 +14,7 @@
 #include "core/inference.h"
 #include "louvre/museum.h"
 #include "louvre/simulator.h"
+#include "sched/executor.h"
 
 namespace sitm::core {
 namespace {

@@ -30,9 +30,9 @@
 #include "query/executor.h"
 #include "query/predicate.h"
 #include "query/result_cache.h"
+#include "base/task_graph.h"
 #include "sched/executor.h"
 #include "sched/parallel.h"
-#include "sched/task_graph.h"
 #include "storage/event_store.h"
 
 namespace sitm {
@@ -231,14 +231,14 @@ TEST(ExecutorStressTest, DiamondDagsUnderStealPressure) {
     std::vector<int> b(kDiamonds, 0);
     std::vector<int> c(kDiamonds, 0);
     std::vector<int> d(kDiamonds, 0);
-    sched::TaskGraph graph;
+    sitm::TaskGraph graph;
     for (std::size_t i = 0; i < kDiamonds; ++i) {
-      const sched::TaskId ta = graph.AddTask("a", [&a, i] { a[i] = 1; });
-      const sched::TaskId tb =
+      const sitm::TaskId ta = graph.AddTask("a", [&a, i] { a[i] = 1; });
+      const sitm::TaskId tb =
           graph.AddTask("b", [&a, &b, i] { b[i] = a[i] + 1; });
-      const sched::TaskId tc =
+      const sitm::TaskId tc =
           graph.AddTask("c", [&a, &c, i] { c[i] = a[i] + 2; });
-      const sched::TaskId td =
+      const sitm::TaskId td =
           graph.AddTask("d", [&b, &c, &d, i] { d[i] = b[i] * 10 + c[i]; });
       ASSERT_TRUE(graph.AddEdge(ta, tb).ok());
       ASSERT_TRUE(graph.AddEdge(ta, tc).ok());
@@ -263,15 +263,15 @@ TEST(ExecutorStressTest, FanOutFanInUnderStealPressure) {
     std::vector<std::uint64_t> leaves(kLeaves, 0);
     std::uint64_t total = 0;
     bool seeded = false;
-    sched::TaskGraph graph;
-    const sched::TaskId seed =
+    sitm::TaskGraph graph;
+    const sitm::TaskId seed =
         graph.AddTask("seed", [&seeded] { seeded = true; });
-    const sched::TaskId join = graph.AddTask("join", [&leaves, &total] {
+    const sitm::TaskId join = graph.AddTask("join", [&leaves, &total] {
       total = std::accumulate(leaves.begin(), leaves.end(),
                               std::uint64_t{0});
     });
     for (std::size_t i = 0; i < kLeaves; ++i) {
-      const sched::TaskId leaf = graph.AddTask(
+      const sitm::TaskId leaf = graph.AddTask(
           "leaf", [&leaves, &seeded, i] { leaves[i] = seeded ? i + 1 : 0; });
       ASSERT_TRUE(graph.AddEdge(seed, leaf).ok());
       ASSERT_TRUE(graph.AddEdge(leaf, join).ok());
@@ -289,7 +289,7 @@ TEST(ExecutorStressTest, ExceptionInNodeStillRunsTheRestOfTheGraph) {
     sched::Executor executor(workers);
     constexpr std::size_t kTasks = 256;
     std::atomic<std::size_t> ran{0};
-    sched::TaskGraph graph;
+    sitm::TaskGraph graph;
     for (std::size_t i = 0; i < kTasks; ++i) {
       graph.AddTask("work", [&ran, i]() {
         if (i == kTasks / 2) throw std::runtime_error("boom");
@@ -300,7 +300,7 @@ TEST(ExecutorStressTest, ExceptionInNodeStillRunsTheRestOfTheGraph) {
     EXPECT_FALSE(status.ok());
     EXPECT_EQ(ran.load(), kTasks - 1);
 
-    sched::TaskGraph again;
+    sitm::TaskGraph again;
     std::atomic<std::size_t> after{0};
     for (std::size_t i = 0; i < kTasks; ++i) {
       again.AddTask("work", [&after] { after.fetch_add(1); });
@@ -329,7 +329,7 @@ TEST(ExecutorStressTest, DestructionRacesUnfinishedGraphs) {
       runners.reserve(kRunners);
       for (int r = 0; r < kRunners; ++r) {
         runners.emplace_back([raw, counter, &entered] {
-          sched::TaskGraph graph;
+          sitm::TaskGraph graph;
           // The first task proves this run is in flight before the
           // destructor starts; the rest race against the drain.
           graph.AddTask("enter", [&entered] { entered.fetch_add(1); });
@@ -513,6 +513,98 @@ TEST(QueryCacheStressTest, ConcurrentReadersShareOneCache) {
   }
   std::remove(path.c_str());
 }
+
+#if defined(SITM_DEADLOCK_DETECTOR)
+
+// The detector's contract (base/mutex.cc): an acquisition that closes a
+// cycle in the global acquisition-order graph aborts with both orders —
+// on the FIRST run that exercises both orders, no unlucky interleaving
+// required. The classic A/B inversion below never actually deadlocks
+// (one thread, sequential scopes), which is exactly the point: the
+// detector catches the latent bug shape, not the hang.
+TEST(DeadlockDetectorDeathTest, AbInversionAbortsWithBothOrders) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        {
+          MutexLock hold_a(a);
+          MutexLock hold_b(b);  // records a -> b
+        }
+        {
+          MutexLock hold_b(b);
+          MutexLock hold_a(a);  // b -> a closes the cycle: abort
+        }
+      },
+      "lock-order inversion");
+}
+
+TEST(DeadlockDetectorDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex m;
+        MutexLock outer(m);
+        m.Lock();  // intentional re-lock of a held mutex
+      },
+      "recursive acquisition");
+}
+
+// Consistent nesting must stay silent: same order twice, a longer chain
+// sharing a prefix, and re-use after the locks were dropped. This is
+// the false-positive guard for the graph bookkeeping (edges persist
+// process-wide, so earlier consistent runs must never poison later
+// ones), and HeldCount pins the release bookkeeping across non-LIFO
+// unlock orders.
+TEST(DeadlockDetectorTest, ConsistentOrdersAndNonLifoReleaseStayQuiet) {
+  Mutex a;
+  Mutex b;
+  Mutex c;
+  for (int round = 0; round < 3; ++round) {
+    MutexLock hold_a(a);
+    MutexLock hold_b(b);
+  }
+  {
+    MutexLock hold_a(a);
+    MutexLock hold_b(b);
+    MutexLock hold_c(c);
+  }
+  // Non-LIFO release: a then b, while b was acquired second.
+  a.Lock();
+  b.Lock();
+  EXPECT_EQ(deadlock_internal::HeldCount(), 2u);
+  a.Unlock();
+  EXPECT_EQ(deadlock_internal::HeldCount(), 1u);
+  b.Unlock();
+  EXPECT_EQ(deadlock_internal::HeldCount(), 0u);
+}
+
+// Stress shape: the executor's own locking (worker deques, injection
+// queue, per-run state, trace rings) under steal pressure must record
+// no order cycles — every MutexLock scope in sched/ is flat by
+// design, and this pins that staying true with the detector watching.
+TEST(DeadlockDetectorTest, ExecutorStressRecordsNoOrderCycles) {
+  for (const std::size_t workers : StressPoolSizes()) {
+    sched::Executor executor(workers);
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 8; ++round) {
+      TaskGraph graph;
+      std::vector<TaskId> layer;
+      for (int i = 0; i < 16; ++i) {
+        layer.push_back(graph.AddTask("work", [&ran] { ran.fetch_add(1); }));
+      }
+      const TaskId join = graph.AddTask("join", nullptr);
+      for (const TaskId id : layer) {
+        ASSERT_TRUE(graph.AddEdge(id, join).ok());
+      }
+      ASSERT_TRUE(executor.Run(std::move(graph)).ok());
+    }
+    EXPECT_EQ(ran.load(), 8 * 16);
+  }
+}
+
+#endif  // SITM_DEADLOCK_DETECTOR
 
 }  // namespace
 }  // namespace sitm

@@ -13,9 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include "base/task_graph.h"
+#include "base/task_runner.h"
 #include "sched/executor.h"
 #include "sched/parallel.h"
-#include "sched/task_graph.h"
 
 namespace sitm::sched {
 namespace {
