@@ -192,6 +192,31 @@ def test_artifacts_record_edges_and_violations():
     assert "low -> top" in dot and "color=red" in dot
 
 
+def test_live_module_may_not_depend_on_query():
+    """The live ingest module's /query route is injected by the glue
+    binary precisely so live/ never includes query/ — the real manifest
+    declares no live -> query edge, and this fixture pins that an
+    attempt to add one is rejected (not silently tolerated as a
+    same-layer edge: live and query share layer 4)."""
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(script_dir, "layering.json"),
+              encoding="utf-8") as fh:
+        real_manifest = json.load(fh)
+    assert "live" in real_manifest["edges"], "live must be declared"
+    assert "query" not in real_manifest["edges"]["live"]
+    files = {
+        "src/query/executor.h": "#pragma once\n",
+        "src/live/sneak.cc": '#include "query/executor.h"\n',
+    }
+    # Every other module needs at least a placeholder so the analyzer
+    # doesn't trip on unknown modules before reaching the edge check.
+    for module in real_manifest["edges"]:
+        files.setdefault("src/%s/placeholder.h" % module, "#pragma once\n")
+    code, err, _, _ = _analyze(files, manifest=real_manifest)
+    assert code == 1
+    assert "undeclared edge live -> query" in err
+
+
 def test_live_tree_is_clean():
     """The real src/ must satisfy the real manifest — this is the gate."""
     script_dir = os.path.dirname(os.path.abspath(__file__))

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <utility>
 
 #include "base/status.h"
 #include "base/task_graph.h"
@@ -24,6 +26,26 @@ class TaskRunner {
   /// call concurrently from any thread, including from inside a task of
   /// the same runner (nested runs must not deadlock).
   [[nodiscard]] virtual Status Run(TaskGraph graph) = 0;
+
+  /// Submits `graph` for execution without waiting for it: the call
+  /// returns once the graph is scheduled, and `done` (if set) is invoked
+  /// exactly once with the Run status when the last task finishes —
+  /// possibly on another thread, possibly before Submit returns. This is
+  /// the seam background maintenance work (live segment compaction)
+  /// hangs off: describing layers hold only this interface, and the
+  /// concrete sched::Executor overrides it with a truly detached run.
+  ///
+  /// The default implementation is the degenerate synchronous form —
+  /// Run(graph) on the calling thread, then `done` — so every existing
+  /// TaskRunner keeps working unchanged, and a null runner path can fall
+  /// back to it. `done` must not block indefinitely, must not throw, and
+  /// must not destroy or Shutdown() the runner it was submitted to (the
+  /// runner's shutdown drains submitted graphs, so either would
+  /// self-deadlock).
+  virtual void Submit(TaskGraph graph, std::function<void(Status)> done) {
+    Status status = Run(std::move(graph));
+    if (done) done(std::move(status));
+  }
 
   /// Number of threads that can make progress on a graph concurrently
   /// (>= 1). Chunking heuristics (sched::ParallelFor's grain formula)

@@ -173,8 +173,15 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
+  /// Nesting cap: ParseValue recurses per '['/'{', so an adversarial
+  /// "[[[[..." would otherwise overflow the stack (undefined behavior)
+  /// long before any allocation limit triggers. 96 levels is far beyond
+  /// any document this codebase produces or ingests; deeper input is a
+  /// parse error, not UB.
+  static constexpr int kMaxDepth = 96;
+
   Result<JsonValue> ParseDocument() {
-    SITM_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SITM_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
     SkipSpace();
     if (pos_ != text_.size()) {
       return Err("trailing characters after JSON document");
@@ -203,12 +210,13 @@ class Parser {
     return false;
   }
 
-  Result<JsonValue> ParseValue() {
+  Result<JsonValue> ParseValue(int depth) {
     SkipSpace();
     if (pos_ >= text_.size()) return Err("unexpected end of input");
+    if (depth >= kMaxDepth) return Err("nesting deeper than 96 levels");
     const char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
     if (c == '"') {
       SITM_ASSIGN_OR_RETURN(std::string s, ParseString());
       return JsonValue(std::move(s));
@@ -340,13 +348,13 @@ class Parser {
     return Err("unterminated string");
   }
 
-  Result<JsonValue> ParseArray() {
+  Result<JsonValue> ParseArray(int depth) {
     if (!Consume('[')) return Err("expected '['");
     JsonValue::Array arr;
     SkipSpace();
     if (Consume(']')) return JsonValue(std::move(arr));
     while (true) {
-      SITM_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      SITM_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
       arr.push_back(std::move(v));
       SkipSpace();
       if (Consume(']')) return JsonValue(std::move(arr));
@@ -354,7 +362,7 @@ class Parser {
     }
   }
 
-  Result<JsonValue> ParseObject() {
+  Result<JsonValue> ParseObject(int depth) {
     if (!Consume('{')) return Err("expected '{'");
     JsonValue::Object obj;
     SkipSpace();
@@ -364,7 +372,7 @@ class Parser {
       SITM_ASSIGN_OR_RETURN(std::string key, ParseString());
       SkipSpace();
       if (!Consume(':')) return Err("expected ':'");
-      SITM_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      SITM_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
       obj.emplace_back(std::move(key), std::move(v));
       SkipSpace();
       if (Consume('}')) return JsonValue(std::move(obj));

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/result.h"
+#include "core/builder.h"
+#include "core/enrichment.h"
+#include "core/inference.h"
+#include "core/trajectory.h"
+#include "indoor/nrg.h"
+
+namespace sitm::live {
+
+/// Options for the streaming builder. `builder` carries the exact
+/// cleaning/assembly knobs of the batch core::TrajectoryBuilder; the
+/// enrichment/inference fields mirror core::PipelineOptions (same graph
+/// defaulting), so a stream finalized here goes through the same
+/// per-trajectory stages a BatchPipeline run would apply.
+struct IncrementalOptions {
+  core::BuilderOptions builder;
+
+  /// How far event time may run behind the maximum start time seen
+  /// before a detection counts as late. The watermark is
+  /// `max(start seen) - allowed_lateness`; arrivals starting before it
+  /// are dropped (counted in stats().late_dropped) because the sorted
+  /// prefix they belong to has already been consumed.
+  Duration allowed_lateness = Duration::Minutes(30);
+
+  /// Bound on tracked moving objects (0 = unbounded). When exceeded,
+  /// the least-recently-active object is force-finalized and forgotten
+  /// — see IncrementalBuilder's eviction note for the (documented,
+  /// counted) divergence from batch semantics this can introduce.
+  std::size_t max_open_objects = 0;
+
+  /// Enrichment rules applied to every finalized trajectory; empty =
+  /// skip. Graph defaulting matches core::PipelineOptions: enrichment
+  /// falls back to builder.graph, inference to the enrichment graph.
+  std::vector<core::EnrichmentRule> rules;
+  const indoor::Nrg* enrichment_graph = nullptr;
+  bool infer_hidden_passages = false;
+  core::InferenceOptions inference;
+  const indoor::Nrg* inference_graph = nullptr;
+};
+
+/// Observable state of the stream (monotone counters plus the current
+/// open-state footprint; peaks are the bench's bounded-memory oracle).
+struct IncrementalStats {
+  /// Event-time low-water mark; meaningful once has_watermark.
+  Timestamp watermark;
+  bool has_watermark = false;
+  std::size_t records_in = 0;
+  std::size_t late_dropped = 0;
+  std::size_t evicted_objects = 0;
+  std::size_t finalized = 0;
+  /// Current footprint.
+  std::size_t open_objects = 0;
+  std::size_t buffered_detections = 0;
+  /// High-water marks of the two fields above.
+  std::size_t peak_open_objects = 0;
+  std::size_t peak_buffered_detections = 0;
+};
+
+/// \brief Streaming counterpart of core::TrajectoryBuilder +
+/// BatchPipeline's per-trajectory stages: consumes raw detections out
+/// of arrival order and emits finalized semantic trajectories once the
+/// watermark guarantees no earlier-sorting detection can still arrive.
+///
+/// Equivalence contract (pinned by tests/live_equivalence_property_test
+/// through the full live stack): feed any permutation of a detection
+/// set in batches whose lateness stays within `allowed_lateness` (or
+/// finish with Drain()), and the finalized trajectories are exactly the
+/// batch build of that set — same traces, same annotations — up to
+/// trajectory ids, which are assigned in *finalization* order here
+/// (batch order is the global (object, start) rank, unknowable online;
+/// live::SegmentStore::Snapshot re-derives the canonical ids).
+///
+/// Why the watermark suffices:
+///  - Consumption takes, per object, the sorted (start, end) prefix
+///    with start strictly below the watermark W. Every consumed
+///    detection started before any future admission (late arrivals
+///    below W are dropped by definition), and a tie at W stays
+///    buffered — an equal-start, smaller-end arrival must still sort
+///    first — so the consumed sequence IS the batch sort order.
+///  - Cleaning state (the last *kept* detection) persists per object
+///    across session splits, exactly like the batch cleaning pass,
+///    which runs over the whole object before any splitting.
+///  - An open trace flushes once W - trace.end() exceeds the session
+///    gap: any future detection starts at or after W, so its gap from
+///    the trace is even larger (overlap clipping only moves starts
+///    later) and the batch builder would split there too.
+///
+/// Eviction divergence: force-finalizing an object consumes its whole
+/// buffer and drops its cleaning state, so a detection of that object
+/// arriving later is cleaned against nothing and starts a new session
+/// — batch would have seen both. This is the deliberate bounded-memory
+/// trade; it is counted (evicted_objects) and exercised by
+/// bench_s1_streaming_ingest, while the equivalence test runs with
+/// bounds the stream never hits.
+///
+/// Not thread-safe: callers (live::LiveService) serialize access.
+class IncrementalBuilder {
+ public:
+  explicit IncrementalBuilder(IncrementalOptions options);
+
+  /// Ingests one batch (any order, any objects), appending every
+  /// trajectory finalized by the resulting watermark advance — and by
+  /// any eviction it forces — to `finalized`.
+  [[nodiscard]] Status Ingest(const std::vector<core::RawDetection>& batch,
+                              std::vector<core::SemanticTrajectory>* finalized);
+
+  /// End-of-stream: consumes every buffered detection and flushes every
+  /// open trace as if the watermark passed infinity, then forgets all
+  /// per-object state. Counters and the watermark survive; a later
+  /// Ingest starts objects from a clean slate.
+  [[nodiscard]] Status Drain(std::vector<core::SemanticTrajectory>* finalized);
+
+  const IncrementalStats& stats() const { return stats_; }
+
+  /// Next provisional trajectory id (what the next finalized trajectory
+  /// will be numbered).
+  TrajectoryId next_id() const { return next_id_; }
+
+ private:
+  struct ObjectState {
+    /// Admitted, not yet consumed; kept sorted by (start, end) lazily
+    /// (sorted at consumption).
+    std::vector<core::RawDetection> pending;
+    /// Cleaning state: the last detection the cleaning pass kept.
+    bool has_prev_clean = false;
+    core::RawDetection prev_clean;
+    /// The open (being-assembled) trajectory.
+    core::Trace trace;
+    /// Ingest-sequence number of the last admission (eviction order).
+    std::uint64_t last_activity = 0;
+  };
+
+  [[nodiscard]] Status CheckConfig() const;
+  /// Consumes `state`'s sorted pending prefix below `watermark` (all of
+  /// it when `consume_all`) through cleaning + assembly.
+  [[nodiscard]] Status ConsumeReady(ObjectId object, ObjectState& state,
+                                    Timestamp watermark, bool consume_all,
+                                    std::vector<core::SemanticTrajectory>* out);
+  /// One cleaned detection through session split / merge / append —
+  /// the exact batch assembly step.
+  [[nodiscard]] Status Assemble(ObjectId object, ObjectState& state,
+                                const core::RawDetection& cur,
+                                std::vector<core::SemanticTrajectory>* out);
+  /// Finalizes the open trace (validate, enrich, infer) into `out`.
+  [[nodiscard]] Status FlushTrace(ObjectId object, ObjectState& state,
+                                  std::vector<core::SemanticTrajectory>* out);
+  /// Force-finalizes and forgets the least-recently-active object.
+  [[nodiscard]] Status EvictOne(std::vector<core::SemanticTrajectory>* out);
+  void UpdateFootprint();
+
+  IncrementalOptions options_;
+  /// Resolved per-trajectory stage graphs (PipelineOptions defaulting).
+  const indoor::Nrg* enrich_graph_ = nullptr;
+  const indoor::Nrg* infer_graph_ = nullptr;
+  /// Ordered so watermark sweeps visit objects deterministically.
+  std::map<ObjectId, ObjectState> objects_;
+  bool has_max_start_ = false;
+  Timestamp max_start_;
+  std::uint64_t activity_seq_ = 0;
+  TrajectoryId next_id_;
+  IncrementalStats stats_;
+};
+
+}  // namespace sitm::live

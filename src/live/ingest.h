@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "core/builder.h"
+#include "io/json.h"
+#include "live/incremental_builder.h"
+#include "live/segment_store.h"
+
+namespace sitm::live {
+
+/// \brief Detection-batch wire format and stats rendering for the HTTP
+/// ingest endpoint.
+///
+/// A batch is either a JSON array of detection objects or an object
+/// with a "detections" array:
+///
+///   [{"object": 7, "cell": 12, "start": 1000, "end": 1060}, ...]
+///   {"detections": [...]}
+///
+/// `start`/`end` are epoch seconds (integers) or "YYYY-MM-DD hh:mm:ss"
+/// strings; `object`/`cell` are non-negative integer ids. Unknown keys
+/// are ignored.
+///
+/// Hardening contract (pinned by tests/live_ingest_test.cc's fuzz-style
+/// corpus): ANY malformed, truncated, or type-confused body — invalid
+/// JSON, wrong top-level shape, missing fields, wrong field types,
+/// negative ids, absurd nesting — returns Status::InvalidArgument. It
+/// never throws, never crashes, never reads out of bounds.
+[[nodiscard]] Result<std::vector<core::RawDetection>> ParseDetectionBatch(
+    std::string_view body);
+
+/// The /stats response document: watermark + open-state footprint from
+/// the builder, segment/compaction counters from the store.
+io::JsonValue RenderStats(const IncrementalStats& builder,
+                          const SegmentStoreStats& store);
+
+}  // namespace sitm::live

@@ -1,0 +1,352 @@
+#include "live/segment_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "base/task_graph.h"
+#include "storage/store_set.h"
+
+namespace sitm::live {
+
+SegmentStore::SegmentStore(SegmentStoreOptions options)
+    : options_(std::move(options)) {}
+
+SegmentStore::~SegmentStore() {
+  const Status status = Close();
+  (void)status;  // destructor cannot report; Close() explicitly to observe
+}
+
+Status SegmentStore::Append(
+    std::vector<core::SemanticTrajectory> trajectories) {
+  if (trajectories.empty()) return Status::OK();
+  std::shared_ptr<std::vector<core::SemanticTrajectory>> batch;
+  {
+    MutexLock lock(mutex_);
+    std::move(trajectories.begin(), trajectories.end(),
+              std::back_inserter(pending_));
+    if (options_.seal_trajectories == 0 ||
+        pending_.size() < options_.seal_trajectories) {
+      return Status::OK();
+    }
+    batch = std::make_shared<std::vector<core::SemanticTrajectory>>(
+        std::move(pending_));
+    pending_.clear();
+    sealing_.push_back(batch);
+  }
+  return SealBatch(std::move(batch));
+}
+
+Status SegmentStore::Flush() {
+  std::shared_ptr<std::vector<core::SemanticTrajectory>> batch;
+  {
+    MutexLock lock(mutex_);
+    if (pending_.empty()) return Status::OK();
+    batch = std::make_shared<std::vector<core::SemanticTrajectory>>(
+        std::move(pending_));
+    pending_.clear();
+    sealing_.push_back(batch);
+  }
+  return SealBatch(std::move(batch));
+}
+
+Status SegmentStore::SealBatch(
+    std::shared_ptr<std::vector<core::SemanticTrajectory>> batch) {
+  std::uint64_t sequence = 0;
+  {
+    MutexLock lock(mutex_);
+    sequence = next_sequence_++;
+  }
+  // IO strictly outside the lock; the batch stays Snapshot-visible via
+  // the sealing_ holding list the whole time.
+  Result<std::shared_ptr<Segment>> segment = WriteSegment(*batch, 0, sequence);
+
+  bool claimed = false;
+  CompactionJob job;
+  {
+    MutexLock lock(mutex_);
+    sealing_.erase(std::remove(sealing_.begin(), sealing_.end(), batch),
+                   sealing_.end());
+    if (!segment.ok()) {
+      // Put the data back so a failed seal loses nothing; the next seal
+      // retries it.
+      pending_.insert(pending_.begin(), batch->begin(), batch->end());
+    } else {
+      const std::shared_ptr<Segment>& seg = segment.value();
+      logical_bytes_ += seg->bytes;
+      written_bytes_ += seg->bytes;
+      segments_.push_back(seg);
+      claimed = MaybeClaimCompactionLocked(&job);
+      idle_.NotifyAll();
+    }
+  }
+  if (!segment.ok()) return segment.status();
+  if (claimed) DispatchCompaction(std::move(job));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<SegmentStore::Segment>> SegmentStore::WriteSegment(
+    const std::vector<core::SemanticTrajectory>& batch, int level,
+    std::uint64_t sequence) {
+  // Idempotent; a real failure surfaces as Create() failing below.
+  ::mkdir(options_.directory.c_str(), 0775);
+  storage::SegmentName name;
+  name.level = level;
+  name.sequence = sequence;
+  const std::string path =
+      options_.directory + "/" + storage::FormatSegmentName(name);
+  SITM_ASSIGN_OR_RETURN(
+      storage::EventStoreWriter writer,
+      storage::EventStoreWriter::Create(
+          path, storage::StoreKind::kTrajectories, options_.writer));
+  SITM_RETURN_IF_ERROR(writer.Append(batch));
+  SITM_RETURN_IF_ERROR(writer.Finish());
+  SITM_ASSIGN_OR_RETURN(storage::EventStoreReader reader,
+                        storage::EventStoreReader::Open(path));
+  auto segment = std::make_shared<Segment>();
+  segment->path = path;
+  segment->level = level;
+  segment->sequence = sequence;
+  segment->bytes = writer.stats().file_bytes;
+  segment->reader =
+      std::make_shared<const storage::EventStoreReader>(std::move(reader));
+  segment->keys.reserve(batch.size());
+  for (const core::SemanticTrajectory& t : batch) {
+    segment->keys.emplace_back(t.object().value(),
+                               t.start().seconds_since_epoch());
+  }
+  return segment;
+}
+
+bool SegmentStore::MaybeClaimCompactionLocked(CompactionJob* job) {
+  if (options_.compaction_fanin < 2) return false;
+  std::map<int, std::vector<std::shared_ptr<Segment>>> by_level;
+  for (const std::shared_ptr<Segment>& seg : segments_) {
+    if (!seg->compacting) by_level[seg->level].push_back(seg);
+  }
+  for (auto& [level, ready] : by_level) {
+    if (ready.size() < options_.compaction_fanin) continue;
+    job->inputs.assign(
+        ready.begin(),
+        ready.begin() + static_cast<std::ptrdiff_t>(options_.compaction_fanin));
+    job->output_level = level + 1;
+    for (const std::shared_ptr<Segment>& seg : job->inputs) {
+      seg->compacting = true;
+    }
+    ++in_flight_;
+    return true;
+  }
+  return false;
+}
+
+void SegmentStore::DispatchCompaction(CompactionJob job) {
+  if (options_.runner == nullptr) {
+    CompactLoop(std::move(job));
+    return;
+  }
+  TaskGraph graph;
+  graph.AddTask("live/compact", [this, job] { CompactLoop(job); });
+  // Detached: the worker owns the merge; Close() joins via in_flight_.
+  options_.runner->Submit(std::move(graph), {});
+}
+
+void SegmentStore::CompactLoop(CompactionJob job) {
+  CompactionJob current = std::move(job);
+  while (true) {
+    bool has_next = false;
+    CompactionJob next;
+    const Status status = CompactOnce(current, &has_next, &next);
+    {
+      MutexLock lock(mutex_);
+      if (!status.ok()) {
+        if (background_error_.ok()) background_error_ = status;
+        // Release the claim so the inputs stay usable (the merge failed
+        // before the manifest swap — they are all still listed).
+        for (const std::shared_ptr<Segment>& seg : current.inputs) {
+          seg->compacting = false;
+        }
+        has_next = false;
+      }
+      --in_flight_;
+      idle_.NotifyAll();
+    }
+    if (!has_next) return;
+    current = std::move(next);
+  }
+}
+
+Status SegmentStore::CompactOnce(CompactionJob job, bool* has_next,
+                                 CompactionJob* next) {
+  // Read every input in manifest order (IO off-lock; claimed inputs are
+  // immutable and cannot be unlinked under us).
+  std::vector<core::SemanticTrajectory> merged;
+  for (const std::shared_ptr<Segment>& seg : job.inputs) {
+    SITM_ASSIGN_OR_RETURN(std::vector<core::SemanticTrajectory> part,
+                          seg->reader->ReadTrajectories({}));
+    std::move(part.begin(), part.end(), std::back_inserter(merged));
+  }
+  // Time-cluster the output: sorted by (start, object), block min/max
+  // time windows stay tight and query pushdown keeps pruning after any
+  // number of merge generations. (object, start) is unique across the
+  // store, so this order is total and deterministic.
+  std::sort(merged.begin(), merged.end(),
+            [](const core::SemanticTrajectory& a,
+               const core::SemanticTrajectory& b) {
+              if (a.start() != b.start()) return a.start() < b.start();
+              return a.object().value() < b.object().value();
+            });
+
+  std::uint64_t sequence = 0;
+  {
+    MutexLock lock(mutex_);
+    sequence = next_sequence_++;
+  }
+  SITM_ASSIGN_OR_RETURN(
+      std::shared_ptr<Segment> output,
+      WriteSegment(merged, job.output_level, sequence));
+
+  std::vector<std::string> obsolete;
+  obsolete.reserve(job.inputs.size());
+  {
+    MutexLock lock(mutex_);
+    for (const std::shared_ptr<Segment>& input : job.inputs) {
+      obsolete.push_back(input->path);
+      segments_.erase(
+          std::remove_if(segments_.begin(), segments_.end(),
+                         [&](const std::shared_ptr<Segment>& s) {
+                           return s == input;
+                         }),
+          segments_.end());
+    }
+    segments_.push_back(output);
+    ++compactions_;
+    written_bytes_ += output->bytes;
+    *has_next = MaybeClaimCompactionLocked(next);
+    idle_.NotifyAll();
+  }
+  // Unlink off-lock. Open readers (snapshots) keep the unlinked files
+  // readable until released — POSIX semantics the snapshot relies on.
+  for (const std::string& path : obsolete) {
+    std::remove(path.c_str());
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::CompactAll() {
+  SITM_RETURN_IF_ERROR(Flush());
+  CompactionJob job;
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) idle_.Wait(lock);
+    SITM_RETURN_IF_ERROR(background_error_);
+    if (segments_.size() <= 1) return Status::OK();
+    for (const std::shared_ptr<Segment>& seg : segments_) {
+      seg->compacting = true;
+      job.inputs.push_back(seg);
+      job.output_level = std::max(job.output_level, seg->level);
+    }
+    job.output_level += 1;
+    ++in_flight_;
+  }
+  CompactLoop(std::move(job));
+  MutexLock lock(mutex_);
+  return background_error_;
+}
+
+Result<storage::StoreSet> SegmentStore::Snapshot(TrajectoryId first_id) const {
+  std::vector<std::shared_ptr<Segment>> segs;
+  std::vector<core::SemanticTrajectory> extras;
+  {
+    MutexLock lock(mutex_);
+    segs = segments_;
+    for (const auto& batch : sealing_) {
+      extras.insert(extras.end(), batch->begin(), batch->end());
+    }
+    extras.insert(extras.end(), pending_.begin(), pending_.end());
+  }
+
+  storage::StoreSet set;
+  set.segments.reserve(segs.size());
+  // Canonical ids: rank EVERY trajectory in the snapshot — sealed and
+  // tail alike — by (object, start), the batch pipeline's global output
+  // order, and number sequentially from first_id.
+  struct Entry {
+    std::int64_t object;
+    std::int64_t start;
+    std::size_t source;  // segment index, or segs.size() for the tail
+    std::size_t ordinal;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    storage::StoreSetSegment out;
+    out.reader = segs[i]->reader;
+    out.canonical_ids.resize(segs[i]->keys.size());
+    for (std::size_t j = 0; j < segs[i]->keys.size(); ++j) {
+      entries.push_back(
+          Entry{segs[i]->keys[j].first, segs[i]->keys[j].second, i, j});
+    }
+    set.segments.push_back(std::move(out));
+  }
+  const std::size_t tail_source = segs.size();
+  for (std::size_t j = 0; j < extras.size(); ++j) {
+    entries.push_back(Entry{extras[j].object().value(),
+                            extras[j].start().seconds_since_epoch(),
+                            tail_source, j});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.object != b.object) return a.object < b.object;
+    if (a.start != b.start) return a.start < b.start;
+    if (a.source != b.source) return a.source < b.source;
+    return a.ordinal < b.ordinal;
+  });
+  TrajectoryId id = first_id;
+  for (const Entry& e : entries) {
+    if (e.source < tail_source) {
+      set.segments[e.source].canonical_ids[e.ordinal] = id;
+    } else {
+      core::SemanticTrajectory& t = extras[e.ordinal];
+      t = core::SemanticTrajectory(id, t.object(),
+                                   std::move(t.mutable_trace()),
+                                   t.annotations());
+    }
+    id = TrajectoryId(id.value() + 1);
+  }
+  set.extra = std::move(extras);
+  SITM_RETURN_IF_ERROR(set.Validate());
+  return set;
+}
+
+SegmentStoreStats SegmentStore::stats() const {
+  MutexLock lock(mutex_);
+  SegmentStoreStats out;
+  out.segments = segments_.size();
+  out.pending_trajectories = pending_.size();
+  for (const auto& batch : sealing_) out.pending_trajectories += batch->size();
+  for (const std::shared_ptr<Segment>& seg : segments_) {
+    out.sealed_trajectories += seg->keys.size();
+    out.segment_bytes += seg->bytes;
+    out.max_level = std::max(out.max_level, seg->level);
+    if (static_cast<std::size_t>(seg->level) >=
+        out.segments_per_level.size()) {
+      out.segments_per_level.resize(static_cast<std::size_t>(seg->level) + 1);
+    }
+    ++out.segments_per_level[static_cast<std::size_t>(seg->level)];
+  }
+  out.compactions = compactions_;
+  out.logical_bytes = logical_bytes_;
+  out.written_bytes = written_bytes_;
+  return out;
+}
+
+Status SegmentStore::Close() {
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.Wait(lock);
+  return background_error_;
+}
+
+}  // namespace sitm::live

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/result.h"
+#include "base/task_runner.h"
+#include "base/thread_annotations.h"
+#include "core/trajectory.h"
+#include "storage/event_store.h"
+#include "storage/store_set.h"
+
+namespace sitm::live {
+
+/// Rolling-segment store knobs.
+struct SegmentStoreOptions {
+  /// Directory holding the segment files (created if missing).
+  std::string directory;
+  /// Seal the pending buffer into a fresh L0 segment once it holds this
+  /// many trajectories (0 disables size-triggered sealing; Flush()
+  /// still seals on demand).
+  std::size_t seal_trajectories = 512;
+  /// Compact a level once it holds this many segments (the merge fans
+  /// this many inputs into one segment of the next level; < 2 disables
+  /// compaction).
+  std::size_t compaction_fanin = 4;
+  /// Segment file format (codec, block size, encoding executor).
+  storage::WriterOptions writer;
+  /// Runner for background compaction (borrowed; null compacts inline
+  /// on the thread that sealed the triggering segment).
+  TaskRunner* runner = nullptr;
+};
+
+/// Point-in-time counters (compaction amplification = written_bytes /
+/// logical_bytes once everything is sealed).
+struct SegmentStoreStats {
+  std::size_t segments = 0;
+  std::size_t pending_trajectories = 0;
+  std::uint64_t sealed_trajectories = 0;
+  std::uint64_t compactions = 0;
+  /// Bytes currently on disk across live segments.
+  std::uint64_t segment_bytes = 0;
+  /// Bytes written as fresh L0 seals (the logical ingest volume).
+  std::uint64_t logical_bytes = 0;
+  /// All segment bytes ever written, compaction rewrites included.
+  std::uint64_t written_bytes = 0;
+  int max_level = 0;
+  /// Segment count per compaction level (index = level).
+  std::vector<std::size_t> segments_per_level;
+};
+
+/// \brief Rolling EventStore segments with background compaction: the
+/// persistence half of the live ingest subsystem.
+///
+/// Finalized trajectories append into an in-memory pending buffer;
+/// once it reaches `seal_trajectories` it is sealed into a small L0
+/// EventStore file (v3 writer — same format, codecs, and pushdown
+/// metadata as batch stores). When a level accumulates
+/// `compaction_fanin` segments, a background task (on `runner`, via
+/// detached TaskRunner::Submit) merges them — sorted by (start time,
+/// object) so compacted segments are time-clustered and block pruning
+/// stays effective — into one segment of the next level, then unlinks
+/// the inputs. Snapshots taken mid-compaction stay valid: they share
+/// the replaced readers, and POSIX keeps an unlinked mapped file
+/// readable until the last reader closes.
+///
+/// Segments persist the builder's *provisional* trajectory ids;
+/// Snapshot() derives the canonical batch ids (global (object, start)
+/// rank) from per-segment key lists captured at seal time, so the
+/// query engine never re-reads a file to renumber.
+///
+/// Threading: Append/Flush/CompactAll/Close are writer-side calls and
+/// must be externally serialized with each other (live::LiveService
+/// does); Snapshot() and stats() are safe concurrently with everything,
+/// including in-flight sealing and compaction.
+class SegmentStore {
+ public:
+  explicit SegmentStore(SegmentStoreOptions options);
+  /// Close()s; any background-compaction error is lost here — call
+  /// Close() explicitly to observe it.
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Appends finalized trajectories; seals a segment (and possibly
+  /// schedules compaction) when the pending buffer fills.
+  [[nodiscard]] Status Append(std::vector<core::SemanticTrajectory> trajectories);
+
+  /// Seals the pending buffer regardless of size (no-op when empty).
+  [[nodiscard]] Status Flush();
+
+  /// Synchronously merges EVERYTHING (after waiting out in-flight
+  /// background compactions) into a single segment — the deterministic
+  /// end-state the bench artifacts and store-size baselines pin.
+  [[nodiscard]] Status CompactAll();
+
+  /// Consistent queryable view: every sealed segment plus the pending
+  /// tail, with canonical trajectory ids assigned from `first_id` by
+  /// global (object, start) rank — exactly the ids a batch build of the
+  /// same detections would carry.
+  [[nodiscard]] Result<storage::StoreSet> Snapshot(TrajectoryId first_id) const;
+
+  SegmentStoreStats stats() const;
+
+  /// Waits for in-flight background compactions and reports the first
+  /// background error, if any. Does not seal the pending buffer.
+  /// Idempotent.
+  [[nodiscard]] Status Close();
+
+ private:
+  /// One sealed segment in the manifest.
+  struct Segment {
+    std::string path;
+    int level = 0;
+    std::uint64_t sequence = 0;
+    std::uint64_t bytes = 0;
+    std::shared_ptr<const storage::EventStoreReader> reader;
+    /// (object id, start seconds) per trajectory in file order —
+    /// everything Snapshot needs to rank without reading the file.
+    std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+    /// Claimed by an in-flight compaction (invisible to new triggers).
+    bool compacting = false;
+  };
+  /// One scheduled merge: the claimed inputs and the output level.
+  struct CompactionJob {
+    std::vector<std::shared_ptr<Segment>> inputs;
+    int output_level = 0;
+  };
+
+  /// Writes `batch` as a new segment file and opens it. Pure IO — no
+  /// locks held (the project lint forbids store writes under a lock).
+  [[nodiscard]] Result<std::shared_ptr<Segment>> WriteSegment(
+      const std::vector<core::SemanticTrajectory>& batch, int level,
+      std::uint64_t sequence);
+  /// Seals the pending buffer (already moved out, holding-listed) and
+  /// registers the segment; returns a compaction job if one triggered.
+  [[nodiscard]] Status SealBatch(
+      std::shared_ptr<std::vector<core::SemanticTrajectory>> batch);
+  /// Claims a ready level merge, if any. Bumps in_flight_.
+  bool MaybeClaimCompactionLocked(CompactionJob* job)
+      SITM_REQUIRES(mutex_);
+  /// Dispatches `job` to the runner (detached) or runs it inline.
+  void DispatchCompaction(CompactionJob job);
+  /// Runs `job` and any cascading merges it unlocks, then retires the
+  /// in-flight claim. Errors land in background_error_.
+  void CompactLoop(CompactionJob job);
+  /// One merge: read inputs, write the merged segment, swap the
+  /// manifest, unlink inputs. Outputs the cascading job, if any.
+  [[nodiscard]] Status CompactOnce(CompactionJob job, bool* has_next,
+                                   CompactionJob* next);
+
+  SegmentStoreOptions options_;
+  mutable Mutex mutex_;
+  /// Signaled when in_flight_ drops or segments change.
+  mutable CondVar idle_;
+  std::vector<std::shared_ptr<Segment>> segments_ SITM_GUARDED_BY(mutex_);
+  /// Finalized, not yet sealed (the snapshot tail).
+  std::vector<core::SemanticTrajectory> pending_ SITM_GUARDED_BY(mutex_);
+  /// Batches being written to disk right now: still visible to
+  /// Snapshot so a concurrent query never misses sealing data.
+  std::vector<std::shared_ptr<std::vector<core::SemanticTrajectory>>>
+      sealing_ SITM_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ SITM_GUARDED_BY(mutex_) = 0;
+  std::size_t in_flight_ SITM_GUARDED_BY(mutex_) = 0;
+  Status background_error_ SITM_GUARDED_BY(mutex_);
+  std::uint64_t compactions_ SITM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t logical_bytes_ SITM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t written_bytes_ SITM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace sitm::live

@@ -374,4 +374,92 @@ Result<QueryResult> QueryExecutor::Run(
   return result;
 }
 
+Result<QueryResult> QueryExecutor::Run(const Query& query,
+                                       const storage::StoreSet& set) const {
+  SITM_RETURN_IF_ERROR(set.Validate());
+  SITM_ASSIGN_OR_RETURN(const BoundQuery bound, BindQuery(query, context_));
+  const QueryPlan plan = Plan(bound.where);
+
+  QueryResult result;
+  result.projection = query.projection;
+  result.stats.blocks_total = set.TotalBlocks();
+  result.stats.rows_total = set.TotalRows();
+  if (plan.pushdown.never_matches) return result;
+
+  // Candidate (segment, block) pairs in segment order then block order —
+  // a fixed decomposition of the set, so the merge below is independent
+  // of the schedule.
+  struct BlockRef {
+    const storage::StoreSetSegment* segment = nullptr;
+    std::size_t block = 0;
+    std::uint64_t ordinal_base = 0;  ///< trajectory ordinal of position 0
+  };
+  std::vector<BlockRef> candidates;
+  std::uint64_t rows_scanned = 0;
+  for (const storage::StoreSetSegment& segment : set.segments) {
+    const std::vector<std::uint64_t> starts =
+        storage::BlockTrajectoryStarts(*segment.reader);
+    for (const std::size_t b : PlanBlocks(*segment.reader, plan.pushdown)) {
+      candidates.push_back(BlockRef{&segment, b, starts[b]});
+      rows_scanned += segment.reader->block(b).rows;
+    }
+  }
+
+  struct DecodedBlock {
+    Status status;
+    std::vector<core::SemanticTrajectory> trajectories;
+  };
+  // Thread-safety: concurrent const reads of mmap-backed readers, one
+  // output slot per block (same argument as the single-store path).
+  std::vector<DecodedBlock> decoded = sched::ParallelMap<DecodedBlock>(
+      options_.executor, candidates.size(), [&](std::size_t i) {
+        const BlockRef& ref = candidates[i];
+        DecodedBlock out;
+        // Decode UNFILTERED: block position + ordinal_base then indexes
+        // canonical_ids exactly (a filtered decode would drop rows and
+        // misalign the mapping). The bound predicate still runs as the
+        // residual in the in-memory pass below, so this costs decode
+        // time on pruned rows, never correctness.
+        out.status = ref.segment->reader->ReadTrajectoryBlock(
+            ref.block, storage::ScanOptions{}, out.trajectories);
+        if (!out.status.ok()) return out;
+        for (std::size_t t = 0; t < out.trajectories.size(); ++t) {
+          core::SemanticTrajectory& stored = out.trajectories[t];
+          const TrajectoryId canonical =
+              ref.segment->canonical_ids[ref.ordinal_base + t];
+          stored = core::SemanticTrajectory(
+              canonical, stored.object(), std::move(stored.mutable_trace()),
+              stored.annotations());
+        }
+        return out;
+      },
+      /*grain=*/0, "query/segment-block");
+
+  std::vector<core::SemanticTrajectory> all;
+  for (DecodedBlock& block : decoded) {
+    SITM_RETURN_IF_ERROR(block.status);
+    std::move(block.trajectories.begin(), block.trajectories.end(),
+              std::back_inserter(all));
+  }
+  std::uint64_t extra_rows = 0;
+  for (const core::SemanticTrajectory& t : set.extra) {
+    extra_rows += t.trace().size();
+    all.push_back(t);
+  }
+  // Canonical ids rank by (object, start) over the whole set — the batch
+  // pipeline's output order — so after this sort the in-memory path sees
+  // exactly the vector a batch build would have produced (restricted to
+  // candidate blocks, which is a superset of every match).
+  std::sort(all.begin(), all.end(),
+            [](const core::SemanticTrajectory& a,
+               const core::SemanticTrajectory& b) { return a.id() < b.id(); });
+
+  SITM_ASSIGN_OR_RETURN(result, Run(query, all));
+  result.stats.blocks_total = set.TotalBlocks();
+  result.stats.blocks_scanned = candidates.size();
+  result.stats.rows_total = set.TotalRows();
+  result.stats.rows_scanned = rows_scanned + extra_rows;
+  return result;
+}
+
 }  // namespace sitm::query

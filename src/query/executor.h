@@ -12,6 +12,7 @@
 #include "base/task_runner.h"
 #include "query/predicate.h"
 #include "storage/event_store.h"
+#include "storage/store_set.h"
 
 namespace sitm::query {
 
@@ -173,6 +174,21 @@ class QueryExecutor {
   /// per decoded trajectory.
   [[nodiscard]] Result<QueryResult> Run(const Query& query,
                           const storage::EventStoreReader& reader) const;
+
+  /// Store-set execution over live + compacted segments (the rolling
+  /// SegmentStore snapshot): per segment, pushdown picks candidate
+  /// blocks; candidates decode UNFILTERED (ordinal-aligned, so each
+  /// decoded trajectory lines up with its canonical id — the full bound
+  /// predicate is the residual, so skipping row filtering costs time,
+  /// never correctness); decoded trajectories take their canonical ids,
+  /// merge with the in-memory tail, sort by id — the batch pipeline's
+  /// (object, start) order — and run through the in-memory path. Result
+  /// (order included) is byte-identical to an in-memory run over a
+  /// batch build of the same detections. The result cache is NOT
+  /// consulted: a segment set changes under ingest, so there is no
+  /// single immutable file to key on.
+  [[nodiscard]] Result<QueryResult> Run(const Query& query,
+                          const storage::StoreSet& set) const;
 
   const QueryContext& context() const { return context_; }
 

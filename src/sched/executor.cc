@@ -51,7 +51,32 @@ struct Executor::RunState {
   /// captures it before scanning for work (same lost-wakeup protocol as
   /// Executor::work_epoch_).
   std::uint64_t ready_epoch SITM_GUARDED_BY(mutex) = 0;
+
+  /// Detached (Submit) runs: no caller waits, so the last-finishing
+  /// task invokes `on_done` and retires the run itself. Both fields are
+  /// set before the run's first task is seeded and read only by the
+  /// thread that observed remaining == 0 under `mutex`, which orders
+  /// the writes — no extra guard needed.
+  bool detached = false;
+  std::function<void(Status)> on_done;
 };
+
+namespace {
+
+/// The lowest-id task failure of a finished run (OK when none). Safe to
+/// call only after observing remaining == 0 under the run's mutex: that
+/// read orders every error-slot write before these reads.
+Status LowestIdFailure(const std::vector<TaskGraph::Node>& nodes,
+                       const std::vector<std::string>& errors) {
+  for (TaskId id = 0; id < nodes.size(); ++id) {
+    if (!errors[id].empty()) {
+      return task_internal::TaskFailure(id, nodes[id].name, errors[id]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Executor::Executor(std::size_t num_workers)
     : epoch_(std::chrono::steady_clock::now()),
@@ -156,14 +181,7 @@ Status Executor::Run(TaskGraph graph) {
     if (run->remaining == 0) break;
   }
 
-  Status status;  // OK
-  for (TaskId id = 0; id < num_tasks; ++id) {
-    if (!run->errors[id].empty()) {
-      status = task_internal::TaskFailure(id, run->nodes[id].name,
-                                          run->errors[id]);
-      break;
-    }
-  }
+  Status status = LowestIdFailure(run->nodes, run->errors);
 
   {
     MutexLock lock(mutex_);
@@ -175,6 +193,66 @@ Status Executor::Run(TaskGraph graph) {
     }
   }
   return status;
+}
+
+void Executor::Submit(TaskGraph graph, std::function<void(Status)> done) {
+  Status valid = graph.Validate();
+  if (!valid.ok() || graph.nodes().empty()) {
+    // Nothing to schedule: report the validation error (or OK for an
+    // empty graph) synchronously, as the base default would.
+    if (done) done(std::move(valid));
+    return;
+  }
+
+  // Post-shutdown submissions degrade to the pinned inline form, like
+  // Run(): executed on the caller, callback before returning.
+  bool inline_run = false;
+  {
+    MutexLock lock(mutex_);
+    if (shutdown_) {
+      inline_run = true;
+    } else {
+      ++active_runs_;
+    }
+  }
+  if (inline_run) {
+    Status status = RunGraphInline(std::move(graph));
+    if (done) done(std::move(status));
+    return;
+  }
+
+  auto run = std::make_shared<RunState>(graph.ReleaseNodes());
+  run->detached = true;
+  run->on_done = std::move(done);
+  const std::size_t num_tasks = run->nodes.size();
+
+  // Seed the initially-ready tasks and return: no caller participates,
+  // so the workers own the whole run — including the completion
+  // callback (ExecuteTask -> FinishDetachedRun).
+  MutexLock lock(mutex_);
+  for (TaskId id = 0; id < num_tasks; ++id) {
+    if (run->pending[id].load(std::memory_order_relaxed) == 0) {
+      injected_.push_back(Task{run, id});
+    }
+  }
+  ++work_epoch_;
+  work_available_.NotifyAll();
+}
+
+void Executor::FinishDetachedRun(RunState& run) {
+  // Off every executor lock: the callback may take locks of its own
+  // (e.g. a segment store's manifest mutex), and must never nest under
+  // run or executor state.
+  if (run.on_done) {
+    run.on_done(LowestIdFailure(run.nodes, run.errors));
+  }
+  MutexLock lock(mutex_);
+  if (--active_runs_ == 0) {
+    runs_idle_.NotifyAll();
+    // Shutdown() drains detached runs exactly like waited ones; wake
+    // its waiters (and exit-gated workers) once the last run retires.
+    if (shutdown_) work_available_.NotifyAll();
+  }
 }
 
 void Executor::WorkerLoop(std::size_t index) {
@@ -263,12 +341,19 @@ void Executor::ExecuteTask(Task task, std::size_t lane) {
   if (!ready.empty()) PushReady(std::move(ready), lane);
 
   const bool pushed = !node.successors.empty();
-  MutexLock lock(run.mutex);
-  --run.remaining;
-  if (pushed) ++run.ready_epoch;
-  // Wake the run's waiting caller on completion, and after any push so
-  // it re-scans for newly stealable work instead of idling.
-  if (run.remaining == 0 || pushed) run.done.NotifyAll();
+  bool finished = false;
+  {
+    MutexLock lock(run.mutex);
+    --run.remaining;
+    if (pushed) ++run.ready_epoch;
+    // Wake the run's waiting caller on completion, and after any push so
+    // it re-scans for newly stealable work instead of idling.
+    if (run.remaining == 0 || pushed) run.done.NotifyAll();
+    finished = run.remaining == 0;
+  }
+  // Exactly one task observes remaining hit zero; for a detached run it
+  // owns invoking the callback and retiring the run.
+  if (finished && run.detached) FinishDetachedRun(run);
 }
 
 void Executor::PushReady(std::vector<Task> tasks, std::size_t lane) {

@@ -76,6 +76,18 @@ class Executor : public TaskRunner {
   /// ThreadPool::Submit-after-shutdown), still deterministically.
   [[nodiscard]] Status Run(TaskGraph graph) override SITM_EXCLUDES(mutex_);
 
+  /// Truly detached submission: the graph is seeded onto the workers and
+  /// Submit returns without participating. The last-finishing task
+  /// invokes `done` (off every executor lock) with the lowest-id task
+  /// failure, then retires the run — Shutdown() therefore drains
+  /// submitted graphs *and* their callbacks before joining. Validation
+  /// errors, empty graphs, and submissions after Shutdown() degrade to
+  /// the synchronous default (run inline, `done` before returning).
+  /// `done` runs on a worker thread: it must not throw, block
+  /// indefinitely, or Shutdown()/destroy this executor.
+  void Submit(TaskGraph graph, std::function<void(Status)> done) override
+      SITM_EXCLUDES(mutex_);
+
   /// Blocks until every active Run has finished, then joins the
   /// workers. Idempotent; later Run() calls execute inline.
   void Shutdown() SITM_EXCLUDES(mutex_);
@@ -104,6 +116,9 @@ class Executor : public TaskRunner {
   };
 
   void WorkerLoop(std::size_t index) SITM_EXCLUDES(mutex_);
+  /// Invokes a detached run's callback (off every executor lock) and
+  /// retires the run from active_runs_.
+  void FinishDetachedRun(RunState& run) SITM_EXCLUDES(mutex_);
   /// Pops work for `lane`: own deque back, then the injection queue,
   /// then steal another deque's front (recording a steal span).
   bool TryAcquire(std::size_t lane, Task* out) SITM_EXCLUDES(mutex_);

@@ -1,0 +1,113 @@
+#include "storage/store_set.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sitm::storage {
+
+std::uint64_t StoreSet::TotalTrajectories() const {
+  std::uint64_t total = extra.size();
+  for (const StoreSetSegment& segment : segments) {
+    if (segment.reader) total += segment.reader->trajectories();
+  }
+  return total;
+}
+
+std::uint64_t StoreSet::TotalRows() const {
+  std::uint64_t total = 0;
+  for (const core::SemanticTrajectory& t : extra) {
+    total += t.trace().size();
+  }
+  for (const StoreSetSegment& segment : segments) {
+    if (segment.reader) total += segment.reader->rows();
+  }
+  return total;
+}
+
+std::uint64_t StoreSet::TotalBlocks() const {
+  std::uint64_t total = 0;
+  for (const StoreSetSegment& segment : segments) {
+    if (segment.reader) total += segment.reader->num_blocks();
+  }
+  return total;
+}
+
+Status StoreSet::Validate() const {
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const StoreSetSegment& segment = segments[i];
+    if (!segment.reader) {
+      return Status::InvalidArgument("StoreSet: segment " + std::to_string(i) +
+                                     " has no reader");
+    }
+    if (segment.reader->kind() != StoreKind::kTrajectories) {
+      return Status::InvalidArgument(
+          "StoreSet: segment " + std::to_string(i) +
+          " is not a trajectory store");
+    }
+    if (segment.canonical_ids.size() != segment.reader->trajectories()) {
+      return Status::InvalidArgument(
+          "StoreSet: segment " + std::to_string(i) + " has " +
+          std::to_string(segment.canonical_ids.size()) +
+          " canonical ids for " +
+          std::to_string(segment.reader->trajectories()) + " trajectories");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint64_t> BlockTrajectoryStarts(
+    const EventStoreReader& reader) {
+  std::vector<std::uint64_t> starts(reader.num_blocks(), 0);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < reader.num_blocks(); ++b) {
+    starts[b] = running;
+    running += reader.block(b).trajectories;
+  }
+  return starts;
+}
+
+std::string FormatSegmentName(const SegmentName& name) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg-L%d-%06" PRIu64 ".evst", name.level,
+                name.sequence);
+  return buf;
+}
+
+std::optional<SegmentName> ParseSegmentName(std::string_view filename) {
+  constexpr std::string_view kPrefix = "seg-L";
+  constexpr std::string_view kSuffix = ".evst";
+  if (filename.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (filename.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (filename.substr(filename.size() - kSuffix.size()) != kSuffix) {
+    return std::nullopt;
+  }
+  const std::string_view middle = filename.substr(
+      kPrefix.size(), filename.size() - kPrefix.size() - kSuffix.size());
+  const std::size_t dash = middle.find('-');
+  if (dash == std::string_view::npos || dash == 0 ||
+      dash + 1 >= middle.size()) {
+    return std::nullopt;
+  }
+  const std::string_view level_part = middle.substr(0, dash);
+  const std::string_view seq_part = middle.substr(dash + 1);
+  SegmentName name;
+  // Strict digit parses: any non-digit (including a second '-') rejects.
+  std::int64_t level = 0;
+  for (const char c : level_part) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    level = level * 10 + (c - '0');
+    if (level > 1000000) return std::nullopt;
+  }
+  std::uint64_t sequence = 0;
+  for (const char c : seq_part) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    if (sequence > (UINT64_MAX - 9) / 10) return std::nullopt;
+    sequence = sequence * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  name.level = static_cast<int>(level);
+  name.sequence = sequence;
+  return name;
+}
+
+}  // namespace sitm::storage

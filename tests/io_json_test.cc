@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <string>
+
 #include "io/json.h"
 
 namespace sitm::io {
@@ -124,6 +127,26 @@ TEST(JsonParseTest, Errors) {
   EXPECT_FALSE(JsonValue::Parse("-").ok());
   EXPECT_FALSE(JsonValue::Parse("\"bad\\q\"").ok());
   EXPECT_FALSE(JsonValue::Parse("\"bad\\u00g1\"").ok());
+}
+
+TEST(JsonParseTest, NestingDepthLimit) {
+  // The parser caps nesting at 96 levels so adversarial bodies (the
+  // live ingest endpoint feeds network input here) cannot blow the
+  // stack: the boundary parses, one past it is a clean error.
+  const auto nested = [](std::size_t depth) {
+    std::string text(depth, '[');
+    text.append(depth, ']');
+    return text;
+  };
+  EXPECT_TRUE(JsonValue::Parse(nested(96)).ok());
+  const auto too_deep = JsonValue::Parse(nested(97));
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_NE(too_deep.status().message().find("nesting"), std::string::npos);
+  // Unclosed deep nesting must also come back as a Status — never a
+  // crash — even at pathological depth.
+  EXPECT_FALSE(JsonValue::Parse(std::string(10000, '[')).ok());
+  EXPECT_FALSE(JsonValue::Parse(
+                   "{\"a\":" + std::string(10000, '[') + "1").ok());
 }
 
 class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};

@@ -1,0 +1,239 @@
+// SegmentStore unit behavior: sealing, canonical-id snapshots over
+// segments + the unsealed tail, inline and background compaction,
+// CompactAll, and Close semantics. Everything is observed through the
+// public surface — snapshots queried exactly as the live /query path
+// queries them.
+#include "live/segment_store.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "query/predicate.h"
+#include "sched/executor.h"
+#include "storage/store_set.h"
+
+namespace sitm::live {
+namespace {
+
+core::SemanticTrajectory MakeTrajectory(
+    std::int64_t id, std::int64_t object,
+    const std::vector<std::array<std::int64_t, 3>>& cell_start_end) {
+  std::vector<core::PresenceInterval> intervals;
+  for (const auto& [cell, start, end] : cell_start_end) {
+    intervals.emplace_back(
+        BoundaryId::Invalid(), CellId(cell),
+        qsr::TimeInterval::Make(Timestamp(start), Timestamp(end)).value());
+  }
+  return core::SemanticTrajectory(
+      TrajectoryId(id), ObjectId(object), core::Trace(std::move(intervals)),
+      core::AnnotationSet{{core::AnnotationKind::kActivity, "visit"}});
+}
+
+std::string UniqueDir(const char* tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "live_segstore_" + info->name() + "_" + tag;
+}
+
+/// The store's determinism oracle: a snapshot must answer exactly like
+/// an in-memory run over `expected` (already in canonical order with
+/// canonical ids).
+void ExpectSnapshotMatches(
+    const SegmentStore& store, TrajectoryId first_id,
+    const std::vector<core::SemanticTrajectory>& expected) {
+  auto snapshot = store.Snapshot(first_id);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  ASSERT_TRUE(snapshot->Validate().ok());
+  query::Query q;
+  q.where = query::All();
+  q.projection = query::Projection::kTrajectories;
+  const query::QueryExecutor executor{query::QueryContext{}};
+  auto from_store = executor.Run(q, *snapshot);
+  ASSERT_TRUE(from_store.ok()) << from_store.status();
+  auto reference = executor.Run(q, expected);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(from_store->Fingerprint(), reference->Fingerprint());
+}
+
+/// Three-object working set whose append order deliberately disagrees
+/// with the canonical (object, start) order.
+std::vector<core::SemanticTrajectory> WorkingSet() {
+  return {
+      MakeTrajectory(901, 5, {{10, 5000, 5100}, {11, 5200, 5400}}),
+      MakeTrajectory(902, 2, {{20, 100, 300}}),
+      MakeTrajectory(903, 5, {{12, 50, 90}}),
+      MakeTrajectory(904, 1, {{10, 9000, 9500}}),
+      MakeTrajectory(905, 2, {{21, 4000, 4200}, {22, 4300, 4350}}),
+  };
+}
+
+/// WorkingSet in canonical order with canonical ids from `first`.
+std::vector<core::SemanticTrajectory> CanonicalSet(std::int64_t first) {
+  return {
+      MakeTrajectory(first + 0, 1, {{10, 9000, 9500}}),
+      MakeTrajectory(first + 1, 2, {{20, 100, 300}}),
+      MakeTrajectory(first + 2, 2, {{21, 4000, 4200}, {22, 4300, 4350}}),
+      MakeTrajectory(first + 3, 5, {{12, 50, 90}}),
+      MakeTrajectory(first + 4, 5, {{10, 5000, 5100}, {11, 5200, 5400}}),
+  };
+}
+
+TEST(SegmentStoreTest, PendingOnlySnapshotCarriesCanonicalIds) {
+  SegmentStoreOptions options;
+  options.directory = UniqueDir("a");
+  options.seal_trajectories = 0;  // never seal by size
+  SegmentStore store(options);
+  ASSERT_TRUE(store.Append(WorkingSet()).ok());
+  EXPECT_EQ(store.stats().segments, 0u);
+  EXPECT_EQ(store.stats().pending_trajectories, 5u);
+  ExpectSnapshotMatches(store, TrajectoryId(1), CanonicalSet(1));
+  // The id base is the caller's: a different first_id shifts every id.
+  ExpectSnapshotMatches(store, TrajectoryId(50), CanonicalSet(50));
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, FlushSealsAndAnswersIdentically) {
+  SegmentStoreOptions options;
+  options.directory = UniqueDir("a");
+  options.seal_trajectories = 0;
+  SegmentStore store(options);
+  ASSERT_TRUE(store.Append(WorkingSet()).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  const SegmentStoreStats stats = store.stats();
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(stats.pending_trajectories, 0u);
+  EXPECT_EQ(stats.sealed_trajectories, 5u);
+  EXPECT_GT(stats.segment_bytes, 0u);
+  EXPECT_EQ(stats.logical_bytes, stats.written_bytes);  // no compaction yet
+  ExpectSnapshotMatches(store, TrajectoryId(1), CanonicalSet(1));
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, CanonicalIdsSpanSegmentsAndTail) {
+  SegmentStoreOptions options;
+  options.directory = UniqueDir("a");
+  options.seal_trajectories = 2;  // tiny segments
+  options.compaction_fanin = 0;   // isolate sealing from compaction
+  SegmentStore store(options);
+  // Appended one at a time: seals fire at 2, leaving one in the tail.
+  for (core::SemanticTrajectory& t : WorkingSet()) {
+    std::vector<core::SemanticTrajectory> one;
+    one.push_back(std::move(t));
+    ASSERT_TRUE(store.Append(std::move(one)).ok());
+  }
+  const SegmentStoreStats stats = store.stats();
+  EXPECT_EQ(stats.segments, 2u);
+  EXPECT_EQ(stats.pending_trajectories, 1u);
+  // Ranking is global: ids interleave across both files and the tail.
+  ExpectSnapshotMatches(store, TrajectoryId(1), CanonicalSet(1));
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, InlineCompactionCascadesLevels) {
+  SegmentStoreOptions options;
+  options.directory = UniqueDir("a");
+  options.seal_trajectories = 1;
+  options.compaction_fanin = 2;
+  // No runner: compaction runs inline on the sealing thread.
+  SegmentStore store(options);
+  for (core::SemanticTrajectory& t : WorkingSet()) {
+    std::vector<core::SemanticTrajectory> one;
+    one.push_back(std::move(t));
+    ASSERT_TRUE(store.Append(std::move(one)).ok());
+  }
+  const SegmentStoreStats stats = store.stats();
+  // 5 L0 seals with fanin 2 force at least L0->L1 and L1->L2 merges.
+  EXPECT_GE(stats.compactions, 2u);
+  EXPECT_GE(stats.max_level, 2);
+  EXPECT_GT(stats.written_bytes, stats.logical_bytes);
+  ExpectSnapshotMatches(store, TrajectoryId(1), CanonicalSet(1));
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, CompactAllLeavesOneSegment) {
+  SegmentStoreOptions options;
+  options.directory = UniqueDir("a");
+  options.seal_trajectories = 2;
+  options.compaction_fanin = 0;
+  SegmentStore store(options);
+  for (core::SemanticTrajectory& t : WorkingSet()) {
+    std::vector<core::SemanticTrajectory> one;
+    one.push_back(std::move(t));
+    ASSERT_TRUE(store.Append(std::move(one)).ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.CompactAll().ok());
+  const SegmentStoreStats stats = store.stats();
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(stats.pending_trajectories, 0u);
+  ExpectSnapshotMatches(store, TrajectoryId(1), CanonicalSet(1));
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, SnapshotSurvivesLaterCompaction) {
+  SegmentStoreOptions options;
+  options.directory = UniqueDir("a");
+  options.seal_trajectories = 2;
+  options.compaction_fanin = 0;
+  SegmentStore store(options);
+  for (core::SemanticTrajectory& t : WorkingSet()) {
+    std::vector<core::SemanticTrajectory> one;
+    one.push_back(std::move(t));
+    ASSERT_TRUE(store.Append(std::move(one)).ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_GE(store.stats().segments, 2u);
+  auto snapshot = store.Snapshot(TrajectoryId(1));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  // CompactAll unlinks the files the snapshot still maps; shared
+  // readers must keep it answering identically.
+  ASSERT_TRUE(store.CompactAll().ok());
+  query::Query q;
+  q.where = query::All();
+  q.projection = query::Projection::kTrajectories;
+  const query::QueryExecutor executor{query::QueryContext{}};
+  auto stale = executor.Run(q, *snapshot);
+  ASSERT_TRUE(stale.ok()) << stale.status();
+  auto reference = executor.Run(q, CanonicalSet(1));
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(stale->Fingerprint(), reference->Fingerprint());
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, BackgroundCompactionOnExecutor) {
+  sched::Executor executor(2);
+  SegmentStoreOptions options;
+  options.directory = UniqueDir("a");
+  options.seal_trajectories = 1;
+  options.compaction_fanin = 2;
+  options.runner = &executor;
+  SegmentStore store(options);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<core::SemanticTrajectory> batch = WorkingSet();
+    // Distinct objects per round so the canonical set is well-defined.
+    for (core::SemanticTrajectory& t : batch) {
+      std::vector<core::SemanticTrajectory> one;
+      one.push_back(core::SemanticTrajectory(
+          t.id(), ObjectId(t.object().value() + round * 100),
+          std::move(t.mutable_trace()), t.annotations()));
+      ASSERT_TRUE(store.Append(std::move(one)).ok());
+    }
+    // Snapshots taken while compactions are in flight must stay valid.
+    auto snapshot = store.Snapshot(TrajectoryId(1));
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    ASSERT_TRUE(snapshot->Validate().ok());
+    EXPECT_EQ(snapshot->TotalTrajectories(),
+              static_cast<std::uint64_t>((round + 1) * 5));
+  }
+  // Close waits out in-flight merges and surfaces any background error.
+  ASSERT_TRUE(store.Close().ok());
+  EXPECT_GT(store.stats().compactions, 0u);
+  // Idempotent.
+  ASSERT_TRUE(store.Close().ok());
+}
+
+}  // namespace
+}  // namespace sitm::live

@@ -261,5 +261,127 @@ TEST(ExecutorTest, RunGraphNullExecutorRunsInline) {
   EXPECT_EQ(observed, caller);
 }
 
+// ---------------------------------------------------------------------------
+// Detached Submit — the live ingest subsystem's dispatch primitive
+// (segment compaction, HTTP connection handling).
+// ---------------------------------------------------------------------------
+
+/// Blocks until `flag` is true (callbacks run on worker threads, so the
+/// test must wait without owning a joinable handle).
+void AwaitFlag(const std::atomic<bool>& flag) {
+  while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
+}
+
+TEST(ExecutorTest, SubmitRunsDetachedAndInvokesCallback) {
+  for (const std::size_t workers : WorkerCounts()) {
+    Executor executor(workers);
+    std::atomic<int> ran{0};
+    std::atomic<bool> called{false};
+    Status observed = Status::Internal("callback never ran");
+    TaskGraph graph;
+    const TaskId a = graph.AddTask("first", [&] { ran.fetch_add(1); });
+    const TaskId b = graph.AddTask("second", [&] { ran.fetch_add(1); });
+    ASSERT_TRUE(graph.AddEdge(a, b).ok());
+    executor.Submit(std::move(graph), [&](Status status) {
+      observed = std::move(status);
+      called.store(true, std::memory_order_release);
+    });
+    AwaitFlag(called);
+    EXPECT_TRUE(observed.ok()) << observed;
+    EXPECT_EQ(ran.load(), 2) << workers << " workers";
+  }
+}
+
+TEST(ExecutorTest, SubmitWithNullCallbackIsDrainedByShutdown) {
+  Executor executor(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    TaskGraph graph;
+    graph.AddTask("fire-and-forget", [&] { ran.fetch_add(1); });
+    executor.Submit(std::move(graph), {});
+  }
+  // Shutdown's contract: every submitted graph finishes before it
+  // returns — no sleep, no flag needed.
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ExecutorTest, SubmitFailurePropagatesToTheCallback) {
+  Executor executor(2);
+  std::atomic<bool> called{false};
+  Status observed;
+  TaskGraph graph;
+  graph.AddTask("doomed-task", [] {
+    throw std::runtime_error("submit-boom");
+  });
+  executor.Submit(std::move(graph), [&](Status status) {
+    observed = std::move(status);
+    called.store(true, std::memory_order_release);
+  });
+  AwaitFlag(called);
+  ASSERT_FALSE(observed.ok());
+  EXPECT_NE(observed.message().find("doomed-task"), std::string::npos)
+      << observed.message();
+  EXPECT_NE(observed.message().find("submit-boom"), std::string::npos)
+      << observed.message();
+}
+
+TEST(ExecutorTest, SubmitValidationErrorDegradesToInline) {
+  Executor executor(2);
+  bool called = false;
+  Status observed;
+  TaskGraph cyclic;
+  const TaskId a = cyclic.AddTask("a", [] {});
+  const TaskId b = cyclic.AddTask("b", [] {});
+  ASSERT_TRUE(cyclic.AddEdge(a, b).ok());
+  ASSERT_TRUE(cyclic.AddEdge(b, a).ok());
+  // Degenerate submissions run synchronously: the callback fires before
+  // Submit returns, so plain (non-atomic) locals are safe.
+  executor.Submit(std::move(cyclic), [&](Status status) {
+    observed = std::move(status);
+    called = true;
+  });
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(observed.ok());
+}
+
+TEST(ExecutorTest, SubmitAfterShutdownRunsInline) {
+  Executor executor(2);
+  executor.Shutdown();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id observed_thread;
+  bool called = false;
+  TaskGraph graph;
+  graph.AddTask("post-shutdown", [&] {
+    observed_thread = std::this_thread::get_id();
+  });
+  executor.Submit(std::move(graph), [&](Status status) {
+    EXPECT_TRUE(status.ok()) << status;
+    called = true;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(observed_thread, caller);
+}
+
+TEST(ExecutorTest, ManyConcurrentSubmitsAllComplete) {
+  constexpr int kGraphs = 64;
+  Executor executor(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> callbacks{0};
+  for (int i = 0; i < kGraphs; ++i) {
+    TaskGraph graph;
+    const TaskId a = graph.AddTask("work-a", [&] { ran.fetch_add(1); });
+    const TaskId b = graph.AddTask("work-b", [&] { ran.fetch_add(1); });
+    ASSERT_TRUE(graph.AddEdge(a, b).ok());
+    executor.Submit(std::move(graph), [&](Status status) {
+      EXPECT_TRUE(status.ok()) << status;
+      callbacks.fetch_add(1, std::memory_order_release);
+    });
+  }
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), kGraphs * 2);
+  EXPECT_EQ(callbacks.load(), kGraphs);
+}
+
 }  // namespace
 }  // namespace sitm::sched

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <limits>
@@ -155,7 +157,11 @@ std::vector<core::SemanticTrajectory> BuildTrajectories(
 }
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Pid-suffixed: gtest_discover_tests runs every TEST as its own ctest
+  // entry, so concurrent test processes share TempDir — a bare shared
+  // name lets one process's TearDown unlink a file another process is
+  // mid-SetUp on (seen as flakes under TSan's slowdown).
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 void ExpectTrajectoriesEqual(
